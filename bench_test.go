@@ -1,0 +1,448 @@
+// Benchmarks reproducing the paper's evaluation section (§VI): one
+// testing.B entry per table and figure. Run them all with
+//
+//	go test -bench=. -benchmem
+//
+// Use cmd/experiments for the full sweep tables with derived columns
+// (speedups, improvement percentages, MB/s).
+package op2hpx
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"op2hpx/internal/aero"
+	"op2hpx/internal/airfoil"
+	"op2hpx/internal/core"
+	"op2hpx/internal/hpx"
+	"op2hpx/internal/hpx/prefetch"
+	"op2hpx/internal/hpx/sched"
+)
+
+// benchMesh sizes the airfoil benchmarks: big enough to be memory-bound,
+// small enough that the full suite completes in minutes.
+const (
+	benchNX    = 120
+	benchNY    = 60
+	benchIters = 5
+)
+
+// threadCounts is the strong-scaling x-axis: powers of two up to NumCPU.
+func threadCounts() []int {
+	var out []int
+	for t := 1; t <= runtime.NumCPU(); t *= 2 {
+		out = append(out, t)
+	}
+	if out[len(out)-1] != runtime.NumCPU() {
+		out = append(out, runtime.NumCPU())
+	}
+	return out
+}
+
+// benchAirfoil measures app.Run(benchIters) under one configuration.
+func benchAirfoil(b *testing.B, threads int, backend core.Backend, chunker hpx.Chunker, dist int) {
+	b.Helper()
+	pool := sched.NewPool(threads)
+	defer pool.Close()
+	ex := core.NewExecutor(core.Config{
+		Backend:          backend,
+		Pool:             pool,
+		Chunker:          chunker,
+		PrefetchDistance: dist,
+	})
+	app, err := airfoil.NewApp(benchNX, benchNY, ex)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := app.Run(1); err != nil { // warm plans and calibration
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pc, ok := chunker.(*hpx.PersistentAutoChunker); ok {
+			pc.Reset()
+		}
+		if _, err := app.Run(benchIters); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI exercises each execution policy of Table I on the same
+// parallel loop.
+func BenchmarkTableI(b *testing.B) {
+	const n = 1 << 18
+	data := make([]float64, n)
+	pool := sched.NewPool(runtime.NumCPU())
+	defer pool.Close()
+	policies := map[string]hpx.Policy{
+		"seq":       hpx.SeqPolicy(),
+		"par":       hpx.ParPolicy().WithPool(pool),
+		"seq(task)": hpx.SeqPolicy().WithTask(),
+		"par(task)": hpx.ParPolicy().WithPool(pool).WithTask(),
+	}
+	for name, pol := range policies {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(n * 8)
+			for i := 0; i < b.N; i++ {
+				if err := hpx.ForEach(pol, 0, n, func(j int) {
+					data[j] = float64(j) * 1.0000001
+				}).Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig15 measures airfoil execution time for the fork-join
+// ("OpenMP") baseline versus the dataflow backend across thread counts —
+// the data behind both Fig. 15 (times) and Fig. 16 (speedups).
+func BenchmarkFig15(b *testing.B) {
+	for _, th := range threadCounts() {
+		b.Run(fmt.Sprintf("forkjoin/threads=%d", th), func(b *testing.B) {
+			benchAirfoil(b, th, core.ForkJoin, nil, 0)
+		})
+		b.Run(fmt.Sprintf("dataflow/threads=%d", th), func(b *testing.B) {
+			benchAirfoil(b, th, core.Dataflow, nil, 0)
+		})
+	}
+}
+
+// BenchmarkFig16 is the speedup view of the same comparison at the
+// machine's full thread count (speedups are derived by cmd/experiments).
+func BenchmarkFig16(b *testing.B) {
+	th := runtime.NumCPU()
+	b.Run("forkjoin", func(b *testing.B) { benchAirfoil(b, th, core.ForkJoin, nil, 0) })
+	b.Run("dataflow", func(b *testing.B) { benchAirfoil(b, th, core.Dataflow, nil, 0) })
+}
+
+// BenchmarkFig17 measures the dataflow backend with independent auto
+// chunking per loop versus one persistent_auto_chunk_size shared by all
+// loops (§IV-B, Fig. 12).
+func BenchmarkFig17(b *testing.B) {
+	th := runtime.NumCPU()
+	b.Run("auto", func(b *testing.B) {
+		benchAirfoil(b, th, core.Dataflow, hpx.AutoChunker(), 0)
+	})
+	b.Run("persistent_auto", func(b *testing.B) {
+		benchAirfoil(b, th, core.Dataflow, hpx.NewPersistentAutoChunker(), 0)
+	})
+}
+
+// BenchmarkFig18 measures the dataflow backend with and without the §V
+// prefetcher at the paper's best distance (15 cache lines).
+func BenchmarkFig18(b *testing.B) {
+	th := runtime.NumCPU()
+	b.Run("noprefetch", func(b *testing.B) {
+		benchAirfoil(b, th, core.Dataflow, hpx.NewPersistentAutoChunker(), 0)
+	})
+	b.Run("prefetch15", func(b *testing.B) {
+		benchAirfoil(b, th, core.Dataflow, hpx.NewPersistentAutoChunker(), 15)
+	})
+}
+
+// streamSetup builds the 4-container memory-bound loop of Figs. 19-20.
+func streamSetup(n int) (a, bb, c, d prefetch.Float64s, body func(int)) {
+	a = make(prefetch.Float64s, n)
+	bb = make(prefetch.Float64s, n)
+	c = make(prefetch.Float64s, n)
+	d = make(prefetch.Float64s, n)
+	for i := 0; i < n; i++ {
+		bb[i] = float64(i)
+		c[i] = 1.5 * float64(i%1024)
+	}
+	body = func(i int) {
+		a[i] = bb[i] + 0.5*c[i]
+		d[i] = bb[i] - c[i]
+	}
+	return
+}
+
+// BenchmarkFig19 compares the standard for_each iterator against the
+// prefetching iterator on the multi-container stream loop; b.SetBytes
+// makes `go test -bench` report the transfer rate directly.
+func BenchmarkFig19(b *testing.B) {
+	const n = 1 << 22
+	a, bb, c, d, body := streamSetup(n)
+	_ = a
+	pool := sched.NewPool(runtime.NumCPU())
+	defer pool.Close()
+	pol := hpx.ParPolicy().WithPool(pool).WithChunker(hpx.StaticChunker(64 * 1024 / 8))
+
+	b.Run("standard", func(b *testing.B) {
+		b.SetBytes(n * 32)
+		for i := 0; i < b.N; i++ {
+			if err := hpx.ForEach(pol, 0, n, body).Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prefetching", func(b *testing.B) {
+		ctx, err := prefetch.NewContext(0, n, 15, a, bb, c, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(n * 32)
+		for i := 0; i < b.N; i++ {
+			if err := prefetch.ForEach(pol, ctx, body).Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig20 sweeps the prefetch_distance_factor; the paper finds the
+// peak at distance 15 and decay at very small and very large distances.
+func BenchmarkFig20(b *testing.B) {
+	const n = 1 << 22
+	a, bb, c, d, body := streamSetup(n)
+	pool := sched.NewPool(runtime.NumCPU())
+	defer pool.Close()
+	pol := hpx.ParPolicy().WithPool(pool).WithChunker(hpx.StaticChunker(64 * 1024 / 8))
+	for _, dist := range []int{1, 5, 10, 15, 25, 50, 100} {
+		b.Run(fmt.Sprintf("distance=%d", dist), func(b *testing.B) {
+			ctx, err := prefetch.NewContext(0, n, dist, a, bb, c, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(n * 32)
+			for i := 0; i < b.N; i++ {
+				if err := prefetch.ForEach(pol, ctx, body).Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanConstruction measures OP2 plan building (blocking +
+// coloring) for the airfoil res_calc loop — an ablation for the plan
+// cache design choice.
+func BenchmarkPlanConstruction(b *testing.B) {
+	app, err := airfoil.NewApp(benchNX, benchNY, core.NewExecutor(core.Config{Backend: core.Serial}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := sched.NewPool(1)
+	defer pool.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh executor has an empty plan cache, so the first Run
+		// rebuilds the plan.
+		ex := core.NewExecutor(core.Config{Backend: core.ForkJoin, Pool: pool})
+		app2 := *app
+		app2.Ex = ex
+		if err := app2.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFutureOverhead measures the cost of one future round-trip, the
+// unit overhead of the dataflow backend.
+func BenchmarkFutureOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, f := hpx.NewPromise[int]()
+		go p.Set(i)
+		if _, err := f.Get(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDataflowChain measures issue+execute of a chain of dependent
+// no-op loops — the per-loop overhead of dependency chaining.
+func BenchmarkDataflowChain(b *testing.B) {
+	cells := core.MustDeclSet(1024, "cells")
+	d := core.MustDeclDat(cells, 1, nil, "d")
+	pool := sched.NewPool(runtime.NumCPU())
+	defer pool.Close()
+	ex := core.NewExecutor(core.Config{Backend: core.Dataflow, Pool: pool})
+	l := &core.Loop{
+		Name: "touch", Set: cells,
+		Args: []core.Arg{core.ArgDat(d, core.IDIdx, nil, core.RW)},
+		Body: func(lo, hi int, _ []float64) {},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.RunAsync(l)
+	}
+	if err := d.Sync(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationBlockSize sweeps the execution-plan block size of the
+// colored res_calc loop: small blocks color easily but pay scheduling
+// overhead; large blocks reduce overhead but inflate the color count.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	for _, bs := range []int{32, 64, 128, 256, 512, 1024} {
+		b.Run(fmt.Sprintf("block=%d", bs), func(b *testing.B) {
+			pool := sched.NewPool(runtime.NumCPU())
+			defer pool.Close()
+			ex := core.NewExecutor(core.Config{Backend: core.ForkJoin, Pool: pool, BlockSize: bs})
+			app, err := airfoil.NewApp(benchNX, benchNY, ex)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := app.Run(1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Run(benchIters); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRenumber compares the airfoil run on the generated
+// cell numbering versus an RCM-renumbered mesh (locality optimization for
+// the indirect loops).
+func BenchmarkAblationRenumber(b *testing.B) {
+	for _, renumber := range []bool{false, true} {
+		name := "generated-order"
+		if renumber {
+			name = "rcm-renumbered"
+		}
+		b.Run(name, func(b *testing.B) {
+			consts := airfoil.DefaultConstants()
+			mesh, err := airfoil.NewMesh(benchNX, benchNY, consts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if renumber {
+				perm, err := core.RCMPermutation(mesh.Cells, []*core.Map{mesh.Pecell, mesh.Pbecell})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dats := []*core.Dat{mesh.Q, mesh.Qold, mesh.Adt, mesh.Res}
+				if err := core.ApplyRenumber(mesh.Cells, perm, dats, []*core.Map{mesh.Pecell, mesh.Pbecell}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pool := sched.NewPool(runtime.NumCPU())
+			defer pool.Close()
+			ex := core.NewExecutor(core.Config{Backend: core.ForkJoin, Pool: pool})
+			app, err := airfoil.NewAppFromMesh(mesh, consts, ex)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := app.Run(1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Run(benchIters); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistributedRanks measures the distributed engine (halo
+// exchange over channel localities) at increasing rank counts.
+func BenchmarkDistributedRanks(b *testing.B) {
+	for _, ranks := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
+			app, err := airfoil.NewDistApp(benchNX, benchNY, ranks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := app.Run(1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Run(benchIters); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerThroughput measures raw task throughput of the
+// work-stealing pool (the unit cost under every chunk).
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	pool := sched.NewPool(runtime.NumCPU())
+	defer pool.Close()
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	wg.Add(b.N)
+	for i := 0; i < b.N; i++ {
+		if err := pool.Submit(func() { wg.Done() }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+// BenchmarkParallelSort exercises the hpx parallel merge sort against the
+// sequential policy.
+func BenchmarkParallelSort(b *testing.B) {
+	const n = 1 << 20
+	base := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range base {
+		base[i] = rng.Float64()
+	}
+	pool := sched.NewPool(runtime.NumCPU())
+	defer pool.Close()
+	for _, mode := range []string{"seq", "par"} {
+		pol := hpx.SeqPolicy()
+		if mode == "par" {
+			pol = hpx.ParPolicy().WithPool(pool)
+		}
+		b.Run(mode, func(b *testing.B) {
+			data := make([]float64, n)
+			b.SetBytes(n * 8)
+			for i := 0; i < b.N; i++ {
+				copy(data, base)
+				if err := hpx.Sort(pol, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAeroCG measures the FEM/CG workload (per-iteration global
+// reductions, the tightest host/runtime interplay in the repository)
+// under each backend.
+func BenchmarkAeroCG(b *testing.B) {
+	const n = 64
+	for _, cfg := range []struct {
+		name    string
+		backend core.Backend
+	}{
+		{"serial", core.Serial},
+		{"forkjoin", core.ForkJoin},
+		{"dataflow", core.Dataflow},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			pool := sched.NewPool(runtime.NumCPU())
+			defer pool.Close()
+			ex := core.NewExecutor(core.Config{Backend: cfg.backend, Pool: pool})
+			for i := 0; i < b.N; i++ {
+				pr, err := aero.NewProblem(n, ex)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := pr.Solve(1e-9, 20000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+// Command airfoil runs the paper's evaluation workload (§II-B/§VI): the
+// nonlinear 2D inviscid airfoil CFD code on a synthetic mesh, under any of
+// the three loop execution backends.
+//
+// Examples:
+//
+//	airfoil -backend forkjoin -threads 8 -nx 400 -ny 200 -iters 100
+//	airfoil -backend dataflow -threads 8 -chunker persistent -prefetch 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"op2hpx/internal/airfoil"
+	"op2hpx/internal/core"
+	"op2hpx/internal/hpx"
+	"op2hpx/internal/hpx/sched"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "airfoil:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		backendStr = flag.String("backend", "dataflow", "loop execution backend: serial, forkjoin or dataflow")
+		threads    = flag.Int("threads", runtime.NumCPU(), "worker threads (the --hpx:threads knob)")
+		nx         = flag.Int("nx", 240, "mesh cells in x")
+		ny         = flag.Int("ny", 120, "mesh cells in y")
+		iters      = flag.Int("iters", 100, "time iterations")
+		chunkerStr = flag.String("chunker", "", "chunk sizing: static:<n>, even, auto or persistent (default per backend)")
+		prefetch   = flag.Int("prefetch", 0, "prefetch_distance_factor in cache lines (0 = off)")
+		paperMesh  = flag.Bool("paper-mesh", false, "use the paper's mesh scale (~720K nodes); overrides -nx/-ny")
+		profile    = flag.Bool("profile", false, "print per-loop timing statistics after the run")
+		renumber   = flag.Bool("renumber", false, "RCM-renumber the cell set before running (locality optimization)")
+		saveMesh   = flag.String("save-mesh", "", "write the generated mesh to this file and exit")
+		loadMesh   = flag.String("load-mesh", "", "load the mesh from this file instead of generating it")
+		ranks      = flag.Int("ranks", 0, "run the distributed engine with this many simulated localities instead of the shared-memory backends")
+	)
+	flag.Parse()
+
+	backend, err := parseBackend(*backendStr)
+	if err != nil {
+		return err
+	}
+	chunker, err := parseChunker(*chunkerStr)
+	if err != nil {
+		return err
+	}
+	if *paperMesh {
+		*nx, *ny = airfoil.SizeForNodes(720_000)
+	}
+
+	consts := airfoil.DefaultConstants()
+	var mesh *airfoil.Mesh
+	if *loadMesh != "" {
+		if mesh, err = airfoil.ReadMeshFile(*loadMesh, consts); err != nil {
+			return err
+		}
+	} else if mesh, err = airfoil.NewMesh(*nx, *ny, consts); err != nil {
+		return err
+	}
+	if *saveMesh != "" {
+		if err := mesh.WriteMeshFile(*saveMesh); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d-cell mesh to %s\n", mesh.Cells.Size(), *saveMesh)
+		return nil
+	}
+	if *renumber {
+		perm, err := core.RCMPermutation(mesh.Cells, []*core.Map{mesh.Pecell, mesh.Pbecell})
+		if err != nil {
+			return err
+		}
+		dats := []*core.Dat{mesh.Q, mesh.Qold, mesh.Adt, mesh.Res}
+		if err := core.ApplyRenumber(mesh.Cells, perm, dats, []*core.Map{mesh.Pecell, mesh.Pbecell}); err != nil {
+			return err
+		}
+		fmt.Printf("renumbered cells: pecell bandwidth now %d\n", core.Bandwidth(mesh.Pecell))
+	}
+
+	fmt.Printf("airfoil: %d cells, %d nodes, %d edges, %d bedges\n",
+		mesh.Cells.Size(), mesh.Nodes.Size(), mesh.Edges.Size(), mesh.Bedges.Size())
+
+	if *ranks > 0 {
+		app, err := airfoil.NewDistAppFromMesh(mesh, consts, *ranks)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("backend=distributed ranks=%d iters=%d\n", *ranks, *iters)
+		start := time.Now()
+		rms, err := app.Run(*iters)
+		if err != nil {
+			return err
+		}
+		report(start, *iters, rms)
+		return nil
+	}
+
+	pool := sched.NewPool(*threads)
+	defer pool.Close()
+	ex := core.NewExecutor(core.Config{
+		Backend:          backend,
+		Pool:             pool,
+		Chunker:          chunker,
+		PrefetchDistance: *prefetch,
+	})
+	var prof *core.Profiler
+	if *profile {
+		prof = core.NewProfiler()
+		ex.SetProfiler(prof)
+	}
+	app, err := airfoil.NewAppFromMesh(mesh, consts, ex)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("backend=%s threads=%d chunker=%s prefetch=%d iters=%d\n",
+		backend, *threads, chunkerName(chunker, backend), *prefetch, *iters)
+
+	start := time.Now()
+	rms, err := app.Run(*iters)
+	if err != nil {
+		return err
+	}
+	report(start, *iters, rms)
+	if prof != nil {
+		fmt.Println()
+		prof.Render(os.Stdout)
+	}
+	return nil
+}
+
+func report(start time.Time, iters int, rms float64) {
+	elapsed := time.Since(start)
+	fmt.Printf("completed %d iterations in %v (%.3f ms/iter)\n",
+		iters, elapsed.Round(time.Millisecond), float64(elapsed)/float64(iters)/1e6)
+	fmt.Printf("rms residual: %.6e\n", rms)
+}
+
+func parseBackend(s string) (core.Backend, error) {
+	switch s {
+	case "serial":
+		return core.Serial, nil
+	case "forkjoin", "openmp", "omp":
+		return core.ForkJoin, nil
+	case "dataflow", "hpx":
+		return core.Dataflow, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q (want serial, forkjoin or dataflow)", s)
+	}
+}
+
+func parseChunker(s string) (hpx.Chunker, error) {
+	switch {
+	case s == "":
+		return nil, nil // backend default
+	case s == "even":
+		return hpx.EvenChunker(1), nil
+	case s == "auto":
+		return hpx.AutoChunker(), nil
+	case s == "persistent":
+		return hpx.NewPersistentAutoChunker(), nil
+	case len(s) > 7 && s[:7] == "static:":
+		var n int
+		if _, err := fmt.Sscanf(s[7:], "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid static chunk size %q", s[7:])
+		}
+		return hpx.StaticChunker(n), nil
+	default:
+		return nil, fmt.Errorf("unknown chunker %q (want static:<n>, even, auto or persistent)", s)
+	}
+}
+
+func chunkerName(c hpx.Chunker, b core.Backend) string {
+	if c != nil {
+		return c.Name()
+	}
+	if b == core.ForkJoin {
+		return "even (default)"
+	}
+	return "auto (default)"
+}

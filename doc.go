@@ -1,0 +1,26 @@
+// Package op2hpx is a Go reproduction of "Redesigning OP2 Compiler to Use
+// HPX Runtime Asynchronous Techniques" (Khatami, Kaiser, Ramanujam, 2017,
+// arXiv:1703.09264): the OP2 unstructured-mesh framework retargeted from
+// OpenMP-style fork-join loops to an HPX-style asynchronous runtime with
+// futures, dataflow dependency chaining, dynamic chunk sizing
+// (persistent_auto_chunk_size) and a data-prefetching iterator.
+//
+// The implementation lives in the internal packages:
+//
+//   - internal/hpx        — futures, dataflow, execution policies (Table I),
+//     chunkers incl. persistent_auto_chunk_size (§IV-B)
+//   - internal/hpx/sched  — work-stealing task pool (the HPX thread pool)
+//   - internal/hpx/lco    — Local Control Objects (§III)
+//   - internal/hpx/prefetch — the prefetching iterator (§V)
+//   - internal/core       — OP2: sets, maps, dats, access descriptors,
+//     colored execution plans, and the serial / fork-join / dataflow loop
+//     backends (§II, §IV)
+//   - internal/airfoil    — the Airfoil CFD evaluation workload (§II-B)
+//   - internal/translator — the OP2 source-to-source compiler with OpenMP
+//     and HPX code generation modes (§II)
+//   - internal/experiments — regenerates Table I and Figs. 15-20 (§VI)
+//
+// The benchmarks in this package (bench_test.go) provide one testing.B
+// entry per table and figure of the paper's evaluation; cmd/experiments
+// prints the full tables.
+package op2hpx

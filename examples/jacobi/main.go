@@ -1,0 +1,144 @@
+// Jacobi example: the classic OP2 demo (jac from the OP2 distribution) —
+// edge-based Jacobi relaxation of a Laplace problem on the unstructured
+// mesh API. It exercises the indirect-increment path (plan coloring) and
+// a global reduction, and demonstrates that serial, fork-join and
+// dataflow backends agree.
+//
+// Run with: go run ./examples/jacobi
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"op2hpx/internal/core"
+	"op2hpx/internal/hpx/sched"
+)
+
+// buildGrid creates an n×n interior grid of unknowns with edges between
+// 4-neighbours, the mesh jac.cpp builds.
+func buildGrid(n int) (nodes *core.Set, edges *core.Set, ppedge *core.Map, err error) {
+	nn := n * n
+	var edgeList []int32
+	id := func(i, j int) int32 { return int32(i*n + j) }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+1 < n {
+				edgeList = append(edgeList, id(i, j), id(i+1, j))
+			}
+			if j+1 < n {
+				edgeList = append(edgeList, id(i, j), id(i, j+1))
+			}
+		}
+	}
+	nodes, err = core.DeclSet(nn, "nodes")
+	if err != nil {
+		return
+	}
+	edges, err = core.DeclSet(len(edgeList)/2, "edges")
+	if err != nil {
+		return
+	}
+	ppedge, err = core.DeclMap(edges, nodes, 2, edgeList, "ppedge")
+	return
+}
+
+func run(backend core.Backend, n, iters int) (float64, []float64, error) {
+	nodes, edges, ppedge, err := buildGrid(n)
+	if err != nil {
+		return 0, nil, err
+	}
+	u := core.MustDeclDat(nodes, 1, nil, "p_u")
+	du := core.MustDeclDat(nodes, 1, nil, "p_du")
+	beta := core.MustDeclGlobal(1, []float64{1.0}, "beta")
+	resNorm := core.MustDeclGlobal(1, nil, "res_norm")
+
+	// Boundary forcing: corner unknowns pinned by an initial bump.
+	u.Data()[0] = 1
+	u.Data()[nodes.Size()-1] = -1
+
+	// res kernel: du(n1) += beta*u(n2); du(n2) += beta*u(n1) — the edge
+	// loop of jac.cpp.
+	resLoop := &core.Loop{
+		Name: "res",
+		Set:  edges,
+		Args: []core.Arg{
+			core.ArgDat(u, 0, ppedge, core.Read),
+			core.ArgDat(u, 1, ppedge, core.Read),
+			core.ArgDat(du, 0, ppedge, core.Inc),
+			core.ArgDat(du, 1, ppedge, core.Inc),
+			core.ArgGbl(beta, core.Read),
+		},
+		Kernel: func(v [][]float64) {
+			b := v[4][0]
+			v[2][0] += b * v[1][0]
+			v[3][0] += b * v[0][0]
+		},
+	}
+	// update kernel: u = 0.25*du; residual norm accumulates; du reset.
+	updateLoop := &core.Loop{
+		Name: "update",
+		Set:  nodes,
+		Args: []core.Arg{
+			core.ArgDat(du, core.IDIdx, nil, core.RW),
+			core.ArgDat(u, core.IDIdx, nil, core.RW),
+			core.ArgGbl(resNorm, core.Inc),
+		},
+		Kernel: func(v [][]float64) {
+			unew := 0.25 * v[0][0]
+			diff := unew - v[1][0]
+			v[2][0] += diff * diff
+			v[1][0] = unew
+			v[0][0] = 0
+		},
+	}
+
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	ex := core.NewExecutor(core.Config{Backend: backend, Pool: pool})
+
+	for it := 0; it < iters; it++ {
+		if backend == core.Dataflow {
+			ex.RunAsync(resLoop)
+			ex.RunAsync(updateLoop)
+			continue
+		}
+		if err := ex.Run(resLoop); err != nil {
+			return 0, nil, err
+		}
+		if err := ex.Run(updateLoop); err != nil {
+			return 0, nil, err
+		}
+	}
+	if err := u.Sync(); err != nil {
+		return 0, nil, err
+	}
+	if err := resNorm.Sync(); err != nil {
+		return 0, nil, err
+	}
+	return math.Sqrt(resNorm.Data()[0]), u.Data(), nil
+}
+
+func main() {
+	const n, iters = 64, 50
+	var ref []float64
+	for _, backend := range []core.Backend{core.Serial, core.ForkJoin, core.Dataflow} {
+		norm, uvals, err := run(backend, n, iters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maxDiff := 0.0
+		if ref == nil {
+			ref = uvals
+		} else {
+			for i := range ref {
+				if d := math.Abs(uvals[i] - ref[i]); d > maxDiff {
+					maxDiff = d
+				}
+			}
+		}
+		fmt.Printf("%-8s  %d nodes, %d iterations: residual-norm %.6e, max dev vs serial %.2e\n",
+			backend, n*n, iters, norm, maxDiff)
+	}
+}

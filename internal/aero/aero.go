@@ -1,0 +1,435 @@
+// Package aero implements the second canonical OP2 workload family (the
+// aero/FEM demo distributed with OP2, which the paper's introduction
+// motivates alongside Airfoil): a finite-element Poisson solver with a
+// matrix-free conjugate-gradient iteration expressed entirely as OP2
+// parallel loops —
+//
+//	res      (over cells):  v += K_e · p   gathered/scattered via pcell (OP_INC)
+//	dirichlet(over bnodes): zero boundary rows           (indirect OP_WRITE)
+//	dotPV    (over nodes):  Σ p·v                        (OP_INC global)
+//	updateUR (over nodes):  u += α p, r -= α v, v = 0, Σ r·r
+//	updateP  (over nodes):  p = r + β p
+//
+// Unlike Airfoil, the CG loop consumes a global reduction every iteration
+// (α = r·r / p·v), so each iteration contains a genuine host
+// synchronization point even under the dataflow backend — the reduction
+// future must resolve before the next loops can be issued with the right
+// scalars. That makes aero the stress test for Global version chains.
+package aero
+
+import (
+	"fmt"
+	"math"
+
+	"op2hpx/internal/core"
+)
+
+// Problem is the assembled OP2 declaration of one Poisson problem on an
+// n×n quad grid over the unit square, with Dirichlet boundary conditions
+// taken from the exact solution uexact(x, y) = x² + y² (so f = -∇²u = -4).
+type Problem struct {
+	N int // grid cells per side
+
+	Nodes  *core.Set
+	Cells  *core.Set
+	Bnodes *core.Set
+
+	Pcell  *core.Map // cell  -> 4 corner nodes
+	Pbnode *core.Map // bnode -> 1 node
+
+	X *core.Dat // nodes, dim 2: coordinates
+	U *core.Dat // nodes: solution
+	R *core.Dat // nodes: residual
+	P *core.Dat // nodes: search direction
+	V *core.Dat // nodes: A·p
+	B *core.Dat // nodes: right-hand side
+	// boundary marks nodes with Dirichlet rows (1.0 on boundary).
+	Bound *core.Dat
+
+	// lift carries the Dirichlet boundary values; Solution() adds it to
+	// the interior CG correction.
+	lift []float64
+
+	RR *core.Global // Σ r·r
+	PV *core.Global // Σ p·v
+
+	ex *core.Executor
+
+	resLoop, dirichletLoop, dotLoop *core.Loop
+	initLoop                        *core.Loop
+}
+
+// NewProblem builds the FEM problem on an n×n grid.
+func NewProblem(n int, ex *core.Executor) (*Problem, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("aero: grid needs n >= 2, got %d", n)
+	}
+	pr := &Problem{N: n, ex: ex}
+	nn := (n + 1) * (n + 1)
+	node := func(i, j int) int32 { return int32(i*(n+1) + j) }
+
+	var err error
+	if pr.Nodes, err = core.DeclSet(nn, "nodes"); err != nil {
+		return nil, err
+	}
+	if pr.Cells, err = core.DeclSet(n*n, "cells"); err != nil {
+		return nil, err
+	}
+
+	pcell := make([]int32, 0, 4*n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			pcell = append(pcell, node(i, j), node(i+1, j), node(i+1, j+1), node(i, j+1))
+		}
+	}
+	if pr.Pcell, err = core.DeclMap(pr.Cells, pr.Nodes, 4, pcell, "pcell"); err != nil {
+		return nil, err
+	}
+
+	var bnodes []int32
+	xs := make([]float64, 2*nn)
+	bound := make([]float64, nn)
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			id := node(i, j)
+			xs[2*id] = float64(i) / float64(n)
+			xs[2*id+1] = float64(j) / float64(n)
+			if i == 0 || j == 0 || i == n || j == n {
+				bnodes = append(bnodes, id)
+				bound[id] = 1
+			}
+		}
+	}
+	if pr.Bnodes, err = core.DeclSet(len(bnodes), "bnodes"); err != nil {
+		return nil, err
+	}
+	if pr.Pbnode, err = core.DeclMap(pr.Bnodes, pr.Nodes, 1, bnodes, "pbnode"); err != nil {
+		return nil, err
+	}
+
+	if pr.X, err = core.DeclDat(pr.Nodes, 2, xs, "p_x"); err != nil {
+		return nil, err
+	}
+	for _, d := range []struct {
+		dat  **core.Dat
+		name string
+	}{
+		{&pr.U, "p_u"}, {&pr.R, "p_r"}, {&pr.P, "p_p"}, {&pr.V, "p_v"}, {&pr.B, "p_b"},
+	} {
+		if *d.dat, err = core.DeclDat(pr.Nodes, 1, nil, d.name); err != nil {
+			return nil, err
+		}
+	}
+	if pr.Bound, err = core.DeclDat(pr.Nodes, 1, bound, "p_bound"); err != nil {
+		return nil, err
+	}
+	if pr.RR, err = core.DeclGlobal(1, nil, "rr"); err != nil {
+		return nil, err
+	}
+	if pr.PV, err = core.DeclGlobal(1, nil, "pv"); err != nil {
+		return nil, err
+	}
+	pr.assemble()
+	pr.buildLoops()
+	return pr, nil
+}
+
+// Exact is the manufactured solution the boundary conditions encode.
+func Exact(x, y float64) float64 { return x*x + y*y }
+
+// assemble computes the right-hand side: ∫ f φ_i with f = -∇²uexact = -4,
+// folded with the Dirichlet lift (boundary rows become identity rows with
+// b_i = uexact). Interior load uses the lumped 4-point rule per cell.
+func (pr *Problem) assemble() {
+	n := pr.N
+	h := 1.0 / float64(n)
+	bvals := pr.B.Data()
+	xd := pr.X.Data()
+	bound := pr.Bound.Data()
+	// Lumped mass load: each interior corner of each cell receives
+	// f·h²/4 with f = -4.
+	for c := 0; c < pr.Cells.Size(); c++ {
+		for k := 0; k < 4; k++ {
+			nd := pr.Pcell.At(c, k)
+			if bound[nd] == 0 {
+				bvals[nd] += -4 * h * h / 4
+			}
+		}
+	}
+	// Dirichlet lift: the boundary values g enter the right-hand side as
+	// b_i -= (K·g)_i, the boundary rows of the CG system are removed
+	// entirely (b and every CG vector stay zero there), and the lift is
+	// added back in Solution(). This keeps the CG operator symmetric
+	// positive definite on the interior subspace.
+	g := make([]float64, pr.Nodes.Size())
+	for nd := 0; nd < pr.Nodes.Size(); nd++ {
+		if bound[nd] == 1 {
+			g[nd] = Exact(xd[2*nd], xd[2*nd+1])
+		}
+	}
+	kg := make([]float64, pr.Nodes.Size())
+	pr.applyStiffness(g, kg)
+	for nd := 0; nd < pr.Nodes.Size(); nd++ {
+		if bound[nd] == 1 {
+			bvals[nd] = 0
+		} else {
+			bvals[nd] -= kg[nd]
+		}
+	}
+	pr.lift = g
+}
+
+// ke is the 4×4 element stiffness matrix of the bilinear quad on a square
+// cell for the Laplacian (independent of h).
+var ke = [4][4]float64{
+	{2.0 / 3, -1.0 / 6, -1.0 / 3, -1.0 / 6},
+	{-1.0 / 6, 2.0 / 3, -1.0 / 6, -1.0 / 3},
+	{-1.0 / 3, -1.0 / 6, 2.0 / 3, -1.0 / 6},
+	{-1.0 / 6, -1.0 / 3, -1.0 / 6, 2.0 / 3},
+}
+
+// applyStiffness computes out = K·in sequentially (used for assembly).
+func (pr *Problem) applyStiffness(in, out []float64) {
+	for c := 0; c < pr.Cells.Size(); c++ {
+		var idx [4]int
+		for k := 0; k < 4; k++ {
+			idx[k] = pr.Pcell.At(c, k)
+		}
+		for a := 0; a < 4; a++ {
+			acc := 0.0
+			for b := 0; b < 4; b++ {
+				acc += ke[a][b] * in[idx[b]]
+			}
+			out[idx[a]] += acc
+		}
+	}
+}
+
+func (pr *Problem) buildLoops() {
+	// res: v += K_e · p, the matrix-free SpMV over cells (OP_INC).
+	pr.resLoop = &core.Loop{
+		Name: "res",
+		Set:  pr.Cells,
+		Args: []core.Arg{
+			core.ArgDat(pr.P, 0, pr.Pcell, core.Read),
+			core.ArgDat(pr.P, 1, pr.Pcell, core.Read),
+			core.ArgDat(pr.P, 2, pr.Pcell, core.Read),
+			core.ArgDat(pr.P, 3, pr.Pcell, core.Read),
+			core.ArgDat(pr.V, 0, pr.Pcell, core.Inc),
+			core.ArgDat(pr.V, 1, pr.Pcell, core.Inc),
+			core.ArgDat(pr.V, 2, pr.Pcell, core.Inc),
+			core.ArgDat(pr.V, 3, pr.Pcell, core.Inc),
+		},
+		Kernel: func(v [][]float64) {
+			for a := 0; a < 4; a++ {
+				acc := 0.0
+				for b := 0; b < 4; b++ {
+					acc += ke[a][b] * v[b][0]
+				}
+				v[4+a][0] += acc
+			}
+		},
+	}
+	// dirichlet: boundary rows are removed from the CG system — their
+	// A·p entries are zeroed so every CG vector stays zero on the
+	// boundary subspace.
+	pr.dirichletLoop = &core.Loop{
+		Name: "dirichlet",
+		Set:  pr.Bnodes,
+		Args: []core.Arg{
+			core.ArgDat(pr.V, 0, pr.Pbnode, core.Write),
+		},
+		Kernel: func(v [][]float64) {
+			v[0][0] = 0
+		},
+	}
+	// dotPV: Σ p·v.
+	pr.dotLoop = &core.Loop{
+		Name: "dotPV",
+		Set:  pr.Nodes,
+		Args: []core.Arg{
+			core.ArgDat(pr.P, core.IDIdx, nil, core.Read),
+			core.ArgDat(pr.V, core.IDIdx, nil, core.Read),
+			core.ArgGbl(pr.PV, core.Inc),
+		},
+		Kernel: func(v [][]float64) {
+			v[2][0] += v[0][0] * v[1][0]
+		},
+	}
+	// init: u = 0, r = b, p = r, v = 0, Σ r·r.
+	pr.initLoop = &core.Loop{
+		Name: "init_cg",
+		Set:  pr.Nodes,
+		Args: []core.Arg{
+			core.ArgDat(pr.B, core.IDIdx, nil, core.Read),
+			core.ArgDat(pr.U, core.IDIdx, nil, core.Write),
+			core.ArgDat(pr.R, core.IDIdx, nil, core.Write),
+			core.ArgDat(pr.P, core.IDIdx, nil, core.Write),
+			core.ArgDat(pr.V, core.IDIdx, nil, core.Write),
+			core.ArgGbl(pr.RR, core.Inc),
+		},
+		Kernel: func(v [][]float64) {
+			v[1][0] = 0
+			v[2][0] = v[0][0]
+			v[3][0] = v[0][0]
+			v[4][0] = 0
+			v[5][0] += v[0][0] * v[0][0]
+		},
+	}
+}
+
+// updateURLoop builds the α-dependent update loop; α changes every CG
+// iteration, so the loop closure captures it by pointer through a Global.
+func (pr *Problem) updateURLoop(alpha *core.Global) *core.Loop {
+	return &core.Loop{
+		Name: "updateUR",
+		Set:  pr.Nodes,
+		Args: []core.Arg{
+			core.ArgDat(pr.P, core.IDIdx, nil, core.Read),
+			core.ArgDat(pr.U, core.IDIdx, nil, core.RW),
+			core.ArgDat(pr.R, core.IDIdx, nil, core.RW),
+			core.ArgDat(pr.V, core.IDIdx, nil, core.RW),
+			core.ArgGbl(alpha, core.Read),
+			core.ArgGbl(pr.RR, core.Inc),
+		},
+		Kernel: func(v [][]float64) {
+			a := v[4][0]
+			v[1][0] += a * v[0][0]
+			v[2][0] -= a * v[3][0]
+			v[3][0] = 0
+			v[5][0] += v[2][0] * v[2][0]
+		},
+	}
+}
+
+// updatePLoop builds the β-dependent direction update p = r + β p.
+func (pr *Problem) updatePLoop(beta *core.Global) *core.Loop {
+	return &core.Loop{
+		Name: "updateP",
+		Set:  pr.Nodes,
+		Args: []core.Arg{
+			core.ArgDat(pr.R, core.IDIdx, nil, core.Read),
+			core.ArgDat(pr.P, core.IDIdx, nil, core.RW),
+			core.ArgGbl(beta, core.Read),
+		},
+		Kernel: func(v [][]float64) {
+			v[1][0] = v[0][0] + v[2][0]*v[1][0]
+		},
+	}
+}
+
+// Solve runs conjugate gradients until the residual norm falls below tol
+// or maxIter iterations elapse, returning the final ‖r‖ and iteration
+// count. Every iteration reads the two reduction globals on the host —
+// the CG scalar recurrence — which in dataflow mode is the per-iteration
+// synchronization point.
+func (pr *Problem) Solve(tol float64, maxIter int) (res float64, iters int, err error) {
+	run := func(l *core.Loop) error { return pr.ex.Run(l) }
+
+	if err := pr.RR.Set([]float64{0}); err != nil {
+		return 0, 0, err
+	}
+	if err := run(pr.initLoop); err != nil {
+		return 0, 0, err
+	}
+	if err := pr.RR.Sync(); err != nil {
+		return 0, 0, err
+	}
+	rr := pr.RR.Data()[0]
+
+	alpha, err := core.DeclGlobal(1, nil, "alpha")
+	if err != nil {
+		return 0, 0, err
+	}
+	beta, err := core.DeclGlobal(1, nil, "beta")
+	if err != nil {
+		return 0, 0, err
+	}
+	upUR := pr.updateURLoop(alpha)
+	upP := pr.updatePLoop(beta)
+
+	for iters = 0; iters < maxIter && math.Sqrt(rr) > tol; iters++ {
+		// v = A p (matrix-free SpMV + Dirichlet identity rows).
+		if err := run(pr.resLoop); err != nil {
+			return 0, iters, err
+		}
+		if err := run(pr.dirichletLoop); err != nil {
+			return 0, iters, err
+		}
+		if err := pr.PV.Set([]float64{0}); err != nil {
+			return 0, iters, err
+		}
+		if err := run(pr.dotLoop); err != nil {
+			return 0, iters, err
+		}
+		if err := pr.PV.Sync(); err != nil {
+			return 0, iters, err
+		}
+		pv := pr.PV.Data()[0]
+		if pv == 0 {
+			break
+		}
+		if err := alpha.Set([]float64{rr / pv}); err != nil {
+			return 0, iters, err
+		}
+		rrOld := rr
+		if err := pr.RR.Set([]float64{0}); err != nil {
+			return 0, iters, err
+		}
+		if err := run(upUR); err != nil {
+			return 0, iters, err
+		}
+		if err := pr.RR.Sync(); err != nil {
+			return 0, iters, err
+		}
+		rr = pr.RR.Data()[0]
+		if err := beta.Set([]float64{rr / rrOld}); err != nil {
+			return 0, iters, err
+		}
+		if err := run(upP); err != nil {
+			return 0, iters, err
+		}
+	}
+	if err := pr.Sync(); err != nil {
+		return 0, iters, err
+	}
+	return math.Sqrt(rr), iters, nil
+}
+
+// Sync waits for every outstanding asynchronous loop of the problem.
+func (pr *Problem) Sync() error {
+	for _, d := range []*core.Dat{pr.U, pr.R, pr.P, pr.V, pr.B, pr.X, pr.Bound} {
+		if err := d.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := pr.RR.Sync(); err != nil {
+		return err
+	}
+	return pr.PV.Sync()
+}
+
+// Solution returns the full solution field: the CG interior correction
+// plus the Dirichlet lift.
+func (pr *Problem) Solution() []float64 {
+	out := make([]float64, pr.Nodes.Size())
+	for nd := range out {
+		out[nd] = pr.U.Data()[nd] + pr.lift[nd]
+	}
+	return out
+}
+
+// MaxError returns the maximum nodal deviation of the computed solution
+// from the manufactured exact solution.
+func (pr *Problem) MaxError() float64 {
+	maxErr := 0.0
+	xd := pr.X.Data()
+	sol := pr.Solution()
+	for nd := 0; nd < pr.Nodes.Size(); nd++ {
+		e := math.Abs(sol[nd] - Exact(xd[2*nd], xd[2*nd+1]))
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr
+}

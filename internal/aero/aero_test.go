@@ -1,0 +1,139 @@
+package aero
+
+import (
+	"math"
+	"testing"
+
+	"op2hpx/internal/core"
+	"op2hpx/internal/hpx/sched"
+)
+
+func testExec(t *testing.T, b core.Backend, workers int) *core.Executor {
+	t.Helper()
+	pool := sched.NewPool(workers)
+	t.Cleanup(pool.Close)
+	return core.NewExecutor(core.Config{Backend: b, Pool: pool})
+}
+
+func TestProblemSetup(t *testing.T) {
+	pr, err := NewProblem(8, testExec(t, core.Serial, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Nodes.Size() != 81 || pr.Cells.Size() != 64 {
+		t.Fatalf("sets: %d nodes, %d cells", pr.Nodes.Size(), pr.Cells.Size())
+	}
+	if pr.Bnodes.Size() != 4*8 {
+		t.Fatalf("bnodes = %d, want 32", pr.Bnodes.Size())
+	}
+	if _, err := NewProblem(1, testExec(t, core.Serial, 1)); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}
+
+func TestElementStiffnessProperties(t *testing.T) {
+	// Rows of the Laplace element matrix sum to zero (constants are in
+	// the kernel's null space) and the matrix is symmetric.
+	for a := 0; a < 4; a++ {
+		sum := 0.0
+		for b := 0; b < 4; b++ {
+			sum += ke[a][b]
+			if ke[a][b] != ke[b][a] {
+				t.Fatalf("ke not symmetric at (%d, %d)", a, b)
+			}
+		}
+		if math.Abs(sum) > 1e-15 {
+			t.Fatalf("row %d sums to %g", a, sum)
+		}
+	}
+}
+
+func TestSolveConvergesToManufacturedSolution(t *testing.T) {
+	// For uexact = x²+y² on a uniform grid, bilinear FEM with this load
+	// is nodally exact, so a converged CG solve must reproduce the
+	// exact solution at every node to solver precision — a sharp
+	// end-to-end check of the assembly, the SpMV loop, the reductions
+	// and the boundary treatment at once.
+	for _, n := range []int{8, 16, 32} {
+		pr, err := NewProblem(n, testExec(t, core.Serial, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, iters, err := pr.Solve(1e-12, 10*n*n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res > 1e-10 {
+			t.Fatalf("n=%d: CG did not converge: residual %g after %d iters", n, res, iters)
+		}
+		e := pr.MaxError()
+		t.Logf("n=%d: %d CG iters, max nodal error %.3e", n, iters, e)
+		if e > 1e-9 {
+			t.Fatalf("n=%d: nodal error %g, want solver precision", n, e)
+		}
+	}
+}
+
+func TestSolveBackendsAgree(t *testing.T) {
+	const n = 16
+	solve := func(b core.Backend, workers int) ([]float64, int) {
+		t.Helper()
+		pr, err := NewProblem(n, testExec(t, b, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, iters, err := pr.Solve(1e-11, 5000); err != nil {
+			t.Fatal(err)
+		} else {
+			return pr.Solution(), iters
+		}
+		return nil, 0
+	}
+	ref, refIters := solve(core.Serial, 1)
+	for _, tc := range []struct {
+		name    string
+		backend core.Backend
+		workers int
+	}{
+		{"forkjoin", core.ForkJoin, 4},
+		{"dataflow", core.Dataflow, 4},
+	} {
+		got, iters := solve(tc.backend, tc.workers)
+		// CG is sensitive to FP reassociation in the reductions, so
+		// iteration counts may differ by a few; solutions must agree to
+		// solver tolerance.
+		if d := iters - refIters; d > 50 || d < -50 {
+			t.Fatalf("%s: %d iterations vs serial %d", tc.name, iters, refIters)
+		}
+		for i := range ref {
+			if d := math.Abs(got[i] - ref[i]); d > 1e-8 {
+				t.Fatalf("%s: node %d solution %g vs serial %g", tc.name, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestBoundarySubspaceInvariant(t *testing.T) {
+	// Every CG vector must stay zero on boundary nodes; the computed
+	// solution there comes purely from the lift.
+	pr, err := NewProblem(12, testExec(t, core.ForkJoin, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pr.Solve(1e-10, 2000); err != nil {
+		t.Fatal(err)
+	}
+	bound := pr.Bound.Data()
+	for nd := 0; nd < pr.Nodes.Size(); nd++ {
+		if bound[nd] == 1 {
+			if pr.U.Data()[nd] != 0 || pr.P.Data()[nd] != 0 || pr.R.Data()[nd] != 0 {
+				t.Fatalf("CG leaked onto boundary node %d: u=%g p=%g r=%g",
+					nd, pr.U.Data()[nd], pr.P.Data()[nd], pr.R.Data()[nd])
+			}
+			x, y := pr.X.Data()[2*nd], pr.X.Data()[2*nd+1]
+			if pr.Solution()[nd] != Exact(x, y) {
+				t.Fatalf("boundary node %d solution %g, want exact %g", nd, pr.Solution()[nd], Exact(x, y))
+			}
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package airfoil
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"op2hpx/internal/core"
+	"op2hpx/internal/hpx"
+)
+
+// App wires the airfoil mesh and kernels to an OP2 executor and drives the
+// time-marching loop of airfoil.cpp: per iteration one save_soln and two
+// Runge-Kutta-like sub-iterations of adt_calc → res_calc → bres_calc →
+// update (Fig. 2 of the paper).
+type App struct {
+	M     *Mesh
+	Const Constants
+	Ex    *core.Executor
+	Rms   *core.Global
+
+	// UseGenericKernels switches from the specialized per-kernel bodies
+	// (the code the OP2 translator generates) to the generic view-based
+	// kernel path; used to cross-check the two in tests.
+	UseGenericKernels bool
+
+	loops appLoops
+}
+
+type appLoops struct {
+	saveSoln, adtCalc, resCalc, bresCalc, update *core.Loop
+}
+
+// NewApp builds an airfoil application instance on the given executor.
+func NewApp(nx, ny int, ex *core.Executor) (*App, error) {
+	consts := DefaultConstants()
+	m, err := NewMesh(nx, ny, consts)
+	if err != nil {
+		return nil, err
+	}
+	return NewAppFromMesh(m, consts, ex)
+}
+
+// NewAppFromMesh builds the application over an existing mesh (generated,
+// loaded from file, or renumbered).
+func NewAppFromMesh(m *Mesh, consts Constants, ex *core.Executor) (*App, error) {
+	rms, err := core.DeclGlobal(1, nil, "rms")
+	if err != nil {
+		return nil, err
+	}
+	a := &App{M: m, Const: consts, Ex: ex, Rms: rms}
+	a.buildLoops()
+	return a, nil
+}
+
+// buildLoops constructs the five op_par_loop descriptors once; executors
+// cache their plans across time steps.
+func (a *App) buildLoops() {
+	m := a.M
+	c := &a.Const
+
+	a.loops.saveSoln = &core.Loop{
+		Name: "save_soln",
+		Set:  m.Cells,
+		Args: []core.Arg{
+			core.ArgDat(m.Q, core.IDIdx, nil, core.Read),
+			core.ArgDat(m.Qold, core.IDIdx, nil, core.Write),
+		},
+		Kernel: func(v [][]float64) { SaveSoln(v[0], v[1]) },
+		Body:   a.saveSolnBody(),
+	}
+	a.loops.adtCalc = &core.Loop{
+		Name: "adt_calc",
+		Set:  m.Cells,
+		Args: []core.Arg{
+			core.ArgDat(m.X, 0, m.Pcell, core.Read),
+			core.ArgDat(m.X, 1, m.Pcell, core.Read),
+			core.ArgDat(m.X, 2, m.Pcell, core.Read),
+			core.ArgDat(m.X, 3, m.Pcell, core.Read),
+			core.ArgDat(m.Q, core.IDIdx, nil, core.Read),
+			core.ArgDat(m.Adt, core.IDIdx, nil, core.Write),
+		},
+		Kernel: func(v [][]float64) { c.AdtCalc(v[0], v[1], v[2], v[3], v[4], v[5]) },
+		Body:   a.adtCalcBody(),
+	}
+	a.loops.resCalc = &core.Loop{
+		Name: "res_calc",
+		Set:  m.Edges,
+		Args: []core.Arg{
+			core.ArgDat(m.X, 0, m.Pedge, core.Read),
+			core.ArgDat(m.X, 1, m.Pedge, core.Read),
+			core.ArgDat(m.Q, 0, m.Pecell, core.Read),
+			core.ArgDat(m.Q, 1, m.Pecell, core.Read),
+			core.ArgDat(m.Adt, 0, m.Pecell, core.Read),
+			core.ArgDat(m.Adt, 1, m.Pecell, core.Read),
+			core.ArgDat(m.Res, 0, m.Pecell, core.Inc),
+			core.ArgDat(m.Res, 1, m.Pecell, core.Inc),
+		},
+		Kernel: func(v [][]float64) { c.ResCalc(v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7]) },
+		Body:   a.resCalcBody(),
+	}
+	a.loops.bresCalc = &core.Loop{
+		Name: "bres_calc",
+		Set:  m.Bedges,
+		Args: []core.Arg{
+			core.ArgDat(m.X, 0, m.Pbedge, core.Read),
+			core.ArgDat(m.X, 1, m.Pbedge, core.Read),
+			core.ArgDat(m.Q, 0, m.Pbecell, core.Read),
+			core.ArgDat(m.Adt, 0, m.Pbecell, core.Read),
+			core.ArgDat(m.Res, 0, m.Pbecell, core.Inc),
+			core.ArgDat(m.Bound, core.IDIdx, nil, core.Read),
+		},
+		Kernel: func(v [][]float64) { c.BresCalc(v[0], v[1], v[2], v[3], v[4], v[5]) },
+		Body:   a.bresCalcBody(),
+	}
+	a.loops.update = &core.Loop{
+		Name: "update",
+		Set:  m.Cells,
+		Args: []core.Arg{
+			core.ArgDat(m.Qold, core.IDIdx, nil, core.Read),
+			core.ArgDat(m.Q, core.IDIdx, nil, core.Write),
+			core.ArgDat(m.Res, core.IDIdx, nil, core.RW),
+			core.ArgDat(m.Adt, core.IDIdx, nil, core.Read),
+			core.ArgGbl(a.Rms, core.Inc),
+		},
+		Kernel: func(v [][]float64) { Update(v[0], v[1], v[2], v[3], v[4]) },
+		Body:   a.updateBody(),
+	}
+}
+
+// The specialized bodies below are what the OP2-to-Go translator emits for
+// each kernel (cmd/op2gen produces this shape): raw-slice indexing over a
+// chunk, no per-element view construction.
+
+func (a *App) saveSolnBody() core.RangeBody {
+	q := a.M.Q.Data()
+	qold := a.M.Qold.Data()
+	return func(lo, hi int, _ []float64) {
+		copy(qold[lo*4:hi*4], q[lo*4:hi*4])
+	}
+}
+
+func (a *App) adtCalcBody() core.RangeBody {
+	m := a.M
+	c := &a.Const
+	x := m.X.Data()
+	q := m.Q.Data()
+	adt := m.Adt.Data()
+	pc := m.Pcell.Data()
+	return func(lo, hi int, _ []float64) {
+		for e := lo; e < hi; e++ {
+			n1 := int(pc[4*e]) * 2
+			n2 := int(pc[4*e+1]) * 2
+			n3 := int(pc[4*e+2]) * 2
+			n4 := int(pc[4*e+3]) * 2
+			c.AdtCalc(x[n1:n1+2], x[n2:n2+2], x[n3:n3+2], x[n4:n4+2],
+				q[4*e:4*e+4], adt[e:e+1])
+		}
+	}
+}
+
+func (a *App) resCalcBody() core.RangeBody {
+	m := a.M
+	c := &a.Const
+	x := m.X.Data()
+	q := m.Q.Data()
+	adt := m.Adt.Data()
+	res := m.Res.Data()
+	pe := m.Pedge.Data()
+	pc := m.Pecell.Data()
+	return func(lo, hi int, _ []float64) {
+		for e := lo; e < hi; e++ {
+			n1 := int(pe[2*e]) * 2
+			n2 := int(pe[2*e+1]) * 2
+			c1 := int(pc[2*e])
+			c2 := int(pc[2*e+1])
+			c.ResCalc(x[n1:n1+2], x[n2:n2+2],
+				q[4*c1:4*c1+4], q[4*c2:4*c2+4],
+				adt[c1:c1+1], adt[c2:c2+1],
+				res[4*c1:4*c1+4], res[4*c2:4*c2+4])
+		}
+	}
+}
+
+func (a *App) bresCalcBody() core.RangeBody {
+	m := a.M
+	c := &a.Const
+	x := m.X.Data()
+	q := m.Q.Data()
+	adt := m.Adt.Data()
+	res := m.Res.Data()
+	bound := m.Bound.Data()
+	pbe := m.Pbedge.Data()
+	pbc := m.Pbecell.Data()
+	return func(lo, hi int, _ []float64) {
+		for e := lo; e < hi; e++ {
+			n1 := int(pbe[2*e]) * 2
+			n2 := int(pbe[2*e+1]) * 2
+			c1 := int(pbc[e])
+			c.BresCalc(x[n1:n1+2], x[n2:n2+2],
+				q[4*c1:4*c1+4], adt[c1:c1+1],
+				res[4*c1:4*c1+4], bound[e:e+1])
+		}
+	}
+}
+
+func (a *App) updateBody() core.RangeBody {
+	m := a.M
+	qold := m.Qold.Data()
+	q := m.Q.Data()
+	res := m.Res.Data()
+	adt := m.Adt.Data()
+	return func(lo, hi int, scratch []float64) {
+		for e := lo; e < hi; e++ {
+			Update(qold[4*e:4*e+4], q[4*e:4*e+4], res[4*e:4*e+4], adt[e:e+1], scratch)
+		}
+	}
+}
+
+// run returns the loop in the form the configured path expects.
+func (a *App) loop(l *core.Loop) *core.Loop {
+	if !a.UseGenericKernels {
+		return l
+	}
+	generic := *l
+	generic.Body = nil
+	return &generic
+}
+
+// Step performs one time iteration. Under the Dataflow backend all nine
+// loops are issued asynchronously and Step returns without waiting — the
+// futures chain through the dats exactly as Fig. 10/11 describe. Under
+// Serial/ForkJoin each loop runs to completion with its implicit barrier.
+func (a *App) Step() error {
+	if a.Ex.Config().Backend == core.Dataflow {
+		var last *hpx.Future[struct{}]
+		a.Ex.RunAsync(a.loop(a.loops.saveSoln))
+		for k := 0; k < 2; k++ {
+			a.Ex.RunAsync(a.loop(a.loops.adtCalc))
+			a.Ex.RunAsync(a.loop(a.loops.resCalc))
+			a.Ex.RunAsync(a.loop(a.loops.bresCalc))
+			last = a.Ex.RunAsync(a.loop(a.loops.update))
+		}
+		// Surface issue-time validation errors without waiting for
+		// completion.
+		if last.Ready() {
+			if err := last.Wait(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := a.Ex.Run(a.loop(a.loops.saveSoln)); err != nil {
+		return err
+	}
+	for k := 0; k < 2; k++ {
+		if err := a.Ex.Run(a.loop(a.loops.adtCalc)); err != nil {
+			return err
+		}
+		if err := a.Ex.Run(a.loop(a.loops.resCalc)); err != nil {
+			return err
+		}
+		if err := a.Ex.Run(a.loop(a.loops.bresCalc)); err != nil {
+			return err
+		}
+		if err := a.Ex.Run(a.loop(a.loops.update)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run performs iters time iterations and returns the normalized RMS
+// residual of the final sync interval: sqrt(rms / (2·ncells·iters)), the
+// quantity airfoil.cpp prints. Under the Dataflow backend the only host
+// synchronization is the final one.
+func (a *App) Run(iters int) (float64, error) {
+	if iters < 1 {
+		return 0, fmt.Errorf("airfoil: iters %d < 1", iters)
+	}
+	if err := a.Rms.Sync(); err != nil {
+		return 0, err
+	}
+	if err := a.Rms.Set([]float64{0}); err != nil {
+		return 0, err
+	}
+	for i := 0; i < iters; i++ {
+		if err := a.Step(); err != nil {
+			return 0, err
+		}
+	}
+	if err := a.Sync(); err != nil {
+		return 0, err
+	}
+	rms := a.Rms.Data()[0]
+	return math.Sqrt(rms / float64(2*a.M.Cells.Size()*iters)), nil
+}
+
+// RunMonitored is Run with the original airfoil.cpp reporting behaviour:
+// every `every` iterations the host synchronizes on the rms reduction,
+// prints it, and resets the accumulator. In dataflow mode each report is a
+// genuine host-side sync point (the only ones in the run), so the printed
+// cadence also measures how far ahead the asynchronous issue ran.
+func (a *App) RunMonitored(iters, every int, out io.Writer) (float64, error) {
+	if iters < 1 {
+		return 0, fmt.Errorf("airfoil: iters %d < 1", iters)
+	}
+	if every < 1 {
+		every = iters
+	}
+	if err := a.Rms.Sync(); err != nil {
+		return 0, err
+	}
+	if err := a.Rms.Set([]float64{0}); err != nil {
+		return 0, err
+	}
+	var last float64
+	since := 0
+	for i := 1; i <= iters; i++ {
+		if err := a.Step(); err != nil {
+			return 0, err
+		}
+		since++
+		if i%every == 0 || i == iters {
+			if err := a.Rms.Sync(); err != nil {
+				return 0, err
+			}
+			last = math.Sqrt(a.Rms.Data()[0] / float64(2*a.M.Cells.Size()*since))
+			if out != nil {
+				fmt.Fprintf(out, "%6d  %10.5e\n", i, last)
+			}
+			if err := a.Rms.Set([]float64{0}); err != nil {
+				return 0, err
+			}
+			since = 0
+		}
+	}
+	if err := a.Sync(); err != nil {
+		return 0, err
+	}
+	return last, nil
+}
+
+// Sync waits for every outstanding loop on every dat of the application —
+// the host-side fence at the end of a dataflow run.
+func (a *App) Sync() error {
+	m := a.M
+	for _, d := range []*core.Dat{m.Q, m.Qold, m.Adt, m.Res, m.X, m.Bound} {
+		if err := d.Sync(); err != nil {
+			return err
+		}
+	}
+	return a.Rms.Sync()
+}

@@ -1,0 +1,167 @@
+package airfoil
+
+import (
+	"fmt"
+	"math"
+
+	"op2hpx/internal/core"
+	"op2hpx/internal/dist"
+)
+
+// DistApp runs the airfoil application on the distributed engine of
+// package dist: cells are block-partitioned across localities, the flow
+// dats (q, qold, adt, res) are distributed with halo exchange through
+// pecell/pbecell, and the immutable mesh geometry (node coordinates,
+// boundary flags) is replicated — OP2's MPI execution model with ranks as
+// goroutines.
+type DistApp struct {
+	M     *Mesh
+	Const Constants
+	Comm  *dist.Comm
+
+	part      *dist.Partition
+	haloEdge  *dist.Halo // edges  -> cells (pecell)
+	haloBedge *dist.Halo // bedges -> cells (pbecell)
+
+	q, qold, adt, res *dist.Dat
+
+	saveSoln, adtCalc, update *dist.DirectLoop
+	resCalc, bresCalc         *dist.IndirectLoop
+}
+
+// NewDistApp partitions the mesh over `ranks` localities.
+func NewDistApp(nx, ny, ranks int) (*DistApp, error) {
+	consts := DefaultConstants()
+	m, err := NewMesh(nx, ny, consts)
+	if err != nil {
+		return nil, err
+	}
+	return NewDistAppFromMesh(m, consts, ranks)
+}
+
+// NewDistAppFromMesh builds the distributed app over an existing mesh.
+func NewDistAppFromMesh(m *Mesh, consts Constants, ranks int) (*DistApp, error) {
+	a := &DistApp{M: m, Const: consts, Comm: dist.NewComm(ranks)}
+	var err error
+	if a.part, err = dist.NewPartition(m.Cells, ranks); err != nil {
+		return nil, err
+	}
+	if a.haloEdge, err = dist.NewHalo(a.part, m.Pecell); err != nil {
+		return nil, err
+	}
+	if a.haloBedge, err = dist.NewHalo(a.part, m.Pbecell); err != nil {
+		return nil, err
+	}
+	if a.q, err = dist.NewDat(a.part, 4, m.Q.Data(), "p_q"); err != nil {
+		return nil, err
+	}
+	if a.qold, err = dist.NewDat(a.part, 4, nil, "p_qold"); err != nil {
+		return nil, err
+	}
+	if a.adt, err = dist.NewDat(a.part, 1, nil, "p_adt"); err != nil {
+		return nil, err
+	}
+	if a.res, err = dist.NewDat(a.part, 4, nil, "p_res"); err != nil {
+		return nil, err
+	}
+	a.buildLoops()
+	return a, nil
+}
+
+func (a *DistApp) buildLoops() {
+	m := a.M
+	c := &a.Const
+
+	a.saveSoln = &dist.DirectLoop{
+		Name: "save_soln", Part: a.part,
+		Args: []*dist.Dat{a.q, a.qold},
+		Kernel: func(v [][]float64, _ []float64) {
+			SaveSoln(v[0], v[1])
+		},
+	}
+	a.adtCalc = &dist.DirectLoop{
+		Name: "adt_calc", Part: a.part,
+		Args:   []*dist.Dat{a.q, a.adt},
+		Gather: []dist.GatherArg{{D: m.X, M: m.Pcell}},
+		Kernel: func(v [][]float64, _ []float64) {
+			// v: q, adt, x1..x4
+			c.AdtCalc(v[2], v[3], v[4], v[5], v[0], v[1])
+		},
+	}
+	a.resCalc = &dist.IndirectLoop{
+		Name: "res_calc", H: a.haloEdge,
+		Gather: []dist.GatherArg{{D: m.X, M: m.Pedge}},
+		Reads:  []*dist.Dat{a.q, a.adt},
+		Incs:   []*dist.Dat{a.res},
+		Kernel: func(v [][]float64) {
+			// v: x1, x2, q1, q2, adt1, adt2, res1, res2
+			c.ResCalc(v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7])
+		},
+	}
+	a.bresCalc = &dist.IndirectLoop{
+		Name: "bres_calc", H: a.haloBedge,
+		Direct: []*core.Dat{m.Bound},
+		Gather: []dist.GatherArg{{D: m.X, M: m.Pbedge}},
+		Reads:  []*dist.Dat{a.q, a.adt},
+		Incs:   []*dist.Dat{a.res},
+		Kernel: func(v [][]float64) {
+			// v: bound, x1, x2, q1, adt1, res1
+			c.BresCalc(v[1], v[2], v[3], v[4], v[5], v[0])
+		},
+	}
+	a.update = &dist.DirectLoop{
+		Name: "update", Part: a.part,
+		Args:         []*dist.Dat{a.qold, a.q, a.res, a.adt},
+		ReductionDim: 1,
+		Kernel: func(v [][]float64, red []float64) {
+			Update(v[0], v[1], v[2], v[3], red)
+		},
+	}
+}
+
+// Step performs one time iteration across all localities and returns the
+// rms contribution of this step.
+func (a *DistApp) Step() (float64, error) {
+	if _, err := a.saveSoln.Run(a.Comm); err != nil {
+		return 0, err
+	}
+	var rms float64
+	for k := 0; k < 2; k++ {
+		if _, err := a.adtCalc.Run(a.Comm); err != nil {
+			return 0, err
+		}
+		if err := a.resCalc.Run(a.Comm); err != nil {
+			return 0, err
+		}
+		if err := a.bresCalc.Run(a.Comm); err != nil {
+			return 0, err
+		}
+		red, err := a.update.Run(a.Comm)
+		if err != nil {
+			return 0, err
+		}
+		rms += red[0]
+	}
+	return rms, nil
+}
+
+// Run performs iters iterations and returns the normalized rms of the
+// whole run, the same quantity App.Run reports.
+func (a *DistApp) Run(iters int) (float64, error) {
+	if iters < 1 {
+		return 0, fmt.Errorf("airfoil: iters %d < 1", iters)
+	}
+	total := 0.0
+	for i := 0; i < iters; i++ {
+		rms, err := a.Step()
+		if err != nil {
+			return 0, err
+		}
+		total += rms
+	}
+	return math.Sqrt(total / float64(2*a.M.Cells.Size()*iters)), nil
+}
+
+// Q returns the distributed flow field's global storage (owned blocks are
+// authoritative after every Run).
+func (a *DistApp) Q() []float64 { return a.q.Global() }

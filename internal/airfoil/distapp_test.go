@@ -1,0 +1,102 @@
+package airfoil
+
+import (
+	"math"
+	"testing"
+
+	"op2hpx/internal/core"
+)
+
+// closeEnough compares with mixed absolute/relative tolerance: halo
+// increments are applied in a different order than serial edge order, so
+// near-zero components (momentum-y) legitimately differ in the last bits.
+func closeEnough(a, b float64) bool {
+	d := math.Abs(a - b)
+	return d <= 1e-12+1e-9*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestDistAppMatchesSerial(t *testing.T) {
+	const nx, ny, iters = 26, 14, 4
+
+	ex := testExec(t, core.Serial, 1)
+	ref, err := NewApp(nx, ny, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmsRef, err := ref.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, ranks := range []int{1, 2, 4, 5} {
+		app, err := NewDistApp(nx, ny, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rms, err := app.Run(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !closeEnough(rms, rmsRef) {
+			t.Fatalf("ranks=%d: rms %.15g vs serial %.15g", ranks, rms, rmsRef)
+		}
+		q := app.Q()
+		qRef := ref.M.Q.Data()
+		for i := range q {
+			if !closeEnough(q[i], qRef[i]) {
+				t.Fatalf("ranks=%d: q[%d] = %.15g vs serial %.15g", ranks, i, q[i], qRef[i])
+			}
+		}
+	}
+}
+
+func TestDistAppConsistentAcrossRankCounts(t *testing.T) {
+	const nx, ny, iters = 20, 10, 3
+	var ref []float64
+	var refRms float64
+	for _, ranks := range []int{1, 3, 6} {
+		app, err := NewDistApp(nx, ny, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rms, err := app.Run(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = append([]float64(nil), app.Q()...)
+			refRms = rms
+			continue
+		}
+		if !closeEnough(rms, refRms) {
+			t.Fatalf("ranks=%d rms %.15g vs %.15g", ranks, rms, refRms)
+		}
+		for i, v := range app.Q() {
+			if !closeEnough(v, ref[i]) {
+				t.Fatalf("ranks=%d q[%d] differs: %.15g vs %.15g", ranks, i, v, ref[i])
+			}
+		}
+	}
+}
+
+func TestDistAppRejectsZeroIters(t *testing.T) {
+	app, err := NewDistApp(4, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Run(0); err == nil {
+		t.Fatal("Run(0) accepted")
+	}
+}
+
+func TestDistAppMoreRanksThanBoundaryCells(t *testing.T) {
+	// More ranks than some sets have elements: empty partitions must
+	// still work.
+	app, err := NewDistApp(4, 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Run(2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package airfoil
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"op2hpx/internal/core"
+)
+
+// Binary mesh file format, standing in for OP2's new_grid.dat input: a
+// magic header, the four set sizes, the five map tables, node coordinates
+// and boundary flags. WriteMesh/ReadMesh let a generated mesh be saved
+// once and reloaded by benchmarks, like the paper's fixed input grid.
+//
+// Layout (little endian):
+//
+//	magic   uint32  'O','P','2','M'
+//	version uint32  1
+//	nx, ny  int64
+//	nnode, nedge, nbedge, ncell int64
+//	pedge   [2*nedge]int32
+//	pecell  [2*nedge]int32
+//	pbedge  [2*nbedge]int32
+//	pbecell [nbedge]int32
+//	pcell   [4*ncell]int32
+//	x       [2*nnode]float64
+//	bound   [nbedge]float64
+const (
+	meshMagic   = uint32('O') | uint32('P')<<8 | uint32('2')<<16 | uint32('M')<<24
+	meshVersion = 1
+)
+
+// WriteMeshTo serializes the mesh to w.
+func (m *Mesh) WriteMeshTo(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	writeU32 := func(v uint32) error { return binary.Write(bw, le, v) }
+	writeI64 := func(v int) error { return binary.Write(bw, le, int64(v)) }
+	if err := writeU32(meshMagic); err != nil {
+		return err
+	}
+	if err := writeU32(meshVersion); err != nil {
+		return err
+	}
+	for _, v := range []int{m.NX, m.NY, m.Nodes.Size(), m.Edges.Size(), m.Bedges.Size(), m.Cells.Size()} {
+		if err := writeI64(v); err != nil {
+			return err
+		}
+	}
+	for _, tab := range [][]int32{
+		m.Pedge.Data(), m.Pecell.Data(), m.Pbedge.Data(), m.Pbecell.Data(), m.Pcell.Data(),
+	} {
+		if err := binary.Write(bw, le, tab); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, le, m.X.Data()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, le, m.Bound.Data()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteMeshFile writes the mesh to path.
+func (m *Mesh) WriteMeshFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteMeshTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadMeshFrom deserializes a mesh written by WriteMeshTo and initializes
+// the flow field to the free stream of consts (the file carries topology
+// and geometry; flow state is initial-condition data, not mesh data).
+func ReadMeshFrom(r io.Reader, consts Constants) (*Mesh, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var magic, version uint32
+	if err := binary.Read(br, le, &magic); err != nil {
+		return nil, fmt.Errorf("airfoil: reading mesh header: %w", err)
+	}
+	if magic != meshMagic {
+		return nil, fmt.Errorf("airfoil: bad mesh magic %#x", magic)
+	}
+	if err := binary.Read(br, le, &version); err != nil {
+		return nil, err
+	}
+	if version != meshVersion {
+		return nil, fmt.Errorf("airfoil: unsupported mesh version %d", version)
+	}
+	var dims [6]int64
+	for i := range dims {
+		if err := binary.Read(br, le, &dims[i]); err != nil {
+			return nil, err
+		}
+	}
+	nx, ny := int(dims[0]), int(dims[1])
+	nnode, nedge, nbedge, ncell := int(dims[2]), int(dims[3]), int(dims[4]), int(dims[5])
+	if nx < 2 || ny < 2 || nnode < 0 || nedge < 0 || nbedge < 0 || ncell < 0 {
+		return nil, fmt.Errorf("airfoil: corrupt mesh dimensions %v", dims)
+	}
+	const maxElems = 1 << 28 // 256M elements ≈ hard sanity bound
+	for _, n := range []int{nnode, nedge, nbedge, ncell} {
+		if n > maxElems {
+			return nil, fmt.Errorf("airfoil: implausible mesh size %d", n)
+		}
+	}
+
+	readI32 := func(n int) ([]int32, error) {
+		out := make([]int32, n)
+		if err := binary.Read(br, le, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	readF64 := func(n int) ([]float64, error) {
+		out := make([]float64, n)
+		if err := binary.Read(br, le, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	pedge, err := readI32(2 * nedge)
+	if err != nil {
+		return nil, err
+	}
+	pecell, err := readI32(2 * nedge)
+	if err != nil {
+		return nil, err
+	}
+	pbedge, err := readI32(2 * nbedge)
+	if err != nil {
+		return nil, err
+	}
+	pbecell, err := readI32(nbedge)
+	if err != nil {
+		return nil, err
+	}
+	pcell, err := readI32(4 * ncell)
+	if err != nil {
+		return nil, err
+	}
+	xs, err := readF64(2 * nnode)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := readF64(nbedge)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("airfoil: coordinate %d is %v", i, v)
+		}
+	}
+
+	// Rebuild through the normal declaration path so every map index is
+	// re-validated against its sets.
+	m := &Mesh{NX: nx, NY: ny}
+	if m.Nodes, err = core.DeclSet(nnode, "nodes"); err != nil {
+		return nil, err
+	}
+	if m.Edges, err = core.DeclSet(nedge, "edges"); err != nil {
+		return nil, err
+	}
+	if m.Bedges, err = core.DeclSet(nbedge, "bedges"); err != nil {
+		return nil, err
+	}
+	if m.Cells, err = core.DeclSet(ncell, "cells"); err != nil {
+		return nil, err
+	}
+	if m.Pedge, err = core.DeclMap(m.Edges, m.Nodes, 2, pedge, "pedge"); err != nil {
+		return nil, err
+	}
+	if m.Pecell, err = core.DeclMap(m.Edges, m.Cells, 2, pecell, "pecell"); err != nil {
+		return nil, err
+	}
+	if m.Pbedge, err = core.DeclMap(m.Bedges, m.Nodes, 2, pbedge, "pbedge"); err != nil {
+		return nil, err
+	}
+	if m.Pbecell, err = core.DeclMap(m.Bedges, m.Cells, 1, pbecell, "pbecell"); err != nil {
+		return nil, err
+	}
+	if m.Pcell, err = core.DeclMap(m.Cells, m.Nodes, 4, pcell, "pcell"); err != nil {
+		return nil, err
+	}
+	if m.X, err = core.DeclDat(m.Nodes, 2, xs, "p_x"); err != nil {
+		return nil, err
+	}
+	qs := make([]float64, ncell*4)
+	for c := 0; c < ncell; c++ {
+		copy(qs[4*c:4*c+4], consts.Qinf[:])
+	}
+	if m.Q, err = core.DeclDat(m.Cells, 4, qs, "p_q"); err != nil {
+		return nil, err
+	}
+	if m.Qold, err = core.DeclDat(m.Cells, 4, nil, "p_qold"); err != nil {
+		return nil, err
+	}
+	if m.Adt, err = core.DeclDat(m.Cells, 1, nil, "p_adt"); err != nil {
+		return nil, err
+	}
+	if m.Res, err = core.DeclDat(m.Cells, 4, nil, "p_res"); err != nil {
+		return nil, err
+	}
+	if m.Bound, err = core.DeclDat(m.Bedges, 1, bound, "p_bound"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadMeshFile reads a mesh from path.
+func ReadMeshFile(path string, consts Constants) (*Mesh, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadMeshFrom(f, consts)
+}

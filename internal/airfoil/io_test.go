@@ -1,0 +1,135 @@
+package airfoil
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"op2hpx/internal/core"
+	"op2hpx/internal/hpx/sched"
+)
+
+func TestMeshRoundTrip(t *testing.T) {
+	consts := DefaultConstants()
+	m1, err := NewMesh(17, 9, consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m1.WriteMeshTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadMeshFrom(&buf, consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NX != m1.NX || m2.NY != m1.NY {
+		t.Fatalf("dims %dx%d, want %dx%d", m2.NX, m2.NY, m1.NX, m1.NY)
+	}
+	if m2.Nodes.Size() != m1.Nodes.Size() || m2.Edges.Size() != m1.Edges.Size() ||
+		m2.Bedges.Size() != m1.Bedges.Size() || m2.Cells.Size() != m1.Cells.Size() {
+		t.Fatal("set sizes differ after round trip")
+	}
+	cmpI32 := func(name string, a, b []int32) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s lengths differ", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d] = %d, want %d", name, i, b[i], a[i])
+			}
+		}
+	}
+	cmpI32("pedge", m1.Pedge.Data(), m2.Pedge.Data())
+	cmpI32("pecell", m1.Pecell.Data(), m2.Pecell.Data())
+	cmpI32("pbedge", m1.Pbedge.Data(), m2.Pbedge.Data())
+	cmpI32("pbecell", m1.Pbecell.Data(), m2.Pbecell.Data())
+	cmpI32("pcell", m1.Pcell.Data(), m2.Pcell.Data())
+	for i := range m1.X.Data() {
+		if m1.X.Data()[i] != m2.X.Data()[i] {
+			t.Fatalf("x[%d] differs", i)
+		}
+	}
+	for i := range m1.Bound.Data() {
+		if m1.Bound.Data()[i] != m2.Bound.Data()[i] {
+			t.Fatalf("bound[%d] differs", i)
+		}
+	}
+}
+
+func TestMeshFileRoundTripRuns(t *testing.T) {
+	consts := DefaultConstants()
+	m, err := NewMesh(12, 8, consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "grid.dat")
+	if err := m.WriteMeshFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadMeshFile(path, consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded mesh must be runnable and agree with a freshly built
+	// one.
+	pool := sched.NewPool(2)
+	defer pool.Close()
+	run := func(mesh *Mesh) float64 {
+		t.Helper()
+		ex := core.NewExecutor(core.Config{Backend: core.Serial, Pool: pool})
+		app := &App{M: mesh, Const: consts, Ex: ex, Rms: core.MustDeclGlobal(1, nil, "rms")}
+		app.buildLoops()
+		rms, err := app.Run(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rms
+	}
+	fresh, err := NewMesh(12, 8, consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := run(loaded), run(fresh); a != b {
+		t.Fatalf("rms from loaded mesh %.17g != fresh mesh %.17g", a, b)
+	}
+}
+
+func TestReadMeshRejectsCorruptInput(t *testing.T) {
+	consts := DefaultConstants()
+	m, err := NewMesh(8, 4, consts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteMeshTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":      {},
+		"bad magic":  append([]byte{1, 2, 3, 4}, good[4:]...),
+		"truncated":  good[:len(good)/2],
+		"bad header": good[:16],
+	}
+	// Bad version.
+	bv := append([]byte(nil), good...)
+	bv[4] = 99
+	cases["bad version"] = bv
+	// Corrupt a map index to be out of range: map data starts after
+	// 8 + 48 header bytes.
+	oob := append([]byte(nil), good...)
+	oob[56] = 0xFF
+	oob[57] = 0xFF
+	oob[58] = 0xFF
+	oob[59] = 0x7F
+	cases["index out of range"] = oob
+
+	for name, data := range cases {
+		if _, err := ReadMeshFrom(bytes.NewReader(data), consts); err == nil {
+			t.Fatalf("%s: corrupt mesh accepted", name)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package airfoil
+
+import "math"
+
+// Constants are the flow constants the original airfoil code declares with
+// op_decl_const: ratio of specific heats, CFL number, artificial viscosity
+// coefficient, free-stream Mach number and the derived free-stream state
+// qinf.
+type Constants struct {
+	Gam  float64 // ratio of specific heats
+	Gm1  float64 // gam - 1
+	Cfl  float64 // CFL number
+	Eps  float64 // artificial viscosity coefficient
+	Mach float64 // free-stream Mach number
+	Qinf [4]float64
+}
+
+// DefaultConstants returns the constants the original airfoil main()
+// computes: gam = 1.4, cfl = 0.9, eps = 0.05, mach = 0.4, with the
+// free-stream state derived exactly the way airfoil.cpp derives it.
+func DefaultConstants() Constants {
+	c := Constants{Gam: 1.4, Cfl: 0.9, Eps: 0.05, Mach: 0.4}
+	c.Gm1 = c.Gam - 1
+	p := 1.0
+	r := 1.0
+	u := math.Sqrt(c.Gam*p/r) * c.Mach
+	e := p/(r*c.Gm1) + 0.5*u*u
+	c.Qinf = [4]float64{r, r * u, 0, r * e}
+	return c
+}
+
+// The five user kernels, transcribed from the original OP2 airfoil kernel
+// headers (save_soln.h, adt_calc.h, res_calc.h, bres_calc.h, update.h)
+// with float64 arithmetic. Each operates on per-element views exactly as
+// OP2 calls them inside the generated loops (Fig. 4).
+
+// SaveSoln copies the flow variables: qold = q.
+func SaveSoln(q, qold []float64) {
+	for n := 0; n < 4; n++ {
+		qold[n] = q[n]
+	}
+}
+
+// AdtCalc computes the area-weighted timestep of a cell from its four
+// corner coordinates x1..x4 and flow state q.
+func (c *Constants) AdtCalc(x1, x2, x3, x4, q, adt []float64) {
+	ri := 1.0 / q[0]
+	u := ri * q[1]
+	v := ri * q[2]
+	cs := math.Sqrt(c.Gam * c.Gm1 * (ri*q[3] - 0.5*(u*u+v*v)))
+
+	acc := 0.0
+	edge := func(a, b []float64) {
+		dx := b[0] - a[0]
+		dy := b[1] - a[1]
+		acc += math.Abs(u*dy-v*dx) + cs*math.Sqrt(dx*dx+dy*dy)
+	}
+	edge(x1, x2)
+	edge(x2, x3)
+	edge(x3, x4)
+	edge(x4, x1)
+	adt[0] = acc / c.Cfl
+}
+
+// ResCalc computes the flux through one interior edge and scatters it into
+// the residuals of the two adjacent cells (OP_INC).
+func (c *Constants) ResCalc(x1, x2, q1, q2, adt1, adt2, res1, res2 []float64) {
+	dx := x1[0] - x2[0]
+	dy := x1[1] - x2[1]
+
+	ri := 1.0 / q1[0]
+	p1 := c.Gm1 * (q1[3] - 0.5*ri*(q1[1]*q1[1]+q1[2]*q1[2]))
+	vol1 := ri * (q1[1]*dy - q1[2]*dx)
+
+	ri = 1.0 / q2[0]
+	p2 := c.Gm1 * (q2[3] - 0.5*ri*(q2[1]*q2[1]+q2[2]*q2[2]))
+	vol2 := ri * (q2[1]*dy - q2[2]*dx)
+
+	mu := 0.5 * (adt1[0] + adt2[0]) * c.Eps
+
+	f := 0.5*(vol1*q1[0]+vol2*q2[0]) + mu*(q1[0]-q2[0])
+	res1[0] += f
+	res2[0] -= f
+	f = 0.5*(vol1*q1[1]+p1*dy+vol2*q2[1]+p2*dy) + mu*(q1[1]-q2[1])
+	res1[1] += f
+	res2[1] -= f
+	f = 0.5*(vol1*q1[2]-p1*dx+vol2*q2[2]-p2*dx) + mu*(q1[2]-q2[2])
+	res1[2] += f
+	res2[2] -= f
+	f = 0.5*(vol1*(q1[3]+p1)+vol2*(q2[3]+p2)) + mu*(q1[3]-q2[3])
+	res1[3] += f
+	res2[3] -= f
+}
+
+// BresCalc computes the flux through one boundary edge: the solid-wall
+// pressure flux when bound == BoundWall, the far-field flux against the
+// free stream otherwise.
+func (c *Constants) BresCalc(x1, x2, q1, adt1, res1, bound []float64) {
+	dx := x1[0] - x2[0]
+	dy := x1[1] - x2[1]
+
+	ri := 1.0 / q1[0]
+	p1 := c.Gm1 * (q1[3] - 0.5*ri*(q1[1]*q1[1]+q1[2]*q1[2]))
+
+	if bound[0] == BoundWall {
+		res1[1] += p1 * dy
+		res1[2] -= p1 * dx
+		return
+	}
+	vol1 := ri * (q1[1]*dy - q1[2]*dx)
+
+	ri = 1.0 / c.Qinf[0]
+	p2 := c.Gm1 * (c.Qinf[3] - 0.5*ri*(c.Qinf[1]*c.Qinf[1]+c.Qinf[2]*c.Qinf[2]))
+	vol2 := ri * (c.Qinf[1]*dy - c.Qinf[2]*dx)
+
+	mu := adt1[0] * c.Eps
+
+	f := 0.5*(vol1*q1[0]+vol2*c.Qinf[0]) + mu*(q1[0]-c.Qinf[0])
+	res1[0] += f
+	f = 0.5*(vol1*q1[1]+p1*dy+vol2*c.Qinf[1]+p2*dy) + mu*(q1[1]-c.Qinf[1])
+	res1[1] += f
+	f = 0.5*(vol1*q1[2]-p1*dx+vol2*c.Qinf[2]-p2*dx) + mu*(q1[2]-c.Qinf[2])
+	res1[2] += f
+	f = 0.5*(vol1*(q1[3]+p1)+vol2*(c.Qinf[3]+p2)) + mu*(q1[3]-c.Qinf[3])
+	res1[3] += f
+}
+
+// Update advances the flow state one pseudo-timestep, zeroes the residual
+// and accumulates the squared update into the rms reduction.
+func Update(qold, q, res, adt, rms []float64) {
+	adti := 1.0 / adt[0]
+	acc := 0.0
+	for n := 0; n < 4; n++ {
+		del := adti * res[n]
+		q[n] = qold[n] - del
+		res[n] = 0
+		acc += del * del
+	}
+	rms[0] += acc
+}

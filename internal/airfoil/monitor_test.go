@@ -1,0 +1,60 @@
+package airfoil
+
+import (
+	"strings"
+	"testing"
+
+	"op2hpx/internal/core"
+)
+
+func TestRunMonitoredReportsAndAgrees(t *testing.T) {
+	const nx, ny, iters, every = 20, 10, 6, 2
+	var out strings.Builder
+	ex := testExec(t, core.Dataflow, 4)
+	app, err := NewApp(nx, ny, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms, err := app.RunMonitored(iters, every, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != iters/every {
+		t.Fatalf("reported %d lines, want %d:\n%s", len(lines), iters/every, out.String())
+	}
+	if rms <= 0 {
+		t.Fatalf("final rms = %g", rms)
+	}
+	// Physics must agree with a plain serial run of the same length.
+	ref, err := NewApp(nx, ny, testExec(t, core.Serial, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Run(iters); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range app.M.Q.Data() {
+		if relDiff(v, ref.M.Q.Data()[i]) > 1e-9 {
+			t.Fatalf("q[%d] diverges from plain run", i)
+		}
+	}
+}
+
+func TestRunMonitoredDefaultsInterval(t *testing.T) {
+	ex := testExec(t, core.Serial, 1)
+	app, err := NewApp(8, 6, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if _, err := app.RunMonitored(3, 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(out.String()), "\n")); n != 1 {
+		t.Fatalf("interval 0 should report once at the end, got %d lines", n)
+	}
+	if _, err := app.RunMonitored(0, 1, nil); err == nil {
+		t.Fatal("RunMonitored(0, ...) accepted")
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import "fmt"
+
+// Access is an OP2 access descriptor. It states how a loop's kernel touches
+// an argument, which is what lets the framework derive both the shared-
+// memory execution plan (coloring for Inc) and the dataflow dependency
+// graph (§IV) without any user-written synchronization.
+type Access int
+
+const (
+	// Read: the kernel only reads the data (OP_READ).
+	Read Access = iota
+	// Write: the kernel overwrites the data without reading it (OP_WRITE).
+	Write
+	// RW: the kernel reads and writes the data (OP_RW).
+	RW
+	// Inc: the kernel increments the data; increments commute, which is
+	// what makes colored parallel execution of indirect loops legal
+	// (OP_INC, "increment to avoid race conditions due to indirect data
+	// access").
+	Inc
+	// Min combines with minimum (globals only, OP_MIN).
+	Min
+	// Max combines with maximum (globals only, OP_MAX).
+	Max
+)
+
+func (a Access) String() string {
+	switch a {
+	case Read:
+		return "OP_READ"
+	case Write:
+		return "OP_WRITE"
+	case RW:
+		return "OP_RW"
+	case Inc:
+		return "OP_INC"
+	case Min:
+		return "OP_MIN"
+	case Max:
+		return "OP_MAX"
+	default:
+		return fmt.Sprintf("Access(%d)", int(a))
+	}
+}
+
+// writes reports whether the access modifies the data.
+func (a Access) writes() bool { return a != Read }
+
+// IDIdx is the map index used for direct (identity-mapped) arguments,
+// OP2's OP_ID / idx == -1 convention.
+const IDIdx = -1
+
+// Arg describes one argument of a parallel loop, mirroring op_arg_dat and
+// op_arg_gbl from Figs. 2-3 of the paper.
+type Arg struct {
+	dat *Dat
+	gbl *Global
+	m   *Map
+	idx int
+	acc Access
+}
+
+// ArgDat builds a dat argument: op_arg_dat(dat, idx, map, dim, "double",
+// acc). With m == nil (OP_ID) the loop accesses element e of the dat
+// directly; with a map, it accesses dat element m[e*dim+idx].
+func ArgDat(dat *Dat, idx int, m *Map, acc Access) Arg {
+	return Arg{dat: dat, m: m, idx: idx, acc: acc}
+}
+
+// ArgGbl builds a global argument: op_arg_gbl(data, dim, "double", acc).
+// Read passes parameters in; Inc/Min/Max perform reductions.
+func ArgGbl(g *Global, acc Access) Arg {
+	return Arg{gbl: g, acc: acc}
+}
+
+// IsGlobal reports whether the argument is a global.
+func (a Arg) IsGlobal() bool { return a.gbl != nil }
+
+// IsIndirect reports whether the argument goes through a map.
+func (a Arg) IsIndirect() bool { return a.m != nil }
+
+// Dat returns the dat of a dat argument (nil for globals).
+func (a Arg) Dat() *Dat { return a.dat }
+
+// Global returns the global of a global argument (nil for dats).
+func (a Arg) Global() *Global { return a.gbl }
+
+// Map returns the map of an indirect argument (nil otherwise).
+func (a Arg) Map() *Map { return a.m }
+
+// Idx returns the map index of an indirect argument.
+func (a Arg) Idx() int { return a.idx }
+
+// Acc returns the access descriptor.
+func (a Arg) Acc() Access { return a.acc }
+
+// validate checks an argument against the loop's iteration set.
+func (a Arg) validate(loopSet *Set, pos int) error {
+	switch {
+	case a.gbl != nil:
+		if a.dat != nil || a.m != nil {
+			return fmt.Errorf("op2: arg %d mixes global and dat", pos)
+		}
+		switch a.acc {
+		case Read, Inc, Min, Max:
+		default:
+			return fmt.Errorf("op2: arg %d: access %v not valid for globals", pos, a.acc)
+		}
+		return nil
+	case a.dat == nil:
+		return fmt.Errorf("op2: arg %d has neither dat nor global", pos)
+	case a.acc == Min || a.acc == Max:
+		return fmt.Errorf("op2: arg %d: access %v only valid for globals", pos, a.acc)
+	case a.m == nil:
+		if a.idx != IDIdx && a.idx != 0 {
+			return fmt.Errorf("op2: arg %d: direct args use idx -1 (OP_ID), got %d", pos, a.idx)
+		}
+		if a.dat.set != loopSet {
+			return fmt.Errorf("op2: arg %d: direct dat %q lives on set %q but loop iterates %q",
+				pos, a.dat.name, a.dat.set.name, loopSet.name)
+		}
+		return nil
+	default:
+		if a.m.from != loopSet {
+			return fmt.Errorf("op2: arg %d: map %q maps from set %q but loop iterates %q",
+				pos, a.m.name, a.m.from.name, loopSet.name)
+		}
+		if a.m.to != a.dat.set {
+			return fmt.Errorf("op2: arg %d: map %q targets set %q but dat %q lives on %q",
+				pos, a.m.name, a.m.to.name, a.dat.name, a.dat.set.name)
+		}
+		if a.idx < 0 || a.idx >= a.m.dim {
+			return fmt.Errorf("op2: arg %d: map index %d outside map %q of dim %d",
+				pos, a.idx, a.m.name, a.m.dim)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"op2hpx/internal/hpx"
+)
+
+// versionState tracks the dependency chain of a resource (a Dat or a
+// Global) in dataflow mode: the future of the last loop that wrote it and
+// the futures of loops reading it since. Access descriptors map onto it:
+//
+//	READ  depends on lastWrite           (RAW)
+//	WRITE/RW/INC depend on lastWrite and all readers (WAW, WAR)
+//
+// This is how "op_arg_dat produces an argument as a future" (§IV, Fig. 7)
+// turns program order into the execution DAG of Fig. 11.
+type versionState struct {
+	mu        sync.Mutex
+	lastWrite hpx.Waiter
+	readers   []hpx.Waiter
+}
+
+// dependencies returns the futures a new access must wait for.
+func (v *versionState) dependencies(acc Access) []hpx.Waiter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if acc == Read {
+		if v.lastWrite == nil {
+			return nil
+		}
+		return []hpx.Waiter{v.lastWrite}
+	}
+	deps := make([]hpx.Waiter, 0, len(v.readers)+1)
+	if v.lastWrite != nil {
+		deps = append(deps, v.lastWrite)
+	}
+	deps = append(deps, v.readers...)
+	return deps
+}
+
+// record registers the loop future f as the new version according to the
+// access mode.
+func (v *versionState) record(acc Access, f hpx.Waiter) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if acc == Read {
+		v.readers = append(v.readers, f)
+		return
+	}
+	v.lastWrite = f
+	v.readers = v.readers[:0]
+}
+
+// current returns a waiter for everything outstanding, i.e. the fence a
+// host-side access needs.
+func (v *versionState) current() []hpx.Waiter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ws := make([]hpx.Waiter, 0, len(v.readers)+1)
+	if v.lastWrite != nil {
+		ws = append(ws, v.lastWrite)
+	}
+	ws = append(ws, v.readers...)
+	return ws
+}
+
+// Dat is data on a set (op_decl_dat): dim float64 values per set element,
+// stored contiguously (element e occupies data[e*dim : (e+1)*dim]).
+//
+// The paper's OP2 carries a type string ("float", "double"); this
+// reproduction fixes the element type to float64, which is what every
+// kernel of the evaluated Airfoil application uses.
+type Dat struct {
+	name  string
+	set   *Set
+	dim   int
+	data  []float64
+	state versionState
+}
+
+// DeclDat declares data on a set, mirroring op_decl_dat. The initial values
+// are copied so the caller's slice stays independent, like OP2's
+// op_decl_dat copying into its own storage. Pass nil to zero-initialize.
+func DeclDat(set *Set, dim int, values []float64, name string) (*Dat, error) {
+	if set == nil {
+		return nil, fmt.Errorf("op2: dat %q needs a set", name)
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("op2: dat %q has non-positive dimension %d", name, dim)
+	}
+	n := set.size * dim
+	if values != nil && len(values) != n {
+		return nil, fmt.Errorf("op2: dat %q expects %d values (|%s|·%d), got %d",
+			name, n, set.name, dim, len(values))
+	}
+	d := &Dat{name: name, set: set, dim: dim, data: make([]float64, n)}
+	copy(d.data, values)
+	return d, nil
+}
+
+// MustDeclDat is DeclDat for static declarations that cannot fail.
+func MustDeclDat(set *Set, dim int, values []float64, name string) *Dat {
+	d, err := DeclDat(set, dim, values, name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name returns the dat's name.
+func (d *Dat) Name() string { return d.name }
+
+// Set returns the set the dat lives on.
+func (d *Dat) Set() *Set { return d.set }
+
+// Dim returns the number of values per set element.
+func (d *Dat) Dim() int { return d.dim }
+
+// Data returns the raw storage. In dataflow mode callers must Sync first;
+// kernels access it through their argument views.
+func (d *Dat) Data() []float64 { return d.data }
+
+// Elem returns the slice view of element e.
+func (d *Dat) Elem(e int) []float64 { return d.data[e*d.dim : (e+1)*d.dim] }
+
+// Sync waits for every outstanding asynchronous loop touching this dat —
+// the host-side future.get() of Fig. 9 (`p_qold = op_par_loop_...` then
+// using p_qold). It returns the first error from those loops.
+func (d *Dat) Sync() error { return hpx.WaitAll(d.state.current()...) }
+
+// Future returns a future that resolves to the dat once every loop
+// currently outstanding on it has finished — the dat "returned as a future
+// from each kernel function" in Fig. 9.
+func (d *Dat) Future() *hpx.Future[*Dat] {
+	deps := d.state.current()
+	return hpx.Dataflow(func() (*Dat, error) { return d, nil }, deps...)
+}
+
+func (d *Dat) String() string {
+	return fmt.Sprintf("dat(%s on %s, dim %d)", d.name, d.set.name, d.dim)
+}
+
+// Global is host-side global data used by loops (op_arg_gbl): read-only
+// parameters or reduction targets (Inc/Min/Max). Like a Dat it carries a
+// version chain so reductions order correctly in dataflow mode.
+type Global struct {
+	name  string
+	data  []float64
+	state versionState
+}
+
+// DeclGlobal declares a global of the given dimension, with optional
+// initial values.
+func DeclGlobal(dim int, values []float64, name string) (*Global, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("op2: global %q has non-positive dimension %d", name, dim)
+	}
+	if values != nil && len(values) != dim {
+		return nil, fmt.Errorf("op2: global %q expects %d values, got %d", name, dim, len(values))
+	}
+	g := &Global{name: name, data: make([]float64, dim)}
+	copy(g.data, values)
+	return g, nil
+}
+
+// MustDeclGlobal is DeclGlobal for static declarations that cannot fail.
+func MustDeclGlobal(dim int, values []float64, name string) *Global {
+	g, err := DeclGlobal(dim, values, name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name returns the global's name.
+func (g *Global) Name() string { return g.name }
+
+// Dim returns the number of values.
+func (g *Global) Dim() int { return len(g.data) }
+
+// Data returns the raw values. In dataflow mode callers must Sync first.
+func (g *Global) Data() []float64 { return g.data }
+
+// Set overwrites the global's values from the host. In dataflow mode call
+// Sync first.
+func (g *Global) Set(values []float64) error {
+	if len(values) != len(g.data) {
+		return fmt.Errorf("op2: global %q expects %d values, got %d", g.name, len(g.data), len(values))
+	}
+	copy(g.data, values)
+	return nil
+}
+
+// Sync waits for every outstanding asynchronous loop touching this global.
+func (g *Global) Sync() error { return hpx.WaitAll(g.state.current()...) }
+
+// Future returns a future resolving to the global's values after all
+// outstanding loops complete — how a reduction result flows to dependent
+// loops or host code without a global barrier.
+func (g *Global) Future() *hpx.Future[[]float64] {
+	deps := g.state.current()
+	return hpx.Dataflow(func() ([]float64, error) { return g.data, nil }, deps...)
+}

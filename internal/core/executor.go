@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"op2hpx/internal/hpx"
+	"op2hpx/internal/hpx/sched"
+)
+
+// Backend selects how parallel loops execute — the axis the paper's
+// evaluation compares.
+type Backend int
+
+const (
+	// Serial executes loops on the calling goroutine.
+	Serial Backend = iota
+	// ForkJoin is the baseline the paper attacks: static even chunks
+	// across the pool and an implicit global barrier at the end of every
+	// loop ("#pragma omp parallel for", Fig. 4).
+	ForkJoin
+	// Dataflow is the paper's contribution (§IV): loops are issued
+	// asynchronously, consume the futures of the dats they access and
+	// return futures, so independent loops interleave and dependent
+	// loops chain without global barriers.
+	Dataflow
+)
+
+func (b Backend) String() string {
+	switch b {
+	case Serial:
+		return "serial"
+	case ForkJoin:
+		return "forkjoin"
+	case Dataflow:
+		return "dataflow"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// DefaultBlockSize is the plan block size used when the config leaves it
+// zero; OP2's OpenMP backend uses blocks of a few hundred elements.
+const DefaultBlockSize = 256
+
+// Config configures an Executor.
+type Config struct {
+	// Backend selects serial, fork-join or dataflow execution.
+	Backend Backend
+	// Pool hosts the loop chunks; nil uses the process-wide pool.
+	Pool *sched.Pool
+	// Chunker controls chunk sizes (§IV-B). Nil defaults per backend:
+	// ForkJoin uses even static division (the OpenMP baseline), Dataflow
+	// uses auto chunk sizing. Pass a *hpx.PersistentAutoChunker shared
+	// across loops to reproduce persistent_auto_chunk_size.
+	Chunker hpx.Chunker
+	// BlockSize is the plan block size for indirect loops.
+	BlockSize int
+	// PrefetchDistance enables the §V prefetcher when >= 1: while a
+	// prefetch unit of a chunk executes, the next unit's cache lines of
+	// every container the loop touches are read ahead. The value is the
+	// prefetch_distance_factor in cache lines.
+	PrefetchDistance int
+}
+
+// Executor runs OP2 loops under a fixed configuration, caching execution
+// plans across invocations of the same loop shape.
+type Executor struct {
+	cfg      Config
+	plans    planCache
+	profiler *Profiler
+}
+
+// NewExecutor creates an executor from cfg, applying defaults.
+func NewExecutor(cfg Config) *Executor {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
+	if cfg.Chunker == nil {
+		switch cfg.Backend {
+		case ForkJoin:
+			cfg.Chunker = hpx.EvenChunker(1)
+		default:
+			cfg.Chunker = hpx.AutoChunker()
+		}
+	}
+	return &Executor{cfg: cfg}
+}
+
+// Config returns the executor's effective configuration.
+func (ex *Executor) Config() Config { return ex.cfg }
+
+// pool returns the scheduler pool backing parallel execution.
+func (ex *Executor) pool() *sched.Pool {
+	if ex.cfg.Pool != nil {
+		return ex.cfg.Pool
+	}
+	return sched.Default()
+}
+
+// Run executes the loop synchronously: it returns once the loop (and, for
+// the fork-join backend, its implicit end-of-loop barrier) completes. With
+// the Dataflow backend Run issues the loop asynchronously and immediately
+// waits, which is only useful in tests; use RunAsync for real dataflow
+// programs.
+func (ex *Executor) Run(l *Loop) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if ex.cfg.Backend == Dataflow {
+		return ex.RunAsync(l).Wait()
+	}
+	return ex.execute(l)
+}
+
+// RunAsync issues the loop asynchronously under the dataflow backend and
+// returns its completion future. The loop body starts as soon as the
+// futures of every dat and global it accesses are ready (Fig. 8); its own
+// future becomes those resources' new version, which is what lets OP2
+// "interleave different loops together at runtime" (Fig. 11). RunAsync
+// must be called from a single issuing goroutine so program order defines
+// the dependency DAG — the same contract the paper's modified Airfoil.cpp
+// relies on.
+func (ex *Executor) RunAsync(l *Loop) *hpx.Future[struct{}] {
+	if err := l.Validate(); err != nil {
+		return hpx.MakeErr[struct{}](err)
+	}
+	deps, record := ex.collectDeps(l)
+	p, f := hpx.NewPromise[struct{}]()
+	record(f)
+	go func() {
+		if err := hpx.WaitAll(deps...); err != nil {
+			p.SetErr(fmt.Errorf("op2: loop %q dependency failed: %w", l.Name, err))
+			return
+		}
+		if err := ex.execute(l); err != nil {
+			p.SetErr(err)
+			return
+		}
+		p.Set(struct{}{})
+	}()
+	return f
+}
+
+// collectDeps gathers the dependency futures of every distinct resource
+// the loop touches (with the strongest access seen per resource) and
+// returns a callback that installs the loop's own future into those
+// resources' version chains. Gathering and installing happen before
+// RunAsync returns, so the DAG reflects program order.
+func (ex *Executor) collectDeps(l *Loop) (deps []hpx.Waiter, record func(hpx.Waiter)) {
+	type resAcc struct {
+		state  *versionState
+		writes bool
+	}
+	var resources []resAcc
+	index := map[*versionState]int{}
+	add := func(st *versionState, writes bool) {
+		if i, ok := index[st]; ok {
+			resources[i].writes = resources[i].writes || writes
+			return
+		}
+		index[st] = len(resources)
+		resources = append(resources, resAcc{state: st, writes: writes})
+	}
+	for _, a := range l.Args {
+		switch {
+		case a.gbl != nil:
+			add(&a.gbl.state, a.acc.writes())
+		case a.dat != nil:
+			add(&a.dat.state, a.acc.writes())
+		}
+	}
+	for _, r := range resources {
+		acc := Read
+		if r.writes {
+			acc = RW
+		}
+		deps = append(deps, r.state.dependencies(acc)...)
+	}
+	record = func(f hpx.Waiter) {
+		for _, r := range resources {
+			acc := Read
+			if r.writes {
+				acc = RW
+			}
+			r.state.record(acc, f)
+		}
+	}
+	return deps, record
+}
+
+// execute runs the loop body to completion on the configured pool. Panics
+// from the kernel — whether on the calling goroutine (serial execution,
+// chunk calibration) or inside pool tasks — surface as errors.
+func (ex *Executor) execute(l *Loop) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("op2: loop %q panicked: %v", l.Name, r)
+		}
+	}()
+	var profStart time.Time
+	if ex.profiler != nil {
+		profStart = time.Now()
+		defer func() {
+			if err != nil {
+				return
+			}
+			var plan *Plan
+			if cs := conflictMaps(l.Args); len(cs) > 0 {
+				plan, _ = ex.plans.get(l.Set, ex.cfg.BlockSize, cs) // cached
+			}
+			ex.profiler.record(l, time.Since(profStart), plan)
+		}()
+	}
+	n := l.Set.size
+	sl := layoutScratch(l.Args)
+	body := l.bodyFunc(&sl)
+	pf := ex.newLoopPrefetcher(l)
+
+	var (
+		accMu sync.Mutex
+		acc   []float64
+	)
+	if sl.size > 0 {
+		acc = sl.newScratch()
+	}
+	runRange := func(lo, hi int) {
+		var s []float64
+		if sl.size > 0 {
+			s = sl.newScratch()
+		}
+		if pf != nil {
+			pf.run(lo, hi, s, body)
+		} else {
+			body(lo, hi, s)
+		}
+		if sl.size > 0 {
+			accMu.Lock()
+			sl.combine(acc, s, l.Args)
+			accMu.Unlock()
+		}
+	}
+
+	if ex.cfg.Backend == Serial || n == 0 {
+		if n > 0 {
+			runRange(0, n)
+		}
+		if sl.size > 0 {
+			sl.apply(acc, l.Args)
+		}
+		return nil
+	}
+
+	conflicts := conflictMaps(l.Args)
+	var runErr error
+	if ex.cfg.Backend == ForkJoin {
+		runErr = ex.runForkJoin(l, conflicts, runRange)
+	} else if len(conflicts) == 0 {
+		runErr = ex.runDirect(n, runRange)
+	} else {
+		runErr = ex.runColored(l, conflicts, runRange)
+	}
+	if runErr != nil {
+		return fmt.Errorf("op2: loop %q: %w", l.Name, runErr)
+	}
+	if sl.size > 0 {
+		sl.apply(acc, l.Args)
+	}
+	return nil
+}
+
+// runForkJoin executes a loop the way "#pragma omp parallel for" does
+// (Fig. 4): a team of goroutines is forked for this region, work is
+// divided statically (or per the configured chunker — never calibrated,
+// matching OpenMP's schedule clause), and the region ends with a join
+// barrier. The team is created and torn down per loop, which is precisely
+// the fork-join overhead plus implicit global barrier the paper's dataflow
+// backend eliminates.
+func (ex *Executor) runForkJoin(l *Loop, conflicts []conflictSource, runRange func(lo, hi int)) error {
+	workers := ex.pool().Size()
+	if len(conflicts) == 0 {
+		return forkJoinRegion(workers, ex.cfg.Chunker, l.Set.size, runRange)
+	}
+	plan, err := ex.plans.get(l.Set, ex.cfg.BlockSize, conflicts)
+	if err != nil {
+		return err
+	}
+	for c := 0; c < plan.NColors(); c++ {
+		blocks := plan.BlocksOfColor(c)
+		err := forkJoinRegion(workers, ex.cfg.Chunker, len(blocks), func(blo, bhi int) {
+			for i := blo; i < bhi; i++ {
+				lo, hi := plan.Block(blocks[i])
+				runRange(lo, hi)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forkJoinRegion forks a team of workers over n iterations, hands out
+// chunks of the chunker's size from a shared counter, and joins. Chunkers
+// are consulted without a measure callback (OpenMP schedules statically).
+func forkJoinRegion(workers int, chunker hpx.Chunker, n int, chunk func(lo, hi int)) error {
+	if n <= 0 {
+		return nil
+	}
+	size := chunker.ChunkSize(n, workers, nil)
+	if size < 1 {
+		size = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				c := int(next.Add(1) - 1)
+				lo := c * size
+				if lo >= n {
+					return
+				}
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				chunk(lo, hi)
+			}
+		}()
+	}
+	wg.Wait() // the implicit barrier at the end of the parallel region
+	if panicked != nil {
+		return fmt.Errorf("parallel region panicked: %v", panicked)
+	}
+	return nil
+}
+
+// runDirect executes a loop with no indirect modifications: calibrate the
+// chunk size by executing the first iterations for real (the way HPX's
+// auto_chunk_size folds its measurement into the run), then spread static
+// chunks of the remainder across the pool.
+func (ex *Executor) runDirect(n int, runRange func(lo, hi int)) error {
+	pool := ex.pool()
+	workers := pool.Size()
+	cursor := 0
+	measure := func(k int) time.Duration {
+		if cursor+k > n {
+			k = n - cursor
+		}
+		if k <= 0 {
+			return time.Nanosecond
+		}
+		start := time.Now()
+		runRange(cursor, cursor+k)
+		cursor += k
+		return time.Since(start)
+	}
+	size := ex.cfg.Chunker.ChunkSize(n, workers, measure)
+	if cursor >= n {
+		return nil
+	}
+	policy := hpx.ParPolicy().WithPool(pool).WithChunker(hpx.StaticChunker(size))
+	return hpx.ForEachChunk(policy, cursor, n, runRange).Wait()
+}
+
+// runColored executes an indirect loop color by color from its cached
+// plan: blocks within a color are mutually conflict-free and run in
+// parallel; a barrier separates colors, exactly like OP2's OpenMP plan
+// execution in Fig. 4.
+func (ex *Executor) runColored(l *Loop, conflicts []conflictSource, runRange func(lo, hi int)) error {
+	plan, err := ex.plans.get(l.Set, ex.cfg.BlockSize, conflicts)
+	if err != nil {
+		return err
+	}
+	pool := ex.pool()
+	workers := pool.Size()
+	for c := 0; c < plan.NColors(); c++ {
+		blocks := plan.BlocksOfColor(c)
+		nb := len(blocks)
+		// Calibrate in whole blocks, executed for real.
+		cursor := 0
+		measure := func(k int) time.Duration {
+			if cursor+k > nb {
+				k = nb - cursor
+			}
+			if k <= 0 {
+				return time.Nanosecond
+			}
+			start := time.Now()
+			for i := cursor; i < cursor+k; i++ {
+				lo, hi := plan.Block(blocks[i])
+				runRange(lo, hi)
+			}
+			cursor += k
+			return time.Since(start)
+		}
+		size := ex.cfg.Chunker.ChunkSize(nb, workers, measure)
+		if cursor >= nb {
+			continue
+		}
+		policy := hpx.ParPolicy().WithPool(pool).WithChunker(hpx.StaticChunker(size))
+		fut := hpx.ForEachChunk(policy, cursor, nb, func(blo, bhi int) {
+			for i := blo; i < bhi; i++ {
+				lo, hi := plan.Block(blocks[i])
+				runRange(lo, hi)
+			}
+		})
+		if err := fut.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

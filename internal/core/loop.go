@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel is a user kernel in the generic OP2 style: views[k] is the slice
+// view of argument k for the current set element (dim values for dat args,
+// the reduction scratch for global args). It is called once per element,
+// like save_soln(...) inside the generated loop of Fig. 4.
+type Kernel func(views [][]float64)
+
+// RangeBody is a specialized loop body covering the element range
+// [lo, hi) — the shape the OP2 translator generates per kernel so the
+// inner loop indexes raw slices directly instead of building per-element
+// views. scratch is the loop's reduction buffer (laid out by scratchLayout;
+// empty when the loop has no global reductions). A RangeBody must touch
+// data exactly as the loop's Args declare.
+type RangeBody func(lo, hi int, scratch []float64)
+
+// Loop describes one op_par_loop: a name, the iteration set, the argument
+// list with access descriptors, and the kernel. Exactly one of Kernel or
+// Body must be set; Body takes precedence.
+type Loop struct {
+	Name   string
+	Set    *Set
+	Args   []Arg
+	Kernel Kernel
+	Body   RangeBody
+}
+
+// Validate checks the loop's arguments against its iteration set.
+func (l *Loop) Validate() error {
+	if l.Set == nil {
+		return fmt.Errorf("op2: loop %q has no iteration set", l.Name)
+	}
+	if l.Kernel == nil && l.Body == nil {
+		return fmt.Errorf("op2: loop %q has neither Kernel nor Body", l.Name)
+	}
+	for i, a := range l.Args {
+		if err := a.validate(l.Set, i); err != nil {
+			return fmt.Errorf("op2: loop %q: %w", l.Name, err)
+		}
+	}
+	return nil
+}
+
+// scratchLayout computes where each reducing global argument lives inside
+// the per-chunk scratch buffer.
+type scratchLayout struct {
+	size  int
+	offs  []int // per arg; -1 for non-reducing args
+	initv []float64
+}
+
+func layoutScratch(args []Arg) scratchLayout {
+	sl := scratchLayout{offs: make([]int, len(args))}
+	for i, a := range args {
+		sl.offs[i] = -1
+		if !a.IsGlobal() || a.acc == Read {
+			continue
+		}
+		sl.offs[i] = sl.size
+		dim := a.gbl.Dim()
+		for k := 0; k < dim; k++ {
+			switch a.acc {
+			case Inc:
+				sl.initv = append(sl.initv, 0)
+			case Min:
+				sl.initv = append(sl.initv, math.Inf(1))
+			case Max:
+				sl.initv = append(sl.initv, math.Inf(-1))
+			}
+		}
+		sl.size += dim
+	}
+	return sl
+}
+
+// newScratch allocates and initializes one scratch buffer.
+func (sl *scratchLayout) newScratch() []float64 {
+	if sl.size == 0 {
+		return nil
+	}
+	s := make([]float64, sl.size)
+	copy(s, sl.initv)
+	return s
+}
+
+// combine folds one scratch buffer into an accumulator of the same layout.
+func (sl *scratchLayout) combine(acc, s []float64, args []Arg) {
+	for i, a := range args {
+		off := sl.offs[i]
+		if off < 0 {
+			continue
+		}
+		dim := a.gbl.Dim()
+		switch a.acc {
+		case Inc:
+			for k := 0; k < dim; k++ {
+				acc[off+k] += s[off+k]
+			}
+		case Min:
+			for k := 0; k < dim; k++ {
+				if s[off+k] < acc[off+k] {
+					acc[off+k] = s[off+k]
+				}
+			}
+		case Max:
+			for k := 0; k < dim; k++ {
+				if s[off+k] > acc[off+k] {
+					acc[off+k] = s[off+k]
+				}
+			}
+		}
+	}
+}
+
+// apply folds the final accumulator into the global variables themselves.
+func (sl *scratchLayout) apply(acc []float64, args []Arg) {
+	for i, a := range args {
+		off := sl.offs[i]
+		if off < 0 {
+			continue
+		}
+		g := a.gbl
+		dim := g.Dim()
+		switch a.acc {
+		case Inc:
+			for k := 0; k < dim; k++ {
+				g.data[k] += acc[off+k]
+			}
+		case Min:
+			for k := 0; k < dim; k++ {
+				if acc[off+k] < g.data[k] {
+					g.data[k] = acc[off+k]
+				}
+			}
+		case Max:
+			for k := 0; k < dim; k++ {
+				if acc[off+k] > g.data[k] {
+					g.data[k] = acc[off+k]
+				}
+			}
+		}
+	}
+}
+
+// bodyFunc returns the loop's RangeBody, wrapping the generic Kernel in a
+// per-element view builder when no specialized body is present.
+func (l *Loop) bodyFunc(sl *scratchLayout) RangeBody {
+	if l.Body != nil {
+		return l.Body
+	}
+	args := l.Args
+	kernel := l.Kernel
+	return func(lo, hi int, scratch []float64) {
+		views := make([][]float64, len(args))
+		// Invariant views (globals) are set once per range.
+		for i, a := range args {
+			if !a.IsGlobal() {
+				continue
+			}
+			if off := sl.offs[i]; off >= 0 {
+				views[i] = scratch[off : off+a.gbl.Dim()]
+			} else {
+				views[i] = a.gbl.data
+			}
+		}
+		for e := lo; e < hi; e++ {
+			for i, a := range args {
+				if a.IsGlobal() {
+					continue
+				}
+				d := a.dat
+				var j int
+				if a.m == nil {
+					j = e
+				} else {
+					j = int(a.m.data[e*a.m.dim+a.idx])
+				}
+				views[i] = d.data[j*d.dim : (j+1)*d.dim : (j+1)*d.dim]
+			}
+			kernel(views)
+		}
+	}
+}
+
+// conflictMaps returns one conflictSource per distinct map used by an
+// indirect modifying access: these are the accesses that make unsynchron-
+// ized parallel execution racy and therefore require plan coloring.
+func conflictMaps(args []Arg) []conflictSource {
+	var out []conflictSource
+	seen := map[*Map]bool{}
+	for _, a := range args {
+		if a.IsGlobal() || a.m == nil || a.acc == Read {
+			continue
+		}
+		if !seen[a.m] {
+			seen[a.m] = true
+			out = append(out, conflictSource{m: a.m})
+		}
+	}
+	return out
+}

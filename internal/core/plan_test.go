@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomMesh builds a random edges→nodes map for plan tests.
+func randomMesh(rng *rand.Rand, nedges, nnodes, dim int) (*Set, *Set, *Map) {
+	edges := MustDeclSet(nedges, "edges")
+	nodes := MustDeclSet(nnodes, "nodes")
+	vals := make([]int32, nedges*dim)
+	for i := range vals {
+		vals[i] = int32(rng.Intn(nnodes))
+	}
+	return edges, nodes, MustDeclMap(edges, nodes, dim, vals, "pedge")
+}
+
+func checkPlanInvariants(t *testing.T, p *Plan, set *Set, maps []*Map) {
+	t.Helper()
+	// Blocks partition the set exactly.
+	covered := make([]int, set.Size())
+	for b := 0; b < p.NBlocks(); b++ {
+		lo, hi := p.Block(b)
+		if lo < 0 || hi > set.Size() || lo >= hi {
+			t.Fatalf("block %d has invalid range [%d, %d)", b, lo, hi)
+		}
+		for e := lo; e < hi; e++ {
+			covered[e]++
+		}
+	}
+	for e, c := range covered {
+		if c != 1 {
+			t.Fatalf("element %d covered by %d blocks", e, c)
+		}
+	}
+	// byColor is consistent with color[].
+	total := 0
+	for c := 0; c < p.NColors(); c++ {
+		for _, b := range p.BlocksOfColor(c) {
+			if p.Color(b) != c {
+				t.Fatalf("block %d listed under color %d but has color %d", b, c, p.Color(b))
+			}
+			total++
+		}
+	}
+	if total != p.NBlocks() {
+		t.Fatalf("colors cover %d blocks, want %d", total, p.NBlocks())
+	}
+	// The defining safety property: no two same-colored blocks touch the
+	// same indirect target element.
+	for c := 0; c < p.NColors(); c++ {
+		owner := map[int32]int{}
+		for _, b := range p.BlocksOfColor(c) {
+			lo, hi := p.Block(b)
+			for _, m := range maps {
+				for e := lo; e < hi; e++ {
+					for k := 0; k < m.Dim(); k++ {
+						tgt := m.Data()[e*m.Dim()+k]
+						if prev, ok := owner[tgt]; ok && prev != b {
+							t.Fatalf("color %d: blocks %d and %d both touch target %d", c, prev, b, tgt)
+						}
+						owner[tgt] = b
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPlanDirectLoopSingleColor(t *testing.T) {
+	set := MustDeclSet(1000, "cells")
+	p, err := buildPlan(set, 128, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NColors() != 1 {
+		t.Fatalf("direct plan has %d colors, want 1", p.NColors())
+	}
+	if p.NBlocks() != 8 {
+		t.Fatalf("NBlocks = %d, want 8", p.NBlocks())
+	}
+	checkPlanInvariants(t, p, set, nil)
+}
+
+func TestPlanColoringValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	edges, _, pedge := randomMesh(rng, 5000, 800, 2)
+	p, err := buildPlan(edges, 64, []conflictSource{{m: pedge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NColors() < 2 {
+		t.Fatalf("random dense mesh colored with %d colors; conflicts certainly exist", p.NColors())
+	}
+	checkPlanInvariants(t, p, edges, []*Map{pedge})
+}
+
+func TestPlanMultipleConflictMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	edges := MustDeclSet(2000, "edges")
+	nodes := MustDeclSet(300, "nodes")
+	cells := MustDeclSet(400, "cells")
+	mkMap := func(to *Set, dim int, name string) *Map {
+		vals := make([]int32, edges.Size()*dim)
+		for i := range vals {
+			vals[i] = int32(rng.Intn(to.Size()))
+		}
+		return MustDeclMap(edges, to, dim, vals, name)
+	}
+	pnode := mkMap(nodes, 2, "pnode")
+	pcell := mkMap(cells, 2, "pcell")
+	p, err := buildPlan(edges, 32, []conflictSource{{m: pnode}, {m: pcell}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlanInvariants(t, p, edges, []*Map{pnode, pcell})
+}
+
+func TestPlanBlockSizeOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	edges, _, pedge := randomMesh(rng, 100, 1000, 2)
+	p, err := buildPlan(edges, 1, []conflictSource{{m: pedge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NBlocks() != 100 {
+		t.Fatalf("NBlocks = %d", p.NBlocks())
+	}
+	checkPlanInvariants(t, p, edges, []*Map{pedge})
+}
+
+func TestPlanEmptySet(t *testing.T) {
+	set := MustDeclSet(0, "empty")
+	p, err := buildPlan(set, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NBlocks() != 0 {
+		t.Fatalf("NBlocks = %d for empty set", p.NBlocks())
+	}
+}
+
+func TestPlanInvalidBlockSize(t *testing.T) {
+	set := MustDeclSet(10, "s")
+	if _, err := buildPlan(set, 0, nil); err == nil {
+		t.Fatal("block size 0 accepted")
+	}
+}
+
+func TestPlanFullyConflictingNeedsManyColors(t *testing.T) {
+	// Every edge touches node 0, so every single-edge block conflicts
+	// with every other: the plan must serialize with one color per
+	// block, crossing the 64-color word boundary without failing.
+	nedges := 100
+	edges := MustDeclSet(nedges, "edges")
+	nodes := MustDeclSet(2, "nodes")
+	vals := make([]int32, nedges*2) // all zero: total conflict
+	pedge := MustDeclMap(edges, nodes, 2, vals, "hot")
+	p, err := buildPlan(edges, 1, []conflictSource{{m: pedge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NColors() != nedges {
+		t.Fatalf("NColors = %d, want %d (full serialization)", p.NColors(), nedges)
+	}
+	checkPlanInvariants(t, p, edges, []*Map{pedge})
+}
+
+func TestColorMask(t *testing.T) {
+	var m colorMask
+	for _, c := range []int{0, 5, 63, 64, 129, 200} {
+		m.set(c)
+	}
+	var o colorMask
+	o.or(m)
+	if got := o.firstClear(); got != 1 {
+		t.Fatalf("firstClear = %d, want 1", got)
+	}
+	var full colorMask
+	for c := 0; c <= 70; c++ {
+		full.set(c)
+	}
+	if got := full.firstClear(); got != 71 {
+		t.Fatalf("firstClear = %d, want 71", got)
+	}
+	full.clear()
+	if got := full.firstClear(); got != 0 {
+		t.Fatalf("after clear firstClear = %d, want 0", got)
+	}
+}
+
+func TestPlanCacheReuses(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	edges, _, pedge := randomMesh(rng, 1000, 200, 2)
+	var pc planCache
+	p1, err := pc.get(edges, 64, []conflictSource{{m: pedge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pc.get(edges, 64, []conflictSource{{m: pedge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("identical loop shape did not reuse the cached plan")
+	}
+	p3, err := pc.get(edges, 32, []conflictSource{{m: pedge}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("different block size reused the same plan")
+	}
+}
+
+func TestPlanPropertyColoringAlwaysValid(t *testing.T) {
+	f := func(seed int64, blockSizeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nedges := rng.Intn(2000) + 1
+		nnodes := rng.Intn(500) + 50
+		dim := rng.Intn(3) + 1
+		blockSize := int(blockSizeRaw)%100 + 4
+		edges, _, pedge := randomMesh(rng, nedges, nnodes, dim)
+		p, err := buildPlan(edges, blockSize, []conflictSource{{m: pedge}})
+		if err != nil {
+			return false
+		}
+		// Re-verify the safety property without t.Fatalf.
+		for c := 0; c < p.NColors(); c++ {
+			owner := map[int32]int{}
+			for _, b := range p.BlocksOfColor(c) {
+				lo, hi := p.Block(b)
+				for e := lo; e < hi; e++ {
+					for k := 0; k < dim; k++ {
+						tgt := pedge.Data()[e*dim+k]
+						if prev, ok := owner[tgt]; ok && prev != b {
+							return false
+						}
+						owner[tgt] = b
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

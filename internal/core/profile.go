@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Profiler collects per-loop execution statistics, the moral equivalent of
+// the intrinsic performance counters HPX exposes (Grubel et al., cited as
+// [21] by the paper): invocation counts, total/min/max wall time per loop,
+// and plan shape for indirect loops. Attach one to an Executor with
+// Executor.SetProfiler; it is safe for concurrent use, including from
+// dataflow loops running on multiple goroutines.
+type Profiler struct {
+	mu    sync.Mutex
+	loops map[string]*LoopStats
+}
+
+// LoopStats aggregates the executions of one named loop.
+type LoopStats struct {
+	Name    string
+	Count   int
+	Total   time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	Set     string
+	NColors int // 0 for direct loops
+	NBlocks int
+}
+
+// NewProfiler creates an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{loops: make(map[string]*LoopStats)}
+}
+
+// record adds one execution sample.
+func (p *Profiler) record(l *Loop, d time.Duration, plan *Plan) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.loops[l.Name]
+	if !ok {
+		st = &LoopStats{Name: l.Name, Min: d, Set: l.Set.Name()}
+		p.loops[l.Name] = st
+	}
+	st.Count++
+	st.Total += d
+	if d < st.Min {
+		st.Min = d
+	}
+	if d > st.Max {
+		st.Max = d
+	}
+	if plan != nil {
+		st.NColors = plan.NColors()
+		st.NBlocks = plan.NBlocks()
+	}
+}
+
+// Stats returns a copy of the collected statistics, sorted by descending
+// total time.
+func (p *Profiler) Stats() []LoopStats {
+	p.mu.Lock()
+	out := make([]LoopStats, 0, len(p.loops))
+	for _, st := range p.loops {
+		out = append(out, *st)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// Reset clears all statistics.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	p.loops = make(map[string]*LoopStats)
+	p.mu.Unlock()
+}
+
+// Mean returns the mean duration of one loop's executions.
+func (s *LoopStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Render writes the profile as an aligned text table.
+func (p *Profiler) Render(w io.Writer) {
+	stats := p.Stats()
+	fmt.Fprintf(w, "%-12s %-8s %7s %12s %12s %12s %12s %8s %8s\n",
+		"loop", "set", "count", "total", "mean", "min", "max", "colors", "blocks")
+	fmt.Fprintln(w, strings.Repeat("-", 100))
+	for _, s := range stats {
+		fmt.Fprintf(w, "%-12s %-8s %7d %12v %12v %12v %12v %8d %8d\n",
+			s.Name, s.Set, s.Count,
+			s.Total.Round(time.Microsecond), s.Mean().Round(time.Microsecond),
+			s.Min.Round(time.Microsecond), s.Max.Round(time.Microsecond),
+			s.NColors, s.NBlocks)
+	}
+}
+
+// SetProfiler attaches a profiler to the executor; pass nil to disable.
+// Every subsequent loop execution is timed (body only, excluding dataflow
+// dependency wait, so the numbers measure work, not latency).
+func (ex *Executor) SetProfiler(p *Profiler) { ex.profiler = p }
+
+// Profiler returns the attached profiler, if any.
+func (ex *Executor) Profiler() *Profiler { return ex.profiler }

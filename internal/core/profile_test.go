@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfilerRecordsLoops(t *testing.T) {
+	const n = 2000
+	l, _, _ := saxpyLoop(n)
+	ex := testExecutor(t, ForkJoin, 2)
+	prof := NewProfiler()
+	ex.SetProfiler(prof)
+	if ex.Profiler() != prof {
+		t.Fatal("Profiler accessor broken")
+	}
+	const runs = 3
+	for i := 0; i < runs; i++ {
+		if err := ex.Run(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := prof.Stats()
+	if len(stats) != 1 {
+		t.Fatalf("stats for %d loops, want 1", len(stats))
+	}
+	s := stats[0]
+	if s.Name != "saxpy" || s.Count != runs {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Total <= 0 || s.Min <= 0 || s.Max < s.Min || s.Mean() <= 0 {
+		t.Fatalf("timing stats inconsistent: %+v", s)
+	}
+	if s.NColors != 0 {
+		t.Fatalf("direct loop has %d colors recorded", s.NColors)
+	}
+}
+
+func TestProfilerRecordsPlanShape(t *testing.T) {
+	l, _ := jacobiSetup(rand.New(rand.NewSource(21)), 5000, 800)
+	ex := testExecutor(t, ForkJoin, 2)
+	prof := NewProfiler()
+	ex.SetProfiler(prof)
+	if err := ex.Run(l); err != nil {
+		t.Fatal(err)
+	}
+	stats := prof.Stats()
+	if len(stats) != 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+	if stats[0].NColors < 2 || stats[0].NBlocks < 2 {
+		t.Fatalf("indirect loop plan shape missing: %+v", stats[0])
+	}
+}
+
+func TestProfilerSortsByTotal(t *testing.T) {
+	p := NewProfiler()
+	cells := MustDeclSet(1, "cells")
+	cheap := &Loop{Name: "cheap", Set: cells}
+	costly := &Loop{Name: "costly", Set: cells}
+	p.record(cheap, time.Millisecond, nil)
+	p.record(costly, time.Second, nil)
+	stats := p.Stats()
+	if stats[0].Name != "costly" {
+		t.Fatalf("order = %v, %v", stats[0].Name, stats[1].Name)
+	}
+}
+
+func TestProfilerReset(t *testing.T) {
+	p := NewProfiler()
+	cells := MustDeclSet(1, "cells")
+	p.record(&Loop{Name: "x", Set: cells}, time.Millisecond, nil)
+	p.Reset()
+	if len(p.Stats()) != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+}
+
+func TestProfilerRender(t *testing.T) {
+	p := NewProfiler()
+	cells := MustDeclSet(1, "cells")
+	p.record(&Loop{Name: "res_calc", Set: cells}, 2*time.Millisecond, nil)
+	var b strings.Builder
+	p.Render(&b)
+	out := b.String()
+	for _, want := range []string{"loop", "res_calc", "count", "total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfilerDataflowConcurrentRecording(t *testing.T) {
+	// Many async loops recording concurrently must not race (run under
+	// -race in CI).
+	const n = 256
+	cells := MustDeclSet(n, "cells")
+	d := MustDeclDat(cells, 1, nil, "d")
+	ex := testExecutor(t, Dataflow, 4)
+	prof := NewProfiler()
+	ex.SetProfiler(prof)
+	l := &Loop{
+		Name: "touch", Set: cells,
+		Args: []Arg{ArgDat(d, IDIdx, nil, RW)},
+		Body: func(lo, hi int, _ []float64) {},
+	}
+	const iters = 50
+	for i := 0; i < iters; i++ {
+		ex.RunAsync(l)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.Stats()[0].Count; got != iters {
+		t.Fatalf("recorded %d executions, want %d", got, iters)
+	}
+}

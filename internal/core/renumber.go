@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Mesh renumbering, OP2's op_renumber optimization: reorder the elements
+// of a set with reverse Cuthill-McKee (RCM) over the adjacency induced by
+// the mesh maps, so that elements referenced together are close in memory.
+// Better locality lowers the cache-miss rate of indirect loops and
+// compounds with the §V prefetcher (which reads *consecutive* lines
+// ahead).
+
+// RCMPermutation computes a reverse Cuthill-McKee ordering of the elements
+// of set, where two elements are adjacent when some source element of any
+// of the given maps (all with To() == set) references both. It returns
+// perm with perm[old] = new. Isolated elements keep stable relative order
+// at the end of the numbering.
+func RCMPermutation(set *Set, maps []*Map) ([]int32, error) {
+	n := set.Size()
+	for _, m := range maps {
+		if m.To() != set {
+			return nil, fmt.Errorf("op2: RCM map %q targets set %q, want %q", m.Name(), m.To().Name(), set.Name())
+		}
+	}
+	// Build the adjacency lists: for every source element, all pairs of
+	// its targets are adjacent.
+	adj := make([][]int32, n)
+	addEdge := func(a, b int32) {
+		if a == b {
+			return
+		}
+		adj[a] = append(adj[a], b)
+	}
+	for _, m := range maps {
+		dim := m.Dim()
+		data := m.Data()
+		for e := 0; e < m.From().Size(); e++ {
+			row := data[e*dim : (e+1)*dim]
+			for i := 0; i < dim; i++ {
+				for j := i + 1; j < dim; j++ {
+					addEdge(row[i], row[j])
+					addEdge(row[j], row[i])
+				}
+			}
+		}
+	}
+	// Dedupe neighbour lists and record degrees.
+	for v := range adj {
+		ns := adj[v]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		out := ns[:0]
+		for i, x := range ns {
+			if i == 0 || x != ns[i-1] {
+				out = append(out, x)
+			}
+		}
+		adj[v] = out
+	}
+	degree := func(v int32) int { return len(adj[v]) }
+
+	visited := make([]bool, n)
+	order := make([]int32, 0, n)
+	// Process every connected component: start from a minimum-degree
+	// unvisited vertex (the usual pseudo-peripheral heuristic).
+	for len(order) < n {
+		start := int32(-1)
+		bestDeg := int(^uint(0) >> 1)
+		for v := 0; v < n; v++ {
+			if !visited[v] && degree(int32(v)) < bestDeg {
+				start = int32(v)
+				bestDeg = degree(start)
+			}
+		}
+		if start < 0 {
+			break
+		}
+		// BFS with neighbours visited in increasing-degree order
+		// (Cuthill-McKee).
+		queue := []int32{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			ns := append([]int32(nil), adj[v]...)
+			sort.Slice(ns, func(i, j int) bool {
+				di, dj := degree(ns[i]), degree(ns[j])
+				if di != dj {
+					return di < dj
+				}
+				return ns[i] < ns[j]
+			})
+			for _, u := range ns {
+				if !visited[u] {
+					visited[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	// Reverse (the R of RCM) and convert visit order to permutation.
+	perm := make([]int32, n)
+	for i, v := range order {
+		perm[v] = int32(n - 1 - i)
+	}
+	return perm, nil
+}
+
+// Bandwidth returns the maximum index distance |m[e][i] - m[e][j]| over
+// all source elements of the map — the locality metric RCM minimizes.
+func Bandwidth(m *Map) int {
+	maxBW := 0
+	dim := m.Dim()
+	data := m.Data()
+	for e := 0; e < m.From().Size(); e++ {
+		row := data[e*dim : (e+1)*dim]
+		for i := 0; i < dim; i++ {
+			for j := i + 1; j < dim; j++ {
+				bw := int(row[i]) - int(row[j])
+				if bw < 0 {
+					bw = -bw
+				}
+				if bw > maxBW {
+					maxBW = bw
+				}
+			}
+		}
+	}
+	return maxBW
+}
+
+// ApplyRenumber renumbers the elements of set by perm (perm[old] = new):
+// every dat on the set is permuted in place, and every map targeting the
+// set has its indices rewritten. Maps *from* the set and loops over the
+// set are unaffected (iteration order is an independent choice). The dats
+// and maps passed must cover all users of the set, which the caller — who
+// declared them — knows.
+func ApplyRenumber(set *Set, perm []int32, dats []*Dat, maps []*Map) error {
+	n := set.Size()
+	if len(perm) != n {
+		return fmt.Errorf("op2: permutation has %d entries, set %q has %d", len(perm), set.Name(), n)
+	}
+	seen := make([]bool, n)
+	for old, nw := range perm {
+		if nw < 0 || int(nw) >= n || seen[nw] {
+			return fmt.Errorf("op2: invalid permutation at %d -> %d", old, nw)
+		}
+		seen[nw] = true
+	}
+	for _, d := range dats {
+		if d.Set() != set {
+			return fmt.Errorf("op2: dat %q lives on %q, not %q", d.Name(), d.Set().Name(), set.Name())
+		}
+		dim := d.Dim()
+		old := append([]float64(nil), d.Data()...)
+		dst := d.Data()
+		for e := 0; e < n; e++ {
+			copy(dst[int(perm[e])*dim:(int(perm[e])+1)*dim], old[e*dim:(e+1)*dim])
+		}
+	}
+	for _, m := range maps {
+		if m.To() != set {
+			return fmt.Errorf("op2: map %q targets %q, not %q", m.Name(), m.To().Name(), set.Name())
+		}
+		data := m.data
+		for i, v := range data {
+			data[i] = perm[v]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// shuffledGrid builds an n×n grid graph (edges→nodes map) with node ids
+// deliberately shuffled so RCM has locality to recover.
+func shuffledGrid(rng *rand.Rand, n int) (*Set, *Set, *Map) {
+	nn := n * n
+	shuf := rng.Perm(nn)
+	id := func(i, j int) int32 { return int32(shuf[i*n+j]) }
+	var edgeList []int32
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+1 < n {
+				edgeList = append(edgeList, id(i, j), id(i+1, j))
+			}
+			if j+1 < n {
+				edgeList = append(edgeList, id(i, j), id(i, j+1))
+			}
+		}
+	}
+	nodes := MustDeclSet(nn, "nodes")
+	edges := MustDeclSet(len(edgeList)/2, "edges")
+	pedge := MustDeclMap(edges, nodes, 2, edgeList, "pedge")
+	return nodes, edges, pedge
+}
+
+func TestRCMPermutationIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nodes, _, pedge := shuffledGrid(rng, 20)
+	perm, err := RCMPermutation(nodes, []*Map{pedge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perm) != nodes.Size() {
+		t.Fatalf("perm length %d", len(perm))
+	}
+	seen := make([]bool, len(perm))
+	for _, v := range perm {
+		if v < 0 || int(v) >= len(perm) || seen[v] {
+			t.Fatalf("not a permutation: %v", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRCMReducesBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nodes, _, pedge := shuffledGrid(rng, 32)
+	before := Bandwidth(pedge)
+	perm, err := RCMPermutation(nodes, []*Map{pedge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyRenumber(nodes, perm, nil, []*Map{pedge}); err != nil {
+		t.Fatal(err)
+	}
+	after := Bandwidth(pedge)
+	// A shuffled 32×32 grid has bandwidth ~1000; RCM must get it near
+	// the optimal ~32. Require at least a 4x improvement to be robust.
+	if after*4 > before {
+		t.Fatalf("RCM bandwidth %d not much better than shuffled %d", after, before)
+	}
+}
+
+func TestRCMRejectsWrongMaps(t *testing.T) {
+	a := MustDeclSet(4, "a")
+	b := MustDeclSet(4, "b")
+	m := MustDeclMap(a, b, 1, []int32{0, 1, 2, 3}, "m")
+	if _, err := RCMPermutation(a, []*Map{m}); err == nil {
+		t.Fatal("map targeting a different set accepted")
+	}
+}
+
+func TestApplyRenumberValidation(t *testing.T) {
+	s := MustDeclSet(3, "s")
+	other := MustDeclSet(3, "other")
+	d := MustDeclDat(s, 1, []float64{1, 2, 3}, "d")
+	dOther := MustDeclDat(other, 1, nil, "do")
+	if err := ApplyRenumber(s, []int32{0, 1}, nil, nil); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if err := ApplyRenumber(s, []int32{0, 0, 1}, nil, nil); err == nil {
+		t.Fatal("duplicate permutation accepted")
+	}
+	if err := ApplyRenumber(s, []int32{0, 1, 5}, nil, nil); err == nil {
+		t.Fatal("out-of-range permutation accepted")
+	}
+	if err := ApplyRenumber(s, []int32{0, 1, 2}, []*Dat{dOther}, nil); err == nil {
+		t.Fatal("dat on wrong set accepted")
+	}
+	if err := ApplyRenumber(s, []int32{2, 0, 1}, []*Dat{d}, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, 1} // element 0 -> slot 2, 1 -> 0, 2 -> 1
+	for i, v := range d.Data() {
+		if v != want[i] {
+			t.Fatalf("permuted dat = %v, want %v", d.Data(), want)
+		}
+	}
+}
+
+func TestRenumberPreservesLoopSemantics(t *testing.T) {
+	// An indirect INC loop must produce identical per-node results (up
+	// to the relabeling) before and after renumbering.
+	const nedges, nnodes = 5000, 900
+	l1, u1 := jacobiSetup(rand.New(rand.NewSource(31)), nedges, nnodes)
+	l2, u2 := jacobiSetup(rand.New(rand.NewSource(31)), nedges, nnodes)
+
+	if err := testExecutor(t, Serial, 1).Run(l1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Renumber the node set of the second instance, then run the same
+	// loop.
+	nodes := u2.Set()
+	var pedge *Map
+	for _, a := range l2.Args {
+		if a.Map() != nil {
+			pedge = a.Map()
+			break
+		}
+	}
+	perm, err := RCMPermutation(nodes, []*Map{pedge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyRenumber(nodes, perm, []*Dat{u2}, []*Map{pedge}); err != nil {
+		t.Fatal(err)
+	}
+	if err := testExecutor(t, ForkJoin, 4).Run(l2); err != nil {
+		t.Fatal(err)
+	}
+	for old := 0; old < nnodes; old++ {
+		a := u1.Data()[old]
+		b := u2.Data()[perm[old]]
+		if d := a - b; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("node %d: %g vs renumbered %g", old, a, b)
+		}
+	}
+}
+
+func TestRCMPropertyAlwaysValidPermutation(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sizeRaw)%20 + 2
+		nodes, _, pedge := shuffledGrid(rng, n)
+		perm, err := RCMPermutation(nodes, []*Map{pedge})
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, len(perm))
+		for _, v := range perm {
+			if v < 0 || int(v) >= len(perm) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeclSet(t *testing.T) {
+	s, err := DeclSet(9, "nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "nodes" || s.Size() != 9 {
+		t.Fatalf("set = %v", s)
+	}
+	if _, err := DeclSet(-1, "bad"); err == nil {
+		t.Fatal("negative size accepted")
+	}
+	if _, err := DeclSet(5, ""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if !strings.Contains(s.String(), "nodes") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestDeclMapPaperExample(t *testing.T) {
+	// The mesh of §II-A: 9 nodes with each edge mapped to two nodes. The
+	// paper's edge_map literal holds 28 indices (14 pairs, two of them
+	// repeated), so we declare the edge set the array actually encodes.
+	nodes := MustDeclSet(9, "nodes")
+	edgeMap := []int32{
+		0, 1, 1, 2, 2, 5, 5, 4, 4, 3, 3, 6, 6, 7,
+		7, 8, 0, 3, 1, 4, 2, 5, 3, 6, 4, 7, 5, 8,
+	}
+	edges := MustDeclSet(len(edgeMap)/2, "edges")
+	pedge, err := DeclMap(edges, nodes, 2, edgeMap, "pedge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pedge.Dim() != 2 || pedge.From() != edges || pedge.To() != nodes {
+		t.Fatalf("map = %v", pedge)
+	}
+	if pedge.At(0, 0) != 0 || pedge.At(0, 1) != 1 {
+		t.Fatalf("edge 0 maps to (%d, %d)", pedge.At(0, 0), pedge.At(0, 1))
+	}
+	if pedge.At(13, 1) != 8 {
+		t.Fatalf("last edge second node = %d", pedge.At(13, 1))
+	}
+}
+
+func TestDeclMapValidation(t *testing.T) {
+	a := MustDeclSet(4, "a")
+	b := MustDeclSet(3, "b")
+	if _, err := DeclMap(nil, b, 1, nil, "m"); err == nil {
+		t.Fatal("nil from accepted")
+	}
+	if _, err := DeclMap(a, b, 0, nil, "m"); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+	if _, err := DeclMap(a, b, 1, []int32{0, 1, 2}, "m"); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	if _, err := DeclMap(a, b, 1, []int32{0, 1, 2, 3}, "m"); err == nil {
+		t.Fatal("out-of-range index 3 accepted for target of size 3")
+	}
+	if _, err := DeclMap(a, b, 1, []int32{0, 1, 2, -1}, "m"); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := DeclMap(a, b, 1, []int32{0, 1, 2, 0}, "m"); err != nil {
+		t.Fatalf("valid map rejected: %v", err)
+	}
+}
+
+func TestDeclDat(t *testing.T) {
+	cells := MustDeclSet(3, "cells")
+	vals := []float64{1, 2, 3, 4, 5, 6}
+	d, err := DeclDat(cells, 2, vals, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim() != 2 || d.Set() != cells {
+		t.Fatalf("dat = %v", d)
+	}
+	e1 := d.Elem(1)
+	if e1[0] != 3 || e1[1] != 4 {
+		t.Fatalf("Elem(1) = %v", e1)
+	}
+	// Initial values must be copied, not aliased.
+	vals[0] = 99
+	if d.Data()[0] != 1 {
+		t.Fatal("DeclDat aliased the caller's slice")
+	}
+	// Zero-init without values.
+	z, err := DeclDat(cells, 4, nil, "zeros")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range z.Data() {
+		if v != 0 {
+			t.Fatal("nil values did not zero-initialize")
+		}
+	}
+}
+
+func TestDeclDatValidation(t *testing.T) {
+	cells := MustDeclSet(3, "cells")
+	if _, err := DeclDat(nil, 1, nil, "d"); err == nil {
+		t.Fatal("nil set accepted")
+	}
+	if _, err := DeclDat(cells, 0, nil, "d"); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+	if _, err := DeclDat(cells, 2, []float64{1}, "d"); err == nil {
+		t.Fatal("wrong value count accepted")
+	}
+}
+
+func TestDeclGlobal(t *testing.T) {
+	g, err := DeclGlobal(2, []float64{1.5, 2.5}, "rms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dim() != 2 || g.Data()[1] != 2.5 {
+		t.Fatalf("global = %v", g.Data())
+	}
+	if err := g.Set([]float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if g.Data()[0] != 3 {
+		t.Fatal("Set did not update values")
+	}
+	if err := g.Set([]float64{1}); err == nil {
+		t.Fatal("wrong-length Set accepted")
+	}
+	if _, err := DeclGlobal(0, nil, "bad"); err == nil {
+		t.Fatal("dim 0 accepted")
+	}
+	if _, err := DeclGlobal(2, []float64{1}, "bad"); err == nil {
+		t.Fatal("wrong value count accepted")
+	}
+}
+
+func TestArgValidation(t *testing.T) {
+	cells := MustDeclSet(4, "cells")
+	nodes := MustDeclSet(6, "nodes")
+	other := MustDeclSet(5, "other")
+	pcell := MustDeclMap(cells, nodes, 2, []int32{0, 1, 1, 2, 2, 3, 3, 4}, "pcell")
+	q := MustDeclDat(cells, 1, nil, "q")
+	x := MustDeclDat(nodes, 2, nil, "x")
+	wrongSet := MustDeclDat(other, 1, nil, "w")
+	g := MustDeclGlobal(1, nil, "g")
+
+	cases := []struct {
+		name string
+		loop Loop
+		ok   bool
+	}{
+		{"direct ok", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(q, IDIdx, nil, Read)}}, true},
+		{"indirect ok", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(x, 0, pcell, Read)}}, true},
+		{"gbl ok", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgGbl(g, Inc)}}, true},
+		{"direct wrong set", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(wrongSet, IDIdx, nil, Read)}}, false},
+		{"map wrong from", Loop{Name: "l", Set: nodes, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(x, 0, pcell, Read)}}, false},
+		{"map wrong to", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(q, 0, pcell, Read)}}, false},
+		{"idx out of range", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(x, 2, pcell, Read)}}, false},
+		{"min on dat", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(q, IDIdx, nil, Min)}}, false},
+		{"write gbl", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgGbl(g, Write)}}, false},
+		{"no kernel", Loop{Name: "l", Set: cells}, false},
+		{"no set", Loop{Name: "l", Kernel: func([][]float64) {}}, false},
+	}
+	for _, c := range cases {
+		err := c.loop.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", c.name)
+		}
+	}
+}
+
+func TestAccessStrings(t *testing.T) {
+	want := map[Access]string{
+		Read: "OP_READ", Write: "OP_WRITE", RW: "OP_RW",
+		Inc: "OP_INC", Min: "OP_MIN", Max: "OP_MAX",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", a, a.String(), s)
+		}
+	}
+}
+
+func TestMapPropertyAtMatchesData(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		from := MustDeclSet(rng.Intn(50)+1, "from")
+		to := MustDeclSet(rng.Intn(50)+1, "to")
+		dim := rng.Intn(4) + 1
+		vals := make([]int32, from.Size()*dim)
+		for i := range vals {
+			vals[i] = int32(rng.Intn(to.Size()))
+		}
+		m, err := DeclMap(from, to, dim, vals, "m")
+		if err != nil {
+			return false
+		}
+		for e := 0; e < from.Size(); e++ {
+			for k := 0; k < dim; k++ {
+				if m.At(e, k) != int(vals[e*dim+k]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps experiment smoke tests fast.
+func tinyOptions() Options {
+	return Options{
+		NX: 16, NY: 8,
+		Iters: 2, Reps: 1, Warmup: 0,
+		Threads:   []int{1, 2},
+		StreamN:   1 << 14,
+		Distances: []int{1, 15},
+	}
+}
+
+func TestDefaultOptionsSane(t *testing.T) {
+	o := Default()
+	if o.NX < 2 || o.NY < 2 || o.Iters < 1 || len(o.Threads) == 0 {
+		t.Fatalf("default options invalid: %+v", o)
+	}
+}
+
+func TestPaperOptionsMeshScale(t *testing.T) {
+	o := Paper()
+	nodes := (o.NX + 1) * (o.NY + 1)
+	if nodes < 720_000 {
+		t.Fatalf("paper mesh has %d nodes, want >= 720000", nodes)
+	}
+}
+
+func TestFig15(t *testing.T) {
+	tab, err := Fig15(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows()) != 2 {
+		t.Fatalf("rows = %d, want one per thread count", len(tab.Rows()))
+	}
+	if !strings.Contains(tab.String(), "Fig. 15") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestFig16(t *testing.T) {
+	tab, err := Fig16(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Speedup at 1 thread is 1.000 by construction.
+	if rows[0][1] != "1.000" || rows[0][2] != "1.000" {
+		t.Fatalf("1-thread speedups = %v", rows[0])
+	}
+}
+
+func TestFig17(t *testing.T) {
+	tab, err := Fig17(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows()) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows()))
+	}
+}
+
+func TestFig18(t *testing.T) {
+	tab, err := Fig18(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows()) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows()))
+	}
+}
+
+func TestFig19(t *testing.T) {
+	tab, err := Fig19(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows()) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows()))
+	}
+}
+
+func TestFig20(t *testing.T) {
+	o := tinyOptions()
+	tab, err := Fig20(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows()) != len(o.Distances) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows()), len(o.Distances))
+	}
+}
+
+func TestTableI(t *testing.T) {
+	tab, err := TableI(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tab.Rows()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 policies", len(rows))
+	}
+	// Synchronous policies must report "no".
+	if rows[0][1] != "no" || rows[1][1] != "no" {
+		t.Fatalf("sync policies reported async: %v", rows)
+	}
+	// Task policies must report asynchronous launch.
+	if !strings.HasPrefix(rows[2][1], "yes") || !strings.HasPrefix(rows[3][1], "yes") {
+		t.Fatalf("task policies not async: %v", rows)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"table1", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20"} {
+		if _, ok := ByName(name); !ok {
+			t.Fatalf("experiment %q not registered", name)
+		}
+	}
+	if _, ok := ByName("fig99"); ok {
+		t.Fatal("unknown experiment resolved")
+	}
+}
+
+func TestAllRunsEverything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	tabs, err := All(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 7 {
+		t.Fatalf("tables = %d, want 7", len(tabs))
+	}
+}

@@ -1,0 +1,300 @@
+package hpx
+
+import (
+	"errors"
+	"sort"
+	"time"
+)
+
+// This file provides the rest of the HPX parallel algorithms the OP2
+// backend and its applications draw on (hpx::parallel::transform, fill,
+// copy, count_if, min/max element, inclusive/exclusive scan, sort) — the
+// "higher-level parallelization" layer of Kaiser et al. cited as [19] in
+// the paper. All of them accept the execution policies of Table I and
+// compose with the chunkers of §IV-B.
+
+// Transform applies fn to every index of [first, last), writing into dst
+// (dst[i-first] = fn(i)). It is hpx::parallel::transform over an index
+// range.
+func Transform(policy Policy, first, last int, dst []float64, fn func(i int) float64) *Future[struct{}] {
+	if last-first > len(dst) {
+		return MakeErr[struct{}](ErrDstTooSmall)
+	}
+	return ForEachChunk(policy, first, last, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i-first] = fn(i)
+		}
+	})
+}
+
+// ErrDstTooSmall reports a destination slice shorter than the requested
+// range.
+var ErrDstTooSmall = errors.New("hpx: destination slice too small")
+
+// Fill sets every element of dst[first:last] to v.
+func Fill(policy Policy, dst []float64, first, last int, v float64) *Future[struct{}] {
+	if last > len(dst) {
+		last = len(dst)
+	}
+	return ForEachChunk(policy, first, last, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = v
+		}
+	})
+}
+
+// Copy copies src[first:last] into dst at the same offsets.
+func Copy(policy Policy, dst, src []float64, first, last int) *Future[struct{}] {
+	if last > len(src) || last > len(dst) {
+		return MakeErr[struct{}](ErrDstTooSmall)
+	}
+	return ForEachChunk(policy, first, last, func(lo, hi int) {
+		copy(dst[lo:hi], src[lo:hi])
+	})
+}
+
+// CountIf counts the indices in [first, last) for which pred is true.
+// pred must be pure (calibration may re-evaluate it).
+func CountIf(policy Policy, first, last int, pred func(i int) bool) (int, error) {
+	v, err := Reduce(policy, first, last, 0,
+		func(i int) float64 {
+			if pred(i) {
+				return 1
+			}
+			return 0
+		},
+		func(a, b float64) float64 { return a + b })
+	return int(v), err
+}
+
+// MinMax returns the minimum and maximum of fn(i) over [first, last).
+// fn must be pure. An empty range returns (0, 0, false).
+func MinMax(policy Policy, first, last int, fn func(i int) float64) (minV, maxV float64, ok bool, err error) {
+	n := last - first
+	if n <= 0 {
+		return 0, 0, false, nil
+	}
+	base := fn(first)
+	minV, err = Reduce(policy, first, last, base, fn, func(a, b float64) float64 {
+		if b < a {
+			return b
+		}
+		return a
+	})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	maxV, err = Reduce(policy, first, last, base, fn, func(a, b float64) float64 {
+		if b > a {
+			return b
+		}
+		return a
+	})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return minV, maxV, true, nil
+}
+
+// InclusiveScan computes dst[i] = src[0] + ... + src[i] with a two-pass
+// chunked parallel scan (per-chunk local scans, sequential carry
+// propagation over chunk totals, then a parallel add-back pass).
+func InclusiveScan(policy Policy, dst, src []float64) error {
+	n := len(src)
+	if len(dst) < n {
+		return ErrDstTooSmall
+	}
+	if n == 0 {
+		return nil
+	}
+	if policy.Mode() == Seq {
+		acc := 0.0
+		for i, v := range src {
+			acc += v
+			dst[i] = acc
+		}
+		return nil
+	}
+	workers := policy.Pool().Size()
+	size := policy.Chunker().ChunkSize(n, workers, func(k int) time.Duration {
+		// Scanning is cheap and uniform; probe with a plain pass that
+		// touches k source elements.
+		start := time.Now()
+		acc := 0.0
+		for i := 0; i < k && i < n; i++ {
+			acc += src[i]
+		}
+		_ = acc
+		return time.Since(start)
+	})
+	if size < 1 {
+		size = 1
+	}
+	nchunks := (n + size - 1) / size
+	totals := make([]float64, nchunks)
+	// Pass 1: local inclusive scans.
+	pol := policy
+	if pol.IsTask() {
+		pol = Policy{mode: pol.mode, chunker: pol.chunker, pool: pol.pool}
+	}
+	err := ForEachChunk(pol.WithChunker(StaticChunker(1)), 0, nchunks, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo := c * size
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			acc := 0.0
+			for i := lo; i < hi; i++ {
+				acc += src[i]
+				dst[i] = acc
+			}
+			totals[c] = acc
+		}
+	}).Wait()
+	if err != nil {
+		return err
+	}
+	// Pass 2: carry propagation (sequential over nchunks values).
+	carry := 0.0
+	for c := range totals {
+		t := totals[c]
+		totals[c] = carry
+		carry += t
+	}
+	// Pass 3: add carries back.
+	return ForEachChunk(pol.WithChunker(StaticChunker(1)), 0, nchunks, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			off := totals[c]
+			if off == 0 {
+				continue
+			}
+			lo := c * size
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				dst[i] += off
+			}
+		}
+	}).Wait()
+}
+
+// ExclusiveScan computes dst[i] = init + src[0] + ... + src[i-1].
+func ExclusiveScan(policy Policy, dst, src []float64, init float64) error {
+	n := len(src)
+	if len(dst) < n {
+		return ErrDstTooSmall
+	}
+	if n == 0 {
+		return nil
+	}
+	// Inclusive scan into dst, then shift right by one.
+	if err := InclusiveScan(policy, dst, src); err != nil {
+		return err
+	}
+	// Shift sequentially from the back (cheap, bandwidth bound anyway).
+	for i := n - 1; i > 0; i-- {
+		dst[i] = init + dst[i-1]
+	}
+	dst[0] = init
+	return nil
+}
+
+// Sort sorts data ascending with a parallel merge sort: the slice is cut
+// into one run per worker, runs sort concurrently (stdlib sort), then
+// pairwise parallel merges combine them — hpx::parallel::sort.
+func Sort(policy Policy, data []float64) error {
+	n := len(data)
+	if n < 2 {
+		return nil
+	}
+	if policy.Mode() == Seq {
+		sort.Float64s(data)
+		return nil
+	}
+	workers := policy.Pool().Size()
+	runs := workers
+	if runs > n/1024 {
+		runs = n / 1024 // don't over-split tiny inputs
+	}
+	if runs < 2 {
+		sort.Float64s(data)
+		return nil
+	}
+	runSize := (n + runs - 1) / runs
+	type span struct{ lo, hi int }
+	var spans []span
+	for lo := 0; lo < n; lo += runSize {
+		hi := lo + runSize
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, span{lo, hi})
+	}
+	pol := policy.WithChunker(StaticChunker(1))
+	if err := ForEachChunk(pol, 0, len(spans), func(slo, shi int) {
+		for s := slo; s < shi; s++ {
+			sort.Float64s(data[spans[s].lo:spans[s].hi])
+		}
+	}).Wait(); err != nil {
+		return err
+	}
+	// Pairwise merge rounds.
+	buf := make([]float64, n)
+	for len(spans) > 1 {
+		var next []span
+		pairs := len(spans) / 2
+		if err := ForEachChunk(pol, 0, pairs, func(plo, phi int) {
+			for p := plo; p < phi; p++ {
+				a := spans[2*p]
+				b := spans[2*p+1]
+				mergeInto(buf[a.lo:b.hi], data[a.lo:a.hi], data[a.hi:b.hi])
+				copy(data[a.lo:b.hi], buf[a.lo:b.hi])
+			}
+		}).Wait(); err != nil {
+			return err
+		}
+		for p := 0; p < pairs; p++ {
+			next = append(next, span{spans[2*p].lo, spans[2*p+1].hi})
+		}
+		if len(spans)%2 == 1 {
+			next = append(next, spans[len(spans)-1])
+		}
+		spans = next
+	}
+	return nil
+}
+
+// mergeInto merges two sorted runs into dst (len(dst) = len(a)+len(b)).
+func mergeInto(dst, a, b []float64) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	for i < len(a) {
+		dst[k] = a[i]
+		i++
+		k++
+	}
+	for j < len(b) {
+		dst[k] = b[j]
+		j++
+		k++
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,349 @@
+package hpx
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"op2hpx/internal/hpx/sched"
+)
+
+func TestTransform(t *testing.T) {
+	const n = 10000
+	dst := make([]float64, n)
+	pol := testPolicy(t, 4)
+	if err := Transform(pol, 0, n, dst, func(i int) float64 { return float64(i) * 2 }).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != float64(i)*2 {
+			t.Fatalf("dst[%d] = %g", i, dst[i])
+		}
+	}
+}
+
+func TestTransformOffsetRange(t *testing.T) {
+	dst := make([]float64, 10)
+	if err := Transform(SeqPolicy(), 100, 110, dst, func(i int) float64 { return float64(i) }).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 100 || dst[9] != 109 {
+		t.Fatalf("dst = %v", dst)
+	}
+}
+
+func TestTransformDstTooSmall(t *testing.T) {
+	dst := make([]float64, 5)
+	err := Transform(SeqPolicy(), 0, 10, dst, func(i int) float64 { return 0 }).Wait()
+	if !errors.Is(err, ErrDstTooSmall) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFill(t *testing.T) {
+	dst := make([]float64, 1000)
+	pol := testPolicy(t, 3)
+	if err := Fill(pol, dst, 100, 900, 7.5).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst {
+		want := 0.0
+		if i >= 100 && i < 900 {
+			want = 7.5
+		}
+		if v != want {
+			t.Fatalf("dst[%d] = %g, want %g", i, v, want)
+		}
+	}
+	// Range clamp.
+	if err := Fill(pol, dst, 990, 2000, 1).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if dst[999] != 1 {
+		t.Fatal("clamped fill did not reach end")
+	}
+}
+
+func TestCopy(t *testing.T) {
+	src := make([]float64, 500)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	dst := make([]float64, 500)
+	pol := testPolicy(t, 2)
+	if err := Copy(pol, dst, src, 10, 490).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if dst[9] != 0 || dst[10] != 10 || dst[489] != 489 || dst[490] != 0 {
+		t.Fatalf("copy boundaries wrong: %v %v %v %v", dst[9], dst[10], dst[489], dst[490])
+	}
+	if err := Copy(pol, dst[:5], src, 0, 500).Wait(); !errors.Is(err, ErrDstTooSmall) {
+		t.Fatalf("short dst accepted: %v", err)
+	}
+}
+
+func TestCountIf(t *testing.T) {
+	pol := testPolicy(t, 4)
+	got, err := CountIf(pol, 0, 10000, func(i int) bool { return i%7 == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1429 // ceil(10000/7)
+	if got != want {
+		t.Fatalf("CountIf = %d, want %d", got, want)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	vals := make([]float64, 5000)
+	rng := rand.New(rand.NewSource(3))
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 100
+	}
+	vals[1234] = -1e9
+	vals[4321] = 1e9
+	pol := testPolicy(t, 4)
+	lo, hi, ok, err := MinMax(pol, 0, len(vals), func(i int) float64 { return vals[i] })
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if lo != -1e9 || hi != 1e9 {
+		t.Fatalf("MinMax = (%g, %g)", lo, hi)
+	}
+	_, _, ok, err = MinMax(pol, 5, 5, nil)
+	if err != nil || ok {
+		t.Fatal("empty range should report !ok")
+	}
+}
+
+func TestInclusiveScan(t *testing.T) {
+	const n = 12345
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = 1
+	}
+	dst := make([]float64, n)
+	pol := testPolicy(t, 4).WithChunker(StaticChunker(997))
+	if err := InclusiveScan(pol, dst, src); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != float64(i+1) {
+			t.Fatalf("dst[%d] = %g, want %d", i, dst[i], i+1)
+		}
+	}
+}
+
+func TestInclusiveScanMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 7777
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = rng.Float64() - 0.5
+	}
+	seq := make([]float64, n)
+	if err := InclusiveScan(SeqPolicy(), seq, src); err != nil {
+		t.Fatal(err)
+	}
+	par := make([]float64, n)
+	pol := testPolicy(t, 4).WithChunker(StaticChunker(512))
+	if err := InclusiveScan(pol, par, src); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if d := seq[i] - par[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("scan differs at %d: %g vs %g", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestExclusiveScan(t *testing.T) {
+	src := []float64{1, 2, 3, 4}
+	dst := make([]float64, 4)
+	if err := ExclusiveScan(testPolicy(t, 2), dst, src, 10); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 11, 13, 16}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	if err := InclusiveScan(SeqPolicy(), make([]float64, 1), make([]float64, 2)); !errors.Is(err, ErrDstTooSmall) {
+		t.Fatal("short dst accepted")
+	}
+	if err := InclusiveScan(SeqPolicy(), nil, nil); err != nil {
+		t.Fatal("empty scan failed")
+	}
+}
+
+func TestSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 100000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	want := append([]float64(nil), data...)
+	sort.Float64s(want)
+	pol := testPolicy(t, 4)
+	if err := Sort(pol, data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if data[i] != want[i] {
+			t.Fatalf("sorted output differs at %d", i)
+		}
+	}
+}
+
+func TestSortSmallAndEdge(t *testing.T) {
+	pol := testPolicy(t, 4)
+	for _, data := range [][]float64{nil, {1}, {2, 1}, {3, 1, 2}} {
+		cp := append([]float64(nil), data...)
+		if err := Sort(pol, cp); err != nil {
+			t.Fatal(err)
+		}
+		if !sort.Float64sAreSorted(cp) {
+			t.Fatalf("Sort(%v) = %v", data, cp)
+		}
+	}
+}
+
+func TestSortPropertyMatchesStdlib(t *testing.T) {
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	f := func(seed int64, size uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size) % 20000
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = rng.Float64()
+		}
+		want := append([]float64(nil), data...)
+		sort.Float64s(want)
+		if err := Sort(ParPolicy().WithPool(pool), data); err != nil {
+			return false
+		}
+		for i := range data {
+			if data[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWhenAny(t *testing.T) {
+	slow := Async(func() (int, error) { time.Sleep(50 * time.Millisecond); return 1, nil })
+	fast := Async(func() (int, error) { return 2, nil })
+	idx, err := WhenAny(slow, fast).Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("WhenAny = %d, want 1 (the fast future)", idx)
+	}
+	if _, err := WhenAny().Get(); !errors.Is(err, ErrNoInputs) {
+		t.Fatal("WhenAny() without inputs must fail")
+	}
+}
+
+func TestWhenAnyFastPath(t *testing.T) {
+	ready := MakeReady(9)
+	p, pending := NewPromise[int]()
+	defer p.Set(0)
+	f := WhenAny(pending, ready)
+	if !f.Ready() {
+		t.Fatal("WhenAny with a ready input must resolve immediately")
+	}
+	if i := f.MustGet(); i != 1 {
+		t.Fatalf("index = %d", i)
+	}
+}
+
+func TestWhenAnyChanSelect(t *testing.T) {
+	a := Async(func() (int, error) { return 1, nil })
+	select {
+	case i := <-WhenAnyChan(a):
+		if i != 0 {
+			t.Fatalf("index = %d", i)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("WhenAnyChan never fired")
+	}
+}
+
+func TestWhenEach(t *testing.T) {
+	var order []int
+	a := Async(func() (int, error) { time.Sleep(20 * time.Millisecond); return 0, nil })
+	b := MakeReady(0)
+	c := Async(func() (int, error) { time.Sleep(5 * time.Millisecond); return 0, nil })
+	err := WhenEach(func(i int) { order = append(order, i) }, a, b, c).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("WhenEach visited %v", order)
+	}
+	if order[0] != 1 || order[2] != 0 {
+		t.Fatalf("readiness order = %v, want [1 2 0]", order)
+	}
+}
+
+func TestMapAndFlatten(t *testing.T) {
+	f := Map(MakeReady(6), func(v int) string {
+		if v == 6 {
+			return "six"
+		}
+		return "?"
+	})
+	if f.MustGet() != "six" {
+		t.Fatalf("Map = %q", f.MustGet())
+	}
+	nested := MakeReady(MakeReady(42))
+	if got := Flatten(nested).MustGet(); got != 42 {
+		t.Fatalf("Flatten = %d", got)
+	}
+	bad := MakeErr[*Future[int]](errors.New("outer"))
+	if _, err := Flatten(bad).Get(); err == nil {
+		t.Fatal("Flatten swallowed outer error")
+	}
+	nilInner := MakeReady[*Future[int]](nil)
+	if got := Flatten(nilInner).MustGet(); got != 0 {
+		t.Fatalf("Flatten(nil inner) = %d", got)
+	}
+}
+
+func TestGatherValues(t *testing.T) {
+	fs := []*Future[int]{MakeReady(1), MakeReady(2), nil, MakeReady(4)}
+	vals, err := GatherValues(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0] != 1 || vals[1] != 2 || vals[2] != 0 || vals[3] != 4 {
+		t.Fatalf("GatherValues = %v", vals)
+	}
+	fs[1] = MakeErr[int](errors.New("x"))
+	if _, err := GatherValues(fs); err == nil {
+		t.Fatal("GatherValues swallowed error")
+	}
+}
+
+func TestSelectReady(t *testing.T) {
+	p, pending := NewPromise[int]()
+	defer p.Set(0)
+	got := SelectReady(MakeReady(1), pending, MakeReady(2))
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("SelectReady = %v", got)
+	}
+}

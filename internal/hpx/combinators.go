@@ -1,0 +1,138 @@
+package hpx
+
+import "sync"
+
+// WhenAny returns a future resolving to the index of the first input to
+// become ready — hpx::when_any. At least one input is required.
+func WhenAny(ws ...Waiter) *Future[int] {
+	if len(ws) == 0 {
+		return MakeErr[int](ErrNoInputs)
+	}
+	// Fast path: something is already ready.
+	for i, w := range ws {
+		if w != nil && w.Ready() {
+			return MakeReady(i)
+		}
+	}
+	p, f := NewPromise[int]()
+	var once sync.Once
+	for i, w := range ws {
+		if w == nil {
+			continue
+		}
+		i, w := i, w
+		go func() {
+			_ = w.Wait()
+			once.Do(func() { p.Set(i) })
+		}()
+	}
+	return f
+}
+
+// ErrNoInputs is returned by combinators invoked without inputs.
+var ErrNoInputs = errNoInputs{}
+
+type errNoInputs struct{}
+
+func (errNoInputs) Error() string { return "hpx: combinator requires at least one input" }
+
+// WhenAnyChan returns a channel receiving the index of the first ready
+// input, for use inside select statements.
+func WhenAnyChan(ws ...Waiter) <-chan int {
+	ch := make(chan int, 1)
+	f := WhenAny(ws...)
+	go func() {
+		if i, err := f.Get(); err == nil {
+			ch <- i
+		}
+		close(ch)
+	}()
+	return ch
+}
+
+// WhenEach invokes fn(i) as each input becomes ready (from a goroutine per
+// input, so invocation order follows readiness, not index). The returned
+// future resolves once every input is ready and every callback has run —
+// hpx::when_each.
+func WhenEach(fn func(i int), ws ...Waiter) *Future[struct{}] {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i, w := range ws {
+		if w == nil {
+			continue
+		}
+		wg.Add(1)
+		i, w := i, w
+		go func() {
+			defer wg.Done()
+			_ = w.Wait()
+			mu.Lock()
+			fn(i)
+			mu.Unlock()
+		}()
+	}
+	return Async(func() (struct{}, error) {
+		wg.Wait()
+		return struct{}{}, nil
+	})
+}
+
+// Map transforms a future's value without blocking — Then with no error
+// path, the functional form of future.then(unwrapped(f)).
+func Map[T, U any](f *Future[T], fn func(T) U) *Future[U] {
+	return Then(f, func(v T) (U, error) { return fn(v), nil })
+}
+
+// Flatten collapses a future of a future into a single future —
+// hpx::future<hpx::future<T>>::unwrap.
+func Flatten[T any](f *Future[*Future[T]]) *Future[T] {
+	p, out := NewPromise[T]()
+	go func() {
+		inner, err := f.Get()
+		if err != nil {
+			p.SetErr(err)
+			return
+		}
+		if inner == nil {
+			var zero T
+			p.Set(zero)
+			return
+		}
+		v, err := inner.Get()
+		if err != nil {
+			p.SetErr(err)
+			return
+		}
+		p.Set(v)
+	}()
+	return out
+}
+
+// GatherValues waits for a homogeneous set of futures and returns their
+// values in input order.
+func GatherValues[T any](fs []*Future[T]) ([]T, error) {
+	out := make([]T, len(fs))
+	for i, f := range fs {
+		if f == nil {
+			continue
+		}
+		v, err := f.Get()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// SelectReady reports which of the given futures are ready right now,
+// without blocking; a diagnostic helper for schedulers and tests.
+func SelectReady(ws ...Waiter) []int {
+	var out []int
+	for i, w := range ws {
+		if w != nil && w.Ready() {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package hpx
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ForEach applies body to every index in [first, last) under the given
+// execution policy — hpx::parallel::for_each over an index range (the
+// boost::irange form used in Fig. 8 of the paper). With a task policy the
+// call returns immediately; otherwise it blocks until the loop completes.
+// The returned future is always non-nil and carries any panic from the
+// body as an error.
+//
+// Calibrating chunkers (auto, persistent-auto) measure the loop by
+// executing its first iterations for real on the calling goroutine — the
+// measured prefix is consumed, never re-executed, so bodies with side
+// effects are safe.
+func ForEach(policy Policy, first, last int, body func(i int)) *Future[struct{}] {
+	return ForEachChunk(policy, first, last, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForEachChunk is ForEach for callers that want the whole chunk [lo, hi)
+// at once — the shape generated OP2 kernels use, since a specialized inner
+// loop over a chunk avoids per-element closure calls.
+func ForEachChunk(policy Policy, first, last int, chunk func(lo, hi int)) *Future[struct{}] {
+	n := last - first
+	if n <= 0 {
+		return MakeReady(struct{}{})
+	}
+	run := func() (_ struct{}, err error) {
+		// Chunks on pool workers recover individually below; this
+		// recover covers the sequential path, calibration and inline
+		// execution on the calling goroutine.
+		defer func() {
+			if r := recover(); r != nil && err == nil {
+				err = fmt.Errorf("hpx: for_each body panicked: %v", r)
+			}
+		}()
+		if policy.Mode() == Seq {
+			chunk(first, last)
+			return struct{}{}, nil
+		}
+		pool := policy.Pool()
+		workers := pool.Size()
+		// Chunk-size calibration consumes the range prefix: measure(k)
+		// executes k real iterations and advances the cursor.
+		cursor := first
+		measure := func(k int) time.Duration {
+			if cursor+k > last {
+				k = last - cursor
+			}
+			if k <= 0 {
+				return time.Nanosecond
+			}
+			start := time.Now()
+			chunk(cursor, cursor+k)
+			cursor += k
+			return time.Since(start)
+		}
+		size := policy.Chunker().ChunkSize(n, workers, measure)
+		if size < 1 {
+			size = 1
+		}
+		if cursor >= last {
+			return struct{}{}, nil
+		}
+		if size >= last-cursor {
+			chunk(cursor, last)
+			return struct{}{}, nil
+		}
+		var (
+			wg       sync.WaitGroup
+			panicMu  sync.Mutex
+			panicked any
+		)
+		remaining := last - cursor
+		nchunks := (remaining + size - 1) / size
+		wg.Add(nchunks)
+		for lo := cursor; lo < last; lo += size {
+			lo, hi := lo, lo+size
+			if hi > last {
+				hi = last
+			}
+			task := func() {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if panicked == nil {
+							panicked = r
+						}
+						panicMu.Unlock()
+					}
+				}()
+				chunk(lo, hi)
+			}
+			if err := pool.Submit(task); err != nil {
+				// Pool closed: run inline so the loop still completes.
+				task()
+			}
+		}
+		wg.Wait()
+		if panicked != nil {
+			return struct{}{}, fmt.Errorf("hpx: for_each body panicked: %v", panicked)
+		}
+		return struct{}{}, nil
+	}
+	if policy.IsTask() {
+		return Async(run)
+	}
+	v, err := run()
+	if err != nil {
+		return MakeErr[struct{}](err)
+	}
+	return MakeReady(v)
+}
+
+// For is a convenience wrapper running a chunked loop and blocking for the
+// result, returning any error.
+func For(policy Policy, first, last int, body func(i int)) error {
+	return ForEach(policy, first, last, body).Wait()
+}
+
+// Reduce performs a parallel reduction of fn(i) over [first, last) with the
+// associative combiner combine, under the given policy. Each chunk reduces
+// locally into its own accumulator starting from identity; chunk results
+// are combined in deterministic chunk order, so for a fixed chunk size the
+// result is reproducible. fn must be pure: calibration may evaluate
+// fn(i) more than once.
+func Reduce(policy Policy, first, last int, identity float64, fn func(i int) float64, combine func(a, b float64) float64) (float64, error) {
+	n := last - first
+	if n <= 0 {
+		return identity, nil
+	}
+	if policy.Mode() == Seq {
+		acc := identity
+		for i := first; i < last; i++ {
+			acc = combine(acc, fn(i))
+		}
+		return acc, nil
+	}
+	pool := policy.Pool()
+	workers := pool.Size()
+	size := policy.Chunker().ChunkSize(n, workers, func(k int) time.Duration {
+		if first+k > last {
+			k = last - first
+		}
+		start := time.Now()
+		acc := identity
+		for i := first; i < first+k; i++ {
+			acc = combine(acc, fn(i))
+		}
+		_ = acc
+		return time.Since(start)
+	})
+	if size < 1 {
+		size = 1
+	}
+	nchunks := (n + size - 1) / size
+	partial := make([]float64, nchunks)
+	// Writing partial[c] is idempotent, so calibration inside
+	// ForEachChunk may safely consume (or even repeat) leading chunks.
+	fut := ForEachChunk(policy, 0, nchunks, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo := first + c*size
+			hi := lo + size
+			if hi > last {
+				hi = last
+			}
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = combine(acc, fn(i))
+			}
+			partial[c] = acc
+		}
+	})
+	if err := fut.Wait(); err != nil {
+		return identity, err
+	}
+	acc := identity
+	for _, p := range partial {
+		acc = combine(acc, p)
+	}
+	return acc, nil
+}

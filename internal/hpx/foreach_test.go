@@ -1,0 +1,256 @@
+package hpx
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"op2hpx/internal/hpx/sched"
+)
+
+func testPolicy(t *testing.T, workers int) Policy {
+	t.Helper()
+	pool := sched.NewPool(workers)
+	t.Cleanup(pool.Close)
+	return ParPolicy().WithPool(pool)
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	const n = 10000
+	visits := make([]atomic.Int32, n)
+	pol := testPolicy(t, 4)
+	if err := ForEach(pol, 0, n, func(i int) { visits[i].Add(1) }).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range visits {
+		if got := visits[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+	}
+}
+
+func TestForEachSequential(t *testing.T) {
+	const n = 100
+	var order []int
+	if err := ForEach(SeqPolicy(), 0, n, func(i int) { order = append(order, i) }).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential policy executed out of order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestForEachEmptyRange(t *testing.T) {
+	ran := false
+	f := ForEach(testPolicy(t, 2), 5, 5, func(i int) { ran = true })
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("body ran on empty range")
+	}
+	f = ForEach(SeqPolicy(), 10, 3, func(i int) { ran = true })
+	if err := f.Wait(); err != nil || ran {
+		t.Fatal("body ran on inverted range")
+	}
+}
+
+func TestForEachNonZeroFirst(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(testPolicy(t, 3), 100, 200, func(i int) { sum.Add(int64(i)) }).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := int64((100 + 199) * 100 / 2)
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestForEachTaskPolicyReturnsImmediately(t *testing.T) {
+	// seq(task) and par(task) from Table I: the call itself must not
+	// block; the future carries completion.
+	release := make(chan struct{})
+	var done atomic.Bool
+	f := ForEach(testPolicy(t, 2).WithTask(), 0, 1, func(i int) {
+		<-release
+		done.Store(true)
+	})
+	if f.Ready() {
+		t.Fatal("task-policy future ready before body ran")
+	}
+	close(release)
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !done.Load() {
+		t.Fatal("body did not run")
+	}
+}
+
+func TestForEachSeqTask(t *testing.T) {
+	var count atomic.Int64
+	f := ForEach(SeqPolicy().WithTask(), 0, 50, func(i int) { count.Add(1) })
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 50 {
+		t.Fatalf("count = %d", count.Load())
+	}
+}
+
+func TestForEachPanicBecomesError(t *testing.T) {
+	pol := testPolicy(t, 2).WithChunker(StaticChunker(1))
+	err := ForEach(pol, 0, 10, func(i int) {
+		if i == 7 {
+			panic("element 7 exploded")
+		}
+	}).Wait()
+	if err == nil {
+		t.Fatal("panic in body did not surface as error")
+	}
+}
+
+func TestForEachChunkCoversRange(t *testing.T) {
+	const n = 5000
+	visits := make([]atomic.Int32, n)
+	pol := testPolicy(t, 4).WithChunker(StaticChunker(97))
+	err := ForEachChunk(pol, 0, n, func(lo, hi int) {
+		if lo >= hi {
+			t.Errorf("empty chunk [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			visits[i].Add(1)
+		}
+	}).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range visits {
+		if visits[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, visits[i].Load())
+		}
+	}
+}
+
+func TestForEachWithAllChunkers(t *testing.T) {
+	const n = 4096
+	for _, c := range []Chunker{
+		StaticChunker(33), EvenChunker(1), EvenChunker(4), AutoChunker(), NewPersistentAutoChunker(),
+	} {
+		visits := make([]atomic.Int32, n)
+		pol := testPolicy(t, 4).WithChunker(c)
+		if err := ForEach(pol, 0, n, func(i int) { visits[i].Add(1) }).Wait(); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		for i := range visits {
+			if visits[i].Load() != 1 {
+				t.Fatalf("%s: index %d visited %d times", c.Name(), i, visits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForHelper(t *testing.T) {
+	var count atomic.Int64
+	if err := For(testPolicy(t, 2), 0, 123, func(i int) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 123 {
+		t.Fatalf("count = %d", count.Load())
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	const n = 100000
+	got, err := Reduce(testPolicy(t, 4), 0, n, 0,
+		func(i int) float64 { return float64(i) },
+		func(a, b float64) float64 { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n-1) * float64(n) / 2
+	if got != want {
+		t.Fatalf("Reduce = %g, want %g", got, want)
+	}
+}
+
+func TestReduceSeqMatchesPar(t *testing.T) {
+	const n = 10000
+	fn := func(i int) float64 { return float64(i%17) * 0.5 }
+	comb := func(a, b float64) float64 { return a + b }
+	seq, err := Reduce(SeqPolicy(), 0, n, 0, fn, comb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Reduce(testPolicy(t, 4), 0, n, 0, fn, comb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := seq - par; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("seq %g != par %g", seq, par)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got, err := Reduce(testPolicy(t, 2), 3, 3, 42,
+		func(i int) float64 { return 0 },
+		func(a, b float64) float64 { return a + b })
+	if err != nil || got != 42 {
+		t.Fatalf("Reduce empty = (%g, %v), want identity 42", got, err)
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	vals := []float64{3, 9, 1, 9.5, -2, 7}
+	got, err := Reduce(testPolicy(t, 3), 0, len(vals), vals[0],
+		func(i int) float64 { return vals[i] },
+		func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+	if err != nil || got != 9.5 {
+		t.Fatalf("Reduce max = (%g, %v)", got, err)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	cases := map[string]Policy{
+		"seq":       SeqPolicy(),
+		"par":       ParPolicy(),
+		"seq(task)": SeqPolicy().WithTask(),
+		"par(task)": ParPolicy().WithTask(),
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Fatalf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestForEachPropertySumInvariant(t *testing.T) {
+	// Property: parallel for_each over any range with any static chunk
+	// size computes the same element-wise result as a plain loop.
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	f := func(n uint16, chunk uint8) bool {
+		nn := int(n) % 3000
+		out := make([]int64, nn)
+		pol := ParPolicy().WithPool(pool).WithChunker(StaticChunker(int(chunk)%100 + 1))
+		if err := ForEach(pol, 0, nn, func(i int) { out[i] = int64(i) * 3 }).Wait(); err != nil {
+			return false
+		}
+		for i := range out {
+			if out[i] != int64(i)*3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package hpx is a Go rendition of the HPX runtime facilities the paper
+// relies on: futures (§III-A), dataflow (§III-B), execution policies
+// (Table I), chunk-size control including persistent_auto_chunk_size
+// (§IV-B), and the chunked for_each parallel algorithm that hosts the
+// prefetching iterator (§V).
+//
+// A Future[T] is a computational result that is initially unknown but
+// becomes available later; Get suspends only the calling goroutine, never
+// a pool worker, so all other work proceeds — the behaviour of HPX
+// user-level threads in Fig. 5 of the paper.
+package hpx
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrPromiseAbandoned is the error observed by a future whose promise was
+// dropped without being fulfilled.
+var ErrPromiseAbandoned = errors.New("hpx: promise abandoned")
+
+// Future holds a value of type T that becomes available at a later time.
+// The zero value is not usable; create futures with NewPromise, Async,
+// MakeReady or one of the combinators. A Future has shared-future
+// semantics: any number of goroutines may call Get concurrently and every
+// call observes the same value.
+type Future[T any] struct {
+	done  chan struct{}
+	value T
+	err   error
+}
+
+// Promise is the producer side of a Future. Exactly one of Set or SetErr
+// must be called, exactly once.
+type Promise[T any] struct {
+	f   *Future[T]
+	set atomic.Bool
+}
+
+// NewPromise creates a connected promise/future pair.
+func NewPromise[T any]() (*Promise[T], *Future[T]) {
+	f := &Future[T]{done: make(chan struct{})}
+	return &Promise[T]{f: f}, f
+}
+
+// Set fulfils the future with v. It panics if the promise was already
+// satisfied, which always indicates a program bug.
+func (p *Promise[T]) Set(v T) {
+	if !p.set.CompareAndSwap(false, true) {
+		panic("hpx: promise satisfied twice")
+	}
+	p.f.value = v
+	close(p.f.done)
+}
+
+// SetErr fulfils the future with an error.
+func (p *Promise[T]) SetErr(err error) {
+	if err == nil {
+		err = ErrPromiseAbandoned
+	}
+	if !p.set.CompareAndSwap(false, true) {
+		panic("hpx: promise satisfied twice")
+	}
+	p.f.err = err
+	close(p.f.done)
+}
+
+// Future returns the future connected to this promise.
+func (p *Promise[T]) Future() *Future[T] { return p.f }
+
+// MakeReady returns a future that is already fulfilled with v. It mirrors
+// hpx::make_ready_future and is how non-future inputs are passed through a
+// dataflow (Fig. 6: "non-future inputs are passed through").
+func MakeReady[T any](v T) *Future[T] {
+	f := &Future[T]{done: make(chan struct{}), value: v}
+	close(f.done)
+	return f
+}
+
+// MakeErr returns a future that is already fulfilled with an error.
+func MakeErr[T any](err error) *Future[T] {
+	f := &Future[T]{done: make(chan struct{}), err: err}
+	close(f.done)
+	return f
+}
+
+// Get waits until the value is available and returns it. This is
+// future.get() from the paper: the caller is suspended only if the result
+// is not readily available, and resumes as soon as it is.
+func (f *Future[T]) Get() (T, error) {
+	<-f.done
+	return f.value, f.err
+}
+
+// MustGet is Get for contexts where an error indicates a program bug.
+func (f *Future[T]) MustGet() T {
+	v, err := f.Get()
+	if err != nil {
+		panic(fmt.Sprintf("hpx: MustGet on failed future: %v", err))
+	}
+	return v
+}
+
+// Ready reports whether the value is already available, without blocking.
+func (f *Future[T]) Ready() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the future is fulfilled, discarding the value.
+func (f *Future[T]) Wait() error {
+	<-f.done
+	return f.err
+}
+
+// Done exposes the completion channel so futures can take part in select
+// statements alongside other channel-based events.
+func (f *Future[T]) Done() <-chan struct{} { return f.done }
+
+// Waiter is the type-erased view of a future used by dataflow and WhenAll:
+// anything that can be waited on with an error outcome.
+type Waiter interface {
+	Wait() error
+	Ready() bool
+}
+
+// Async runs fn in a new goroutine and returns a future for its result —
+// hpx::async with the (task) launch policy.
+func Async[T any](fn func() (T, error)) *Future[T] {
+	p, f := NewPromise[T]()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil && !p.set.Load() {
+				p.SetErr(fmt.Errorf("hpx: async task panicked: %v", r))
+			}
+		}()
+		v, err := fn()
+		if err != nil {
+			p.SetErr(err)
+			return
+		}
+		p.Set(v)
+	}()
+	return f
+}
+
+// Then attaches a continuation to f and returns the continuation's future.
+// The continuation runs as soon as f becomes ready (in its own goroutine),
+// receiving f's value. If f failed, the continuation is skipped and the
+// error propagates.
+func Then[T, U any](f *Future[T], fn func(T) (U, error)) *Future[U] {
+	p, out := NewPromise[U]()
+	go func() {
+		v, err := f.Get()
+		if err != nil {
+			p.SetErr(err)
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil && !p.set.Load() {
+				p.SetErr(fmt.Errorf("hpx: continuation panicked: %v", r))
+			}
+		}()
+		u, err := fn(v)
+		if err != nil {
+			p.SetErr(err)
+			return
+		}
+		p.Set(u)
+	}()
+	return out
+}
+
+// WhenAll returns a future that becomes ready when every input is ready.
+// The future carries the first error observed (in input order), if any.
+func WhenAll(ws ...Waiter) *Future[struct{}] {
+	p, f := NewPromise[struct{}]()
+	go func() {
+		var firstErr error
+		for _, w := range ws {
+			if w == nil {
+				continue
+			}
+			if err := w.Wait(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			p.SetErr(firstErr)
+			return
+		}
+		p.Set(struct{}{})
+	}()
+	return f
+}
+
+// WaitAll blocks until every input is ready and returns the first error.
+func WaitAll(ws ...Waiter) error {
+	var firstErr error
+	for _, w := range ws {
+		if w == nil {
+			continue
+		}
+		if err := w.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Dataflow encapsulates fn with its future inputs (Fig. 6): as soon as the
+// last input has been received, fn is scheduled for execution with the
+// inputs already unwrapped by the caller-supplied closure. Because Dataflow
+// itself returns a future, its result can feed other dataflows; the chained
+// futures form the dependency tree that the runtime executes as
+// dependencies are met (§III-B).
+func Dataflow[T any](fn func() (T, error), inputs ...Waiter) *Future[T] {
+	p, out := NewPromise[T]()
+	go func() {
+		for _, w := range inputs {
+			if w == nil {
+				continue
+			}
+			if err := w.Wait(); err != nil {
+				p.SetErr(fmt.Errorf("hpx: dataflow input failed: %w", err))
+				return
+			}
+		}
+		defer func() {
+			if r := recover(); r != nil && !p.set.Load() {
+				p.SetErr(fmt.Errorf("hpx: dataflow body panicked: %v", r))
+			}
+		}()
+		v, err := fn()
+		if err != nil {
+			p.SetErr(err)
+			return
+		}
+		p.Set(v)
+	}()
+	return out
+}
+
+// Unwrapped2 waits for two futures and feeds their values to fn, returning
+// the future of the result. It mirrors hpx::util::unwrapped in Fig. 7: the
+// futures are unwrapped and the actual results passed along.
+func Unwrapped2[A, B, T any](fa *Future[A], fb *Future[B], fn func(A, B) (T, error)) *Future[T] {
+	return Dataflow(func() (T, error) {
+		a, _ := fa.Get()
+		b, _ := fb.Get()
+		return fn(a, b)
+	}, fa, fb)
+}
+
+// Unwrapped3 is Unwrapped2 for three inputs.
+func Unwrapped3[A, B, C, T any](fa *Future[A], fb *Future[B], fc *Future[C], fn func(A, B, C) (T, error)) *Future[T] {
+	return Dataflow(func() (T, error) {
+		a, _ := fa.Get()
+		b, _ := fb.Get()
+		c, _ := fc.Get()
+		return fn(a, b, c)
+	}, fa, fb, fc)
+}

@@ -1,0 +1,295 @@
+package hpx
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPromiseSetGet(t *testing.T) {
+	p, f := NewPromise[int]()
+	if f.Ready() {
+		t.Fatal("future ready before Set")
+	}
+	p.Set(42)
+	if !f.Ready() {
+		t.Fatal("future not ready after Set")
+	}
+	v, err := f.Get()
+	if err != nil || v != 42 {
+		t.Fatalf("Get = (%v, %v), want (42, nil)", v, err)
+	}
+}
+
+func TestPromiseSetErr(t *testing.T) {
+	p, f := NewPromise[int]()
+	sentinel := errors.New("boom")
+	p.SetErr(sentinel)
+	if _, err := f.Get(); !errors.Is(err, sentinel) {
+		t.Fatalf("Get err = %v, want %v", err, sentinel)
+	}
+	if err := f.Wait(); !errors.Is(err, sentinel) {
+		t.Fatalf("Wait err = %v, want %v", err, sentinel)
+	}
+}
+
+func TestPromiseDoubleSetPanics(t *testing.T) {
+	p, _ := NewPromise[int]()
+	p.Set(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Set did not panic")
+		}
+	}()
+	p.Set(2)
+}
+
+func TestMakeReady(t *testing.T) {
+	f := MakeReady("hello")
+	if !f.Ready() {
+		t.Fatal("MakeReady future not ready")
+	}
+	if v := f.MustGet(); v != "hello" {
+		t.Fatalf("MustGet = %q", v)
+	}
+}
+
+func TestMakeErr(t *testing.T) {
+	sentinel := errors.New("x")
+	f := MakeErr[int](sentinel)
+	if _, err := f.Get(); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSharedFutureManyWaiters(t *testing.T) {
+	// The paper's future resumes *all* suspended threads waiting for the
+	// value (Fig. 5).
+	p, f := NewPromise[int]()
+	const n = 64
+	var wg sync.WaitGroup
+	var sum atomic.Int64
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			v, err := f.Get()
+			if err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			sum.Add(int64(v))
+		}()
+	}
+	time.Sleep(time.Millisecond) // let waiters suspend
+	p.Set(7)
+	wg.Wait()
+	if got := sum.Load(); got != 7*n {
+		t.Fatalf("waiters saw sum %d, want %d", got, 7*n)
+	}
+}
+
+func TestAsync(t *testing.T) {
+	f := Async(func() (int, error) { return 10, nil })
+	if v := f.MustGet(); v != 10 {
+		t.Fatalf("MustGet = %d", v)
+	}
+}
+
+func TestAsyncError(t *testing.T) {
+	sentinel := errors.New("fail")
+	f := Async(func() (int, error) { return 0, sentinel })
+	if _, err := f.Get(); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAsyncPanicBecomesError(t *testing.T) {
+	f := Async(func() (int, error) { panic("kaboom") })
+	if _, err := f.Get(); err == nil {
+		t.Fatal("panicking async task returned nil error")
+	}
+}
+
+func TestThenChaining(t *testing.T) {
+	f := Async(func() (int, error) { return 3, nil })
+	g := Then(f, func(v int) (int, error) { return v * v, nil })
+	h := Then(g, func(v int) (string, error) {
+		if v == 9 {
+			return "nine", nil
+		}
+		return "", errors.New("unexpected")
+	})
+	if s := h.MustGet(); s != "nine" {
+		t.Fatalf("chain result %q", s)
+	}
+}
+
+func TestThenPropagatesError(t *testing.T) {
+	sentinel := errors.New("root")
+	f := MakeErr[int](sentinel)
+	var ran atomic.Bool
+	g := Then(f, func(v int) (int, error) { ran.Store(true); return v, nil })
+	if _, err := g.Get(); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() {
+		t.Fatal("continuation ran despite failed input")
+	}
+}
+
+func TestWhenAll(t *testing.T) {
+	a := Async(func() (int, error) { time.Sleep(time.Millisecond); return 1, nil })
+	b := Async(func() (int, error) { return 2, nil })
+	c := MakeReady(3)
+	if err := WhenAll(a, b, c).Wait(); err != nil {
+		t.Fatalf("WhenAll: %v", err)
+	}
+	if !a.Ready() || !b.Ready() || !c.Ready() {
+		t.Fatal("WhenAll completed before all inputs")
+	}
+}
+
+func TestWhenAllFirstError(t *testing.T) {
+	e1 := errors.New("first")
+	e2 := errors.New("second")
+	a := MakeErr[int](e1)
+	b := MakeErr[int](e2)
+	if err := WhenAll(a, b).Wait(); !errors.Is(err, e1) {
+		t.Fatalf("err = %v, want first error", err)
+	}
+}
+
+func TestWaitAllSkipsNil(t *testing.T) {
+	if err := WaitAll(nil, MakeReady(1), nil); err != nil {
+		t.Fatalf("WaitAll: %v", err)
+	}
+}
+
+func TestDataflowWaitsForAllInputs(t *testing.T) {
+	// Fig. 6: F is scheduled only when the last input has been received.
+	var aDone, bDone atomic.Bool
+	a := Async(func() (int, error) {
+		time.Sleep(2 * time.Millisecond)
+		aDone.Store(true)
+		return 1, nil
+	})
+	b := Async(func() (int, error) {
+		time.Sleep(4 * time.Millisecond)
+		bDone.Store(true)
+		return 2, nil
+	})
+	out := Dataflow(func() (int, error) {
+		if !aDone.Load() || !bDone.Load() {
+			return 0, errors.New("dataflow body ran before inputs were ready")
+		}
+		av, _ := a.Get()
+		bv, _ := b.Get()
+		return av + bv, nil
+	}, a, b)
+	if v := out.MustGet(); v != 3 {
+		t.Fatalf("dataflow result %d, want 3", v)
+	}
+}
+
+func TestDataflowErrorPropagation(t *testing.T) {
+	sentinel := errors.New("input failed")
+	bad := MakeErr[int](sentinel)
+	var ran atomic.Bool
+	out := Dataflow(func() (int, error) { ran.Store(true); return 0, nil }, bad)
+	if _, err := out.Get(); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() {
+		t.Fatal("dataflow body ran despite failed input")
+	}
+}
+
+func TestDataflowChainBuildsExecutionTree(t *testing.T) {
+	// Chained dataflows must execute in dependency order regardless of
+	// issue order — the execution graph of §III-B.
+	var order []int
+	var mu sync.Mutex
+	mark := func(id int) {
+		mu.Lock()
+		order = append(order, id)
+		mu.Unlock()
+	}
+	a := Dataflow(func() (int, error) { mark(1); return 1, nil })
+	b := Dataflow(func() (int, error) { mark(2); return 2, nil }, a)
+	c := Dataflow(func() (int, error) { mark(3); return 3, nil }, b)
+	if v := c.MustGet(); v != 3 {
+		t.Fatalf("result %d", v)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("execution order %v, want [1 2 3]", order)
+	}
+}
+
+func TestUnwrapped2(t *testing.T) {
+	a := MakeReady(6)
+	b := MakeReady(7)
+	f := Unwrapped2(a, b, func(x, y int) (int, error) { return x * y, nil })
+	if v := f.MustGet(); v != 42 {
+		t.Fatalf("Unwrapped2 = %d", v)
+	}
+}
+
+func TestUnwrapped3(t *testing.T) {
+	f := Unwrapped3(MakeReady(1), MakeReady(2.5), MakeReady("x"),
+		func(a int, b float64, c string) (string, error) {
+			if a == 1 && b == 2.5 && c == "x" {
+				return "ok", nil
+			}
+			return "", errors.New("wrong values")
+		})
+	if v := f.MustGet(); v != "ok" {
+		t.Fatalf("Unwrapped3 = %q", v)
+	}
+}
+
+func TestFutureDoneSelect(t *testing.T) {
+	p, f := NewPromise[int]()
+	select {
+	case <-f.Done():
+		t.Fatal("Done closed before Set")
+	default:
+	}
+	p.Set(1)
+	select {
+	case <-f.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Done not closed after Set")
+	}
+}
+
+func TestFuturePropertyValuePreserved(t *testing.T) {
+	// Property: any value set on a promise is observed unchanged by Get,
+	// from any number of goroutines.
+	f := func(v int64, waiters uint8) bool {
+		n := int(waiters)%16 + 1
+		p, fut := NewPromise[int64]()
+		results := make(chan int64, n)
+		for i := 0; i < n; i++ {
+			go func() {
+				got, _ := fut.Get()
+				results <- got
+			}()
+		}
+		p.Set(v)
+		for i := 0; i < n; i++ {
+			if got := <-results; got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

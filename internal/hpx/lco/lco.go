@@ -1,0 +1,330 @@
+// Package lco implements Local Control Objects, the HPX synchronization
+// primitives the paper describes in §III: objects that can create, resume,
+// or suspend a thread when triggered by one or more events, providing
+// latches, barriers, semaphores, events and spinlocks without global
+// fork-join synchronization.
+//
+// In this Go rendition "suspending a thread" is blocking a goroutine on a
+// channel or condition variable; the scheduler keeps running other
+// goroutines, which is exactly the property (Fig. 5) the paper exploits.
+package lco
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ---------------------------------------------------------------------------
+// Latch
+
+// Latch is a single-use countdown latch (hpx::latch): Wait blocks until the
+// counter reaches zero.
+type Latch struct {
+	mu    sync.Mutex
+	count int
+	done  chan struct{}
+}
+
+// NewLatch creates a latch with the given initial count. A count of zero is
+// already open.
+func NewLatch(count int) *Latch {
+	if count < 0 {
+		panic("lco: negative latch count")
+	}
+	l := &Latch{count: count, done: make(chan struct{})}
+	if count == 0 {
+		close(l.done)
+	}
+	return l
+}
+
+// CountDown decrements the counter by n, opening the latch at zero. It
+// panics if the latch would go negative.
+func (l *Latch) CountDown(n int) {
+	if n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.count == 0 {
+		panic("lco: latch counted down past zero")
+	}
+	l.count -= n
+	if l.count < 0 {
+		panic("lco: latch counted down past zero")
+	}
+	if l.count == 0 {
+		close(l.done)
+	}
+}
+
+// Wait blocks until the latch opens.
+func (l *Latch) Wait() { <-l.done }
+
+// TryWait reports whether the latch is open without blocking.
+func (l *Latch) TryWait() bool {
+	select {
+	case <-l.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Count returns the current counter value.
+func (l *Latch) Count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// ---------------------------------------------------------------------------
+// Event
+
+// Event is a manual-reset event: Wait blocks until Set is called; Reset
+// re-arms it. It mirrors hpx::lcos::local::event.
+type Event struct {
+	mu   sync.Mutex
+	done chan struct{}
+	set  bool
+}
+
+// NewEvent returns an unset event.
+func NewEvent() *Event {
+	return &Event{done: make(chan struct{})}
+}
+
+// Set signals the event, releasing all current and future waiters until
+// Reset.
+func (e *Event) Set() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.set {
+		e.set = true
+		close(e.done)
+	}
+}
+
+// Reset re-arms the event.
+func (e *Event) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.set {
+		e.set = false
+		e.done = make(chan struct{})
+	}
+}
+
+// Occurred reports whether the event is currently set.
+func (e *Event) Occurred() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.set
+}
+
+// Wait blocks until the event is set.
+func (e *Event) Wait() {
+	e.mu.Lock()
+	ch := e.done
+	e.mu.Unlock()
+	<-ch
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+
+// Barrier is a reusable cyclic barrier for a fixed number of participants,
+// like hpx::barrier. Arrive blocks until all participants of the current
+// generation have arrived.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     uint64
+}
+
+// NewBarrier creates a barrier for parties participants.
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic("lco: barrier needs at least one party")
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Arrive blocks the caller until all parties have arrived, then releases
+// the whole generation. It returns true for exactly one caller per
+// generation (the last arriver), which matches the "serial section" idiom.
+func (b *Barrier) Arrive() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return true
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return false
+}
+
+// Parties reports the number of participants.
+func (b *Barrier) Parties() int { return b.parties }
+
+// ---------------------------------------------------------------------------
+// Semaphore
+
+// Semaphore is a counting semaphore (hpx::counting_semaphore).
+type Semaphore struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	count int
+}
+
+// NewSemaphore creates a semaphore with the given number of permits.
+func NewSemaphore(permits int) *Semaphore {
+	if permits < 0 {
+		panic("lco: negative semaphore permits")
+	}
+	s := &Semaphore{count: permits}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Acquire takes one permit, blocking while none are available.
+func (s *Semaphore) Acquire() {
+	s.mu.Lock()
+	for s.count == 0 {
+		s.cond.Wait()
+	}
+	s.count--
+	s.mu.Unlock()
+}
+
+// TryAcquire takes a permit if one is available without blocking.
+func (s *Semaphore) TryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return false
+	}
+	s.count--
+	return true
+}
+
+// Release returns n permits.
+func (s *Semaphore) Release(n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.count += n
+	s.mu.Unlock()
+	for i := 0; i < n; i++ {
+		s.cond.Signal()
+	}
+}
+
+// Available reports the current number of permits.
+func (s *Semaphore) Available() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// ---------------------------------------------------------------------------
+// SpinLock
+
+// SpinLock is a test-and-test-and-set spinlock (hpx::spinlock) for very
+// short critical sections, such as the per-color block updates of an OP2
+// plan. It yields the processor while contended instead of blocking.
+type SpinLock struct {
+	state atomic.Uint32
+}
+
+// Lock acquires the lock, spinning (with yields) while contended.
+func (s *SpinLock) Lock() {
+	for {
+		if s.state.Load() == 0 && s.state.CompareAndSwap(0, 1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// TryLock acquires the lock if it is free.
+func (s *SpinLock) TryLock() bool {
+	return s.state.Load() == 0 && s.state.CompareAndSwap(0, 1)
+}
+
+// Unlock releases the lock. Unlocking an unlocked SpinLock panics.
+func (s *SpinLock) Unlock() {
+	if !s.state.CompareAndSwap(1, 0) {
+		panic("lco: unlock of unlocked SpinLock")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Channel (one-shot value LCO)
+
+// ErrChannelClosed is returned when receiving from a closed empty channel.
+var ErrChannelClosed = errors.New("lco: channel closed")
+
+// Channel is a one-shot single-value channel LCO: one Send, many Recv, all
+// receivers observe the same value — the LCO underneath a future.
+type Channel[T any] struct {
+	mu     sync.Mutex
+	done   chan struct{}
+	value  T
+	sent   bool
+	closed bool
+}
+
+// NewChannel creates an empty one-shot channel.
+func NewChannel[T any]() *Channel[T] {
+	return &Channel[T]{done: make(chan struct{})}
+}
+
+// Send stores the value and releases all receivers. A second Send or a
+// Send after Close panics.
+func (c *Channel[T]) Send(v T) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sent || c.closed {
+		panic("lco: send on completed channel")
+	}
+	c.value = v
+	c.sent = true
+	close(c.done)
+}
+
+// Close marks the channel as never going to receive a value. Receivers get
+// ErrChannelClosed.
+func (c *Channel[T]) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.sent && !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+}
+
+// Recv blocks until a value is sent or the channel is closed.
+func (c *Channel[T]) Recv() (T, error) {
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.sent {
+		var zero T
+		return zero, ErrChannelClosed
+	}
+	return c.value, nil
+}

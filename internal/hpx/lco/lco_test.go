@@ -1,0 +1,310 @@
+package lco
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLatchBasic(t *testing.T) {
+	l := NewLatch(3)
+	if l.TryWait() {
+		t.Fatal("latch open before countdown")
+	}
+	if l.Count() != 3 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	l.CountDown(1)
+	l.CountDown(2)
+	if !l.TryWait() {
+		t.Fatal("latch closed after full countdown")
+	}
+	l.Wait() // must not block
+}
+
+func TestLatchZeroIsOpen(t *testing.T) {
+	l := NewLatch(0)
+	if !l.TryWait() {
+		t.Fatal("zero latch not open")
+	}
+}
+
+func TestLatchNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLatch(-1) did not panic")
+		}
+	}()
+	NewLatch(-1)
+}
+
+func TestLatchOverCountPanics(t *testing.T) {
+	l := NewLatch(1)
+	l.CountDown(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("counting past zero did not panic")
+		}
+	}()
+	l.CountDown(1)
+}
+
+func TestLatchReleasesWaiters(t *testing.T) {
+	l := NewLatch(1)
+	const n = 8
+	var wg sync.WaitGroup
+	var released atomic.Int32
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			l.Wait()
+			released.Add(1)
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	if released.Load() != 0 {
+		t.Fatal("waiters released early")
+	}
+	l.CountDown(1)
+	wg.Wait()
+	if released.Load() != n {
+		t.Fatalf("released %d of %d", released.Load(), n)
+	}
+}
+
+func TestEventSetResetCycle(t *testing.T) {
+	e := NewEvent()
+	if e.Occurred() {
+		t.Fatal("new event set")
+	}
+	e.Set()
+	if !e.Occurred() {
+		t.Fatal("event not set")
+	}
+	e.Wait() // open: returns immediately
+	e.Set()  // idempotent
+	e.Reset()
+	if e.Occurred() {
+		t.Fatal("event set after Reset")
+	}
+	done := make(chan struct{})
+	go func() {
+		e.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Wait returned while event reset")
+	case <-time.After(2 * time.Millisecond):
+	}
+	e.Set()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Wait did not return after Set")
+	}
+}
+
+func TestBarrierGenerations(t *testing.T) {
+	const parties = 4
+	const rounds = 10
+	b := NewBarrier(parties)
+	if b.Parties() != parties {
+		t.Fatalf("Parties = %d", b.Parties())
+	}
+	var phase atomic.Int32
+	var mismatches atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(parties)
+	for p := 0; p < parties; p++ {
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if int(phase.Load()) != r {
+					mismatches.Add(1)
+				}
+				if b.Arrive() {
+					phase.Add(1) // serial section: exactly one per round
+				}
+				b.Arrive() // second barrier so phase is stable when read
+			}
+		}()
+	}
+	wg.Wait()
+	if mismatches.Load() != 0 {
+		t.Fatalf("%d phase mismatches: barrier leaked between generations", mismatches.Load())
+	}
+	if got := phase.Load(); got != rounds {
+		t.Fatalf("serial section ran %d times, want %d", got, rounds)
+	}
+}
+
+func TestBarrierLastArriverTrueOnce(t *testing.T) {
+	b := NewBarrier(3)
+	var trues atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			defer wg.Done()
+			if b.Arrive() {
+				trues.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if trues.Load() != 1 {
+		t.Fatalf("Arrive returned true %d times, want exactly 1", trues.Load())
+	}
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	s := NewSemaphore(2)
+	var inside, maxInside atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Acquire()
+			now := inside.Add(1)
+			for {
+				cur := maxInside.Load()
+				if now <= cur || maxInside.CompareAndSwap(cur, now) {
+					break
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+			inside.Add(-1)
+			s.Release(1)
+		}()
+	}
+	wg.Wait()
+	if maxInside.Load() > 2 {
+		t.Fatalf("semaphore admitted %d goroutines, limit 2", maxInside.Load())
+	}
+	if s.Available() != 2 {
+		t.Fatalf("Available = %d after all released", s.Available())
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	s := NewSemaphore(1)
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire failed with permit available")
+	}
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire succeeded with no permits")
+	}
+	s.Release(1)
+	if !s.TryAcquire() {
+		t.Fatal("TryAcquire failed after Release")
+	}
+}
+
+func TestSpinLockMutualExclusion(t *testing.T) {
+	var l SpinLock
+	counter := 0
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const increments = 1000
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < increments; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*increments {
+		t.Fatalf("counter = %d, want %d: lost updates", counter, goroutines*increments)
+	}
+}
+
+func TestSpinLockTryLock(t *testing.T) {
+	var l SpinLock
+	if !l.TryLock() {
+		t.Fatal("TryLock on free lock failed")
+	}
+	if l.TryLock() {
+		t.Fatal("TryLock on held lock succeeded")
+	}
+	l.Unlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	l.Unlock()
+}
+
+func TestSpinLockUnlockUnheldPanics(t *testing.T) {
+	var l SpinLock
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unheld lock did not panic")
+		}
+	}()
+	l.Unlock()
+}
+
+func TestChannelSendRecv(t *testing.T) {
+	c := NewChannel[string]()
+	go c.Send("value")
+	v, err := c.Recv()
+	if err != nil || v != "value" {
+		t.Fatalf("Recv = (%q, %v)", v, err)
+	}
+	// All receivers observe the same value.
+	v2, err := c.Recv()
+	if err != nil || v2 != "value" {
+		t.Fatalf("second Recv = (%q, %v)", v2, err)
+	}
+}
+
+func TestChannelClose(t *testing.T) {
+	c := NewChannel[int]()
+	c.Close()
+	if _, err := c.Recv(); err != ErrChannelClosed {
+		t.Fatalf("Recv on closed = %v", err)
+	}
+	c.Close() // idempotent
+}
+
+func TestChannelDoubleSendPanics(t *testing.T) {
+	c := NewChannel[int]()
+	c.Send(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Send did not panic")
+		}
+	}()
+	c.Send(2)
+}
+
+func TestSemaphorePropertyPermitsConserved(t *testing.T) {
+	f := func(permits uint8, acquirers uint8) bool {
+		p := int(permits)%8 + 1
+		n := int(acquirers)%16 + 1
+		s := NewSemaphore(p)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go func() {
+				defer wg.Done()
+				s.Acquire()
+				s.Release(1)
+			}()
+		}
+		wg.Wait()
+		return s.Available() == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

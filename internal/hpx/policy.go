@@ -1,0 +1,92 @@
+package hpx
+
+import (
+	"fmt"
+
+	"op2hpx/internal/hpx/sched"
+)
+
+// Mode selects sequential or parallel execution of an algorithm, the first
+// axis of Table I in the paper.
+type Mode int
+
+const (
+	// Seq executes the algorithm sequentially on the calling goroutine.
+	Seq Mode = iota
+	// Par executes the algorithm in parallel on the task pool.
+	Par
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Seq:
+		return "seq"
+	case Par:
+		return "par"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Policy is an execution policy in the sense of Table I: a mode (seq/par),
+// an optional task launch (seq(task)/par(task), making the algorithm return
+// immediately with a future), a chunker controlling how much work each task
+// performs (§IV-B), and the pool that hosts the tasks.
+type Policy struct {
+	mode    Mode
+	task    bool
+	chunker Chunker
+	pool    *sched.Pool
+}
+
+// SeqPolicy returns the "seq" policy: sequential, synchronous execution.
+func SeqPolicy() Policy { return Policy{mode: Seq} }
+
+// ParPolicy returns the "par" policy: parallel, synchronous execution on
+// the default pool with automatic chunk sizing.
+func ParPolicy() Policy { return Policy{mode: Par} }
+
+// WithTask returns the asynchronous variant of p — seq(task) or par(task)
+// from Table I. Algorithms invoked with a task policy return a future
+// immediately instead of blocking.
+func (p Policy) WithTask() Policy { p.task = true; return p }
+
+// WithChunker returns p with an explicit chunk-size controller.
+func (p Policy) WithChunker(c Chunker) Policy { p.chunker = c; return p }
+
+// WithPool returns p bound to an explicit scheduler pool. The pool size is
+// the thread count of the strong-scaling experiments.
+func (p Policy) WithPool(pool *sched.Pool) Policy { p.pool = pool; return p }
+
+// Mode reports whether the policy is sequential or parallel.
+func (p Policy) Mode() Mode { return p.mode }
+
+// IsTask reports whether the policy launches asynchronously.
+func (p Policy) IsTask() bool { return p.task }
+
+// Chunker returns the policy's chunk-size controller, defaulting to
+// AutoChunkSize.
+func (p Policy) Chunker() Chunker {
+	if p.chunker == nil {
+		return AutoChunker()
+	}
+	return p.chunker
+}
+
+// Pool returns the scheduler pool the policy targets, defaulting to the
+// process-wide pool.
+func (p Policy) Pool() *sched.Pool {
+	if p.pool == nil {
+		return sched.Default()
+	}
+	return p.pool
+}
+
+// String renders the policy the way Table I names them.
+func (p Policy) String() string {
+	s := p.mode.String()
+	if p.task {
+		s += "(task)"
+	}
+	return s
+}

@@ -1,0 +1,218 @@
+package prefetch
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"op2hpx/internal/hpx"
+	"op2hpx/internal/hpx/sched"
+)
+
+func testPolicy(t *testing.T, workers int) hpx.Policy {
+	t.Helper()
+	pool := sched.NewPool(workers)
+	t.Cleanup(pool.Close)
+	return hpx.ParPolicy().WithPool(pool)
+}
+
+func TestNewContextValidation(t *testing.T) {
+	a := make(Float64s, 100)
+	if _, err := NewContext(0, 100, 4, a); err != nil {
+		t.Fatalf("valid context rejected: %v", err)
+	}
+	if _, err := NewContext(10, 5, 4, a); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := NewContext(0, 200, 4, a); err == nil {
+		t.Fatal("container shorter than range accepted")
+	}
+	if _, err := NewContext(0, 10, 4, nil, a); err == nil {
+		t.Fatal("nil container accepted")
+	}
+}
+
+func TestContextAccessors(t *testing.T) {
+	a := make(Float64s, 64)
+	ctx, err := NewContext(8, 64, 2, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Distance() != 2 {
+		t.Fatalf("Distance = %d", ctx.Distance())
+	}
+	if first, last := ctx.Range(); first != 8 || last != 64 {
+		t.Fatalf("Range = [%d, %d)", first, last)
+	}
+	if ctx.UnitElems() != 2*8 {
+		t.Fatalf("UnitElems = %d, want 16", ctx.UnitElems())
+	}
+	if !ctx.Enabled() {
+		t.Fatal("context with distance 2 not enabled")
+	}
+}
+
+func TestContextDisabled(t *testing.T) {
+	a := make(Float64s, 16)
+	ctx, err := NewContext(0, 16, 0, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Enabled() {
+		t.Fatal("distance 0 should disable prefetching")
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	const n = 4096
+	c1 := make(Float64s, n)
+	c2 := make(Float64s, n)
+	ctx, err := NewContext(0, n, 3, c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := make([]atomic.Int32, n)
+	pol := testPolicy(t, 4)
+	if err := ForEach(pol, ctx, func(i int) { visits[i].Add(1) }).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range visits {
+		if visits[i].Load() != 1 {
+			t.Fatalf("index %d visited %d times", i, visits[i].Load())
+		}
+	}
+}
+
+func TestForEachDisabledFallsBack(t *testing.T) {
+	const n = 1000
+	c := make(Float64s, n)
+	ctx, err := NewContext(0, n, 0, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count atomic.Int64
+	if err := ForEach(testPolicy(t, 2), ctx, func(i int) { count.Add(1) }).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != n {
+		t.Fatalf("count = %d", count.Load())
+	}
+}
+
+func TestForEachComputesCorrectResult(t *testing.T) {
+	// The actual workload shape of Fig. 14: write all containers per i.
+	const n = 2048
+	in := make(Float64s, n)
+	out1 := make(Float64s, n)
+	out2 := make(Float64s, n)
+	for i := range in {
+		in[i] = float64(i)
+	}
+	ctx, err := NewContext(0, n, 15, in, out1, out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ForEach(testPolicy(t, 4), ctx, func(i int) {
+		out1[i] = in[i] * 2
+		out2[i] = in[i] + 1
+	}).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if out1[i] != float64(i)*2 || out2[i] != float64(i)+1 {
+			t.Fatalf("wrong result at %d: %g, %g", i, out1[i], out2[i])
+		}
+	}
+}
+
+func TestForEachSequentialPolicy(t *testing.T) {
+	// §V: HPX is able to prefetch data in sequential or in parallel.
+	const n = 512
+	c := make(Float64s, n)
+	ctx, err := NewContext(0, n, 4, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	err = ForEach(hpx.SeqPolicy(), ctx, func(i int) { order = append(order, i) }).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("ran %d iterations, want %d", len(order), n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order violated at %d: %d", i, v)
+		}
+	}
+}
+
+func TestTouchRangeHandlesAllTypes(t *testing.T) {
+	// TouchRange must not read out of bounds for any type or range.
+	cases := []Prefetchable{
+		make(Float64s, 100), make(Float32s, 100), make(Int32s, 100),
+		make(Int64s, 100), make(Bytes, 100),
+	}
+	for _, c := range cases {
+		c.TouchRange(0, 100)
+		c.TouchRange(90, 200) // clamps
+		c.TouchRange(50, 50)  // empty
+		if c.Len() != 100 {
+			t.Fatalf("Len = %d", c.Len())
+		}
+	}
+}
+
+func TestMixedContainerTypes(t *testing.T) {
+	// "it works with any data types even in a case of having different
+	// type for each container" (§V).
+	const n = 1024
+	f64 := make(Float64s, n)
+	f32 := make(Float32s, n)
+	i32 := make(Int32s, n)
+	ctx, err := NewContext(0, n, 8, f64, f32, i32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ForEach(testPolicy(t, 2), ctx, func(i int) {
+		f64[i] = float64(i32[i]) + float64(f32[i])
+	}).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachPropertyAllDistancesCorrect(t *testing.T) {
+	// Property: the computed result is identical for every prefetch
+	// distance — prefetching is a pure performance transformation.
+	pool := sched.NewPool(4)
+	defer pool.Close()
+	f := func(dist uint8, size uint16) bool {
+		n := int(size)%2000 + 1
+		d := int(dist) % 40
+		in := make(Float64s, n)
+		out := make(Float64s, n)
+		for i := range in {
+			in[i] = float64(i) * 0.5
+		}
+		ctx, err := NewContext(0, n, d, in, out)
+		if err != nil {
+			return false
+		}
+		pol := hpx.ParPolicy().WithPool(pool)
+		if err := ForEach(pol, ctx, func(i int) { out[i] = in[i] * 3 }).Wait(); err != nil {
+			return false
+		}
+		for i := range out {
+			if out[i] != in[i]*3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

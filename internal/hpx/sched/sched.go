@@ -1,0 +1,308 @@
+// Package sched implements the task scheduler underlying the HPX-like
+// runtime: a fixed-size pool of worker goroutines with per-worker
+// work-stealing deques and a global inject queue.
+//
+// The pool plays the role of the HPX thread pool: the number of workers is
+// the "--hpx:threads" knob used by the paper's strong-scaling experiments,
+// and every chunk produced by the parallel algorithms in package hpx is a
+// task scheduled here. Tasks are plain func() values; they must not block
+// indefinitely (future waits are performed by ordinary goroutines outside
+// the pool, mirroring how HPX suspends user-level threads instead of
+// blocking OS threads).
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is a unit of work executed by the pool.
+type Task func()
+
+// ErrClosed is returned by Submit after Close has been called.
+var ErrClosed = errors.New("sched: pool is closed")
+
+// deque is a mutex-protected double-ended queue of tasks. The owning worker
+// pushes and pops at the tail (LIFO, for locality); thieves steal from the
+// head (FIFO, for fairness), the classic Chase-Lev access pattern without
+// the lock-free machinery, which the chunk granularity used here does not
+// need.
+type deque struct {
+	mu    sync.Mutex
+	tasks []Task
+}
+
+func (d *deque) pushTail(t Task) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+func (d *deque) popTail() (Task, bool) {
+	d.mu.Lock()
+	n := len(d.tasks)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = nil
+	d.tasks = d.tasks[:n-1]
+	d.mu.Unlock()
+	return t, true
+}
+
+func (d *deque) stealHead() (Task, bool) {
+	d.mu.Lock()
+	if len(d.tasks) == 0 {
+		d.mu.Unlock()
+		return nil, false
+	}
+	t := d.tasks[0]
+	d.tasks[0] = nil
+	d.tasks = d.tasks[1:]
+	d.mu.Unlock()
+	return t, true
+}
+
+func (d *deque) len() int {
+	d.mu.Lock()
+	n := len(d.tasks)
+	d.mu.Unlock()
+	return n
+}
+
+// Pool is a work-stealing scheduler with a fixed number of workers.
+type Pool struct {
+	deques []*deque
+	next   atomic.Uint64 // round-robin cursor for Submit
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	global   []Task // overflow / external queue, FIFO
+	sleepers int
+	closed   bool
+
+	wg sync.WaitGroup
+
+	executed atomic.Uint64
+	stolen   atomic.Uint64
+}
+
+// NewPool creates and starts a pool with n workers. If n <= 0 the number of
+// workers defaults to runtime.GOMAXPROCS(0).
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{deques: make([]*deque, n)}
+	p.cond = sync.NewCond(&p.mu)
+	for i := range p.deques {
+		p.deques[i] = &deque{}
+	}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+// Size reports the number of workers.
+func (p *Pool) Size() int { return len(p.deques) }
+
+// Stats reports the number of tasks executed and the number of tasks that
+// were obtained by stealing rather than from the worker's own deque.
+func (p *Pool) Stats() (executed, stolen uint64) {
+	return p.executed.Load(), p.stolen.Load()
+}
+
+// Submit schedules t for execution. Tasks are distributed round-robin over
+// the worker deques so that stealing only happens on imbalance.
+func (p *Pool) Submit(t Task) error {
+	if t == nil {
+		return errors.New("sched: nil task")
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.mu.Unlock()
+	i := int(p.next.Add(1)-1) % len(p.deques)
+	p.deques[i].pushTail(t)
+	p.wake()
+	return nil
+}
+
+// SubmitMany schedules a batch of tasks, spreading them evenly across the
+// worker deques and waking every sleeping worker once.
+func (p *Pool) SubmitMany(ts []Task) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.mu.Unlock()
+	for _, t := range ts {
+		if t == nil {
+			return errors.New("sched: nil task")
+		}
+		i := int(p.next.Add(1)-1) % len(p.deques)
+		p.deques[i].pushTail(t)
+	}
+	p.wakeAll()
+	return nil
+}
+
+// Close stops the pool. Workers drain any already-queued work and then
+// exit; Close blocks until they are gone. Submitting after Close fails with
+// ErrClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) wake() {
+	p.mu.Lock()
+	if p.sleepers > 0 {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+func (p *Pool) wakeAll() {
+	p.mu.Lock()
+	if p.sleepers > 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	rng := rand.New(rand.NewSource(int64(id)*2654435761 + 1))
+	own := p.deques[id]
+	for {
+		if t, ok := own.popTail(); ok {
+			t()
+			p.executed.Add(1)
+			continue
+		}
+		if t, ok := p.popGlobal(); ok {
+			t()
+			p.executed.Add(1)
+			continue
+		}
+		if t, ok := p.steal(id, rng); ok {
+			t()
+			p.executed.Add(1)
+			p.stolen.Add(1)
+			continue
+		}
+		// Nothing found anywhere: park, unless shutting down. The
+		// re-check under the pool lock pairs with Submit's
+		// push-then-lock ordering: any task pushed before we looked
+		// is visible here, and any task pushed after must wait for
+		// the lock we hold until cond.Wait releases it, so its wake
+		// signal cannot be lost.
+		p.mu.Lock()
+		if len(p.global) > 0 || p.anyQueued() {
+			p.mu.Unlock()
+			continue
+		}
+		if p.closed {
+			// Re-check deques once under the assumption new work
+			// cannot arrive after close.
+			p.mu.Unlock()
+			if p.anyQueued() {
+				continue
+			}
+			return
+		}
+		p.sleepers++
+		p.cond.Wait()
+		p.sleepers--
+		p.mu.Unlock()
+	}
+}
+
+func (p *Pool) popGlobal() (Task, bool) {
+	p.mu.Lock()
+	if len(p.global) == 0 {
+		p.mu.Unlock()
+		return nil, false
+	}
+	t := p.global[0]
+	p.global[0] = nil
+	p.global = p.global[1:]
+	p.mu.Unlock()
+	return t, true
+}
+
+func (p *Pool) steal(self int, rng *rand.Rand) (Task, bool) {
+	n := len(p.deques)
+	if n == 1 {
+		return nil, false
+	}
+	start := rng.Intn(n)
+	for k := 0; k < n; k++ {
+		v := (start + k) % n
+		if v == self {
+			continue
+		}
+		if t, ok := p.deques[v].stealHead(); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (p *Pool) anyQueued() bool {
+	for _, d := range p.deques {
+		if d.len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+var (
+	defaultPool   *Pool
+	defaultPoolMu sync.Mutex
+)
+
+// Default returns the process-wide pool, creating it with GOMAXPROCS
+// workers on first use.
+func Default() *Pool {
+	defaultPoolMu.Lock()
+	defer defaultPoolMu.Unlock()
+	if defaultPool == nil {
+		defaultPool = NewPool(0)
+	}
+	return defaultPool
+}
+
+// ResetDefault replaces the process-wide pool with a pool of n workers and
+// closes the previous one. It is used by benchmarks that sweep the thread
+// count, mirroring HPX's --hpx:threads option.
+func ResetDefault(n int) *Pool {
+	defaultPoolMu.Lock()
+	old := defaultPool
+	defaultPool = NewPool(n)
+	defaultPoolMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return defaultPool
+}

@@ -1,0 +1,223 @@
+// Package perf provides the measurement harness for the experiment
+// reproduction: repeated timing with summary statistics, speedup and
+// bandwidth computation, and plain-text rendering of the tables/series
+// behind every figure of the paper's evaluation section.
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stats summarizes repeated measurements of one configuration.
+type Stats struct {
+	N      int
+	Mean   time.Duration
+	Min    time.Duration
+	Max    time.Duration
+	Stddev time.Duration
+}
+
+// Measure runs f reps times (after warmup warm-up runs) and returns timing
+// statistics. The first error aborts measurement.
+func Measure(warmup, reps int, f func() error) (Stats, error) {
+	for i := 0; i < warmup; i++ {
+		if err := f(); err != nil {
+			return Stats{}, fmt.Errorf("perf: warmup run failed: %w", err)
+		}
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	durs := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return Stats{}, fmt.Errorf("perf: measured run failed: %w", err)
+		}
+		durs = append(durs, time.Since(start))
+	}
+	return Summarize(durs), nil
+}
+
+// Summarize computes statistics over a set of durations.
+func Summarize(durs []time.Duration) Stats {
+	if len(durs) == 0 {
+		return Stats{}
+	}
+	s := Stats{N: len(durs), Min: durs[0], Max: durs[0]}
+	var sum, sumsq float64
+	for _, d := range durs {
+		if d < s.Min {
+			s.Min = d
+		}
+		if d > s.Max {
+			s.Max = d
+		}
+		sum += float64(d)
+	}
+	mean := sum / float64(len(durs))
+	s.Mean = time.Duration(mean)
+	for _, d := range durs {
+		diff := float64(d) - mean
+		sumsq += diff * diff
+	}
+	s.Stddev = time.Duration(math.Sqrt(sumsq / float64(len(durs))))
+	return s
+}
+
+// Speedup returns base/t — the strong-scaling speedup of t relative to the
+// baseline duration.
+func Speedup(base, t time.Duration) float64 {
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return float64(base) / float64(t)
+}
+
+// BandwidthMBs converts bytes moved in d into MB/s (decimal megabytes, the
+// unit of the paper's transfer-rate figures).
+func BandwidthMBs(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return float64(bytes) / 1e6 / d.Seconds()
+}
+
+// Table is a printable result table for one experiment: one row per sweep
+// point, one column per measured variant.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a formatted row. Values may be strings, integers, floats
+// (rendered with 3 significant decimals) or time.Durations.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		row[i] = formatCell(v)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the formatted rows.
+func (t *Table) Rows() [][]string { return t.rows }
+
+func formatCell(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case time.Duration:
+		return fmt.Sprintf("%.3fms", float64(x)/float64(time.Millisecond))
+	case float64:
+		return fmt.Sprintf("%.3f", x)
+	case float32:
+		return fmt.Sprintf("%.3f", x)
+	case int:
+		return fmt.Sprintf("%d", x)
+	case int64:
+		return fmt.Sprintf("%d", x)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// GeoMean returns the geometric mean of positive values; zero if empty or
+// any value is non-positive.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	logsum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		logsum += math.Log(v)
+	}
+	return math.Exp(logsum / float64(len(vals)))
+}
+
+// ThreadSweep returns the thread counts for a strong-scaling sweep up to
+// max, doubling from 1 (1, 2, 4, ..., max), always including max itself —
+// the x-axis of Figs. 15-19.
+func ThreadSweep(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var out []int
+	for t := 1; t < max; t *= 2 {
+		out = append(out, t)
+	}
+	out = append(out, max)
+	sort.Ints(out)
+	// Dedupe (max may be a power of two already).
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}

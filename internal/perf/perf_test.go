@@ -1,0 +1,139 @@
+package perf
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond})
+	if s.N != 3 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 20*time.Millisecond {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.Min != 10*time.Millisecond || s.Max != 30*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	want := math.Sqrt(2.0/3.0) * 10 // population stddev of {10,20,30} ms
+	got := float64(s.Stddev) / float64(time.Millisecond)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("Stddev = %.3fms, want %.3fms", got, want)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("Summarize(nil) = %+v", s)
+	}
+}
+
+func TestMeasureCountsRuns(t *testing.T) {
+	runs := 0
+	s, err := Measure(2, 5, func() error { runs++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 7 {
+		t.Fatalf("ran %d times, want 7 (2 warmup + 5 measured)", runs)
+	}
+	if s.N != 5 {
+		t.Fatalf("N = %d", s.N)
+	}
+}
+
+func TestMeasurePropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	if _, err := Measure(0, 3, func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Measure(1, 3, func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("warmup err = %v", err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10*time.Second, 2*time.Second); got != 5 {
+		t.Fatalf("Speedup = %g", got)
+	}
+	if !math.IsInf(Speedup(time.Second, 0), 1) {
+		t.Fatal("zero duration should give +Inf speedup")
+	}
+}
+
+func TestBandwidthMBs(t *testing.T) {
+	if got := BandwidthMBs(2e6, time.Second); got != 2 {
+		t.Fatalf("BandwidthMBs = %g", got)
+	}
+	if got := BandwidthMBs(1e6, 500*time.Millisecond); got != 2 {
+		t.Fatalf("BandwidthMBs = %g", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean = %g", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("GeoMean with negative value != 0")
+	}
+}
+
+func TestThreadSweep(t *testing.T) {
+	cases := map[int][]int{
+		1:  {1},
+		2:  {1, 2},
+		8:  {1, 2, 4, 8},
+		12: {1, 2, 4, 8, 12},
+		16: {1, 2, 4, 8, 16},
+	}
+	for max, want := range cases {
+		got := ThreadSweep(max)
+		if len(got) != len(want) {
+			t.Fatalf("ThreadSweep(%d) = %v, want %v", max, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ThreadSweep(%d) = %v, want %v", max, got, want)
+			}
+		}
+	}
+	if got := ThreadSweep(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("ThreadSweep(0) = %v", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Fig. X", "threads", "time", "speedup")
+	tab.Note = "test note"
+	tab.AddRow(1, 20*time.Millisecond, 1.0)
+	tab.AddRow(16, 2500*time.Microsecond, 8.0)
+	out := tab.String()
+	for _, want := range []string{"Fig. X", "test note", "threads", "20.000ms", "2.500ms", "8.000", "16"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	if rows := tab.Rows(); len(rows) != 2 {
+		t.Fatalf("Rows = %d", len(rows))
+	}
+}
+
+func TestFormatCellTypes(t *testing.T) {
+	tab := NewTable("t", "a")
+	tab.AddRow("s")
+	tab.AddRow(int64(7))
+	tab.AddRow(float32(1.5))
+	tab.AddRow(struct{ X int }{1})
+	rows := tab.Rows()
+	if rows[0][0] != "s" || rows[1][0] != "7" || rows[2][0] != "1.500" {
+		t.Fatalf("rows = %v", rows)
+	}
+}

@@ -1,0 +1,293 @@
+package translator
+
+import "fmt"
+
+// AccessMode is an OP2 access descriptor as written in source (OP_READ,
+// OP_WRITE, OP_RW, OP_INC, OP_MIN, OP_MAX).
+type AccessMode string
+
+// The access descriptors of the OP2 API.
+const (
+	AccRead  AccessMode = "OP_READ"
+	AccWrite AccessMode = "OP_WRITE"
+	AccRW    AccessMode = "OP_RW"
+	AccInc   AccessMode = "OP_INC"
+	AccMin   AccessMode = "OP_MIN"
+	AccMax   AccessMode = "OP_MAX"
+)
+
+var validAccess = map[AccessMode]bool{
+	AccRead: true, AccWrite: true, AccRW: true,
+	AccInc: true, AccMin: true, AccMax: true,
+}
+
+// Writes reports whether the access modifies data.
+func (a AccessMode) Writes() bool { return a != AccRead }
+
+// SetDecl is op_decl_set(size, name). Size is either a literal (Size >= 0)
+// or a runtime parameter (SizeParam != "").
+type SetDecl struct {
+	Name      string
+	Size      int
+	SizeParam string
+	Line      int
+}
+
+// MapDecl is op_decl_map(from, to, dim, data, name). Data names the
+// runtime parameter supplying the index table.
+type MapDecl struct {
+	Name string
+	From string
+	To   string
+	Dim  int
+	Data string
+	Line int
+}
+
+// DatDecl is op_decl_dat(set, dim, "double", data, name). Data names the
+// runtime parameter supplying initial values ("" = zero-initialized).
+type DatDecl struct {
+	Name string
+	Set  string
+	Dim  int
+	Typ  string
+	Data string
+	Line int
+}
+
+// GblDecl is op_decl_gbl(dim, "double", name): a global reduction target
+// or parameter.
+type GblDecl struct {
+	Name string
+	Dim  int
+	Typ  string
+	Line int
+}
+
+// ConstDecl is op_decl_const(dim, "double", name): a flow constant made
+// available to kernels.
+type ConstDecl struct {
+	Name string
+	Dim  int
+	Typ  string
+	Line int
+}
+
+// ArgKind distinguishes op_arg_dat from op_arg_gbl.
+type ArgKind int
+
+// Argument kinds.
+const (
+	ArgKindDat ArgKind = iota
+	ArgKindGbl
+)
+
+// LoopArg is one op_arg_dat/op_arg_gbl inside an op_par_loop.
+type LoopArg struct {
+	Kind ArgKind
+	Dat  string // dat or global name
+	Idx  int    // map index; -1 for OP_ID
+	Map  string // "" for OP_ID / globals
+	Dim  int
+	Typ  string
+	Acc  AccessMode
+	Line int
+}
+
+// LoopDecl is op_par_loop(kernel, "name", set, args...).
+type LoopDecl struct {
+	Kernel string
+	Name   string
+	Set    string
+	Args   []LoopArg
+	Line   int
+}
+
+// Program is a parsed OP2 program.
+type Program struct {
+	Sets   []SetDecl
+	Maps   []MapDecl
+	Dats   []DatDecl
+	Gbls   []GblDecl
+	Consts []ConstDecl
+	Loops  []LoopDecl
+}
+
+// lookup helpers used by analysis and codegen.
+
+func (p *Program) set(name string) (*SetDecl, bool) {
+	for i := range p.Sets {
+		if p.Sets[i].Name == name {
+			return &p.Sets[i], true
+		}
+	}
+	return nil, false
+}
+
+func (p *Program) mapDecl(name string) (*MapDecl, bool) {
+	for i := range p.Maps {
+		if p.Maps[i].Name == name {
+			return &p.Maps[i], true
+		}
+	}
+	return nil, false
+}
+
+func (p *Program) dat(name string) (*DatDecl, bool) {
+	for i := range p.Dats {
+		if p.Dats[i].Name == name {
+			return &p.Dats[i], true
+		}
+	}
+	return nil, false
+}
+
+func (p *Program) gbl(name string) (*GblDecl, bool) {
+	for i := range p.Gbls {
+		if p.Gbls[i].Name == name {
+			return &p.Gbls[i], true
+		}
+	}
+	return nil, false
+}
+
+// Analyze performs the semantic checks the OP2 translator performs before
+// code generation: all referenced entities exist, dimensions agree with
+// declarations, map indices are in range, access descriptors are legal for
+// the argument kind, and names are unique.
+func Analyze(p *Program) error {
+	names := map[string]string{}
+	declare := func(kind, name string, line int) error {
+		if name == "" {
+			return fmt.Errorf("line %d: %s with empty name", line, kind)
+		}
+		if prev, ok := names[name]; ok {
+			return fmt.Errorf("line %d: %s %q redeclares a %s", line, kind, name, prev)
+		}
+		names[name] = kind
+		return nil
+	}
+	for _, s := range p.Sets {
+		if err := declare("set", s.Name, s.Line); err != nil {
+			return err
+		}
+		if s.SizeParam == "" && s.Size < 0 {
+			return fmt.Errorf("line %d: set %q has negative size", s.Line, s.Name)
+		}
+	}
+	for _, m := range p.Maps {
+		if err := declare("map", m.Name, m.Line); err != nil {
+			return err
+		}
+		if _, ok := p.set(m.From); !ok {
+			return fmt.Errorf("line %d: map %q: unknown from set %q", m.Line, m.Name, m.From)
+		}
+		if _, ok := p.set(m.To); !ok {
+			return fmt.Errorf("line %d: map %q: unknown to set %q", m.Line, m.Name, m.To)
+		}
+		if m.Dim < 1 {
+			return fmt.Errorf("line %d: map %q: dimension %d < 1", m.Line, m.Name, m.Dim)
+		}
+	}
+	for _, d := range p.Dats {
+		if err := declare("dat", d.Name, d.Line); err != nil {
+			return err
+		}
+		if _, ok := p.set(d.Set); !ok {
+			return fmt.Errorf("line %d: dat %q: unknown set %q", d.Line, d.Name, d.Set)
+		}
+		if d.Dim < 1 {
+			return fmt.Errorf("line %d: dat %q: dimension %d < 1", d.Line, d.Name, d.Dim)
+		}
+	}
+	for _, g := range p.Gbls {
+		if err := declare("global", g.Name, g.Line); err != nil {
+			return err
+		}
+		if g.Dim < 1 {
+			return fmt.Errorf("line %d: global %q: dimension %d < 1", g.Line, g.Name, g.Dim)
+		}
+	}
+	for _, c := range p.Consts {
+		if err := declare("const", c.Name, c.Line); err != nil {
+			return err
+		}
+		if c.Dim < 1 {
+			return fmt.Errorf("line %d: const %q: dimension %d < 1", c.Line, c.Name, c.Dim)
+		}
+	}
+	loopNames := map[string]bool{}
+	for _, l := range p.Loops {
+		if loopNames[l.Name] {
+			return fmt.Errorf("line %d: duplicate loop name %q", l.Line, l.Name)
+		}
+		loopNames[l.Name] = true
+		if _, ok := p.set(l.Set); !ok {
+			return fmt.Errorf("line %d: loop %q: unknown iteration set %q", l.Line, l.Name, l.Set)
+		}
+		if len(l.Args) == 0 {
+			return fmt.Errorf("line %d: loop %q has no arguments", l.Line, l.Name)
+		}
+		for i, a := range l.Args {
+			if err := analyzeArg(p, &l, i, a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func analyzeArg(p *Program, l *LoopDecl, i int, a LoopArg) error {
+	where := fmt.Sprintf("line %d: loop %q arg %d", a.Line, l.Name, i)
+	if !validAccess[a.Acc] {
+		return fmt.Errorf("%s: invalid access %q", where, a.Acc)
+	}
+	if a.Kind == ArgKindGbl {
+		g, ok := p.gbl(a.Dat)
+		if !ok {
+			return fmt.Errorf("%s: unknown global %q", where, a.Dat)
+		}
+		if a.Dim != g.Dim {
+			return fmt.Errorf("%s: global %q declared dim %d, used with dim %d", where, a.Dat, g.Dim, a.Dim)
+		}
+		switch a.Acc {
+		case AccRead, AccInc, AccMin, AccMax:
+		default:
+			return fmt.Errorf("%s: access %s not valid for globals", where, a.Acc)
+		}
+		return nil
+	}
+	d, ok := p.dat(a.Dat)
+	if !ok {
+		return fmt.Errorf("%s: unknown dat %q", where, a.Dat)
+	}
+	if a.Dim != d.Dim {
+		return fmt.Errorf("%s: dat %q declared dim %d, used with dim %d", where, a.Dat, d.Dim, a.Dim)
+	}
+	if a.Acc == AccMin || a.Acc == AccMax {
+		return fmt.Errorf("%s: access %s only valid for globals", where, a.Acc)
+	}
+	if a.Map == "" {
+		if a.Idx != -1 {
+			return fmt.Errorf("%s: OP_ID requires idx -1, got %d", where, a.Idx)
+		}
+		if d.Set != l.Set {
+			return fmt.Errorf("%s: direct dat %q lives on set %q, loop iterates %q", where, a.Dat, d.Set, l.Set)
+		}
+		return nil
+	}
+	m, ok := p.mapDecl(a.Map)
+	if !ok {
+		return fmt.Errorf("%s: unknown map %q", where, a.Map)
+	}
+	if m.From != l.Set {
+		return fmt.Errorf("%s: map %q maps from %q, loop iterates %q", where, a.Map, m.From, l.Set)
+	}
+	if m.To != d.Set {
+		return fmt.Errorf("%s: map %q targets %q, dat %q lives on %q", where, a.Map, m.To, a.Dat, d.Set)
+	}
+	if a.Idx < 0 || a.Idx >= m.Dim {
+		return fmt.Errorf("%s: map index %d outside map %q of dim %d", where, a.Idx, a.Map, m.Dim)
+	}
+	return nil
+}

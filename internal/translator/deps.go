@@ -1,0 +1,170 @@
+package translator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Static inter-loop dependency analysis — the paper's future-work
+// direction ("collecting the outcome of the static analysis performed by
+// the compiler could significantly improve the runtime performance",
+// §VII): from the access descriptors alone, the translator derives the
+// exact dependency DAG the runtime's dataflow backend will build through
+// its per-dat version chains, so it is available at compile time for
+// scheduling decisions, documentation, or verification.
+
+// Hazard classifies a dependency between two loops.
+type Hazard string
+
+// The classic data-hazard kinds.
+const (
+	HazardRAW Hazard = "RAW" // read after write
+	HazardWAR Hazard = "WAR" // write after read
+	HazardWAW Hazard = "WAW" // write after write
+)
+
+// DepEdge is one dependency: loop To (by index into Program.Loops) must
+// wait for loop From because of the named resource.
+type DepEdge struct {
+	From, To int
+	Resource string
+	Hazard   Hazard
+}
+
+// Dependencies computes the direct dependency edges of the program's
+// loops, treated as one issue sequence in declaration order — the same
+// chains core.Executor.RunAsync builds at runtime: a writer depends on the
+// previous writer (WAW) and all readers since (WAR); a reader depends on
+// the previous writer (RAW).
+func Dependencies(p *Program) []DepEdge {
+	type state struct {
+		lastWriter int // -1 = none
+		readers    []int
+	}
+	states := map[string]*state{}
+	get := func(name string) *state {
+		s, ok := states[name]
+		if !ok {
+			s = &state{lastWriter: -1}
+			states[name] = s
+		}
+		return s
+	}
+	type key struct {
+		from, to int
+		res      string
+	}
+	seen := map[key]bool{}
+	var edges []DepEdge
+	add := func(from, to int, res string, h Hazard) {
+		if from < 0 || from == to {
+			return
+		}
+		k := key{from, to, res}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		edges = append(edges, DepEdge{From: from, To: to, Resource: res, Hazard: h})
+	}
+
+	for j := range p.Loops {
+		l := &p.Loops[j]
+		// Collapse multiple args on the same resource to its strongest
+		// access, as the runtime does.
+		writes := map[string]bool{}
+		touched := map[string]bool{}
+		for _, a := range l.Args {
+			touched[a.Dat] = true
+			if a.Acc.Writes() {
+				writes[a.Dat] = true
+			}
+		}
+		var names []string
+		for n := range touched {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			s := get(n)
+			if writes[n] {
+				add(s.lastWriter, j, n, HazardWAW)
+				for _, r := range s.readers {
+					add(r, j, n, HazardWAR)
+				}
+				s.lastWriter = j
+				s.readers = s.readers[:0]
+			} else {
+				add(s.lastWriter, j, n, HazardRAW)
+				s.readers = append(s.readers, j)
+			}
+		}
+	}
+	sort.Slice(edges, func(i, k int) bool {
+		if edges[i].To != edges[k].To {
+			return edges[i].To < edges[k].To
+		}
+		if edges[i].From != edges[k].From {
+			return edges[i].From < edges[k].From
+		}
+		return edges[i].Resource < edges[k].Resource
+	})
+	return edges
+}
+
+// DependencyDOT renders the loop dependency DAG in Graphviz DOT format,
+// labelling edges with resource and hazard kind — the execution tree of
+// Fig. 11, derived statically.
+func DependencyDOT(p *Program) string {
+	edges := Dependencies(p)
+	var b strings.Builder
+	b.WriteString("digraph op2_loops {\n")
+	b.WriteString("\trankdir=TB;\n")
+	b.WriteString("\tnode [shape=box, fontname=\"monospace\"];\n")
+	for i, l := range p.Loops {
+		fmt.Fprintf(&b, "\tL%d [label=\"%s\\n(over %s)\"];\n", i, l.Name, l.Set)
+	}
+	for _, e := range edges {
+		fmt.Fprintf(&b, "\tL%d -> L%d [label=\"%s (%s)\"];\n", e.From, e.To, e.Resource, e.Hazard)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// IndependentPairs lists loop index pairs (i < j) with no path between
+// them in the dependency DAG — the loops the runtime may interleave
+// freely (§IV-A: "if the loops are not dependent on each other, they can
+// be executed without waiting").
+func IndependentPairs(p *Program) [][2]int {
+	n := len(p.Loops)
+	reach := make([][]bool, n)
+	for i := range reach {
+		reach[i] = make([]bool, n)
+	}
+	for _, e := range Dependencies(p) {
+		reach[e.From][e.To] = true
+	}
+	// Transitive closure (n is the loop count — tiny).
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !reach[i][k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if reach[k][j] {
+					reach[i][j] = true
+				}
+			}
+		}
+	}
+	var out [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !reach[i][j] && !reach[j][i] {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}

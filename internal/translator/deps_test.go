@@ -1,0 +1,131 @@
+package translator
+
+import (
+	"strings"
+	"testing"
+)
+
+func findEdge(edges []DepEdge, from, to int, res string) *DepEdge {
+	for i := range edges {
+		e := &edges[i]
+		if e.From == from && e.To == to && e.Resource == res {
+			return e
+		}
+	}
+	return nil
+}
+
+func TestAirfoilDependencyGraph(t *testing.T) {
+	p := parseAirfoil(t)
+	// Loop indices in declaration order: 0 save_soln, 1 adt_calc,
+	// 2 res_calc, 3 bres_calc, 4 update.
+	edges := Dependencies(p)
+
+	cases := []struct {
+		from, to int
+		res      string
+		hazard   Hazard
+	}{
+		{1, 2, "p_adt", HazardRAW},  // res_calc reads adt written by adt_calc
+		{2, 3, "p_res", HazardWAW},  // bres_calc increments res after res_calc
+		{3, 4, "p_res", HazardWAW},  // update rewrites res after bres_calc
+		{0, 4, "p_qold", HazardRAW}, // update reads qold written by save_soln
+		{1, 4, "p_q", HazardWAR},    // update writes q read by adt_calc
+		{4, 4, "", ""},              // sentinel, skipped below
+	}
+	for _, c := range cases {
+		if c.res == "" {
+			continue
+		}
+		e := findEdge(edges, c.from, c.to, c.res)
+		if e == nil {
+			t.Fatalf("missing dependency L%d -> L%d on %s\nedges: %v", c.from, c.to, c.res, edges)
+		}
+		if e.Hazard != c.hazard {
+			t.Fatalf("L%d -> L%d on %s: hazard %s, want %s", c.from, c.to, c.res, e.Hazard, c.hazard)
+		}
+	}
+	// save_soln reads q before anyone writes it: no RAW into save_soln.
+	for _, e := range edges {
+		if e.To == 0 {
+			t.Fatalf("save_soln (first loop) has incoming dependency %v", e)
+		}
+	}
+}
+
+func TestDependenciesMatchRuntimeSemantics(t *testing.T) {
+	// Two readers of the same dat must not depend on each other.
+	src := `op_decl_set(4, cells);
+op_decl_dat(cells, 1, "double", d0, p_a);
+op_decl_dat(cells, 1, "double", d1, p_b);
+op_decl_dat(cells, 1, "double", d2, p_c);
+op_par_loop(k1, "r1", cells, op_arg_dat(p_a, -1, OP_ID, 1, "double", OP_READ), op_arg_dat(p_b, -1, OP_ID, 1, "double", OP_WRITE));
+op_par_loop(k2, "r2", cells, op_arg_dat(p_a, -1, OP_ID, 1, "double", OP_READ), op_arg_dat(p_c, -1, OP_ID, 1, "double", OP_WRITE));
+op_par_loop(k3, "w", cells, op_arg_dat(p_a, -1, OP_ID, 1, "double", OP_WRITE));`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := Dependencies(p)
+	if findEdge(edges, 0, 1, "p_a") != nil {
+		t.Fatal("two readers of p_a depend on each other")
+	}
+	// The writer must WAR-depend on both readers.
+	if e := findEdge(edges, 0, 2, "p_a"); e == nil || e.Hazard != HazardWAR {
+		t.Fatalf("missing WAR r1 -> w: %v", edges)
+	}
+	if e := findEdge(edges, 1, 2, "p_a"); e == nil || e.Hazard != HazardWAR {
+		t.Fatalf("missing WAR r2 -> w: %v", edges)
+	}
+}
+
+func TestIndependentPairs(t *testing.T) {
+	src := `op_decl_set(4, cells);
+op_decl_dat(cells, 1, "double", d0, p_a);
+op_decl_dat(cells, 1, "double", d1, p_b);
+op_par_loop(k1, "wa", cells, op_arg_dat(p_a, -1, OP_ID, 1, "double", OP_WRITE));
+op_par_loop(k2, "wb", cells, op_arg_dat(p_b, -1, OP_ID, 1, "double", OP_WRITE));
+op_par_loop(k3, "sum", cells, op_arg_dat(p_a, -1, OP_ID, 1, "double", OP_READ), op_arg_dat(p_b, -1, OP_ID, 1, "double", OP_RW));`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := IndependentPairs(p)
+	if len(pairs) != 1 || pairs[0] != [2]int{0, 1} {
+		t.Fatalf("independent pairs = %v, want [[0 1]]", pairs)
+	}
+}
+
+func TestAirfoilInterleavableLoops(t *testing.T) {
+	// The analysis exposes the paper's §IV-A interleaving opportunity:
+	// save_soln only feeds update (through qold), so it is independent
+	// of adt_calc, res_calc and bres_calc and the dataflow backend may
+	// overlap it with the whole flux computation. The flux chain itself
+	// (adt → res → bres → update) is strictly ordered.
+	p := parseAirfoil(t)
+	pairs := IndependentPairs(p)
+	want := map[[2]int]bool{{0, 1}: true, {0, 2}: true, {0, 3}: true}
+	if len(pairs) != len(want) {
+		t.Fatalf("independent pairs = %v, want save_soln vs the flux loops", pairs)
+	}
+	for _, pr := range pairs {
+		if !want[pr] {
+			t.Fatalf("unexpected independent pair %v", pr)
+		}
+	}
+}
+
+func TestDependencyDOT(t *testing.T) {
+	p := parseAirfoil(t)
+	dot := DependencyDOT(p)
+	for _, want := range []string{
+		"digraph op2_loops",
+		`label="save_soln`,
+		`label="p_adt (RAW)"`,
+		"L2 -> L3",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+package translator
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser is a recursive-descent parser over the token stream. The grammar
+// is the statement subset the OP2 translator scans for:
+//
+//	program   := stmt*
+//	stmt      := call ';'
+//	call      := op_decl_set '(' size ',' ident ')'
+//	           | op_decl_map '(' ident ',' ident ',' int ',' ident ',' ident ')'
+//	           | op_decl_dat '(' ident ',' int ',' string ',' ident ',' ident ')'
+//	           | op_decl_gbl '(' int ',' string ',' ident ')'
+//	           | op_decl_const '(' int ',' string ',' ident ')'
+//	           | op_par_loop '(' ident ',' string ',' ident (',' arg)+ ')'
+//	arg       := op_arg_dat '(' ident ',' int ',' (OP_ID|ident) ',' int ',' string ',' access ')'
+//	           | op_arg_gbl '(' ident ',' int ',' string ',' access ')'
+//	size      := int | ident           (ident = runtime parameter)
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses OP2 declaration source into a Program and runs semantic
+// analysis.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for p.peek().kind != tokEOF {
+		if err := p.parseStmt(prog); err != nil {
+			return nil, err
+		}
+	}
+	if err := Analyze(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, p.errf(t, "expected %s, got %s %q", k, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectIdent() (token, error) { return p.expect(tokIdent) }
+
+func (p *parser) expectInt() (int, token, error) {
+	neg := false
+	t := p.next()
+	if t.kind == tokMinus {
+		neg = true
+		t = p.next()
+	}
+	if t.kind != tokNumber {
+		return 0, t, p.errf(t, "expected integer, got %s %q", t.kind, t.text)
+	}
+	v, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, t, p.errf(t, "invalid integer %q", t.text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, t, nil
+}
+
+func (p *parser) expectString() (string, error) {
+	t := p.next()
+	if t.kind != tokString {
+		return "", p.errf(t, "expected string literal, got %s %q", t.kind, t.text)
+	}
+	return t.text, nil
+}
+
+func (p *parser) parseStmt(prog *Program) error {
+	head, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return err
+	}
+	switch head.text {
+	case "op_decl_set":
+		return p.parseDeclSet(prog, head)
+	case "op_decl_map":
+		return p.parseDeclMap(prog, head)
+	case "op_decl_dat":
+		return p.parseDeclDat(prog, head)
+	case "op_decl_gbl":
+		return p.parseDeclGbl(prog, head)
+	case "op_decl_const":
+		return p.parseDeclConst(prog, head)
+	case "op_par_loop":
+		return p.parseParLoop(prog, head)
+	default:
+		return p.errf(head, "unknown declaration %q (expected op_decl_set/map/dat/gbl/const or op_par_loop)", head.text)
+	}
+}
+
+func (p *parser) finishStmt() error {
+	if _, err := p.expect(tokRParen); err != nil {
+		return err
+	}
+	_, err := p.expect(tokSemi)
+	return err
+}
+
+func (p *parser) comma() error {
+	_, err := p.expect(tokComma)
+	return err
+}
+
+func (p *parser) parseDeclSet(prog *Program, head token) error {
+	d := SetDecl{Line: head.line, Size: -1}
+	switch t := p.next(); t.kind {
+	case tokNumber:
+		v, err := strconv.Atoi(t.text)
+		if err != nil {
+			return p.errf(t, "invalid set size %q", t.text)
+		}
+		d.Size = v
+	case tokIdent:
+		d.SizeParam = t.text
+	default:
+		return p.errf(t, "expected set size (integer or parameter name), got %q", t.text)
+	}
+	if err := p.comma(); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	d.Name = name.text
+	prog.Sets = append(prog.Sets, d)
+	return p.finishStmt()
+}
+
+func (p *parser) parseDeclMap(prog *Program, head token) error {
+	d := MapDecl{Line: head.line}
+	from, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	d.From = from.text
+	if err := p.comma(); err != nil {
+		return err
+	}
+	to, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	d.To = to.text
+	if err := p.comma(); err != nil {
+		return err
+	}
+	dim, _, err := p.expectInt()
+	if err != nil {
+		return err
+	}
+	d.Dim = dim
+	if err := p.comma(); err != nil {
+		return err
+	}
+	data, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	d.Data = data.text
+	if err := p.comma(); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	d.Name = name.text
+	prog.Maps = append(prog.Maps, d)
+	return p.finishStmt()
+}
+
+func (p *parser) parseDeclDat(prog *Program, head token) error {
+	d := DatDecl{Line: head.line}
+	set, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	d.Set = set.text
+	if err := p.comma(); err != nil {
+		return err
+	}
+	dim, _, err := p.expectInt()
+	if err != nil {
+		return err
+	}
+	d.Dim = dim
+	if err := p.comma(); err != nil {
+		return err
+	}
+	if d.Typ, err = p.expectString(); err != nil {
+		return err
+	}
+	if err := p.comma(); err != nil {
+		return err
+	}
+	data, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	d.Data = data.text
+	if d.Data == "NULL" || d.Data == "nil" {
+		d.Data = ""
+	}
+	if err := p.comma(); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	d.Name = name.text
+	prog.Dats = append(prog.Dats, d)
+	return p.finishStmt()
+}
+
+func (p *parser) parseDeclGbl(prog *Program, head token) error {
+	d := GblDecl{Line: head.line}
+	dim, _, err := p.expectInt()
+	if err != nil {
+		return err
+	}
+	d.Dim = dim
+	if err := p.comma(); err != nil {
+		return err
+	}
+	if d.Typ, err = p.expectString(); err != nil {
+		return err
+	}
+	if err := p.comma(); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	d.Name = name.text
+	prog.Gbls = append(prog.Gbls, d)
+	return p.finishStmt()
+}
+
+func (p *parser) parseDeclConst(prog *Program, head token) error {
+	d := ConstDecl{Line: head.line}
+	dim, _, err := p.expectInt()
+	if err != nil {
+		return err
+	}
+	d.Dim = dim
+	if err := p.comma(); err != nil {
+		return err
+	}
+	if d.Typ, err = p.expectString(); err != nil {
+		return err
+	}
+	if err := p.comma(); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	d.Name = name.text
+	prog.Consts = append(prog.Consts, d)
+	return p.finishStmt()
+}
+
+func (p *parser) parseParLoop(prog *Program, head token) error {
+	l := LoopDecl{Line: head.line}
+	kernel, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	l.Kernel = kernel.text
+	if err := p.comma(); err != nil {
+		return err
+	}
+	if l.Name, err = p.expectString(); err != nil {
+		return err
+	}
+	if err := p.comma(); err != nil {
+		return err
+	}
+	set, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	l.Set = set.text
+	for {
+		if err := p.comma(); err != nil {
+			return err
+		}
+		arg, err := p.parseArg()
+		if err != nil {
+			return err
+		}
+		l.Args = append(l.Args, arg)
+		if p.peek().kind == tokRParen {
+			break
+		}
+	}
+	prog.Loops = append(prog.Loops, l)
+	return p.finishStmt()
+}
+
+func (p *parser) parseArg() (LoopArg, error) {
+	head, err := p.expectIdent()
+	if err != nil {
+		return LoopArg{}, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return LoopArg{}, err
+	}
+	a := LoopArg{Line: head.line}
+	switch head.text {
+	case "op_arg_dat":
+		a.Kind = ArgKindDat
+		dat, err := p.expectIdent()
+		if err != nil {
+			return a, err
+		}
+		a.Dat = dat.text
+		if err := p.comma(); err != nil {
+			return a, err
+		}
+		if a.Idx, _, err = p.expectInt(); err != nil {
+			return a, err
+		}
+		if err := p.comma(); err != nil {
+			return a, err
+		}
+		m, err := p.expectIdent()
+		if err != nil {
+			return a, err
+		}
+		if m.text != "OP_ID" {
+			a.Map = m.text
+		}
+		if err := p.comma(); err != nil {
+			return a, err
+		}
+		if a.Dim, _, err = p.expectInt(); err != nil {
+			return a, err
+		}
+		if err := p.comma(); err != nil {
+			return a, err
+		}
+		if a.Typ, err = p.expectString(); err != nil {
+			return a, err
+		}
+		if err := p.comma(); err != nil {
+			return a, err
+		}
+		acc, err := p.expectIdent()
+		if err != nil {
+			return a, err
+		}
+		a.Acc = AccessMode(acc.text)
+	case "op_arg_gbl":
+		a.Kind = ArgKindGbl
+		a.Idx = -1
+		g, err := p.expectIdent()
+		if err != nil {
+			return a, err
+		}
+		a.Dat = g.text
+		if err := p.comma(); err != nil {
+			return a, err
+		}
+		if a.Dim, _, err = p.expectInt(); err != nil {
+			return a, err
+		}
+		if err := p.comma(); err != nil {
+			return a, err
+		}
+		if a.Typ, err = p.expectString(); err != nil {
+			return a, err
+		}
+		if err := p.comma(); err != nil {
+			return a, err
+		}
+		acc, err := p.expectIdent()
+		if err != nil {
+			return a, err
+		}
+		a.Acc = AccessMode(acc.text)
+	default:
+		return a, p.errf(head, "expected op_arg_dat or op_arg_gbl, got %q", head.text)
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return a, err
+	}
+	return a, nil
+}

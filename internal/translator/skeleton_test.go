@@ -1,0 +1,53 @@
+package translator
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateKernelSkeleton(t *testing.T) {
+	p := parseAirfoil(t)
+	src, err := GenerateKernelSkeleton(p, "kernels", "testdata/airfoil.op2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(src)
+	for _, want := range []string{
+		"package kernels",
+		"type UserKernels struct{}",
+		"func (UserKernels) SaveSoln(q []float64, qold []float64)",
+		// adt_calc gathers x four times: disambiguated parameter names.
+		"x1 []float64, x2 []float64, x3 []float64, x4 []float64",
+		"func (UserKernels) Update(",
+		`op_arg_dat(p_res, 0, pecell, 4, "double", OP_INC)`,
+		"TODO: implement the res_calc kernel",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("skeleton missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateKernelSkeletonValidates(t *testing.T) {
+	p := parseAirfoil(t)
+	if _, err := GenerateKernelSkeleton(p, "", ""); err == nil {
+		t.Fatal("empty package accepted")
+	}
+	bad := &Program{Loops: []LoopDecl{{Name: "l", Set: "missing", Args: []LoopArg{{}}}}}
+	if _, err := GenerateKernelSkeleton(bad, "x", ""); err == nil {
+		t.Fatal("invalid program accepted")
+	}
+}
+
+func TestArgParamNameDisambiguation(t *testing.T) {
+	seen := map[string]int{}
+	a := argParamName(LoopArg{Dat: "p_q"}, seen)
+	b := argParamName(LoopArg{Dat: "p_q"}, seen)
+	if a != "q" || b != "q2" {
+		t.Fatalf("names = %q, %q", a, b)
+	}
+	c := argParamName(LoopArg{Dat: "p_x", Map: "pedge"}, seen)
+	if c != "x1" {
+		t.Fatalf("indirect first name = %q, want x1", c)
+	}
+}

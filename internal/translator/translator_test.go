@@ -1,0 +1,287 @@
+package translator
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func parseAirfoil(t *testing.T) *Program {
+	t.Helper()
+	src, err := os.ReadFile("testdata/airfoil.op2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lexAll(`op_decl_set(9, nodes); // comment
+/* block
+comment */ op_arg_dat(p_q, -1, OP_ID, 4, "double", OP_READ);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokenKind{
+		tokIdent, tokLParen, tokNumber, tokComma, tokIdent, tokRParen, tokSemi,
+		tokIdent, tokLParen, tokIdent, tokComma, tokMinus, tokNumber, tokComma,
+		tokIdent, tokComma, tokNumber, tokComma, tokString, tokComma, tokIdent,
+		tokRParen, tokSemi, tokEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("token kinds %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `@`, `/`, `/* unterminated`} {
+		if _, err := lexAll(src); err == nil {
+			t.Fatalf("lexAll(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseAirfoilProgram(t *testing.T) {
+	p := parseAirfoil(t)
+	if len(p.Sets) != 4 {
+		t.Fatalf("sets = %d, want 4", len(p.Sets))
+	}
+	if len(p.Maps) != 5 {
+		t.Fatalf("maps = %d, want 5", len(p.Maps))
+	}
+	if len(p.Dats) != 6 {
+		t.Fatalf("dats = %d, want 6", len(p.Dats))
+	}
+	if len(p.Gbls) != 1 || len(p.Consts) != 5 {
+		t.Fatalf("gbls/consts = %d/%d", len(p.Gbls), len(p.Consts))
+	}
+	if len(p.Loops) != 5 {
+		t.Fatalf("loops = %d, want the paper's 5", len(p.Loops))
+	}
+	// Spot-check res_calc, the indirect-increment loop.
+	res := p.Loops[2]
+	if res.Name != "res_calc" || res.Set != "edges" || len(res.Args) != 8 {
+		t.Fatalf("res_calc parsed as %+v", res)
+	}
+	if res.Args[6].Acc != AccInc || res.Args[6].Map != "pecell" || res.Args[6].Idx != 0 {
+		t.Fatalf("res_calc arg 6 = %+v", res.Args[6])
+	}
+	// update's reduction.
+	up := p.Loops[4]
+	if up.Args[4].Kind != ArgKindGbl || up.Args[4].Acc != AccInc || up.Args[4].Dat != "rms" {
+		t.Fatalf("update rms arg = %+v", up.Args[4])
+	}
+	// Runtime-sized sets keep their parameter names.
+	if s, _ := p.set("cells"); s.SizeParam != "ncell" {
+		t.Fatalf("cells size param = %q", s.SizeParam)
+	}
+}
+
+func TestParseLiteralSetSize(t *testing.T) {
+	p, err := Parse(`op_decl_set(9, nodes);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Sets[0].Size != 9 || p.Sets[0].SizeParam != "" {
+		t.Fatalf("set = %+v", p.Sets[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown decl":      `op_decl_banana(1, x);`,
+		"missing semicolon": `op_decl_set(9, nodes)`,
+		"missing paren":     `op_decl_set(9, nodes;`,
+		"bad arg head":      `op_decl_set(n, s); op_par_loop(k, "k", s, op_arg_banana(x));`,
+		"string size":       `op_decl_set("9", nodes);`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("%s: parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	base := `op_decl_set(10, cells);
+op_decl_set(20, nodes);
+op_decl_map(cells, nodes, 4, cd, pcell);
+op_decl_dat(cells, 4, "double", qd, p_q);
+op_decl_dat(nodes, 2, "double", xd, p_x);
+op_decl_gbl(1, "double", rms);`
+	cases := map[string]string{
+		"unknown set in loop": `op_par_loop(k, "k", ghosts, op_arg_dat(p_q, -1, OP_ID, 4, "double", OP_READ));`,
+		"unknown dat":         `op_par_loop(k, "k", cells, op_arg_dat(p_z, -1, OP_ID, 4, "double", OP_READ));`,
+		"dim mismatch":        `op_par_loop(k, "k", cells, op_arg_dat(p_q, -1, OP_ID, 3, "double", OP_READ));`,
+		"unknown map":         `op_par_loop(k, "k", cells, op_arg_dat(p_x, 0, pmissing, 2, "double", OP_READ));`,
+		"idx out of range":    `op_par_loop(k, "k", cells, op_arg_dat(p_x, 9, pcell, 2, "double", OP_READ));`,
+		"direct wrong set":    `op_par_loop(k, "k", cells, op_arg_dat(p_x, -1, OP_ID, 2, "double", OP_READ));`,
+		"min on dat":          `op_par_loop(k, "k", cells, op_arg_dat(p_q, -1, OP_ID, 4, "double", OP_MIN));`,
+		"write global":        `op_par_loop(k, "k", cells, op_arg_gbl(rms, 1, "double", OP_WRITE));`,
+		"gbl dim mismatch":    `op_par_loop(k, "k", cells, op_arg_gbl(rms, 2, "double", OP_INC));`,
+		"no args":             ``, // handled below
+	}
+	for name, loop := range cases {
+		if name == "no args" {
+			continue
+		}
+		if _, err := Parse(base + "\n" + loop); err == nil {
+			t.Fatalf("%s: analysis passed, want error", name)
+		}
+	}
+	// Redeclaration.
+	if _, err := Parse(`op_decl_set(1, x); op_decl_set(2, x);`); err == nil {
+		t.Fatal("redeclaration accepted")
+	}
+	if _, err := Parse(`op_decl_set(1, s); op_decl_dat(s, 2, "double", d, s);`); err == nil {
+		t.Fatal("dat reusing set name accepted")
+	}
+}
+
+func TestGoName(t *testing.T) {
+	cases := map[string]string{
+		"save_soln": "SaveSoln",
+		"p_x":       "PX",
+		"pedge":     "Pedge",
+		"rms":       "Rms",
+		"a_b_c":     "ABC",
+		"":          "X",
+	}
+	for in, want := range cases {
+		if got := goName(in); got != want {
+			t.Fatalf("goName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, s := range []string{"forkjoin", "openmp", "omp"} {
+		if m, err := ParseMode(s); err != nil || m != ModeForkJoin {
+			t.Fatalf("ParseMode(%q) = %v, %v", s, m, err)
+		}
+	}
+	for _, s := range []string{"dataflow", "hpx"} {
+		if m, err := ParseMode(s); err != nil || m != ModeDataflow {
+			t.Fatalf("ParseMode(%q) = %v, %v", s, m, err)
+		}
+	}
+	if _, err := ParseMode("cuda"); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestGenerateForkJoin(t *testing.T) {
+	p := parseAirfoil(t)
+	src, err := Generate(p, "airfoilgen", ModeForkJoin, "testdata/airfoil.op2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(src)
+	for _, want := range []string{
+		"package airfoilgen",
+		"type Kernels interface",
+		"SaveSoln(arg0 []float64, arg1 []float64)",
+		"func (pr *Program) SaveSoln() error",
+		"return pr.Ex.Run(pr.loops.SaveSoln)",
+		"core.ArgDat(pr.PRes, 0, pr.Pecell, core.Inc)",
+		"core.ArgGbl(pr.Rms, core.Inc)",
+		"Ncell", "EdgeData", "XData", "Qinf",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("forkjoin output missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "hpx.Future") {
+		t.Fatal("forkjoin output must not return futures")
+	}
+}
+
+func TestGenerateDataflow(t *testing.T) {
+	p := parseAirfoil(t)
+	src, err := Generate(p, "airfoilgen", ModeDataflow, "testdata/airfoil.op2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(src)
+	for _, want := range []string{
+		"func (pr *Program) SaveSoln() *hpx.Future[struct{}]",
+		"return pr.Ex.RunAsync(pr.loops.SaveSoln)",
+		"func (pr *Program) Sync() error",
+		`"op2hpx/internal/hpx"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dataflow output missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, ") error {\n\treturn pr.Ex.Run(") {
+		t.Fatal("dataflow output contains synchronous loop methods")
+	}
+}
+
+func TestGenerateRejectsCollisions(t *testing.T) {
+	p, err := Parse(`op_decl_set(1, a_b);
+op_decl_set(1, aB);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(p, "x", ModeForkJoin, ""); err == nil {
+		t.Fatal("Go-name collision accepted")
+	}
+}
+
+func TestGenerateRequiresPackage(t *testing.T) {
+	p := parseAirfoil(t)
+	if _, err := Generate(p, "", ModeForkJoin, ""); err == nil {
+		t.Fatal("empty package accepted")
+	}
+}
+
+func TestGeneratedForkJoinGoldenMatchesCheckedIn(t *testing.T) {
+	p := parseAirfoil(t)
+	src, err := Generate(p, "gentestfj", ModeForkJoin, "internal/translator/testdata/airfoil.op2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("gentestfj/airfoil_gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(golden) != string(src) {
+		t.Fatal("gentestfj/airfoil_gen.go is stale: regenerate with cmd/op2gen " +
+			"(go run ./cmd/op2gen -in internal/translator/testdata/airfoil.op2 " +
+			"-pkg gentestfj -mode forkjoin -out internal/translator/gentestfj/airfoil_gen.go)")
+	}
+}
+
+func TestGeneratedGoldenMatchesCheckedIn(t *testing.T) {
+	// The gentest package contains the committed output of the
+	// translator; regeneration must reproduce it byte-for-byte so the
+	// compiled end-to-end test always tests current codegen.
+	p := parseAirfoil(t)
+	src, err := Generate(p, "gentest", ModeDataflow, "internal/translator/testdata/airfoil.op2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("gentest/airfoil_gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(golden) != string(src) {
+		t.Fatal("gentest/airfoil_gen.go is stale: regenerate with cmd/op2gen " +
+			"(go run ./cmd/op2gen -in internal/translator/testdata/airfoil.op2 " +
+			"-pkg gentest -mode dataflow -out internal/translator/gentest/airfoil_gen.go)")
+	}
+}
