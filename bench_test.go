@@ -1,25 +1,24 @@
-// Benchmarks reproducing the paper's evaluation section (§VI): one
-// testing.B entry per table and figure. Run them all with
+// Benchmarks reproducing the paper's application-level evaluation (§VI)
+// through the public op2 facade: one testing.B entry per airfoil table
+// and figure. Run them all with
 //
 //	go test -bench=. -benchmem
 //
-// Use cmd/experiments for the full sweep tables with derived columns
-// (speedups, improvement percentages, MB/s).
+// The hpx-layer micro-benchmarks (Table I policies, the Fig. 19-20
+// iterator bandwidth loops, scheduler and future overheads) live in
+// internal/bench; cmd/experiments prints the full sweep tables with
+// derived columns (speedups, improvement percentages, MB/s).
 package op2hpx
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"runtime"
-	"sync"
 	"testing"
 
 	"op2hpx/internal/aero"
 	"op2hpx/internal/airfoil"
-	"op2hpx/internal/core"
-	"op2hpx/internal/hpx"
-	"op2hpx/internal/hpx/prefetch"
-	"op2hpx/internal/hpx/sched"
+	"op2hpx/op2"
 )
 
 // benchMesh sizes the airfoil benchmarks: big enough to be memory-bound,
@@ -43,17 +42,16 @@ func threadCounts() []int {
 }
 
 // benchAirfoil measures app.Run(benchIters) under one configuration.
-func benchAirfoil(b *testing.B, threads int, backend core.Backend, chunker hpx.Chunker, dist int) {
+func benchAirfoil(b *testing.B, threads int, backend op2.Backend, chunker op2.Chunker, dist int) {
 	b.Helper()
-	pool := sched.NewPool(threads)
-	defer pool.Close()
-	ex := core.NewExecutor(core.Config{
-		Backend:          backend,
-		Pool:             pool,
-		Chunker:          chunker,
-		PrefetchDistance: dist,
-	})
-	app, err := airfoil.NewApp(benchNX, benchNY, ex)
+	rt := op2.MustNew(
+		op2.WithBackend(backend),
+		op2.WithPoolSize(threads),
+		op2.WithChunker(chunker), // nil = backend default
+		op2.WithPrefetchDistance(dist),
+	)
+	defer rt.Close()
+	app, err := airfoil.NewApp(benchNX, benchNY, rt)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -62,39 +60,12 @@ func benchAirfoil(b *testing.B, threads int, backend core.Backend, chunker hpx.C
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if pc, ok := chunker.(*hpx.PersistentAutoChunker); ok {
+		if pc, ok := chunker.(*op2.PersistentAutoChunker); ok {
 			pc.Reset()
 		}
 		if _, err := app.Run(benchIters); err != nil {
 			b.Fatal(err)
 		}
-	}
-}
-
-// BenchmarkTableI exercises each execution policy of Table I on the same
-// parallel loop.
-func BenchmarkTableI(b *testing.B) {
-	const n = 1 << 18
-	data := make([]float64, n)
-	pool := sched.NewPool(runtime.NumCPU())
-	defer pool.Close()
-	policies := map[string]hpx.Policy{
-		"seq":       hpx.SeqPolicy(),
-		"par":       hpx.ParPolicy().WithPool(pool),
-		"seq(task)": hpx.SeqPolicy().WithTask(),
-		"par(task)": hpx.ParPolicy().WithPool(pool).WithTask(),
-	}
-	for name, pol := range policies {
-		b.Run(name, func(b *testing.B) {
-			b.SetBytes(n * 8)
-			for i := 0; i < b.N; i++ {
-				if err := hpx.ForEach(pol, 0, n, func(j int) {
-					data[j] = float64(j) * 1.0000001
-				}).Wait(); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
 	}
 }
 
@@ -104,10 +75,10 @@ func BenchmarkTableI(b *testing.B) {
 func BenchmarkFig15(b *testing.B) {
 	for _, th := range threadCounts() {
 		b.Run(fmt.Sprintf("forkjoin/threads=%d", th), func(b *testing.B) {
-			benchAirfoil(b, th, core.ForkJoin, nil, 0)
+			benchAirfoil(b, th, op2.ForkJoin, nil, 0)
 		})
 		b.Run(fmt.Sprintf("dataflow/threads=%d", th), func(b *testing.B) {
-			benchAirfoil(b, th, core.Dataflow, nil, 0)
+			benchAirfoil(b, th, op2.Dataflow, nil, 0)
 		})
 	}
 }
@@ -116,8 +87,8 @@ func BenchmarkFig15(b *testing.B) {
 // machine's full thread count (speedups are derived by cmd/experiments).
 func BenchmarkFig16(b *testing.B) {
 	th := runtime.NumCPU()
-	b.Run("forkjoin", func(b *testing.B) { benchAirfoil(b, th, core.ForkJoin, nil, 0) })
-	b.Run("dataflow", func(b *testing.B) { benchAirfoil(b, th, core.Dataflow, nil, 0) })
+	b.Run("forkjoin", func(b *testing.B) { benchAirfoil(b, th, op2.ForkJoin, nil, 0) })
+	b.Run("dataflow", func(b *testing.B) { benchAirfoil(b, th, op2.Dataflow, nil, 0) })
 }
 
 // BenchmarkFig17 measures the dataflow backend with independent auto
@@ -126,10 +97,10 @@ func BenchmarkFig16(b *testing.B) {
 func BenchmarkFig17(b *testing.B) {
 	th := runtime.NumCPU()
 	b.Run("auto", func(b *testing.B) {
-		benchAirfoil(b, th, core.Dataflow, hpx.AutoChunker(), 0)
+		benchAirfoil(b, th, op2.Dataflow, op2.AutoChunk(), 0)
 	})
 	b.Run("persistent_auto", func(b *testing.B) {
-		benchAirfoil(b, th, core.Dataflow, hpx.NewPersistentAutoChunker(), 0)
+		benchAirfoil(b, th, op2.Dataflow, op2.PersistentAutoChunk(), 0)
 	})
 }
 
@@ -138,146 +109,55 @@ func BenchmarkFig17(b *testing.B) {
 func BenchmarkFig18(b *testing.B) {
 	th := runtime.NumCPU()
 	b.Run("noprefetch", func(b *testing.B) {
-		benchAirfoil(b, th, core.Dataflow, hpx.NewPersistentAutoChunker(), 0)
+		benchAirfoil(b, th, op2.Dataflow, op2.PersistentAutoChunk(), 0)
 	})
 	b.Run("prefetch15", func(b *testing.B) {
-		benchAirfoil(b, th, core.Dataflow, hpx.NewPersistentAutoChunker(), 15)
+		benchAirfoil(b, th, op2.Dataflow, op2.PersistentAutoChunk(), 15)
 	})
-}
-
-// streamSetup builds the 4-container memory-bound loop of Figs. 19-20.
-func streamSetup(n int) (a, bb, c, d prefetch.Float64s, body func(int)) {
-	a = make(prefetch.Float64s, n)
-	bb = make(prefetch.Float64s, n)
-	c = make(prefetch.Float64s, n)
-	d = make(prefetch.Float64s, n)
-	for i := 0; i < n; i++ {
-		bb[i] = float64(i)
-		c[i] = 1.5 * float64(i%1024)
-	}
-	body = func(i int) {
-		a[i] = bb[i] + 0.5*c[i]
-		d[i] = bb[i] - c[i]
-	}
-	return
-}
-
-// BenchmarkFig19 compares the standard for_each iterator against the
-// prefetching iterator on the multi-container stream loop; b.SetBytes
-// makes `go test -bench` report the transfer rate directly.
-func BenchmarkFig19(b *testing.B) {
-	const n = 1 << 22
-	a, bb, c, d, body := streamSetup(n)
-	_ = a
-	pool := sched.NewPool(runtime.NumCPU())
-	defer pool.Close()
-	pol := hpx.ParPolicy().WithPool(pool).WithChunker(hpx.StaticChunker(64 * 1024 / 8))
-
-	b.Run("standard", func(b *testing.B) {
-		b.SetBytes(n * 32)
-		for i := 0; i < b.N; i++ {
-			if err := hpx.ForEach(pol, 0, n, body).Wait(); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("prefetching", func(b *testing.B) {
-		ctx, err := prefetch.NewContext(0, n, 15, a, bb, c, d)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.SetBytes(n * 32)
-		for i := 0; i < b.N; i++ {
-			if err := prefetch.ForEach(pol, ctx, body).Wait(); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-}
-
-// BenchmarkFig20 sweeps the prefetch_distance_factor; the paper finds the
-// peak at distance 15 and decay at very small and very large distances.
-func BenchmarkFig20(b *testing.B) {
-	const n = 1 << 22
-	a, bb, c, d, body := streamSetup(n)
-	pool := sched.NewPool(runtime.NumCPU())
-	defer pool.Close()
-	pol := hpx.ParPolicy().WithPool(pool).WithChunker(hpx.StaticChunker(64 * 1024 / 8))
-	for _, dist := range []int{1, 5, 10, 15, 25, 50, 100} {
-		b.Run(fmt.Sprintf("distance=%d", dist), func(b *testing.B) {
-			ctx, err := prefetch.NewContext(0, n, dist, a, bb, c, d)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.SetBytes(n * 32)
-			for i := 0; i < b.N; i++ {
-				if err := prefetch.ForEach(pol, ctx, body).Wait(); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
 }
 
 // BenchmarkPlanConstruction measures OP2 plan building (blocking +
 // coloring) for the airfoil res_calc loop — an ablation for the plan
-// cache design choice.
+// cache design choice. Each iteration builds a fresh runtime (empty plan
+// cache) over the shared pool, so the first Step rebuilds the plan.
 func BenchmarkPlanConstruction(b *testing.B) {
-	app, err := airfoil.NewApp(benchNX, benchNY, core.NewExecutor(core.Config{Backend: core.Serial}))
+	consts := airfoil.DefaultConstants()
+	mesh, err := airfoil.NewMesh(benchNX, benchNY, consts)
 	if err != nil {
 		b.Fatal(err)
 	}
-	pool := sched.NewPool(1)
-	defer pool.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		// A fresh executor has an empty plan cache, so the first Run
-		// rebuilds the plan.
-		ex := core.NewExecutor(core.Config{Backend: core.ForkJoin, Pool: pool})
-		app2 := *app
-		app2.Ex = ex
-		if err := app2.Step(); err != nil {
+		rt := op2.MustNew(op2.WithBackend(op2.ForkJoin))
+		app, err := airfoil.NewAppFromMesh(mesh, consts, rt)
+		if err != nil {
 			b.Fatal(err)
 		}
-	}
-}
-
-// BenchmarkFutureOverhead measures the cost of one future round-trip, the
-// unit overhead of the dataflow backend.
-func BenchmarkFutureOverhead(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		p, f := hpx.NewPromise[int]()
-		go p.Set(i)
-		if _, err := f.Get(); err != nil {
+		if err := app.Step(); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 // BenchmarkDataflowChain measures issue+execute of a chain of dependent
-// no-op loops — the per-loop overhead of dependency chaining.
+// no-op loops — the per-loop overhead of dependency chaining through the
+// public facade.
 func BenchmarkDataflowChain(b *testing.B) {
-	cells := core.MustDeclSet(1024, "cells")
-	d := core.MustDeclDat(cells, 1, nil, "d")
-	pool := sched.NewPool(runtime.NumCPU())
-	defer pool.Close()
-	ex := core.NewExecutor(core.Config{Backend: core.Dataflow, Pool: pool})
-	l := &core.Loop{
-		Name: "touch", Set: cells,
-		Args: []core.Arg{core.ArgDat(d, core.IDIdx, nil, core.RW)},
-		Body: func(lo, hi int, _ []float64) {},
-	}
+	cells := op2.MustDeclSet(1024, "cells")
+	d := op2.MustDeclDat(cells, 1, nil, "d")
+	rt := op2.MustNew(op2.WithBackend(op2.Dataflow), op2.WithPoolSize(runtime.NumCPU()))
+	defer rt.Close()
+	lp := rt.ParLoop("touch", cells, op2.DirectArg(d, op2.RW)).
+		Body(func(lo, hi int, _ []float64) {})
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ex.RunAsync(l)
+		lp.Async(ctx)
 	}
 	if err := d.Sync(); err != nil {
 		b.Fatal(err)
 	}
 }
-
-// ---------------------------------------------------------------------------
-// Ablation benchmarks for the design choices DESIGN.md calls out.
 
 // BenchmarkAblationBlockSize sweeps the execution-plan block size of the
 // colored res_calc loop: small blocks color easily but pay scheduling
@@ -285,10 +165,13 @@ func BenchmarkDataflowChain(b *testing.B) {
 func BenchmarkAblationBlockSize(b *testing.B) {
 	for _, bs := range []int{32, 64, 128, 256, 512, 1024} {
 		b.Run(fmt.Sprintf("block=%d", bs), func(b *testing.B) {
-			pool := sched.NewPool(runtime.NumCPU())
-			defer pool.Close()
-			ex := core.NewExecutor(core.Config{Backend: core.ForkJoin, Pool: pool, BlockSize: bs})
-			app, err := airfoil.NewApp(benchNX, benchNY, ex)
+			rt := op2.MustNew(
+				op2.WithBackend(op2.ForkJoin),
+				op2.WithPoolSize(runtime.NumCPU()),
+				op2.WithBlockSize(bs),
+			)
+			defer rt.Close()
+			app, err := airfoil.NewApp(benchNX, benchNY, rt)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -321,19 +204,18 @@ func BenchmarkAblationRenumber(b *testing.B) {
 				b.Fatal(err)
 			}
 			if renumber {
-				perm, err := core.RCMPermutation(mesh.Cells, []*core.Map{mesh.Pecell, mesh.Pbecell})
+				perm, err := op2.RCMPermutation(mesh.Cells, []*op2.Map{mesh.Pecell, mesh.Pbecell})
 				if err != nil {
 					b.Fatal(err)
 				}
-				dats := []*core.Dat{mesh.Q, mesh.Qold, mesh.Adt, mesh.Res}
-				if err := core.ApplyRenumber(mesh.Cells, perm, dats, []*core.Map{mesh.Pecell, mesh.Pbecell}); err != nil {
+				dats := []*op2.Dat{mesh.Q, mesh.Qold, mesh.Adt, mesh.Res}
+				if err := op2.ApplyRenumber(mesh.Cells, perm, dats, []*op2.Map{mesh.Pecell, mesh.Pbecell}); err != nil {
 					b.Fatal(err)
 				}
 			}
-			pool := sched.NewPool(runtime.NumCPU())
-			defer pool.Close()
-			ex := core.NewExecutor(core.Config{Backend: core.ForkJoin, Pool: pool})
-			app, err := airfoil.NewAppFromMesh(mesh, consts, ex)
+			rt := op2.MustNew(op2.WithBackend(op2.ForkJoin), op2.WithPoolSize(runtime.NumCPU()))
+			defer rt.Close()
+			app, err := airfoil.NewAppFromMesh(mesh, consts, rt)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -372,51 +254,6 @@ func BenchmarkDistributedRanks(b *testing.B) {
 	}
 }
 
-// BenchmarkSchedulerThroughput measures raw task throughput of the
-// work-stealing pool (the unit cost under every chunk).
-func BenchmarkSchedulerThroughput(b *testing.B) {
-	pool := sched.NewPool(runtime.NumCPU())
-	defer pool.Close()
-	var wg sync.WaitGroup
-	b.ResetTimer()
-	wg.Add(b.N)
-	for i := 0; i < b.N; i++ {
-		if err := pool.Submit(func() { wg.Done() }); err != nil {
-			b.Fatal(err)
-		}
-	}
-	wg.Wait()
-}
-
-// BenchmarkParallelSort exercises the hpx parallel merge sort against the
-// sequential policy.
-func BenchmarkParallelSort(b *testing.B) {
-	const n = 1 << 20
-	base := make([]float64, n)
-	rng := rand.New(rand.NewSource(1))
-	for i := range base {
-		base[i] = rng.Float64()
-	}
-	pool := sched.NewPool(runtime.NumCPU())
-	defer pool.Close()
-	for _, mode := range []string{"seq", "par"} {
-		pol := hpx.SeqPolicy()
-		if mode == "par" {
-			pol = hpx.ParPolicy().WithPool(pool)
-		}
-		b.Run(mode, func(b *testing.B) {
-			data := make([]float64, n)
-			b.SetBytes(n * 8)
-			for i := 0; i < b.N; i++ {
-				copy(data, base)
-				if err := hpx.Sort(pol, data); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
-}
-
 // BenchmarkAeroCG measures the FEM/CG workload (per-iteration global
 // reductions, the tightest host/runtime interplay in the repository)
 // under each backend.
@@ -424,18 +261,17 @@ func BenchmarkAeroCG(b *testing.B) {
 	const n = 64
 	for _, cfg := range []struct {
 		name    string
-		backend core.Backend
+		backend op2.Backend
 	}{
-		{"serial", core.Serial},
-		{"forkjoin", core.ForkJoin},
-		{"dataflow", core.Dataflow},
+		{"serial", op2.Serial},
+		{"forkjoin", op2.ForkJoin},
+		{"dataflow", op2.Dataflow},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			pool := sched.NewPool(runtime.NumCPU())
-			defer pool.Close()
-			ex := core.NewExecutor(core.Config{Backend: cfg.backend, Pool: pool})
+			rt := op2.MustNew(op2.WithBackend(cfg.backend), op2.WithPoolSize(runtime.NumCPU()))
+			defer rt.Close()
 			for i := 0; i < b.N; i++ {
-				pr, err := aero.NewProblem(n, ex)
+				pr, err := aero.NewProblem(n, rt)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,6 +1,8 @@
 // Command airfoil runs the paper's evaluation workload (§II-B/§VI): the
 // nonlinear 2D inviscid airfoil CFD code on a synthetic mesh, under any of
-// the three loop execution backends.
+// the three loop execution backends, driven entirely through the public
+// op2 facade. Ctrl-C cancels a running simulation cleanly through the
+// loop-nest context.
 //
 // Examples:
 //
@@ -9,16 +11,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
 	"op2hpx/internal/airfoil"
-	"op2hpx/internal/core"
-	"op2hpx/internal/hpx"
-	"op2hpx/internal/hpx/sched"
+	"op2hpx/op2"
 )
 
 func main() {
@@ -75,15 +78,15 @@ func run() error {
 		return nil
 	}
 	if *renumber {
-		perm, err := core.RCMPermutation(mesh.Cells, []*core.Map{mesh.Pecell, mesh.Pbecell})
+		perm, err := op2.RCMPermutation(mesh.Cells, []*op2.Map{mesh.Pecell, mesh.Pbecell})
 		if err != nil {
 			return err
 		}
-		dats := []*core.Dat{mesh.Q, mesh.Qold, mesh.Adt, mesh.Res}
-		if err := core.ApplyRenumber(mesh.Cells, perm, dats, []*core.Map{mesh.Pecell, mesh.Pbecell}); err != nil {
+		dats := []*op2.Dat{mesh.Q, mesh.Qold, mesh.Adt, mesh.Res}
+		if err := op2.ApplyRenumber(mesh.Cells, perm, dats, []*op2.Map{mesh.Pecell, mesh.Pbecell}); err != nil {
 			return err
 		}
-		fmt.Printf("renumbered cells: pecell bandwidth now %d\n", core.Bandwidth(mesh.Pecell))
+		fmt.Printf("renumbered cells: pecell bandwidth now %d\n", op2.Bandwidth(mesh.Pecell))
 	}
 
 	fmt.Printf("airfoil: %d cells, %d nodes, %d edges, %d bedges\n",
@@ -104,20 +107,22 @@ func run() error {
 		return nil
 	}
 
-	pool := sched.NewPool(*threads)
-	defer pool.Close()
-	ex := core.NewExecutor(core.Config{
-		Backend:          backend,
-		Pool:             pool,
-		Chunker:          chunker,
-		PrefetchDistance: *prefetch,
-	})
-	var prof *core.Profiler
-	if *profile {
-		prof = core.NewProfiler()
-		ex.SetProfiler(prof)
+	opts := []op2.Option{
+		op2.WithBackend(backend),
+		op2.WithPoolSize(*threads),
+		op2.WithChunker(chunker), // nil = backend default
+		op2.WithPrefetchDistance(*prefetch),
 	}
-	app, err := airfoil.NewAppFromMesh(mesh, consts, ex)
+	if *profile {
+		opts = append(opts, op2.WithProfiling())
+	}
+	rt, err := op2.New(opts...)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	app, err := airfoil.NewAppFromMesh(mesh, consts, rt)
 	if err != nil {
 		return err
 	}
@@ -125,15 +130,22 @@ func run() error {
 	fmt.Printf("backend=%s threads=%d chunker=%s prefetch=%d iters=%d\n",
 		backend, *threads, chunkerName(chunker, backend), *prefetch, *iters)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	start := time.Now()
-	rms, err := app.Run(*iters)
+	rms, err := app.RunCtx(ctx, *iters)
+	if errors.Is(err, op2.ErrCanceled) {
+		return fmt.Errorf("interrupted after %v", time.Since(start).Round(time.Millisecond))
+	}
 	if err != nil {
 		return err
 	}
 	report(start, *iters, rms)
-	if prof != nil {
+	if *profile {
 		fmt.Println()
-		prof.Render(os.Stdout)
+		if err := rt.WriteProfile(os.Stdout); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -145,45 +157,45 @@ func report(start time.Time, iters int, rms float64) {
 	fmt.Printf("rms residual: %.6e\n", rms)
 }
 
-func parseBackend(s string) (core.Backend, error) {
+func parseBackend(s string) (op2.Backend, error) {
 	switch s {
 	case "serial":
-		return core.Serial, nil
+		return op2.Serial, nil
 	case "forkjoin", "openmp", "omp":
-		return core.ForkJoin, nil
+		return op2.ForkJoin, nil
 	case "dataflow", "hpx":
-		return core.Dataflow, nil
+		return op2.Dataflow, nil
 	default:
 		return 0, fmt.Errorf("unknown backend %q (want serial, forkjoin or dataflow)", s)
 	}
 }
 
-func parseChunker(s string) (hpx.Chunker, error) {
+func parseChunker(s string) (op2.Chunker, error) {
 	switch {
 	case s == "":
 		return nil, nil // backend default
 	case s == "even":
-		return hpx.EvenChunker(1), nil
+		return op2.EvenChunk(1), nil
 	case s == "auto":
-		return hpx.AutoChunker(), nil
+		return op2.AutoChunk(), nil
 	case s == "persistent":
-		return hpx.NewPersistentAutoChunker(), nil
+		return op2.PersistentAutoChunk(), nil
 	case len(s) > 7 && s[:7] == "static:":
 		var n int
 		if _, err := fmt.Sscanf(s[7:], "%d", &n); err != nil || n < 1 {
 			return nil, fmt.Errorf("invalid static chunk size %q", s[7:])
 		}
-		return hpx.StaticChunker(n), nil
+		return op2.StaticChunk(n), nil
 	default:
 		return nil, fmt.Errorf("unknown chunker %q (want static:<n>, even, auto or persistent)", s)
 	}
 }
 
-func chunkerName(c hpx.Chunker, b core.Backend) string {
+func chunkerName(c op2.Chunker, b op2.Backend) string {
 	if c != nil {
 		return c.Name()
 	}
-	if b == core.ForkJoin {
+	if b == op2.ForkJoin {
 		return "even (default)"
 	}
 	return "auto (default)"

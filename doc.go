@@ -5,6 +5,15 @@
 // futures, dataflow dependency chaining, dynamic chunk sizing
 // (persistent_auto_chunk_size) and a data-prefetching iterator.
 //
+// The supported entry point is the public op2 package ("op2hpx/op2"): a
+// Runtime built with functional options (op2.WithBackend, op2.WithPoolSize,
+// op2.WithChunker, op2.WithPrefetchDistance, op2.WithProfiling), OP2
+// declarations (op2.DeclSet/DeclMap/DeclDat/DeclGlobal), and a declarative
+// loop builder (Runtime.ParLoop(...).Kernel(...).Run(ctx) / .Async(ctx))
+// with context cancellation and the typed sentinel errors op2.ErrValidation
+// and op2.ErrCanceled. Nothing outside internal/ should import the
+// implementation packages directly.
+//
 // The implementation lives in the internal packages:
 //
 //   - internal/hpx        — futures, dataflow, execution policies (Table I),
@@ -16,11 +25,14 @@
 //     colored execution plans, and the serial / fork-join / dataflow loop
 //     backends (§II, §IV)
 //   - internal/airfoil    — the Airfoil CFD evaluation workload (§II-B)
+//   - internal/aero       — the FEM/CG workload (per-iteration reductions)
+//   - internal/dist       — the simulated distributed-memory engine
 //   - internal/translator — the OP2 source-to-source compiler with OpenMP
 //     and HPX code generation modes (§II)
 //   - internal/experiments — regenerates Table I and Figs. 15-20 (§VI)
 //
 // The benchmarks in this package (bench_test.go) provide one testing.B
-// entry per table and figure of the paper's evaluation; cmd/experiments
-// prints the full tables.
+// entry per application-level table and figure of the paper's evaluation,
+// driven through the op2 facade; internal/bench holds the hpx-layer
+// micro-benchmarks, and cmd/experiments prints the full tables.
 package op2hpx

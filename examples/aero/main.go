@@ -1,9 +1,9 @@
 // Aero example: the second canonical OP2 workload — a finite-element
 // Poisson solve with matrix-free conjugate gradients, every step an OP2
-// parallel loop. CG's per-iteration scalar recurrence (α = r·r / p·v)
-// makes each iteration consume a global reduction, so this example shows
-// the Global version chains under much tighter host/device interplay than
-// the airfoil time march.
+// parallel loop issued through the public op2 facade. CG's per-iteration
+// scalar recurrence (α = r·r / p·v) makes each iteration consume a global
+// reduction, so this example shows the Global version chains under much
+// tighter host/device interplay than the airfoil time march.
 //
 // Run with: go run ./examples/aero
 package main
@@ -15,24 +15,22 @@ import (
 	"time"
 
 	"op2hpx/internal/aero"
-	"op2hpx/internal/core"
-	"op2hpx/internal/hpx/sched"
+	"op2hpx/op2"
 )
 
 func main() {
 	const n = 96
 	for _, cfg := range []struct {
 		name    string
-		backend core.Backend
+		backend op2.Backend
 		workers int
 	}{
-		{"serial", core.Serial, 1},
-		{"forkjoin", core.ForkJoin, runtime.NumCPU()},
-		{"dataflow", core.Dataflow, runtime.NumCPU()},
+		{"serial", op2.Serial, 1},
+		{"forkjoin", op2.ForkJoin, runtime.NumCPU()},
+		{"dataflow", op2.Dataflow, runtime.NumCPU()},
 	} {
-		pool := sched.NewPool(cfg.workers)
-		ex := core.NewExecutor(core.Config{Backend: cfg.backend, Pool: pool})
-		pr, err := aero.NewProblem(n, ex)
+		rt := op2.MustNew(op2.WithBackend(cfg.backend), op2.WithPoolSize(cfg.workers))
+		pr, err := aero.NewProblem(n, rt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -42,7 +40,7 @@ func main() {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(start)
-		pool.Close()
+		rt.Close()
 		fmt.Printf("%-9s %d unknowns: %4d CG iterations, residual %.2e, max nodal error %.2e, %v\n",
 			cfg.name, pr.Nodes.Size(), iters, res, pr.MaxError(), elapsed.Round(time.Millisecond))
 	}

@@ -12,9 +12,7 @@ import (
 	"time"
 
 	"op2hpx/internal/airfoil"
-	"op2hpx/internal/core"
-	"op2hpx/internal/hpx"
-	"op2hpx/internal/hpx/sched"
+	"op2hpx/op2"
 )
 
 func main() {
@@ -25,27 +23,26 @@ func main() {
 
 	type config struct {
 		name    string
-		backend core.Backend
-		chunker hpx.Chunker
+		backend op2.Backend
+		chunker op2.Chunker
 		dist    int
 	}
 	configs := []config{
-		{"forkjoin (OpenMP-style)", core.ForkJoin, nil, 0},
-		{"dataflow", core.Dataflow, nil, 0},
-		{"dataflow + persistent_auto_chunk_size", core.Dataflow, hpx.NewPersistentAutoChunker(), 0},
-		{"dataflow + persistent + prefetch(15)", core.Dataflow, hpx.NewPersistentAutoChunker(), 15},
+		{"forkjoin (OpenMP-style)", op2.ForkJoin, nil, 0},
+		{"dataflow", op2.Dataflow, nil, 0},
+		{"dataflow + persistent_auto_chunk_size", op2.Dataflow, op2.PersistentAutoChunk(), 0},
+		{"dataflow + persistent + prefetch(15)", op2.Dataflow, op2.PersistentAutoChunk(), 15},
 	}
 
 	var base time.Duration
 	for i, cfg := range configs {
-		pool := sched.NewPool(threads)
-		ex := core.NewExecutor(core.Config{
-			Backend:          cfg.backend,
-			Pool:             pool,
-			Chunker:          cfg.chunker,
-			PrefetchDistance: cfg.dist,
-		})
-		app, err := airfoil.NewApp(nx, ny, ex)
+		rt := op2.MustNew(
+			op2.WithBackend(cfg.backend),
+			op2.WithPoolSize(threads),
+			op2.WithChunker(cfg.chunker), // nil = backend default
+			op2.WithPrefetchDistance(cfg.dist),
+		)
+		app, err := airfoil.NewApp(nx, ny, rt)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +55,7 @@ func main() {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(start)
-		pool.Close()
+		rt.Close()
 		if i == 0 {
 			base = elapsed
 		}

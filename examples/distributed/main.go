@@ -3,7 +3,7 @@
 // halos through pecell/pbecell, mesh geometry replicated. Each locality is
 // a goroutine; messages travel over channels, standing in for OP2's MPI
 // backend / HPX's distributed runtime. The run is verified against the
-// shared-memory serial executor.
+// shared-memory serial backend of the public op2 facade.
 //
 // Run with: go run ./examples/distributed
 package main
@@ -15,18 +15,16 @@ import (
 	"time"
 
 	"op2hpx/internal/airfoil"
-	"op2hpx/internal/core"
-	"op2hpx/internal/hpx/sched"
+	"op2hpx/op2"
 )
 
 func main() {
 	const nx, ny, iters = 60, 30, 10
 
 	// Reference: serial shared-memory run.
-	pool := sched.NewPool(1)
-	defer pool.Close()
-	ex := core.NewExecutor(core.Config{Backend: core.Serial, Pool: pool})
-	ref, err := airfoil.NewApp(nx, ny, ex)
+	rt := op2.MustNew(op2.WithBackend(op2.Serial), op2.WithPoolSize(1))
+	defer rt.Close()
+	ref, err := airfoil.NewApp(nx, ny, rt)
 	if err != nil {
 		log.Fatal(err)
 	}

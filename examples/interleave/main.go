@@ -1,33 +1,31 @@
 // Interleave example: demonstrates the paper's central mechanism (§IV,
-// Figs. 10-11) directly — loops issued back-to-back without host
-// synchronization form a dependency DAG through their dats. Independent
-// loops run concurrently; dependent loops wait exactly for their inputs;
-// there is no global barrier anywhere.
+// Figs. 10-11) directly through the public op2 facade — loops issued
+// back-to-back without host synchronization form a dependency DAG through
+// their dats. Independent loops run concurrently; dependent loops wait
+// exactly for their inputs; there is no global barrier anywhere.
 //
 // Run with: go run ./examples/interleave
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync/atomic"
 	"time"
 
-	"op2hpx/internal/core"
-	"op2hpx/internal/hpx"
-	"op2hpx/internal/hpx/sched"
+	"op2hpx/op2"
 )
 
 func main() {
 	const n = 1 << 16
-	cells := core.MustDeclSet(n, "cells")
-	a := core.MustDeclDat(cells, 1, nil, "a")
-	b := core.MustDeclDat(cells, 1, nil, "b")
-	c := core.MustDeclDat(cells, 1, nil, "c")
+	cells := op2.MustDeclSet(n, "cells")
+	a := op2.MustDeclDat(cells, 1, nil, "a")
+	b := op2.MustDeclDat(cells, 1, nil, "b")
+	c := op2.MustDeclDat(cells, 1, nil, "c")
 
-	pool := sched.NewPool(4)
-	defer pool.Close()
-	ex := core.NewExecutor(core.Config{Backend: core.Dataflow, Pool: pool})
+	rt := op2.MustNew(op2.WithBackend(op2.Dataflow), op2.WithPoolSize(4))
+	defer rt.Close()
 
 	var order [4]atomic.Int64
 	var seq atomic.Int64
@@ -43,45 +41,43 @@ func main() {
 		return f
 	}
 
-	mkLoop := func(name string, slot int, args []core.Arg, body func(v [][]float64)) *core.Loop {
-		return &core.Loop{
-			Name: name, Set: cells, Args: args,
-			Kernel: func(v [][]float64) {
-				mark(slot)
-				body(v)
-			},
-		}
+	mkLoop := func(name string, slot int, args []op2.Arg, body func(v [][]float64)) *op2.Loop {
+		return rt.ParLoop(name, cells, args...).Kernel(func(v [][]float64) {
+			mark(slot)
+			body(v)
+		})
 	}
 
 	// DAG:   writeA ──► sumAB ◄── writeB     (sumAB needs both)
 	// writeA and writeB are independent — they interleave.
 	writeA := mkLoop("write_a", 0,
-		[]core.Arg{core.ArgDat(a, core.IDIdx, nil, core.Write)},
+		[]op2.Arg{op2.DirectArg(a, op2.Write)},
 		func(v [][]float64) { v[0][0] = busy(1) })
 	writeB := mkLoop("write_b", 1,
-		[]core.Arg{core.ArgDat(b, core.IDIdx, nil, core.Write)},
+		[]op2.Arg{op2.DirectArg(b, op2.Write)},
 		func(v [][]float64) { v[0][0] = busy(2) })
 	sumAB := mkLoop("sum_ab", 2,
-		[]core.Arg{
-			core.ArgDat(a, core.IDIdx, nil, core.Read),
-			core.ArgDat(b, core.IDIdx, nil, core.Read),
-			core.ArgDat(c, core.IDIdx, nil, core.Write),
+		[]op2.Arg{
+			op2.DirectArg(a, op2.Read),
+			op2.DirectArg(b, op2.Read),
+			op2.DirectArg(c, op2.Write),
 		},
 		func(v [][]float64) { v[2][0] = v[0][0] + v[1][0] })
 	// scaleC depends on sumAB only.
 	scaleC := mkLoop("scale_c", 3,
-		[]core.Arg{core.ArgDat(c, core.IDIdx, nil, core.RW)},
+		[]op2.Arg{op2.DirectArg(c, op2.RW)},
 		func(v [][]float64) { v[0][0] *= 10 })
 
+	ctx := context.Background()
 	fmt.Println("issuing write_a, write_b, sum_ab, scale_c without any host sync...")
 	start := time.Now()
-	fa := ex.RunAsync(writeA)
-	fb := ex.RunAsync(writeB)
-	fs := ex.RunAsync(sumAB)
-	fc := ex.RunAsync(scaleC)
+	fa := writeA.Async(ctx)
+	fb := writeB.Async(ctx)
+	fs := sumAB.Async(ctx)
+	fc := scaleC.Async(ctx)
 	issued := time.Since(start)
 
-	if err := hpx.WaitAll(fa, fb, fs, fc); err != nil {
+	if err := op2.WaitAll(fa, fb, fs, fc); err != nil {
 		log.Fatal(err)
 	}
 	total := time.Since(start)

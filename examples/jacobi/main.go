@@ -1,24 +1,24 @@
 // Jacobi example: the classic OP2 demo (jac from the OP2 distribution) —
 // edge-based Jacobi relaxation of a Laplace problem on the unstructured
-// mesh API. It exercises the indirect-increment path (plan coloring) and
-// a global reduction, and demonstrates that serial, fork-join and
-// dataflow backends agree.
+// mesh API, written against the public op2 facade. It exercises the
+// indirect-increment path (plan coloring) and a global reduction, and
+// demonstrates that serial, fork-join and dataflow backends agree.
 //
 // Run with: go run ./examples/jacobi
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
-	"op2hpx/internal/core"
-	"op2hpx/internal/hpx/sched"
+	"op2hpx/op2"
 )
 
 // buildGrid creates an n×n interior grid of unknowns with edges between
 // 4-neighbours, the mesh jac.cpp builds.
-func buildGrid(n int) (nodes *core.Set, edges *core.Set, ppedge *core.Map, err error) {
+func buildGrid(n int) (nodes *op2.Set, edges *op2.Set, ppedge *op2.Map, err error) {
 	nn := n * n
 	var edgeList []int32
 	id := func(i, j int) int32 { return int32(i*n + j) }
@@ -32,82 +32,72 @@ func buildGrid(n int) (nodes *core.Set, edges *core.Set, ppedge *core.Map, err e
 			}
 		}
 	}
-	nodes, err = core.DeclSet(nn, "nodes")
+	nodes, err = op2.DeclSet(nn, "nodes")
 	if err != nil {
 		return
 	}
-	edges, err = core.DeclSet(len(edgeList)/2, "edges")
+	edges, err = op2.DeclSet(len(edgeList)/2, "edges")
 	if err != nil {
 		return
 	}
-	ppedge, err = core.DeclMap(edges, nodes, 2, edgeList, "ppedge")
+	ppedge, err = op2.DeclMap(edges, nodes, 2, edgeList, "ppedge")
 	return
 }
 
-func run(backend core.Backend, n, iters int) (float64, []float64, error) {
+func run(backend op2.Backend, n, iters int) (float64, []float64, error) {
 	nodes, edges, ppedge, err := buildGrid(n)
 	if err != nil {
 		return 0, nil, err
 	}
-	u := core.MustDeclDat(nodes, 1, nil, "p_u")
-	du := core.MustDeclDat(nodes, 1, nil, "p_du")
-	beta := core.MustDeclGlobal(1, []float64{1.0}, "beta")
-	resNorm := core.MustDeclGlobal(1, nil, "res_norm")
+	u := op2.MustDeclDat(nodes, 1, nil, "p_u")
+	du := op2.MustDeclDat(nodes, 1, nil, "p_du")
+	beta := op2.MustDeclGlobal(1, []float64{1.0}, "beta")
+	resNorm := op2.MustDeclGlobal(1, nil, "res_norm")
 
 	// Boundary forcing: corner unknowns pinned by an initial bump.
 	u.Data()[0] = 1
 	u.Data()[nodes.Size()-1] = -1
 
+	rt := op2.MustNew(op2.WithBackend(backend), op2.WithPoolSize(4))
+	defer rt.Close()
+
 	// res kernel: du(n1) += beta*u(n2); du(n2) += beta*u(n1) — the edge
 	// loop of jac.cpp.
-	resLoop := &core.Loop{
-		Name: "res",
-		Set:  edges,
-		Args: []core.Arg{
-			core.ArgDat(u, 0, ppedge, core.Read),
-			core.ArgDat(u, 1, ppedge, core.Read),
-			core.ArgDat(du, 0, ppedge, core.Inc),
-			core.ArgDat(du, 1, ppedge, core.Inc),
-			core.ArgGbl(beta, core.Read),
-		},
-		Kernel: func(v [][]float64) {
-			b := v[4][0]
-			v[2][0] += b * v[1][0]
-			v[3][0] += b * v[0][0]
-		},
-	}
+	resLoop := rt.ParLoop("res", edges,
+		op2.DatArg(u, 0, ppedge, op2.Read),
+		op2.DatArg(u, 1, ppedge, op2.Read),
+		op2.DatArg(du, 0, ppedge, op2.Inc),
+		op2.DatArg(du, 1, ppedge, op2.Inc),
+		op2.GblArg(beta, op2.Read),
+	).Kernel(func(v [][]float64) {
+		b := v[4][0]
+		v[2][0] += b * v[1][0]
+		v[3][0] += b * v[0][0]
+	})
 	// update kernel: u = 0.25*du; residual norm accumulates; du reset.
-	updateLoop := &core.Loop{
-		Name: "update",
-		Set:  nodes,
-		Args: []core.Arg{
-			core.ArgDat(du, core.IDIdx, nil, core.RW),
-			core.ArgDat(u, core.IDIdx, nil, core.RW),
-			core.ArgGbl(resNorm, core.Inc),
-		},
-		Kernel: func(v [][]float64) {
-			unew := 0.25 * v[0][0]
-			diff := unew - v[1][0]
-			v[2][0] += diff * diff
-			v[1][0] = unew
-			v[0][0] = 0
-		},
-	}
+	updateLoop := rt.ParLoop("update", nodes,
+		op2.DirectArg(du, op2.RW),
+		op2.DirectArg(u, op2.RW),
+		op2.GblArg(resNorm, op2.Inc),
+	).Kernel(func(v [][]float64) {
+		unew := 0.25 * v[0][0]
+		diff := unew - v[1][0]
+		v[2][0] += diff * diff
+		v[1][0] = unew
+		v[0][0] = 0
+	})
 
-	pool := sched.NewPool(4)
-	defer pool.Close()
-	ex := core.NewExecutor(core.Config{Backend: backend, Pool: pool})
-
+	ctx := context.Background()
 	for it := 0; it < iters; it++ {
-		if backend == core.Dataflow {
-			ex.RunAsync(resLoop)
-			ex.RunAsync(updateLoop)
+		if backend == op2.Dataflow {
+			resLoop.Async(ctx)
+			updateLoop.Async(ctx)
 			continue
 		}
-		if err := ex.Run(resLoop); err != nil {
+		if err := resLoop.Run(ctx); err != nil {
 			return 0, nil, err
 		}
-		if err := ex.Run(updateLoop); err != nil {
+		if err := updateLoop.Run(ctx); err != nil {
 			return 0, nil, err
 		}
 	}
@@ -123,7 +113,7 @@ func run(backend core.Backend, n, iters int) (float64, []float64, error) {
 func main() {
 	const n, iters = 64, 50
 	var ref []float64
-	for _, backend := range []core.Backend{core.Serial, core.ForkJoin, core.Dataflow} {
+	for _, backend := range []op2.Backend{op2.Serial, op2.ForkJoin, op2.Dataflow} {
 		norm, uvals, err := run(backend, n, iters)
 		if err != nil {
 			log.Fatal(err)

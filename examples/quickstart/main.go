@@ -1,69 +1,36 @@
 // Quickstart: the mesh from §II-A of the paper — nodes and edges with data
-// on each — declared through the OP2 API and processed by one parallel
-// loop on each backend.
+// on each — declared through the public op2 API and processed by one
+// parallel loop on each backend.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"op2hpx/internal/core"
-	"op2hpx/internal/hpx/sched"
+	"op2hpx/op2"
 )
 
 func main() {
 	// The 3×3 node mesh of Fig. 1: 9 nodes connected by edges, a value
 	// on every node and every edge.
-	nodes := core.MustDeclSet(9, "nodes")
+	nodes := op2.MustDeclSet(9, "nodes")
 	edgeMap := []int32{
 		0, 1, 1, 2, 2, 5, 5, 4, 4, 3, 3, 6, 6, 7,
 		7, 8, 0, 3, 1, 4, 2, 5, 3, 6, 4, 7, 5, 8,
 	}
-	edges := core.MustDeclSet(len(edgeMap)/2, "edges")
-	pedge := core.MustDeclMap(edges, nodes, 2, edgeMap, "pedge")
+	edges := op2.MustDeclSet(len(edgeMap)/2, "edges")
+	pedge := op2.MustDeclMap(edges, nodes, 2, edgeMap, "pedge")
 
 	valueNode := []float64{5.3, 1.2, 0.2, 3.4, 5.4, 6.2, 3.2, 2.5, 0.9}
-	dataNode := core.MustDeclDat(nodes, 1, valueNode, "data_node")
-	dataEdge := core.MustDeclDat(edges, 1, nil, "data_edge")
+	dataNode := op2.MustDeclDat(nodes, 1, valueNode, "data_node")
+	dataEdge := op2.MustDeclDat(edges, 1, nil, "data_edge")
+	total := op2.MustDeclDat(nodes, 1, nil, "node_total")
 
-	// One op_par_loop over edges: each edge computes the difference of
-	// its endpoint node values (a direct write, two indirect reads).
-	diff := &core.Loop{
-		Name: "edge_diff",
-		Set:  edges,
-		Args: []core.Arg{
-			core.ArgDat(dataNode, 0, pedge, core.Read),
-			core.ArgDat(dataNode, 1, pedge, core.Read),
-			core.ArgDat(dataEdge, core.IDIdx, nil, core.Write),
-		},
-		Kernel: func(v [][]float64) {
-			v[2][0] = v[1][0] - v[0][0]
-		},
-	}
-
-	// And one indirect-increment loop: scatter each edge value back to
-	// both endpoint nodes — the access pattern that needs plan coloring.
-	total := core.MustDeclDat(nodes, 1, nil, "node_total")
-	scatter := &core.Loop{
-		Name: "edge_scatter",
-		Set:  edges,
-		Args: []core.Arg{
-			core.ArgDat(dataEdge, core.IDIdx, nil, core.Read),
-			core.ArgDat(total, 0, pedge, core.Inc),
-			core.ArgDat(total, 1, pedge, core.Inc),
-		},
-		Kernel: func(v [][]float64) {
-			v[1][0] += v[0][0]
-			v[2][0] -= v[0][0]
-		},
-	}
-
-	pool := sched.NewPool(4)
-	defer pool.Close()
-
-	for _, backend := range []core.Backend{core.Serial, core.ForkJoin, core.Dataflow} {
+	ctx := context.Background()
+	for _, backend := range []op2.Backend{op2.Serial, op2.ForkJoin, op2.Dataflow} {
 		// Reset outputs between backends.
 		for i := range dataEdge.Data() {
 			dataEdge.Data()[i] = 0
@@ -71,11 +38,36 @@ func main() {
 		for i := range total.Data() {
 			total.Data()[i] = 0
 		}
-		ex := core.NewExecutor(core.Config{Backend: backend, Pool: pool})
-		if err := ex.Run(diff); err != nil {
+
+		rt := op2.MustNew(op2.WithBackend(backend), op2.WithPoolSize(4))
+
+		// One op_par_loop over edges: each edge computes the difference
+		// of its endpoint node values (a direct write, two indirect
+		// reads).
+		diff := rt.ParLoop("edge_diff", edges,
+			op2.DatArg(dataNode, 0, pedge, op2.Read),
+			op2.DatArg(dataNode, 1, pedge, op2.Read),
+			op2.DirectArg(dataEdge, op2.Write),
+		).Kernel(func(v [][]float64) {
+			v[2][0] = v[1][0] - v[0][0]
+		})
+
+		// And one indirect-increment loop: scatter each edge value back
+		// to both endpoint nodes — the access pattern that needs plan
+		// coloring.
+		scatter := rt.ParLoop("edge_scatter", edges,
+			op2.DirectArg(dataEdge, op2.Read),
+			op2.DatArg(total, 0, pedge, op2.Inc),
+			op2.DatArg(total, 1, pedge, op2.Inc),
+		).Kernel(func(v [][]float64) {
+			v[1][0] += v[0][0]
+			v[2][0] -= v[0][0]
+		})
+
+		if err := diff.Run(ctx); err != nil {
 			log.Fatal(err)
 		}
-		if err := ex.Run(scatter); err != nil {
+		if err := scatter.Run(ctx); err != nil {
 			log.Fatal(err)
 		}
 		if err := total.Sync(); err != nil {
@@ -83,5 +75,6 @@ func main() {
 		}
 		fmt.Printf("%-8s edge diffs: %6.2v\n", backend, dataEdge.Data()[:6])
 		fmt.Printf("%-8s node totals: %6.2v\n", backend, total.Data())
+		rt.Close()
 	}
 }

@@ -1,0 +1,3 @@
+module op2hpx
+
+go 1.24

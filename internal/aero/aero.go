@@ -18,10 +18,11 @@
 package aero
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"op2hpx/internal/core"
+	"op2hpx/op2"
 )
 
 // Problem is the assembled OP2 declaration of one Poisson problem on an
@@ -30,49 +31,50 @@ import (
 type Problem struct {
 	N int // grid cells per side
 
-	Nodes  *core.Set
-	Cells  *core.Set
-	Bnodes *core.Set
+	Nodes  *op2.Set
+	Cells  *op2.Set
+	Bnodes *op2.Set
 
-	Pcell  *core.Map // cell  -> 4 corner nodes
-	Pbnode *core.Map // bnode -> 1 node
+	Pcell  *op2.Map // cell  -> 4 corner nodes
+	Pbnode *op2.Map // bnode -> 1 node
 
-	X *core.Dat // nodes, dim 2: coordinates
-	U *core.Dat // nodes: solution
-	R *core.Dat // nodes: residual
-	P *core.Dat // nodes: search direction
-	V *core.Dat // nodes: A·p
-	B *core.Dat // nodes: right-hand side
+	X *op2.Dat // nodes, dim 2: coordinates
+	U *op2.Dat // nodes: solution
+	R *op2.Dat // nodes: residual
+	P *op2.Dat // nodes: search direction
+	V *op2.Dat // nodes: A·p
+	B *op2.Dat // nodes: right-hand side
 	// boundary marks nodes with Dirichlet rows (1.0 on boundary).
-	Bound *core.Dat
+	Bound *op2.Dat
 
 	// lift carries the Dirichlet boundary values; Solution() adds it to
 	// the interior CG correction.
 	lift []float64
 
-	RR *core.Global // Σ r·r
-	PV *core.Global // Σ p·v
+	RR *op2.Global // Σ r·r
+	PV *op2.Global // Σ p·v
 
-	ex *core.Executor
+	rt *op2.Runtime
 
-	resLoop, dirichletLoop, dotLoop *core.Loop
-	initLoop                        *core.Loop
+	resLoop, dirichletLoop, dotLoop *op2.Loop
+	initLoop                        *op2.Loop
 }
 
-// NewProblem builds the FEM problem on an n×n grid.
-func NewProblem(n int, ex *core.Executor) (*Problem, error) {
+// NewProblem builds the FEM problem on an n×n grid, executing its loops
+// through the public op2 runtime.
+func NewProblem(n int, rt *op2.Runtime) (*Problem, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("aero: grid needs n >= 2, got %d", n)
 	}
-	pr := &Problem{N: n, ex: ex}
+	pr := &Problem{N: n, rt: rt}
 	nn := (n + 1) * (n + 1)
 	node := func(i, j int) int32 { return int32(i*(n+1) + j) }
 
 	var err error
-	if pr.Nodes, err = core.DeclSet(nn, "nodes"); err != nil {
+	if pr.Nodes, err = op2.DeclSet(nn, "nodes"); err != nil {
 		return nil, err
 	}
-	if pr.Cells, err = core.DeclSet(n*n, "cells"); err != nil {
+	if pr.Cells, err = op2.DeclSet(n*n, "cells"); err != nil {
 		return nil, err
 	}
 
@@ -82,7 +84,7 @@ func NewProblem(n int, ex *core.Executor) (*Problem, error) {
 			pcell = append(pcell, node(i, j), node(i+1, j), node(i+1, j+1), node(i, j+1))
 		}
 	}
-	if pr.Pcell, err = core.DeclMap(pr.Cells, pr.Nodes, 4, pcell, "pcell"); err != nil {
+	if pr.Pcell, err = op2.DeclMap(pr.Cells, pr.Nodes, 4, pcell, "pcell"); err != nil {
 		return nil, err
 	}
 
@@ -100,33 +102,33 @@ func NewProblem(n int, ex *core.Executor) (*Problem, error) {
 			}
 		}
 	}
-	if pr.Bnodes, err = core.DeclSet(len(bnodes), "bnodes"); err != nil {
+	if pr.Bnodes, err = op2.DeclSet(len(bnodes), "bnodes"); err != nil {
 		return nil, err
 	}
-	if pr.Pbnode, err = core.DeclMap(pr.Bnodes, pr.Nodes, 1, bnodes, "pbnode"); err != nil {
+	if pr.Pbnode, err = op2.DeclMap(pr.Bnodes, pr.Nodes, 1, bnodes, "pbnode"); err != nil {
 		return nil, err
 	}
 
-	if pr.X, err = core.DeclDat(pr.Nodes, 2, xs, "p_x"); err != nil {
+	if pr.X, err = op2.DeclDat(pr.Nodes, 2, xs, "p_x"); err != nil {
 		return nil, err
 	}
 	for _, d := range []struct {
-		dat  **core.Dat
+		dat  **op2.Dat
 		name string
 	}{
 		{&pr.U, "p_u"}, {&pr.R, "p_r"}, {&pr.P, "p_p"}, {&pr.V, "p_v"}, {&pr.B, "p_b"},
 	} {
-		if *d.dat, err = core.DeclDat(pr.Nodes, 1, nil, d.name); err != nil {
+		if *d.dat, err = op2.DeclDat(pr.Nodes, 1, nil, d.name); err != nil {
 			return nil, err
 		}
 	}
-	if pr.Bound, err = core.DeclDat(pr.Nodes, 1, bound, "p_bound"); err != nil {
+	if pr.Bound, err = op2.DeclDat(pr.Nodes, 1, bound, "p_bound"); err != nil {
 		return nil, err
 	}
-	if pr.RR, err = core.DeclGlobal(1, nil, "rr"); err != nil {
+	if pr.RR, err = op2.DeclGlobal(1, nil, "rr"); err != nil {
 		return nil, err
 	}
-	if pr.PV, err = core.DeclGlobal(1, nil, "pv"); err != nil {
+	if pr.PV, err = op2.DeclGlobal(1, nil, "pv"); err != nil {
 		return nil, err
 	}
 	pr.assemble()
@@ -207,115 +209,85 @@ func (pr *Problem) applyStiffness(in, out []float64) {
 
 func (pr *Problem) buildLoops() {
 	// res: v += K_e · p, the matrix-free SpMV over cells (OP_INC).
-	pr.resLoop = &core.Loop{
-		Name: "res",
-		Set:  pr.Cells,
-		Args: []core.Arg{
-			core.ArgDat(pr.P, 0, pr.Pcell, core.Read),
-			core.ArgDat(pr.P, 1, pr.Pcell, core.Read),
-			core.ArgDat(pr.P, 2, pr.Pcell, core.Read),
-			core.ArgDat(pr.P, 3, pr.Pcell, core.Read),
-			core.ArgDat(pr.V, 0, pr.Pcell, core.Inc),
-			core.ArgDat(pr.V, 1, pr.Pcell, core.Inc),
-			core.ArgDat(pr.V, 2, pr.Pcell, core.Inc),
-			core.ArgDat(pr.V, 3, pr.Pcell, core.Inc),
-		},
-		Kernel: func(v [][]float64) {
-			for a := 0; a < 4; a++ {
-				acc := 0.0
-				for b := 0; b < 4; b++ {
-					acc += ke[a][b] * v[b][0]
-				}
-				v[4+a][0] += acc
+	pr.resLoop = pr.rt.ParLoop("res", pr.Cells,
+		op2.DatArg(pr.P, 0, pr.Pcell, op2.Read),
+		op2.DatArg(pr.P, 1, pr.Pcell, op2.Read),
+		op2.DatArg(pr.P, 2, pr.Pcell, op2.Read),
+		op2.DatArg(pr.P, 3, pr.Pcell, op2.Read),
+		op2.DatArg(pr.V, 0, pr.Pcell, op2.Inc),
+		op2.DatArg(pr.V, 1, pr.Pcell, op2.Inc),
+		op2.DatArg(pr.V, 2, pr.Pcell, op2.Inc),
+		op2.DatArg(pr.V, 3, pr.Pcell, op2.Inc),
+	).Kernel(func(v [][]float64) {
+		for a := 0; a < 4; a++ {
+			acc := 0.0
+			for b := 0; b < 4; b++ {
+				acc += ke[a][b] * v[b][0]
 			}
-		},
-	}
+			v[4+a][0] += acc
+		}
+	})
 	// dirichlet: boundary rows are removed from the CG system — their
 	// A·p entries are zeroed so every CG vector stays zero on the
 	// boundary subspace.
-	pr.dirichletLoop = &core.Loop{
-		Name: "dirichlet",
-		Set:  pr.Bnodes,
-		Args: []core.Arg{
-			core.ArgDat(pr.V, 0, pr.Pbnode, core.Write),
-		},
-		Kernel: func(v [][]float64) {
-			v[0][0] = 0
-		},
-	}
+	pr.dirichletLoop = pr.rt.ParLoop("dirichlet", pr.Bnodes,
+		op2.DatArg(pr.V, 0, pr.Pbnode, op2.Write),
+	).Kernel(func(v [][]float64) {
+		v[0][0] = 0
+	})
 	// dotPV: Σ p·v.
-	pr.dotLoop = &core.Loop{
-		Name: "dotPV",
-		Set:  pr.Nodes,
-		Args: []core.Arg{
-			core.ArgDat(pr.P, core.IDIdx, nil, core.Read),
-			core.ArgDat(pr.V, core.IDIdx, nil, core.Read),
-			core.ArgGbl(pr.PV, core.Inc),
-		},
-		Kernel: func(v [][]float64) {
-			v[2][0] += v[0][0] * v[1][0]
-		},
-	}
+	pr.dotLoop = pr.rt.ParLoop("dotPV", pr.Nodes,
+		op2.DirectArg(pr.P, op2.Read),
+		op2.DirectArg(pr.V, op2.Read),
+		op2.GblArg(pr.PV, op2.Inc),
+	).Kernel(func(v [][]float64) {
+		v[2][0] += v[0][0] * v[1][0]
+	})
 	// init: u = 0, r = b, p = r, v = 0, Σ r·r.
-	pr.initLoop = &core.Loop{
-		Name: "init_cg",
-		Set:  pr.Nodes,
-		Args: []core.Arg{
-			core.ArgDat(pr.B, core.IDIdx, nil, core.Read),
-			core.ArgDat(pr.U, core.IDIdx, nil, core.Write),
-			core.ArgDat(pr.R, core.IDIdx, nil, core.Write),
-			core.ArgDat(pr.P, core.IDIdx, nil, core.Write),
-			core.ArgDat(pr.V, core.IDIdx, nil, core.Write),
-			core.ArgGbl(pr.RR, core.Inc),
-		},
-		Kernel: func(v [][]float64) {
-			v[1][0] = 0
-			v[2][0] = v[0][0]
-			v[3][0] = v[0][0]
-			v[4][0] = 0
-			v[5][0] += v[0][0] * v[0][0]
-		},
-	}
+	pr.initLoop = pr.rt.ParLoop("init_cg", pr.Nodes,
+		op2.DirectArg(pr.B, op2.Read),
+		op2.DirectArg(pr.U, op2.Write),
+		op2.DirectArg(pr.R, op2.Write),
+		op2.DirectArg(pr.P, op2.Write),
+		op2.DirectArg(pr.V, op2.Write),
+		op2.GblArg(pr.RR, op2.Inc),
+	).Kernel(func(v [][]float64) {
+		v[1][0] = 0
+		v[2][0] = v[0][0]
+		v[3][0] = v[0][0]
+		v[4][0] = 0
+		v[5][0] += v[0][0] * v[0][0]
+	})
 }
 
 // updateURLoop builds the α-dependent update loop; α changes every CG
 // iteration, so the loop closure captures it by pointer through a Global.
-func (pr *Problem) updateURLoop(alpha *core.Global) *core.Loop {
-	return &core.Loop{
-		Name: "updateUR",
-		Set:  pr.Nodes,
-		Args: []core.Arg{
-			core.ArgDat(pr.P, core.IDIdx, nil, core.Read),
-			core.ArgDat(pr.U, core.IDIdx, nil, core.RW),
-			core.ArgDat(pr.R, core.IDIdx, nil, core.RW),
-			core.ArgDat(pr.V, core.IDIdx, nil, core.RW),
-			core.ArgGbl(alpha, core.Read),
-			core.ArgGbl(pr.RR, core.Inc),
-		},
-		Kernel: func(v [][]float64) {
-			a := v[4][0]
-			v[1][0] += a * v[0][0]
-			v[2][0] -= a * v[3][0]
-			v[3][0] = 0
-			v[5][0] += v[2][0] * v[2][0]
-		},
-	}
+func (pr *Problem) updateURLoop(alpha *op2.Global) *op2.Loop {
+	return pr.rt.ParLoop("updateUR", pr.Nodes,
+		op2.DirectArg(pr.P, op2.Read),
+		op2.DirectArg(pr.U, op2.RW),
+		op2.DirectArg(pr.R, op2.RW),
+		op2.DirectArg(pr.V, op2.RW),
+		op2.GblArg(alpha, op2.Read),
+		op2.GblArg(pr.RR, op2.Inc),
+	).Kernel(func(v [][]float64) {
+		a := v[4][0]
+		v[1][0] += a * v[0][0]
+		v[2][0] -= a * v[3][0]
+		v[3][0] = 0
+		v[5][0] += v[2][0] * v[2][0]
+	})
 }
 
 // updatePLoop builds the β-dependent direction update p = r + β p.
-func (pr *Problem) updatePLoop(beta *core.Global) *core.Loop {
-	return &core.Loop{
-		Name: "updateP",
-		Set:  pr.Nodes,
-		Args: []core.Arg{
-			core.ArgDat(pr.R, core.IDIdx, nil, core.Read),
-			core.ArgDat(pr.P, core.IDIdx, nil, core.RW),
-			core.ArgGbl(beta, core.Read),
-		},
-		Kernel: func(v [][]float64) {
-			v[1][0] = v[0][0] + v[2][0]*v[1][0]
-		},
-	}
+func (pr *Problem) updatePLoop(beta *op2.Global) *op2.Loop {
+	return pr.rt.ParLoop("updateP", pr.Nodes,
+		op2.DirectArg(pr.R, op2.Read),
+		op2.DirectArg(pr.P, op2.RW),
+		op2.GblArg(beta, op2.Read),
+	).Kernel(func(v [][]float64) {
+		v[1][0] = v[0][0] + v[2][0]*v[1][0]
+	})
 }
 
 // Solve runs conjugate gradients until the residual norm falls below tol
@@ -324,7 +296,8 @@ func (pr *Problem) updatePLoop(beta *core.Global) *core.Loop {
 // the CG scalar recurrence — which in dataflow mode is the per-iteration
 // synchronization point.
 func (pr *Problem) Solve(tol float64, maxIter int) (res float64, iters int, err error) {
-	run := func(l *core.Loop) error { return pr.ex.Run(l) }
+	ctx := context.Background()
+	run := func(l *op2.Loop) error { return l.Run(ctx) }
 
 	if err := pr.RR.Set([]float64{0}); err != nil {
 		return 0, 0, err
@@ -337,11 +310,11 @@ func (pr *Problem) Solve(tol float64, maxIter int) (res float64, iters int, err 
 	}
 	rr := pr.RR.Data()[0]
 
-	alpha, err := core.DeclGlobal(1, nil, "alpha")
+	alpha, err := op2.DeclGlobal(1, nil, "alpha")
 	if err != nil {
 		return 0, 0, err
 	}
-	beta, err := core.DeclGlobal(1, nil, "beta")
+	beta, err := op2.DeclGlobal(1, nil, "beta")
 	if err != nil {
 		return 0, 0, err
 	}
@@ -398,7 +371,7 @@ func (pr *Problem) Solve(tol float64, maxIter int) (res float64, iters int, err 
 
 // Sync waits for every outstanding asynchronous loop of the problem.
 func (pr *Problem) Sync() error {
-	for _, d := range []*core.Dat{pr.U, pr.R, pr.P, pr.V, pr.B, pr.X, pr.Bound} {
+	for _, d := range []*op2.Dat{pr.U, pr.R, pr.P, pr.V, pr.B, pr.X, pr.Bound} {
 		if err := d.Sync(); err != nil {
 			return err
 		}

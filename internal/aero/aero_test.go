@@ -4,19 +4,18 @@ import (
 	"math"
 	"testing"
 
-	"op2hpx/internal/core"
-	"op2hpx/internal/hpx/sched"
+	"op2hpx/op2"
 )
 
-func testExec(t *testing.T, b core.Backend, workers int) *core.Executor {
+func testRuntime(t *testing.T, b op2.Backend, workers int) *op2.Runtime {
 	t.Helper()
-	pool := sched.NewPool(workers)
-	t.Cleanup(pool.Close)
-	return core.NewExecutor(core.Config{Backend: b, Pool: pool})
+	rt := op2.MustNew(op2.WithBackend(b), op2.WithPoolSize(workers))
+	t.Cleanup(func() { rt.Close() })
+	return rt
 }
 
 func TestProblemSetup(t *testing.T) {
-	pr, err := NewProblem(8, testExec(t, core.Serial, 1))
+	pr, err := NewProblem(8, testRuntime(t, op2.Serial, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +25,7 @@ func TestProblemSetup(t *testing.T) {
 	if pr.Bnodes.Size() != 4*8 {
 		t.Fatalf("bnodes = %d, want 32", pr.Bnodes.Size())
 	}
-	if _, err := NewProblem(1, testExec(t, core.Serial, 1)); err == nil {
+	if _, err := NewProblem(1, testRuntime(t, op2.Serial, 1)); err == nil {
 		t.Fatal("n=1 accepted")
 	}
 }
@@ -55,7 +54,7 @@ func TestSolveConvergesToManufacturedSolution(t *testing.T) {
 	// end-to-end check of the assembly, the SpMV loop, the reductions
 	// and the boundary treatment at once.
 	for _, n := range []int{8, 16, 32} {
-		pr, err := NewProblem(n, testExec(t, core.Serial, 1))
+		pr, err := NewProblem(n, testRuntime(t, op2.Serial, 1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -76,9 +75,9 @@ func TestSolveConvergesToManufacturedSolution(t *testing.T) {
 
 func TestSolveBackendsAgree(t *testing.T) {
 	const n = 16
-	solve := func(b core.Backend, workers int) ([]float64, int) {
+	solve := func(b op2.Backend, workers int) ([]float64, int) {
 		t.Helper()
-		pr, err := NewProblem(n, testExec(t, b, workers))
+		pr, err := NewProblem(n, testRuntime(t, b, workers))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,14 +88,14 @@ func TestSolveBackendsAgree(t *testing.T) {
 		}
 		return nil, 0
 	}
-	ref, refIters := solve(core.Serial, 1)
+	ref, refIters := solve(op2.Serial, 1)
 	for _, tc := range []struct {
 		name    string
-		backend core.Backend
+		backend op2.Backend
 		workers int
 	}{
-		{"forkjoin", core.ForkJoin, 4},
-		{"dataflow", core.Dataflow, 4},
+		{"forkjoin", op2.ForkJoin, 4},
+		{"dataflow", op2.Dataflow, 4},
 	} {
 		got, iters := solve(tc.backend, tc.workers)
 		// CG is sensitive to FP reassociation in the reductions, so
@@ -116,7 +115,7 @@ func TestSolveBackendsAgree(t *testing.T) {
 func TestBoundarySubspaceInvariant(t *testing.T) {
 	// Every CG vector must stay zero on boundary nodes; the computed
 	// solution there comes purely from the lift.
-	pr, err := NewProblem(12, testExec(t, core.ForkJoin, 2))
+	pr, err := NewProblem(12, testRuntime(t, op2.ForkJoin, 2))
 	if err != nil {
 		t.Fatal(err)
 	}

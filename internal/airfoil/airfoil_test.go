@@ -5,15 +5,14 @@ import (
 	"testing"
 	"testing/quick"
 
-	"op2hpx/internal/core"
-	"op2hpx/internal/hpx/sched"
+	"op2hpx/op2"
 )
 
-func testExec(t *testing.T, b core.Backend, workers int) *core.Executor {
+func testRuntime(t *testing.T, b op2.Backend, workers int, opts ...op2.Option) *op2.Runtime {
 	t.Helper()
-	pool := sched.NewPool(workers)
-	t.Cleanup(pool.Close)
-	return core.NewExecutor(core.Config{Backend: b, Pool: pool})
+	rt := op2.MustNew(append([]op2.Option{op2.WithBackend(b), op2.WithPoolSize(workers)}, opts...)...)
+	t.Cleanup(func() { rt.Close() })
+	return rt
 }
 
 func TestMeshTopology(t *testing.T) {
@@ -254,8 +253,8 @@ func TestKernelAdtCalcPositive(t *testing.T) {
 }
 
 func TestAppSerialRunProducesFiniteRms(t *testing.T) {
-	ex := testExec(t, core.Serial, 1)
-	app, err := NewApp(24, 12, ex)
+	rt := testRuntime(t, op2.Serial, 1)
+	app, err := NewApp(24, 12, rt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,10 +274,10 @@ func TestAppSerialRunProducesFiniteRms(t *testing.T) {
 
 func TestAppBackendsAgree(t *testing.T) {
 	const nx, ny, iters = 30, 16, 4
-	run := func(b core.Backend, workers int, generic bool) (*App, float64) {
+	run := func(b op2.Backend, workers int, generic bool) (*App, float64) {
 		t.Helper()
-		ex := testExec(t, b, workers)
-		app, err := NewApp(nx, ny, ex)
+		rt := testRuntime(t, b, workers)
+		app, err := NewApp(nx, ny, rt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -289,19 +288,19 @@ func TestAppBackendsAgree(t *testing.T) {
 		}
 		return app, rms
 	}
-	ref, rmsRef := run(core.Serial, 1, false)
+	ref, rmsRef := run(op2.Serial, 1, false)
 	for _, tc := range []struct {
 		name    string
-		backend core.Backend
+		backend op2.Backend
 		workers int
 		generic bool
 	}{
-		{"serial-generic", core.Serial, 1, true},
-		{"forkjoin-2", core.ForkJoin, 2, false},
-		{"forkjoin-8", core.ForkJoin, 8, false},
-		{"forkjoin-generic", core.ForkJoin, 4, true},
-		{"dataflow-4", core.Dataflow, 4, false},
-		{"dataflow-generic", core.Dataflow, 4, true},
+		{"serial-generic", op2.Serial, 1, true},
+		{"forkjoin-2", op2.ForkJoin, 2, false},
+		{"forkjoin-8", op2.ForkJoin, 8, false},
+		{"forkjoin-generic", op2.ForkJoin, 4, true},
+		{"dataflow-4", op2.Dataflow, 4, false},
+		{"dataflow-generic", op2.Dataflow, 4, true},
 	} {
 		app, rms := run(tc.backend, tc.workers, tc.generic)
 		if relDiff(rms, rmsRef) > 1e-9 {
@@ -324,16 +323,15 @@ func TestAppParallelDeterministicAcrossWorkerCounts(t *testing.T) {
 	const nx, ny, iters = 20, 12, 3
 	var ref []float64
 	for _, workers := range []int{1, 3, 8} {
-		pool := sched.NewPool(workers)
-		ex := core.NewExecutor(core.Config{Backend: core.ForkJoin, Pool: pool})
-		app, err := NewApp(nx, ny, ex)
+		rt := op2.MustNew(op2.WithBackend(op2.ForkJoin), op2.WithPoolSize(workers))
+		app, err := NewApp(nx, ny, rt)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if _, err := app.Run(iters); err != nil {
 			t.Fatal(err)
 		}
-		pool.Close()
+		rt.Close()
 		if ref == nil {
 			ref = append([]float64(nil), app.M.Q.Data()...)
 			continue
@@ -350,10 +348,9 @@ func TestAppPrefetchingDoesNotChangeResults(t *testing.T) {
 	const nx, ny, iters = 24, 12, 3
 	run := func(dist int) []float64 {
 		t.Helper()
-		pool := sched.NewPool(4)
-		defer pool.Close()
-		ex := core.NewExecutor(core.Config{Backend: core.ForkJoin, Pool: pool, PrefetchDistance: dist})
-		app, err := NewApp(nx, ny, ex)
+		rt := op2.MustNew(op2.WithBackend(op2.ForkJoin), op2.WithPoolSize(4), op2.WithPrefetchDistance(dist))
+		defer rt.Close()
+		app, err := NewApp(nx, ny, rt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -372,8 +369,8 @@ func TestAppPrefetchingDoesNotChangeResults(t *testing.T) {
 }
 
 func TestAppRejectsZeroIters(t *testing.T) {
-	ex := testExec(t, core.Serial, 1)
-	app, err := NewApp(4, 4, ex)
+	rt := testRuntime(t, op2.Serial, 1)
+	app, err := NewApp(4, 4, rt)
 	if err != nil {
 		t.Fatal(err)
 	}

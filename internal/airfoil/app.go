@@ -1,138 +1,127 @@
 package airfoil
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
-	"op2hpx/internal/core"
-	"op2hpx/internal/hpx"
+	"op2hpx/op2"
 )
 
-// App wires the airfoil mesh and kernels to an OP2 executor and drives the
+// App wires the airfoil mesh and kernels to an OP2 runtime and drives the
 // time-marching loop of airfoil.cpp: per iteration one save_soln and two
 // Runge-Kutta-like sub-iterations of adt_calc → res_calc → bres_calc →
-// update (Fig. 2 of the paper).
+// update (Fig. 2 of the paper). All loop execution goes through the
+// public op2 facade.
 type App struct {
 	M     *Mesh
 	Const Constants
-	Ex    *core.Executor
-	Rms   *core.Global
+	Rt    *op2.Runtime
+	Rms   *op2.Global
 
 	// UseGenericKernels switches from the specialized per-kernel bodies
 	// (the code the OP2 translator generates) to the generic view-based
 	// kernel path; used to cross-check the two in tests.
 	UseGenericKernels bool
 
-	loops appLoops
+	loops struct {
+		spec appLoops // kernels with specialized range bodies
+		gen  appLoops // generic view-based kernels only
+	}
 }
 
 type appLoops struct {
-	saveSoln, adtCalc, resCalc, bresCalc, update *core.Loop
+	saveSoln, adtCalc, resCalc, bresCalc, update *op2.Loop
 }
 
-// NewApp builds an airfoil application instance on the given executor.
-func NewApp(nx, ny int, ex *core.Executor) (*App, error) {
+// NewApp builds an airfoil application instance on the given runtime.
+func NewApp(nx, ny int, rt *op2.Runtime) (*App, error) {
 	consts := DefaultConstants()
 	m, err := NewMesh(nx, ny, consts)
 	if err != nil {
 		return nil, err
 	}
-	return NewAppFromMesh(m, consts, ex)
+	return NewAppFromMesh(m, consts, rt)
 }
 
 // NewAppFromMesh builds the application over an existing mesh (generated,
 // loaded from file, or renumbered).
-func NewAppFromMesh(m *Mesh, consts Constants, ex *core.Executor) (*App, error) {
-	rms, err := core.DeclGlobal(1, nil, "rms")
+func NewAppFromMesh(m *Mesh, consts Constants, rt *op2.Runtime) (*App, error) {
+	rms, err := op2.DeclGlobal(1, nil, "rms")
 	if err != nil {
 		return nil, err
 	}
-	a := &App{M: m, Const: consts, Ex: ex, Rms: rms}
+	a := &App{M: m, Const: consts, Rt: rt, Rms: rms}
 	a.buildLoops()
 	return a, nil
 }
 
-// buildLoops constructs the five op_par_loop descriptors once; executors
-// cache their plans across time steps.
+// buildLoops constructs the five op_par_loop descriptors once; the
+// runtime caches their plans across time steps. Each loop is built twice:
+// with the specialized range body attached and with the generic kernel
+// only.
 func (a *App) buildLoops() {
 	m := a.M
 	c := &a.Const
+	rt := a.Rt
 
-	a.loops.saveSoln = &core.Loop{
-		Name: "save_soln",
-		Set:  m.Cells,
-		Args: []core.Arg{
-			core.ArgDat(m.Q, core.IDIdx, nil, core.Read),
-			core.ArgDat(m.Qold, core.IDIdx, nil, core.Write),
-		},
-		Kernel: func(v [][]float64) { SaveSoln(v[0], v[1]) },
-		Body:   a.saveSolnBody(),
+	build := func(body bool) appLoops {
+		var ls appLoops
+		attach := func(lp *op2.Loop, b op2.RangeBody) *op2.Loop {
+			if body {
+				return lp.Body(b)
+			}
+			return lp
+		}
+		ls.saveSoln = attach(rt.ParLoop("save_soln", m.Cells,
+			op2.DirectArg(m.Q, op2.Read),
+			op2.DirectArg(m.Qold, op2.Write),
+		).Kernel(func(v [][]float64) { SaveSoln(v[0], v[1]) }), a.saveSolnBody())
+		ls.adtCalc = attach(rt.ParLoop("adt_calc", m.Cells,
+			op2.DatArg(m.X, 0, m.Pcell, op2.Read),
+			op2.DatArg(m.X, 1, m.Pcell, op2.Read),
+			op2.DatArg(m.X, 2, m.Pcell, op2.Read),
+			op2.DatArg(m.X, 3, m.Pcell, op2.Read),
+			op2.DirectArg(m.Q, op2.Read),
+			op2.DirectArg(m.Adt, op2.Write),
+		).Kernel(func(v [][]float64) { c.AdtCalc(v[0], v[1], v[2], v[3], v[4], v[5]) }), a.adtCalcBody())
+		ls.resCalc = attach(rt.ParLoop("res_calc", m.Edges,
+			op2.DatArg(m.X, 0, m.Pedge, op2.Read),
+			op2.DatArg(m.X, 1, m.Pedge, op2.Read),
+			op2.DatArg(m.Q, 0, m.Pecell, op2.Read),
+			op2.DatArg(m.Q, 1, m.Pecell, op2.Read),
+			op2.DatArg(m.Adt, 0, m.Pecell, op2.Read),
+			op2.DatArg(m.Adt, 1, m.Pecell, op2.Read),
+			op2.DatArg(m.Res, 0, m.Pecell, op2.Inc),
+			op2.DatArg(m.Res, 1, m.Pecell, op2.Inc),
+		).Kernel(func(v [][]float64) { c.ResCalc(v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7]) }), a.resCalcBody())
+		ls.bresCalc = attach(rt.ParLoop("bres_calc", m.Bedges,
+			op2.DatArg(m.X, 0, m.Pbedge, op2.Read),
+			op2.DatArg(m.X, 1, m.Pbedge, op2.Read),
+			op2.DatArg(m.Q, 0, m.Pbecell, op2.Read),
+			op2.DatArg(m.Adt, 0, m.Pbecell, op2.Read),
+			op2.DatArg(m.Res, 0, m.Pbecell, op2.Inc),
+			op2.DirectArg(m.Bound, op2.Read),
+		).Kernel(func(v [][]float64) { c.BresCalc(v[0], v[1], v[2], v[3], v[4], v[5]) }), a.bresCalcBody())
+		ls.update = attach(rt.ParLoop("update", m.Cells,
+			op2.DirectArg(m.Qold, op2.Read),
+			op2.DirectArg(m.Q, op2.Write),
+			op2.DirectArg(m.Res, op2.RW),
+			op2.DirectArg(m.Adt, op2.Read),
+			op2.GblArg(a.Rms, op2.Inc),
+		).Kernel(func(v [][]float64) { Update(v[0], v[1], v[2], v[3], v[4]) }), a.updateBody())
+		return ls
 	}
-	a.loops.adtCalc = &core.Loop{
-		Name: "adt_calc",
-		Set:  m.Cells,
-		Args: []core.Arg{
-			core.ArgDat(m.X, 0, m.Pcell, core.Read),
-			core.ArgDat(m.X, 1, m.Pcell, core.Read),
-			core.ArgDat(m.X, 2, m.Pcell, core.Read),
-			core.ArgDat(m.X, 3, m.Pcell, core.Read),
-			core.ArgDat(m.Q, core.IDIdx, nil, core.Read),
-			core.ArgDat(m.Adt, core.IDIdx, nil, core.Write),
-		},
-		Kernel: func(v [][]float64) { c.AdtCalc(v[0], v[1], v[2], v[3], v[4], v[5]) },
-		Body:   a.adtCalcBody(),
-	}
-	a.loops.resCalc = &core.Loop{
-		Name: "res_calc",
-		Set:  m.Edges,
-		Args: []core.Arg{
-			core.ArgDat(m.X, 0, m.Pedge, core.Read),
-			core.ArgDat(m.X, 1, m.Pedge, core.Read),
-			core.ArgDat(m.Q, 0, m.Pecell, core.Read),
-			core.ArgDat(m.Q, 1, m.Pecell, core.Read),
-			core.ArgDat(m.Adt, 0, m.Pecell, core.Read),
-			core.ArgDat(m.Adt, 1, m.Pecell, core.Read),
-			core.ArgDat(m.Res, 0, m.Pecell, core.Inc),
-			core.ArgDat(m.Res, 1, m.Pecell, core.Inc),
-		},
-		Kernel: func(v [][]float64) { c.ResCalc(v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7]) },
-		Body:   a.resCalcBody(),
-	}
-	a.loops.bresCalc = &core.Loop{
-		Name: "bres_calc",
-		Set:  m.Bedges,
-		Args: []core.Arg{
-			core.ArgDat(m.X, 0, m.Pbedge, core.Read),
-			core.ArgDat(m.X, 1, m.Pbedge, core.Read),
-			core.ArgDat(m.Q, 0, m.Pbecell, core.Read),
-			core.ArgDat(m.Adt, 0, m.Pbecell, core.Read),
-			core.ArgDat(m.Res, 0, m.Pbecell, core.Inc),
-			core.ArgDat(m.Bound, core.IDIdx, nil, core.Read),
-		},
-		Kernel: func(v [][]float64) { c.BresCalc(v[0], v[1], v[2], v[3], v[4], v[5]) },
-		Body:   a.bresCalcBody(),
-	}
-	a.loops.update = &core.Loop{
-		Name: "update",
-		Set:  m.Cells,
-		Args: []core.Arg{
-			core.ArgDat(m.Qold, core.IDIdx, nil, core.Read),
-			core.ArgDat(m.Q, core.IDIdx, nil, core.Write),
-			core.ArgDat(m.Res, core.IDIdx, nil, core.RW),
-			core.ArgDat(m.Adt, core.IDIdx, nil, core.Read),
-			core.ArgGbl(a.Rms, core.Inc),
-		},
-		Kernel: func(v [][]float64) { Update(v[0], v[1], v[2], v[3], v[4]) },
-		Body:   a.updateBody(),
-	}
+	a.loops.spec = build(true)
+	a.loops.gen = build(false)
 }
 
 // The specialized bodies below are what the OP2-to-Go translator emits for
 // each kernel (cmd/op2gen produces this shape): raw-slice indexing over a
 // chunk, no per-element view construction.
 
-func (a *App) saveSolnBody() core.RangeBody {
+func (a *App) saveSolnBody() op2.RangeBody {
 	q := a.M.Q.Data()
 	qold := a.M.Qold.Data()
 	return func(lo, hi int, _ []float64) {
@@ -140,7 +129,7 @@ func (a *App) saveSolnBody() core.RangeBody {
 	}
 }
 
-func (a *App) adtCalcBody() core.RangeBody {
+func (a *App) adtCalcBody() op2.RangeBody {
 	m := a.M
 	c := &a.Const
 	x := m.X.Data()
@@ -159,7 +148,7 @@ func (a *App) adtCalcBody() core.RangeBody {
 	}
 }
 
-func (a *App) resCalcBody() core.RangeBody {
+func (a *App) resCalcBody() op2.RangeBody {
 	m := a.M
 	c := &a.Const
 	x := m.X.Data()
@@ -182,7 +171,7 @@ func (a *App) resCalcBody() core.RangeBody {
 	}
 }
 
-func (a *App) bresCalcBody() core.RangeBody {
+func (a *App) bresCalcBody() op2.RangeBody {
 	m := a.M
 	c := &a.Const
 	x := m.X.Data()
@@ -204,7 +193,7 @@ func (a *App) bresCalcBody() core.RangeBody {
 	}
 }
 
-func (a *App) updateBody() core.RangeBody {
+func (a *App) updateBody() op2.RangeBody {
 	m := a.M
 	qold := m.Qold.Data()
 	q := m.Q.Data()
@@ -217,29 +206,38 @@ func (a *App) updateBody() core.RangeBody {
 	}
 }
 
-// run returns the loop in the form the configured path expects.
-func (a *App) loop(l *core.Loop) *core.Loop {
-	if !a.UseGenericKernels {
-		return l
+// activeLoops returns the loop set of the configured kernel path.
+func (a *App) activeLoops() *appLoops {
+	if a.UseGenericKernels {
+		return &a.loops.gen
 	}
-	generic := *l
-	generic.Body = nil
-	return &generic
+	return &a.loops.spec
 }
 
 // Step performs one time iteration. Under the Dataflow backend all nine
 // loops are issued asynchronously and Step returns without waiting — the
 // futures chain through the dats exactly as Fig. 10/11 describe. Under
 // Serial/ForkJoin each loop runs to completion with its implicit barrier.
-func (a *App) Step() error {
-	if a.Ex.Config().Backend == core.Dataflow {
-		var last *hpx.Future[struct{}]
-		a.Ex.RunAsync(a.loop(a.loops.saveSoln))
+func (a *App) Step() error { return a.StepCtx(context.Background()) }
+
+// StepCtx is Step with a cancellation context: a done ctx aborts loops
+// mid-nest and surfaces as an error wrapping op2.ErrCanceled. The check
+// here also stops the dataflow issuer promptly — without it a long run
+// would keep issuing asynchronous steps long after cancellation, since
+// issuing itself never blocks.
+func (a *App) StepCtx(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("airfoil: step canceled: %w: %w", op2.ErrCanceled, err)
+	}
+	ls := a.activeLoops()
+	if a.Rt.Backend() == op2.Dataflow {
+		var last *op2.Future
+		ls.saveSoln.Async(ctx)
 		for k := 0; k < 2; k++ {
-			a.Ex.RunAsync(a.loop(a.loops.adtCalc))
-			a.Ex.RunAsync(a.loop(a.loops.resCalc))
-			a.Ex.RunAsync(a.loop(a.loops.bresCalc))
-			last = a.Ex.RunAsync(a.loop(a.loops.update))
+			ls.adtCalc.Async(ctx)
+			ls.resCalc.Async(ctx)
+			ls.bresCalc.Async(ctx)
+			last = ls.update.Async(ctx)
 		}
 		// Surface issue-time validation errors without waiting for
 		// completion.
@@ -250,21 +248,14 @@ func (a *App) Step() error {
 		}
 		return nil
 	}
-	if err := a.Ex.Run(a.loop(a.loops.saveSoln)); err != nil {
+	if err := ls.saveSoln.Run(ctx); err != nil {
 		return err
 	}
 	for k := 0; k < 2; k++ {
-		if err := a.Ex.Run(a.loop(a.loops.adtCalc)); err != nil {
-			return err
-		}
-		if err := a.Ex.Run(a.loop(a.loops.resCalc)); err != nil {
-			return err
-		}
-		if err := a.Ex.Run(a.loop(a.loops.bresCalc)); err != nil {
-			return err
-		}
-		if err := a.Ex.Run(a.loop(a.loops.update)); err != nil {
-			return err
+		for _, lp := range []*op2.Loop{ls.adtCalc, ls.resCalc, ls.bresCalc, ls.update} {
+			if err := lp.Run(ctx); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -274,7 +265,10 @@ func (a *App) Step() error {
 // residual of the final sync interval: sqrt(rms / (2·ncells·iters)), the
 // quantity airfoil.cpp prints. Under the Dataflow backend the only host
 // synchronization is the final one.
-func (a *App) Run(iters int) (float64, error) {
+func (a *App) Run(iters int) (float64, error) { return a.RunCtx(context.Background(), iters) }
+
+// RunCtx is Run with a cancellation context.
+func (a *App) RunCtx(ctx context.Context, iters int) (float64, error) {
 	if iters < 1 {
 		return 0, fmt.Errorf("airfoil: iters %d < 1", iters)
 	}
@@ -285,7 +279,7 @@ func (a *App) Run(iters int) (float64, error) {
 		return 0, err
 	}
 	for i := 0; i < iters; i++ {
-		if err := a.Step(); err != nil {
+		if err := a.StepCtx(ctx); err != nil {
 			return 0, err
 		}
 	}
@@ -345,7 +339,7 @@ func (a *App) RunMonitored(iters, every int, out io.Writer) (float64, error) {
 // the host-side fence at the end of a dataflow run.
 func (a *App) Sync() error {
 	m := a.M
-	for _, d := range []*core.Dat{m.Q, m.Qold, m.Adt, m.Res, m.X, m.Bound} {
+	for _, d := range []*op2.Dat{m.Q, m.Qold, m.Adt, m.Res, m.X, m.Bound} {
 		if err := d.Sync(); err != nil {
 			return err
 		}

@@ -4,7 +4,7 @@ import (
 	"math"
 	"testing"
 
-	"op2hpx/internal/core"
+	"op2hpx/op2"
 )
 
 // closeEnough compares with mixed absolute/relative tolerance: halo
@@ -18,8 +18,8 @@ func closeEnough(a, b float64) bool {
 func TestDistAppMatchesSerial(t *testing.T) {
 	const nx, ny, iters = 26, 14, 4
 
-	ex := testExec(t, core.Serial, 1)
-	ref, err := NewApp(nx, ny, ex)
+	rt := testRuntime(t, op2.Serial, 1)
+	ref, err := NewApp(nx, ny, rt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,8 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
-	"op2hpx/internal/core"
-	"op2hpx/internal/hpx/sched"
+	"op2hpx/op2"
 )
 
 func TestMeshRoundTrip(t *testing.T) {
@@ -74,13 +73,14 @@ func TestMeshFileRoundTripRuns(t *testing.T) {
 	}
 	// The loaded mesh must be runnable and agree with a freshly built
 	// one.
-	pool := sched.NewPool(2)
-	defer pool.Close()
+	rt := op2.MustNew(op2.WithBackend(op2.Serial), op2.WithPoolSize(2))
+	defer rt.Close()
 	run := func(mesh *Mesh) float64 {
 		t.Helper()
-		ex := core.NewExecutor(core.Config{Backend: core.Serial, Pool: pool})
-		app := &App{M: mesh, Const: consts, Ex: ex, Rms: core.MustDeclGlobal(1, nil, "rms")}
-		app.buildLoops()
+		app, err := NewAppFromMesh(mesh, consts, rt)
+		if err != nil {
+			t.Fatal(err)
+		}
 		rms, err := app.Run(3)
 		if err != nil {
 			t.Fatal(err)

@@ -4,14 +4,14 @@ import (
 	"strings"
 	"testing"
 
-	"op2hpx/internal/core"
+	"op2hpx/op2"
 )
 
 func TestRunMonitoredReportsAndAgrees(t *testing.T) {
 	const nx, ny, iters, every = 20, 10, 6, 2
 	var out strings.Builder
-	ex := testExec(t, core.Dataflow, 4)
-	app, err := NewApp(nx, ny, ex)
+	rt := testRuntime(t, op2.Dataflow, 4)
+	app, err := NewApp(nx, ny, rt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func TestRunMonitoredReportsAndAgrees(t *testing.T) {
 		t.Fatalf("final rms = %g", rms)
 	}
 	// Physics must agree with a plain serial run of the same length.
-	ref, err := NewApp(nx, ny, testExec(t, core.Serial, 1))
+	ref, err := NewApp(nx, ny, testRuntime(t, op2.Serial, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,8 +42,8 @@ func TestRunMonitoredReportsAndAgrees(t *testing.T) {
 }
 
 func TestRunMonitoredDefaultsInterval(t *testing.T) {
-	ex := testExec(t, core.Serial, 1)
-	app, err := NewApp(8, 6, ex)
+	rt := testRuntime(t, op2.Serial, 1)
+	app, err := NewApp(8, 6, rt)
 	if err != nil {
 		t.Fatal(err)
 	}

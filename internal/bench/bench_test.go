@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"op2hpx/internal/hpx"
+	"op2hpx/internal/hpx/prefetch"
+	"op2hpx/internal/hpx/sched"
+)
+
+// BenchmarkTableI exercises each execution policy of Table I on the same
+// parallel loop.
+func BenchmarkTableI(b *testing.B) {
+	const n = 1 << 18
+	data := make([]float64, n)
+	pool := sched.NewPool(runtime.NumCPU())
+	defer pool.Close()
+	policies := map[string]hpx.Policy{
+		"seq":       hpx.SeqPolicy(),
+		"par":       hpx.ParPolicy().WithPool(pool),
+		"seq(task)": hpx.SeqPolicy().WithTask(),
+		"par(task)": hpx.ParPolicy().WithPool(pool).WithTask(),
+	}
+	for name, pol := range policies {
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(n * 8)
+			for i := 0; i < b.N; i++ {
+				if err := hpx.ForEach(pol, 0, n, func(j int) {
+					data[j] = float64(j) * 1.0000001
+				}).Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// streamSetup builds the 4-container memory-bound loop of Figs. 19-20.
+func streamSetup(n int) (a, bb, c, d prefetch.Float64s, body func(int)) {
+	a = make(prefetch.Float64s, n)
+	bb = make(prefetch.Float64s, n)
+	c = make(prefetch.Float64s, n)
+	d = make(prefetch.Float64s, n)
+	for i := 0; i < n; i++ {
+		bb[i] = float64(i)
+		c[i] = 1.5 * float64(i%1024)
+	}
+	body = func(i int) {
+		a[i] = bb[i] + 0.5*c[i]
+		d[i] = bb[i] - c[i]
+	}
+	return
+}
+
+// BenchmarkFig19 compares the standard for_each iterator against the
+// prefetching iterator on the multi-container stream loop; b.SetBytes
+// makes `go test -bench` report the transfer rate directly.
+func BenchmarkFig19(b *testing.B) {
+	const n = 1 << 22
+	a, bb, c, d, body := streamSetup(n)
+	_ = a
+	pool := sched.NewPool(runtime.NumCPU())
+	defer pool.Close()
+	pol := hpx.ParPolicy().WithPool(pool).WithChunker(hpx.StaticChunker(64 * 1024 / 8))
+
+	b.Run("standard", func(b *testing.B) {
+		b.SetBytes(n * 32)
+		for i := 0; i < b.N; i++ {
+			if err := hpx.ForEach(pol, 0, n, body).Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prefetching", func(b *testing.B) {
+		ctx, err := prefetch.NewContext(0, n, 15, a, bb, c, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(n * 32)
+		for i := 0; i < b.N; i++ {
+			if err := prefetch.ForEach(pol, ctx, body).Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig20 sweeps the prefetch_distance_factor; the paper finds the
+// peak at distance 15 and decay at very small and very large distances.
+func BenchmarkFig20(b *testing.B) {
+	const n = 1 << 22
+	a, bb, c, d, body := streamSetup(n)
+	pool := sched.NewPool(runtime.NumCPU())
+	defer pool.Close()
+	pol := hpx.ParPolicy().WithPool(pool).WithChunker(hpx.StaticChunker(64 * 1024 / 8))
+	for _, dist := range []int{1, 5, 10, 15, 25, 50, 100} {
+		b.Run(fmt.Sprintf("distance=%d", dist), func(b *testing.B) {
+			ctx, err := prefetch.NewContext(0, n, dist, a, bb, c, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(n * 32)
+			for i := 0; i < b.N; i++ {
+				if err := prefetch.ForEach(pol, ctx, body).Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFutureOverhead measures the cost of one future round-trip, the
+// unit overhead of the dataflow backend.
+func BenchmarkFutureOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, f := hpx.NewPromise[int]()
+		go p.Set(i)
+		if _, err := f.Get(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerThroughput measures raw task throughput of the
+// work-stealing pool (the unit cost under every chunk).
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	pool := sched.NewPool(runtime.NumCPU())
+	defer pool.Close()
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	wg.Add(b.N)
+	for i := 0; i < b.N; i++ {
+		if err := pool.Submit(func() { wg.Done() }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+// BenchmarkParallelSort exercises the hpx parallel merge sort against the
+// sequential policy.
+func BenchmarkParallelSort(b *testing.B) {
+	const n = 1 << 20
+	base := make([]float64, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range base {
+		base[i] = rng.Float64()
+	}
+	pool := sched.NewPool(runtime.NumCPU())
+	defer pool.Close()
+	for _, mode := range []string{"seq", "par"} {
+		pol := hpx.SeqPolicy()
+		if mode == "par" {
+			pol = hpx.ParPolicy().WithPool(pool)
+		}
+		b.Run(mode, func(b *testing.B) {
+			data := make([]float64, n)
+			b.SetBytes(n * 8)
+			for i := 0; i < b.N; i++ {
+				copy(data, base)
+				if err := hpx.Sort(pol, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

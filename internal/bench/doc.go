@@ -1,0 +1,7 @@
+// Package bench hosts the hpx-layer micro-benchmarks of the paper's
+// evaluation — the Table I execution-policy matrix, the Fig. 19-20
+// prefetching-iterator bandwidth loops, and the scheduler/future overhead
+// probes. They exercise internal runtime machinery directly, which is why
+// they live under internal/ instead of next to the facade-level airfoil
+// benchmarks at the repository root.
+package bench

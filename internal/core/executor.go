@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -101,18 +103,50 @@ func (ex *Executor) pool() *sched.Pool {
 }
 
 // Run executes the loop synchronously: it returns once the loop (and, for
-// the fork-join backend, its implicit end-of-loop barrier) completes. With
-// the Dataflow backend Run issues the loop asynchronously and immediately
-// waits, which is only useful in tests; use RunAsync for real dataflow
-// programs.
+// the fork-join backend, its implicit end-of-loop barrier) completes.
 func (ex *Executor) Run(l *Loop) error {
+	return ex.RunCtx(context.Background(), l)
+}
+
+// RunCtx is Run with a cancellation context: a done ctx aborts the loop
+// nest between colors and between chunks, returning an error wrapping
+// ctx.Err(); in-flight chunks complete, so data may be partially updated.
+//
+// Under the Dataflow backend RunCtx still chains the loop into the
+// dependency DAG, but — because the caller blocks anyway — it waits for
+// the dependencies and executes the body inline on the calling goroutine
+// instead of spawning the dependency-wait goroutine RunAsyncCtx needs.
+// When every dependency is already resolved (the common case for a purely
+// synchronous program) this costs no scheduling at all.
+func (ex *Executor) RunCtx(ctx context.Context, l *Loop) error {
 	if err := l.Validate(); err != nil {
 		return err
 	}
-	if ex.cfg.Backend == Dataflow {
-		return ex.RunAsync(l).Wait()
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return ex.execute(l)
+	if ex.cfg.Backend != Dataflow {
+		return ex.executeCtx(ctx, l)
+	}
+	hard, ordering, record := ex.collectDeps(l)
+	p, f := hpx.NewPromise[struct{}]()
+	record(f) // before any wait, so program order defines the DAG
+	if err := waitDeps(ctx, hard, ordering); err != nil {
+		if ctx.Err() != nil {
+			err = fmt.Errorf("op2: loop %q canceled: %w", l.Name, ctx.Err())
+			failAfterDeps(p, err, hard, ordering)
+		} else {
+			err = fmt.Errorf("op2: loop %q dependency failed: %w", l.Name, err)
+			p.SetErr(err)
+		}
+		return err
+	}
+	if err := ex.executeCtx(ctx, l); err != nil {
+		p.SetErr(err)
+		return err
+	}
+	p.Set(struct{}{})
+	return nil
 }
 
 // RunAsync issues the loop asynchronously under the dataflow backend and
@@ -124,24 +158,50 @@ func (ex *Executor) Run(l *Loop) error {
 // the dependency DAG — the same contract the paper's modified Airfoil.cpp
 // relies on.
 func (ex *Executor) RunAsync(l *Loop) *hpx.Future[struct{}] {
+	return ex.RunAsyncCtx(context.Background(), l)
+}
+
+// RunAsyncCtx is RunAsync with a cancellation context: once ctx is done
+// the loop stops waiting for its dependencies (or aborts mid-execution
+// between colors/chunks) and its future resolves with an error wrapping
+// ctx.Err(). The single-issuing-goroutine contract of RunAsync applies
+// unchanged.
+func (ex *Executor) RunAsyncCtx(ctx context.Context, l *Loop) *hpx.Future[struct{}] {
 	if err := l.Validate(); err != nil {
 		return hpx.MakeErr[struct{}](err)
 	}
-	deps, record := ex.collectDeps(l)
-	p, f := hpx.NewPromise[struct{}]()
-	record(f)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hard, ordering, record := ex.collectDeps(l)
+	// Two futures with one fate: fChain is recorded as the resources' new
+	// version and must not resolve before the loop's predecessors have
+	// (chain ordering); fUser is the caller's handle and fails promptly on
+	// cancellation even while predecessors are still draining.
+	pChain, fChain := hpx.NewPromise[struct{}]()
+	pUser, fUser := hpx.NewPromise[struct{}]()
+	record(fChain)
 	go func() {
-		if err := hpx.WaitAll(deps...); err != nil {
-			p.SetErr(fmt.Errorf("op2: loop %q dependency failed: %w", l.Name, err))
+		if err := waitDeps(ctx, hard, ordering); err != nil {
+			if ctx.Err() != nil {
+				err = fmt.Errorf("op2: loop %q canceled: %w", l.Name, ctx.Err())
+				failAfterDeps(pChain, err, hard, ordering)
+			} else {
+				err = fmt.Errorf("op2: loop %q dependency failed: %w", l.Name, err)
+				pChain.SetErr(err)
+			}
+			pUser.SetErr(err)
 			return
 		}
-		if err := ex.execute(l); err != nil {
-			p.SetErr(err)
+		if err := ex.executeCtx(ctx, l); err != nil {
+			pChain.SetErr(err)
+			pUser.SetErr(err)
 			return
 		}
-		p.Set(struct{}{})
+		pChain.Set(struct{}{})
+		pUser.Set(struct{}{})
 	}()
-	return f
+	return fUser
 }
 
 // collectDeps gathers the dependency futures of every distinct resource
@@ -149,27 +209,43 @@ func (ex *Executor) RunAsync(l *Loop) *hpx.Future[struct{}] {
 // returns a callback that installs the loop's own future into those
 // resources' version chains. Gathering and installing happen before
 // RunAsync returns, so the DAG reflects program order.
-func (ex *Executor) collectDeps(l *Loop) (deps []hpx.Waiter, record func(hpx.Waiter)) {
+//
+// Dependencies come back split by failure semantics: `hard` futures
+// guard resources whose prior state the loop can observe — any read
+// access (Read/RW/Inc/Min/Max), and also map-indirect Write args, which
+// overwrite only the mapped subset of the dat and leave the rest exposed.
+// If such a dependency failed, the loop would consume (or pass through)
+// undefined data, so the failure propagates. `ordering` futures guard
+// resources the loop overwrites entirely — direct Write args, which
+// cover every element of the iteration set and therefore the whole dat.
+// The loop must wait for them so program order holds, but a failed
+// (e.g. canceled) predecessor does not poison data that is about to be
+// fully rewritten. This is what lets a re-initializing direct Write loop
+// heal a version chain after a cancellation.
+func (ex *Executor) collectDeps(l *Loop) (hard, ordering []hpx.Waiter, record func(hpx.Waiter)) {
 	type resAcc struct {
 		state  *versionState
+		hard   bool
 		writes bool
 	}
 	var resources []resAcc
 	index := map[*versionState]int{}
-	add := func(st *versionState, writes bool) {
+	add := func(st *versionState, hardDep, writes bool) {
 		if i, ok := index[st]; ok {
+			resources[i].hard = resources[i].hard || hardDep
 			resources[i].writes = resources[i].writes || writes
 			return
 		}
 		index[st] = len(resources)
-		resources = append(resources, resAcc{state: st, writes: writes})
+		resources = append(resources, resAcc{state: st, hard: hardDep, writes: writes})
 	}
 	for _, a := range l.Args {
 		switch {
 		case a.gbl != nil:
-			add(&a.gbl.state, a.acc.writes())
+			add(&a.gbl.state, true, a.acc.writes())
 		case a.dat != nil:
-			add(&a.dat.state, a.acc.writes())
+			fullOverwrite := a.acc == Write && a.m == nil
+			add(&a.dat.state, !fullOverwrite, a.acc.writes())
 		}
 	}
 	for _, r := range resources {
@@ -177,7 +253,11 @@ func (ex *Executor) collectDeps(l *Loop) (deps []hpx.Waiter, record func(hpx.Wai
 		if r.writes {
 			acc = RW
 		}
-		deps = append(deps, r.state.dependencies(acc)...)
+		if r.hard {
+			hard = append(hard, r.state.dependencies(acc)...)
+		} else {
+			ordering = append(ordering, r.state.dependencies(acc)...)
+		}
 	}
 	record = func(f hpx.Waiter) {
 		for _, r := range resources {
@@ -188,18 +268,62 @@ func (ex *Executor) collectDeps(l *Loop) (deps []hpx.Waiter, record func(hpx.Wai
 			r.state.record(acc, f)
 		}
 	}
-	return deps, record
+	return hard, ordering, record
 }
 
-// execute runs the loop body to completion on the configured pool. Panics
-// from the kernel — whether on the calling goroutine (serial execution,
-// chunk calibration) or inside pool tasks — surface as errors.
-func (ex *Executor) execute(l *Loop) (err error) {
+// waitDeps waits for a loop's dependencies under ctx: ordering-only
+// dependencies are awaited but their errors are swallowed (the loop
+// overwrites those resources), hard dependencies propagate. The returned
+// error is either the context's error or a hard dependency failure.
+//
+// When the wait is abandoned by cancellation some dependencies may still
+// be executing — the caller must resolve the loop's own promise via
+// failAfterDeps, never directly.
+func waitDeps(ctx context.Context, hard, ordering []hpx.Waiter) error {
+	if err := hpx.WaitAllCtx(ctx, ordering...); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		// A purely write-ordered predecessor failed; execution order is
+		// satisfied and the data will be overwritten — don't propagate.
+	}
+	return hpx.WaitAllCtx(ctx, hard...)
+}
+
+// failAfterDeps resolves p with err only once every dependency has
+// resolved. A loop's future is already recorded as its resources' new
+// version, so it must never resolve before its predecessors' futures do:
+// a successor write treating the resolved future as "the data is quiet"
+// would race a predecessor still executing. Cancellation therefore
+// unblocks the *caller* immediately (waitDeps returned), while the
+// *future* fails only after the chain beneath it has drained.
+func failAfterDeps(p *hpx.Promise[struct{}], err error, deps ...[]hpx.Waiter) {
+	go func() {
+		for _, ds := range deps {
+			for _, w := range ds {
+				if w != nil {
+					w.Wait() //nolint:errcheck // predecessors' errors are irrelevant here
+				}
+			}
+		}
+		p.SetErr(err)
+	}()
+}
+
+// executeCtx runs the loop body to completion on the configured pool.
+// Panics from the kernel — whether on the calling goroutine (serial
+// execution, chunk calibration) or inside pool tasks — surface as errors.
+// A done ctx aborts between colors and chunks (the serial backend only
+// checks on entry: its single range call is indivisible).
+func (ex *Executor) executeCtx(ctx context.Context, l *Loop) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("op2: loop %q panicked: %v", l.Name, r)
 		}
 	}()
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("op2: loop %q canceled: %w", l.Name, cerr)
+	}
 	var profStart time.Time
 	if ex.profiler != nil {
 		profStart = time.Now()
@@ -219,13 +343,19 @@ func (ex *Executor) execute(l *Loop) (err error) {
 	body := l.bodyFunc(&sl)
 	pf := ex.newLoopPrefetcher(l)
 
-	var (
-		accMu sync.Mutex
-		acc   []float64
-	)
-	if sl.size > 0 {
-		acc = sl.newScratch()
+	// Per-range reduction scratches are collected with their range start
+	// and folded in ascending-range order once the loop completes, so the
+	// combine tree depends only on the chunk layout — never on scheduling.
+	// For a fixed chunker this makes reductions bitwise-reproducible
+	// across worker counts and across the parallel backends.
+	type rangeScratch struct {
+		lo int
+		s  []float64
 	}
+	var (
+		accMu     sync.Mutex
+		scratches []rangeScratch
+	)
 	runRange := func(lo, hi int) {
 		var s []float64
 		if sl.size > 0 {
@@ -238,35 +368,70 @@ func (ex *Executor) execute(l *Loop) (err error) {
 		}
 		if sl.size > 0 {
 			accMu.Lock()
-			sl.combine(acc, s, l.Args)
+			scratches = append(scratches, rangeScratch{lo: lo, s: s})
 			accMu.Unlock()
 		}
 	}
-
-	if ex.cfg.Backend == Serial || n == 0 {
-		if n > 0 {
-			runRange(0, n)
+	finish := func() {
+		if sl.size == 0 {
+			return
 		}
-		if sl.size > 0 {
-			sl.apply(acc, l.Args)
+		sort.Slice(scratches, func(i, j int) bool { return scratches[i].lo < scratches[j].lo })
+		acc := sl.newScratch()
+		for _, rs := range scratches {
+			sl.combine(acc, rs.s, l.Args)
 		}
-		return nil
+		sl.apply(acc, l.Args)
 	}
 
 	conflicts := conflictMaps(l.Args)
+	if ex.cfg.Backend == Serial || n == 0 {
+		if n > 0 {
+			if err := ex.runSerial(ctx, l, conflicts, runRange); err != nil {
+				return fmt.Errorf("op2: loop %q: %w", l.Name, err)
+			}
+		}
+		finish()
+		return nil
+	}
+
 	var runErr error
 	if ex.cfg.Backend == ForkJoin {
-		runErr = ex.runForkJoin(l, conflicts, runRange)
+		runErr = ex.runForkJoin(ctx, l, conflicts, runRange)
 	} else if len(conflicts) == 0 {
-		runErr = ex.runDirect(n, runRange)
+		runErr = ex.runDirect(ctx, n, runRange)
 	} else {
-		runErr = ex.runColored(l, conflicts, runRange)
+		runErr = ex.runColored(ctx, l, conflicts, runRange)
 	}
 	if runErr != nil {
 		return fmt.Errorf("op2: loop %q: %w", l.Name, runErr)
 	}
-	if sl.size > 0 {
-		sl.apply(acc, l.Args)
+	finish()
+	return nil
+}
+
+// runSerial executes the loop on the calling goroutine. Indirect
+// modifying loops follow the colored plan — ascending colors, ascending
+// blocks within a color — i.e. exactly the element order the parallel
+// backends use, so serial and parallel runs of a plan-ordered loop agree
+// bitwise. Direct loops run as one contiguous range.
+func (ex *Executor) runSerial(ctx context.Context, l *Loop, conflicts []conflictSource, runRange func(lo, hi int)) error {
+	if len(conflicts) == 0 {
+		runRange(0, l.Set.size)
+		return nil
+	}
+	plan, err := ex.plans.get(l.Set, ex.cfg.BlockSize, conflicts)
+	if err != nil {
+		return err
+	}
+	for c := 0; c < plan.NColors(); c++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr // abort the nest between colors
+		}
+		for _, b := range plan.BlocksOfColor(c) {
+			lo, hi := plan.Block(b)
+			runRange(lo, hi)
+		}
 	}
 	return nil
 }
@@ -278,18 +443,21 @@ func (ex *Executor) execute(l *Loop) (err error) {
 // barrier. The team is created and torn down per loop, which is precisely
 // the fork-join overhead plus implicit global barrier the paper's dataflow
 // backend eliminates.
-func (ex *Executor) runForkJoin(l *Loop, conflicts []conflictSource, runRange func(lo, hi int)) error {
+func (ex *Executor) runForkJoin(ctx context.Context, l *Loop, conflicts []conflictSource, runRange func(lo, hi int)) error {
 	workers := ex.pool().Size()
 	if len(conflicts) == 0 {
-		return forkJoinRegion(workers, ex.cfg.Chunker, l.Set.size, runRange)
+		return forkJoinRegion(ctx, workers, ex.cfg.Chunker, l.Set.size, runRange)
 	}
 	plan, err := ex.plans.get(l.Set, ex.cfg.BlockSize, conflicts)
 	if err != nil {
 		return err
 	}
 	for c := 0; c < plan.NColors(); c++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr // abort the nest between colors
+		}
 		blocks := plan.BlocksOfColor(c)
-		err := forkJoinRegion(workers, ex.cfg.Chunker, len(blocks), func(blo, bhi int) {
+		err := forkJoinRegion(ctx, workers, ex.cfg.Chunker, len(blocks), func(blo, bhi int) {
 			for i := blo; i < bhi; i++ {
 				lo, hi := plan.Block(blocks[i])
 				runRange(lo, hi)
@@ -305,7 +473,9 @@ func (ex *Executor) runForkJoin(l *Loop, conflicts []conflictSource, runRange fu
 // forkJoinRegion forks a team of workers over n iterations, hands out
 // chunks of the chunker's size from a shared counter, and joins. Chunkers
 // are consulted without a measure callback (OpenMP schedules statically).
-func forkJoinRegion(workers int, chunker hpx.Chunker, n int, chunk func(lo, hi int)) error {
+// A done ctx makes every worker stop claiming chunks; the region still
+// joins before returning the context error.
+func forkJoinRegion(ctx context.Context, workers int, chunker hpx.Chunker, n int, chunk func(lo, hi int)) error {
 	if n <= 0 {
 		return nil
 	}
@@ -336,6 +506,9 @@ func forkJoinRegion(workers int, chunker hpx.Chunker, n int, chunk func(lo, hi i
 				}
 			}()
 			for {
+				if ctx.Err() != nil {
+					return // canceled: stop claiming chunks
+				}
 				c := int(next.Add(1) - 1)
 				lo := c * size
 				if lo >= n {
@@ -353,14 +526,14 @@ func forkJoinRegion(workers int, chunker hpx.Chunker, n int, chunk func(lo, hi i
 	if panicked != nil {
 		return fmt.Errorf("parallel region panicked: %v", panicked)
 	}
-	return nil
+	return ctx.Err()
 }
 
 // runDirect executes a loop with no indirect modifications: calibrate the
 // chunk size by executing the first iterations for real (the way HPX's
 // auto_chunk_size folds its measurement into the run), then spread static
 // chunks of the remainder across the pool.
-func (ex *Executor) runDirect(n int, runRange func(lo, hi int)) error {
+func (ex *Executor) runDirect(ctx context.Context, n int, runRange func(lo, hi int)) error {
 	pool := ex.pool()
 	workers := pool.Size()
 	cursor := 0
@@ -380,7 +553,7 @@ func (ex *Executor) runDirect(n int, runRange func(lo, hi int)) error {
 	if cursor >= n {
 		return nil
 	}
-	policy := hpx.ParPolicy().WithPool(pool).WithChunker(hpx.StaticChunker(size))
+	policy := hpx.ParPolicy().WithPool(pool).WithChunker(hpx.StaticChunker(size)).WithContext(ctx)
 	return hpx.ForEachChunk(policy, cursor, n, runRange).Wait()
 }
 
@@ -388,7 +561,7 @@ func (ex *Executor) runDirect(n int, runRange func(lo, hi int)) error {
 // plan: blocks within a color are mutually conflict-free and run in
 // parallel; a barrier separates colors, exactly like OP2's OpenMP plan
 // execution in Fig. 4.
-func (ex *Executor) runColored(l *Loop, conflicts []conflictSource, runRange func(lo, hi int)) error {
+func (ex *Executor) runColored(ctx context.Context, l *Loop, conflicts []conflictSource, runRange func(lo, hi int)) error {
 	plan, err := ex.plans.get(l.Set, ex.cfg.BlockSize, conflicts)
 	if err != nil {
 		return err
@@ -396,6 +569,9 @@ func (ex *Executor) runColored(l *Loop, conflicts []conflictSource, runRange fun
 	pool := ex.pool()
 	workers := pool.Size()
 	for c := 0; c < plan.NColors(); c++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr // abort the nest mid-color sequence
+		}
 		blocks := plan.BlocksOfColor(c)
 		nb := len(blocks)
 		// Calibrate in whole blocks, executed for real.
@@ -419,7 +595,7 @@ func (ex *Executor) runColored(l *Loop, conflicts []conflictSource, runRange fun
 		if cursor >= nb {
 			continue
 		}
-		policy := hpx.ParPolicy().WithPool(pool).WithChunker(hpx.StaticChunker(size))
+		policy := hpx.ParPolicy().WithPool(pool).WithChunker(hpx.StaticChunker(size)).WithContext(ctx)
 		fut := hpx.ForEachChunk(policy, cursor, nb, func(blo, bhi int) {
 			for i := blo; i < bhi; i++ {
 				lo, hi := plan.Block(blocks[i])

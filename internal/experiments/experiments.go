@@ -13,11 +13,11 @@ import (
 	"time"
 
 	"op2hpx/internal/airfoil"
-	"op2hpx/internal/core"
 	"op2hpx/internal/hpx"
 	"op2hpx/internal/hpx/prefetch"
 	"op2hpx/internal/hpx/sched"
 	"op2hpx/internal/perf"
+	"op2hpx/op2"
 )
 
 // Options sizes an experiment run. The defaults keep a full sweep under a
@@ -57,23 +57,25 @@ func Paper() Options {
 	return o
 }
 
-// runAirfoil builds an executor per the config, runs the airfoil app and
-// returns the timing statistics of a full Run(Iters).
-func runAirfoil(o Options, threads int, backend core.Backend, chunker hpx.Chunker, prefetchDist int) (perf.Stats, error) {
-	pool := sched.NewPool(threads)
-	defer pool.Close()
-	ex := core.NewExecutor(core.Config{
-		Backend:          backend,
-		Pool:             pool,
-		Chunker:          chunker,
-		PrefetchDistance: prefetchDist,
-	})
-	app, err := airfoil.NewApp(o.NX, o.NY, ex)
+// runAirfoil builds a facade runtime per the config, runs the airfoil app
+// and returns the timing statistics of a full Run(Iters).
+func runAirfoil(o Options, threads int, backend op2.Backend, chunker op2.Chunker, prefetchDist int) (perf.Stats, error) {
+	rt, err := op2.New(
+		op2.WithBackend(backend),
+		op2.WithPoolSize(threads),
+		op2.WithChunker(chunker), // nil = backend default
+		op2.WithPrefetchDistance(prefetchDist),
+	)
+	if err != nil {
+		return perf.Stats{}, err
+	}
+	defer rt.Close()
+	app, err := airfoil.NewApp(o.NX, o.NY, rt)
 	if err != nil {
 		return perf.Stats{}, err
 	}
 	return perf.Measure(o.Warmup, o.Reps, func() error {
-		if pc, ok := chunker.(*hpx.PersistentAutoChunker); ok {
+		if pc, ok := chunker.(*op2.PersistentAutoChunker); ok {
 			pc.Reset()
 		}
 		_, err := app.Run(o.Iters)
@@ -84,11 +86,11 @@ func runAirfoil(o Options, threads int, backend core.Backend, chunker hpx.Chunke
 // fig15Data measures the common dataset behind Figs. 15 and 16.
 func fig15Data(o Options) (threads []int, omp, df []perf.Stats, err error) {
 	for _, th := range o.Threads {
-		so, err := runAirfoil(o, th, core.ForkJoin, nil, 0)
+		so, err := runAirfoil(o, th, op2.ForkJoin, nil, 0)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		sd, err := runAirfoil(o, th, core.Dataflow, nil, 0)
+		sd, err := runAirfoil(o, th, op2.Dataflow, nil, 0)
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -146,11 +148,11 @@ func Fig17(o Options) (*perf.Table, error) {
 		"threads", "auto (per loop)", "persistent_auto", "improvement %")
 	t.Note = fmt.Sprintf("mesh %dx%d cells, %d iterations", o.NX, o.NY, o.Iters)
 	for _, th := range o.Threads {
-		plain, err := runAirfoil(o, th, core.Dataflow, hpx.AutoChunker(), 0)
+		plain, err := runAirfoil(o, th, op2.Dataflow, op2.AutoChunk(), 0)
 		if err != nil {
 			return nil, err
 		}
-		pers, err := runAirfoil(o, th, core.Dataflow, hpx.NewPersistentAutoChunker(), 0)
+		pers, err := runAirfoil(o, th, op2.Dataflow, op2.PersistentAutoChunk(), 0)
 		if err != nil {
 			return nil, err
 		}
@@ -168,11 +170,11 @@ func Fig18(o Options) (*perf.Table, error) {
 		"threads", "no prefetch", "prefetch", "improvement %")
 	t.Note = fmt.Sprintf("mesh %dx%d cells, %d iterations", o.NX, o.NY, o.Iters)
 	for _, th := range o.Threads {
-		plain, err := runAirfoil(o, th, core.Dataflow, hpx.NewPersistentAutoChunker(), 0)
+		plain, err := runAirfoil(o, th, op2.Dataflow, op2.PersistentAutoChunk(), 0)
 		if err != nil {
 			return nil, err
 		}
-		pref, err := runAirfoil(o, th, core.Dataflow, hpx.NewPersistentAutoChunker(), 15)
+		pref, err := runAirfoil(o, th, op2.Dataflow, op2.PersistentAutoChunk(), 15)
 		if err != nil {
 			return nil, err
 		}

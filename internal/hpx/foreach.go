@@ -28,11 +28,17 @@ func ForEach(policy Policy, first, last int, body func(i int)) *Future[struct{}]
 // ForEachChunk is ForEach for callers that want the whole chunk [lo, hi)
 // at once — the shape generated OP2 kernels use, since a specialized inner
 // loop over a chunk avoids per-element closure calls.
+//
+// Cancellation: when the policy carries a context (WithContext), no new
+// chunk starts once the context is done — pending chunks are skipped and
+// the future resolves with an error wrapping ctx.Err(). Chunks already
+// executing finish, so the range may be partially processed.
 func ForEachChunk(policy Policy, first, last int, chunk func(lo, hi int)) *Future[struct{}] {
 	n := last - first
 	if n <= 0 {
 		return MakeReady(struct{}{})
 	}
+	ctx := policy.Context()
 	run := func() (_ struct{}, err error) {
 		// Chunks on pool workers recover individually below; this
 		// recover covers the sequential path, calibration and inline
@@ -42,6 +48,9 @@ func ForEachChunk(policy Policy, first, last int, chunk func(lo, hi int)) *Futur
 				err = fmt.Errorf("hpx: for_each body panicked: %v", r)
 			}
 		}()
+		if err := ctx.Err(); err != nil {
+			return struct{}{}, fmt.Errorf("hpx: for_each canceled: %w", err)
+		}
 		if policy.Mode() == Seq {
 			chunk(first, last)
 			return struct{}{}, nil
@@ -79,14 +88,15 @@ func ForEachChunk(policy Policy, first, last int, chunk func(lo, hi int)) *Futur
 			panicMu  sync.Mutex
 			panicked any
 		)
-		remaining := last - cursor
-		nchunks := (remaining + size - 1) / size
-		wg.Add(nchunks)
 		for lo := cursor; lo < last; lo += size {
+			if ctx.Err() != nil {
+				break // stop issuing chunks; error reported after the join
+			}
 			lo, hi := lo, lo+size
 			if hi > last {
 				hi = last
 			}
+			wg.Add(1)
 			task := func() {
 				defer wg.Done()
 				defer func() {
@@ -98,16 +108,23 @@ func ForEachChunk(policy Policy, first, last int, chunk func(lo, hi int)) *Futur
 						panicMu.Unlock()
 					}
 				}()
+				if ctx.Err() != nil {
+					return // canceled while queued: skip the chunk
+				}
 				chunk(lo, hi)
 			}
-			if err := pool.Submit(task); err != nil {
-				// Pool closed: run inline so the loop still completes.
+			if err := pool.SubmitCtx(ctx, task); err != nil {
+				// Pool closed (or cancellation raced the submit): run the
+				// task inline — it re-checks the context itself.
 				task()
 			}
 		}
 		wg.Wait()
 		if panicked != nil {
 			return struct{}{}, fmt.Errorf("hpx: for_each body panicked: %v", panicked)
+		}
+		if err := ctx.Err(); err != nil {
+			return struct{}{}, fmt.Errorf("hpx: for_each canceled: %w", err)
 		}
 		return struct{}{}, nil
 	}

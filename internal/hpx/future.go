@@ -11,6 +11,7 @@
 package hpx
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -211,6 +212,38 @@ func WaitAll(ws ...Waiter) error {
 		}
 	}
 	return firstErr
+}
+
+// WaitAllCtx is WaitAll racing a context: it returns ctx.Err() as soon as
+// the context is done, even if some inputs are still pending. The inputs
+// keep resolving on their own; only this wait is abandoned (a goroutine
+// drains the stragglers in the background).
+func WaitAllCtx(ctx context.Context, ws ...Waiter) error {
+	if ctx == nil || ctx.Done() == nil {
+		return WaitAll(ws...)
+	}
+	// Fast path: everything already resolved — no goroutine needed.
+	ready := true
+	for _, w := range ws {
+		if w != nil && !w.Ready() {
+			ready = false
+			break
+		}
+	}
+	if ready {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return WaitAll(ws...)
+	}
+	done := make(chan error, 1)
+	go func() { done <- WaitAll(ws...) }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Dataflow encapsulates fn with its future inputs (Fig. 6): as soon as the

@@ -1,6 +1,7 @@
 package hpx
 
 import (
+	"context"
 	"fmt"
 
 	"op2hpx/internal/hpx/sched"
@@ -37,6 +38,7 @@ type Policy struct {
 	task    bool
 	chunker Chunker
 	pool    *sched.Pool
+	ctx     context.Context
 }
 
 // SeqPolicy returns the "seq" policy: sequential, synchronous execution.
@@ -58,6 +60,12 @@ func (p Policy) WithChunker(c Chunker) Policy { p.chunker = c; return p }
 // the thread count of the strong-scaling experiments.
 func (p Policy) WithPool(pool *sched.Pool) Policy { p.pool = pool; return p }
 
+// WithContext returns p carrying a cancellation context: algorithms stop
+// scheduling new chunks once ctx is done and report the context's error.
+// Chunks already executing run to completion, so partial results may have
+// been written — cancellation abandons the loop, it does not roll it back.
+func (p Policy) WithContext(ctx context.Context) Policy { p.ctx = ctx; return p }
+
 // Mode reports whether the policy is sequential or parallel.
 func (p Policy) Mode() Mode { return p.mode }
 
@@ -71,6 +79,15 @@ func (p Policy) Chunker() Chunker {
 		return AutoChunker()
 	}
 	return p.chunker
+}
+
+// Context returns the policy's cancellation context, defaulting to the
+// background context.
+func (p Policy) Context() context.Context {
+	if p.ctx == nil {
+		return context.Background()
+	}
+	return p.ctx
 }
 
 // Pool returns the scheduler pool the policy targets, defaulting to the

@@ -12,6 +12,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"runtime"
@@ -135,6 +136,22 @@ func (p *Pool) Submit(t Task) error {
 	p.deques[i].pushTail(t)
 	p.wake()
 	return nil
+}
+
+// SubmitCtx is Submit gated on a context: when ctx is already done the
+// task is refused with the context's error instead of being enqueued.
+// This is the cancellation hook of the parallel algorithms — chunks of an
+// aborted loop nest are never scheduled, so a canceled loop releases the
+// pool as soon as its in-flight chunks drain.
+func (p *Pool) SubmitCtx(ctx context.Context, t Task) error {
+	if ctx != nil {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+	return p.Submit(t)
 }
 
 // SubmitMany schedules a batch of tasks, spreading them evenly across the

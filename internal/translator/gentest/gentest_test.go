@@ -12,6 +12,7 @@ import (
 	"op2hpx/internal/core"
 	"op2hpx/internal/hpx"
 	"op2hpx/internal/hpx/sched"
+	"op2hpx/op2"
 )
 
 // kernels adapts the airfoil kernel functions to the generated Kernels
@@ -66,11 +67,10 @@ func TestGeneratedProgramMatchesHandWrittenApp(t *testing.T) {
 	const nx, ny, iters = 24, 14, 4
 	consts := airfoil.DefaultConstants()
 
-	// Reference: hand-written app, serial backend.
-	refPool := sched.NewPool(1)
-	defer refPool.Close()
-	refEx := core.NewExecutor(core.Config{Backend: core.Serial, Pool: refPool})
-	refApp, err := airfoil.NewApp(nx, ny, refEx)
+	// Reference: hand-written app on the public facade, serial backend.
+	refRt := op2.MustNew(op2.WithBackend(op2.Serial), op2.WithPoolSize(1))
+	defer refRt.Close()
+	refApp, err := airfoil.NewApp(nx, ny, refRt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"op2hpx/internal/airfoil"
 	"op2hpx/internal/core"
 	"op2hpx/internal/hpx/sched"
+	"op2hpx/op2"
 )
 
 type kernels struct {
@@ -39,8 +40,9 @@ func TestForkJoinGeneratedProgramMatchesReference(t *testing.T) {
 	const nx, ny, iters = 20, 12, 3
 	consts := airfoil.DefaultConstants()
 
-	refEx := core.NewExecutor(core.Config{Backend: core.Serial})
-	refApp, err := airfoil.NewApp(nx, ny, refEx)
+	refRt := op2.MustNew(op2.WithBackend(op2.Serial), op2.WithPoolSize(1))
+	defer refRt.Close()
+	refApp, err := airfoil.NewApp(nx, ny, refRt)
 	if err != nil {
 		t.Fatal(err)
 	}

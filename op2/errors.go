@@ -1,0 +1,40 @@
+package op2
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrValidation classifies errors caused by malformed declarations, loop
+// arguments or runtime options: errors.Is(err, op2.ErrValidation) holds
+// for every error this package returns at declaration or issue time.
+var ErrValidation = errors.New("op2: validation failed")
+
+// ErrCanceled classifies errors caused by context cancellation: when a
+// loop's context is canceled while the loop is pending or running,
+// Run/Future.Wait return an error satisfying
+// errors.Is(err, op2.ErrCanceled) (and, transitively, errors.Is with
+// context.Canceled or context.DeadlineExceeded).
+var ErrCanceled = errors.New("op2: canceled")
+
+// wrapValidation tags err as a validation failure.
+func wrapValidation(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrValidation, err)
+}
+
+// classify maps lower-layer errors onto the package's sentinels: context
+// cancellation (at any depth of the loop nest) surfaces as ErrCanceled,
+// everything else passes through unchanged.
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return err
+}

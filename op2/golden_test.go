@@ -1,0 +1,106 @@
+package op2_test
+
+import (
+	"math"
+	"testing"
+
+	"op2hpx/internal/airfoil"
+	"op2hpx/op2"
+)
+
+// runGolden runs the airfoil workload purely through the public op2 API
+// (the application wiring itself issues every loop via Runtime.ParLoop)
+// and returns the bit patterns of the final residual and flow field.
+func runGolden(t *testing.T, b op2.Backend, workers, chunk int) (rmsBits uint64, q []uint64) {
+	t.Helper()
+	const nx, ny, iters = 30, 16, 4
+	rt := op2.MustNew(
+		op2.WithBackend(b),
+		op2.WithPoolSize(workers),
+		op2.WithChunker(op2.StaticChunk(chunk)),
+	)
+	defer rt.Close()
+	app, err := airfoil.NewApp(nx, ny, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms, err := app.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q = make([]uint64, len(app.M.Q.Data()))
+	for i, v := range app.M.Q.Data() {
+		q[i] = math.Float64bits(v)
+	}
+	return math.Float64bits(rms), q
+}
+
+// TestAirfoilGoldenAcrossBackends asserts that Serial, ForkJoin and
+// Dataflow produce bitwise-identical residuals and flow fields when
+// driven through the public facade.
+//
+// Bitwise equality holds because execution order is a property of the
+// loop, not the backend: indirect modifying loops follow the colored plan
+// (ascending colors, ascending blocks) on every backend, reduction
+// scratches combine in ascending-range order, and the static chunker
+// makes range boundaries deterministic. The chunk size spans the whole
+// set here so direct loops form a single range on all backends; the
+// sibling test below covers multi-chunk layouts.
+func TestAirfoilGoldenAcrossBackends(t *testing.T) {
+	const wholeSet = 1 << 20
+	refRms, refQ := runGolden(t, op2.Serial, 1, wholeSet)
+	for _, tc := range []struct {
+		name    string
+		backend op2.Backend
+		workers int
+	}{
+		{"forkjoin-1", op2.ForkJoin, 1},
+		{"forkjoin-4", op2.ForkJoin, 4},
+		{"forkjoin-7", op2.ForkJoin, 7},
+		{"dataflow-1", op2.Dataflow, 1},
+		{"dataflow-4", op2.Dataflow, 4},
+	} {
+		rms, q := runGolden(t, tc.backend, tc.workers, wholeSet)
+		if rms != refRms {
+			t.Errorf("%s: rms bits %#x != serial %#x (%.17g vs %.17g)",
+				tc.name, rms, refRms,
+				math.Float64frombits(rms), math.Float64frombits(refRms))
+		}
+		for i := range q {
+			if q[i] != refQ[i] {
+				t.Fatalf("%s: q[%d] differs bitwise: %.17g vs serial %.17g",
+					tc.name, i,
+					math.Float64frombits(q[i]), math.Float64frombits(refQ[i]))
+			}
+		}
+	}
+}
+
+// TestAirfoilGoldenParallelChunked asserts that with a real multi-chunk
+// layout (64-element static chunks) the two parallel backends agree
+// bitwise with each other at every worker count: identical chunk
+// boundaries plus ascending-range reduction combine make scheduling
+// invisible in the results.
+func TestAirfoilGoldenParallelChunked(t *testing.T) {
+	refRms, refQ := runGolden(t, op2.ForkJoin, 1, 64)
+	for _, tc := range []struct {
+		name    string
+		backend op2.Backend
+		workers int
+	}{
+		{"forkjoin-4", op2.ForkJoin, 4},
+		{"forkjoin-8", op2.ForkJoin, 8},
+		{"dataflow-1", op2.Dataflow, 1},
+		{"dataflow-4", op2.Dataflow, 4},
+	} {
+		rms, q := runGolden(t, tc.backend, tc.workers, 64)
+		if rms != refRms {
+			t.Errorf("%s: rms bits %#x != forkjoin-1 %#x", tc.name, rms, refRms)
+		}
+		for i := range q {
+			if q[i] != refQ[i] {
+				t.Fatalf("%s: q[%d] differs bitwise from forkjoin-1", tc.name, i)
+			}
+		}
+	}
+}

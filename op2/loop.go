@@ -1,0 +1,153 @@
+package op2
+
+import (
+	"context"
+	"sync"
+
+	"op2hpx/internal/core"
+	"op2hpx/internal/hpx"
+)
+
+// Arg describes one argument of a parallel loop: a dat (direct or through
+// a map) or a global, with an access descriptor.
+type Arg = core.Arg
+
+// Kernel is a generic user kernel: views[k] is the slice view of argument
+// k for the current set element (dim values for dat args, the reduction
+// scratch for global args).
+type Kernel = core.Kernel
+
+// RangeBody is a specialized loop body covering the element range
+// [lo, hi) — the shape the OP2 translator generates, indexing raw slices
+// directly instead of building per-element views. scratch is the loop's
+// reduction buffer (empty without global reductions); a RangeBody must
+// touch data exactly as the loop's args declare.
+type RangeBody = core.RangeBody
+
+// DatArg builds a dat argument (op_arg_dat): with m == nil the loop
+// accesses element e of the dat directly (pass IDIdx as idx); with a map,
+// it accesses dat element m[e][idx].
+func DatArg(d *Dat, idx int, m *Map, acc Access) Arg { return core.ArgDat(d, idx, m, acc) }
+
+// DirectArg is DatArg for the common identity-mapped case.
+func DirectArg(d *Dat, acc Access) Arg { return core.ArgDat(d, core.IDIdx, nil, acc) }
+
+// GblArg builds a global argument (op_arg_gbl): Read passes parameters
+// in, Inc/Min/Max perform reductions.
+func GblArg(g *Global, acc Access) Arg { return core.ArgGbl(g, acc) }
+
+// Loop is a declared parallel loop (op_par_loop) bound to its runtime.
+// Build it with Runtime.ParLoop, attach a Kernel (and optionally a
+// specialized Body), then invoke it any number of times with Run or
+// Async — execution plans are cached across invocations. The builder
+// calls (Kernel, Body) are not safe for concurrent use; invocation is,
+// within the backend's concurrency contract.
+type Loop struct {
+	rt   *Runtime
+	l    core.Loop
+	once *sync.Once // guards the lazily cached validation verdict
+	err  error      // validation error, reported at invocation
+}
+
+// ParLoop declares a parallel loop over set with the given arguments.
+// The returned Loop needs a Kernel (or Body) before it can run; argument
+// validation is deferred to the first invocation so declaration sites
+// stay chainable.
+func (rt *Runtime) ParLoop(name string, set *Set, args ...Arg) *Loop {
+	return &Loop{rt: rt, l: core.Loop{Name: name, Set: set, Args: args}, once: new(sync.Once)}
+}
+
+// Kernel attaches the generic per-element kernel and returns the loop.
+func (lp *Loop) Kernel(k Kernel) *Loop {
+	lp.l.Kernel = k
+	lp.once, lp.err = new(sync.Once), nil
+	return lp
+}
+
+// Body attaches a specialized range body (the translator-generated shape);
+// when both are set, Body takes precedence.
+func (lp *Loop) Body(b RangeBody) *Loop {
+	lp.l.Body = b
+	lp.once, lp.err = new(sync.Once), nil
+	return lp
+}
+
+// Name returns the loop's name.
+func (lp *Loop) Name() string { return lp.l.Name }
+
+// validate checks the loop once per attached kernel/body and caches the
+// verdict, so repeated invocations of a hot loop skip re-validation.
+// sync.Once makes the first concurrent invocations race-free.
+func (lp *Loop) validate() error {
+	lp.once.Do(func() { lp.err = wrapValidation(lp.l.Validate()) })
+	return lp.err
+}
+
+// Run executes the loop synchronously under the runtime's backend and
+// returns once it (and, for ForkJoin, its implicit barrier) completes.
+// Under Dataflow the loop is still chained into the dependency DAG —
+// program order with previously issued Async loops is preserved — but the
+// body executes inline on the calling goroutine once its dependencies
+// resolve. A canceled ctx aborts the loop nest between colors and chunks
+// and returns an error wrapping ErrCanceled; chunks already executing
+// finish, so data may be partially updated.
+func (lp *Loop) Run(ctx context.Context) error {
+	if err := lp.validate(); err != nil {
+		return err
+	}
+	return classify(lp.rt.ex.RunCtx(ctx, &lp.l))
+}
+
+// Async issues the loop asynchronously and returns its completion future;
+// it requires the Dataflow backend. The loop body starts as soon as the
+// futures of every dat and global it accesses are ready; its own future
+// becomes those resources' new version, which is what lets independent
+// loops interleave and dependent loops chain without global barriers.
+//
+// Contract: all loops of a Dataflow runtime — Async and Run alike —
+// must be issued from a single goroutine, because program order of the
+// issuing goroutine defines the dependency DAG; two goroutines racing to
+// issue loops over the same dats would make the version chain (and
+// therefore the results) nondeterministic. This is the same contract the
+// paper's modified Airfoil.cpp relies on; fan out work inside kernels,
+// not across issuing goroutines.
+//
+// A canceled ctx stops the loop from waiting on its dependencies (or
+// aborts it mid-execution between colors) and resolves the future with an
+// error wrapping ErrCanceled.
+func (lp *Loop) Async(ctx context.Context) *Future {
+	if err := lp.validate(); err != nil {
+		return &Future{f: hpx.MakeErr[struct{}](err)}
+	}
+	return &Future{f: lp.rt.ex.RunAsyncCtx(ctx, &lp.l)}
+}
+
+// Future is the completion future of an asynchronously issued loop.
+type Future struct {
+	f *hpx.Future[struct{}]
+}
+
+// Wait blocks until the loop completes and returns its error, classified
+// against the package sentinels (ErrCanceled, ErrValidation).
+func (f *Future) Wait() error { return classify(f.f.Wait()) }
+
+// Ready reports whether the loop has completed, without blocking.
+func (f *Future) Ready() bool { return f.f.Ready() }
+
+// Done exposes the completion channel for use in select statements.
+func (f *Future) Done() <-chan struct{} { return f.f.Done() }
+
+// WaitAll waits for every future (nils are skipped) and returns the first
+// error in argument order.
+func WaitAll(fs ...*Future) error {
+	var firstErr error
+	for _, f := range fs {
+		if f == nil {
+			continue
+		}
+		if err := f.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

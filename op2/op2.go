@@ -1,0 +1,243 @@
+// Package op2 is the public entry point of the op2hpx framework: a Go
+// reproduction of "Redesigning OP2 Compiler to Use HPX Runtime
+// Asynchronous Techniques" (Khatami, Kaiser, Ramanujam, 2017,
+// arXiv:1703.09264). It wraps the internal OP2 core and HPX-style runtime
+// behind one coherent, stable surface; nothing outside this module's
+// internal packages should import internal/core or internal/hpx directly.
+//
+// A program declares its mesh through the OP2 primitives — sets, maps
+// between sets, data on sets (dats) and globals — then creates a Runtime
+// with functional options and expresses computation as parallel loops
+// with access descriptors:
+//
+//	rt, err := op2.New(
+//		op2.WithBackend(op2.Dataflow),
+//		op2.WithPoolSize(8),
+//		op2.WithChunker(op2.PersistentAutoChunk()),
+//	)
+//	defer rt.Close()
+//
+//	edges, _ := op2.DeclSet(nedge, "edges")
+//	...
+//	loop := rt.ParLoop("res", edges,
+//		op2.DatArg(x, 0, pedge, op2.Read),
+//		op2.DatArg(res, 0, pecell, op2.Inc),
+//		op2.GblArg(rms, op2.Inc),
+//	).Kernel(func(v [][]float64) { ... })
+//
+//	err = loop.Run(ctx)          // synchronous, cancellable
+//	fut := loop.Async(ctx)       // dataflow issue, returns a Future
+//
+// The three backends of the paper's evaluation — Serial, ForkJoin (the
+// "#pragma omp parallel for" baseline) and Dataflow (the paper's
+// contribution) — produce identical results; only their scheduling
+// differs. Errors are classified by the sentinel values ErrValidation
+// (malformed declarations or loop arguments) and ErrCanceled (a context
+// canceled a running or pending loop), both testable with errors.Is.
+package op2
+
+import (
+	"fmt"
+	"io"
+
+	"op2hpx/internal/core"
+	"op2hpx/internal/hpx"
+	"op2hpx/internal/hpx/sched"
+)
+
+// Backend selects how parallel loops execute — the axis the paper's
+// evaluation compares.
+type Backend = core.Backend
+
+// The three loop-execution backends.
+const (
+	// Serial executes loops on the calling goroutine.
+	Serial = core.Serial
+	// ForkJoin is the OpenMP-style baseline: a worker team per loop with
+	// an implicit global barrier at the end.
+	ForkJoin = core.ForkJoin
+	// Dataflow is the paper's contribution: loops consume and produce
+	// futures, so independent loops interleave without global barriers.
+	Dataflow = core.Dataflow
+)
+
+// Chunker controls how many consecutive iterations each task executes
+// (§IV-B of the paper). Build one with StaticChunk, EvenChunk, AutoChunk
+// or PersistentAutoChunk.
+type Chunker = hpx.Chunker
+
+// PersistentAutoChunker is the paper's proposed persistent_auto_chunk_size
+// policy: the chunk duration is calibrated once by the first loop and
+// reused by every dependent loop. Reset clears the calibration (useful
+// between benchmark repetitions).
+type PersistentAutoChunker = hpx.PersistentAutoChunker
+
+// StaticChunk returns a chunker with a fixed chunk size
+// (hpx static_chunk_size).
+func StaticChunk(size int) Chunker { return hpx.StaticChunker(size) }
+
+// EvenChunk divides the iteration space into perWorker chunks per worker;
+// EvenChunk(1) reproduces OpenMP static scheduling.
+func EvenChunk(perWorker int) Chunker { return hpx.EvenChunker(perWorker) }
+
+// AutoChunk returns a chunker that calibrates each loop independently so
+// chunks take roughly a fixed target duration (hpx auto_chunk_size).
+func AutoChunk() Chunker { return hpx.AutoChunker() }
+
+// PersistentAutoChunk returns a shared persistent_auto_chunk_size policy
+// (§IV-B): pass the same value to WithChunker so all loops of a runtime
+// derive their chunk sizes from one persisted chunk duration.
+func PersistentAutoChunk() *PersistentAutoChunker { return hpx.NewPersistentAutoChunker() }
+
+// config collects the functional options of New.
+type config struct {
+	backend   Backend
+	poolSize  int
+	chunker   Chunker
+	blockSize int
+	prefetch  int
+	profiling bool
+}
+
+// Option configures a Runtime.
+type Option func(*config)
+
+// WithBackend selects the loop-execution backend (default Serial).
+func WithBackend(b Backend) Option { return func(c *config) { c.backend = b } }
+
+// WithPoolSize gives the runtime its own scheduler pool of n workers —
+// the paper's --hpx:threads knob. The pool is owned by the runtime and
+// shut down by Close. Without this option the process-wide shared pool
+// (sized to GOMAXPROCS) is used and Close leaves it running.
+func WithPoolSize(n int) Option { return func(c *config) { c.poolSize = n } }
+
+// WithChunker sets the chunk-size policy for every loop of the runtime.
+// A nil chunker is a no-op, leaving the per-backend default: even static
+// division for ForkJoin (the OpenMP baseline), auto calibration
+// otherwise — so callers with an optional chunker can pass it through
+// unconditionally.
+func WithChunker(ck Chunker) Option { return func(c *config) { c.chunker = ck } }
+
+// WithBlockSize sets the execution-plan block size for indirect loops
+// (default 256, like OP2's OpenMP backend).
+func WithBlockSize(n int) Option { return func(c *config) { c.blockSize = n } }
+
+// WithPrefetchDistance enables the §V data prefetcher: while one prefetch
+// unit of a chunk executes, the next unit's cache lines of every container
+// the loop touches are read ahead. d is the prefetch_distance_factor in
+// cache lines; 0 disables prefetching.
+func WithPrefetchDistance(d int) Option { return func(c *config) { c.prefetch = d } }
+
+// WithProfiling attaches a per-loop profiler to the runtime; retrieve the
+// statistics with ProfileStats or WriteProfile.
+func WithProfiling() Option { return func(c *config) { c.profiling = true } }
+
+// Runtime executes OP2 parallel loops under a fixed configuration,
+// caching execution plans across invocations of the same loop shape.
+//
+// Concurrency: under the Serial and ForkJoin backends, loops over
+// disjoint data may be invoked from multiple goroutines. Under the
+// Dataflow backend every invocation — Async and Run alike — joins the
+// version-chain DAG, so all loops of a runtime must be issued from a
+// single goroutine: program order of that goroutine is what defines the
+// dependency graph (see Loop.Async).
+type Runtime struct {
+	ex   *core.Executor
+	pool *sched.Pool // owned (created by WithPoolSize); nil when shared
+	prof *core.Profiler
+}
+
+// New builds a runtime from functional options.
+func New(opts ...Option) (*Runtime, error) {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	switch c.backend {
+	case Serial, ForkJoin, Dataflow:
+	default:
+		return nil, fmt.Errorf("%w: unknown backend %v", ErrValidation, c.backend)
+	}
+	if c.poolSize < 0 {
+		return nil, fmt.Errorf("%w: pool size %d < 0", ErrValidation, c.poolSize)
+	}
+	if c.prefetch < 0 {
+		return nil, fmt.Errorf("%w: prefetch distance %d < 0", ErrValidation, c.prefetch)
+	}
+	rt := &Runtime{}
+	if c.poolSize > 0 {
+		rt.pool = sched.NewPool(c.poolSize)
+	}
+	rt.ex = core.NewExecutor(core.Config{
+		Backend:          c.backend,
+		Pool:             rt.pool,
+		Chunker:          c.chunker,
+		BlockSize:        c.blockSize,
+		PrefetchDistance: c.prefetch,
+	})
+	if c.profiling {
+		rt.prof = core.NewProfiler()
+		rt.ex.SetProfiler(rt.prof)
+	}
+	return rt, nil
+}
+
+// MustNew is New for configurations that cannot fail.
+func MustNew(opts ...Option) *Runtime {
+	rt, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Close releases the runtime's owned scheduler pool (a no-op for runtimes
+// on the shared pool). Loops issued with Async must be waited on before
+// Close. Close is idempotent.
+func (rt *Runtime) Close() error {
+	if rt.pool != nil {
+		rt.pool.Close()
+	}
+	return nil
+}
+
+// Backend reports the configured loop-execution backend.
+func (rt *Runtime) Backend() Backend { return rt.ex.Config().Backend }
+
+// PoolSize reports the number of workers executing this runtime's loops.
+func (rt *Runtime) PoolSize() int {
+	if rt.pool != nil {
+		return rt.pool.Size()
+	}
+	return sched.Default().Size()
+}
+
+// LoopProfile aggregates the executions of one named loop: invocation
+// count, total/mean/min/max wall time, and plan shape for indirect loops.
+type LoopProfile = core.LoopStats
+
+// ProfileStats returns the per-loop statistics collected so far, sorted
+// by descending total time. It returns nil unless the runtime was built
+// with WithProfiling.
+func (rt *Runtime) ProfileStats() []LoopProfile {
+	if rt.prof == nil {
+		return nil
+	}
+	return rt.prof.Stats()
+}
+
+// WriteProfile renders the collected profile as an aligned text table.
+func (rt *Runtime) WriteProfile(w io.Writer) error {
+	if rt.prof == nil {
+		return fmt.Errorf("%w: runtime built without WithProfiling", ErrValidation)
+	}
+	rt.prof.Render(w)
+	return nil
+}
+
+// ResetProfile clears the collected statistics.
+func (rt *Runtime) ResetProfile() {
+	if rt.prof != nil {
+		rt.prof.Reset()
+	}
+}
