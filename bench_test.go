@@ -232,8 +232,9 @@ func BenchmarkAblationRenumber(b *testing.B) {
 	}
 }
 
-// BenchmarkDistributedRanks measures the distributed engine (halo
-// exchange over channel localities) at increasing rank counts.
+// BenchmarkDistributedRanks measures the owner-compute distributed
+// engine (owned+halo storage, overlapped halo exchange) at increasing
+// rank counts with the default block partitioner.
 func BenchmarkDistributedRanks(b *testing.B) {
 	for _, ranks := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
@@ -241,6 +242,7 @@ func BenchmarkDistributedRanks(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer app.Close()
 			if _, err := app.Run(1); err != nil {
 				b.Fatal(err)
 			}
@@ -251,6 +253,36 @@ func BenchmarkDistributedRanks(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkAirfoilDistributed sweeps the distributed airfoil across
+// ranks × partitioner — the subsystem's headline benchmark, recorded as
+// BENCH_distributed.json by `cmd/experiments -exp dist -json`.
+func BenchmarkAirfoilDistributed(b *testing.B) {
+	for _, name := range []string{"block", "rcb", "greedy"} {
+		p, err := op2.PartitionerByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ranks := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/ranks=%d", name, ranks), func(b *testing.B) {
+				app, err := airfoil.NewDistAppPartitioned(benchNX, benchNY, ranks, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer app.Close()
+				if _, err := app.Run(1); err != nil { // warm plans, halos, shards
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := app.Run(benchIters); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

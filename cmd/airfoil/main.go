@@ -33,19 +33,20 @@ func main() {
 
 func run() error {
 	var (
-		backendStr = flag.String("backend", "dataflow", "loop execution backend: serial, forkjoin or dataflow")
-		threads    = flag.Int("threads", runtime.NumCPU(), "worker threads (the --hpx:threads knob)")
-		nx         = flag.Int("nx", 240, "mesh cells in x")
-		ny         = flag.Int("ny", 120, "mesh cells in y")
-		iters      = flag.Int("iters", 100, "time iterations")
-		chunkerStr = flag.String("chunker", "", "chunk sizing: static:<n>, even, auto or persistent (default per backend)")
-		prefetch   = flag.Int("prefetch", 0, "prefetch_distance_factor in cache lines (0 = off)")
-		paperMesh  = flag.Bool("paper-mesh", false, "use the paper's mesh scale (~720K nodes); overrides -nx/-ny")
-		profile    = flag.Bool("profile", false, "print per-loop timing statistics after the run")
-		renumber   = flag.Bool("renumber", false, "RCM-renumber the cell set before running (locality optimization)")
-		saveMesh   = flag.String("save-mesh", "", "write the generated mesh to this file and exit")
-		loadMesh   = flag.String("load-mesh", "", "load the mesh from this file instead of generating it")
-		ranks      = flag.Int("ranks", 0, "run the distributed engine with this many simulated localities instead of the shared-memory backends")
+		backendStr  = flag.String("backend", "dataflow", "loop execution backend: serial, forkjoin or dataflow")
+		threads     = flag.Int("threads", runtime.NumCPU(), "worker threads (the --hpx:threads knob)")
+		nx          = flag.Int("nx", 240, "mesh cells in x")
+		ny          = flag.Int("ny", 120, "mesh cells in y")
+		iters       = flag.Int("iters", 100, "time iterations")
+		chunkerStr  = flag.String("chunker", "", "chunk sizing: static:<n>, even, auto or persistent (default per backend)")
+		prefetch    = flag.Int("prefetch", 0, "prefetch_distance_factor in cache lines (0 = off)")
+		paperMesh   = flag.Bool("paper-mesh", false, "use the paper's mesh scale (~720K nodes); overrides -nx/-ny")
+		profile     = flag.Bool("profile", false, "print per-loop timing statistics after the run")
+		renumber    = flag.Bool("renumber", false, "RCM-renumber the cell set before running (locality optimization)")
+		saveMesh    = flag.String("save-mesh", "", "write the generated mesh to this file and exit")
+		loadMesh    = flag.String("load-mesh", "", "load the mesh from this file instead of generating it")
+		ranks       = flag.Int("ranks", 0, "run the distributed engine with this many simulated localities instead of the shared-memory backends")
+		partitioner = flag.String("partitioner", "block", "distributed mesh partitioner: block, rcb or greedy")
 	)
 	flag.Parse()
 
@@ -93,17 +94,28 @@ func run() error {
 		mesh.Cells.Size(), mesh.Nodes.Size(), mesh.Edges.Size(), mesh.Bedges.Size())
 
 	if *ranks > 0 {
-		app, err := airfoil.NewDistAppFromMesh(mesh, consts, *ranks)
+		p, err := op2.PartitionerByName(*partitioner)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("backend=distributed ranks=%d iters=%d\n", *ranks, *iters)
+		app, err := airfoil.NewDistAppFromMesh(mesh, consts, *ranks, p)
+		if err != nil {
+			return err
+		}
+		defer app.Close()
+		fmt.Printf("backend=distributed ranks=%d partitioner=%s iters=%d\n", *ranks, *partitioner, *iters)
 		start := time.Now()
 		rms, err := app.Run(*iters)
 		if err != nil {
 			return err
 		}
 		report(start, *iters, rms)
+		for _, st := range app.Report() {
+			if !st.Derived {
+				fmt.Printf("partition %s (%s): owned=%v edge-cut=%d imbalance=%.3f\n",
+					st.Set, st.Method, st.Owned, st.EdgeCut, st.Imbalance)
+			}
+		}
 		return nil
 	}
 

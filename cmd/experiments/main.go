@@ -1,5 +1,6 @@
 // Command experiments regenerates the tables and figures of the paper's
-// evaluation section (§VI) on this machine: Table I and Figs. 15-20.
+// evaluation section (§VI) on this machine — Table I and Figs. 15-20 —
+// plus the distributed rank sweep of the owner-compute engine.
 //
 // Examples:
 //
@@ -7,6 +8,7 @@
 //	experiments -exp fig17       # one experiment
 //	experiments -paper           # the paper's mesh scale (~720K nodes)
 //	experiments -reps 5 -iters 20
+//	experiments -exp dist -json BENCH_distributed.json
 package main
 
 import (
@@ -28,7 +30,8 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all, table1, fig15, fig16, fig17, fig18, fig19, fig20")
+		exp        = flag.String("exp", "all", "experiment: all, table1, fig15, fig16, fig17, fig18, fig19, fig20, dist")
+		jsonOut    = flag.String("json", "", "also write machine-readable results to this file (dist experiment only)")
 		paper      = flag.Bool("paper", false, "paper-scale workload (~720K mesh nodes; minutes per figure)")
 		nx         = flag.Int("nx", 0, "override mesh cells in x")
 		ny         = flag.Int("ny", 0, "override mesh cells in y")
@@ -66,6 +69,23 @@ func run() error {
 			fmt.Println()
 		}
 		return err
+	}
+	if *exp == "dist" && *jsonOut != "" {
+		rep, err := experiments.DistData(o)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+		experiments.DistTable(rep).Render(os.Stdout)
+		return nil
 	}
 	fn, ok := experiments.ByName(*exp)
 	if !ok {

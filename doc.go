@@ -14,6 +14,14 @@
 // and op2.ErrCanceled. Nothing outside internal/ should import the
 // implementation packages directly.
 //
+// op2.WithRanks(n) switches a runtime to the owner-compute distributed
+// engine: sets are partitioned across n simulated localities
+// (op2.WithPartitioner selects block / RCB / greedy graph-growing, and
+// Runtime.Partition registers mesh topology like OP2's op_partition),
+// written dats become per-rank owned blocks plus import halos, and each
+// loop overlaps its halo exchange with interior computation while
+// staying bitwise-identical to the serial backend.
+//
 // The implementation lives in the internal packages:
 //
 //   - internal/hpx        — futures, dataflow, execution policies (Table I),
@@ -26,7 +34,10 @@
 //     backends (§II, §IV)
 //   - internal/airfoil    — the Airfoil CFD evaluation workload (§II-B)
 //   - internal/aero       — the FEM/CG workload (per-iteration reductions)
-//   - internal/dist       — the simulated distributed-memory engine
+//   - internal/part       — mesh partitioners (block, RCB, greedy) with
+//     edge-cut and imbalance metrics
+//   - internal/dist       — the owner-compute distributed engine: owned+halo
+//     storage, persistent rank workers, overlapped halo exchange
 //   - internal/translator — the OP2 source-to-source compiler with OpenMP
 //     and HPX code generation modes (§II)
 //   - internal/experiments — regenerates Table I and Figs. 15-20 (§VI)

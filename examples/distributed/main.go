@@ -1,14 +1,21 @@
-// Distributed example: the full airfoil application executed across
-// simulated localities — cells block-partitioned, flow dats exchanged via
-// halos through pecell/pbecell, mesh geometry replicated. Each locality is
-// a goroutine; messages travel over channels, standing in for OP2's MPI
-// backend / HPX's distributed runtime. The run is verified against the
-// shared-memory serial backend of the public op2 facade.
+// Distributed example: the airfoil application on the owner-compute
+// distributed runtime, through the public op2 facade. Cells are
+// partitioned across simulated localities (choose the partitioner with
+// -partitioner), the flow dats are sharded into owned blocks plus import
+// halos, and every indirect loop overlaps its halo exchange with
+// interior computation. The run is verified bitwise against the serial
+// backend — the distributed engine replays increment application and
+// reduction folds in the serial plan order, so the results are identical
+// bit for bit at every rank count and under every partitioner.
 //
-// Run with: go run ./examples/distributed
+// Run with:
+//
+//	go run ./examples/distributed
+//	go run ./examples/distributed -partitioner greedy -nx 120 -ny 60
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -19,46 +26,67 @@ import (
 )
 
 func main() {
-	const nx, ny, iters = 60, 30, 10
+	var (
+		nx    = flag.Int("nx", 60, "mesh cells in x")
+		ny    = flag.Int("ny", 30, "mesh cells in y")
+		iters = flag.Int("iters", 10, "time iterations")
+		pname = flag.String("partitioner", "rcb", "mesh partitioner: block, rcb or greedy")
+	)
+	flag.Parse()
+
+	p, err := op2.PartitionerByName(*pname)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Reference: serial shared-memory run.
 	rt := op2.MustNew(op2.WithBackend(op2.Serial), op2.WithPoolSize(1))
 	defer rt.Close()
-	ref, err := airfoil.NewApp(nx, ny, rt)
+	ref, err := airfoil.NewApp(*nx, *ny, rt)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rmsRef, err := ref.Run(iters)
+	rmsRef, err := ref.Run(*iters)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("airfoil %dx%d cells, %d iterations\n", nx, ny, iters)
-	fmt.Printf("%-12s rms %.6e   (reference)\n", "serial", rmsRef)
+	fmt.Printf("airfoil %dx%d cells, %d iterations, partitioner=%s\n", *nx, *ny, *iters, *pname)
+	fmt.Printf("%-10s rms %.6e   (reference)\n\n", "serial", rmsRef)
 
 	for _, ranks := range []int{1, 2, 4, 8} {
-		app, err := airfoil.NewDistApp(nx, ny, ranks)
+		app, err := airfoil.NewDistAppPartitioned(*nx, *ny, ranks, p)
 		if err != nil {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		rms, err := app.Run(iters)
+		rms, err := app.Run(*iters)
 		if err != nil {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(start)
 
-		// Verify against the reference field.
-		maxDev := 0.0
+		bitwise := math.Float64bits(rms) == math.Float64bits(rmsRef)
 		for i, v := range app.Q() {
-			if d := math.Abs(v - ref.M.Q.Data()[i]); d > maxDev {
-				maxDev = d
+			if math.Float64bits(v) != math.Float64bits(ref.M.Q.Data()[i]) {
+				bitwise = false
+				break
 			}
 		}
-		fmt.Printf("%-12s rms %.6e   max |Δq| vs serial %.2e   %v\n",
-			fmt.Sprintf("%d ranks", ranks), rms, maxDev, elapsed.Round(time.Millisecond))
-		if maxDev > 1e-9 {
-			log.Fatalf("distributed run diverged from serial reference")
+		fmt.Printf("%d ranks: rms %.6e   bitwise=%v   %v\n",
+			ranks, rms, bitwise, elapsed.Round(time.Millisecond))
+		for _, st := range app.Report() {
+			if st.Derived {
+				fmt.Printf("  %-7s %-14s owned=%v\n", st.Set, st.Method, st.Owned)
+				continue
+			}
+			fmt.Printf("  %-7s %-14s owned=%v halo=%v edge-cut=%d imbalance=%.3f\n",
+				st.Set, st.Method, st.Owned, st.Halo, st.EdgeCut, st.Imbalance)
 		}
+		fmt.Println()
+		if !bitwise {
+			log.Fatal("distributed run diverged from the serial reference")
+		}
+		app.Close() //nolint:errcheck // example teardown
 	}
-	fmt.Println("distributed execution verified against the serial reference.")
+	fmt.Println("distributed execution matches the serial reference bit for bit.")
 }

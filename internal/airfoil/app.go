@@ -230,7 +230,11 @@ func (a *App) StepCtx(ctx context.Context) error {
 		return fmt.Errorf("airfoil: step canceled: %w: %w", op2.ErrCanceled, err)
 	}
 	ls := a.activeLoops()
-	if a.Rt.Backend() == op2.Dataflow {
+	// Dataflow issues asynchronously so dependent loops chain through
+	// futures; the distributed engine likewise pipelines Async loops
+	// across its persistent rank workers (a rank done with loop N moves
+	// straight into loop N+1), with the final Sync as the only barrier.
+	if a.Rt.Backend() == op2.Dataflow || a.Rt.Distributed() {
 		var last *op2.Future
 		ls.saveSoln.Async(ctx)
 		for k := 0; k < 2; k++ {

@@ -1,167 +1,75 @@
 package airfoil
 
 import (
-	"fmt"
-	"math"
-
-	"op2hpx/internal/core"
-	"op2hpx/internal/dist"
+	"op2hpx/op2"
 )
 
-// DistApp runs the airfoil application on the distributed engine of
-// package dist: cells are block-partitioned across localities, the flow
-// dats (q, qold, adt, res) are distributed with halo exchange through
-// pecell/pbecell, and the immutable mesh geometry (node coordinates,
-// boundary flags) is replicated — OP2's MPI execution model with ranks as
-// goroutines.
+// DistApp is the airfoil application on the distributed runtime: the
+// same App wiring (the five op_par_loop declarations are untouched)
+// executed through op2.WithRanks — cells partitioned across localities,
+// the flow dats sharded into owned blocks plus import halos exchanged
+// through pecell/pbecell, and the read-only mesh geometry replicated.
+// Because the distributed engine replays increment application and
+// reduction folds in the serial plan order, the results are
+// bitwise-identical to the shared-memory backends at every rank count
+// and under every partitioner.
 type DistApp struct {
-	M     *Mesh
-	Const Constants
-	Comm  *dist.Comm
-
-	part      *dist.Partition
-	haloEdge  *dist.Halo // edges  -> cells (pecell)
-	haloBedge *dist.Halo // bedges -> cells (pbecell)
-
-	q, qold, adt, res *dist.Dat
-
-	saveSoln, adtCalc, update *dist.DirectLoop
-	resCalc, bresCalc         *dist.IndirectLoop
+	*App
+	ranks int
 }
 
-// NewDistApp partitions the mesh over `ranks` localities.
+// NewDistApp partitions the mesh over `ranks` localities with the
+// default block partitioner.
 func NewDistApp(nx, ny, ranks int) (*DistApp, error) {
+	return NewDistAppPartitioned(nx, ny, ranks, nil)
+}
+
+// NewDistAppPartitioned is NewDistApp with an explicit partitioner
+// (nil selects the block split).
+func NewDistAppPartitioned(nx, ny, ranks int, p op2.Partitioner) (*DistApp, error) {
 	consts := DefaultConstants()
 	m, err := NewMesh(nx, ny, consts)
 	if err != nil {
 		return nil, err
 	}
-	return NewDistAppFromMesh(m, consts, ranks)
+	return NewDistAppFromMesh(m, consts, ranks, p)
 }
 
 // NewDistAppFromMesh builds the distributed app over an existing mesh.
-func NewDistAppFromMesh(m *Mesh, consts Constants, ranks int) (*DistApp, error) {
-	a := &DistApp{M: m, Const: consts, Comm: dist.NewComm(ranks)}
-	var err error
-	if a.part, err = dist.NewPartition(m.Cells, ranks); err != nil {
+// The runtime is owned by the app: release its rank workers with Close.
+func NewDistAppFromMesh(m *Mesh, consts Constants, ranks int, p op2.Partitioner) (*DistApp, error) {
+	// WithPartitioner(nil) keeps the engine default (block split).
+	rt, err := op2.New(op2.WithRanks(ranks), op2.WithPartitioner(p))
+	if err != nil {
 		return nil, err
 	}
-	if a.haloEdge, err = dist.NewHalo(a.part, m.Pecell); err != nil {
+	// op_partition: cells are the prime set, pecell supplies the cell
+	// adjacency (for graph partitioning), pcell+x the cell centroids
+	// (for RCB). Edges and bedges derive their ownership from the cells
+	// they increment.
+	if err := rt.Partition(m.Cells, m.Pecell, m.Pcell, m.X); err != nil {
+		rt.Close() //nolint:errcheck // best-effort cleanup on a failed constructor
 		return nil, err
 	}
-	if a.haloBedge, err = dist.NewHalo(a.part, m.Pbecell); err != nil {
+	app, err := NewAppFromMesh(m, consts, rt)
+	if err != nil {
+		rt.Close() //nolint:errcheck // best-effort cleanup on a failed constructor
 		return nil, err
 	}
-	if a.q, err = dist.NewDat(a.part, 4, m.Q.Data(), "p_q"); err != nil {
-		return nil, err
-	}
-	if a.qold, err = dist.NewDat(a.part, 4, nil, "p_qold"); err != nil {
-		return nil, err
-	}
-	if a.adt, err = dist.NewDat(a.part, 1, nil, "p_adt"); err != nil {
-		return nil, err
-	}
-	if a.res, err = dist.NewDat(a.part, 4, nil, "p_res"); err != nil {
-		return nil, err
-	}
-	a.buildLoops()
-	return a, nil
+	return &DistApp{App: app, ranks: ranks}, nil
 }
 
-func (a *DistApp) buildLoops() {
-	m := a.M
-	c := &a.Const
+// Ranks reports the number of localities.
+func (a *DistApp) Ranks() int { return a.ranks }
 
-	a.saveSoln = &dist.DirectLoop{
-		Name: "save_soln", Part: a.part,
-		Args: []*dist.Dat{a.q, a.qold},
-		Kernel: func(v [][]float64, _ []float64) {
-			SaveSoln(v[0], v[1])
-		},
-	}
-	a.adtCalc = &dist.DirectLoop{
-		Name: "adt_calc", Part: a.part,
-		Args:   []*dist.Dat{a.q, a.adt},
-		Gather: []dist.GatherArg{{D: m.X, M: m.Pcell}},
-		Kernel: func(v [][]float64, _ []float64) {
-			// v: q, adt, x1..x4
-			c.AdtCalc(v[2], v[3], v[4], v[5], v[0], v[1])
-		},
-	}
-	a.resCalc = &dist.IndirectLoop{
-		Name: "res_calc", H: a.haloEdge,
-		Gather: []dist.GatherArg{{D: m.X, M: m.Pedge}},
-		Reads:  []*dist.Dat{a.q, a.adt},
-		Incs:   []*dist.Dat{a.res},
-		Kernel: func(v [][]float64) {
-			// v: x1, x2, q1, q2, adt1, adt2, res1, res2
-			c.ResCalc(v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7])
-		},
-	}
-	a.bresCalc = &dist.IndirectLoop{
-		Name: "bres_calc", H: a.haloBedge,
-		Direct: []*core.Dat{m.Bound},
-		Gather: []dist.GatherArg{{D: m.X, M: m.Pbedge}},
-		Reads:  []*dist.Dat{a.q, a.adt},
-		Incs:   []*dist.Dat{a.res},
-		Kernel: func(v [][]float64) {
-			// v: bound, x1, x2, q1, adt1, res1
-			c.BresCalc(v[1], v[2], v[3], v[4], v[5], v[0])
-		},
-	}
-	a.update = &dist.DirectLoop{
-		Name: "update", Part: a.part,
-		Args:         []*dist.Dat{a.qold, a.q, a.res, a.adt},
-		ReductionDim: 1,
-		Kernel: func(v [][]float64, red []float64) {
-			Update(v[0], v[1], v[2], v[3], red)
-		},
-	}
-}
+// Close stops the runtime's rank workers.
+func (a *DistApp) Close() error { return a.Rt.Close() }
 
-// Step performs one time iteration across all localities and returns the
-// rms contribution of this step.
-func (a *DistApp) Step() (float64, error) {
-	if _, err := a.saveSoln.Run(a.Comm); err != nil {
-		return 0, err
-	}
-	var rms float64
-	for k := 0; k < 2; k++ {
-		if _, err := a.adtCalc.Run(a.Comm); err != nil {
-			return 0, err
-		}
-		if err := a.resCalc.Run(a.Comm); err != nil {
-			return 0, err
-		}
-		if err := a.bresCalc.Run(a.Comm); err != nil {
-			return 0, err
-		}
-		red, err := a.update.Run(a.Comm)
-		if err != nil {
-			return 0, err
-		}
-		rms += red[0]
-	}
-	return rms, nil
-}
+// Report returns the partitioning state: per-rank owned and halo sizes
+// for every set, and edge-cut/imbalance for the cells partition.
+func (a *DistApp) Report() []op2.PartitionStats { return a.Rt.PartitionReport() }
 
-// Run performs iters iterations and returns the normalized rms of the
-// whole run, the same quantity App.Run reports.
-func (a *DistApp) Run(iters int) (float64, error) {
-	if iters < 1 {
-		return 0, fmt.Errorf("airfoil: iters %d < 1", iters)
-	}
-	total := 0.0
-	for i := 0; i < iters; i++ {
-		rms, err := a.Step()
-		if err != nil {
-			return 0, err
-		}
-		total += rms
-	}
-	return math.Sqrt(total / float64(2*a.M.Cells.Size()*iters)), nil
-}
-
-// Q returns the distributed flow field's global storage (owned blocks are
-// authoritative after every Run).
-func (a *DistApp) Q() []float64 { return a.q.Global() }
+// Q returns the flow field. App.Run syncs (and thereby flushes the owned
+// shards) before returning, so after a Run this is the authoritative
+// distributed result.
+func (a *DistApp) Q() []float64 { return a.M.Q.Data() }

@@ -2,101 +2,151 @@ package airfoil
 
 import (
 	"math"
+	"strconv"
 	"testing"
 
 	"op2hpx/op2"
 )
 
-// closeEnough compares with mixed absolute/relative tolerance: halo
-// increments are applied in a different order than serial edge order, so
-// near-zero components (momentum-y) legitimately differ in the last bits.
-func closeEnough(a, b float64) bool {
-	d := math.Abs(a - b)
-	return d <= 1e-12+1e-9*math.Max(math.Abs(a), math.Abs(b))
-}
-
-func TestDistAppMatchesSerial(t *testing.T) {
-	const nx, ny, iters = 26, 14, 4
-
-	rt := testRuntime(t, op2.Serial, 1)
+// serialGolden runs the airfoil workload on the shared-memory serial
+// backend and returns the bit patterns of the final rms and flow field.
+func serialGolden(t *testing.T, nx, ny, iters int) (uint64, []uint64) {
+	t.Helper()
+	rt := op2.MustNew(op2.WithBackend(op2.Serial), op2.WithPoolSize(1))
+	defer rt.Close()
 	ref, err := NewApp(nx, ny, rt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rmsRef, err := ref.Run(iters)
+	rms, err := ref.Run(iters)
 	if err != nil {
 		t.Fatal(err)
 	}
+	q := make([]uint64, len(ref.M.Q.Data()))
+	for i, v := range ref.M.Q.Data() {
+		q[i] = math.Float64bits(v)
+	}
+	return math.Float64bits(rms), q
+}
 
-	for _, ranks := range []int{1, 2, 4, 5} {
-		app, err := NewDistApp(nx, ny, ranks)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rms, err := app.Run(iters)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !closeEnough(rms, rmsRef) {
-			t.Fatalf("ranks=%d: rms %.15g vs serial %.15g", ranks, rms, rmsRef)
-		}
-		q := app.Q()
-		qRef := ref.M.Q.Data()
-		for i := range q {
-			if !closeEnough(q[i], qRef[i]) {
-				t.Fatalf("ranks=%d: q[%d] = %.15g vs serial %.15g", ranks, i, q[i], qRef[i])
-			}
+// checkBitwise runs the distributed app and asserts rms and the full
+// flow field match the golden bit-for-bit.
+func checkBitwise(t *testing.T, nx, ny, iters, ranks int, p op2.Partitioner, rmsRef uint64, qRef []uint64) {
+	t.Helper()
+	app, err := NewDistAppPartitioned(nx, ny, ranks, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	rms, err := app.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64bits(rms); got != rmsRef {
+		t.Errorf("rms bits %#x != serial %#x (%.17g vs %.17g)",
+			got, rmsRef, rms, math.Float64frombits(rmsRef))
+	}
+	for i, v := range app.Q() {
+		if got := math.Float64bits(v); got != qRef[i] {
+			t.Fatalf("q[%d] differs bitwise: %.17g vs serial %.17g",
+				i, v, math.Float64frombits(qRef[i]))
 		}
 	}
 }
 
-func TestDistAppConsistentAcrossRankCounts(t *testing.T) {
-	const nx, ny, iters = 20, 10, 3
-	var ref []float64
-	var refRms float64
-	for _, ranks := range []int{1, 3, 6} {
-		app, err := NewDistApp(nx, ny, ranks)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rms, err := app.Run(iters)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if ref == nil {
-			ref = append([]float64(nil), app.Q()...)
-			refRms = rms
-			continue
-		}
-		if !closeEnough(rms, refRms) {
-			t.Fatalf("ranks=%d rms %.15g vs %.15g", ranks, rms, refRms)
-		}
-		for i, v := range app.Q() {
-			if !closeEnough(v, ref[i]) {
-				t.Fatalf("ranks=%d q[%d] differs: %.15g vs %.15g", ranks, i, v, ref[i])
-			}
+// TestDistAppBitwiseGolden asserts the distributed airfoil reproduces
+// the serial backend bit-for-bit at ranks 1, 2, 4 and 7, under every
+// partitioner: increment application and reduction folds replay the
+// serial plan order regardless of how the mesh is split.
+func TestDistAppBitwiseGolden(t *testing.T) {
+	const nx, ny, iters = 26, 14, 4
+	rmsRef, qRef := serialGolden(t, nx, ny, iters)
+	for _, tc := range []struct {
+		name string
+		p    op2.Partitioner
+	}{
+		{"block", nil},
+		{"rcb", op2.RCBPartitioner()},
+		{"greedy", op2.GreedyPartitioner()},
+	} {
+		for _, ranks := range []int{1, 2, 4, 7} {
+			t.Run(tc.name+"/ranks="+strconv.Itoa(ranks), func(t *testing.T) {
+				checkBitwise(t, nx, ny, iters, ranks, tc.p, rmsRef, qRef)
+			})
 		}
 	}
 }
 
+// TestDistAppEmptyPartitions runs more ranks than the tiny mesh has
+// cells, so several ranks own nothing — and the result must still be
+// bitwise-identical to serial.
+func TestDistAppEmptyPartitions(t *testing.T) {
+	const nx, ny, iters = 3, 2, 3 // 6 cells across 7 ranks: at least one empty
+	rmsRef, qRef := serialGolden(t, nx, ny, iters)
+	checkBitwise(t, nx, ny, iters, 7, nil, rmsRef, qRef)
+}
+
+// TestDistAppReport asserts the partition report covers the prime set
+// with a real partition and the derived sets, with every element owned.
+func TestDistAppReport(t *testing.T) {
+	app, err := NewDistAppPartitioned(12, 8, 3, op2.GreedyPartitioner())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	if _, err := app.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	stats := app.Report()
+	bySet := map[string]op2.PartitionStats{}
+	for _, st := range stats {
+		bySet[st.Set] = st
+	}
+	cells, ok := bySet["cells"]
+	if !ok {
+		t.Fatalf("no stats for cells: %+v", stats)
+	}
+	if cells.Derived || cells.Method != "greedy" {
+		t.Errorf("cells partition: got method %q derived=%v", cells.Method, cells.Derived)
+	}
+	if cells.EdgeCut < 0 {
+		t.Errorf("cells edge-cut unknown despite registered adjacency")
+	}
+	total := 0
+	for _, n := range cells.Owned {
+		total += n
+	}
+	if total != 12*8 {
+		t.Errorf("owned cells sum to %d, want %d", total, 12*8)
+	}
+	for _, set := range []string{"edges", "bedges"} {
+		st, ok := bySet[set]
+		if !ok {
+			t.Fatalf("no stats for %s", set)
+		}
+		if !st.Derived {
+			t.Errorf("%s should be derived, got method %q", set, st.Method)
+		}
+	}
+	// res_calc reads q/adt through pecell, so ranks must have imported
+	// halo cells.
+	halo := 0
+	for _, n := range cells.Halo {
+		halo += n
+	}
+	if halo == 0 {
+		t.Error("no import halo on cells despite boundary edges")
+	}
+}
+
+// TestDistAppRejectsZeroIters keeps the Run argument validation.
 func TestDistAppRejectsZeroIters(t *testing.T) {
 	app, err := NewDistApp(4, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer app.Close()
 	if _, err := app.Run(0); err == nil {
 		t.Fatal("Run(0) accepted")
-	}
-}
-
-func TestDistAppMoreRanksThanBoundaryCells(t *testing.T) {
-	// More ranks than some sets have elements: empty partitions must
-	// still work.
-	app, err := NewDistApp(4, 4, 13)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := app.Run(2); err != nil {
-		t.Fatal(err)
 	}
 }

@@ -78,6 +78,7 @@ type Dat struct {
 	dim   int
 	data  []float64
 	state versionState
+	flush func() error // resident-storage write-back, see SetFlush
 }
 
 // DeclDat declares data on a set, mirroring op_decl_dat. The initial values
@@ -127,15 +128,40 @@ func (d *Dat) Elem(e int) []float64 { return d.data[e*d.dim : (e+1)*d.dim] }
 
 // Sync waits for every outstanding asynchronous loop touching this dat —
 // the host-side future.get() of Fig. 9 (`p_qold = op_par_loop_...` then
-// using p_qold). It returns the first error from those loops.
-func (d *Dat) Sync() error { return hpx.WaitAll(d.state.current()...) }
+// using p_qold) — and then flushes resident storage (see SetFlush) so
+// Data observes the authoritative values. It returns the first error.
+func (d *Dat) Sync() error {
+	if err := hpx.WaitAll(d.state.current()...); err != nil {
+		return err
+	}
+	if d.flush != nil {
+		return d.flush()
+	}
+	return nil
+}
+
+// SetFlush installs fn as the dat's resident-storage flush: when an
+// engine holds the authoritative values elsewhere (the distributed
+// runtime's per-rank owned shards), Sync calls fn after all outstanding
+// loops resolve so the values are written back into Data before host
+// code reads them. Pass nil to clear.
+func (d *Dat) SetFlush(fn func() error) { d.flush = fn }
 
 // Future returns a future that resolves to the dat once every loop
 // currently outstanding on it has finished — the dat "returned as a future
-// from each kernel function" in Fig. 9.
+// from each kernel function" in Fig. 9. Like Sync it flushes resident
+// storage, so the resolved dat's Data is authoritative.
 func (d *Dat) Future() *hpx.Future[*Dat] {
 	deps := d.state.current()
-	return hpx.Dataflow(func() (*Dat, error) { return d, nil }, deps...)
+	flush := d.flush
+	return hpx.Dataflow(func() (*Dat, error) {
+		if flush != nil {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		return d, nil
+	}, deps...)
 }
 
 func (d *Dat) String() string {
@@ -149,6 +175,7 @@ type Global struct {
 	name  string
 	data  []float64
 	state versionState
+	flush func() error // resident-engine fence, see SetFlush
 }
 
 // DeclGlobal declares a global of the given dimension, with optional
@@ -193,13 +220,38 @@ func (g *Global) Set(values []float64) error {
 	return nil
 }
 
-// Sync waits for every outstanding asynchronous loop touching this global.
-func (g *Global) Sync() error { return hpx.WaitAll(g.state.current()...) }
+// Sync waits for every outstanding asynchronous loop touching this
+// global, including loops on an engine that applies reductions outside
+// the version chain (see SetFlush).
+func (g *Global) Sync() error {
+	if err := hpx.WaitAll(g.state.current()...); err != nil {
+		return err
+	}
+	if g.flush != nil {
+		return g.flush()
+	}
+	return nil
+}
+
+// SetFlush installs fn as the global's engine fence: when loops touching
+// this global execute outside the version chain (the distributed
+// runtime), Sync and Future wait on fn so the host never reads a
+// reduction mid-apply. Pass nil to clear.
+func (g *Global) SetFlush(fn func() error) { g.flush = fn }
 
 // Future returns a future resolving to the global's values after all
 // outstanding loops complete — how a reduction result flows to dependent
-// loops or host code without a global barrier.
+// loops or host code without a global barrier. Like Sync it waits for
+// the engine fence installed with SetFlush.
 func (g *Global) Future() *hpx.Future[[]float64] {
 	deps := g.state.current()
-	return hpx.Dataflow(func() ([]float64, error) { return g.data, nil }, deps...)
+	flush := g.flush
+	return hpx.Dataflow(func() ([]float64, error) {
+		if flush != nil {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		return g.data, nil
+	}, deps...)
 }

@@ -46,6 +46,43 @@ func (l *Loop) Validate() error {
 	return nil
 }
 
+// ReduceInit returns the identity element of a reduction access: 0 for
+// Inc, +Inf for Min, -Inf for Max. Shared by every backend (including
+// the distributed engine) so they cannot drift.
+func ReduceInit(a Access) float64 {
+	switch a {
+	case Min:
+		return math.Inf(1)
+	case Max:
+		return math.Inf(-1)
+	default:
+		return 0
+	}
+}
+
+// ReduceCombine folds src into dst under the reduction access — the one
+// definition of how partial reductions merge, shared by every backend.
+func ReduceCombine(a Access, dst, src []float64) {
+	switch a {
+	case Inc:
+		for k := range src {
+			dst[k] += src[k]
+		}
+	case Min:
+		for k := range src {
+			if src[k] < dst[k] {
+				dst[k] = src[k]
+			}
+		}
+	case Max:
+		for k := range src {
+			if src[k] > dst[k] {
+				dst[k] = src[k]
+			}
+		}
+	}
+}
+
 // scratchLayout computes where each reducing global argument lives inside
 // the per-chunk scratch buffer.
 type scratchLayout struct {
@@ -64,14 +101,7 @@ func layoutScratch(args []Arg) scratchLayout {
 		sl.offs[i] = sl.size
 		dim := a.gbl.Dim()
 		for k := 0; k < dim; k++ {
-			switch a.acc {
-			case Inc:
-				sl.initv = append(sl.initv, 0)
-			case Min:
-				sl.initv = append(sl.initv, math.Inf(1))
-			case Max:
-				sl.initv = append(sl.initv, math.Inf(-1))
-			}
+			sl.initv = append(sl.initv, ReduceInit(a.acc))
 		}
 		sl.size += dim
 	}
@@ -96,24 +126,7 @@ func (sl *scratchLayout) combine(acc, s []float64, args []Arg) {
 			continue
 		}
 		dim := a.gbl.Dim()
-		switch a.acc {
-		case Inc:
-			for k := 0; k < dim; k++ {
-				acc[off+k] += s[off+k]
-			}
-		case Min:
-			for k := 0; k < dim; k++ {
-				if s[off+k] < acc[off+k] {
-					acc[off+k] = s[off+k]
-				}
-			}
-		case Max:
-			for k := 0; k < dim; k++ {
-				if s[off+k] > acc[off+k] {
-					acc[off+k] = s[off+k]
-				}
-			}
-		}
+		ReduceCombine(a.acc, acc[off:off+dim], s[off:off+dim])
 	}
 }
 
@@ -126,24 +139,7 @@ func (sl *scratchLayout) apply(acc []float64, args []Arg) {
 		}
 		g := a.gbl
 		dim := g.Dim()
-		switch a.acc {
-		case Inc:
-			for k := 0; k < dim; k++ {
-				g.data[k] += acc[off+k]
-			}
-		case Min:
-			for k := 0; k < dim; k++ {
-				if acc[off+k] < g.data[k] {
-					g.data[k] = acc[off+k]
-				}
-			}
-		case Max:
-			for k := 0; k < dim; k++ {
-				if acc[off+k] > g.data[k] {
-					g.data[k] = acc[off+k]
-				}
-			}
-		}
+		ReduceCombine(a.acc, g.data[:dim], acc[off:off+dim])
 	}
 }
 

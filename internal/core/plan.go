@@ -40,6 +40,71 @@ func (p *Plan) Color(b int) int { return p.color[b] }
 // BlocksOfColor returns the block ids of color c.
 func (p *Plan) BlocksOfColor(c int) []int { return p.byColor[c] }
 
+// ElementOrder returns the serial execution order of the plan's elements:
+// ascending colors, ascending blocks within a color, ascending elements
+// within a block. This is the element order every shared-memory backend
+// applies indirect increments in, and therefore the order a distributed
+// backend must replay to stay bitwise-identical.
+func (p *Plan) ElementOrder() []int {
+	order := make([]int, 0, p.set.size)
+	for c := 0; c < p.ncolors; c++ {
+		for _, b := range p.byColor[c] {
+			lo, hi := p.Block(b)
+			for e := lo; e < hi; e++ {
+				order = append(order, e)
+			}
+		}
+	}
+	return order
+}
+
+// PlanPartition is partition-aware plan metadata: the plan's serial
+// element order split across ranks into an interior and a boundary phase.
+// Within each per-rank list the serial order is preserved, so a rank that
+// executes Interior[r] then Boundary[r] visits its elements in exactly
+// the relative order the serial backend would.
+type PlanPartition struct {
+	// Order is the full serial execution order (ElementOrder).
+	Order []int
+	// Interior[r] are rank r's elements whose every dependency is local:
+	// they can execute while halo messages are still in flight.
+	Interior [][]int
+	// Boundary[r] are rank r's elements that touch imported (halo) data:
+	// they must wait for the read-halo exchange to resolve.
+	Boundary [][]int
+}
+
+// PartitionOrder splits the plan's serial element order across ranks:
+// home(e) names the rank executing element e, and interior(e) reports
+// whether e touches only that rank's own data.
+func (p *Plan) PartitionOrder(ranks int, home func(e int) int, interior func(e int) bool) *PlanPartition {
+	pp := &PlanPartition{
+		Order:    p.ElementOrder(),
+		Interior: make([][]int, ranks),
+		Boundary: make([][]int, ranks),
+	}
+	for _, e := range pp.Order {
+		r := home(e)
+		if interior(e) {
+			pp.Interior[r] = append(pp.Interior[r], e)
+		} else {
+			pp.Boundary[r] = append(pp.Boundary[r], e)
+		}
+	}
+	return pp
+}
+
+// LoopPlan builds (uncached) the execution plan the backends use for l at
+// the given block size: the iteration set blocked and colored against the
+// loop's indirect modifying maps. Loops without indirect modifications
+// get a single-color plan whose element order is simply ascending.
+func LoopPlan(l *Loop, blockSize int) (*Plan, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return buildPlan(l.Set, blockSize, conflictMaps(l.Args))
+}
+
 // planKey identifies a cached plan: the iteration set, the block size and
 // the identity of every (map, index-set irrelevant) conflict source.
 type planKey struct {

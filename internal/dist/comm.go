@@ -1,0 +1,126 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+
+	"op2hpx/internal/hpx"
+)
+
+// Transport moves halo messages between the ranks of one machine. The
+// contract is per-pair FIFO: messages from src to dst are received in the
+// order they were sent. Recv returns a future so receivers can overlap
+// computation with delivery — the engine posts its receives, executes
+// interior work, and only gates boundary work and increment application
+// on the futures (§III-A/§IV of the paper, applied to communication).
+//
+// Implementations must never block in Send: a full channel is an
+// engine-sizing bug and must surface as an error on both sides, not as a
+// deadlock.
+type Transport interface {
+	// Send delivers payload from rank src to rank dst without blocking.
+	// It returns a descriptive error when the pair's channel is full.
+	Send(src, dst int, payload []float64) error
+	// Recv returns a future resolving to the next undelivered message
+	// from src to dst. Successive Recv calls for one pair must be issued
+	// in message order by the receiving rank.
+	Recv(dst, src int) *hpx.Future[[]float64]
+	// Size reports the number of ranks.
+	Size() int
+}
+
+// commDepth bounds the in-flight messages per rank pair. The engine
+// sends at most two messages per pair per loop (one read-halo, one
+// increment message) and a rank can run at most mailboxDepth+1 loops
+// ahead of the slowest receiver (the submit goroutine blocks once a
+// mailbox fills), so 2·(mailboxDepth+2) can never legitimately fill.
+const commDepth = 2 * (mailboxDepth + 2)
+
+// Comm is the in-process Transport: boxes[dst][src] is a buffered
+// channel per ordered rank pair. A send into a full channel fails with a
+// descriptive error and poisons the communicator, so every pending and
+// future receive fails too instead of deadlocking the other ranks.
+type Comm struct {
+	n     int
+	boxes [][]chan []float64
+	// last[dst][src] chains the pair's receive futures: a Recv consumes
+	// from the channel only after the previous Recv for the same pair
+	// resolved, so an abandoned wait (a canceled loop) can never race a
+	// later loop's receive for the same pair out of order.
+	last [][]*hpx.Future[[]float64]
+
+	mu     sync.Mutex
+	broken chan struct{} // closed on first failed send
+	err    error
+}
+
+// NewComm creates a communicator for n ranks (n >= 1).
+func NewComm(n int) *Comm {
+	if n < 1 {
+		n = 1
+	}
+	c := &Comm{
+		n:      n,
+		boxes:  make([][]chan []float64, n),
+		last:   make([][]*hpx.Future[[]float64], n),
+		broken: make(chan struct{}),
+	}
+	for dst := range c.boxes {
+		c.boxes[dst] = make([]chan []float64, n)
+		c.last[dst] = make([]*hpx.Future[[]float64], n)
+		for src := range c.boxes[dst] {
+			c.boxes[dst][src] = make(chan []float64, commDepth)
+		}
+	}
+	return c
+}
+
+// Size reports the number of ranks.
+func (c *Comm) Size() int { return c.n }
+
+// Send implements Transport. A full pair channel returns an error
+// immediately (and fails all receivers) instead of blocking — the silent
+// deadlock the previous engine had when two messages were posted into a
+// one-slot box within a phase.
+func (c *Comm) Send(src, dst int, payload []float64) error {
+	select {
+	case c.boxes[dst][src] <- payload:
+		return nil
+	default:
+		err := fmt.Errorf("dist: comm channel %d→%d full (%d messages in flight): send would deadlock",
+			src, dst, commDepth)
+		c.mu.Lock()
+		if c.err == nil {
+			c.err = err
+			close(c.broken)
+		}
+		c.mu.Unlock()
+		return err
+	}
+}
+
+// Recv implements Transport: the returned future resolves with the next
+// message from src, or with the communicator's poison error.
+func (c *Comm) Recv(dst, src int) *hpx.Future[[]float64] {
+	ch := c.boxes[dst][src]
+	c.mu.Lock()
+	prev := c.last[dst][src]
+	p, f := hpx.NewPromise[[]float64]()
+	c.last[dst][src] = f
+	c.mu.Unlock()
+	go func() {
+		if prev != nil {
+			prev.Wait() //nolint:errcheck // ordering only; each receive reports its own error
+		}
+		select {
+		case payload := <-ch:
+			p.Set(payload)
+		case <-c.broken:
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			p.SetErr(fmt.Errorf("dist: recv %d←%d aborted: %w", dst, src, err))
+		}
+	}()
+	return f
+}

@@ -1,433 +1,45 @@
-// Package dist is a simulated distributed-memory engine for OP2
-// applications: the iteration set of an application is block-partitioned
-// across `ranks` localities, distributed dats carry one owned block per
-// rank, and indirect increments crossing a partition boundary travel
-// through per-pair channels — OP2's MPI halo-exchange execution model
-// with goroutines standing in for ranks (and for HPX's distributed
-// localities).
+// Package dist is the owner-compute distributed runtime of op2hpx: the
+// OP2 abstraction executed across simulated localities, with goroutines
+// standing in for ranks and channel messages for the network — the
+// architecture of OP2's MPI backend re-expressed with the paper's
+// futures-based latency hiding.
 //
-// Immutable mesh geometry is replicated (passed as plain core.Dat /
-// core.Map values); only the evolving flow dats are distributed. Each
-// loop invocation forks one goroutine per rank and joins them, with the
-// exchange phase between kernel execution and increment application.
+// # Owned + halo storage
+//
+// Every set a loop touches is partitioned across the ranks: either for
+// real, by a part.Partitioner over registered mesh topology, or derived
+// through a map (an edge executes on the rank owning its first cell).
+// Every dat some loop writes is sharded: rank r holds the values of its
+// owned elements plus an import halo sized from the maps that reference
+// off-rank elements, with matching precomputed export lists on the
+// owning side. Dats that are only ever read stay replicated. The
+// declaration's global array becomes stale while shards are live;
+// Dat.Sync flushes the owned blocks back. The flush is
+// one-directional: host writes into the global array after a dat's
+// first distributed write are not observed by later loops.
+//
+// # Compute/communication overlap
+//
+// Per loop, each rank's elements are classified against the partition:
+// interior elements read only rank-local data, boundary elements touch
+// the halo. A rank posts its read-halo exchange as hpx futures, executes
+// the interior while messages are in flight, and gates only the boundary
+// elements and the increment application on halo resolution — the
+// paper's thesis (hide latency by letting the runtime schedule around
+// futures) applied to distribution. Ranks are persistent workers (one
+// long-lived goroutine plus mailbox each, no fork/join per loop), so a
+// rank done with loop N pipelines straight into loop N+1.
+//
+// # Bitwise reproducibility
+//
+// Indirect increments are never applied during kernel execution: every
+// contribution is buffered per (element, argument), foreign ones travel
+// to the owner, and the owner folds local and imported contributions in
+// the serial colored-plan order. Global Inc reductions fold per-element
+// contributions in the same serial order (Min/Max combine per-rank
+// partials up a binary tree — they are associative, so the tree cannot
+// change the result). The distributed airfoil is therefore
+// bitwise-identical to the serial backend at every rank count and under
+// every partitioner, for kernels that accumulate each target component
+// once per element — which is what OP2 kernels do.
 package dist
-
-import (
-	"fmt"
-	"sort"
-	"sync"
-
-	"op2hpx/internal/core"
-)
-
-// Comm connects the ranks of one simulated machine: boxes[dst][src] is a
-// buffered channel carrying at most one in-flight message per pair per
-// exchange phase.
-type Comm struct {
-	n     int
-	boxes [][]chan []float64
-}
-
-// NewComm creates a communicator for n ranks (n >= 1).
-func NewComm(n int) *Comm {
-	if n < 1 {
-		n = 1
-	}
-	c := &Comm{n: n, boxes: make([][]chan []float64, n)}
-	for dst := range c.boxes {
-		c.boxes[dst] = make([]chan []float64, n)
-		for src := range c.boxes[dst] {
-			c.boxes[dst][src] = make(chan []float64, 1)
-		}
-	}
-	return c
-}
-
-// Size reports the number of ranks.
-func (c *Comm) Size() int { return c.n }
-
-// send delivers payload from rank src to rank dst (non-blocking: one
-// message per pair per phase fits the channel buffer).
-func (c *Comm) send(src, dst int, payload []float64) { c.boxes[dst][src] <- payload }
-
-// recv receives the phase's message sent by src to dst.
-func (c *Comm) recv(dst, src int) []float64 { return <-c.boxes[dst][src] }
-
-// run executes fn on every rank concurrently and joins, returning the
-// first error (kernel panics included).
-func (c *Comm) run(fn func(rank int) error) error {
-	errs := make([]error, c.n)
-	var wg sync.WaitGroup
-	wg.Add(c.n)
-	for r := 0; r < c.n; r++ {
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil && errs[rank] == nil {
-					errs[rank] = fmt.Errorf("dist: rank %d panicked: %v", rank, p)
-				}
-			}()
-			errs[rank] = fn(rank)
-		}(r)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Partition block-partitions a set across ranks: rank r owns the
-// contiguous element range [r*n/ranks, (r+1)*n/ranks). Partitions may be
-// empty when there are more ranks than elements.
-type Partition struct {
-	set    *core.Set
-	ranks  int
-	bounds []int // len ranks+1
-}
-
-// NewPartition partitions set across ranks localities.
-func NewPartition(set *core.Set, ranks int) (*Partition, error) {
-	if set == nil {
-		return nil, fmt.Errorf("dist: partition needs a set")
-	}
-	if ranks < 1 {
-		return nil, fmt.Errorf("dist: partition needs >= 1 rank, got %d", ranks)
-	}
-	p := &Partition{set: set, ranks: ranks, bounds: make([]int, ranks+1)}
-	n := set.Size()
-	for r := 0; r <= ranks; r++ {
-		p.bounds[r] = r * n / ranks
-	}
-	return p, nil
-}
-
-// Set returns the partitioned set.
-func (p *Partition) Set() *core.Set { return p.set }
-
-// Ranks reports the number of localities.
-func (p *Partition) Ranks() int { return p.ranks }
-
-// Range returns the element range [lo, hi) owned by rank r.
-func (p *Partition) Range(r int) (lo, hi int) { return p.bounds[r], p.bounds[r+1] }
-
-// Owner returns the rank owning element e.
-func (p *Partition) Owner(e int) int {
-	// bounds is sorted; find the last bound <= e.
-	r := sort.Search(p.ranks, func(r int) bool { return p.bounds[r+1] > e })
-	return r
-}
-
-// Dat is data distributed over a partitioned set. The backing storage is
-// global-sized; each rank writes only its owned block during loops, so
-// after every collective loop the owned blocks are authoritative — a
-// perfect read-halo, with the increment halo exchanged explicitly.
-type Dat struct {
-	part *Partition
-	dim  int
-	name string
-	data []float64
-}
-
-// NewDat declares a distributed dat of dim values per element, optionally
-// initialized from values (global layout, like core.DeclDat).
-func NewDat(part *Partition, dim int, values []float64, name string) (*Dat, error) {
-	if part == nil {
-		return nil, fmt.Errorf("dist: dat %q needs a partition", name)
-	}
-	if dim < 1 {
-		return nil, fmt.Errorf("dist: dat %q has non-positive dimension %d", name, dim)
-	}
-	n := part.set.Size() * dim
-	if values != nil && len(values) != n {
-		return nil, fmt.Errorf("dist: dat %q expects %d values, got %d", name, n, len(values))
-	}
-	d := &Dat{part: part, dim: dim, name: name, data: make([]float64, n)}
-	copy(d.data, values)
-	return d, nil
-}
-
-// Dim returns the per-element dimension.
-func (d *Dat) Dim() int { return d.dim }
-
-// Name returns the dat's name.
-func (d *Dat) Name() string { return d.name }
-
-// Global returns the global storage; owned blocks are authoritative after
-// every collective loop.
-func (d *Dat) Global() []float64 { return d.data }
-
-// elem returns the view of element e.
-func (d *Dat) elem(e int) []float64 { return d.data[e*d.dim : (e+1)*d.dim] }
-
-// Halo partitions the from-set of an indirection (edges, via a map into
-// the partitioned set) and precomputes the exchange pattern for indirect
-// increments: each edge belongs to the rank owning its first target cell;
-// increments its kernel makes to cells owned by other ranks are
-// accumulated into per-destination export buffers and exchanged.
-type Halo struct {
-	part *Partition
-	m    *core.Map
-
-	edges [][]int // edge indices executed by each rank
-
-	// exports[r][s] lists the foreign cells (owned by s) that rank r's
-	// edges increment, in ascending order; the exchange message from r to
-	// s follows this layout.
-	exports [][][]int32
-	// slot[r] maps a foreign cell to its position in exports[r][owner].
-	slot []map[int32]int32
-}
-
-// NewHalo builds the exchange pattern for map m into a partitioned set.
-func NewHalo(part *Partition, m *core.Map) (*Halo, error) {
-	if part == nil || m == nil {
-		return nil, fmt.Errorf("dist: halo needs a partition and a map")
-	}
-	if m.To() != part.Set() {
-		return nil, fmt.Errorf("dist: halo map %q targets set %q, partition is over %q",
-			m.Name(), m.To().Name(), part.Set().Name())
-	}
-	ranks := part.Ranks()
-	h := &Halo{
-		part:    part,
-		m:       m,
-		edges:   make([][]int, ranks),
-		exports: make([][][]int32, ranks),
-		slot:    make([]map[int32]int32, ranks),
-	}
-	foreign := make([]map[int32]bool, ranks)
-	for r := range foreign {
-		foreign[r] = map[int32]bool{}
-		h.exports[r] = make([][]int32, ranks)
-		h.slot[r] = map[int32]int32{}
-	}
-	dim := m.Dim()
-	for e := 0; e < m.From().Size(); e++ {
-		r := part.Owner(m.At(e, 0))
-		h.edges[r] = append(h.edges[r], e)
-		for k := 0; k < dim; k++ {
-			c := m.At(e, k)
-			if part.Owner(c) != r {
-				foreign[r][int32(c)] = true
-			}
-		}
-	}
-	for r := 0; r < ranks; r++ {
-		cells := make([]int32, 0, len(foreign[r]))
-		for c := range foreign[r] {
-			cells = append(cells, c)
-		}
-		sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
-		for _, c := range cells {
-			s := part.Owner(int(c))
-			h.slot[r][c] = int32(len(h.exports[r][s]))
-			h.exports[r][s] = append(h.exports[r][s], c)
-		}
-	}
-	return h, nil
-}
-
-// Part returns the halo's partition.
-func (h *Halo) Part() *Partition { return h.part }
-
-// Map returns the indirection map.
-func (h *Halo) Map() *core.Map { return h.m }
-
-// GatherArg is a replicated argument gathered through a map: D holds one
-// row per target element, and the kernel receives M.Dim() views per
-// iteration-set element (e.g. the four corner coordinates of a cell).
-type GatherArg struct {
-	D *core.Dat
-	M *core.Map
-}
-
-// DirectLoop iterates the partitioned set itself: each rank covers its
-// owned block, reading and writing only owned elements of the distributed
-// Args plus replicated Gather views. ReductionDim > 0 adds a per-rank
-// reduction buffer whose rank-order sum Run returns.
-type DirectLoop struct {
-	Name string
-	Part *Partition
-
-	Args         []*Dat
-	Gather       []GatherArg
-	ReductionDim int
-
-	// Kernel receives the Args views first, then M.Dim() views per
-	// GatherArg, plus the reduction buffer (nil without reductions).
-	Kernel func(v [][]float64, red []float64)
-}
-
-// Run executes the loop on every rank and returns the combined reduction
-// (nil if ReductionDim == 0).
-func (l *DirectLoop) Run(c *Comm) ([]float64, error) {
-	if l.Part == nil || l.Kernel == nil {
-		return nil, fmt.Errorf("dist: loop %q needs a partition and a kernel", l.Name)
-	}
-	nviews := len(l.Args)
-	for _, g := range l.Gather {
-		nviews += g.M.Dim()
-	}
-	partial := make([][]float64, c.Size())
-	err := c.run(func(rank int) error {
-		lo, hi := l.Part.Range(rank)
-		var red []float64
-		if l.ReductionDim > 0 {
-			red = make([]float64, l.ReductionDim)
-			partial[rank] = red
-		}
-		views := make([][]float64, nviews)
-		for e := lo; e < hi; e++ {
-			i := 0
-			for _, d := range l.Args {
-				views[i] = d.elem(e)
-				i++
-			}
-			for _, g := range l.Gather {
-				gd := g.D.Data()
-				gdim := g.D.Dim()
-				for k := 0; k < g.M.Dim(); k++ {
-					t := g.M.At(e, k)
-					views[i] = gd[t*gdim : (t+1)*gdim]
-					i++
-				}
-			}
-			l.Kernel(views, red)
-		}
-		return nil
-	})
-	if err != nil || l.ReductionDim == 0 {
-		return nil, err
-	}
-	total := make([]float64, l.ReductionDim)
-	for _, p := range partial {
-		for i, v := range p {
-			total[i] += v
-		}
-	}
-	return total, nil
-}
-
-// IndirectLoop iterates the from-set of a halo (edges): reads go straight
-// to the authoritative owned blocks, increments to foreign elements are
-// buffered and exchanged — the halo update of OP2's MPI backend.
-type IndirectLoop struct {
-	Name string
-	H    *Halo
-
-	// Direct dats live on the from-set itself (replicated core data).
-	Direct []*core.Dat
-	// Gather args are replicated data gathered through from-set maps.
-	Gather []GatherArg
-	// Reads are distributed dats read through the halo map.
-	Reads []*Dat
-	// Incs are distributed dats incremented through the halo map.
-	Incs []*Dat
-
-	// Kernel view order: Direct, Gather (M.Dim views each), Reads
-	// (H.Map().Dim() views each), Incs (H.Map().Dim() views each).
-	Kernel func(v [][]float64)
-}
-
-// Run executes the loop collectively: kernels, then one exchange phase
-// applying foreign increments in source-rank order (deterministic for a
-// fixed partition, though different from serial edge order).
-func (l *IndirectLoop) Run(c *Comm) error {
-	if l.H == nil || l.Kernel == nil {
-		return fmt.Errorf("dist: loop %q needs a halo and a kernel", l.Name)
-	}
-	h := l.H
-	part := h.part
-	mdim := h.m.Dim()
-	nviews := len(l.Direct)
-	for _, g := range l.Gather {
-		nviews += g.M.Dim()
-	}
-	nviews += (len(l.Reads) + len(l.Incs)) * mdim
-	// Total increment width per foreign cell across all inc dats.
-	incW := 0
-	for _, d := range l.Incs {
-		incW += d.dim
-	}
-	return c.run(func(rank int) error {
-		// Export buffers: one per destination rank, exports[rank][s]
-		// layout, incW floats per foreign cell.
-		sendbuf := make([][]float64, c.Size())
-		for s := range sendbuf {
-			if n := len(h.exports[rank][s]); n > 0 {
-				sendbuf[s] = make([]float64, n*incW)
-			}
-		}
-		foreignView := func(cell int32, off, dim int) []float64 {
-			s := part.Owner(int(cell))
-			pos := int(h.slot[rank][cell])
-			base := pos*incW + off
-			return sendbuf[s][base : base+dim]
-		}
-		views := make([][]float64, nviews)
-		for _, e := range h.edges[rank] {
-			i := 0
-			for _, d := range l.Direct {
-				views[i] = d.Elem(e)
-				i++
-			}
-			for _, g := range l.Gather {
-				gd := g.D.Data()
-				gdim := g.D.Dim()
-				for k := 0; k < g.M.Dim(); k++ {
-					t := g.M.At(e, k)
-					views[i] = gd[t*gdim : (t+1)*gdim]
-					i++
-				}
-			}
-			for _, d := range l.Reads {
-				for k := 0; k < mdim; k++ {
-					views[i] = d.elem(h.m.At(e, k))
-					i++
-				}
-			}
-			off := 0
-			for _, d := range l.Incs {
-				for k := 0; k < mdim; k++ {
-					cell := h.m.At(e, k)
-					if part.Owner(cell) == rank {
-						views[i] = d.elem(cell)
-					} else {
-						views[i] = foreignView(int32(cell), off, d.dim)
-					}
-					i++
-				}
-				off += d.dim
-			}
-			l.Kernel(views)
-		}
-		// Exchange phase: send to every other rank (possibly nil), then
-		// apply received increments in ascending source-rank order.
-		for s := 0; s < c.Size(); s++ {
-			if s != rank {
-				c.send(rank, s, sendbuf[s])
-			}
-		}
-		for src := 0; src < c.Size(); src++ {
-			if src == rank {
-				continue
-			}
-			buf := c.recv(rank, src)
-			cells := h.exports[src][rank]
-			for pos, cell := range cells {
-				base := pos * incW
-				for _, d := range l.Incs {
-					dst := d.elem(int(cell))
-					for j := 0; j < d.dim; j++ {
-						dst[j] += buf[base+j]
-					}
-					base += d.dim
-				}
-			}
-		}
-		return nil
-	})
-}

@@ -1,0 +1,513 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"op2hpx/internal/core"
+	"op2hpx/internal/hpx"
+	"op2hpx/internal/part"
+)
+
+// mailboxDepth bounds how many loops a rank can have queued: the submit
+// goroutine blocks once a mailbox fills, which in turn bounds the
+// messages in flight per pair (see commDepth).
+const mailboxDepth = 16
+
+// TraceFunc observes engine execution phases; used by tests to prove
+// compute/communication overlap and by tools to trace progress. It is
+// called from rank worker goroutines and must be safe for concurrent use.
+// Phases: "interior" (one interior chunk executed), "halo" (about to wait
+// for read-halo messages), "boundary" (one boundary chunk executed),
+// "apply" (increment application done).
+type TraceFunc func(loop string, rank int, phase string)
+
+// Config configures an Engine.
+type Config struct {
+	// Ranks is the number of simulated localities (>= 1).
+	Ranks int
+	// Partitioner assigns set elements to ranks; nil defaults to
+	// part.Block.
+	Partitioner part.Partitioner
+	// BlockSize is the execution-plan block size (it also chunks
+	// interior/boundary execution); 0 defaults to core.DefaultBlockSize.
+	BlockSize int
+	// Transport carries halo messages; nil defaults to an in-process
+	// Comm. Tests substitute delaying transports to prove overlap.
+	Transport Transport
+	// Trace optionally observes execution phases.
+	Trace TraceFunc
+}
+
+// Engine is the owner-compute distributed runtime: every set is
+// partitioned across ranks (for real, or derived through a map), every
+// written dat is sharded into per-rank owned blocks plus an import halo,
+// and each rank is one persistent worker goroutine with a mailbox.
+//
+// Per loop, each rank posts its read-halo exchange as futures, executes
+// its interior elements while the messages are in flight, and gates only
+// the boundary elements and the increment application on halo
+// resolution — the paper's latency-hiding applied to distribution.
+//
+// Loops must be submitted from a single goroutine (the same contract as
+// the dataflow backend): submission order defines both the per-rank
+// execution order and the message matching.
+type Engine struct {
+	ranks       int
+	partitioner part.Partitioner
+	blockSize   int
+	tr          Transport
+	trace       TraceFunc
+
+	mu      sync.Mutex
+	sets    map[*core.Set]*setPart
+	topos   map[*core.Set]*part.Topology
+	dats    map[*core.Dat]*shardedDat
+	plans   map[string]*loopPlan  // structural key: set + args (see loopKey)
+	fenced  map[*core.Global]bool // globals whose Sync/Future fence this engine
+	tail    *hpx.Future[struct{}] // completion of the last submitted loop
+	pending []error               // loop errors not yet delivered to any caller
+	closed  bool
+
+	postMu  sync.Mutex // serializes mailbox posting across submitters
+	workers []*worker
+}
+
+// NewEngine builds a distributed engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Ranks < 1 {
+		return nil, invalidf("engine needs >= 1 rank, got %d", cfg.Ranks)
+	}
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = part.Block{}
+	}
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = core.DefaultBlockSize
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = NewComm(cfg.Ranks)
+	}
+	if cfg.Transport.Size() != cfg.Ranks {
+		return nil, invalidf("transport has %d ranks, engine has %d", cfg.Transport.Size(), cfg.Ranks)
+	}
+	e := &Engine{
+		ranks:       cfg.Ranks,
+		partitioner: cfg.Partitioner,
+		blockSize:   cfg.BlockSize,
+		tr:          cfg.Transport,
+		trace:       cfg.Trace,
+		sets:        map[*core.Set]*setPart{},
+		topos:       map[*core.Set]*part.Topology{},
+		dats:        map[*core.Dat]*shardedDat{},
+		plans:       map[string]*loopPlan{},
+		fenced:      map[*core.Global]bool{},
+	}
+	e.workers = make([]*worker, cfg.Ranks)
+	for r := range e.workers {
+		w := &worker{rank: r, eng: e, mail: make(chan *task, mailboxDepth)}
+		e.workers[r] = w
+		go w.run()
+	}
+	return e, nil
+}
+
+// Ranks reports the number of localities.
+func (e *Engine) Ranks() int { return e.ranks }
+
+// PlanCount reports the number of cached distributed plans (structural
+// keys — inline-declared loops with identical shapes share one).
+func (e *Engine) PlanCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.plans)
+}
+
+// PartitionerName reports the configured partitioner.
+func (e *Engine) PartitionerName() string { return e.partitioner.Name() }
+
+// RegisterTopology attaches mesh information (geometry, adjacency) to a
+// set and partitions it immediately with the configured partitioner.
+// Call it before the first loop over the set; partitioning an
+// already-partitioned set is an error.
+func (e *Engine) RegisterTopology(set *core.Set, topo *part.Topology) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return invalidf("engine is closed")
+	}
+	if e.sets[set] != nil {
+		return invalidf("set %q is already partitioned", set.Name())
+	}
+	if topo == nil {
+		topo = part.NewTopology(set.Size())
+	}
+	if topo.N != set.Size() {
+		return invalidf("topology has %d elements, set %q has %d", topo.N, set.Name(), set.Size())
+	}
+	e.topos[set] = topo
+	_, err := e.ensureRealPartLocked(set)
+	return err
+}
+
+// ensureRealPartLocked partitions set with the configured partitioner
+// (using registered topology when available).
+func (e *Engine) ensureRealPartLocked(set *core.Set) (*setPart, error) {
+	if sp := e.sets[set]; sp != nil {
+		return sp, nil
+	}
+	topo := e.topos[set]
+	if topo == nil {
+		topo = part.NewTopology(set.Size())
+		e.topos[set] = topo
+	}
+	owner, err := e.partitioner.Partition(e.ranks, topo)
+	if err != nil {
+		return nil, invalidf("partitioning set %q with %s: %v (register mesh topology before the first loop)",
+			set.Name(), e.partitioner.Name(), err)
+	}
+	sp := &setPart{set: set, owner: owner, method: e.partitioner.Name(), local: make([]int32, set.Size())}
+	sp.finish(e.ranks)
+	e.sets[set] = sp
+	return sp, nil
+}
+
+// derivePartLocked aligns set with an already-partitioned target: each
+// element is executed by the rank owning its first map target, so
+// indirect accesses through slot 0 are always local.
+func (e *Engine) derivePartLocked(set *core.Set, m *core.Map, target *setPart) *setPart {
+	owner := make([]int32, set.Size())
+	for el := range owner {
+		owner[el] = target.owner[m.At(el, 0)]
+	}
+	sp := &setPart{
+		set: set, owner: owner, derived: true,
+		method: fmt.Sprintf("derived(%s)", m.Name()),
+		local:  make([]int32, set.Size()),
+	}
+	sp.finish(e.ranks)
+	e.sets[set] = sp
+	return sp
+}
+
+// ensureShardedLocked moves a dat into owned+halo storage, scattering the
+// declaration's (still authoritative) global values into the shards and
+// installing the Sync flush that writes them back.
+func (e *Engine) ensureShardedLocked(d *core.Dat) (*shardedDat, error) {
+	if sd := e.dats[d]; sd != nil {
+		return sd, nil
+	}
+	sp := e.sets[d.Set()]
+	if sp == nil {
+		return nil, invalidf("dat %q: set %q is not partitioned", d.Name(), d.Set().Name())
+	}
+	dim := d.Dim()
+	sd := &shardedDat{d: d, sp: sp, owned: make([][]float64, e.ranks), halo: make([][]float64, e.ranks)}
+	global := d.Data()
+	for r := 0; r < e.ranks; r++ {
+		ids := sp.owned[r]
+		buf := make([]float64, len(ids)*dim)
+		for i, id := range ids {
+			copy(buf[i*dim:(i+1)*dim], global[int(id)*dim:(int(id)+1)*dim])
+		}
+		sd.owned[r] = buf
+	}
+	e.dats[d] = sd
+	d.SetFlush(func() error { return e.flushDat(sd) })
+	// Plans that read this dat from its (now stale) global storage must
+	// be rebuilt against the shards.
+	for l, lp := range e.plans {
+		for _, rd := range lp.repl {
+			if rd == d {
+				delete(e.plans, l)
+				break
+			}
+		}
+	}
+	return sd, nil
+}
+
+// waitTail blocks until every submitted loop (including its reduction
+// apply) has completed — the engine-side host fence. It reports the
+// first loop error no caller has observed yet: a failed Async loop
+// whose future was abandoned still surfaces at the next Dat/Global
+// Sync, matching the shared-memory dataflow backend where failures
+// propagate through the version chain. Errors already returned by a
+// synchronous Run are not reported twice.
+func (e *Engine) waitTail() error {
+	e.mu.Lock()
+	tail := e.tail
+	e.mu.Unlock()
+	if tail != nil {
+		tail.Wait() //nolint:errcheck // the pending list below carries undelivered errors
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.pending) > 0 {
+		err := e.pending[0]
+		e.pending = nil
+		return err
+	}
+	return nil
+}
+
+// recordError queues a loop failure for the next fence; ackError removes
+// it once a synchronous caller has received it.
+func (e *Engine) recordError(err error) {
+	e.mu.Lock()
+	e.pending = append(e.pending, err)
+	e.mu.Unlock()
+}
+
+// AckError marks a loop error as delivered so the next host fence does
+// not report it again. Run calls it automatically; callers that observe
+// an Async loop's error through its future should ack it too (the op2
+// facade does).
+func (e *Engine) AckError(err error) {
+	e.mu.Lock()
+	for i, p := range e.pending {
+		if p == err { //nolint:errorlint // identity: the exact instance recorded for this loop
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			break
+		}
+	}
+	e.mu.Unlock()
+}
+
+// fenceGlobalLocked makes the global's Sync and Future wait for the
+// engine: reductions are applied by the driver outside the version
+// chain, so without this fence a host read could race the apply.
+func (e *Engine) fenceGlobalLocked(g *core.Global) {
+	if e.fenced[g] {
+		return
+	}
+	e.fenced[g] = true
+	g.SetFlush(e.waitTail)
+}
+
+// fenceReplicatedLocked makes a replicated dat's Sync and Future wait
+// for the engine: its loops never register in the dat's version chain,
+// so without this fence a host could mutate Data() while rank workers
+// are still reading it. If the dat is later sharded, ensureShardedLocked
+// replaces this with the full flush (which begins with the same wait).
+func (e *Engine) fenceReplicatedLocked(d *core.Dat) {
+	d.SetFlush(e.waitTail)
+}
+
+// flushDat waits for every submitted loop and writes the owned shards
+// back into the dat's global storage, making Data() authoritative again.
+func (e *Engine) flushDat(sd *shardedDat) error {
+	if err := e.waitTail(); err != nil {
+		return err
+	}
+	dim := sd.d.Dim()
+	global := sd.d.Data()
+	for r := 0; r < e.ranks; r++ {
+		for i, id := range sd.sp.owned[r] {
+			copy(global[int(id)*dim:(int(id)+1)*dim], sd.owned[r][i*dim:(i+1)*dim])
+		}
+	}
+	return nil
+}
+
+// Run executes the loop collectively across all ranks and returns once
+// every rank (and the reduction combine) has completed.
+func (e *Engine) Run(ctx context.Context, l *core.Loop) error {
+	err := e.RunAsync(ctx, l).Wait()
+	if err != nil {
+		e.AckError(err) // delivered here; don't re-report at the next fence
+	}
+	return err
+}
+
+// RunAsync submits the loop and returns its completion future. Loops
+// pipeline: a rank that finished its share of loop N proceeds to loop
+// N+1 while other ranks are still in N — messages stay matched because
+// every pair's channel is FIFO and every worker processes loops in
+// submission order.
+func (e *Engine) RunAsync(ctx context.Context, l *core.Loop) *hpx.Future[struct{}] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		err := invalidf("engine is closed")
+		e.recordError(err) // surfaces at the next fence even if the future is abandoned
+		return hpx.MakeErr[struct{}](err)
+	}
+	lp, err := e.planLocked(l)
+	if err != nil {
+		e.mu.Unlock()
+		e.recordError(err) // ditto: an abandoned plan-error future must not vanish
+		return hpx.MakeErr[struct{}](err)
+	}
+	prev := e.tail
+	pLoop, fLoop := hpx.NewPromise[struct{}]()
+	e.tail = fLoop
+	e.mu.Unlock()
+
+	var gate hpx.Waiter
+	if lp.gate && prev != nil {
+		gate = prev
+	}
+	dones := make([]*hpx.Future[[]float64], e.ranks)
+	tasks := make([]*task, e.ranks)
+	for r := 0; r < e.ranks; r++ {
+		p, f := hpx.NewPromise[[]float64]()
+		dones[r] = f
+		tasks[r] = &task{ctx: ctx, lp: lp, kernel: l.Kernel, gate: gate, done: p}
+	}
+	// Post in rank order under postMu so concurrent submitters cannot
+	// interleave two loops' tasks differently on different mailboxes.
+	e.postMu.Lock()
+	for r, t := range tasks {
+		e.workers[r].mail <- t
+	}
+	e.postMu.Unlock()
+
+	go func() {
+		if prev != nil {
+			prev.Wait() //nolint:errcheck // ordering only: this loop reports its own errors
+		}
+		var firstErr error
+		bufs := make([][]float64, e.ranks)
+		for r, f := range dones {
+			v, err := f.Get()
+			bufs[r] = v
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr == nil && lp.gbl.size > 0 {
+			e.applyReductions(lp, bufs)
+		}
+		if firstErr != nil {
+			e.recordError(firstErr) // before resolving, so Run can ack it
+			pLoop.SetErr(firstErr)
+			return
+		}
+		pLoop.Set(struct{}{})
+	}()
+	return fLoop
+}
+
+// applyReductions folds the per-rank reduction buffers into the global
+// variables. Inc reductions fold per-element contributions in the serial
+// plan order — bitwise-identical to the serial backend for kernels that
+// accumulate once per element — while pure Min/Max reductions combine
+// per-rank partials up a binary tree (min and max are associative, so
+// the tree shape cannot change the result).
+func (e *Engine) applyReductions(lp *loopPlan, bufs [][]float64) {
+	size := lp.gbl.size
+	acc := make([]float64, size)
+	copy(acc, lp.gbl.init)
+	if lp.needElementwise {
+		for _, el := range lp.foldOrder {
+			r := lp.itsp.owner[el]
+			s := bufs[r][int(lp.execPos[el])*size : (int(lp.execPos[el])+1)*size]
+			lp.combineScratch(acc, s)
+		}
+	} else {
+		// Tree combine across rank partials.
+		partials := make([][]float64, e.ranks)
+		for r := range partials {
+			if bufs[r] != nil {
+				partials[r] = bufs[r]
+			} else {
+				p := make([]float64, size)
+				copy(p, lp.gbl.init)
+				partials[r] = p
+			}
+		}
+		for stride := 1; stride < e.ranks; stride *= 2 {
+			for r := 0; r+stride < e.ranks; r += 2 * stride {
+				lp.combineScratch(partials[r], partials[r+stride])
+			}
+		}
+		lp.combineScratch(acc, partials[0])
+	}
+	for i := range lp.args {
+		ap := &lp.args[i]
+		if ap.kind != argGblReduce {
+			continue
+		}
+		g := ap.g.Data()
+		core.ReduceCombine(lp.l.Args[i].Acc(), g[:ap.dim], acc[ap.off:ap.off+ap.dim])
+	}
+}
+
+// combineScratch folds scratch s into acc, argument by argument, with
+// the same merge definition every backend shares (core.ReduceCombine).
+func (lp *loopPlan) combineScratch(acc, s []float64) {
+	for i := range lp.args {
+		ap := &lp.args[i]
+		if ap.kind != argGblReduce {
+			continue
+		}
+		core.ReduceCombine(lp.l.Args[i].Acc(), acc[ap.off:ap.off+ap.dim], s[ap.off:ap.off+ap.dim])
+	}
+}
+
+// Close drains submitted loops and stops the rank workers. Idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	tail := e.tail
+	e.mu.Unlock()
+	if tail != nil {
+		tail.Wait() //nolint:errcheck // draining; loop errors were reported to their callers
+	}
+	for _, w := range e.workers {
+		close(w.mail)
+	}
+	return nil
+}
+
+// SetStats reports one partitioned set: how many elements each rank owns,
+// how large each rank's import halo has grown, and — when the set was
+// partitioned for real over a registered topology — the edge-cut and
+// imbalance of the partition.
+type SetStats struct {
+	Set       string
+	Method    string
+	Derived   bool
+	Owned     []int
+	Halo      []int
+	EdgeCut   int // -1 when no adjacency is known
+	Imbalance float64
+}
+
+// Stats returns the partitioning state of every set the engine has seen,
+// sorted by set name.
+func (e *Engine) Stats() []SetStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]SetStats, 0, len(e.sets))
+	for set, sp := range e.sets {
+		st := SetStats{
+			Set:       set.Name(),
+			Method:    sp.method,
+			Derived:   sp.derived,
+			Owned:     make([]int, e.ranks),
+			Halo:      make([]int, e.ranks),
+			EdgeCut:   -1,
+			Imbalance: part.Imbalance(sp.owner, e.ranks),
+		}
+		for r := 0; r < e.ranks; r++ {
+			st.Owned[r] = len(sp.owned[r])
+			st.Halo[r] = len(sp.haloIDs[r])
+		}
+		if topo := e.topos[set]; topo != nil && topo.HasAdjacency() {
+			st.EdgeCut = part.EdgeCut(sp.owner, topo)
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Set < out[j].Set })
+	return out
+}

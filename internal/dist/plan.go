@@ -1,0 +1,651 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"op2hpx/internal/core"
+)
+
+// ErrInvalid classifies plan-time failures of the distributed engine:
+// unsupported access modes, partitioners missing topology information,
+// loops without a generic kernel. The public facade maps it onto
+// op2.ErrValidation.
+var ErrInvalid = errors.New("dist: invalid configuration")
+
+func invalidf(format string, a ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrInvalid}, a...)...)
+}
+
+// setPart is the ownership of one set: every element belongs to exactly
+// one rank. Real partitions come from a part.Partitioner; derived
+// partitions follow a map into an already-partitioned set (each element
+// executes on the rank owning its first map target), which is how
+// iteration sets like edges align with the data they increment.
+type setPart struct {
+	set     *core.Set
+	owner   []int32   // global element → owning rank
+	owned   [][]int32 // rank → its elements, ascending global id
+	local   []int32   // global element → index within its owner's block
+	derived bool
+	method  string
+
+	// Import-halo directory, shared by every dat on the set: slots are
+	// assigned the first time a loop plan imports an element and stay
+	// stable afterwards, so halo storage only ever grows.
+	haloSlot []map[int32]int32 // per rank: global id → halo slot
+	haloIDs  [][]int32         // per rank: halo slot → global id
+}
+
+// finish populates the derived ownership tables for a fixed rank count.
+func (sp *setPart) finish(ranks int) {
+	sp.owned = make([][]int32, ranks)
+	sp.haloSlot = make([]map[int32]int32, ranks)
+	sp.haloIDs = make([][]int32, ranks)
+	for r := range sp.haloSlot {
+		sp.haloSlot[r] = map[int32]int32{}
+	}
+	for e, r := range sp.owner {
+		sp.local[e] = int32(len(sp.owned[r]))
+		sp.owned[r] = append(sp.owned[r], int32(e))
+	}
+}
+
+// slotFor returns rank r's halo slot for global element id, assigning a
+// new one on first use. Called only while the engine lock is held (plan
+// construction); workers consume the precomputed slot numbers.
+func (sp *setPart) slotFor(r int, id int32) int32 {
+	if s, ok := sp.haloSlot[r][id]; ok {
+		return s
+	}
+	s := int32(len(sp.haloIDs[r]))
+	sp.haloSlot[r][id] = s
+	sp.haloIDs[r] = append(sp.haloIDs[r], id)
+	return s
+}
+
+// shardedDat is a dat under owned+halo storage: rank r holds the values
+// of its owned elements in owned[r] (indexed by local id) plus an import
+// halo in halo[r] (indexed by the set's halo slots). The declaration's
+// global array is stale between flushes; the shards are authoritative.
+type shardedDat struct {
+	d     *core.Dat
+	sp    *setPart
+	owned [][]float64
+	halo  [][]float64 // grown and touched only by the owning rank's worker
+}
+
+// argKind classifies a loop argument for distributed execution.
+type argKind int
+
+const (
+	argGblRead      argKind = iota // global parameter, read-only
+	argGblReduce                   // global reduction (Inc/Min/Max)
+	argDirect                      // direct access to a sharded dat
+	argDirectRepl                  // direct read of a replicated dat
+	argIndirect                    // indirect read of a sharded dat (owned or halo)
+	argIndirectRepl                // indirect read of a replicated dat
+	argInc                         // indirect increment of a sharded dat (buffered)
+)
+
+type argPlan struct {
+	kind argKind
+	dim  int
+	g    *core.Global
+	d    *core.Dat   // replicated storage (repl kinds)
+	sd   *shardedDat // sharded storage (direct/indirect/inc kinds)
+	m    *core.Map
+	idx  int
+	off  int // scratch offset (argGblReduce)
+	ia   int // dense increment-arg index (argInc)
+}
+
+// gblLayout mirrors the core scratch layout for reducing global args.
+type gblLayout struct {
+	size int
+	init []float64
+}
+
+// loopPlan is the distributed execution plan of one loop: ownership and
+// interior/boundary split of the iteration set, localized argument
+// tables per rank, the read-halo and increment exchange schedules, and
+// the serial-order apply and reduction metadata that keep the results
+// bitwise-identical to the shared-memory backends.
+type loopPlan struct {
+	l    *core.Loop
+	name string
+	itsp *setPart
+
+	args    []argPlan
+	incArgs []int         // arg indices with kind argInc, in arg order
+	readSDs []*shardedDat // distinct sharded dats read indirectly, in arg order
+	repl    []*core.Dat   // dats read as replicated (plan invalidated if sharded later)
+
+	gbl             gblLayout
+	needElementwise bool  // any Inc global: reduction folds per element in serial order
+	gate            bool  // loop touches globals: workers wait for the previous loop
+	foldOrder       []int // serial element order (plan colors/blocks/elements)
+	execPos         []int32
+
+	ranks []*rankPlan
+}
+
+// applyList is one rank's increment application schedule, in the serial
+// plan order of the contributing elements: entry i adds the dim(arg[i])
+// contribution found at position pos[i] of source src[i]'s stream for
+// increment-arg arg[i] onto owned element target[i].
+type applyList struct {
+	arg    []int32
+	target []int32
+	src    []int32
+	pos    []int32
+}
+
+type readSendPart struct {
+	sd     *shardedDat
+	locals []int32 // owned local indices to gather, ascending global id
+}
+
+type readRecvPart struct {
+	sd    *shardedDat
+	slots []int32 // halo slots to scatter into, ascending global id
+}
+
+type incSendPart struct {
+	ia  int
+	pos []int32 // exec positions into incBuf[ia], ascending global element id
+}
+
+type haloNeed struct {
+	sd    *shardedDat
+	slots int
+}
+
+// rankPlan is the per-rank slice of a loopPlan. incBuf is reused across
+// invocations (zeroed at task start); it is only ever touched by this
+// rank's worker, which processes loops strictly in order.
+type rankPlan struct {
+	rank      int
+	elems     []int32 // interior ++ boundary, in serial plan order
+	ninterior int
+	loc       [][]int32 // per arg: localized index per exec position (nil for kinds without a table)
+
+	haloNeed []haloNeed
+	incBuf   [][]float64 // per dense increment-arg index
+	// redBuf is the reduction scratch, lazily allocated and reused by
+	// this rank's worker. Reuse is race-free because every loop with
+	// global args gates on the previous loop's completion future, which
+	// resolves only after the driver has folded the previous buffers.
+	redBuf []float64
+
+	readSendTo   [][]readSendPart // per dst rank; empty = no message
+	readSendLen  []int            // floats per dst
+	readRecvFrom [][]readRecvPart // per src rank
+	readRecvLen  []int
+
+	incSendTo  [][]incSendPart // per dst rank
+	incSendLen []int
+	incRecvOff [][]int32 // per src rank: float offset of each dense inc arg's segment
+	incRecvLen []int
+
+	apply applyList
+}
+
+// loopKey identifies a distributed plan structurally: the iteration set
+// and the (dat/global, map, index, access) shape of every argument.
+// Loops declared inline each timestep therefore share one cached plan
+// instead of growing the cache without bound; the kernel is not part of
+// the key (it travels with each task).
+func loopKey(l *core.Loop) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%p", l.Set)
+	for _, a := range l.Args {
+		if a.IsGlobal() {
+			fmt.Fprintf(&b, "|g%p:%d", a.Global(), a.Acc())
+		} else {
+			fmt.Fprintf(&b, "|d%p:%p:%d:%d", a.Dat(), a.Map(), a.Idx(), a.Acc())
+		}
+	}
+	return b.String()
+}
+
+// planLocked returns the cached distributed plan for l, building it (and
+// any ownership, sharding and halo state it needs) on first use. The
+// engine lock must be held.
+func (e *Engine) planLocked(l *core.Loop) (*loopPlan, error) {
+	if l.Kernel == nil {
+		return nil, invalidf("loop %q: distributed execution needs a generic Kernel (a specialized Body indexes host storage directly)", l.Name)
+	}
+	key := loopKey(l)
+	if lp, ok := e.plans[key]; ok {
+		return lp, nil
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	R := e.ranks
+
+	// Ownership first: target sets of indirect accesses that are (or are
+	// about to be) sharded must be partitioned before the iteration set
+	// can derive from them.
+	for _, a := range l.Args {
+		if a.IsGlobal() || a.Map() == nil {
+			continue
+		}
+		switch a.Acc() {
+		case core.Read, core.Inc:
+		default:
+			return nil, invalidf("loop %q: indirect %v access is not supported distributed (owner-compute needs Read or Inc through maps)", l.Name, a.Acc())
+		}
+		if a.Acc() == core.Inc || e.dats[a.Dat()] != nil {
+			if _, err := e.ensureRealPartLocked(a.Dat().Set()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Intra-loop aliasing the engine cannot replay: serial applies
+	// increments and direct writes immediately, so a later element's
+	// read can observe them; owner-compute buffers increments and
+	// snapshots read-halos before any kernel runs. A loop that both
+	// writes a dat (inc or direct write) and reads it through a map (or
+	// reads an incremented dat at all) would silently diverge from the
+	// serial backend, so reject it instead.
+	incd := map[*core.Dat]bool{}
+	directWrite := map[*core.Dat]bool{}
+	indirectRead := map[*core.Dat]bool{}
+	for _, a := range l.Args {
+		if a.IsGlobal() {
+			continue
+		}
+		switch {
+		case a.Map() != nil && a.Acc() == core.Inc:
+			incd[a.Dat()] = true
+		case a.Map() == nil && a.Acc() != core.Read:
+			directWrite[a.Dat()] = true
+		case a.Map() != nil && a.Acc() == core.Read:
+			indirectRead[a.Dat()] = true
+		}
+	}
+	for _, a := range l.Args {
+		if !a.IsGlobal() && a.Acc() != core.Inc && incd[a.Dat()] {
+			return nil, invalidf("loop %q: dat %q is both read and incremented; distributed increments are buffered, so reads would not observe them as the serial backend's do", l.Name, a.Dat().Name())
+		}
+	}
+	for d := range directWrite {
+		if indirectRead[d] {
+			return nil, invalidf("loop %q: dat %q is written directly and read through a map; the distributed halo snapshot would not observe the writes as the serial backend's reads do", l.Name, d.Name())
+		}
+	}
+	itsp := e.sets[l.Set]
+	if itsp == nil {
+		// Derive the iteration set's ownership from the first indirect
+		// arg whose target is partitioned (owner of map slot 0), so
+		// elements execute where their data lives; otherwise partition
+		// it for real.
+		for _, a := range l.Args {
+			if a.IsGlobal() || a.Map() == nil {
+				continue
+			}
+			if tsp := e.sets[a.Dat().Set()]; tsp != nil {
+				itsp = e.derivePartLocked(l.Set, a.Map(), tsp)
+				break
+			}
+		}
+		if itsp == nil {
+			var err error
+			if itsp, err = e.ensureRealPartLocked(l.Set); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Shard every dat the loop writes; everything else read-only stays
+	// replicated until some later loop writes it.
+	for _, a := range l.Args {
+		if a.IsGlobal() || a.Acc() == core.Read {
+			continue
+		}
+		if _, err := e.ensureShardedLocked(a.Dat()); err != nil {
+			return nil, err
+		}
+	}
+
+	lp := &loopPlan{l: l, name: l.Name, itsp: itsp, execPos: make([]int32, l.Set.Size())}
+	lp.args = make([]argPlan, len(l.Args))
+	seenReadSD := map[*shardedDat]bool{}
+	seenRepl := map[*core.Dat]bool{}
+	for i, a := range l.Args {
+		ap := &lp.args[i]
+		switch {
+		case a.IsGlobal():
+			g := a.Global()
+			ap.g, ap.dim = g, g.Dim()
+			lp.gate = true
+			e.fenceGlobalLocked(g)
+			if a.Acc() == core.Read {
+				ap.kind = argGblRead
+				continue
+			}
+			ap.kind = argGblReduce
+			ap.off = lp.gbl.size
+			lp.gbl.size += g.Dim()
+			for k := 0; k < g.Dim(); k++ {
+				lp.gbl.init = append(lp.gbl.init, core.ReduceInit(a.Acc()))
+			}
+			if a.Acc() == core.Inc {
+				lp.needElementwise = true
+			}
+		case a.Map() == nil:
+			d := a.Dat()
+			ap.dim = d.Dim()
+			if sd := e.dats[d]; sd != nil {
+				ap.kind, ap.sd = argDirect, sd
+			} else {
+				ap.kind, ap.d = argDirectRepl, d
+				if !seenRepl[d] {
+					seenRepl[d] = true
+					lp.repl = append(lp.repl, d)
+					e.fenceReplicatedLocked(d)
+				}
+			}
+		default:
+			d := a.Dat()
+			ap.dim, ap.m, ap.idx = d.Dim(), a.Map(), a.Idx()
+			sd := e.dats[d]
+			switch {
+			case a.Acc() == core.Inc:
+				ap.kind, ap.sd = argInc, sd
+				ap.ia = len(lp.incArgs)
+				lp.incArgs = append(lp.incArgs, i)
+			case sd != nil:
+				ap.kind, ap.sd = argIndirect, sd
+				if !seenReadSD[sd] {
+					seenReadSD[sd] = true
+					lp.readSDs = append(lp.readSDs, sd)
+				}
+			default:
+				ap.kind, ap.d = argIndirectRepl, d
+				if !seenRepl[d] {
+					seenRepl[d] = true
+					lp.repl = append(lp.repl, d)
+					e.fenceReplicatedLocked(d)
+				}
+			}
+		}
+	}
+
+	// The serial execution order and the interior/boundary split: an
+	// element is interior when every sharded read it performs stays on
+	// its home rank.
+	plan, err := core.LoopPlan(l, e.blockSize)
+	if err != nil {
+		return nil, err
+	}
+	home := func(el int) int { return int(itsp.owner[el]) }
+	interior := func(el int) bool {
+		r := itsp.owner[el]
+		for i := range lp.args {
+			ap := &lp.args[i]
+			if ap.kind != argIndirect {
+				continue
+			}
+			if ap.sd.sp.owner[ap.m.At(el, ap.idx)] != r {
+				return false
+			}
+		}
+		return true
+	}
+	pp := plan.PartitionOrder(R, home, interior)
+	lp.foldOrder = pp.Order
+
+	lp.ranks = make([]*rankPlan, R)
+	for r := 0; r < R; r++ {
+		rp := &rankPlan{rank: r, ninterior: len(pp.Interior[r])}
+		rp.elems = make([]int32, 0, len(pp.Interior[r])+len(pp.Boundary[r]))
+		for _, el := range pp.Interior[r] {
+			rp.elems = append(rp.elems, int32(el))
+		}
+		for _, el := range pp.Boundary[r] {
+			rp.elems = append(rp.elems, int32(el))
+		}
+		for i, el := range rp.elems {
+			lp.execPos[el] = int32(i)
+		}
+		lp.ranks[r] = rp
+	}
+
+	e.buildLocators(lp)
+	e.buildReadExchange(lp)
+	e.buildIncExchange(lp)
+
+	e.plans[key] = lp
+	return lp, nil
+}
+
+// buildLocators fills the per-rank localized argument tables and
+// allocates the increment contribution buffers.
+func (e *Engine) buildLocators(lp *loopPlan) {
+	for _, rp := range lp.ranks {
+		r := rp.rank
+		n := len(rp.elems)
+		rp.loc = make([][]int32, len(lp.args))
+		rp.incBuf = make([][]float64, len(lp.incArgs))
+		for ai := range lp.args {
+			ap := &lp.args[ai]
+			switch ap.kind {
+			case argDirect:
+				t := make([]int32, n)
+				for i, el := range rp.elems {
+					t[i] = lp.itsp.local[el]
+				}
+				rp.loc[ai] = t
+			case argDirectRepl:
+				t := make([]int32, n)
+				for i, el := range rp.elems {
+					t[i] = el
+				}
+				rp.loc[ai] = t
+			case argIndirectRepl:
+				t := make([]int32, n)
+				for i, el := range rp.elems {
+					t[i] = int32(ap.m.At(int(el), ap.idx))
+				}
+				rp.loc[ai] = t
+			case argIndirect:
+				sp := ap.sd.sp
+				t := make([]int32, n)
+				for i, el := range rp.elems {
+					tgt := int32(ap.m.At(int(el), ap.idx))
+					if sp.owner[tgt] == int32(r) {
+						t[i] = sp.local[tgt]
+					} else {
+						t[i] = -sp.slotFor(r, tgt) - 1
+					}
+				}
+				rp.loc[ai] = t
+			case argInc:
+				rp.incBuf[ap.ia] = make([]float64, n*ap.dim)
+			}
+		}
+		// Snapshot the halo sizes the read tables above may have grown to.
+		seen := map[*shardedDat]bool{}
+		for ai := range lp.args {
+			ap := &lp.args[ai]
+			if ap.kind != argIndirect || seen[ap.sd] {
+				continue
+			}
+			seen[ap.sd] = true
+			rp.haloNeed = append(rp.haloNeed, haloNeed{sd: ap.sd, slots: len(ap.sd.sp.haloIDs[r])})
+		}
+	}
+}
+
+// buildReadExchange derives, for every rank pair, which owned values must
+// travel before boundary elements can execute: rank r imports exactly the
+// halo ids its locators reference, grouped by owning rank, in ascending
+// global id — the same canonical order on both sides, so messages carry
+// raw values with no headers.
+func (e *Engine) buildReadExchange(lp *loopPlan) {
+	R := e.ranks
+	for _, rp := range lp.ranks {
+		rp.readSendTo = make([][]readSendPart, R)
+		rp.readSendLen = make([]int, R)
+		rp.readRecvFrom = make([][]readRecvPart, R)
+		rp.readRecvLen = make([]int, R)
+	}
+	for _, rp := range lp.ranks {
+		r := rp.rank
+		for _, sd := range lp.readSDs {
+			sp := sd.sp
+			// Halo ids of this dat referenced by rank r's tables.
+			need := map[int32]bool{}
+			for ai := range lp.args {
+				ap := &lp.args[ai]
+				if ap.kind != argIndirect || ap.sd != sd {
+					continue
+				}
+				for _, v := range rp.loc[ai] {
+					if v < 0 {
+						need[sp.haloIDs[r][-v-1]] = true
+					}
+				}
+			}
+			if len(need) == 0 {
+				continue
+			}
+			ids := make([]int32, 0, len(need))
+			for id := range need {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			// Group by owner, preserving ascending id within each group.
+			for s := 0; s < R; s++ {
+				var group []int32
+				for _, id := range ids {
+					if int(sp.owner[id]) == s {
+						group = append(group, id)
+					}
+				}
+				if len(group) == 0 {
+					continue
+				}
+				slots := make([]int32, len(group))
+				locals := make([]int32, len(group))
+				for i, id := range group {
+					slots[i] = sp.haloSlot[r][id]
+					locals[i] = sp.local[id]
+				}
+				rp.readRecvFrom[s] = append(rp.readRecvFrom[s], readRecvPart{sd: sd, slots: slots})
+				rp.readRecvLen[s] += len(group) * sd.d.Dim()
+				srp := lp.ranks[s]
+				srp.readSendTo[r] = append(srp.readSendTo[r], readSendPart{sd: sd, locals: locals})
+				srp.readSendLen[r] += len(group) * sd.d.Dim()
+			}
+		}
+	}
+}
+
+// buildIncExchange derives the increment routing: which buffered
+// contributions each rank exports to which owner, and — on the owner —
+// the apply schedule that folds local and imported contributions into
+// the owned values in exactly the serial plan order.
+func (e *Engine) buildIncExchange(lp *loopPlan) {
+	R := e.ranks
+	nia := len(lp.incArgs)
+	for _, rp := range lp.ranks {
+		rp.incSendTo = make([][]incSendPart, R)
+		rp.incSendLen = make([]int, R)
+		rp.incRecvOff = make([][]int32, R)
+		rp.incRecvLen = make([]int, R)
+	}
+	if nia == 0 {
+		return
+	}
+	// Export lists per (source rank, owner rank, inc arg), in ascending
+	// global element id: the canonical message order both sides derive.
+	type key struct {
+		s, o, ia int
+	}
+	exports := map[key][]int32{}
+	for _, rp := range lp.ranks {
+		s := rp.rank
+		sorted := append([]int32(nil), rp.elems...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, ia := range lp.incArgs {
+			ap := &lp.args[ia]
+			sp := ap.sd.sp
+			for _, el := range sorted {
+				o := int(sp.owner[ap.m.At(int(el), ap.idx)])
+				if o != s {
+					k := key{s, o, ap.ia}
+					exports[k] = append(exports[k], el)
+				}
+			}
+		}
+	}
+	// Positions of exported elements within their (s,o,ia) stream.
+	expPos := map[key]map[int32]int32{}
+	for k, ids := range exports {
+		m := make(map[int32]int32, len(ids))
+		for i, el := range ids {
+			m[el] = int32(i)
+		}
+		expPos[k] = m
+	}
+	// Sender pack schedules and receiver segment offsets.
+	for _, rp := range lp.ranks {
+		s := rp.rank
+		for o := 0; o < R; o++ {
+			if o == s {
+				continue
+			}
+			off := int32(0)
+			var offs []int32
+			any := false
+			for ia := 0; ia < nia; ia++ {
+				ids := exports[key{s, o, ia}]
+				dim := lp.args[lp.incArgs[ia]].dim
+				offs = append(offs, off)
+				if len(ids) > 0 {
+					pos := make([]int32, len(ids))
+					for i, el := range ids {
+						pos[i] = lp.execPos[el]
+					}
+					rp.incSendTo[o] = append(rp.incSendTo[o], incSendPart{ia: ia, pos: pos})
+					off += int32(len(ids) * dim)
+					any = true
+				}
+			}
+			if any {
+				rp.incSendLen[o] = int(off)
+				orp := lp.ranks[o]
+				orp.incRecvOff[s] = offs
+				orp.incRecvLen[s] = int(off)
+			}
+		}
+	}
+	// Apply schedules: walk every element in serial plan order; each
+	// contribution targeting an owned element is folded in, whether it
+	// was computed locally or arrives in a message.
+	for _, el := range lp.foldOrder {
+		s := int(lp.itsp.owner[el])
+		for ia := 0; ia < nia; ia++ {
+			ap := &lp.args[lp.incArgs[ia]]
+			sp := ap.sd.sp
+			tgt := int32(ap.m.At(el, ap.idx))
+			o := int(sp.owner[tgt])
+			orp := lp.ranks[o]
+			var pos int32
+			if o == s {
+				pos = lp.execPos[el]
+			} else {
+				pos = expPos[key{s, o, ia}][int32(el)]
+			}
+			orp.apply.arg = append(orp.apply.arg, int32(ia))
+			orp.apply.target = append(orp.apply.target, sp.local[tgt])
+			orp.apply.src = append(orp.apply.src, int32(s))
+			orp.apply.pos = append(orp.apply.pos, pos)
+		}
+	}
+}

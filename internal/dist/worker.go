@@ -1,0 +1,314 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+
+	"op2hpx/internal/hpx"
+)
+
+// task is one loop posted to a rank worker. done resolves with the
+// rank's reduction buffer (nil when the loop has none) or its error.
+// kernel is the submitted loop's kernel — plans are cached structurally
+// and shared between loops with identical argument shapes, so the
+// kernel travels per submission, not with the plan.
+type task struct {
+	ctx    context.Context
+	lp     *loopPlan
+	kernel func(views [][]float64)
+	gate   hpx.Waiter // completion of the previous loop, when globals are involved
+	done   *hpx.Promise[[]float64]
+}
+
+// worker is one persistent rank: a long-lived goroutine draining a
+// mailbox of loop tasks in submission order. There is no fork/join per
+// loop — a rank that finished loop N moves straight on to loop N+1.
+type worker struct {
+	rank int
+	eng  *Engine
+	mail chan *task
+}
+
+func (w *worker) run() {
+	for t := range w.mail {
+		buf, err := w.exec(t)
+		if err != nil {
+			t.done.SetErr(err)
+		} else {
+			t.done.Set(buf)
+		}
+	}
+}
+
+// exec runs one loop on this rank. The message protocol (sends and
+// receives) always runs to completion — even when computation is skipped
+// because of cancellation, a kernel panic or an upstream failure — so
+// every pair's FIFO channel stays aligned for the loops that follow;
+// skipped computation just exports zero contributions.
+func (w *worker) exec(t *task) (redBuf []float64, err error) {
+	lp, r, eng := t.lp, w.rank, w.eng
+	rp := lp.ranks[r]
+	fail := func(e error) {
+		if err == nil && e != nil {
+			err = e
+		}
+	}
+
+	if t.gate != nil {
+		if werr := hpx.WaitAllCtx(t.ctx, t.gate); werr != nil && t.ctx.Err() != nil {
+			fail(fmt.Errorf("dist: loop %q canceled on rank %d: %w", lp.name, r, t.ctx.Err()))
+			// Still drain the gate (the previous loop always completes):
+			// the storage below — in particular the reused reduction
+			// buffer — must not be touched while the previous loop's
+			// driver-side fold may still be reading it.
+			t.gate.Wait() //nolint:errcheck // ordering only
+		}
+		// A failed predecessor is ordering-only here; this loop reports
+		// its own errors.
+	}
+
+	// Storage upkeep: grow this rank's halos to the plan's slot counts,
+	// clear the increment buffers, lay out the reduction scratch.
+	for _, hn := range rp.haloNeed {
+		dim := hn.sd.d.Dim()
+		if want := hn.slots * dim; len(hn.sd.halo[r]) < want {
+			grown := make([]float64, want)
+			copy(grown, hn.sd.halo[r])
+			hn.sd.halo[r] = grown
+		}
+	}
+	for _, b := range rp.incBuf {
+		clear(b)
+	}
+	size := lp.gbl.size
+	if size > 0 {
+		want := size
+		if lp.needElementwise {
+			want = len(rp.elems) * size
+		}
+		if len(rp.redBuf) < want {
+			rp.redBuf = make([]float64, want)
+		}
+		redBuf = rp.redBuf[:want]
+		for i := 0; i < want; i += size {
+			copy(redBuf[i:i+size], lp.gbl.init)
+		}
+	}
+	views := make([][]float64, len(lp.args))
+	for ai := range lp.args {
+		ap := &lp.args[ai]
+		switch ap.kind {
+		case argGblRead:
+			views[ai] = ap.g.Data()
+		case argGblReduce:
+			if !lp.needElementwise {
+				views[ai] = redBuf[ap.off : ap.off+ap.dim]
+			}
+		}
+	}
+
+	// Phase 1: post the read-halo exchange — owned values out, import
+	// futures in. Nothing blocks here.
+	for dst := 0; dst < eng.ranks; dst++ {
+		if rp.readSendLen[dst] == 0 {
+			continue
+		}
+		msg := make([]float64, 0, rp.readSendLen[dst])
+		for _, pt := range rp.readSendTo[dst] {
+			dim := pt.sd.d.Dim()
+			own := pt.sd.owned[r]
+			for _, l := range pt.locals {
+				msg = append(msg, own[int(l)*dim:(int(l)+1)*dim]...)
+			}
+		}
+		fail(eng.tr.Send(r, dst, msg))
+	}
+	var readFuts []*hpx.Future[[]float64]
+	var readSrcs []int
+	for src := 0; src < eng.ranks; src++ {
+		if rp.readRecvLen[src] == 0 {
+			continue
+		}
+		readFuts = append(readFuts, eng.tr.Recv(r, src))
+		readSrcs = append(readSrcs, src)
+	}
+
+	// Phase 2: interior elements execute while halo messages are in
+	// flight — the paper's overlap, applied to communication latency.
+	if err == nil {
+		fail(w.runChunks(t, redBuf, views, 0, rp.ninterior, "interior"))
+	}
+
+	// Phase 3: gate on halo resolution, scatter imports into halo slots.
+	if len(readFuts) > 0 {
+		if tr := eng.trace; tr != nil {
+			tr(lp.name, r, "halo")
+		}
+		ws := make([]hpx.Waiter, len(readFuts))
+		for i, f := range readFuts {
+			ws[i] = f
+		}
+		werr := hpx.WaitAllCtx(t.ctx, ws...)
+		if werr != nil {
+			fail(fmt.Errorf("dist: loop %q rank %d read-halo exchange: %w", lp.name, r, werr))
+		} else if err == nil {
+			for i, f := range readFuts {
+				msg := f.MustGet()
+				off := 0
+				for _, pt := range rp.readRecvFrom[readSrcs[i]] {
+					dim := pt.sd.d.Dim()
+					halo := pt.sd.halo[r]
+					for _, s := range pt.slots {
+						copy(halo[int(s)*dim:(int(s)+1)*dim], msg[off:off+dim])
+						off += dim
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 4: boundary elements, now that their halo reads are fresh.
+	if err == nil {
+		fail(w.runChunks(t, redBuf, views, rp.ninterior, len(rp.elems), "boundary"))
+	}
+
+	// Phase 5: export buffered increments to their owners.
+	for dst := 0; dst < eng.ranks; dst++ {
+		if rp.incSendLen[dst] == 0 {
+			continue
+		}
+		msg := make([]float64, 0, rp.incSendLen[dst])
+		for _, pt := range rp.incSendTo[dst] {
+			dim := lp.args[lp.incArgs[pt.ia]].dim
+			buf := rp.incBuf[pt.ia]
+			for _, p := range pt.pos {
+				msg = append(msg, buf[int(p)*dim:(int(p)+1)*dim]...)
+			}
+		}
+		fail(eng.tr.Send(r, dst, msg))
+	}
+	incMsgs := make([][]float64, eng.ranks)
+	var incFuts []*hpx.Future[[]float64]
+	var incSrcs []int
+	for src := 0; src < eng.ranks; src++ {
+		if rp.incRecvLen[src] == 0 {
+			continue
+		}
+		incFuts = append(incFuts, eng.tr.Recv(r, src))
+		incSrcs = append(incSrcs, src)
+	}
+	if len(incFuts) > 0 {
+		ws := make([]hpx.Waiter, len(incFuts))
+		for i, f := range incFuts {
+			ws[i] = f
+		}
+		if werr := hpx.WaitAllCtx(t.ctx, ws...); werr != nil {
+			fail(fmt.Errorf("dist: loop %q rank %d increment exchange: %w", lp.name, r, werr))
+		} else {
+			for i, f := range incFuts {
+				incMsgs[incSrcs[i]] = f.MustGet()
+			}
+		}
+	}
+
+	// Phase 6: fold every contribution into the owned values in serial
+	// plan order — local and imported increments interleave exactly as
+	// the serial backend would have applied them, which is what keeps
+	// the distributed result bitwise-identical.
+	if err == nil && len(rp.apply.arg) > 0 {
+		al := &rp.apply
+		for i := range al.arg {
+			ia := int(al.arg[i])
+			arg := &lp.args[lp.incArgs[ia]]
+			dim := arg.dim
+			var c []float64
+			if int(al.src[i]) == r {
+				p := int(al.pos[i])
+				c = rp.incBuf[ia][p*dim : (p+1)*dim]
+			} else {
+				off := int(rp.incRecvOff[al.src[i]][ia]) + int(al.pos[i])*dim
+				c = incMsgs[al.src[i]][off : off+dim]
+			}
+			dst := arg.sd.owned[r][int(al.target[i])*dim : (int(al.target[i])+1)*dim]
+			for k := 0; k < dim; k++ {
+				dst[k] += c[k]
+			}
+		}
+		if tr := eng.trace; tr != nil {
+			tr(lp.name, r, "apply")
+		}
+	}
+	return redBuf, err
+}
+
+// runChunks executes exec positions [lo, hi) in blockSize chunks,
+// checking for cancellation between chunks and reporting each executed
+// chunk to the trace hook.
+func (w *worker) runChunks(t *task, redBuf []float64, views [][]float64, lo, hi int, phase string) error {
+	bs := w.eng.blockSize
+	for clo := lo; clo < hi; clo += bs {
+		if cerr := t.ctx.Err(); cerr != nil {
+			return fmt.Errorf("dist: loop %q canceled on rank %d: %w", t.lp.name, w.rank, cerr)
+		}
+		chi := clo + bs
+		if chi > hi {
+			chi = hi
+		}
+		if err := w.safeRange(t, redBuf, views, clo, chi); err != nil {
+			return err
+		}
+		if tr := w.eng.trace; tr != nil {
+			tr(t.lp.name, w.rank, phase)
+		}
+	}
+	return nil
+}
+
+// safeRange executes one chunk, converting kernel panics into errors.
+func (w *worker) safeRange(t *task, redBuf []float64, views [][]float64, lo, hi int) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("dist: loop %q kernel panicked on rank %d: %v", t.lp.name, w.rank, rec)
+		}
+	}()
+	w.execRange(t, redBuf, views, lo, hi)
+	return nil
+}
+
+// execRange builds the argument views for each exec position and invokes
+// the kernel — the distributed counterpart of core's view builder, with
+// indices resolved against owned blocks, halo slots, replicated storage,
+// increment buffers and the reduction scratch.
+func (w *worker) execRange(t *task, redBuf []float64, views [][]float64, lo, hi int) {
+	lp := t.lp
+	r := w.rank
+	rp := lp.ranks[r]
+	size := lp.gbl.size
+	for i := lo; i < hi; i++ {
+		for ai := range lp.args {
+			ap := &lp.args[ai]
+			switch ap.kind {
+			case argDirect:
+				l := int(rp.loc[ai][i])
+				views[ai] = ap.sd.owned[r][l*ap.dim : (l+1)*ap.dim]
+			case argDirectRepl, argIndirectRepl:
+				l := int(rp.loc[ai][i])
+				views[ai] = ap.d.Data()[l*ap.dim : (l+1)*ap.dim]
+			case argIndirect:
+				if l := rp.loc[ai][i]; l >= 0 {
+					views[ai] = ap.sd.owned[r][int(l)*ap.dim : (int(l)+1)*ap.dim]
+				} else {
+					s := int(-l - 1)
+					views[ai] = ap.sd.halo[r][s*ap.dim : (s+1)*ap.dim]
+				}
+			case argInc:
+				views[ai] = rp.incBuf[ap.ia][i*ap.dim : (i+1)*ap.dim]
+			case argGblReduce:
+				if lp.needElementwise {
+					views[ai] = redBuf[i*size+ap.off : i*size+ap.off+ap.dim]
+				}
+			}
+		}
+		t.kernel(views)
+	}
+}

@@ -331,6 +331,7 @@ func All(o Options) ([]*perf.Table, error) {
 		{"fig18", Fig18},
 		{"fig19", Fig19},
 		{"fig20", Fig20},
+		{"dist", Dist},
 	}
 	var out []*perf.Table
 	for _, f := range fns {
@@ -353,6 +354,7 @@ func ByName(name string) (func(Options) (*perf.Table, error), bool) {
 		"fig18":  Fig18,
 		"fig19":  Fig19,
 		"fig20":  Fig20,
+		"dist":   Dist,
 	}
 	f, ok := m[name]
 	return f, ok

@@ -1,0 +1,138 @@
+package part_test
+
+import (
+	"testing"
+
+	"op2hpx/internal/airfoil"
+	"op2hpx/internal/part"
+)
+
+// airfoilTopology builds the cells topology of an airfoil mesh: adjacency
+// from the edge→cells map, centroids through the cell→nodes map.
+func airfoilTopology(t *testing.T, nx, ny int) *part.Topology {
+	t.Helper()
+	m, err := airfoil.NewMesh(nx, ny, airfoil.DefaultConstants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := part.NewTopology(m.Cells.Size())
+	if err := topo.AddAdjacencyMap(m.Pecell); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.SetCentroidsVia(m.Pcell, m.X); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func allPartitioners() []part.Partitioner {
+	return []part.Partitioner{part.Block{}, part.RCB{}, part.GreedyGraph{}}
+}
+
+// TestOwnershipExactlyOnce asserts the core partitioning invariant: every
+// element is assigned to exactly one valid rank, for every partitioner at
+// several rank counts, including more ranks than elements.
+func TestOwnershipExactlyOnce(t *testing.T) {
+	topo := airfoilTopology(t, 12, 7)
+	for _, p := range allPartitioners() {
+		for _, ranks := range []int{1, 2, 3, 7, 16, topo.N + 5} {
+			owner, err := p.Partition(ranks, topo)
+			if err != nil {
+				t.Fatalf("%s/ranks=%d: %v", p.Name(), ranks, err)
+			}
+			if len(owner) != topo.N {
+				t.Fatalf("%s/ranks=%d: %d assignments for %d elements", p.Name(), ranks, len(owner), topo.N)
+			}
+			total := 0
+			for _, s := range part.Sizes(owner, ranks) {
+				total += s
+			}
+			if total != topo.N {
+				t.Fatalf("%s/ranks=%d: sizes sum to %d, want %d", p.Name(), ranks, total, topo.N)
+			}
+			for e, r := range owner {
+				if r < 0 || int(r) >= ranks {
+					t.Fatalf("%s/ranks=%d: element %d assigned to invalid rank %d", p.Name(), ranks, e, r)
+				}
+			}
+		}
+	}
+}
+
+// TestEdgeCutBeatsBlock asserts that both mesh-aware partitioners cut no
+// more adjacency edges than the naive block split on the airfoil mesh.
+func TestEdgeCutBeatsBlock(t *testing.T) {
+	topo := airfoilTopology(t, 26, 14)
+	for _, ranks := range []int{2, 4, 7} {
+		blockOwner, err := part.Block{}.Partition(ranks, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockCut := part.EdgeCut(blockOwner, topo)
+		for _, p := range []part.Partitioner{part.RCB{}, part.GreedyGraph{}} {
+			owner, err := p.Partition(ranks, topo)
+			if err != nil {
+				t.Fatalf("%s: %v", p.Name(), err)
+			}
+			if cut := part.EdgeCut(owner, topo); cut > blockCut {
+				t.Errorf("ranks=%d: %s edge-cut %d > block %d", ranks, p.Name(), cut, blockCut)
+			}
+		}
+	}
+}
+
+// TestImbalance asserts all partitioners stay close to the ideal part
+// size (block and RCB are balanced by construction; greedy targets
+// remaining/(ranks-r) per part).
+func TestImbalance(t *testing.T) {
+	topo := airfoilTopology(t, 26, 14)
+	for _, p := range allPartitioners() {
+		for _, ranks := range []int{2, 4, 7} {
+			owner, err := p.Partition(ranks, topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if im := part.Imbalance(owner, ranks); im > 1.1 {
+				t.Errorf("%s/ranks=%d: imbalance %.3f > 1.1", p.Name(), ranks, im)
+			}
+		}
+	}
+}
+
+// TestDeterminism asserts repeated runs produce identical assignments.
+func TestDeterminism(t *testing.T) {
+	topo := airfoilTopology(t, 13, 9)
+	for _, p := range allPartitioners() {
+		a, err := p.Partition(5, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.Partition(5, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: run 1 and 2 disagree at element %d (%d vs %d)", p.Name(), i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestMissingTopologyInformation asserts the mesh-aware partitioners
+// reject topologies without the information they need.
+func TestMissingTopologyInformation(t *testing.T) {
+	bare := part.NewTopology(100)
+	if _, err := (part.RCB{}).Partition(4, bare); err == nil {
+		t.Error("RCB accepted a topology without coordinates")
+	}
+	if _, err := (part.GreedyGraph{}).Partition(4, bare); err == nil {
+		t.Error("GreedyGraph accepted a topology without adjacency")
+	}
+	if _, err := (part.Block{}).Partition(4, bare); err != nil {
+		t.Errorf("Block needs no topology information: %v", err)
+	}
+	if _, err := (part.Block{}).Partition(0, bare); err == nil {
+		t.Error("Partition accepted 0 ranks")
+	}
+}

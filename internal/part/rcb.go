@@ -1,0 +1,247 @@
+package part
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RCB is recursive coordinate bisection: the element set is split along
+// its widest coordinate axis into two halves of sizes proportional to the
+// rank counts assigned to each side, recursing until every rank has one
+// part. It needs element centroids (Topology.Coords) and produces
+// geometrically compact parts regardless of element numbering.
+type RCB struct{}
+
+// Name implements Partitioner.
+func (RCB) Name() string { return "rcb" }
+
+// Partition implements Partitioner.
+func (RCB) Partition(ranks int, t *Topology) ([]int32, error) {
+	if err := checkArgs(ranks, t); err != nil {
+		return nil, err
+	}
+	if !t.HasCoords() {
+		return nil, fmt.Errorf("part: rcb needs element centroids (no geometry in topology)")
+	}
+	owner := make([]int32, t.N)
+	elems := make([]int32, t.N)
+	for i := range elems {
+		elems[i] = int32(i)
+	}
+	rcbSplit(t, elems, 0, ranks, owner)
+	return owner, nil
+}
+
+// rcbSplit assigns the elements in elems to the rank range [r0, r0+k).
+func rcbSplit(t *Topology, elems []int32, r0, k int, owner []int32) {
+	if k == 1 || len(elems) == 0 {
+		for _, e := range elems {
+			owner[e] = int32(r0)
+		}
+		return
+	}
+	k1 := k / 2
+	n1 := len(elems) * k1 / k
+
+	// Widest axis over this subset.
+	dim := t.CoordDim
+	axis := 0
+	widest := -1.0
+	for d := 0; d < dim; d++ {
+		lo, hi := t.Coords[int(elems[0])*dim+d], t.Coords[int(elems[0])*dim+d]
+		for _, e := range elems[1:] {
+			c := t.Coords[int(e)*dim+d]
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if hi-lo > widest {
+			widest = hi - lo
+			axis = d
+		}
+	}
+	sort.Slice(elems, func(i, j int) bool {
+		ci := t.Coords[int(elems[i])*dim+axis]
+		cj := t.Coords[int(elems[j])*dim+axis]
+		if ci != cj {
+			return ci < cj
+		}
+		return elems[i] < elems[j] // deterministic tie-break
+	})
+	rcbSplit(t, elems[:n1], r0, k1, owner)
+	rcbSplit(t, elems[n1:], r0+k1, k-k1, owner)
+}
+
+// GreedyGraph is greedy graph-growing k-way partitioning: parts are grown
+// one at a time from a low-degree seed, always absorbing the unassigned
+// frontier vertex with the most neighbours already inside the growing
+// part (ties broken by lowest element id, so the result is
+// deterministic). It needs an element adjacency (Topology.Adjacency).
+type GreedyGraph struct{}
+
+// Name implements Partitioner.
+func (GreedyGraph) Name() string { return "greedy" }
+
+// Partition implements Partitioner.
+func (GreedyGraph) Partition(ranks int, t *Topology) ([]int32, error) {
+	if err := checkArgs(ranks, t); err != nil {
+		return nil, err
+	}
+	if !t.HasAdjacency() {
+		return nil, fmt.Errorf("part: greedy graph growing needs an element adjacency (no maps in topology)")
+	}
+	const unassigned = int32(-1)
+	owner := make([]int32, t.N)
+	for i := range owner {
+		owner[i] = unassigned
+	}
+	// gain[v] = neighbours of v inside the part currently growing;
+	// -1 once v is assigned.
+	gain := make([]int32, t.N)
+	frontier := make([]int32, 0, 256)
+	remaining := t.N
+
+	// seed picks where the next part starts growing: preferably a
+	// low-degree unassigned vertex adjacent to already-assigned territory
+	// (so consecutive parts grow like a sweep and share short seams), or
+	// the lowest-degree unassigned vertex overall for the first part and
+	// disconnected remainders. Ties break on lowest id — deterministic.
+	seed := func() int32 {
+		best, bestDeg := int32(-1), int(^uint(0)>>1)
+		bestTouching, bestTouchingDeg := int32(-1), int(^uint(0)>>1)
+		for v := 0; v < t.N; v++ {
+			if owner[v] != unassigned {
+				continue
+			}
+			d := t.Degree(v)
+			if d < bestDeg {
+				best, bestDeg = int32(v), d
+			}
+			if d < bestTouchingDeg {
+				for _, nb := range t.Neighbors(v) {
+					if owner[nb] != unassigned {
+						bestTouching, bestTouchingDeg = int32(v), d
+						break
+					}
+				}
+			}
+		}
+		if bestTouching != -1 {
+			return bestTouching
+		}
+		return best
+	}
+
+	for r := 0; r < ranks; r++ {
+		target := remaining / (ranks - r)
+		if target == 0 {
+			continue // more ranks than elements: this part stays empty
+		}
+		frontier = frontier[:0]
+		grown := 0
+		absorb := func(v int32) {
+			owner[v] = int32(r)
+			grown++
+			remaining--
+			for _, nb := range t.Neighbors(int(v)) {
+				if owner[nb] != unassigned {
+					continue
+				}
+				if gain[nb] == 0 {
+					frontier = append(frontier, nb)
+				}
+				gain[nb]++
+			}
+		}
+		absorb(seed())
+		for grown < target {
+			// Absorb the frontier vertex with the most neighbours already
+			// inside the part, lowest id on ties: the low-id bias makes the
+			// part sweep the mesh in numbering order instead of growing a
+			// ragged diagonal front.
+			best := int32(-1)
+			var bestScore int32
+			w := 0
+			for _, v := range frontier {
+				if owner[v] != unassigned {
+					continue // absorbed since it was queued
+				}
+				frontier[w] = v
+				w++
+				score := gain[v]
+				if best == -1 || score > bestScore || (score == bestScore && v < best) {
+					best, bestScore = v, score
+				}
+			}
+			frontier = frontier[:w]
+			if best == -1 {
+				// Disconnected remainder: restart from a fresh seed.
+				best = seed()
+			}
+			absorb(best)
+		}
+		// Reset gains touched by this part's frontier.
+		for _, v := range frontier {
+			gain[v] = 0
+		}
+		frontier = frontier[:0]
+	}
+	RefineEdgeCut(owner, ranks, t, 8)
+	return owner, nil
+}
+
+// RefineEdgeCut runs greedy boundary refinement (a deterministic
+// Kernighan–Lin-style sweep): each pass scans the elements in order and
+// moves a vertex to the neighbouring part holding most of its neighbours
+// whenever that strictly reduces the edge-cut and keeps the part sizes
+// within ~5% of ideal. Every move strictly reduces the cut, so the
+// refinement terminates; it stops early after a pass without moves.
+func RefineEdgeCut(owner []int32, ranks int, t *Topology, passes int) {
+	if !t.HasAdjacency() || ranks < 2 {
+		return
+	}
+	sizes := Sizes(owner, ranks)
+	ideal := t.N / ranks
+	slack := ideal / 20
+	if slack < 1 {
+		slack = 1
+	}
+	cnt := make([]int32, ranks)
+	for p := 0; p < passes; p++ {
+		moved := false
+		for v := 0; v < t.N; v++ {
+			nbs := t.Neighbors(v)
+			if len(nbs) == 0 {
+				continue
+			}
+			from := owner[v]
+			for _, nb := range nbs {
+				cnt[owner[nb]]++
+			}
+			best, bestCnt := from, cnt[from]
+			for _, nb := range nbs {
+				// Strict improvement only, so every move reduces the cut.
+				if r := owner[nb]; cnt[r] > bestCnt {
+					best, bestCnt = r, cnt[r]
+				}
+			}
+			for _, nb := range nbs {
+				cnt[owner[nb]] = 0
+			}
+			if best != from &&
+				sizes[from]-1 >= ideal-slack &&
+				sizes[best]+1 <= ideal+slack {
+				owner[v] = best
+				sizes[from]--
+				sizes[best]++
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package op2
+
+import (
+	"errors"
+	"fmt"
+
+	"op2hpx/internal/dist"
+	"op2hpx/internal/part"
+)
+
+// Partitioner assigns mesh elements to ranks for distributed execution.
+// Use BlockPartitioner, RCBPartitioner or GreedyPartitioner, and select
+// one with WithPartitioner.
+type Partitioner = part.Partitioner
+
+// BlockPartitioner returns the contiguous block split (rank r owns
+// element range [r·n/R, (r+1)·n/R)). It needs no mesh information.
+func BlockPartitioner() Partitioner { return part.Block{} }
+
+// RCBPartitioner returns recursive coordinate bisection over element
+// geometry. It needs centroids: register them with Runtime.Partition
+// before the first loop over the set.
+func RCBPartitioner() Partitioner { return part.RCB{} }
+
+// GreedyPartitioner returns greedy graph-growing k-way partitioning with
+// boundary refinement over the element adjacency. It needs an adjacency
+// map: register one with Runtime.Partition before the first loop.
+func GreedyPartitioner() Partitioner { return part.GreedyGraph{} }
+
+// PartitionerByName resolves "block", "rcb" or "greedy" — the one lookup
+// CLIs, benchmarks and experiments share.
+func PartitionerByName(name string) (Partitioner, error) {
+	switch name {
+	case "block", "":
+		return BlockPartitioner(), nil
+	case "rcb":
+		return RCBPartitioner(), nil
+	case "greedy":
+		return GreedyPartitioner(), nil
+	default:
+		return nil, wrapValidation(fmt.Errorf("unknown partitioner %q (want block, rcb or greedy)", name))
+	}
+}
+
+// PartitionStats describes one partitioned set of a distributed runtime:
+// the partitioning method, per-rank owned block and import-halo sizes,
+// and — for sets partitioned over registered topology — the edge-cut and
+// imbalance of the partition.
+type PartitionStats = dist.SetStats
+
+// Ranks reports the number of distributed localities (0 for a
+// shared-memory runtime).
+func (rt *Runtime) Ranks() int {
+	if rt.eng == nil {
+		return 0
+	}
+	return rt.eng.Ranks()
+}
+
+// Distributed reports whether loops execute on the distributed engine.
+func (rt *Runtime) Distributed() bool { return rt.eng != nil }
+
+// Partition registers mesh topology for set and partitions it with the
+// runtime's configured partitioner — the op_partition call of OP2's MPI
+// backend. adj is a map into set whose co-targets become graph edges
+// (e.g. edges→cells, feeding the greedy partitioner); geom and coords
+// provide element centroids for RCB, either through a map (geom: set→P,
+// coords on P — e.g. cells→nodes with the node coordinates) or directly
+// (geom nil, coords on set). Any of them may be nil; the block
+// partitioner needs none. Call it after declarations and before the
+// first loop; sets never registered are partitioned lazily (derived
+// through a map when possible, block-split otherwise).
+func (rt *Runtime) Partition(set *Set, adj *Map, geom *Map, coords *Dat) error {
+	if rt.eng == nil {
+		return wrapValidation(errors.New("Partition requires a distributed runtime (WithRanks)"))
+	}
+	if set == nil {
+		return wrapValidation(errors.New("Partition needs a set"))
+	}
+	topo := part.NewTopology(set.Size())
+	if adj != nil {
+		if err := topo.AddAdjacencyMap(adj); err != nil {
+			return wrapValidation(err)
+		}
+	}
+	if coords != nil {
+		var err error
+		if geom != nil {
+			err = topo.SetCentroidsVia(geom, coords)
+		} else {
+			err = topo.SetCentroids(coords)
+		}
+		if err != nil {
+			return wrapValidation(err)
+		}
+	}
+	return classify(rt.eng.RegisterTopology(set, topo))
+}
+
+// PartitionReport returns the partitioning state of every set the
+// distributed runtime has seen (nil for shared-memory runtimes): per-rank
+// owned and halo sizes, method, edge-cut and imbalance.
+func (rt *Runtime) PartitionReport() []PartitionStats {
+	if rt.eng == nil {
+		return nil
+	}
+	return rt.eng.Stats()
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"op2hpx/internal/dist"
 )
 
 // ErrValidation classifies errors caused by malformed declarations, loop
@@ -28,13 +30,17 @@ func wrapValidation(err error) error {
 
 // classify maps lower-layer errors onto the package's sentinels: context
 // cancellation (at any depth of the loop nest) surfaces as ErrCanceled,
-// everything else passes through unchanged.
+// distributed-engine configuration errors as ErrValidation, everything
+// else passes through unchanged.
 func classify(err error) error {
 	if err == nil {
 		return nil
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	if errors.Is(err, dist.ErrInvalid) {
+		return fmt.Errorf("%w: %w", ErrValidation, err)
 	}
 	return err
 }

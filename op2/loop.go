@@ -95,6 +95,9 @@ func (lp *Loop) Run(ctx context.Context) error {
 	if err := lp.validate(); err != nil {
 		return err
 	}
+	if lp.rt.eng != nil {
+		return classify(lp.rt.eng.Run(ctx, &lp.l))
+	}
 	return classify(lp.rt.ex.RunCtx(ctx, &lp.l))
 }
 
@@ -119,17 +122,29 @@ func (lp *Loop) Async(ctx context.Context) *Future {
 	if err := lp.validate(); err != nil {
 		return &Future{f: hpx.MakeErr[struct{}](err)}
 	}
+	if lp.rt.eng != nil {
+		return &Future{f: lp.rt.eng.RunAsync(ctx, &lp.l), ack: lp.rt.eng.AckError}
+	}
 	return &Future{f: lp.rt.ex.RunAsyncCtx(ctx, &lp.l)}
 }
 
 // Future is the completion future of an asynchronously issued loop.
 type Future struct {
-	f *hpx.Future[struct{}]
+	f   *hpx.Future[struct{}]
+	ack func(error) // distributed engine: mark the error as delivered
 }
 
 // Wait blocks until the loop completes and returns its error, classified
-// against the package sentinels (ErrCanceled, ErrValidation).
-func (f *Future) Wait() error { return classify(f.f.Wait()) }
+// against the package sentinels (ErrCanceled, ErrValidation). On a
+// distributed runtime, waiting also marks the error as delivered so a
+// later Dat/Global Sync does not report it a second time.
+func (f *Future) Wait() error {
+	err := f.f.Wait()
+	if err != nil && f.ack != nil {
+		f.ack(err)
+	}
+	return classify(err)
+}
 
 // Ready reports whether the loop has completed, without blocking.
 func (f *Future) Ready() bool { return f.f.Ready() }

@@ -41,6 +41,7 @@ import (
 	"io"
 
 	"op2hpx/internal/core"
+	"op2hpx/internal/dist"
 	"op2hpx/internal/hpx"
 	"op2hpx/internal/hpx/sched"
 )
@@ -91,12 +92,14 @@ func PersistentAutoChunk() *PersistentAutoChunker { return hpx.NewPersistentAuto
 
 // config collects the functional options of New.
 type config struct {
-	backend   Backend
-	poolSize  int
-	chunker   Chunker
-	blockSize int
-	prefetch  int
-	profiling bool
+	backend     Backend
+	poolSize    int
+	chunker     Chunker
+	blockSize   int
+	prefetch    int
+	profiling   bool
+	ranks       int
+	partitioner Partitioner
 }
 
 // Option configures a Runtime.
@@ -132,6 +135,29 @@ func WithPrefetchDistance(d int) Option { return func(c *config) { c.prefetch = 
 // statistics with ProfileStats or WriteProfile.
 func WithProfiling() Option { return func(c *config) { c.profiling = true } }
 
+// WithRanks turns the runtime into a distributed one: loops execute
+// across n simulated localities under owner-compute semantics — sets are
+// partitioned, written dats become owned blocks plus import halos, and
+// each loop overlaps its halo exchange with interior computation (see
+// the internal/dist package). n == 0 (the default) keeps shared-memory
+// execution. Distributed loops need generic kernels; the declared data
+// stays accessible through Dat.Data after a Sync. Once a loop has
+// written a dat, its per-rank shards are authoritative: host writes
+// into Data() are no longer observed by later loops (initialize data
+// before the first distributed write, or mutate it through loops).
+// Loops of a distributed runtime must be issued from a single
+// goroutine, the same contract as the Dataflow backend. The
+// shared-memory knobs — WithBackend,
+// WithPoolSize, WithChunker, WithPrefetchDistance, WithProfiling — do
+// not apply to engine-executed loops (ranks are the parallelism and
+// chunking follows the plan block size, WithBlockSize).
+func WithRanks(n int) Option { return func(c *config) { c.ranks = n } }
+
+// WithPartitioner selects how distributed sets are split across ranks
+// (default BlockPartitioner). RCB and greedy partitioning need mesh
+// topology: register it per set with Runtime.Partition.
+func WithPartitioner(p Partitioner) Option { return func(c *config) { c.partitioner = p } }
+
 // Runtime executes OP2 parallel loops under a fixed configuration,
 // caching execution plans across invocations of the same loop shape.
 //
@@ -145,6 +171,7 @@ type Runtime struct {
 	ex   *core.Executor
 	pool *sched.Pool // owned (created by WithPoolSize); nil when shared
 	prof *core.Profiler
+	eng  *dist.Engine // non-nil for distributed runtimes (WithRanks)
 }
 
 // New builds a runtime from functional options.
@@ -164,8 +191,27 @@ func New(opts ...Option) (*Runtime, error) {
 	if c.prefetch < 0 {
 		return nil, fmt.Errorf("%w: prefetch distance %d < 0", ErrValidation, c.prefetch)
 	}
+	if c.ranks < 0 {
+		return nil, fmt.Errorf("%w: ranks %d < 0", ErrValidation, c.ranks)
+	}
+	if c.partitioner != nil && c.ranks == 0 {
+		return nil, fmt.Errorf("%w: WithPartitioner requires WithRanks", ErrValidation)
+	}
 	rt := &Runtime{}
-	if c.poolSize > 0 {
+	if c.ranks > 0 {
+		eng, err := dist.NewEngine(dist.Config{
+			Ranks:       c.ranks,
+			Partitioner: c.partitioner,
+			BlockSize:   c.blockSize,
+		})
+		if err != nil {
+			return nil, classify(err)
+		}
+		rt.eng = eng
+	}
+	if c.poolSize > 0 && rt.eng == nil {
+		// Distributed runtimes never execute loops on the shared-memory
+		// pool — don't spawn one that would idle for the runtime's life.
 		rt.pool = sched.NewPool(c.poolSize)
 	}
 	rt.ex = core.NewExecutor(core.Config{
@@ -192,9 +238,13 @@ func MustNew(opts ...Option) *Runtime {
 }
 
 // Close releases the runtime's owned scheduler pool (a no-op for runtimes
-// on the shared pool). Loops issued with Async must be waited on before
-// Close. Close is idempotent.
+// on the shared pool) and, for distributed runtimes, drains submitted
+// loops and stops the rank workers. Loops issued with Async must be
+// waited on before Close. Close is idempotent.
 func (rt *Runtime) Close() error {
+	if rt.eng != nil {
+		rt.eng.Close() //nolint:errcheck // drain-only; loop errors were reported to their callers
+	}
 	if rt.pool != nil {
 		rt.pool.Close()
 	}
