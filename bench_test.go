@@ -314,3 +314,58 @@ func BenchmarkAeroCG(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStep measures the airfoil timestep issued as one Step graph
+// versus loop-at-a-time, on the distributed runtime (batched halo
+// exchanges, cross-loop increment overlap) and under the shared-memory
+// dataflow backend. Halo messages per iteration are reported as a
+// custom metric for the distributed cases.
+func BenchmarkStep(b *testing.B) {
+	const ranks = 4
+	for _, mode := range []struct {
+		name        string
+		loopAtATime bool
+	}{
+		{"batched", false},
+		{"loop-at-a-time", true},
+	} {
+		b.Run("dist/"+mode.name, func(b *testing.B) {
+			app, err := airfoil.NewDistApp(benchNX, benchNY, ranks)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer app.Close()
+			app.LoopAtATime = mode.loopAtATime
+			if _, err := app.Run(1); err != nil { // warm plans, shards, halos
+				b.Fatal(err)
+			}
+			before := app.Rt.HaloMessagesSent()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Run(benchIters); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			iters := float64(b.N * benchIters)
+			b.ReportMetric(float64(app.Rt.HaloMessagesSent()-before)/iters, "msgs/iter")
+		})
+	}
+	b.Run("dataflow/batched", func(b *testing.B) {
+		rt := op2.MustNew(op2.WithBackend(op2.Dataflow), op2.WithPoolSize(runtime.NumCPU()))
+		defer rt.Close()
+		app, err := airfoil.NewApp(benchNX, benchNY, rt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := app.Run(1); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := app.Run(benchIters); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

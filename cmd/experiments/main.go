@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -30,8 +31,8 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all, table1, fig15, fig16, fig17, fig18, fig19, fig20, dist")
-		jsonOut    = flag.String("json", "", "also write machine-readable results to this file (dist experiment only)")
+		exp        = flag.String("exp", "all", "experiment: all, table1, fig15, fig16, fig17, fig18, fig19, fig20, dist, step")
+		jsonOut    = flag.String("json", "", "also write machine-readable results to this file (dist and step experiments only)")
 		paper      = flag.Bool("paper", false, "paper-scale workload (~720K mesh nodes; minutes per figure)")
 		nx         = flag.Int("nx", 0, "override mesh cells in x")
 		ny         = flag.Int("ny", 0, "override mesh cells in y")
@@ -75,16 +76,21 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		f, err := os.Create(*jsonOut)
+		if err := writeJSON(*jsonOut, rep.WriteJSON); err != nil {
+			return err
+		}
+		experiments.DistTable(rep).Render(os.Stdout)
+		return nil
+	}
+	if *exp == "step" && *jsonOut != "" {
+		rep, err := experiments.StepData(o)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := rep.WriteJSON(f); err != nil {
+		if err := writeJSON(*jsonOut, rep.WriteJSON); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", *jsonOut)
-		experiments.DistTable(rep).Render(os.Stdout)
+		experiments.StepTable(rep).Render(os.Stdout)
 		return nil
 	}
 	fn, ok := experiments.ByName(*exp)
@@ -96,5 +102,19 @@ func run() error {
 		return err
 	}
 	tab.Render(os.Stdout)
+	return nil
+}
+
+// writeJSON writes one report through its WriteJSON method.
+func writeJSON(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }

@@ -11,7 +11,13 @@
 // declarations (op2.DeclSet/DeclMap/DeclDat/DeclGlobal), and a declarative
 // loop builder (Runtime.ParLoop(...).Kernel(...).Run(ctx) / .Async(ctx))
 // with context cancellation and the typed sentinel errors op2.ErrValidation
-// and op2.ErrCanceled. Nothing outside internal/ should import the
+// and op2.ErrCanceled. The loops of one timestep are declared as a unit
+// with Runtime.Step(...).Then(loop)... and issued with step.Run/Async —
+// building a Step computes the cross-loop dataflow DAG once, which the
+// dataflow backend uses to interleave independent loops eagerly and the
+// distributed engine uses to coalesce read-halo exchanges across loops
+// sharing a dat's halo and to overlap a loop's increment exchange with
+// the next loops' interiors. Nothing outside internal/ should import the
 // implementation packages directly.
 //
 // op2.WithRanks(n) switches a runtime to the owner-compute distributed
@@ -20,7 +26,10 @@
 // Runtime.Partition registers mesh topology like OP2's op_partition),
 // written dats become per-rank owned blocks plus import halos, and each
 // loop overlaps its halo exchange with interior computation while
-// staying bitwise-identical to the serial backend.
+// staying bitwise-identical to the serial backend. Host writes into
+// Dat.Data() after the first distributed write propagate to the rank
+// shards with Dat.Rescatter; Runtime.Fence drains every submitted loop
+// and step.
 //
 // The implementation lives in the internal packages:
 //

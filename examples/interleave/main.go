@@ -68,16 +68,22 @@ func main() {
 		[]op2.Arg{op2.DirectArg(c, op2.RW)},
 		func(v [][]float64) { v[0][0] *= 10 })
 
+	// The four loops declared as one Step graph: building it computes the
+	// dataflow DAG up front (writeA/writeB independent, sumAB joins them,
+	// scaleC chains), and one Async issues the whole step — one future
+	// for the unit instead of four.
+	step := rt.Step("frame").Then(writeA).Then(writeB).Then(sumAB).Then(scaleC)
+	for i := 0; i < step.Len(); i++ {
+		fmt.Printf("  step DAG: loop %d depends on loops %v\n", i, step.Deps(i))
+	}
+
 	ctx := context.Background()
-	fmt.Println("issuing write_a, write_b, sum_ab, scale_c without any host sync...")
+	fmt.Println("issuing the whole step without any host sync...")
 	start := time.Now()
-	fa := writeA.Async(ctx)
-	fb := writeB.Async(ctx)
-	fs := sumAB.Async(ctx)
-	fc := scaleC.Async(ctx)
+	fut := step.Async(ctx)
 	issued := time.Since(start)
 
-	if err := op2.WaitAll(fa, fb, fs, fc); err != nil {
+	if err := fut.Wait(); err != nil {
 		log.Fatal(err)
 	}
 	total := time.Since(start)

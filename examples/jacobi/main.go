@@ -87,17 +87,17 @@ func run(backend op2.Backend, n, iters int) (float64, []float64, error) {
 		v[0][0] = 0
 	})
 
+	// The whole timestep as one Step graph, built once before the time
+	// loop: the runtime sees the res→update dataflow as a unit.
+	step := rt.Step("jacobi_iter").Then(resLoop).Then(updateLoop)
+
 	ctx := context.Background()
 	for it := 0; it < iters; it++ {
 		if backend == op2.Dataflow {
-			resLoop.Async(ctx)
-			updateLoop.Async(ctx)
+			step.Async(ctx)
 			continue
 		}
-		if err := resLoop.Run(ctx); err != nil {
-			return 0, nil, err
-		}
-		if err := updateLoop.Run(ctx); err != nil {
+		if err := step.Run(ctx); err != nil {
 			return 0, nil, err
 		}
 	}

@@ -58,6 +58,13 @@ type Problem struct {
 
 	resLoop, dirichletLoop, dotLoop *op2.Loop
 	initLoop                        *op2.Loop
+	// applyStep is v = A·p expressed as one Step graph: the matrix-free
+	// SpMV, the Dirichlet row zeroing and the p·v dot product — the
+	// longest stretch of the CG iteration with no host synchronization,
+	// so the runtime sees its dataflow DAG as a unit. The α/β updates
+	// stay individual loops: each consumes a reduction the host reads in
+	// between, which is exactly where a step must be split.
+	applyStep *op2.Step
 }
 
 // NewProblem builds the FEM problem on an n×n grid, executing its loops
@@ -243,6 +250,7 @@ func (pr *Problem) buildLoops() {
 	).Kernel(func(v [][]float64) {
 		v[2][0] += v[0][0] * v[1][0]
 	})
+	pr.applyStep = pr.rt.Step("apply_A").Then(pr.resLoop).Then(pr.dirichletLoop).Then(pr.dotLoop)
 	// init: u = 0, r = b, p = r, v = 0, Σ r·r.
 	pr.initLoop = pr.rt.ParLoop("init_cg", pr.Nodes,
 		op2.DirectArg(pr.B, op2.Read),
@@ -322,17 +330,13 @@ func (pr *Problem) Solve(tol float64, maxIter int) (res float64, iters int, err 
 	upP := pr.updatePLoop(beta)
 
 	for iters = 0; iters < maxIter && math.Sqrt(rr) > tol; iters++ {
-		// v = A p (matrix-free SpMV + Dirichlet identity rows).
-		if err := run(pr.resLoop); err != nil {
-			return 0, iters, err
-		}
-		if err := run(pr.dirichletLoop); err != nil {
-			return 0, iters, err
-		}
+		// v = A p followed by the p·v reduction, issued as one Step (the
+		// SpMV, Dirichlet rows and dot product share no host sync). The
+		// reduction target is reset before the step is issued.
 		if err := pr.PV.Set([]float64{0}); err != nil {
 			return 0, iters, err
 		}
-		if err := run(pr.dotLoop); err != nil {
+		if err := pr.applyStep.Run(ctx); err != nil {
 			return 0, iters, err
 		}
 		if err := pr.PV.Sync(); err != nil {

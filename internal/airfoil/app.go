@@ -25,6 +25,12 @@ type App struct {
 	// kernel path; used to cross-check the two in tests.
 	UseGenericKernels bool
 
+	// LoopAtATime disables the Step graph and issues the nine loops of
+	// each iteration one at a time — the pre-Step behaviour, kept for
+	// the batched-vs-unbatched comparison in cmd/experiments and the
+	// message-counting tests.
+	LoopAtATime bool
+
 	loops struct {
 		spec appLoops // kernels with specialized range bodies
 		gen  appLoops // generic view-based kernels only
@@ -33,6 +39,13 @@ type App struct {
 
 type appLoops struct {
 	saveSoln, adtCalc, resCalc, bresCalc, update *op2.Loop
+	// step is the whole time iteration declared as one unit: save_soln
+	// followed by two RK sub-iterations of adt→res→bres→update. Declaring
+	// it up front hands the runtime the cross-loop dataflow DAG, which
+	// the distributed engine uses to coalesce the q/adt halo exchanges of
+	// res_calc and bres_calc and to overlap res_calc's increment exchange
+	// with bres_calc's interior.
+	step *op2.Step
 }
 
 // NewApp builds an airfoil application instance on the given runtime.
@@ -111,6 +124,10 @@ func (a *App) buildLoops() {
 			op2.DirectArg(m.Adt, op2.Read),
 			op2.GblArg(a.Rms, op2.Inc),
 		).Kernel(func(v [][]float64) { Update(v[0], v[1], v[2], v[3], v[4]) }), a.updateBody())
+		ls.step = rt.Step("airfoil_iter").Then(ls.saveSoln)
+		for k := 0; k < 2; k++ {
+			ls.step.Then(ls.adtCalc).Then(ls.resCalc).Then(ls.bresCalc).Then(ls.update)
+		}
 		return ls
 	}
 	a.loops.spec = build(true)
@@ -214,10 +231,13 @@ func (a *App) activeLoops() *appLoops {
 	return &a.loops.spec
 }
 
-// Step performs one time iteration. Under the Dataflow backend all nine
-// loops are issued asynchronously and Step returns without waiting — the
-// futures chain through the dats exactly as Fig. 10/11 describe. Under
-// Serial/ForkJoin each loop runs to completion with its implicit barrier.
+// Step performs one time iteration, issued as one op2.Step graph. Under
+// the Dataflow backend and on distributed runtimes the step is issued
+// asynchronously and Step returns without waiting — the futures chain
+// through the dats exactly as Fig. 10/11 describe, and the distributed
+// engine batches halo exchanges across the step's loops. Under
+// Serial/ForkJoin each loop runs to completion with its implicit
+// barrier.
 func (a *App) Step() error { return a.StepCtx(context.Background()) }
 
 // StepCtx is Step with a cancellation context: a done ctx aborts loops
@@ -230,10 +250,29 @@ func (a *App) StepCtx(ctx context.Context) error {
 		return fmt.Errorf("airfoil: step canceled: %w: %w", op2.ErrCanceled, err)
 	}
 	ls := a.activeLoops()
-	// Dataflow issues asynchronously so dependent loops chain through
-	// futures; the distributed engine likewise pipelines Async loops
-	// across its persistent rank workers (a rank done with loop N moves
-	// straight into loop N+1), with the final Sync as the only barrier.
+	if a.LoopAtATime {
+		return a.stepLoopAtATime(ctx, ls)
+	}
+	// Dataflow and the distributed engine pipeline: issue the whole step
+	// asynchronously and let iterations overlap, with the final Sync as
+	// the only barrier.
+	if a.Rt.Backend() == op2.Dataflow || a.Rt.Distributed() {
+		fut := ls.step.Async(ctx)
+		// Surface issue-time validation errors without waiting for
+		// completion.
+		if fut.Ready() {
+			if err := fut.Wait(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return ls.step.Run(ctx)
+}
+
+// stepLoopAtATime is the pre-Step issue pattern: one loop at a time, so
+// the runtime sees the dataflow DAG only implicitly.
+func (a *App) stepLoopAtATime(ctx context.Context, ls *appLoops) error {
 	if a.Rt.Backend() == op2.Dataflow || a.Rt.Distributed() {
 		var last *op2.Future
 		ls.saveSoln.Async(ctx)
@@ -243,8 +282,6 @@ func (a *App) StepCtx(ctx context.Context) error {
 			ls.bresCalc.Async(ctx)
 			last = ls.update.Async(ctx)
 		}
-		// Surface issue-time validation errors without waiting for
-		// completion.
 		if last.Ready() {
 			if err := last.Wait(); err != nil {
 				return err

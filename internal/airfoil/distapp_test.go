@@ -54,10 +54,13 @@ func checkBitwise(t *testing.T, nx, ny, iters, ranks int, p op2.Partitioner, rms
 	}
 }
 
-// TestDistAppBitwiseGolden asserts the distributed airfoil reproduces
-// the serial backend bit-for-bit at ranks 1, 2, 4 and 7, under every
-// partitioner: increment application and reduction folds replay the
-// serial plan order regardless of how the mesh is split.
+// TestDistAppBitwiseGolden asserts the distributed airfoil — issued as
+// one op2.Step per iteration, with res_calc/bres_calc's halo exchanges
+// coalesced and increment exchanges overlapping the next loop's
+// interior — reproduces the serial backend bit-for-bit at ranks 1, 2, 4
+// and 7, under every partitioner: increment application and reduction
+// folds replay the serial plan order regardless of how the mesh is
+// split or how the step batches its communication.
 func TestDistAppBitwiseGolden(t *testing.T) {
 	const nx, ny, iters = 26, 14, 4
 	rmsRef, qRef := serialGolden(t, nx, ny, iters)
@@ -136,6 +139,111 @@ func TestDistAppReport(t *testing.T) {
 	}
 	if halo == 0 {
 		t.Error("no import halo on cells despite boundary edges")
+	}
+}
+
+// TestDistAppStepMessages is the app-level message accounting of the
+// Step API: the airfoil timestep issued as one Step never posts more
+// halo messages per iteration than loop-at-a-time issue, at every rank
+// count and under every partitioner — while both stay bitwise-identical
+// to the serial golden.
+//
+// For the stock airfoil the steady-state counts are EQUAL, and that is
+// itself a finding worth pinning: under owner-compute ownership
+// derivation, adt_calc reads q directly (owner-local), bres_calc's
+// bedges follow their one cell (fully local), and update/adt_calc
+// rewrite q/adt inside every RK sub-iteration — so each sub-iteration
+// has exactly one read exchange (q+adt coalesced per pair by the
+// per-loop schedule) and one increment exchange, which is already
+// minimal. The strictly-fewer coalescing win appears whenever several
+// loops read the same version of a dat's halo (gradient → limiter →
+// flux pipelines; asserted with a counting transport by
+// TestStepCoalescesSharedHalo and TestStepPipelineFewerMessages in
+// internal/dist); the airfoil step's distributed win is overlap —
+// res_calc's increment exchange stays in flight through bres_calc
+// (TestStepIncExchangeOverlapsNextInterior) — plus one submission and
+// one completion fence per timestep instead of nine.
+func TestDistAppStepMessages(t *testing.T) {
+	const nx, ny, iters = 26, 14, 3
+	rmsRef, qRef := serialGolden(t, nx, ny, iters)
+
+	countMessages := func(p op2.Partitioner, ranks int, loopAtATime bool) int64 {
+		t.Helper()
+		app, err := NewDistAppPartitioned(nx, ny, ranks, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer app.Close()
+		app.LoopAtATime = loopAtATime
+		// First run doubles as verification against the serial golden
+		// (fresh state) and as warm-up: plans, shards and halos are
+		// built here.
+		rms, err := app.Run(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := math.Float64bits(rms); got != rmsRef {
+			t.Errorf("loopAtATime=%v ranks=%d: rms bits %#x != serial %#x", loopAtATime, ranks, got, rmsRef)
+		}
+		for i, v := range app.Q() {
+			if math.Float64bits(v) != qRef[i] {
+				t.Fatalf("loopAtATime=%v ranks=%d: q[%d] differs bitwise from serial", loopAtATime, ranks, i)
+			}
+		}
+		// Steady-state message count over a second run.
+		before := app.Rt.HaloMessagesSent()
+		if _, err := app.Run(iters); err != nil {
+			t.Fatal(err)
+		}
+		return app.Rt.HaloMessagesSent() - before
+	}
+
+	for _, tc := range []struct {
+		name string
+		p    op2.Partitioner
+	}{
+		{"block", nil},
+		{"rcb", op2.RCBPartitioner()},
+		{"greedy", op2.GreedyPartitioner()},
+	} {
+		for _, ranks := range []int{2, 4, 7} {
+			t.Run(tc.name+"/ranks="+strconv.Itoa(ranks), func(t *testing.T) {
+				unbatched := countMessages(tc.p, ranks, true)
+				batched := countMessages(tc.p, ranks, false)
+				if unbatched == 0 {
+					t.Fatal("loop-at-a-time run sent no halo messages; fixture broken")
+				}
+				if batched > unbatched {
+					t.Errorf("Step sent %d messages over %d iterations, loop-at-a-time sent %d: batching must never cost messages",
+						batched, iters, unbatched)
+				}
+			})
+		}
+	}
+}
+
+// TestDistAppLoopAtATimeBitwise keeps the pre-Step issue path golden at
+// a couple of configurations: the Step migration must not regress it.
+func TestDistAppLoopAtATimeBitwise(t *testing.T) {
+	const nx, ny, iters = 20, 10, 3
+	rmsRef, qRef := serialGolden(t, nx, ny, iters)
+	app, err := NewDistAppPartitioned(nx, ny, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer app.Close()
+	app.LoopAtATime = true
+	rms, err := app.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64bits(rms); got != rmsRef {
+		t.Errorf("rms bits %#x != serial %#x", got, rmsRef)
+	}
+	for i, v := range app.Q() {
+		if math.Float64bits(v) != qRef[i] {
+			t.Fatalf("q[%d] differs bitwise", i)
+		}
 	}
 }
 

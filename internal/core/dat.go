@@ -73,12 +73,13 @@ func (v *versionState) current() []hpx.Waiter {
 // reproduction fixes the element type to float64, which is what every
 // kernel of the evaluated Airfoil application uses.
 type Dat struct {
-	name  string
-	set   *Set
-	dim   int
-	data  []float64
-	state versionState
-	flush func() error // resident-storage write-back, see SetFlush
+	name    string
+	set     *Set
+	dim     int
+	data    []float64
+	state   versionState
+	flush   func() error // resident-storage write-back, see SetFlush
+	scatter func() error // host write-back into resident storage, see SetScatter
 }
 
 // DeclDat declares data on a set, mirroring op_decl_dat. The initial values
@@ -146,6 +147,30 @@ func (d *Dat) Sync() error {
 // loops resolve so the values are written back into Data before host
 // code reads them. Pass nil to clear.
 func (d *Dat) SetFlush(fn func() error) { d.flush = fn }
+
+// Rescatter propagates host writes into Data back into resident storage:
+// when an engine holds the authoritative values elsewhere (the
+// distributed runtime's per-rank owned shards), host edits made after
+// the first scatter are otherwise unobserved by later loops. Rescatter
+// waits for every outstanding loop on the dat, then pushes Data into the
+// shards, making the host array authoritative again for one moment —
+// the write-direction mirror of Sync. On shared-memory runtimes (no
+// resident storage) it degenerates to the fence alone: Data is always
+// authoritative there.
+func (d *Dat) Rescatter() error {
+	if err := hpx.WaitAll(d.state.current()...); err != nil {
+		return err
+	}
+	if d.scatter != nil {
+		return d.scatter()
+	}
+	return nil
+}
+
+// SetScatter installs fn as the dat's host write-back: Rescatter calls
+// it after outstanding loops resolve so engines can pull the host array
+// into their resident storage. Pass nil to clear.
+func (d *Dat) SetScatter(fn func() error) { d.scatter = fn }
 
 // Future returns a future that resolves to the dat once every loop
 // currently outstanding on it has finished — the dat "returned as a future

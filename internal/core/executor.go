@@ -128,9 +128,10 @@ func (ex *Executor) RunCtx(ctx context.Context, l *Loop) error {
 	if ex.cfg.Backend != Dataflow {
 		return ex.executeCtx(ctx, l)
 	}
-	hard, ordering, record := ex.collectDeps(l)
+	resources := classifyResources(l.Args)
+	hard, ordering := gatherDeps(resources)
 	p, f := hpx.NewPromise[struct{}]()
-	record(f) // before any wait, so program order defines the DAG
+	recordResources(resources, f) // before any wait, so program order defines the DAG
 	if err := waitDeps(ctx, hard, ordering); err != nil {
 		if ctx.Err() != nil {
 			err = fmt.Errorf("op2: loop %q canceled: %w", l.Name, ctx.Err())
@@ -173,62 +174,28 @@ func (ex *Executor) RunAsyncCtx(ctx context.Context, l *Loop) *hpx.Future[struct
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	hard, ordering, record := ex.collectDeps(l)
-	// Two futures with one fate: fChain is recorded as the resources' new
-	// version and must not resolve before the loop's predecessors have
-	// (chain ordering); fUser is the caller's handle and fails promptly on
-	// cancellation even while predecessors are still draining.
-	pChain, fChain := hpx.NewPromise[struct{}]()
-	pUser, fUser := hpx.NewPromise[struct{}]()
-	record(fChain)
-	go func() {
-		if err := waitDeps(ctx, hard, ordering); err != nil {
-			if ctx.Err() != nil {
-				err = fmt.Errorf("op2: loop %q canceled: %w", l.Name, ctx.Err())
-				failAfterDeps(pChain, err, hard, ordering)
-			} else {
-				err = fmt.Errorf("op2: loop %q dependency failed: %w", l.Name, err)
-				pChain.SetErr(err)
-			}
-			pUser.SetErr(err)
-			return
-		}
-		if err := ex.executeCtx(ctx, l); err != nil {
-			pChain.SetErr(err)
-			pUser.SetErr(err)
-			return
-		}
-		pChain.Set(struct{}{})
-		pUser.Set(struct{}{})
-	}()
-	return fUser
+	return ex.issueStepLoop(ctx, l, classifyResources(l.Args))
 }
 
-// collectDeps gathers the dependency futures of every distinct resource
-// the loop touches (with the strongest access seen per resource) and
-// returns a callback that installs the loop's own future into those
-// resources' version chains. Gathering and installing happen before
-// RunAsync returns, so the DAG reflects program order.
+// classifyResources folds a loop's arguments into its distinct resource
+// list with the strongest access seen per resource — the per-dat
+// read/write classification both the per-loop issue path and the
+// StepPlan builder share.
 //
-// Dependencies come back split by failure semantics: `hard` futures
+// The hard flag splits dependencies by failure semantics: hard futures
 // guard resources whose prior state the loop can observe — any read
 // access (Read/RW/Inc/Min/Max), and also map-indirect Write args, which
 // overwrite only the mapped subset of the dat and leave the rest exposed.
 // If such a dependency failed, the loop would consume (or pass through)
-// undefined data, so the failure propagates. `ordering` futures guard
-// resources the loop overwrites entirely — direct Write args, which
-// cover every element of the iteration set and therefore the whole dat.
-// The loop must wait for them so program order holds, but a failed
-// (e.g. canceled) predecessor does not poison data that is about to be
-// fully rewritten. This is what lets a re-initializing direct Write loop
-// heal a version chain after a cancellation.
-func (ex *Executor) collectDeps(l *Loop) (hard, ordering []hpx.Waiter, record func(hpx.Waiter)) {
-	type resAcc struct {
-		state  *versionState
-		hard   bool
-		writes bool
-	}
-	var resources []resAcc
+// undefined data, so the failure propagates. Ordering-only resources are
+// the ones the loop overwrites entirely — direct Write args, which cover
+// every element of the iteration set and therefore the whole dat. The
+// loop must wait for them so program order holds, but a failed (e.g.
+// canceled) predecessor does not poison data that is about to be fully
+// rewritten. This is what lets a re-initializing direct Write loop heal
+// a version chain after a cancellation.
+func classifyResources(args []Arg) []stepRes {
+	var resources []stepRes
 	index := map[*versionState]int{}
 	add := func(st *versionState, hardDep, writes bool) {
 		if i, ok := index[st]; ok {
@@ -237,9 +204,9 @@ func (ex *Executor) collectDeps(l *Loop) (hard, ordering []hpx.Waiter, record fu
 			return
 		}
 		index[st] = len(resources)
-		resources = append(resources, resAcc{state: st, hard: hardDep, writes: writes})
+		resources = append(resources, stepRes{state: st, hard: hardDep, writes: writes})
 	}
-	for _, a := range l.Args {
+	for _, a := range args {
 		switch {
 		case a.gbl != nil:
 			add(&a.gbl.state, true, a.acc.writes())
@@ -248,6 +215,12 @@ func (ex *Executor) collectDeps(l *Loop) (hard, ordering []hpx.Waiter, record fu
 			add(&a.dat.state, !fullOverwrite, a.acc.writes())
 		}
 	}
+	return resources
+}
+
+// gatherDeps returns the futures the resources' version chains require,
+// split into hard and ordering-only dependencies (see classifyResources).
+func gatherDeps(resources []stepRes) (hard, ordering []hpx.Waiter) {
 	for _, r := range resources {
 		acc := Read
 		if r.writes {
@@ -259,16 +232,20 @@ func (ex *Executor) collectDeps(l *Loop) (hard, ordering []hpx.Waiter, record fu
 			ordering = append(ordering, r.state.dependencies(acc)...)
 		}
 	}
-	record = func(f hpx.Waiter) {
-		for _, r := range resources {
-			acc := Read
-			if r.writes {
-				acc = RW
-			}
-			r.state.record(acc, f)
+	return hard, ordering
+}
+
+// recordResources installs f as every resource's new version. Gathering
+// and recording happen before an issue call returns, so the DAG reflects
+// program order.
+func recordResources(resources []stepRes, f hpx.Waiter) {
+	for _, r := range resources {
+		acc := Read
+		if r.writes {
+			acc = RW
 		}
+		r.state.record(acc, f)
 	}
-	return hard, ordering, record
 }
 
 // waitDeps waits for a loop's dependencies under ctx: ordering-only

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"op2hpx/internal/hpx"
+)
+
+// StepPlan is the dataflow DAG of one timestep declared as a unit: an
+// ordered list of loops with a first-class per-dat read/write
+// classification and the cross-loop dependency edges derived from it.
+// Where issuing loops one at a time lets the runtime discover the DAG
+// only implicitly (each loop consults the version chains of the
+// resources it touches at issue time), a StepPlan computes the whole
+// graph once — which is what lets the shared-memory dataflow backend
+// interleave independent loops eagerly with no per-issue argument
+// walking, and what the distributed engine consumes to batch halo
+// exchanges and overlap increment exchanges across loop boundaries.
+//
+// A StepPlan is immutable once built and may be executed any number of
+// times; the kernels travel with the loops, so re-attaching a Kernel to
+// a member loop between runs is observed.
+type StepPlan struct {
+	Name  string
+	Loops []*Loop
+
+	// deps[i] lists the indices j < i of the loops that loop i must wait
+	// for: the nearest writer of every resource loop i reads (RAW) and
+	// the nearest writer plus the readers-since of every resource loop i
+	// writes (WAR, WAW), deduplicated.
+	deps [][]int
+	// sinks are the loops with no intra-step successors; once every sink
+	// has completed, every loop of the step has (each non-sink loop has a
+	// successor that waited for it).
+	sinks []int
+	// res[i] is loop i's distinct resource list with the strongest access
+	// seen — the precomputed form of what collectDeps derives per issue.
+	res [][]stepRes
+}
+
+// stepRes is one distinct resource a loop touches: its version chain and
+// the failure/record semantics of the loop's strongest access to it
+// (mirroring collectDeps).
+type stepRes struct {
+	state  *versionState
+	hard   bool
+	writes bool
+}
+
+// BuildStepPlan validates the loops and computes the step's dataflow
+// DAG. The loop list is one timestep in program order; the same *Loop
+// may appear more than once (e.g. a sub-iterated kernel).
+func BuildStepPlan(name string, loops []*Loop) (*StepPlan, error) {
+	if len(loops) == 0 {
+		return nil, fmt.Errorf("op2: step %q has no loops", name)
+	}
+	for i, l := range loops {
+		if l == nil {
+			return nil, fmt.Errorf("op2: step %q: loop %d is nil", name, i)
+		}
+		if err := l.Validate(); err != nil {
+			return nil, fmt.Errorf("op2: step %q: %w", name, err)
+		}
+	}
+	sp := &StepPlan{
+		Name:  name,
+		Loops: loops,
+		deps:  make([][]int, len(loops)),
+		res:   make([][]stepRes, len(loops)),
+	}
+
+	// Per-resource chain state at plan time, mirroring versionState but
+	// over step-local loop indices.
+	type chain struct {
+		lastWrite int // loop index, -1 if none
+		readers   []int
+	}
+	chains := map[*versionState]*chain{}
+	chainOf := func(st *versionState) *chain {
+		c, ok := chains[st]
+		if !ok {
+			c = &chain{lastWrite: -1}
+			chains[st] = c
+		}
+		return c
+	}
+
+	hasSucc := make([]bool, len(loops))
+	for i, l := range loops {
+		// Distinct resources with the strongest access — the same
+		// classification the per-loop issue path uses.
+		resources := classifyResources(l.Args)
+		sp.res[i] = resources
+
+		// Cross-loop edges from the chain state.
+		seen := map[int]bool{}
+		edge := func(j int) {
+			if j >= 0 && !seen[j] {
+				seen[j] = true
+				sp.deps[i] = append(sp.deps[i], j)
+				hasSucc[j] = true
+			}
+		}
+		for _, r := range resources {
+			c := chainOf(r.state)
+			edge(c.lastWrite)
+			if r.writes {
+				for _, j := range c.readers {
+					edge(j)
+				}
+			}
+		}
+		for _, r := range resources {
+			c := chainOf(r.state)
+			if r.writes {
+				c.lastWrite = i
+				c.readers = c.readers[:0]
+			} else {
+				c.readers = append(c.readers, i)
+			}
+		}
+	}
+	for i := range loops {
+		if !hasSucc[i] {
+			sp.sinks = append(sp.sinks, i)
+		}
+	}
+	return sp, nil
+}
+
+// Deps returns the intra-step dependency edges of loop i (indices of
+// earlier loops it must wait for).
+func (sp *StepPlan) Deps(i int) []int { return sp.deps[i] }
+
+// Sinks returns the indices of the loops no later loop of the step
+// depends on; their completion implies the whole step's.
+func (sp *StepPlan) Sinks() []int { return sp.sinks }
+
+// RunStepCtx executes every loop of the step. Under the Serial and
+// ForkJoin backends the loops run in program order, each with its
+// implicit barrier. Under Dataflow the step is issued asynchronously —
+// independent loops interleave eagerly per the step's DAG — and RunStepCtx
+// waits for completion, returning the first error in program order.
+func (ex *Executor) RunStepCtx(ctx context.Context, sp *StepPlan) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ex.cfg.Backend != Dataflow {
+		for _, l := range sp.Loops {
+			if err := ex.executeCtx(ctx, l); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return ex.RunStepAsyncCtx(ctx, sp).Wait()
+}
+
+// RunStepAsyncCtx issues every loop of the step asynchronously and
+// returns one future for the whole step: it resolves once every sink
+// loop of the DAG has completed, and carries the first error of any
+// member loop in program order — so an error anywhere in the step
+// surfaces on the step's own future, not only through the version
+// chains. The single-issuing-goroutine contract of RunAsyncCtx applies:
+// the step (and any surrounding loops) must be issued from one
+// goroutine.
+func (ex *Executor) RunStepAsyncCtx(ctx context.Context, sp *StepPlan) *hpx.Future[struct{}] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	futs := make([]*hpx.Future[struct{}], len(sp.Loops))
+	for i, l := range sp.Loops {
+		futs[i] = ex.issueStepLoop(ctx, l, sp.res[i])
+	}
+	p, f := hpx.NewPromise[struct{}]()
+	go func() {
+		// Sinks complete last; waiting on them first minimizes wakeups,
+		// then every loop is inspected for the first program-order error.
+		for _, s := range sp.sinks {
+			futs[s].Wait() //nolint:errcheck // errors re-collected in order below
+		}
+		for _, lf := range futs {
+			if err := lf.Wait(); err != nil {
+				p.SetErr(err)
+				return
+			}
+		}
+		p.Set(struct{}{})
+	}()
+	return f
+}
+
+// issueStepLoop issues one loop asynchronously from its classified
+// resource list (precomputed by a StepPlan, or derived on the spot by
+// RunAsyncCtx): gather dependencies, record the loop's future as the
+// new version of each resource, and execute once the dependencies
+// resolve.
+//
+// Two futures with one fate: fChain is recorded as the resources' new
+// version and must not resolve before the loop's predecessors have
+// (chain ordering); fUser is the caller's handle and fails promptly on
+// cancellation even while predecessors are still draining.
+func (ex *Executor) issueStepLoop(ctx context.Context, l *Loop, resources []stepRes) *hpx.Future[struct{}] {
+	hard, ordering := gatherDeps(resources)
+	pChain, fChain := hpx.NewPromise[struct{}]()
+	pUser, fUser := hpx.NewPromise[struct{}]()
+	recordResources(resources, fChain)
+	go func() {
+		if err := waitDeps(ctx, hard, ordering); err != nil {
+			if ctx.Err() != nil {
+				err = fmt.Errorf("op2: loop %q canceled: %w", l.Name, ctx.Err())
+				failAfterDeps(pChain, err, hard, ordering)
+			} else {
+				err = fmt.Errorf("op2: loop %q dependency failed: %w", l.Name, err)
+				pChain.SetErr(err)
+			}
+			pUser.SetErr(err)
+			return
+		}
+		if err := ex.executeCtx(ctx, l); err != nil {
+			pChain.SetErr(err)
+			pUser.SetErr(err)
+			return
+		}
+		pChain.Set(struct{}{})
+		pUser.Set(struct{}{})
+	}()
+	return fUser
+}

@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"op2hpx/internal/hpx"
 )
@@ -14,12 +15,13 @@ import (
 // interior work, and only gates boundary work and increment application
 // on the futures (§III-A/§IV of the paper, applied to communication).
 //
-// Implementations must never block in Send: a full channel is an
-// engine-sizing bug and must surface as an error on both sides, not as a
-// deadlock.
+// Implementations must never block in Send: a sender that has run far
+// ahead of a receiver must be buffered, and a transport that cannot
+// buffer any further must surface a descriptive error on both sides, not
+// a deadlock.
 type Transport interface {
 	// Send delivers payload from rank src to rank dst without blocking.
-	// It returns a descriptive error when the pair's channel is full.
+	// It returns a descriptive error when the pair's buffer is full.
 	Send(src, dst int, payload []float64) error
 	// Recv returns a future resolving to the next undelivered message
 	// from src to dst. Successive Recv calls for one pair must be issued
@@ -29,48 +31,60 @@ type Transport interface {
 	Size() int
 }
 
-// commDepth bounds the in-flight messages per rank pair. The engine
-// sends at most two messages per pair per loop (one read-halo, one
-// increment message) and a rank can run at most mailboxDepth+1 loops
-// ahead of the slowest receiver (the submit goroutine blocks once a
-// mailbox fills), so 2·(mailboxDepth+2) can never legitimately fill.
-const commDepth = 2 * (mailboxDepth + 2)
+// defaultCommDepth bounds the in-flight messages per rank pair. With the
+// Step API a single mailbox slot can carry a whole timestep of loops
+// (each posting a read-halo and an increment message per pair), so the
+// bound is no longer a small static function of the mailbox depth; it is
+// a sanity backstop against a submitter that never fences, far above
+// anything a pipelined application legitimately reaches.
+const defaultCommDepth = 1 << 20
 
-// Comm is the in-process Transport: boxes[dst][src] is a buffered
-// channel per ordered rank pair. A send into a full channel fails with a
-// descriptive error and poisons the communicator, so every pending and
-// future receive fails too instead of deadlocking the other ranks.
+// pairQueue is one ordered rank pair's in-flight messages: a growable
+// FIFO so senders never block, drained by the chained receive futures.
+type pairQueue struct {
+	msgs [][]float64
+	// waiting is the promise of the oldest posted-but-unmatched receive;
+	// at most one receive waits at a time because receives for a pair are
+	// chained (see Comm.Recv).
+	waiting *hpx.Promise[[]float64]
+}
+
+// Comm is the in-process Transport: one growable FIFO per ordered rank
+// pair. A send into a pair that has accumulated depth undelivered
+// messages fails with a descriptive error and poisons the communicator,
+// so every pending and future receive fails too instead of deadlocking
+// the other ranks.
 type Comm struct {
 	n     int
-	boxes [][]chan []float64
-	// last[dst][src] chains the pair's receive futures: a Recv consumes
-	// from the channel only after the previous Recv for the same pair
-	// resolved, so an abandoned wait (a canceled loop) can never race a
-	// later loop's receive for the same pair out of order.
-	last [][]*hpx.Future[[]float64]
+	depth int
 
-	mu     sync.Mutex
-	broken chan struct{} // closed on first failed send
+	mu    sync.Mutex
+	pairs [][]pairQueue // [dst][src]
+	last  [][]*hpx.Future[[]float64]
+
+	broken atomic.Bool
 	err    error
 }
 
-// NewComm creates a communicator for n ranks (n >= 1).
-func NewComm(n int) *Comm {
+// NewComm creates a communicator for n ranks (n >= 1) with the default
+// per-pair buffering.
+func NewComm(n int) *Comm { return NewCommDepth(n, defaultCommDepth) }
+
+// NewCommDepth is NewComm with an explicit per-pair message bound,
+// used by tests that pin the overflow behaviour.
+func NewCommDepth(n, depth int) *Comm {
 	if n < 1 {
 		n = 1
 	}
-	c := &Comm{
-		n:      n,
-		boxes:  make([][]chan []float64, n),
-		last:   make([][]*hpx.Future[[]float64], n),
-		broken: make(chan struct{}),
+	if depth < 1 {
+		depth = 1
 	}
-	for dst := range c.boxes {
-		c.boxes[dst] = make([]chan []float64, n)
+	c := &Comm{n: n, depth: depth}
+	c.pairs = make([][]pairQueue, n)
+	c.last = make([][]*hpx.Future[[]float64], n)
+	for dst := range c.pairs {
+		c.pairs[dst] = make([]pairQueue, n)
 		c.last[dst] = make([]*hpx.Future[[]float64], n)
-		for src := range c.boxes[dst] {
-			c.boxes[dst][src] = make(chan []float64, commDepth)
-		}
 	}
 	return c
 }
@@ -78,49 +92,98 @@ func NewComm(n int) *Comm {
 // Size reports the number of ranks.
 func (c *Comm) Size() int { return c.n }
 
-// Send implements Transport. A full pair channel returns an error
-// immediately (and fails all receivers) instead of blocking — the silent
-// deadlock the previous engine had when two messages were posted into a
-// one-slot box within a phase.
-func (c *Comm) Send(src, dst int, payload []float64) error {
-	select {
-	case c.boxes[dst][src] <- payload:
-		return nil
-	default:
-		err := fmt.Errorf("dist: comm channel %d→%d full (%d messages in flight): send would deadlock",
-			src, dst, commDepth)
-		c.mu.Lock()
-		if c.err == nil {
-			c.err = err
-			close(c.broken)
+// poisonLocked marks the communicator broken and fails the waiting
+// receive of every pair. c.mu must be held.
+func (c *Comm) poisonLocked(err error) {
+	if c.broken.Load() {
+		return
+	}
+	c.err = err
+	c.broken.Store(true)
+	for dst := range c.pairs {
+		for src := range c.pairs[dst] {
+			q := &c.pairs[dst][src]
+			if q.waiting != nil {
+				q.waiting.SetErr(fmt.Errorf("dist: recv %d←%d aborted: %w", dst, src, err))
+				q.waiting = nil
+			}
 		}
-		c.mu.Unlock()
-		return err
 	}
 }
 
+// Send implements Transport: the payload is appended to the pair's FIFO
+// (resolving a waiting receive directly) without ever blocking. A pair
+// that exceeds the communicator's depth returns an error immediately and
+// poisons every receiver instead of deadlocking.
+func (c *Comm) Send(src, dst int, payload []float64) error {
+	c.mu.Lock()
+	if c.broken.Load() {
+		err := c.err
+		c.mu.Unlock()
+		return fmt.Errorf("dist: send %d→%d on poisoned communicator: %w", src, dst, err)
+	}
+	q := &c.pairs[dst][src]
+	if q.waiting != nil {
+		p := q.waiting
+		q.waiting = nil
+		c.mu.Unlock()
+		p.Set(payload)
+		return nil
+	}
+	if len(q.msgs) >= c.depth {
+		err := fmt.Errorf("dist: comm pair %d→%d exceeded %d in-flight messages: receiver never drains (missing fence?)",
+			src, dst, c.depth)
+		c.poisonLocked(err)
+		c.mu.Unlock()
+		return err
+	}
+	q.msgs = append(q.msgs, payload)
+	c.mu.Unlock()
+	return nil
+}
+
 // Recv implements Transport: the returned future resolves with the next
-// message from src, or with the communicator's poison error.
+// message from src, or with the communicator's poison error. Receives
+// for one pair are chained — a receive consumes from the queue only
+// after the previous receive for the same pair resolved — so an
+// abandoned wait (a canceled loop) can never race a later loop's receive
+// for the same pair out of order.
 func (c *Comm) Recv(dst, src int) *hpx.Future[[]float64] {
-	ch := c.boxes[dst][src]
 	c.mu.Lock()
 	prev := c.last[dst][src]
 	p, f := hpx.NewPromise[[]float64]()
 	c.last[dst][src] = f
 	c.mu.Unlock()
-	go func() {
-		if prev != nil {
-			prev.Wait() //nolint:errcheck // ordering only; each receive reports its own error
-		}
-		select {
-		case payload := <-ch:
-			p.Set(payload)
-		case <-c.broken:
-			c.mu.Lock()
+	match := func() {
+		c.mu.Lock()
+		if c.broken.Load() {
 			err := c.err
 			c.mu.Unlock()
 			p.SetErr(fmt.Errorf("dist: recv %d←%d aborted: %w", dst, src, err))
+			return
 		}
+		q := &c.pairs[dst][src]
+		if len(q.msgs) > 0 {
+			msg := q.msgs[0]
+			q.msgs = q.msgs[1:]
+			c.mu.Unlock()
+			p.Set(msg)
+			return
+		}
+		q.waiting = p
+		c.mu.Unlock()
+	}
+	if prev == nil {
+		match()
+		return f
+	}
+	if prev.Ready() {
+		match()
+		return f
+	}
+	go func() {
+		prev.Wait() //nolint:errcheck // ordering only; each receive reports its own error
+		match()
 	}()
 	return f
 }

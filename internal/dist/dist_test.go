@@ -274,11 +274,11 @@ func TestOverlapInteriorRunsBeforeHaloResolution(t *testing.T) {
 	}
 }
 
-// TestCommSendFullErrors pins the satellite fix: a send into a full pair
-// channel reports a descriptive error instead of deadlocking, and poisons
-// pending receives so no rank blocks forever.
+// TestCommSendFullErrors pins the overflow behaviour: a send into a pair
+// that exceeded its in-flight bound reports a descriptive error instead
+// of deadlocking, and poisons pending receives so no rank blocks forever.
 func TestCommSendFullErrors(t *testing.T) {
-	c := dist.NewComm(2)
+	c := dist.NewCommDepth(2, 8)
 	var err error
 	for i := 0; ; i++ {
 		if err = c.Send(0, 1, []float64{float64(i)}); err != nil {
@@ -288,7 +288,7 @@ func TestCommSendFullErrors(t *testing.T) {
 			t.Fatal("send never reported a full channel")
 		}
 	}
-	if !strings.Contains(err.Error(), "full") || !strings.Contains(err.Error(), "deadlock") {
+	if !strings.Contains(err.Error(), "in-flight") || !strings.Contains(err.Error(), "drains") {
 		t.Errorf("unhelpful full-channel error: %v", err)
 	}
 	// The other direction's receiver must not hang either: the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"op2hpx/internal/core"
 	"op2hpx/internal/hpx"
@@ -58,7 +59,7 @@ type Engine struct {
 	ranks       int
 	partitioner part.Partitioner
 	blockSize   int
-	tr          Transport
+	tr          *countingTransport
 	trace       TraceFunc
 
 	mu      sync.Mutex
@@ -66,13 +67,36 @@ type Engine struct {
 	topos   map[*core.Set]*part.Topology
 	dats    map[*core.Dat]*shardedDat
 	plans   map[string]*loopPlan  // structural key: set + args (see loopKey)
+	steps   map[string]*stepPlan  // structural key: joined loop keys (see stepKey)
+	builds  int                   // loop plans built (not served from cache)
 	fenced  map[*core.Global]bool // globals whose Sync/Future fence this engine
-	tail    *hpx.Future[struct{}] // completion of the last submitted loop
+	tail    *hpx.Future[struct{}] // completion of the last submitted step
 	pending []error               // loop errors not yet delivered to any caller
 	closed  bool
 
 	postMu  sync.Mutex // serializes mailbox posting across submitters
 	workers []*worker
+}
+
+// countingTransport decorates the engine's transport with a message
+// counter, the observable behind Engine.MessagesSent: tests assert that
+// step-coalesced exchanges post strictly fewer messages than
+// loop-at-a-time issue, and the experiment harness reports
+// messages/iteration.
+type countingTransport struct {
+	inner Transport
+	sent  atomic.Int64
+}
+
+func (c *countingTransport) Size() int { return c.inner.Size() }
+
+func (c *countingTransport) Send(src, dst int, payload []float64) error {
+	c.sent.Add(1)
+	return c.inner.Send(src, dst, payload)
+}
+
+func (c *countingTransport) Recv(dst, src int) *hpx.Future[[]float64] {
+	return c.inner.Recv(dst, src)
 }
 
 // NewEngine builds a distributed engine.
@@ -96,12 +120,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 		ranks:       cfg.Ranks,
 		partitioner: cfg.Partitioner,
 		blockSize:   cfg.BlockSize,
-		tr:          cfg.Transport,
+		tr:          &countingTransport{inner: cfg.Transport},
 		trace:       cfg.Trace,
 		sets:        map[*core.Set]*setPart{},
 		topos:       map[*core.Set]*part.Topology{},
 		dats:        map[*core.Dat]*shardedDat{},
 		plans:       map[string]*loopPlan{},
+		steps:       map[string]*stepPlan{},
 		fenced:      map[*core.Global]bool{},
 	}
 	e.workers = make([]*worker, cfg.Ranks)
@@ -116,13 +141,33 @@ func NewEngine(cfg Config) (*Engine, error) {
 // Ranks reports the number of localities.
 func (e *Engine) Ranks() int { return e.ranks }
 
-// PlanCount reports the number of cached distributed plans (structural
-// keys — inline-declared loops with identical shapes share one).
+// PlanCount reports the number of cached distributed loop plans
+// (structural keys — inline-declared loops with identical shapes share
+// one).
 func (e *Engine) PlanCount() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return len(e.plans)
 }
+
+// PlanBuilds reports how many loop plans were actually built (cache
+// misses) over the engine's lifetime — the observable behind the
+// per-dat invalidation tests: re-sharding one dat must not rebuild
+// unrelated loops' locator tables.
+func (e *Engine) PlanBuilds() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.builds
+}
+
+// MessagesSent reports the total halo messages (read-halo and increment)
+// posted to the transport since the engine was created.
+func (e *Engine) MessagesSent() int64 { return e.tr.sent.Load() }
+
+// Fence blocks until every submitted loop and step has completed —
+// including deferred increment applies and reduction folds — and
+// reports the first loop error no caller has observed yet.
+func (e *Engine) Fence() error { return e.waitTail() }
 
 // PartitionerName reports the configured partitioner.
 func (e *Engine) PartitionerName() string { return e.partitioner.Name() }
@@ -215,12 +260,22 @@ func (e *Engine) ensureShardedLocked(d *core.Dat) (*shardedDat, error) {
 	}
 	e.dats[d] = sd
 	d.SetFlush(func() error { return e.flushDat(sd) })
-	// Plans that read this dat from its (now stale) global storage must
-	// be rebuilt against the shards.
+	d.SetScatter(func() error { return e.scatterDat(sd) })
+	// Per-dat invalidation: only the plans that read THIS dat from its
+	// (now stale) global storage are rebuilt against the shards;
+	// unrelated loops' locator tables survive.
 	for l, lp := range e.plans {
 		for _, rd := range lp.repl {
 			if rd == d {
 				delete(e.plans, l)
+				break
+			}
+		}
+	}
+	for k, sp := range e.steps {
+		for _, rd := range sp.repl {
+			if rd == d {
+				delete(e.steps, k)
 				break
 			}
 		}
@@ -311,22 +366,66 @@ func (e *Engine) flushDat(sd *shardedDat) error {
 	return nil
 }
 
+// scatterDat is the write-direction mirror of flushDat (Dat.Rescatter):
+// wait for every submitted loop, then push the host's global storage
+// into the owned shards so host writes made after the first scatter are
+// observed by later loops. Halo copies on other ranks refresh with the
+// next read exchange, which every importing loop or step posts anyway.
+// Locator tables stay valid — ownership did not change — so no plan is
+// invalidated.
+func (e *Engine) scatterDat(sd *shardedDat) error {
+	if err := e.waitTail(); err != nil {
+		return err
+	}
+	dim := sd.d.Dim()
+	global := sd.d.Data()
+	for r := 0; r < e.ranks; r++ {
+		for i, id := range sd.sp.owned[r] {
+			copy(sd.owned[r][i*dim:(i+1)*dim], global[int(id)*dim:(int(id)+1)*dim])
+		}
+	}
+	return nil
+}
+
 // Run executes the loop collectively across all ranks and returns once
-// every rank (and the reduction combine) has completed.
+// every rank (and the reduction combine) has completed. Internally a
+// single loop is a one-loop Step.
 func (e *Engine) Run(ctx context.Context, l *core.Loop) error {
-	err := e.RunAsync(ctx, l).Wait()
+	return e.RunStep(ctx, l.Name, []*core.Loop{l})
+}
+
+// RunAsync submits the loop — a one-loop Step — and returns its
+// completion future. Loops pipeline: a rank that finished its share of
+// loop N proceeds to loop N+1 while other ranks are still in N —
+// messages stay matched because every pair's channel is FIFO and every
+// worker processes loops in submission order.
+func (e *Engine) RunAsync(ctx context.Context, l *core.Loop) *hpx.Future[struct{}] {
+	return e.RunStepAsync(ctx, l.Name, []*core.Loop{l})
+}
+
+// RunStep executes the step collectively across all ranks and returns
+// once every rank (including deferred increment applies) and the
+// reduction folds have completed. The returned error — the first of any
+// member loop — is marked delivered, so the next fence does not report
+// it again.
+func (e *Engine) RunStep(ctx context.Context, name string, loops []*core.Loop) error {
+	err := e.RunStepAsync(ctx, name, loops).Wait()
 	if err != nil {
 		e.AckError(err) // delivered here; don't re-report at the next fence
 	}
 	return err
 }
 
-// RunAsync submits the loop and returns its completion future. Loops
-// pipeline: a rank that finished its share of loop N proceeds to loop
-// N+1 while other ranks are still in N — messages stay matched because
-// every pair's channel is FIFO and every worker processes loops in
-// submission order.
-func (e *Engine) RunAsync(ctx context.Context, l *core.Loop) *hpx.Future[struct{}] {
+// RunStepAsync submits every loop of the step as one unit and returns a
+// single future for the whole step: it resolves once every rank has
+// finished every member loop (deferred applies included) and the
+// driver has folded the step's reductions, and it carries the first
+// error of any member loop. Building the step's plan hands the engine
+// the full dataflow DAG, which is what enables the cross-loop
+// optimizations: read-halo exchanges coalesced across loops sharing a
+// dat's halo, and a loop's increment exchange overlapping the next
+// loops' interiors (see stepPlan).
+func (e *Engine) RunStepAsync(ctx context.Context, name string, loops []*core.Loop) *hpx.Future[struct{}] {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -337,30 +436,34 @@ func (e *Engine) RunAsync(ctx context.Context, l *core.Loop) *hpx.Future[struct{
 		e.recordError(err) // surfaces at the next fence even if the future is abandoned
 		return hpx.MakeErr[struct{}](err)
 	}
-	lp, err := e.planLocked(l)
+	sp, err := e.stepPlanLocked(name, loops)
 	if err != nil {
 		e.mu.Unlock()
 		e.recordError(err) // ditto: an abandoned plan-error future must not vanish
 		return hpx.MakeErr[struct{}](err)
 	}
+	kernels := make([]core.Kernel, len(loops))
+	for i, l := range loops {
+		kernels[i] = l.Kernel
+	}
 	prev := e.tail
-	pLoop, fLoop := hpx.NewPromise[struct{}]()
-	e.tail = fLoop
+	pStep, fStep := hpx.NewPromise[struct{}]()
+	e.tail = fStep
 	e.mu.Unlock()
 
 	var gate hpx.Waiter
-	if lp.gate && prev != nil {
+	if sp.gate && prev != nil {
 		gate = prev
 	}
-	dones := make([]*hpx.Future[[]float64], e.ranks)
+	dones := make([]*hpx.Future[[][]float64], e.ranks)
 	tasks := make([]*task, e.ranks)
 	for r := 0; r < e.ranks; r++ {
-		p, f := hpx.NewPromise[[]float64]()
+		p, f := hpx.NewPromise[[][]float64]()
 		dones[r] = f
-		tasks[r] = &task{ctx: ctx, lp: lp, kernel: l.Kernel, gate: gate, done: p}
+		tasks[r] = &task{ctx: ctx, sp: sp, kernels: kernels, gate: gate, done: p}
 	}
 	// Post in rank order under postMu so concurrent submitters cannot
-	// interleave two loops' tasks differently on different mailboxes.
+	// interleave two steps' tasks differently on different mailboxes.
 	e.postMu.Lock()
 	for r, t := range tasks {
 		e.workers[r].mail <- t
@@ -369,28 +472,38 @@ func (e *Engine) RunAsync(ctx context.Context, l *core.Loop) *hpx.Future[struct{
 
 	go func() {
 		if prev != nil {
-			prev.Wait() //nolint:errcheck // ordering only: this loop reports its own errors
+			prev.Wait() //nolint:errcheck // ordering only: this step reports its own errors
 		}
 		var firstErr error
-		bufs := make([][]float64, e.ranks)
+		rankBufs := make([][][]float64, e.ranks)
 		for r, f := range dones {
 			v, err := f.Get()
-			bufs[r] = v
+			rankBufs[r] = v
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
-		if firstErr == nil && lp.gbl.size > 0 {
-			e.applyReductions(lp, bufs)
+		if firstErr == nil {
+			// Fold each occurrence's reduction buffers in step order.
+			bufs := make([][]float64, e.ranks)
+			for o, lp := range sp.loops {
+				if lp.gbl.size == 0 {
+					continue
+				}
+				for r := range bufs {
+					bufs[r] = rankBufs[r][o]
+				}
+				e.applyReductions(lp, bufs)
+			}
 		}
 		if firstErr != nil {
-			e.recordError(firstErr) // before resolving, so Run can ack it
-			pLoop.SetErr(firstErr)
+			e.recordError(firstErr) // before resolving, so RunStep can ack it
+			pStep.SetErr(firstErr)
 			return
 		}
-		pLoop.Set(struct{}{})
+		pStep.Set(struct{}{})
 	}()
-	return fLoop
+	return fStep
 }
 
 // applyReductions folds the per-rank reduction buffers into the global

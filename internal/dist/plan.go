@@ -163,6 +163,35 @@ type haloNeed struct {
 	slots int
 }
 
+// readSchedule is one rank's read-halo exchange for one posting point:
+// which owned values to pack per destination, which messages to expect
+// per source, and how to scatter them into halo slots. A loopPlan holds
+// the solo schedule of each rank (what the loop needs when issued on its
+// own); a multi-loop step builds union schedules that serve every loop
+// of a coalescing group with one exchange (see stepPlan).
+type readSchedule struct {
+	need     []haloNeed       // halo storage growth required before scattering
+	sendTo   [][]readSendPart // per dst rank; empty = no message
+	sendLen  []int            // floats per dst
+	recvFrom [][]readRecvPart // per src rank
+	recvLen  []int
+}
+
+// active reports whether the schedule moves any data on this rank.
+func (rs *readSchedule) active() bool {
+	for _, n := range rs.sendLen {
+		if n > 0 {
+			return true
+		}
+	}
+	for _, n := range rs.recvLen {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // rankPlan is the per-rank slice of a loopPlan. incBuf is reused across
 // invocations (zeroed at task start); it is only ever touched by this
 // rank's worker, which processes loops strictly in order.
@@ -172,18 +201,9 @@ type rankPlan struct {
 	ninterior int
 	loc       [][]int32 // per arg: localized index per exec position (nil for kinds without a table)
 
-	haloNeed []haloNeed
-	incBuf   [][]float64 // per dense increment-arg index
-	// redBuf is the reduction scratch, lazily allocated and reused by
-	// this rank's worker. Reuse is race-free because every loop with
-	// global args gates on the previous loop's completion future, which
-	// resolves only after the driver has folded the previous buffers.
-	redBuf []float64
+	incBuf [][]float64 // per dense increment-arg index
 
-	readSendTo   [][]readSendPart // per dst rank; empty = no message
-	readSendLen  []int            // floats per dst
-	readRecvFrom [][]readRecvPart // per src rank
-	readRecvLen  []int
+	read *readSchedule // the loop's own read-halo exchange
 
 	incSendTo  [][]incSendPart // per dst rank
 	incSendLen []int
@@ -211,25 +231,17 @@ func loopKey(l *core.Loop) string {
 	return b.String()
 }
 
-// planLocked returns the cached distributed plan for l, building it (and
-// any ownership, sharding and halo state it needs) on first use. The
-// engine lock must be held.
-func (e *Engine) planLocked(l *core.Loop) (*loopPlan, error) {
+// validateDistLoop rejects loops the distributed engine cannot replay
+// with serial semantics: missing generic kernels, unsupported indirect
+// access modes, and intra-loop aliasing between buffered increments,
+// direct writes and halo-snapshotted reads.
+func validateDistLoop(l *core.Loop) error {
 	if l.Kernel == nil {
-		return nil, invalidf("loop %q: distributed execution needs a generic Kernel (a specialized Body indexes host storage directly)", l.Name)
-	}
-	key := loopKey(l)
-	if lp, ok := e.plans[key]; ok {
-		return lp, nil
+		return invalidf("loop %q: distributed execution needs a generic Kernel (a specialized Body indexes host storage directly)", l.Name)
 	}
 	if err := l.Validate(); err != nil {
-		return nil, err
+		return err
 	}
-	R := e.ranks
-
-	// Ownership first: target sets of indirect accesses that are (or are
-	// about to be) sharded must be partitioned before the iteration set
-	// can derive from them.
 	for _, a := range l.Args {
 		if a.IsGlobal() || a.Map() == nil {
 			continue
@@ -237,12 +249,7 @@ func (e *Engine) planLocked(l *core.Loop) (*loopPlan, error) {
 		switch a.Acc() {
 		case core.Read, core.Inc:
 		default:
-			return nil, invalidf("loop %q: indirect %v access is not supported distributed (owner-compute needs Read or Inc through maps)", l.Name, a.Acc())
-		}
-		if a.Acc() == core.Inc || e.dats[a.Dat()] != nil {
-			if _, err := e.ensureRealPartLocked(a.Dat().Set()); err != nil {
-				return nil, err
-			}
+			return invalidf("loop %q: indirect %v access is not supported distributed (owner-compute needs Read or Inc through maps)", l.Name, a.Acc())
 		}
 	}
 	// Intra-loop aliasing the engine cannot replay: serial applies
@@ -270,33 +277,57 @@ func (e *Engine) planLocked(l *core.Loop) (*loopPlan, error) {
 	}
 	for _, a := range l.Args {
 		if !a.IsGlobal() && a.Acc() != core.Inc && incd[a.Dat()] {
-			return nil, invalidf("loop %q: dat %q is both read and incremented; distributed increments are buffered, so reads would not observe them as the serial backend's do", l.Name, a.Dat().Name())
+			return invalidf("loop %q: dat %q is both read and incremented; distributed increments are buffered, so reads would not observe them as the serial backend's do", l.Name, a.Dat().Name())
 		}
 	}
 	for d := range directWrite {
 		if indirectRead[d] {
-			return nil, invalidf("loop %q: dat %q is written directly and read through a map; the distributed halo snapshot would not observe the writes as the serial backend's reads do", l.Name, d.Name())
+			return invalidf("loop %q: dat %q is written directly and read through a map; the distributed halo snapshot would not observe the writes as the serial backend's reads do", l.Name, d.Name())
 		}
 	}
-	itsp := e.sets[l.Set]
-	if itsp == nil {
+	return nil
+}
+
+// prepareLoopLocked establishes the ownership and sharding state a
+// validated loop needs: target sets of sharded indirect accesses
+// partitioned, the iteration set partitioned (derived through a map when
+// possible), and every written dat moved to owned+halo storage. It is
+// idempotent; a Step calls it for every member loop before any member's
+// plan is built, so a dat a later loop writes is already sharded when an
+// earlier loop's locator tables are derived.
+func (e *Engine) prepareLoopLocked(l *core.Loop) error {
+	// Ownership first: target sets of indirect accesses that are (or are
+	// about to be) sharded must be partitioned before the iteration set
+	// can derive from them.
+	for _, a := range l.Args {
+		if a.IsGlobal() || a.Map() == nil {
+			continue
+		}
+		if a.Acc() == core.Inc || e.dats[a.Dat()] != nil {
+			if _, err := e.ensureRealPartLocked(a.Dat().Set()); err != nil {
+				return err
+			}
+		}
+	}
+	if e.sets[l.Set] == nil {
 		// Derive the iteration set's ownership from the first indirect
 		// arg whose target is partitioned (owner of map slot 0), so
 		// elements execute where their data lives; otherwise partition
 		// it for real.
+		derived := false
 		for _, a := range l.Args {
 			if a.IsGlobal() || a.Map() == nil {
 				continue
 			}
 			if tsp := e.sets[a.Dat().Set()]; tsp != nil {
-				itsp = e.derivePartLocked(l.Set, a.Map(), tsp)
+				e.derivePartLocked(l.Set, a.Map(), tsp)
+				derived = true
 				break
 			}
 		}
-		if itsp == nil {
-			var err error
-			if itsp, err = e.ensureRealPartLocked(l.Set); err != nil {
-				return nil, err
+		if !derived {
+			if _, err := e.ensureRealPartLocked(l.Set); err != nil {
+				return err
 			}
 		}
 	}
@@ -307,9 +338,29 @@ func (e *Engine) planLocked(l *core.Loop) (*loopPlan, error) {
 			continue
 		}
 		if _, err := e.ensureShardedLocked(a.Dat()); err != nil {
-			return nil, err
+			return err
 		}
 	}
+	return nil
+}
+
+// planLocked returns the cached distributed plan for l, building it (and
+// any ownership, sharding and halo state it needs) on first use. The
+// engine lock must be held.
+func (e *Engine) planLocked(l *core.Loop) (*loopPlan, error) {
+	key := loopKey(l)
+	if lp, ok := e.plans[key]; ok {
+		return lp, nil
+	}
+	if err := validateDistLoop(l); err != nil {
+		return nil, err
+	}
+	if err := e.prepareLoopLocked(l); err != nil {
+		return nil, err
+	}
+	R := e.ranks
+	itsp := e.sets[l.Set]
+	e.builds++
 
 	lp := &loopPlan{l: l, name: l.Name, itsp: itsp, execPos: make([]int32, l.Set.Size())}
 	lp.args = make([]argPlan, len(l.Args))
@@ -468,57 +519,63 @@ func (e *Engine) buildLocators(lp *loopPlan) {
 				rp.incBuf[ap.ia] = make([]float64, n*ap.dim)
 			}
 		}
-		// Snapshot the halo sizes the read tables above may have grown to.
-		seen := map[*shardedDat]bool{}
-		for ai := range lp.args {
-			ap := &lp.args[ai]
-			if ap.kind != argIndirect || seen[ap.sd] {
-				continue
-			}
-			seen[ap.sd] = true
-			rp.haloNeed = append(rp.haloNeed, haloNeed{sd: ap.sd, slots: len(ap.sd.sp.haloIDs[r])})
-		}
 	}
 }
 
-// buildReadExchange derives, for every rank pair, which owned values must
-// travel before boundary elements can execute: rank r imports exactly the
-// halo ids its locators reference, grouped by owning rank, in ascending
-// global id — the same canonical order on both sides, so messages carry
-// raw values with no headers.
-func (e *Engine) buildReadExchange(lp *loopPlan) {
-	R := e.ranks
-	for _, rp := range lp.ranks {
-		rp.readSendTo = make([][]readSendPart, R)
-		rp.readSendLen = make([]int, R)
-		rp.readRecvFrom = make([][]readRecvPart, R)
-		rp.readRecvLen = make([]int, R)
-	}
-	for _, rp := range lp.ranks {
-		r := rp.rank
-		for _, sd := range lp.readSDs {
-			sp := sd.sp
-			// Halo ids of this dat referenced by rank r's tables.
-			need := map[int32]bool{}
-			for ai := range lp.args {
-				ap := &lp.args[ai]
-				if ap.kind != argIndirect || ap.sd != sd {
-					continue
-				}
-				for _, v := range rp.loc[ai] {
-					if v < 0 {
-						need[sp.haloIDs[r][-v-1]] = true
-					}
-				}
+// loopHaloIDs returns the halo ids of sd that rank r's locator tables
+// for lp reference, in ascending global id — the canonical per-(loop,
+// rank, dat) import need the exchange schedules are built from.
+func loopHaloIDs(lp *loopPlan, r int, sd *shardedDat) []int32 {
+	rp := lp.ranks[r]
+	need := map[int32]bool{}
+	for ai := range lp.args {
+		ap := &lp.args[ai]
+		if ap.kind != argIndirect || ap.sd != sd {
+			continue
+		}
+		for _, v := range rp.loc[ai] {
+			if v < 0 {
+				need[sd.sp.haloIDs[r][-v-1]] = true
 			}
-			if len(need) == 0 {
+		}
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	ids := make([]int32, 0, len(need))
+	for id := range need {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// buildReadSchedules derives, for every rank, the exchange that delivers
+// the given halo ids of the given dats: which owned values each rank
+// packs per destination and which messages it expects per source, both
+// sides grouped by owning rank in ascending global id — the same
+// canonical order everywhere, so messages carry raw values with no
+// headers. needIDs(r, sd) returns the ascending halo ids rank r must
+// import for sd; dats are visited in list order, which fixes the layout
+// of multi-dat messages.
+func (e *Engine) buildReadSchedules(dats []*shardedDat, needIDs func(r int, sd *shardedDat) []int32) []*readSchedule {
+	R := e.ranks
+	scheds := make([]*readSchedule, R)
+	for r := range scheds {
+		scheds[r] = &readSchedule{
+			sendTo:   make([][]readSendPart, R),
+			sendLen:  make([]int, R),
+			recvFrom: make([][]readRecvPart, R),
+			recvLen:  make([]int, R),
+		}
+	}
+	for r := 0; r < R; r++ {
+		for _, sd := range dats {
+			sp := sd.sp
+			ids := needIDs(r, sd)
+			if len(ids) == 0 {
 				continue
 			}
-			ids := make([]int32, 0, len(need))
-			for id := range need {
-				ids = append(ids, id)
-			}
-			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			// Group by owner, preserving ascending id within each group.
 			for s := 0; s < R; s++ {
 				var group []int32
@@ -536,13 +593,36 @@ func (e *Engine) buildReadExchange(lp *loopPlan) {
 					slots[i] = sp.haloSlot[r][id]
 					locals[i] = sp.local[id]
 				}
-				rp.readRecvFrom[s] = append(rp.readRecvFrom[s], readRecvPart{sd: sd, slots: slots})
-				rp.readRecvLen[s] += len(group) * sd.d.Dim()
-				srp := lp.ranks[s]
-				srp.readSendTo[r] = append(srp.readSendTo[r], readSendPart{sd: sd, locals: locals})
-				srp.readSendLen[r] += len(group) * sd.d.Dim()
+				scheds[r].recvFrom[s] = append(scheds[r].recvFrom[s], readRecvPart{sd: sd, slots: slots})
+				scheds[r].recvLen[s] += len(group) * sd.d.Dim()
+				scheds[s].sendTo[r] = append(scheds[s].sendTo[r], readSendPart{sd: sd, locals: locals})
+				scheds[s].sendLen[r] += len(group) * sd.d.Dim()
 			}
 		}
+	}
+	// Snapshot the halo growth each rank needs before it can scatter.
+	for r := 0; r < R; r++ {
+		seen := map[*shardedDat]bool{}
+		for _, sd := range dats {
+			if seen[sd] {
+				continue
+			}
+			seen[sd] = true
+			scheds[r].need = append(scheds[r].need, haloNeed{sd: sd, slots: len(sd.sp.haloIDs[r])})
+		}
+	}
+	return scheds
+}
+
+// buildReadExchange attaches each rank's solo read-halo schedule to the
+// loop plan: rank r imports exactly the halo ids its own locators
+// reference.
+func (e *Engine) buildReadExchange(lp *loopPlan) {
+	scheds := e.buildReadSchedules(lp.readSDs, func(r int, sd *shardedDat) []int32 {
+		return loopHaloIDs(lp, r, sd)
+	})
+	for _, rp := range lp.ranks {
+		rp.read = scheds[rp.rank]
 	}
 }
 

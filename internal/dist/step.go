@@ -1,0 +1,288 @@
+package dist
+
+import (
+	"strings"
+
+	"op2hpx/internal/core"
+)
+
+// stepPlan is the distributed execution plan of one Step: the member
+// loops' plans in program order plus the cross-loop schedules the step's
+// dataflow DAG makes legal —
+//
+//   - coalesced read-halo exchanges: consecutive loops importing the
+//     same dat's halo with no intervening write share one exchange,
+//     posted by the first importer (the group leader) and sized to the
+//     union of the group's needs, and
+//   - deferred increment application: a loop's increment exchange stays
+//     in flight (and its owner-side apply pending) while later loops
+//     that do not observe the incremented dat execute their interiors;
+//     the apply resolves, in submission order, right before the first
+//     loop that reads or overwrites the dat.
+//
+// Single loops are one-loop steps: their leader schedule is the loop's
+// own and their apply resolves at the end of the step, which is exactly
+// the loop-at-a-time behaviour.
+type stepPlan struct {
+	key   string
+	name  string
+	loops []*loopPlan // per occurrence; the same plan may repeat
+	gate  bool        // any loop touches globals: gate on the previous tail
+	repl  []*core.Dat // union of replicated-read dats (per-dat invalidation)
+
+	// incDue[o] is the occurrence index before which occurrence o's
+	// pending increment apply must resolve: the first later occurrence
+	// that observes or overwrites an incremented dat's owned values (or
+	// reuses the same plan's increment buffers); len(loops) when nothing
+	// in the step does, so the apply drains at step end.
+	incDue []int
+
+	ranks []*stepRank
+}
+
+// stepRank is the per-rank slice of a stepPlan.
+type stepRank struct {
+	// readPost[o] is the read-halo exchange occurrence o posts on this
+	// rank: its own solo schedule for a one-loop step, the group union
+	// for a coalescing leader, nil for followers (their halo is fresh by
+	// the time they run — the worker executes occurrences in order) and
+	// for occurrences with nothing to import.
+	readPost []*readSchedule
+	// redBuf[o] is occurrence o's reduction scratch, lazily sized and
+	// reused across step invocations. Reuse is race-free because a step
+	// with global args gates on the previous tail, which resolves only
+	// after the driver folded the previous invocation's buffers.
+	redBuf [][]float64
+}
+
+// stepKey identifies a step plan structurally: the concatenated
+// structural keys of its loops in order. Steps rebuilt inline each
+// timestep therefore share one cached plan.
+func stepKey(loops []*core.Loop) string {
+	var b strings.Builder
+	for i, l := range loops {
+		if i > 0 {
+			b.WriteString("||")
+		}
+		b.WriteString(loopKey(l))
+	}
+	return b.String()
+}
+
+// stepPlanLocked returns the cached distributed plan for the step,
+// building it on first use. The engine lock must be held.
+func (e *Engine) stepPlanLocked(name string, loops []*core.Loop) (*stepPlan, error) {
+	if len(loops) == 0 {
+		return nil, invalidf("step %q has no loops", name)
+	}
+	key := stepKey(loops)
+	if sp, ok := e.steps[key]; ok {
+		return sp, nil
+	}
+	// Validate every loop before mutating any ownership state.
+	for _, l := range loops {
+		if err := validateDistLoop(l); err != nil {
+			return nil, err
+		}
+	}
+	// Reductions fold when the whole step has completed, so a loop that
+	// reads a global an earlier loop of the same step reduces would see
+	// the stale value — unlike the shared-memory dataflow backend, where
+	// the version chain orders the fold before the read. Reject instead
+	// of silently diverging; the host can split the step at the read.
+	reduced := map[*core.Global]bool{}
+	for _, l := range loops {
+		for _, a := range l.Args {
+			if !a.IsGlobal() {
+				continue
+			}
+			if a.Acc() == core.Read {
+				if reduced[a.Global()] {
+					return nil, invalidf("step %q: loop %q reads global %q which an earlier loop of the step reduces; distributed reductions fold at step end, so split the step at the read", name, l.Name, a.Global().Name())
+				}
+			} else {
+				reduced[a.Global()] = true
+			}
+		}
+	}
+	// Sharding pre-pass over the whole step: a dat any member writes
+	// must be in owned+halo storage before any member's locator tables
+	// are built, or an earlier loop's plan would read the (soon stale)
+	// replicated array.
+	for _, l := range loops {
+		if err := e.prepareLoopLocked(l); err != nil {
+			return nil, err
+		}
+	}
+	lps := make([]*loopPlan, len(loops))
+	for i, l := range loops {
+		lp, err := e.planLocked(l)
+		if err != nil {
+			return nil, err
+		}
+		lps[i] = lp
+	}
+	sp := e.buildStepLocked(key, name, lps)
+	e.steps[key] = sp
+	return sp, nil
+}
+
+// observesOwned reports whether lp accesses sd's owned values other than
+// through buffered increments: directly (any access) or as an indirect
+// read (which snapshots them into halos). Such an access must see every
+// earlier increment applied.
+func observesOwned(lp *loopPlan, dats map[*shardedDat]bool) bool {
+	for i := range lp.args {
+		ap := &lp.args[i]
+		switch ap.kind {
+		case argDirect, argIndirect:
+			if dats[ap.sd] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// writesDat reports whether lp invalidates sd's exchanged halo values:
+// a direct write/RW of the dat or a buffered increment (applied by the
+// owner before the next exchange).
+func writesDat(lp *loopPlan, sd *shardedDat) bool {
+	for i := range lp.args {
+		ap := &lp.args[i]
+		if ap.sd != sd {
+			continue
+		}
+		switch ap.kind {
+		case argInc:
+			return true
+		case argDirect:
+			if lp.l.Args[i].Acc() != core.Read {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildStepLocked derives the step's cross-loop schedules from the
+// per-loop plans: coalescing groups for the read exchanges and the due
+// points of deferred increment applies.
+func (e *Engine) buildStepLocked(key, name string, lps []*loopPlan) *stepPlan {
+	n := len(lps)
+	sp := &stepPlan{key: key, name: name, loops: lps, incDue: make([]int, n)}
+	seenRepl := map[*core.Dat]bool{}
+	for _, lp := range lps {
+		if lp.gate {
+			sp.gate = true
+		}
+		for _, d := range lp.repl {
+			if !seenRepl[d] {
+				seenRepl[d] = true
+				sp.repl = append(sp.repl, d)
+			}
+		}
+	}
+
+	// Coalescing groups: walk the occurrences; the first importer of a
+	// dat's halo after a write (or ever) leads a group that every later
+	// importer joins until the next write to the dat.
+	cur := map[*shardedDat]int{}                // dat → open group's leader occurrence
+	ledDats := make([][]*shardedDat, n)         // leader occurrence → dats it posts, in first-use order
+	members := make([]map[*shardedDat][]int, n) // leader occurrence → dat → member occurrences
+	for o, lp := range lps {
+		for _, sd := range lp.readSDs {
+			L, open := cur[sd]
+			if !open {
+				L = o
+				cur[sd] = o
+				if members[L] == nil {
+					members[L] = map[*shardedDat][]int{}
+				}
+				ledDats[L] = append(ledDats[L], sd)
+			}
+			members[L][sd] = append(members[L][sd], o)
+		}
+		for sd := range cur {
+			if writesDat(lp, sd) {
+				delete(cur, sd)
+			}
+		}
+	}
+
+	// Deferred-apply due points.
+	for o, lp := range lps {
+		sp.incDue[o] = n
+		if len(lp.incArgs) == 0 {
+			continue
+		}
+		incd := map[*shardedDat]bool{}
+		for _, ia := range lp.incArgs {
+			incd[lp.args[ia].sd] = true
+		}
+		for j := o + 1; j < n; j++ {
+			// The same plan's increment buffers are cleared when it runs
+			// again, so an earlier occurrence's apply must resolve first.
+			if lps[j] == lp || observesOwned(lps[j], incd) {
+				sp.incDue[o] = j
+				break
+			}
+		}
+	}
+
+	sp.ranks = make([]*stepRank, e.ranks)
+	for r := range sp.ranks {
+		sp.ranks[r] = &stepRank{
+			readPost: make([]*readSchedule, n),
+			redBuf:   make([][]float64, n),
+		}
+	}
+	for L, dats := range ledDats {
+		if len(dats) == 0 {
+			continue
+		}
+		var scheds []*readSchedule
+		if n == 1 {
+			// One-loop step: the loop's own schedule is the union.
+			scheds = make([]*readSchedule, e.ranks)
+			for r := range scheds {
+				scheds[r] = lps[0].ranks[r].read
+			}
+		} else {
+			scheds = e.buildReadSchedules(dats, func(r int, sd *shardedDat) []int32 {
+				return unionHaloIDs(lps, members[L][sd], r, sd)
+			})
+		}
+		for r := range sp.ranks {
+			if scheds[r].active() {
+				sp.ranks[r].readPost[L] = scheds[r]
+			}
+		}
+	}
+	return sp
+}
+
+// unionHaloIDs merges the ascending halo-id needs of the given
+// occurrences for one dat on one rank.
+func unionHaloIDs(lps []*loopPlan, occs []int, r int, sd *shardedDat) []int32 {
+	if len(occs) == 1 {
+		return loopHaloIDs(lps[occs[0]], r, sd)
+	}
+	need := map[int32]bool{}
+	var ids []int32
+	for _, o := range occs {
+		for _, id := range loopHaloIDs(lps[o], r, sd) {
+			if !need[id] {
+				need[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	// Each per-occurrence list is ascending; the union must be too.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}

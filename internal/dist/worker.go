@@ -4,25 +4,42 @@ import (
 	"context"
 	"fmt"
 
+	"op2hpx/internal/core"
 	"op2hpx/internal/hpx"
 )
 
-// task is one loop posted to a rank worker. done resolves with the
-// rank's reduction buffer (nil when the loop has none) or its error.
-// kernel is the submitted loop's kernel — plans are cached structurally
-// and shared between loops with identical argument shapes, so the
-// kernel travels per submission, not with the plan.
+// task is one step posted to a rank worker. done resolves with the
+// rank's per-occurrence reduction buffers (nil entries for loops without
+// globals) or the rank's first error. kernels are the submitted loops'
+// kernels — plans are cached structurally and shared between loops with
+// identical argument shapes, so the kernels travel per submission, not
+// with the plan.
 type task struct {
-	ctx    context.Context
-	lp     *loopPlan
-	kernel func(views [][]float64)
-	gate   hpx.Waiter // completion of the previous loop, when globals are involved
-	done   *hpx.Promise[[]float64]
+	ctx     context.Context
+	sp      *stepPlan
+	kernels []core.Kernel // per occurrence
+	gate    hpx.Waiter    // completion of the previous step, when globals are involved
+	done    *hpx.Promise[[][]float64]
+}
+
+// pendingApply is a deferred increment application: occurrence o's
+// exchange futures stay in flight while later occurrences that do not
+// observe the incremented dats execute; the apply resolves at the start
+// of occurrence due (or at step end). Pending applies resolve in
+// submission order, which preserves the serial interleaving of applies
+// to a shared dat.
+type pendingApply struct {
+	due  int
+	o    int
+	lp   *loopPlan
+	futs []*hpx.Future[[]float64]
+	srcs []int
+	err  error // the occurrence's error: drain the futures, skip the apply
 }
 
 // worker is one persistent rank: a long-lived goroutine draining a
-// mailbox of loop tasks in submission order. There is no fork/join per
-// loop — a rank that finished loop N moves straight on to loop N+1.
+// mailbox of step tasks in submission order. There is no fork/join per
+// step — a rank that finished step N moves straight on to step N+1.
 type worker struct {
 	rank int
 	eng  *Engine
@@ -31,69 +48,109 @@ type worker struct {
 
 func (w *worker) run() {
 	for t := range w.mail {
-		buf, err := w.exec(t)
+		bufs, err := w.execStep(t)
 		if err != nil {
 			t.done.SetErr(err)
 		} else {
-			t.done.Set(buf)
+			t.done.Set(bufs)
 		}
 	}
 }
 
-// exec runs one loop on this rank. The message protocol (sends and
-// receives) always runs to completion — even when computation is skipped
-// because of cancellation, a kernel panic or an upstream failure — so
-// every pair's FIFO channel stays aligned for the loops that follow;
-// skipped computation just exports zero contributions.
-func (w *worker) exec(t *task) (redBuf []float64, err error) {
-	lp, r, eng := t.lp, w.rank, w.eng
+// execStep runs one step on this rank: its occurrences in order, with
+// pending increment applies resolved at their due points. The message
+// protocol (sends and receives) always runs to completion — even when
+// computation is skipped because of cancellation, a kernel panic or an
+// upstream failure — so every pair's FIFO channel stays aligned for the
+// steps that follow; skipped computation just exports zero
+// contributions.
+func (w *worker) execStep(t *task) ([][]float64, error) {
+	sp := t.sp
+	nOcc := len(sp.loops)
+	redBufs := make([][]float64, nOcc)
+	var firstErr error
+	fail := func(e error) {
+		if firstErr == nil && e != nil {
+			firstErr = e
+		}
+	}
+
+	var gateErr error
+	if t.gate != nil {
+		if werr := hpx.WaitAllCtx(t.ctx, t.gate); werr != nil && t.ctx.Err() != nil {
+			gateErr = fmt.Errorf("dist: step %q canceled on rank %d: %w", sp.name, w.rank, t.ctx.Err())
+			fail(gateErr)
+			// Still drain the gate (the previous step always completes):
+			// the storage below — in particular the reused reduction
+			// buffers — must not be touched while the previous step's
+			// driver-side fold may still be reading them.
+			t.gate.Wait() //nolint:errcheck // ordering only
+		}
+		// A failed predecessor is ordering-only here; this step reports
+		// its own errors.
+	}
+
+	var pending []pendingApply
+	for o := 0; o < nOcc; o++ {
+		// Resolve every pending apply due at or before this occurrence.
+		// Dues are monotonic only per dat, so a later-queued apply can
+		// come due before the queue head (different dats); resolve the
+		// whole prefix up to the last due entry, in submission order —
+		// resolving an apply earlier than its due is always safe, it
+		// only shrinks that exchange's overlap window.
+		cut := 0
+		for i := range pending {
+			if pending[i].due <= o {
+				cut = i + 1
+			}
+		}
+		for i := 0; i < cut; i++ {
+			fail(w.resolveApply(t, &pending[i]))
+		}
+		pending = pending[cut:]
+		occErr := w.execOcc(t, o, gateErr, &redBufs[o], &pending)
+		fail(occErr)
+	}
+	for i := range pending {
+		fail(w.resolveApply(t, &pending[i]))
+	}
+	return redBufs, firstErr
+}
+
+// execOcc runs one loop occurrence of the step on this rank.
+func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pending *[]pendingApply) (err error) {
+	sp, r, eng := t.sp, w.rank, w.eng
+	lp := sp.loops[o]
 	rp := lp.ranks[r]
+	sr := sp.ranks[r]
+	err = occErr
 	fail := func(e error) {
 		if err == nil && e != nil {
 			err = e
 		}
 	}
 
-	if t.gate != nil {
-		if werr := hpx.WaitAllCtx(t.ctx, t.gate); werr != nil && t.ctx.Err() != nil {
-			fail(fmt.Errorf("dist: loop %q canceled on rank %d: %w", lp.name, r, t.ctx.Err()))
-			// Still drain the gate (the previous loop always completes):
-			// the storage below — in particular the reused reduction
-			// buffer — must not be touched while the previous loop's
-			// driver-side fold may still be reading it.
-			t.gate.Wait() //nolint:errcheck // ordering only
-		}
-		// A failed predecessor is ordering-only here; this loop reports
-		// its own errors.
-	}
-
-	// Storage upkeep: grow this rank's halos to the plan's slot counts,
-	// clear the increment buffers, lay out the reduction scratch.
-	for _, hn := range rp.haloNeed {
-		dim := hn.sd.d.Dim()
-		if want := hn.slots * dim; len(hn.sd.halo[r]) < want {
-			grown := make([]float64, want)
-			copy(grown, hn.sd.halo[r])
-			hn.sd.halo[r] = grown
-		}
-	}
+	// Storage upkeep: clear the increment buffers, lay out the
+	// per-occurrence reduction scratch.
 	for _, b := range rp.incBuf {
 		clear(b)
 	}
 	size := lp.gbl.size
+	var redBuf []float64
 	if size > 0 {
 		want := size
 		if lp.needElementwise {
 			want = len(rp.elems) * size
 		}
-		if len(rp.redBuf) < want {
-			rp.redBuf = make([]float64, want)
+		if len(sr.redBuf[o]) < want {
+			sr.redBuf[o] = make([]float64, want)
 		}
-		redBuf = rp.redBuf[:want]
+		redBuf = sr.redBuf[o][:want]
 		for i := 0; i < want; i += size {
 			copy(redBuf[i:i+size], lp.gbl.init)
 		}
 	}
+	*redOut = redBuf
 	views := make([][]float64, len(lp.args))
 	for ai := range lp.args {
 		ap := &lp.args[ai]
@@ -107,36 +164,51 @@ func (w *worker) exec(t *task) (redBuf []float64, err error) {
 		}
 	}
 
-	// Phase 1: post the read-halo exchange — owned values out, import
-	// futures in. Nothing blocks here.
-	for dst := 0; dst < eng.ranks; dst++ {
-		if rp.readSendLen[dst] == 0 {
-			continue
-		}
-		msg := make([]float64, 0, rp.readSendLen[dst])
-		for _, pt := range rp.readSendTo[dst] {
-			dim := pt.sd.d.Dim()
-			own := pt.sd.owned[r]
-			for _, l := range pt.locals {
-				msg = append(msg, own[int(l)*dim:(int(l)+1)*dim]...)
-			}
-		}
-		fail(eng.tr.Send(r, dst, msg))
-	}
+	// Phase 1: post this occurrence's read-halo exchange — owned values
+	// out, import futures in. Nothing blocks here. A coalescing leader's
+	// schedule covers every loop of its group; followers have none (the
+	// halo is already fresh when they run).
 	var readFuts []*hpx.Future[[]float64]
 	var readSrcs []int
-	for src := 0; src < eng.ranks; src++ {
-		if rp.readRecvLen[src] == 0 {
-			continue
+	sched := sr.readPost[o]
+	if sched != nil {
+		// Grow this rank's halos to the schedule's slot counts before
+		// anything can scatter into them.
+		for _, hn := range sched.need {
+			dim := hn.sd.d.Dim()
+			if want := hn.slots * dim; len(hn.sd.halo[r]) < want {
+				grown := make([]float64, want)
+				copy(grown, hn.sd.halo[r])
+				hn.sd.halo[r] = grown
+			}
 		}
-		readFuts = append(readFuts, eng.tr.Recv(r, src))
-		readSrcs = append(readSrcs, src)
+		for dst := 0; dst < eng.ranks; dst++ {
+			if sched.sendLen[dst] == 0 {
+				continue
+			}
+			msg := make([]float64, 0, sched.sendLen[dst])
+			for _, pt := range sched.sendTo[dst] {
+				dim := pt.sd.d.Dim()
+				own := pt.sd.owned[r]
+				for _, l := range pt.locals {
+					msg = append(msg, own[int(l)*dim:(int(l)+1)*dim]...)
+				}
+			}
+			fail(eng.tr.Send(r, dst, msg))
+		}
+		for src := 0; src < eng.ranks; src++ {
+			if sched.recvLen[src] == 0 {
+				continue
+			}
+			readFuts = append(readFuts, eng.tr.Recv(r, src))
+			readSrcs = append(readSrcs, src)
+		}
 	}
 
 	// Phase 2: interior elements execute while halo messages are in
 	// flight — the paper's overlap, applied to communication latency.
 	if err == nil {
-		fail(w.runChunks(t, redBuf, views, 0, rp.ninterior, "interior"))
+		fail(w.runChunks(t, o, redBuf, views, 0, rp.ninterior, "interior"))
 	}
 
 	// Phase 3: gate on halo resolution, scatter imports into halo slots.
@@ -155,7 +227,7 @@ func (w *worker) exec(t *task) (redBuf []float64, err error) {
 			for i, f := range readFuts {
 				msg := f.MustGet()
 				off := 0
-				for _, pt := range rp.readRecvFrom[readSrcs[i]] {
+				for _, pt := range sched.recvFrom[readSrcs[i]] {
 					dim := pt.sd.d.Dim()
 					halo := pt.sd.halo[r]
 					for _, s := range pt.slots {
@@ -169,10 +241,13 @@ func (w *worker) exec(t *task) (redBuf []float64, err error) {
 
 	// Phase 4: boundary elements, now that their halo reads are fresh.
 	if err == nil {
-		fail(w.runChunks(t, redBuf, views, rp.ninterior, len(rp.elems), "boundary"))
+		fail(w.runChunks(t, o, redBuf, views, rp.ninterior, len(rp.elems), "boundary"))
 	}
 
-	// Phase 5: export buffered increments to their owners.
+	// Phase 5: export buffered increments to their owners and post the
+	// import futures — but do not wait: the apply goes pending, letting
+	// the increment exchange overlap the next occurrences' interiors
+	// when the step's DAG permits (incDue).
 	for dst := 0; dst < eng.ranks; dst++ {
 		if rp.incSendLen[dst] == 0 {
 			continue
@@ -187,7 +262,6 @@ func (w *worker) exec(t *task) (redBuf []float64, err error) {
 		}
 		fail(eng.tr.Send(r, dst, msg))
 	}
-	incMsgs := make([][]float64, eng.ranks)
 	var incFuts []*hpx.Future[[]float64]
 	var incSrcs []int
 	for src := 0; src < eng.ranks; src++ {
@@ -197,81 +271,99 @@ func (w *worker) exec(t *task) (redBuf []float64, err error) {
 		incFuts = append(incFuts, eng.tr.Recv(r, src))
 		incSrcs = append(incSrcs, src)
 	}
-	if len(incFuts) > 0 {
-		ws := make([]hpx.Waiter, len(incFuts))
-		for i, f := range incFuts {
+	if len(incFuts) > 0 || len(rp.apply.arg) > 0 {
+		*pending = append(*pending, pendingApply{
+			due: sp.incDue[o], o: o, lp: lp, futs: incFuts, srcs: incSrcs, err: err,
+		})
+	}
+	return err
+}
+
+// resolveApply completes a pending increment application: wait for the
+// import futures, then fold every contribution into the owned values in
+// serial plan order — local and imported increments interleave exactly
+// as the serial backend would have applied them, which is what keeps the
+// distributed result bitwise-identical.
+func (w *worker) resolveApply(t *task, pa *pendingApply) error {
+	lp, r := pa.lp, w.rank
+	rp := lp.ranks[r]
+	err := pa.err
+	incMsgs := make([][]float64, w.eng.ranks)
+	if len(pa.futs) > 0 {
+		ws := make([]hpx.Waiter, len(pa.futs))
+		for i, f := range pa.futs {
 			ws[i] = f
 		}
 		if werr := hpx.WaitAllCtx(t.ctx, ws...); werr != nil {
-			fail(fmt.Errorf("dist: loop %q rank %d increment exchange: %w", lp.name, r, werr))
+			if err == nil {
+				err = fmt.Errorf("dist: loop %q rank %d increment exchange: %w", lp.name, r, werr)
+			}
+		} else if err == nil {
+			for i, f := range pa.futs {
+				incMsgs[pa.srcs[i]] = f.MustGet()
+			}
+		}
+	}
+	if err != nil || len(rp.apply.arg) == 0 {
+		return err
+	}
+	al := &rp.apply
+	for i := range al.arg {
+		ia := int(al.arg[i])
+		arg := &lp.args[lp.incArgs[ia]]
+		dim := arg.dim
+		var c []float64
+		if int(al.src[i]) == r {
+			p := int(al.pos[i])
+			c = rp.incBuf[ia][p*dim : (p+1)*dim]
 		} else {
-			for i, f := range incFuts {
-				incMsgs[incSrcs[i]] = f.MustGet()
-			}
+			off := int(rp.incRecvOff[al.src[i]][ia]) + int(al.pos[i])*dim
+			c = incMsgs[al.src[i]][off : off+dim]
+		}
+		dst := arg.sd.owned[r][int(al.target[i])*dim : (int(al.target[i])+1)*dim]
+		for k := 0; k < dim; k++ {
+			dst[k] += c[k]
 		}
 	}
-
-	// Phase 6: fold every contribution into the owned values in serial
-	// plan order — local and imported increments interleave exactly as
-	// the serial backend would have applied them, which is what keeps
-	// the distributed result bitwise-identical.
-	if err == nil && len(rp.apply.arg) > 0 {
-		al := &rp.apply
-		for i := range al.arg {
-			ia := int(al.arg[i])
-			arg := &lp.args[lp.incArgs[ia]]
-			dim := arg.dim
-			var c []float64
-			if int(al.src[i]) == r {
-				p := int(al.pos[i])
-				c = rp.incBuf[ia][p*dim : (p+1)*dim]
-			} else {
-				off := int(rp.incRecvOff[al.src[i]][ia]) + int(al.pos[i])*dim
-				c = incMsgs[al.src[i]][off : off+dim]
-			}
-			dst := arg.sd.owned[r][int(al.target[i])*dim : (int(al.target[i])+1)*dim]
-			for k := 0; k < dim; k++ {
-				dst[k] += c[k]
-			}
-		}
-		if tr := eng.trace; tr != nil {
-			tr(lp.name, r, "apply")
-		}
+	if tr := w.eng.trace; tr != nil {
+		tr(lp.name, r, "apply")
 	}
-	return redBuf, err
+	return nil
 }
 
-// runChunks executes exec positions [lo, hi) in blockSize chunks,
-// checking for cancellation between chunks and reporting each executed
-// chunk to the trace hook.
-func (w *worker) runChunks(t *task, redBuf []float64, views [][]float64, lo, hi int, phase string) error {
+// runChunks executes occurrence o's exec positions [lo, hi) in blockSize
+// chunks, checking for cancellation between chunks and reporting each
+// executed chunk to the trace hook.
+func (w *worker) runChunks(t *task, o int, redBuf []float64, views [][]float64, lo, hi int, phase string) error {
 	bs := w.eng.blockSize
+	lp := t.sp.loops[o]
+	kernel := t.kernels[o]
 	for clo := lo; clo < hi; clo += bs {
 		if cerr := t.ctx.Err(); cerr != nil {
-			return fmt.Errorf("dist: loop %q canceled on rank %d: %w", t.lp.name, w.rank, cerr)
+			return fmt.Errorf("dist: loop %q canceled on rank %d: %w", lp.name, w.rank, cerr)
 		}
 		chi := clo + bs
 		if chi > hi {
 			chi = hi
 		}
-		if err := w.safeRange(t, redBuf, views, clo, chi); err != nil {
+		if err := w.safeRange(t, lp, kernel, redBuf, views, clo, chi); err != nil {
 			return err
 		}
 		if tr := w.eng.trace; tr != nil {
-			tr(t.lp.name, w.rank, phase)
+			tr(lp.name, w.rank, phase)
 		}
 	}
 	return nil
 }
 
 // safeRange executes one chunk, converting kernel panics into errors.
-func (w *worker) safeRange(t *task, redBuf []float64, views [][]float64, lo, hi int) (err error) {
+func (w *worker) safeRange(t *task, lp *loopPlan, kernel core.Kernel, redBuf []float64, views [][]float64, lo, hi int) (err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			err = fmt.Errorf("dist: loop %q kernel panicked on rank %d: %v", t.lp.name, w.rank, rec)
+			err = fmt.Errorf("dist: loop %q kernel panicked on rank %d: %v", lp.name, w.rank, rec)
 		}
 	}()
-	w.execRange(t, redBuf, views, lo, hi)
+	w.execRange(lp, kernel, redBuf, views, lo, hi)
 	return nil
 }
 
@@ -279,8 +371,7 @@ func (w *worker) safeRange(t *task, redBuf []float64, views [][]float64, lo, hi 
 // the kernel — the distributed counterpart of core's view builder, with
 // indices resolved against owned blocks, halo slots, replicated storage,
 // increment buffers and the reduction scratch.
-func (w *worker) execRange(t *task, redBuf []float64, views [][]float64, lo, hi int) {
-	lp := t.lp
+func (w *worker) execRange(lp *loopPlan, kernel core.Kernel, redBuf []float64, views [][]float64, lo, hi int) {
 	r := w.rank
 	rp := lp.ranks[r]
 	size := lp.gbl.size
@@ -309,6 +400,6 @@ func (w *worker) execRange(t *task, redBuf []float64, views [][]float64, lo, hi 
 				}
 			}
 		}
-		t.kernel(views)
+		kernel(views)
 	}
 }

@@ -332,6 +332,7 @@ func All(o Options) ([]*perf.Table, error) {
 		{"fig19", Fig19},
 		{"fig20", Fig20},
 		{"dist", Dist},
+		{"step", Step},
 	}
 	var out []*perf.Table
 	for _, f := range fns {
@@ -355,6 +356,7 @@ func ByName(name string) (func(Options) (*perf.Table, error), bool) {
 		"fig19":  Fig19,
 		"fig20":  Fig20,
 		"dist":   Dist,
+		"step":   Step,
 	}
 	f, ok := m[name]
 	return f, ok

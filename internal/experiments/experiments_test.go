@@ -138,7 +138,7 @@ func TestAllRunsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 8 {
-		t.Fatalf("tables = %d, want 8", len(tabs))
+	if len(tabs) != 9 {
+		t.Fatalf("tables = %d, want 9", len(tabs))
 	}
 }

@@ -85,6 +85,10 @@ func (lp *Loop) validate() error {
 
 // Run executes the loop synchronously under the runtime's backend and
 // returns once it (and, for ForkJoin, its implicit barrier) completes.
+// A single loop is equivalent to a one-loop Step (and on distributed
+// runtimes is executed as one internally); declare the loops of a whole
+// timestep with Runtime.Step to let the runtime optimize across loop
+// boundaries.
 // Under Dataflow the loop is still chained into the dependency DAG —
 // program order with previously issued Async loops is preserved — but the
 // body executes inline on the calling goroutine once its dependencies

@@ -1,0 +1,273 @@
+package op2_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"op2hpx/op2"
+)
+
+// stepFixture is a small ring mesh driven purely through the facade.
+type stepFixture struct {
+	rt           *op2.Runtime
+	cells, edges *op2.Set
+	pecell       *op2.Map
+	x, res       *op2.Dat
+	sum          *op2.Global
+	flux, scale  *op2.Loop
+	total        *op2.Loop
+}
+
+func newStepFixture(t *testing.T, n int, opts ...op2.Option) *stepFixture {
+	t.Helper()
+	f := &stepFixture{}
+	var err error
+	if f.rt, err = op2.New(opts...); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.rt.Close() }) //nolint:errcheck // test teardown
+	f.cells = op2.MustDeclSet(n, "cells")
+	f.edges = op2.MustDeclSet(n, "edges")
+	idx := make([]int32, 2*n)
+	for e := 0; e < n; e++ {
+		idx[2*e] = int32(e)
+		idx[2*e+1] = int32((e + 1) % n)
+	}
+	f.pecell = op2.MustDeclMap(f.edges, f.cells, 2, idx, "pecell")
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(float64(i)*0.7) + 2
+	}
+	f.x = op2.MustDeclDat(f.cells, 1, xs, "x")
+	f.res = op2.MustDeclDat(f.cells, 1, nil, "res")
+	f.sum = op2.MustDeclGlobal(1, nil, "sum")
+	f.flux = f.rt.ParLoop("flux", f.edges,
+		op2.DatArg(f.x, 0, f.pecell, op2.Read),
+		op2.DatArg(f.x, 1, f.pecell, op2.Read),
+		op2.DatArg(f.res, 0, f.pecell, op2.Inc),
+		op2.DatArg(f.res, 1, f.pecell, op2.Inc),
+	).Kernel(func(v [][]float64) {
+		d := v[0][0] - v[1][0]
+		v[2][0] += d
+		v[3][0] -= d
+	})
+	f.scale = f.rt.ParLoop("scale", f.cells,
+		op2.DirectArg(f.x, op2.RW),
+		op2.DirectArg(f.res, op2.Read),
+	).Kernel(func(v [][]float64) { v[0][0] = v[0][0]*1.5 + v[1][0] })
+	f.total = f.rt.ParLoop("total", f.cells,
+		op2.DirectArg(f.x, op2.Read),
+		op2.GblArg(f.sum, op2.Inc),
+	).Kernel(func(v [][]float64) { v[1][0] += v[0][0] })
+	return f
+}
+
+func (f *stepFixture) bits(t *testing.T) ([]uint64, uint64) {
+	t.Helper()
+	if err := f.x.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.res.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sum.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, 0, 2*len(f.x.Data()))
+	for _, v := range f.x.Data() {
+		out = append(out, math.Float64bits(v))
+	}
+	for _, v := range f.res.Data() {
+		out = append(out, math.Float64bits(v))
+	}
+	return out, math.Float64bits(f.sum.Data()[0])
+}
+
+// TestStepGoldenAcrossRuntimes asserts one Step per timestep produces
+// bitwise-identical results on every backend and on distributed
+// runtimes at several rank counts, against the serial loop-at-a-time
+// reference.
+func TestStepGoldenAcrossRuntimes(t *testing.T) {
+	const n, steps = 40, 3
+	ctx := context.Background()
+
+	ref := newStepFixture(t, n, op2.WithBackend(op2.Serial))
+	for s := 0; s < steps; s++ {
+		for _, lp := range []*op2.Loop{ref.flux, ref.scale, ref.total} {
+			if err := lp.Run(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	refBits, refSum := ref.bits(t)
+
+	check := func(name string, f *stepFixture) {
+		t.Helper()
+		step := f.rt.Step("ring").Then(f.flux).Then(f.scale).Then(f.total)
+		for s := 0; s < steps; s++ {
+			if err := step.Run(ctx); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		bits, sum := f.bits(t)
+		if sum != refSum {
+			t.Errorf("%s: sum bits %#x != serial %#x", name, sum, refSum)
+		}
+		for i := range bits {
+			if bits[i] != refBits[i] {
+				t.Fatalf("%s: value %d differs bitwise from serial", name, i)
+			}
+		}
+	}
+	check("serial", newStepFixture(t, n, op2.WithBackend(op2.Serial)))
+	check("forkjoin", newStepFixture(t, n, op2.WithBackend(op2.ForkJoin), op2.WithPoolSize(4)))
+	check("dataflow", newStepFixture(t, n, op2.WithBackend(op2.Dataflow), op2.WithPoolSize(4)))
+	for _, ranks := range []int{1, 2, 4, 7} {
+		check("dist", newStepFixture(t, n, op2.WithRanks(ranks)))
+	}
+}
+
+// TestStepAsyncPipelines issues steps without waiting on a distributed
+// runtime and fences once: iterations pipeline across the rank workers.
+func TestStepAsyncPipelines(t *testing.T) {
+	const n, steps = 30, 10
+	ctx := context.Background()
+
+	ref := newStepFixture(t, n, op2.WithBackend(op2.Serial))
+	for s := 0; s < steps; s++ {
+		for _, lp := range []*op2.Loop{ref.flux, ref.scale} {
+			if err := lp.Run(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	refBits, _ := ref.bits(t)
+
+	f := newStepFixture(t, n, op2.WithRanks(3))
+	step := f.rt.Step("ring").Then(f.flux).Then(f.scale)
+	var last *op2.Future
+	for s := 0; s < steps; s++ {
+		last = step.Async(ctx)
+	}
+	if err := last.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.rt.Fence(); err != nil {
+		t.Fatal(err)
+	}
+	bits, _ := f.bits(t)
+	for i := range bits {
+		if bits[i] != refBits[i] {
+			t.Fatalf("value %d differs bitwise after pipelined steps", i)
+		}
+	}
+}
+
+// TestStepValidation pins the facade-level step rejections.
+func TestStepValidation(t *testing.T) {
+	f := newStepFixture(t, 10, op2.WithBackend(op2.Serial))
+	ctx := context.Background()
+
+	if err := f.rt.Step("empty").Run(ctx); !errors.Is(err, op2.ErrValidation) {
+		t.Errorf("empty step: %v, want ErrValidation", err)
+	}
+	other := op2.MustNew(op2.WithBackend(op2.Serial))
+	defer other.Close()
+	foreign := other.ParLoop("foreign", f.cells,
+		op2.DirectArg(f.x, op2.Read),
+	).Kernel(func(v [][]float64) {})
+	err := f.rt.Step("mixed").Then(f.flux).Then(foreign).Run(ctx)
+	if !errors.Is(err, op2.ErrValidation) || !strings.Contains(err.Error(), "different runtime") {
+		t.Errorf("foreign loop: %v, want different-runtime validation error", err)
+	}
+	kernelless := f.rt.ParLoop("kernelless", f.cells, op2.DirectArg(f.x, op2.Read))
+	if err := f.rt.Step("k").Then(kernelless).Run(ctx); !errors.Is(err, op2.ErrValidation) {
+		t.Errorf("kernel-less loop: %v, want ErrValidation", err)
+	}
+	if werr := f.rt.Step("empty2").Async(ctx).Wait(); !errors.Is(werr, op2.ErrValidation) {
+		t.Errorf("Async of empty step: %v, want ErrValidation", werr)
+	}
+}
+
+// TestStepDeps exposes the compiled DAG through the facade.
+func TestStepDeps(t *testing.T) {
+	f := newStepFixture(t, 10, op2.WithBackend(op2.Dataflow))
+	step := f.rt.Step("ring").Then(f.flux).Then(f.scale).Then(f.total)
+	if n := step.Len(); n != 3 {
+		t.Errorf("Len = %d, want 3", n)
+	}
+	// scale reads res (flux incs it) and writes x (flux reads it).
+	deps := step.Deps(1)
+	if len(deps) != 1 || deps[0] != 0 {
+		t.Errorf("scale deps = %v, want [0]", deps)
+	}
+	// total reads x (scale wrote it).
+	deps = step.Deps(2)
+	if len(deps) != 1 || deps[0] != 1 {
+		t.Errorf("total deps = %v, want [1]", deps)
+	}
+}
+
+// TestStepFutureAcksDistributedError asserts the step future carries
+// the engine ack: an error from a mid-step loop surfaces on Wait and is
+// not re-reported by the next Sync or Fence.
+func TestStepFutureAcksDistributedError(t *testing.T) {
+	f := newStepFixture(t, 20, op2.WithRanks(2))
+	boom := f.rt.ParLoop("boom", f.cells,
+		op2.DirectArg(f.x, op2.RW),
+	).Kernel(func(v [][]float64) { panic("kaboom") })
+	step := f.rt.Step("failing").Then(f.scale).Then(boom).Then(f.scale)
+	werr := step.Async(context.Background()).Wait()
+	if werr == nil || !strings.Contains(werr.Error(), "kaboom") {
+		t.Fatalf("step future resolved with %v, want the mid-step panic", werr)
+	}
+	if err := f.rt.Fence(); err != nil {
+		t.Fatalf("Fence re-reported a future-delivered step error: %v", err)
+	}
+	if err := f.x.Sync(); err != nil {
+		t.Fatalf("Sync re-reported a future-delivered step error: %v", err)
+	}
+}
+
+// TestRescatterFacade drives the host write-back satellite through the
+// public API: a mid-run host update to a sharded dat propagates through
+// Dat.Rescatter and changes subsequent results; without it the write
+// would be ignored (the documented one-shot-scatter gap).
+func TestRescatterFacade(t *testing.T) {
+	const n = 24
+	ctx := context.Background()
+	f := newStepFixture(t, n, op2.WithRanks(3))
+	if err := f.scale.Run(ctx); err != nil { // shards x
+		t.Fatal(err)
+	}
+	if err := f.x.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		f.x.Data()[i] = 100 + float64(i)
+	}
+	if err := f.x.Rescatter(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.total.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.sum.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i := 0; i < n; i++ {
+		want += 100 + float64(i)
+	}
+	if got := f.sum.Data()[0]; got != want {
+		t.Fatalf("sum after Rescatter = %g, want %g: host write not propagated", got, want)
+	}
+	// Fence on a shared-memory runtime is a harmless no-op.
+	shared := newStepFixture(t, 8, op2.WithBackend(op2.Serial))
+	if err := shared.rt.Fence(); err != nil {
+		t.Errorf("shared-memory Fence: %v", err)
+	}
+}
