@@ -369,3 +369,73 @@ func BenchmarkStep(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkHotPath measures the steady-state issue path after the
+// compiled-loop executor and step-level direct-loop fusion: a single
+// direct Body loop (the 0 allocs/op hot path), and the airfoil timestep
+// with the Step graph (fused) versus loop-at-a-time issue. Run with
+// -benchmem: allocs/op is the headline number — recorded as
+// BENCH_hotpath.json by `cmd/experiments -exp hotpath -json`.
+func BenchmarkHotPath(b *testing.B) {
+	for _, backend := range []op2.Backend{op2.Serial, op2.Dataflow} {
+		b.Run("direct-loop/"+backend.String(), func(b *testing.B) {
+			rt := op2.MustNew(op2.WithBackend(backend), op2.WithPoolSize(runtime.NumCPU()))
+			defer rt.Close()
+			const n = 1 << 16
+			cells := op2.MustDeclSet(n, "cells")
+			x := op2.MustDeclDat(cells, 1, nil, "x")
+			y := op2.MustDeclDat(cells, 1, nil, "y")
+			xd, yd := x.Data(), y.Data()
+			lp := rt.ParLoop("saxpy", cells,
+				op2.DirectArg(x, op2.Read),
+				op2.DirectArg(y, op2.RW),
+			).Body(func(lo, hi int, _ []float64) {
+				for i := lo; i < hi; i++ {
+					yd[i] += 2 * xd[i]
+				}
+			})
+			ctx := context.Background()
+			if err := lp.Run(ctx); err != nil { // compile + warm pools
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := lp.Run(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, mode := range []struct {
+		name        string
+		loopAtATime bool
+	}{
+		{"step-fused", false},
+		{"loop-at-a-time", true},
+	} {
+		b.Run("airfoil/dataflow/"+mode.name, func(b *testing.B) {
+			rt := op2.MustNew(op2.WithBackend(op2.Dataflow), op2.WithPoolSize(runtime.NumCPU()))
+			defer rt.Close()
+			app, err := airfoil.NewApp(benchNX, benchNY, rt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			app.LoopAtATime = mode.loopAtATime
+			if _, err := app.Run(1); err != nil { // warm plans, compiled loops
+				b.Fatal(err)
+			}
+			fusedBefore := rt.StepStats().FusedGroups
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Run(benchIters); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			iters := float64(b.N * benchIters)
+			b.ReportMetric(float64(rt.StepStats().FusedGroups-fusedBefore)/iters, "fused/iter")
+		})
+	}
+}

@@ -31,8 +31,8 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all, table1, fig15, fig16, fig17, fig18, fig19, fig20, dist, step")
-		jsonOut    = flag.String("json", "", "also write machine-readable results to this file (dist and step experiments only)")
+		exp        = flag.String("exp", "all", "experiment: all, table1, fig15, fig16, fig17, fig18, fig19, fig20, dist, step, hotpath")
+		jsonOut    = flag.String("json", "", "also write machine-readable results to this file (dist, step and hotpath experiments only)")
 		paper      = flag.Bool("paper", false, "paper-scale workload (~720K mesh nodes; minutes per figure)")
 		nx         = flag.Int("nx", 0, "override mesh cells in x")
 		ny         = flag.Int("ny", 0, "override mesh cells in y")
@@ -91,6 +91,17 @@ func run() error {
 			return err
 		}
 		experiments.StepTable(rep).Render(os.Stdout)
+		return nil
+	}
+	if *exp == "hotpath" && *jsonOut != "" {
+		rep, err := experiments.HotPathData(o)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(*jsonOut, rep.WriteJSON); err != nil {
+			return err
+		}
+		experiments.HotPathTable(rep).Render(os.Stdout)
 		return nil
 	}
 	fn, ok := experiments.ByName(*exp)

@@ -14,11 +14,20 @@
 // and op2.ErrCanceled. The loops of one timestep are declared as a unit
 // with Runtime.Step(...).Then(loop)... and issued with step.Run/Async —
 // building a Step computes the cross-loop dataflow DAG once, which the
-// dataflow backend uses to interleave independent loops eagerly and the
-// distributed engine uses to coalesce read-halo exchanges across loops
-// sharing a dat's halo and to overlap a loop's increment exchange with
-// the next loops' interiors. Nothing outside internal/ should import the
+// dataflow backend uses to interleave independent loops eagerly (and to
+// fuse adjacent direct loops over the same set into one pass — see
+// Step.FusedGroups and Runtime.StepStats) and the distributed engine
+// uses to coalesce read-halo exchanges across loops sharing a dat's
+// halo and to overlap a loop's increment exchange with the next loops'
+// interiors. Nothing outside internal/ should import the
 // implementation packages directly.
+//
+// The steady-state issue path is compiled and allocation-free: a loop's
+// first execution builds a CompiledLoop (pinned plan, reduction-scratch
+// layout, classified resources, prefetcher, pooled run state) cached on
+// the loop, after which a synchronous direct-loop invocation performs
+// zero heap allocations on the Serial and Dataflow backends — the
+// regression is enforced by tests and recorded in BENCH_hotpath.json.
 //
 // op2.WithRanks(n) switches a runtime to the owner-compute distributed
 // engine: sets are partitioned across n simulated localities

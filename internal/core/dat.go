@@ -22,22 +22,36 @@ type versionState struct {
 	readers   []hpx.Waiter
 }
 
-// dependencies returns the futures a new access must wait for.
-func (v *versionState) dependencies(acc Access) []hpx.Waiter {
+// appendDependencies appends the futures a new access must wait for
+// into a caller-owned buffer — the one definition of dependency
+// gathering. The hot synchronous issue path reuses its buffers across
+// invocations instead of allocating a fresh slice per loop; allocating
+// callers pass nil.
+func (v *versionState) appendDependencies(acc Access, dst []hpx.Waiter) []hpx.Waiter {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if acc == Read {
-		if v.lastWrite == nil {
-			return nil
-		}
-		return []hpx.Waiter{v.lastWrite}
-	}
-	deps := make([]hpx.Waiter, 0, len(v.readers)+1)
 	if v.lastWrite != nil {
-		deps = append(deps, v.lastWrite)
+		dst = append(dst, v.lastWrite)
 	}
-	deps = append(deps, v.readers...)
-	return deps
+	if acc == Read {
+		return dst
+	}
+	return append(dst, v.readers...)
+}
+
+// recordQuiet marks a write access as complete-and-settled without
+// installing a future: the synchronous issue path executes the loop
+// before recording, so by the time it records there is nothing left to
+// wait for — successors see an empty chain instead of a pre-resolved
+// future, and read accesses need not be recorded at all (a finished
+// reader imposes no constraint on later writers). This keeps the
+// steady-state Run path allocation-free and stops the readers list from
+// growing across synchronous invocations.
+func (v *versionState) recordQuiet() {
+	v.mu.Lock()
+	v.lastWrite = nil
+	v.readers = v.readers[:0]
+	v.mu.Unlock()
 }
 
 // record registers the loop future f as the new version according to the

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -73,6 +72,31 @@ type Executor struct {
 	cfg      Config
 	plans    planCache
 	profiler *Profiler
+
+	// Step-execution counters behind StepStats: steps issued, fused
+	// groups executed, and loop occurrences those groups absorbed.
+	stepsRun       atomic.Int64
+	fusedGroupsRun atomic.Int64
+	fusedLoopsRun  atomic.Int64
+}
+
+// StepExecStats are cumulative step-execution counters: how many steps
+// the executor issued, how many multi-loop fused passes it ran, and how
+// many loop occurrences those passes absorbed (each fused occurrence is
+// one loop issue and one memory sweep that did not happen separately).
+type StepExecStats struct {
+	Steps       int64
+	FusedGroups int64
+	FusedLoops  int64
+}
+
+// StepStats reports the executor's cumulative step-execution counters.
+func (ex *Executor) StepStats() StepExecStats {
+	return StepExecStats{
+		Steps:       ex.stepsRun.Load(),
+		FusedGroups: ex.fusedGroupsRun.Load(),
+		FusedLoops:  ex.fusedLoopsRun.Load(),
+	}
 }
 
 // NewExecutor creates an executor from cfg, applying defaults.
@@ -117,7 +141,10 @@ func (ex *Executor) Run(l *Loop) error {
 // the dependencies and executes the body inline on the calling goroutine
 // instead of spawning the dependency-wait goroutine RunAsyncCtx needs.
 // When every dependency is already resolved (the common case for a purely
-// synchronous program) this costs no scheduling at all.
+// synchronous program) this costs no scheduling at all; and because the
+// loop is finished before its resources' version chains are updated, the
+// successful path records a settled chain instead of a future —
+// steady-state synchronous issue allocates nothing (see CompiledLoop).
 func (ex *Executor) RunCtx(ctx context.Context, l *Loop) error {
 	if err := l.Validate(); err != nil {
 		return err
@@ -128,13 +155,30 @@ func (ex *Executor) RunCtx(ctx context.Context, l *Loop) error {
 	if ex.cfg.Backend != Dataflow {
 		return ex.executeCtx(ctx, l)
 	}
-	resources := classifyResources(l.Args)
-	hard, ordering := gatherDeps(resources)
-	p, f := hpx.NewPromise[struct{}]()
-	recordResources(resources, f) // before any wait, so program order defines the DAG
+	cl, err := ex.compiled(l)
+	if err != nil {
+		return err
+	}
+	hard, ordering := cl.gatherDepsReuse()
+	if ctx.Done() != nil && !(allReady(hard) && allReady(ordering)) {
+		// A cancellable wait on pending dependencies may retain the
+		// slices beyond this call (WaitAllCtx drains stragglers in the
+		// background, failAfterDeps drains before failing); hand those
+		// paths private copies so the reusable buffers stay ours.
+		hard = append([]hpx.Waiter(nil), hard...)
+		ordering = append([]hpx.Waiter(nil), ordering...)
+	}
 	if err := waitDeps(ctx, hard, ordering); err != nil {
+		p, f := hpx.NewPromise[struct{}]()
+		recordResources(cl.res, f)
 		if ctx.Err() != nil {
 			err = fmt.Errorf("op2: loop %q canceled: %w", l.Name, ctx.Err())
+			// The drain goroutine outlives this call; hand it private
+			// copies even when the pre-wait guard didn't copy (all deps
+			// ready), or the next invocation's gatherDepsReuse would
+			// mutate the buffers under it.
+			hard = append([]hpx.Waiter(nil), hard...)
+			ordering = append([]hpx.Waiter(nil), ordering...)
 			failAfterDeps(p, err, hard, ordering)
 		} else {
 			err = fmt.Errorf("op2: loop %q dependency failed: %w", l.Name, err)
@@ -142,12 +186,28 @@ func (ex *Executor) RunCtx(ctx context.Context, l *Loop) error {
 		}
 		return err
 	}
-	if err := ex.executeCtx(ctx, l); err != nil {
+	if err := ex.executeCompiled(ctx, cl); err != nil {
+		p, f := hpx.NewPromise[struct{}]()
+		recordResources(cl.res, f)
 		p.SetErr(err)
 		return err
 	}
-	p.Set(struct{}{})
+	// Everything the loop touched is settled: successors need not wait
+	// for anything, and nothing was allocated to tell them so. Recording
+	// happens after execution, which is equivalent under the single-
+	// issuing-goroutine contract — no other issue can observe the gap.
+	recordResourcesQuiet(cl.res)
 	return nil
+}
+
+// allReady reports whether every waiter has already resolved.
+func allReady(ws []hpx.Waiter) bool {
+	for _, w := range ws {
+		if w != nil && !w.Ready() {
+			return false
+		}
+	}
+	return true
 }
 
 // RunAsync issues the loop asynchronously under the dataflow backend and
@@ -174,7 +234,11 @@ func (ex *Executor) RunAsyncCtx(ctx context.Context, l *Loop) *hpx.Future[struct
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return ex.issueStepLoop(ctx, l, classifyResources(l.Args))
+	cl, err := ex.compiled(l)
+	if err != nil {
+		return hpx.MakeErr[struct{}](err)
+	}
+	return ex.issueStepLoop(ctx, l, cl.res)
 }
 
 // classifyResources folds a loop's arguments into its distinct resource
@@ -220,16 +284,23 @@ func classifyResources(args []Arg) []stepRes {
 
 // gatherDeps returns the futures the resources' version chains require,
 // split into hard and ordering-only dependencies (see classifyResources).
+// The hot synchronous path passes reusable buffers through
+// CompiledLoop.gatherDepsReuse; both share this one implementation.
 func gatherDeps(resources []stepRes) (hard, ordering []hpx.Waiter) {
+	return gatherDepsInto(resources, nil, nil)
+}
+
+// gatherDepsInto is gatherDeps appending into caller-owned buffers.
+func gatherDepsInto(resources []stepRes, hard, ordering []hpx.Waiter) ([]hpx.Waiter, []hpx.Waiter) {
 	for _, r := range resources {
 		acc := Read
 		if r.writes {
 			acc = RW
 		}
 		if r.hard {
-			hard = append(hard, r.state.dependencies(acc)...)
+			hard = r.state.appendDependencies(acc, hard)
 		} else {
-			ordering = append(ordering, r.state.dependencies(acc)...)
+			ordering = r.state.appendDependencies(acc, ordering)
 		}
 	}
 	return hard, ordering
@@ -245,6 +316,18 @@ func recordResources(resources []stepRes, f hpx.Waiter) {
 			acc = RW
 		}
 		r.state.record(acc, f)
+	}
+}
+
+// recordResourcesQuiet settles every written resource's version chain
+// without installing a future — the post-execution record of the
+// synchronous issue path (see versionState.recordQuiet). Finished read
+// accesses need no record at all.
+func recordResourcesQuiet(resources []stepRes) {
+	for _, r := range resources {
+		if r.writes {
+			r.state.recordQuiet()
+		}
 	}
 }
 
@@ -287,12 +370,25 @@ func failAfterDeps(p *hpx.Promise[struct{}], err error, deps ...[]hpx.Waiter) {
 	}()
 }
 
-// executeCtx runs the loop body to completion on the configured pool.
-// Panics from the kernel — whether on the calling goroutine (serial
-// execution, chunk calibration) or inside pool tasks — surface as errors.
-// A done ctx aborts between colors and chunks (the serial backend only
-// checks on entry: its single range call is indivisible).
-func (ex *Executor) executeCtx(ctx context.Context, l *Loop) (err error) {
+// executeCtx runs the loop body to completion on the configured pool,
+// compiling the loop on first execution (see CompiledLoop).
+func (ex *Executor) executeCtx(ctx context.Context, l *Loop) error {
+	cl, err := ex.compiled(l)
+	if err != nil {
+		return err
+	}
+	return ex.executeCompiled(ctx, cl)
+}
+
+// executeCompiled runs a compiled loop to completion. Panics from the
+// kernel — whether on the calling goroutine (serial execution, chunk
+// calibration) or inside pool tasks — surface as errors. A done ctx
+// aborts between colors and chunks (the serial backend only checks on
+// entry: its single range call is indivisible). All per-invocation state
+// is pooled on the compiled loop, so steady-state execution performs no
+// allocations.
+func (ex *Executor) executeCompiled(ctx context.Context, cl *CompiledLoop) (err error) {
+	l := cl.l
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("op2: loop %q panicked: %v", l.Name, r)
@@ -305,85 +401,34 @@ func (ex *Executor) executeCtx(ctx context.Context, l *Loop) (err error) {
 	if ex.profiler != nil {
 		profStart = time.Now()
 		defer func() {
-			if err != nil {
-				return
+			if err == nil {
+				// The plan is pinned on the compiled loop — no planCache
+				// lock and lookup per profiled invocation.
+				ex.profiler.record(l.Name, l.Set.Name(), time.Since(profStart), cl.plan)
 			}
-			var plan *Plan
-			if cs := conflictMaps(l.Args); len(cs) > 0 {
-				plan, _ = ex.plans.get(l.Set, ex.cfg.BlockSize, cs) // cached
-			}
-			ex.profiler.record(l, time.Since(profStart), plan)
 		}()
 	}
-	n := l.Set.size
-	sl := layoutScratch(l.Args)
-	body := l.bodyFunc(&sl)
-	pf := ex.newLoopPrefetcher(l)
-
-	// Per-range reduction scratches are collected with their range start
-	// and folded in ascending-range order once the loop completes, so the
-	// combine tree depends only on the chunk layout — never on scheduling.
-	// For a fixed chunker this makes reductions bitwise-reproducible
-	// across worker counts and across the parallel backends.
-	type rangeScratch struct {
-		lo int
-		s  []float64
-	}
-	var (
-		accMu     sync.Mutex
-		scratches []rangeScratch
-	)
-	runRange := func(lo, hi int) {
-		var s []float64
-		if sl.size > 0 {
-			s = sl.newScratch()
-		}
-		if pf != nil {
-			pf.run(lo, hi, s, body)
-		} else {
-			body(lo, hi, s)
-		}
-		if sl.size > 0 {
-			accMu.Lock()
-			scratches = append(scratches, rangeScratch{lo: lo, s: s})
-			accMu.Unlock()
-		}
-	}
-	finish := func() {
-		if sl.size == 0 {
-			return
-		}
-		sort.Slice(scratches, func(i, j int) bool { return scratches[i].lo < scratches[j].lo })
-		acc := sl.newScratch()
-		for _, rs := range scratches {
-			sl.combine(acc, rs.s, l.Args)
-		}
-		sl.apply(acc, l.Args)
-	}
-
-	conflicts := conflictMaps(l.Args)
-	if ex.cfg.Backend == Serial || n == 0 {
-		if n > 0 {
-			if err := ex.runSerial(ctx, l, conflicts, runRange); err != nil {
-				return fmt.Errorf("op2: loop %q: %w", l.Name, err)
-			}
-		}
-		finish()
+	lr := cl.getRun(ctx)
+	defer cl.putRun(lr)
+	if l.Set.size == 0 {
+		lr.finish()
 		return nil
 	}
-
 	var runErr error
-	if ex.cfg.Backend == ForkJoin {
-		runErr = ex.runForkJoin(ctx, l, conflicts, runRange)
-	} else if len(conflicts) == 0 {
-		runErr = ex.runDirect(ctx, n, runRange)
-	} else {
-		runErr = ex.runColored(ctx, l, conflicts, runRange)
+	switch {
+	case ex.cfg.Backend == Serial:
+		runErr = ex.runSerial(ctx, lr)
+	case ex.cfg.Backend == ForkJoin:
+		runErr = ex.runForkJoin(ctx, lr)
+	case cl.plan == nil:
+		runErr = ex.runDirect(lr)
+	default:
+		runErr = ex.runColored(ctx, lr)
 	}
 	if runErr != nil {
 		return fmt.Errorf("op2: loop %q: %w", l.Name, runErr)
 	}
-	finish()
+	lr.finish()
 	return nil
 }
 
@@ -392,22 +437,23 @@ func (ex *Executor) executeCtx(ctx context.Context, l *Loop) (err error) {
 // blocks within a color — i.e. exactly the element order the parallel
 // backends use, so serial and parallel runs of a plan-ordered loop agree
 // bitwise. Direct loops run as one contiguous range.
-func (ex *Executor) runSerial(ctx context.Context, l *Loop, conflicts []conflictSource, runRange func(lo, hi int)) error {
-	if len(conflicts) == 0 {
-		runRange(0, l.Set.size)
+func (ex *Executor) runSerial(ctx context.Context, lr *loopRun) error {
+	plan := lr.cl.plan
+	if plan == nil {
+		lr.ensureSlots(1)
+		lr.nslots = 1
+		lr.runRange(0, 0, lr.cl.l.Set.size)
 		return nil
 	}
-	plan, err := ex.plans.get(l.Set, ex.cfg.BlockSize, conflicts)
-	if err != nil {
-		return err
-	}
+	lr.ensureSlots(plan.NBlocks())
+	lr.nslots = plan.NBlocks()
 	for c := 0; c < plan.NColors(); c++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr // abort the nest between colors
 		}
 		for _, b := range plan.BlocksOfColor(c) {
 			lo, hi := plan.Block(b)
-			runRange(lo, hi)
+			lr.runRange(b, lo, hi)
 		}
 	}
 	return nil
@@ -420,24 +466,38 @@ func (ex *Executor) runSerial(ctx context.Context, l *Loop, conflicts []conflict
 // barrier. The team is created and torn down per loop, which is precisely
 // the fork-join overhead plus implicit global barrier the paper's dataflow
 // backend eliminates.
-func (ex *Executor) runForkJoin(ctx context.Context, l *Loop, conflicts []conflictSource, runRange func(lo, hi int)) error {
+func (ex *Executor) runForkJoin(ctx context.Context, lr *loopRun) error {
 	workers := ex.pool().Size()
-	if len(conflicts) == 0 {
-		return forkJoinRegion(ctx, workers, ex.cfg.Chunker, l.Set.size, runRange)
+	plan := lr.cl.plan
+	if plan == nil {
+		n := lr.cl.l.Set.size
+		size := ex.cfg.Chunker.ChunkSize(n, workers, nil)
+		if size < 1 {
+			size = 1
+		}
+		nchunks := (n + size - 1) / size
+		lr.ensureSlots(nchunks)
+		lr.nslots = nchunks
+		return forkJoinRegion(ctx, workers, n, size, func(c, lo, hi int) {
+			lr.runRange(c, lo, hi)
+		})
 	}
-	plan, err := ex.plans.get(l.Set, ex.cfg.BlockSize, conflicts)
-	if err != nil {
-		return err
-	}
+	lr.ensureSlots(plan.NBlocks())
+	lr.nslots = plan.NBlocks()
 	for c := 0; c < plan.NColors(); c++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr // abort the nest between colors
 		}
 		blocks := plan.BlocksOfColor(c)
-		err := forkJoinRegion(ctx, workers, ex.cfg.Chunker, len(blocks), func(blo, bhi int) {
+		size := ex.cfg.Chunker.ChunkSize(len(blocks), workers, nil)
+		if size < 1 {
+			size = 1
+		}
+		err := forkJoinRegion(ctx, workers, len(blocks), size, func(_, blo, bhi int) {
 			for i := blo; i < bhi; i++ {
-				lo, hi := plan.Block(blocks[i])
-				runRange(lo, hi)
+				b := blocks[i]
+				lo, hi := plan.Block(b)
+				lr.runRange(b, lo, hi)
 			}
 		})
 		if err != nil {
@@ -448,17 +508,14 @@ func (ex *Executor) runForkJoin(ctx context.Context, l *Loop, conflicts []confli
 }
 
 // forkJoinRegion forks a team of workers over n iterations, hands out
-// chunks of the chunker's size from a shared counter, and joins. Chunkers
-// are consulted without a measure callback (OpenMP schedules statically).
-// A done ctx makes every worker stop claiming chunks; the region still
-// joins before returning the context error.
-func forkJoinRegion(ctx context.Context, workers int, chunker hpx.Chunker, n int, chunk func(lo, hi int)) error {
+// chunks of the given size from a shared counter, and joins. The chunk
+// callback receives the chunk ordinal (ascending with the range), which
+// is the reduction-scratch slot for direct loops. A done ctx makes every
+// worker stop claiming chunks; the region still joins before returning
+// the context error.
+func forkJoinRegion(ctx context.Context, workers, n, size int, chunk func(c, lo, hi int)) error {
 	if n <= 0 {
 		return nil
-	}
-	size := chunker.ChunkSize(n, workers, nil)
-	if size < 1 {
-		size = 1
 	}
 	if workers > n {
 		workers = n
@@ -495,7 +552,7 @@ func forkJoinRegion(ctx context.Context, workers int, chunker hpx.Chunker, n int
 				if hi > n {
 					hi = n
 				}
-				chunk(lo, hi)
+				chunk(c, lo, hi)
 			}
 		}()
 	}
@@ -509,42 +566,45 @@ func forkJoinRegion(ctx context.Context, workers int, chunker hpx.Chunker, n int
 // runDirect executes a loop with no indirect modifications: calibrate the
 // chunk size by executing the first iterations for real (the way HPX's
 // auto_chunk_size folds its measurement into the run), then spread static
-// chunks of the remainder across the pool.
-func (ex *Executor) runDirect(ctx context.Context, n int, runRange func(lo, hi int)) error {
+// chunks of the remainder across the pool through the compiled region —
+// persistent task closures, no per-invocation policy or future objects.
+func (ex *Executor) runDirect(lr *loopRun) error {
 	pool := ex.pool()
 	workers := pool.Size()
-	cursor := 0
-	measure := func(k int) time.Duration {
-		if cursor+k > n {
-			k = n - cursor
-		}
-		if k <= 0 {
-			return time.Nanosecond
-		}
-		start := time.Now()
-		runRange(cursor, cursor+k)
-		cursor += k
-		return time.Since(start)
+	n := lr.cl.l.Set.size
+	lr.blocks = nil // measure() dispatches on this: direct mode
+	size := ex.cfg.Chunker.ChunkSize(n, workers, lr.measure)
+	if size < 1 {
+		size = 1
 	}
-	size := ex.cfg.Chunker.ChunkSize(n, workers, measure)
+	cursor := lr.cursor
 	if cursor >= n {
 		return nil
 	}
-	policy := hpx.ParPolicy().WithPool(pool).WithChunker(hpx.StaticChunker(size)).WithContext(ctx)
-	return hpx.ForEachChunk(policy, cursor, n, runRange).Wait()
+	if size >= n-cursor {
+		lr.ensureSlots(lr.nslots + 1)
+		lr.runRange(lr.nslots, cursor, n)
+		lr.nslots++
+		return nil
+	}
+	nchunks := (n - cursor + size - 1) / size
+	lr.region.start, lr.region.size, lr.region.end, lr.region.slotBase = cursor, size, n, lr.nslots
+	lr.ensureSlots(lr.nslots + nchunks)
+	lr.nslots += nchunks
+	return lr.region.dispatch(pool, nchunks)
 }
 
-// runColored executes an indirect loop color by color from its cached
+// runColored executes an indirect loop color by color from its pinned
 // plan: blocks within a color are mutually conflict-free and run in
 // parallel; a barrier separates colors, exactly like OP2's OpenMP plan
-// execution in Fig. 4.
-func (ex *Executor) runColored(ctx context.Context, l *Loop, conflicts []conflictSource, runRange func(lo, hi int)) error {
-	plan, err := ex.plans.get(l.Set, ex.cfg.BlockSize, conflicts)
-	if err != nil {
-		return err
-	}
+// execution in Fig. 4. Reduction scratches are slotted by block id, so
+// the ascending-slot fold reproduces the ascending-range combine.
+func (ex *Executor) runColored(ctx context.Context, lr *loopRun) error {
+	plan := lr.cl.plan
 	pool := ex.pool()
 	workers := pool.Size()
+	lr.ensureSlots(plan.NBlocks())
+	lr.nslots = plan.NBlocks()
 	for c := 0; c < plan.NColors(); c++ {
 		if cerr := ctx.Err(); cerr != nil {
 			return cerr // abort the nest mid-color sequence
@@ -552,36 +612,25 @@ func (ex *Executor) runColored(ctx context.Context, l *Loop, conflicts []conflic
 		blocks := plan.BlocksOfColor(c)
 		nb := len(blocks)
 		// Calibrate in whole blocks, executed for real.
-		cursor := 0
-		measure := func(k int) time.Duration {
-			if cursor+k > nb {
-				k = nb - cursor
-			}
-			if k <= 0 {
-				return time.Nanosecond
-			}
-			start := time.Now()
-			for i := cursor; i < cursor+k; i++ {
-				lo, hi := plan.Block(blocks[i])
-				runRange(lo, hi)
-			}
-			cursor += k
-			return time.Since(start)
+		lr.blocks = blocks
+		lr.cursor = 0
+		size := ex.cfg.Chunker.ChunkSize(nb, workers, lr.measure)
+		if size < 1 {
+			size = 1
 		}
-		size := ex.cfg.Chunker.ChunkSize(nb, workers, measure)
-		if cursor >= nb {
+		if lr.cursor >= nb {
 			continue
 		}
-		policy := hpx.ParPolicy().WithPool(pool).WithChunker(hpx.StaticChunker(size)).WithContext(ctx)
-		fut := hpx.ForEachChunk(policy, cursor, nb, func(blo, bhi int) {
-			for i := blo; i < bhi; i++ {
-				lo, hi := plan.Block(blocks[i])
-				runRange(lo, hi)
-			}
-		})
-		if err := fut.Wait(); err != nil {
+		if size >= nb-lr.cursor {
+			lr.measureBlocks(nb - lr.cursor) // run the remainder inline
+			continue
+		}
+		nchunks := (nb - lr.cursor + size - 1) / size
+		lr.region.start, lr.region.size, lr.region.end = lr.cursor, size, nb
+		if err := lr.region.dispatch(pool, nchunks); err != nil {
 			return err
 		}
 	}
+	lr.blocks = nil
 	return nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Kernel is a user kernel in the generic OP2 style: views[k] is the slice
@@ -28,7 +29,20 @@ type Loop struct {
 	Args   []Arg
 	Kernel Kernel
 	Body   RangeBody
+
+	// compiled caches the loop's steady-state execution artifact, built
+	// by the first executor that runs the loop (see CompiledLoop). The
+	// kernel and body are read per invocation, so re-attaching either
+	// does not require invalidation; changing Set or Args after the
+	// first execution does (call InvalidateCompiled).
+	compiled atomic.Pointer[CompiledLoop]
 }
+
+// InvalidateCompiled drops the loop's cached compiled artifact so the
+// next execution recompiles it. Needed only when the loop's Set or Args
+// are mutated after the first run — attached kernels and bodies are
+// always read fresh.
+func (l *Loop) InvalidateCompiled() { l.compiled.Store(nil) }
 
 // Validate checks the loop's arguments against its iteration set.
 func (l *Loop) Validate() error {
@@ -108,16 +122,6 @@ func layoutScratch(args []Arg) scratchLayout {
 	return sl
 }
 
-// newScratch allocates and initializes one scratch buffer.
-func (sl *scratchLayout) newScratch() []float64 {
-	if sl.size == 0 {
-		return nil
-	}
-	s := make([]float64, sl.size)
-	copy(s, sl.initv)
-	return s
-}
-
 // combine folds one scratch buffer into an accumulator of the same layout.
 func (sl *scratchLayout) combine(acc, s []float64, args []Arg) {
 	for i, a := range args {
@@ -140,46 +144,6 @@ func (sl *scratchLayout) apply(acc []float64, args []Arg) {
 		g := a.gbl
 		dim := g.Dim()
 		ReduceCombine(a.acc, g.data[:dim], acc[off:off+dim])
-	}
-}
-
-// bodyFunc returns the loop's RangeBody, wrapping the generic Kernel in a
-// per-element view builder when no specialized body is present.
-func (l *Loop) bodyFunc(sl *scratchLayout) RangeBody {
-	if l.Body != nil {
-		return l.Body
-	}
-	args := l.Args
-	kernel := l.Kernel
-	return func(lo, hi int, scratch []float64) {
-		views := make([][]float64, len(args))
-		// Invariant views (globals) are set once per range.
-		for i, a := range args {
-			if !a.IsGlobal() {
-				continue
-			}
-			if off := sl.offs[i]; off >= 0 {
-				views[i] = scratch[off : off+a.gbl.Dim()]
-			} else {
-				views[i] = a.gbl.data
-			}
-		}
-		for e := lo; e < hi; e++ {
-			for i, a := range args {
-				if a.IsGlobal() {
-					continue
-				}
-				d := a.dat
-				var j int
-				if a.m == nil {
-					j = e
-				} else {
-					j = int(a.m.data[e*a.m.dim+a.idx])
-				}
-				views[i] = d.data[j*d.dim : (j+1)*d.dim : (j+1)*d.dim]
-			}
-			kernel(views)
-		}
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 )
 
@@ -20,6 +21,9 @@ type Plan struct {
 	color     []int // color[b]
 	ncolors   int
 	byColor   [][]int // byColor[c] = block ids of color c
+
+	orderOnce sync.Once
+	order     []int // cached ElementOrder
 }
 
 // NBlocks reports the number of blocks.
@@ -45,17 +49,24 @@ func (p *Plan) BlocksOfColor(c int) []int { return p.byColor[c] }
 // within a block. This is the element order every shared-memory backend
 // applies indirect increments in, and therefore the order a distributed
 // backend must replay to stay bitwise-identical.
+//
+// The order is materialized once and cached on the (immutable) plan —
+// PartitionOrder used to rebuild this n-int slice on every call — so
+// the returned slice is shared: callers must not modify it.
 func (p *Plan) ElementOrder() []int {
-	order := make([]int, 0, p.set.size)
-	for c := 0; c < p.ncolors; c++ {
-		for _, b := range p.byColor[c] {
-			lo, hi := p.Block(b)
-			for e := lo; e < hi; e++ {
-				order = append(order, e)
+	p.orderOnce.Do(func() {
+		order := make([]int, 0, p.set.size)
+		for c := 0; c < p.ncolors; c++ {
+			for _, b := range p.byColor[c] {
+				lo, hi := p.Block(b)
+				for e := lo; e < hi; e++ {
+					order = append(order, e)
+				}
 			}
 		}
-	}
-	return order
+		p.order = order
+	})
+	return p.order
 }
 
 // PlanPartition is partition-aware plan metadata: the plan's serial
@@ -168,13 +179,10 @@ func (m *colorMask) firstClear() int {
 	return 64 * (len(m.rest) + 1)
 }
 
+// firstZeroBit locates the lowest clear bit in one instruction: the
+// lowest zero of w is the lowest set bit of its complement.
 func firstZeroBit(w uint64) int {
-	c := 0
-	for w&1 != 0 {
-		w >>= 1
-		c++
-	}
-	return c
+	return bits.TrailingZeros64(^w)
 }
 
 // buildPlan partitions set into blocks of blockSize and colors them so no

@@ -37,14 +37,16 @@ func NewProfiler() *Profiler {
 	return &Profiler{loops: make(map[string]*LoopStats)}
 }
 
-// record adds one execution sample.
-func (p *Profiler) record(l *Loop, d time.Duration, plan *Plan) {
+// record adds one execution sample. Fused passes record under their
+// group name ("fused(a+b)") with no plan; the resolved plan is threaded
+// in by the caller, so recording never re-consults the plan cache.
+func (p *Profiler) record(name, set string, d time.Duration, plan *Plan) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	st, ok := p.loops[l.Name]
+	st, ok := p.loops[name]
 	if !ok {
-		st = &LoopStats{Name: l.Name, Min: d, Set: l.Set.Name()}
-		p.loops[l.Name] = st
+		st = &LoopStats{Name: name, Min: d, Set: set}
+		p.loops[name] = st
 	}
 	st.Count++
 	st.Total += d

@@ -57,11 +57,8 @@ func TestProfilerRecordsPlanShape(t *testing.T) {
 
 func TestProfilerSortsByTotal(t *testing.T) {
 	p := NewProfiler()
-	cells := MustDeclSet(1, "cells")
-	cheap := &Loop{Name: "cheap", Set: cells}
-	costly := &Loop{Name: "costly", Set: cells}
-	p.record(cheap, time.Millisecond, nil)
-	p.record(costly, time.Second, nil)
+	p.record("cheap", "cells", time.Millisecond, nil)
+	p.record("costly", "cells", time.Second, nil)
 	stats := p.Stats()
 	if stats[0].Name != "costly" {
 		t.Fatalf("order = %v, %v", stats[0].Name, stats[1].Name)
@@ -70,8 +67,7 @@ func TestProfilerSortsByTotal(t *testing.T) {
 
 func TestProfilerReset(t *testing.T) {
 	p := NewProfiler()
-	cells := MustDeclSet(1, "cells")
-	p.record(&Loop{Name: "x", Set: cells}, time.Millisecond, nil)
+	p.record("x", "cells", time.Millisecond, nil)
 	p.Reset()
 	if len(p.Stats()) != 0 {
 		t.Fatal("Reset did not clear stats")
@@ -80,8 +76,7 @@ func TestProfilerReset(t *testing.T) {
 
 func TestProfilerRender(t *testing.T) {
 	p := NewProfiler()
-	cells := MustDeclSet(1, "cells")
-	p.record(&Loop{Name: "res_calc", Set: cells}, 2*time.Millisecond, nil)
+	p.record("res_calc", "cells", 2*time.Millisecond, nil)
 	var b strings.Builder
 	p.Render(&b)
 	out := b.String()

@@ -155,20 +155,20 @@ func TestArgValidation(t *testing.T) {
 
 	cases := []struct {
 		name string
-		loop Loop
+		loop *Loop
 		ok   bool
 	}{
-		{"direct ok", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(q, IDIdx, nil, Read)}}, true},
-		{"indirect ok", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(x, 0, pcell, Read)}}, true},
-		{"gbl ok", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgGbl(g, Inc)}}, true},
-		{"direct wrong set", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(wrongSet, IDIdx, nil, Read)}}, false},
-		{"map wrong from", Loop{Name: "l", Set: nodes, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(x, 0, pcell, Read)}}, false},
-		{"map wrong to", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(q, 0, pcell, Read)}}, false},
-		{"idx out of range", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(x, 2, pcell, Read)}}, false},
-		{"min on dat", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(q, IDIdx, nil, Min)}}, false},
-		{"write gbl", Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgGbl(g, Write)}}, false},
-		{"no kernel", Loop{Name: "l", Set: cells}, false},
-		{"no set", Loop{Name: "l", Kernel: func([][]float64) {}}, false},
+		{"direct ok", &Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(q, IDIdx, nil, Read)}}, true},
+		{"indirect ok", &Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(x, 0, pcell, Read)}}, true},
+		{"gbl ok", &Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgGbl(g, Inc)}}, true},
+		{"direct wrong set", &Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(wrongSet, IDIdx, nil, Read)}}, false},
+		{"map wrong from", &Loop{Name: "l", Set: nodes, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(x, 0, pcell, Read)}}, false},
+		{"map wrong to", &Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(q, 0, pcell, Read)}}, false},
+		{"idx out of range", &Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(x, 2, pcell, Read)}}, false},
+		{"min on dat", &Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgDat(q, IDIdx, nil, Min)}}, false},
+		{"write gbl", &Loop{Name: "l", Set: cells, Kernel: func([][]float64) {}, Args: []Arg{ArgGbl(g, Write)}}, false},
+		{"no kernel", &Loop{Name: "l", Set: cells}, false},
+		{"no set", &Loop{Name: "l", Kernel: func([][]float64) {}}, false},
 	}
 	for _, c := range cases {
 		err := c.loop.Validate()

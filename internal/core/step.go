@@ -37,6 +37,13 @@ type StepPlan struct {
 	// res[i] is loop i's distinct resource list with the strongest access
 	// seen — the precomputed form of what collectDeps derives per issue.
 	res [][]stepRes
+	// groups are the step's issue units under the Dataflow backend:
+	// maximal runs of adjacent direct loops over the same set with
+	// element-wise dependencies execute fused, as one pass over the
+	// iteration range (see stepGroup); everything else issues one loop
+	// per group. Serial and ForkJoin ignore the grouping and run the
+	// loops in program order.
+	groups []*stepGroup
 }
 
 // stepRes is one distinct resource a loop touches: its version chain and
@@ -126,7 +133,31 @@ func BuildStepPlan(name string, loops []*Loop) (*StepPlan, error) {
 			sp.sinks = append(sp.sinks, i)
 		}
 	}
+	sp.groups = buildStepGroups(sp)
 	return sp, nil
+}
+
+// FusedGroups reports how many multi-loop fused groups the plan formed.
+func (sp *StepPlan) FusedGroups() int {
+	n := 0
+	for _, g := range sp.groups {
+		if g.fused() {
+			n++
+		}
+	}
+	return n
+}
+
+// FusedLoops reports how many of the step's loop occurrences execute
+// inside multi-loop fused groups under the Dataflow backend.
+func (sp *StepPlan) FusedLoops() int {
+	n := 0
+	for _, g := range sp.groups {
+		if g.fused() {
+			n += g.hi - g.lo
+		}
+	}
+	return n
 }
 
 // Deps returns the intra-step dependency edges of loop i (indices of
@@ -147,6 +178,7 @@ func (ex *Executor) RunStepCtx(ctx context.Context, sp *StepPlan) error {
 		ctx = context.Background()
 	}
 	if ex.cfg.Backend != Dataflow {
+		ex.stepsRun.Add(1)
 		for _, l := range sp.Loops {
 			if err := ex.executeCtx(ctx, l); err != nil {
 				return err
@@ -169,9 +201,17 @@ func (ex *Executor) RunStepAsyncCtx(ctx context.Context, sp *StepPlan) *hpx.Futu
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ex.stepsRun.Add(1)
 	futs := make([]*hpx.Future[struct{}], len(sp.Loops))
-	for i, l := range sp.Loops {
-		futs[i] = ex.issueStepLoop(ctx, l, sp.res[i])
+	for _, g := range sp.groups {
+		if g.fused() {
+			// One issue for the whole group, but per-member futures: each
+			// member's verdict and chain recording stay exactly what
+			// per-loop issue would have produced.
+			copy(futs[g.lo:g.hi], ex.issueFusedGroup(ctx, sp, g))
+		} else {
+			futs[g.lo] = ex.issueStepLoop(ctx, sp.Loops[g.lo], g.res)
+		}
 	}
 	p, f := hpx.NewPromise[struct{}]()
 	go func() {

@@ -446,6 +446,58 @@ func (e *Engine) RunStepAsync(ctx context.Context, name string, loops []*core.Lo
 	for i, l := range loops {
 		kernels[i] = l.Kernel
 	}
+	return e.submitLocked(ctx, sp, kernels)
+}
+
+// RunStepHandle is RunStep over a compiled handle: the step executes
+// without re-deriving its structural key or re-validating its loops.
+func (e *Engine) RunStepHandle(ctx context.Context, h *StepHandle) error {
+	err := e.RunStepHandleAsync(ctx, h).Wait()
+	if err != nil {
+		e.AckError(err) // delivered here; don't re-report at the next fence
+	}
+	return err
+}
+
+// RunStepHandleAsync submits a compiled step. The handle's plan pointer
+// is revalidated against the cache with its pinned key — one map lookup
+// instead of key construction plus validation — and rebuilt only when
+// re-sharding invalidated it.
+func (e *Engine) RunStepHandleAsync(ctx context.Context, h *StepHandle) *hpx.Future[struct{}] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		err := invalidf("engine is closed")
+		e.recordError(err)
+		return hpx.MakeErr[struct{}](err)
+	}
+	if e.steps[h.key] != h.sp {
+		// Re-sharding a replicated dat dropped the plan; rebuild it.
+		sp, err := e.stepPlanLocked(h.name, h.loops)
+		if err != nil {
+			e.mu.Unlock()
+			e.recordError(err)
+			return hpx.MakeErr[struct{}](err)
+		}
+		h.sp = sp
+	}
+	// Kernels travel per submission (plans are structural and shared), so
+	// re-attached kernels are observed and pipelined submissions cannot
+	// race each other's slices.
+	kernels := make([]core.Kernel, len(h.loops))
+	for i, l := range h.loops {
+		kernels[i] = l.Kernel
+	}
+	return e.submitLocked(ctx, h.sp, kernels)
+}
+
+// submitLocked finishes a step submission with e.mu held (and releases
+// it): swap the engine tail, post one task per rank in rank order, and
+// spawn the driver that folds reductions and resolves the step future.
+func (e *Engine) submitLocked(ctx context.Context, sp *stepPlan, kernels []core.Kernel) *hpx.Future[struct{}] {
 	prev := e.tail
 	pStep, fStep := hpx.NewPromise[struct{}]()
 	e.tail = fStep

@@ -333,6 +333,7 @@ func All(o Options) ([]*perf.Table, error) {
 		{"fig20", Fig20},
 		{"dist", Dist},
 		{"step", Step},
+		{"hotpath", HotPath},
 	}
 	var out []*perf.Table
 	for _, f := range fns {
@@ -348,15 +349,16 @@ func All(o Options) ([]*perf.Table, error) {
 // ByName returns the experiment function registered under name.
 func ByName(name string) (func(Options) (*perf.Table, error), bool) {
 	m := map[string]func(Options) (*perf.Table, error){
-		"table1": TableI,
-		"fig15":  Fig15,
-		"fig16":  Fig16,
-		"fig17":  Fig17,
-		"fig18":  Fig18,
-		"fig19":  Fig19,
-		"fig20":  Fig20,
-		"dist":   Dist,
-		"step":   Step,
+		"table1":  TableI,
+		"fig15":   Fig15,
+		"fig16":   Fig16,
+		"fig17":   Fig17,
+		"fig18":   Fig18,
+		"fig19":   Fig19,
+		"fig20":   Fig20,
+		"dist":    Dist,
+		"step":    Step,
+		"hotpath": HotPath,
 	}
 	f, ok := m[name]
 	return f, ok

@@ -58,13 +58,19 @@ func (d *deque) popTail() (Task, bool) {
 
 func (d *deque) stealHead() (Task, bool) {
 	d.mu.Lock()
-	if len(d.tasks) == 0 {
+	n := len(d.tasks)
+	if n == 0 {
 		d.mu.Unlock()
 		return nil, false
 	}
 	t := d.tasks[0]
-	d.tasks[0] = nil
-	d.tasks = d.tasks[1:]
+	// Shift down instead of re-slicing off the head: a head re-slice
+	// permanently discards one capacity slot per steal, so a steady-state
+	// workload would re-grow its deques forever. Deques hold at most a
+	// few queued chunks, so the copy is trivially cheap.
+	copy(d.tasks, d.tasks[1:])
+	d.tasks[n-1] = nil
+	d.tasks = d.tasks[:n-1]
 	d.mu.Unlock()
 	return t, true
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"op2hpx/internal/core"
+	"op2hpx/internal/dist"
 	"op2hpx/internal/hpx"
 )
 
@@ -45,8 +46,9 @@ func GblArg(g *Global, acc Access) Arg { return core.ArgGbl(g, acc) }
 type Loop struct {
 	rt   *Runtime
 	l    core.Loop
-	once *sync.Once // guards the lazily cached validation verdict
-	err  error      // validation error, reported at invocation
+	once *sync.Once       // guards the lazily cached validation verdict
+	err  error            // validation error, reported at invocation
+	dh   *dist.StepHandle // pinned one-loop step plan (WithRanks runtimes)
 }
 
 // ParLoop declares a parallel loop over set with the given arguments.
@@ -60,7 +62,7 @@ func (rt *Runtime) ParLoop(name string, set *Set, args ...Arg) *Loop {
 // Kernel attaches the generic per-element kernel and returns the loop.
 func (lp *Loop) Kernel(k Kernel) *Loop {
 	lp.l.Kernel = k
-	lp.once, lp.err = new(sync.Once), nil
+	lp.once, lp.err, lp.dh = new(sync.Once), nil, nil
 	return lp
 }
 
@@ -68,8 +70,21 @@ func (lp *Loop) Kernel(k Kernel) *Loop {
 // when both are set, Body takes precedence.
 func (lp *Loop) Body(b RangeBody) *Loop {
 	lp.l.Body = b
-	lp.once, lp.err = new(sync.Once), nil
+	lp.once, lp.err, lp.dh = new(sync.Once), nil, nil
 	return lp
+}
+
+// distHandle lazily compiles the loop's one-loop distributed step plan,
+// so repeated invocations skip the engine's per-invocation loop-list
+// allocation, key construction and re-validation. Compile errors fall
+// back to the legacy path, which reports them identically.
+func (lp *Loop) distHandle() *dist.StepHandle {
+	if lp.dh == nil {
+		if h, err := lp.rt.eng.CompileStep(lp.l.Name, []*core.Loop{&lp.l}); err == nil {
+			lp.dh = h
+		}
+	}
+	return lp.dh
 }
 
 // Name returns the loop's name.
@@ -100,6 +115,9 @@ func (lp *Loop) Run(ctx context.Context) error {
 		return err
 	}
 	if lp.rt.eng != nil {
+		if h := lp.distHandle(); h != nil {
+			return classify(lp.rt.eng.RunStepHandle(ctx, h))
+		}
 		return classify(lp.rt.eng.Run(ctx, &lp.l))
 	}
 	return classify(lp.rt.ex.RunCtx(ctx, &lp.l))
@@ -127,6 +145,9 @@ func (lp *Loop) Async(ctx context.Context) *Future {
 		return &Future{f: hpx.MakeErr[struct{}](err)}
 	}
 	if lp.rt.eng != nil {
+		if h := lp.distHandle(); h != nil {
+			return &Future{f: lp.rt.eng.RunStepHandleAsync(ctx, h), ack: lp.rt.eng.AckError}
+		}
 		return &Future{f: lp.rt.eng.RunAsync(ctx, &lp.l), ack: lp.rt.eng.AckError}
 	}
 	return &Future{f: lp.rt.ex.RunAsyncCtx(ctx, &lp.l)}

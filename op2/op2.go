@@ -262,6 +262,20 @@ func (rt *Runtime) PoolSize() int {
 	return sched.Default().Size()
 }
 
+// StepStats are cumulative step-execution counters of a shared-memory
+// runtime: how many steps were issued, how many multi-loop fused passes
+// the Dataflow backend ran, and how many loop occurrences those passes
+// absorbed — each absorbed occurrence is one loop issue and one full
+// memory sweep over the iteration set that did not happen separately.
+// Distributed runtimes report zeros (rank workers execute whole steps;
+// see Runtime.HaloMessagesSent for their per-step observable).
+type StepStats = core.StepExecStats
+
+// StepStats reports the runtime's cumulative step-execution counters,
+// including how many loops the Dataflow backend's direct-loop fusion
+// absorbed (see Step.FusedGroups for a plan's static shape).
+func (rt *Runtime) StepStats() StepStats { return rt.ex.StepStats() }
+
 // LoopProfile aggregates the executions of one named loop: invocation
 // count, total/mean/min/max wall time, and plan shape for indirect loops.
 type LoopProfile = core.LoopStats

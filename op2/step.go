@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"op2hpx/internal/core"
+	"op2hpx/internal/dist"
 	"op2hpx/internal/hpx"
 )
 
@@ -48,7 +49,8 @@ type Step struct {
 	loops []*Loop
 
 	compiled bool
-	plan     *core.StepPlan // shared-memory plans; distributed plans cache in the engine
+	plan     *core.StepPlan   // shared-memory plan (and the fusion grouping)
+	dh       *dist.StepHandle // pinned distributed plan (WithRanks runtimes)
 	raw      []*core.Loop
 	err      error
 }
@@ -64,7 +66,7 @@ func (rt *Runtime) Step(name string) *Step {
 // Async recompiles.
 func (s *Step) Then(lp *Loop) *Step {
 	s.loops = append(s.loops, lp)
-	s.compiled, s.plan, s.raw, s.err = false, nil, nil, nil
+	s.compiled, s.plan, s.dh, s.raw, s.err = false, nil, nil, nil, nil
 	return s
 }
 
@@ -132,9 +134,25 @@ func (s *Step) Run(ctx context.Context) error {
 		return err
 	}
 	if s.rt.eng != nil {
+		if h := s.distHandle(); h != nil {
+			return classify(s.rt.eng.RunStepHandle(ctx, h))
+		}
 		return classify(s.rt.eng.RunStep(ctx, s.name, s.raw))
 	}
 	return classify(s.rt.ex.RunStepCtx(ctx, s.plan))
+}
+
+// distHandle lazily compiles the step's distributed plan handle, so
+// steady-state submissions skip the engine's per-invocation structural
+// key construction and re-validation. Compile errors fall back to the
+// legacy path, which reports (and fence-records) them identically.
+func (s *Step) distHandle() *dist.StepHandle {
+	if s.dh == nil {
+		if h, err := s.rt.eng.CompileStep(s.name, s.raw); err == nil {
+			s.dh = h
+		}
+	}
+	return s.dh
 }
 
 // Async issues the whole step asynchronously and returns one Future for
@@ -150,9 +168,34 @@ func (s *Step) Async(ctx context.Context) *Future {
 		return &Future{f: hpx.MakeErr[struct{}](err)}
 	}
 	if s.rt.eng != nil {
+		if h := s.distHandle(); h != nil {
+			return &Future{f: s.rt.eng.RunStepHandleAsync(ctx, h), ack: s.rt.eng.AckError}
+		}
 		return &Future{f: s.rt.eng.RunStepAsync(ctx, s.name, s.raw), ack: s.rt.eng.AckError}
 	}
 	return &Future{f: s.rt.ex.RunStepAsyncCtx(ctx, s.plan)}
+}
+
+// FusedGroups reports how many multi-loop fused groups the step's
+// shared-memory plan formed: runs of adjacent direct loops over the
+// same set that the Dataflow backend executes as one pass over the
+// iteration range. It compiles the step if needed and reports 0 when
+// the step does not compile (distributed execution plans fusion-free:
+// rank workers already run whole steps).
+func (s *Step) FusedGroups() int {
+	if err := s.compile(); err != nil {
+		return 0
+	}
+	return s.plan.FusedGroups()
+}
+
+// FusedLoops reports how many of the step's loop occurrences execute
+// inside fused groups under the Dataflow backend (see FusedGroups).
+func (s *Step) FusedLoops() int {
+	if err := s.compile(); err != nil {
+		return 0
+	}
+	return s.plan.FusedLoops()
 }
 
 // Fence blocks until every loop and step submitted to a distributed
