@@ -439,3 +439,83 @@ func BenchmarkHotPath(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkHotPathAsync measures the pooled asynchronous issue path:
+// the ping-pong Async of a direct Body loop (the 0 allocs/op guarantee,
+// enforced by TestSteadyStateAsyncLoopZeroAlloc), the pipelined airfoil
+// timestep issued with step.Async on the Dataflow backend, and the same
+// pipelined timestep on a distributed runtime at 2 ranks. Run with
+// -benchmem: allocs/op per issue (ping-pong) or per timestep
+// (pipelines) is the headline number, recorded in BENCH_hotpath.json.
+func BenchmarkHotPathAsync(b *testing.B) {
+	ctx := context.Background()
+	for _, backend := range []op2.Backend{op2.Serial, op2.Dataflow} {
+		b.Run("async-loop/"+backend.String(), func(b *testing.B) {
+			rt := op2.MustNew(op2.WithBackend(backend), op2.WithPoolSize(runtime.NumCPU()))
+			defer rt.Close()
+			const n = 1 << 16
+			cells := op2.MustDeclSet(n, "cells")
+			x := op2.MustDeclDat(cells, 1, nil, "x")
+			y := op2.MustDeclDat(cells, 1, nil, "y")
+			xd, yd := x.Data(), y.Data()
+			lp := rt.ParLoop("saxpy", cells,
+				op2.DirectArg(x, op2.Read),
+				op2.DirectArg(y, op2.RW),
+			).Body(func(lo, hi int, _ []float64) {
+				for i := lo; i < hi; i++ {
+					yd[i] += 2 * xd[i]
+				}
+			})
+			for i := 0; i < 4; i++ { // warm pools, plans, issue states
+				if err := lp.Async(ctx).Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := lp.Async(ctx).Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("airfoil-step-async/dataflow", func(b *testing.B) {
+		rt := op2.MustNew(op2.WithBackend(op2.Dataflow), op2.WithPoolSize(runtime.NumCPU()))
+		defer rt.Close()
+		app, err := airfoil.NewApp(benchNX, benchNY, rt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := app.Run(benchIters); err != nil { // warm to pipeline depth
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := app.Run(benchIters); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		perOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N*benchIters)
+		b.ReportMetric(perOp, "ns/iter")
+	})
+	b.Run("airfoil-step-async/distributed-r2", func(b *testing.B) {
+		app, err := airfoil.NewDistApp(benchNX, benchNY, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer app.Close()
+		if _, err := app.Run(benchIters); err != nil { // warm: plans, buffer pools
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := app.Run(benchIters); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -26,8 +26,16 @@
 // first execution builds a CompiledLoop (pinned plan, reduction-scratch
 // layout, classified resources, prefetcher, pooled run state) cached on
 // the loop, after which a synchronous direct-loop invocation performs
-// zero heap allocations on the Serial and Dataflow backends — the
-// regression is enforced by tests and recorded in BENCH_hotpath.json.
+// zero heap allocations on the Serial and Dataflow backends. The
+// asynchronous path matches it: futures are intrusive wait-list LCOs
+// (hpx.LCO), an Async issue borrows a pooled issue state, links
+// continuations onto its predecessors' wait-lists instead of parking a
+// dependency-wait goroutine, and recycles once consumed — a steady-state
+// Async issue-and-wait is 0 allocs/op too, a pipelined step.Async
+// timestep costs a few allocations (down from ~112), and distributed
+// timesteps pack every halo message into per-rank pooled buffers
+// (Runtime.HaloBufferStats observes the reuse). The regressions are
+// enforced by tests and recorded in BENCH_hotpath.json.
 //
 // op2.WithRanks(n) switches a runtime to the owner-compute distributed
 // engine: sets are partitioned across n simulated localities

@@ -231,6 +231,11 @@ func (a *App) activeLoops() *appLoops {
 	return &a.loops.spec
 }
 
+// StepGraph exposes the declared one-iteration Step of the active kernel
+// path — the unit App.Step issues — so callers (benchmarks, the hot-path
+// experiment) can drive step.Async pipelines directly on any backend.
+func (a *App) StepGraph() *op2.Step { return a.activeLoops().step }
+
 // Step performs one time iteration, issued as one op2.Step graph. Under
 // the Dataflow backend and on distributed runtimes the step is issued
 // asynchronously and Step returns without waiting — the futures chain

@@ -41,7 +41,8 @@ type CompiledLoop struct {
 	genericBody RangeBody // view-building wrapper around l.Kernel
 	viewsPool   sync.Pool // *[][]float64, len(l.Args)
 
-	runs sync.Pool // *loopRun
+	runs   sync.Pool // *loopRun
+	issues sync.Pool // *issueState: pooled async-issue states (see issue.go)
 
 	// Dependency gather buffers, reused across synchronous dataflow
 	// invocations. Only the issuing goroutine touches them — the same

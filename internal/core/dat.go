@@ -24,19 +24,44 @@ type versionState struct {
 
 // appendDependencies appends the futures a new access must wait for
 // into a caller-owned buffer — the one definition of dependency
-// gathering. The hot synchronous issue path reuses its buffers across
-// invocations instead of allocating a fresh slice per loop; allocating
-// callers pass nil.
+// gathering. The hot issue paths reuse their buffers across invocations
+// instead of allocating a fresh slice per loop; allocating callers pass
+// nil.
+//
+// Gathering doubles as the chain's garbage collection: an entry that has
+// resolved successfully imposes no constraint on anything that comes
+// later, so it is dropped for good (releasing its pooled issue state)
+// instead of being re-gathered forever. Failed entries stay — their
+// errors must keep propagating to later hard accesses until a write
+// displaces them.
 func (v *versionState) appendDependencies(acc Access, dst []hpx.Waiter) []hpx.Waiter {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if v.lastWrite != nil {
-		dst = append(dst, v.lastWrite)
+	if lw := v.lastWrite; lw != nil {
+		if settledOK(lw) {
+			releaseWaiter(lw)
+			v.lastWrite = nil
+		} else {
+			dst = append(dst, lw)
+		}
 	}
 	if acc == Read {
 		return dst
 	}
-	return append(dst, v.readers...)
+	kept := v.readers[:0]
+	for _, r := range v.readers {
+		if settledOK(r) {
+			releaseWaiter(r)
+			continue
+		}
+		kept = append(kept, r)
+		dst = append(dst, r)
+	}
+	for i := len(kept); i < len(v.readers); i++ {
+		v.readers[i] = nil
+	}
+	v.readers = kept
+	return dst
 }
 
 // recordQuiet marks a write access as complete-and-settled without
@@ -49,19 +74,43 @@ func (v *versionState) appendDependencies(acc Access, dst []hpx.Waiter) []hpx.Wa
 // growing across synchronous invocations.
 func (v *versionState) recordQuiet() {
 	v.mu.Lock()
+	releaseWaiter(v.lastWrite)
 	v.lastWrite = nil
+	for i, r := range v.readers {
+		releaseWaiter(r)
+		v.readers[i] = nil
+	}
 	v.readers = v.readers[:0]
 	v.mu.Unlock()
 }
 
 // record registers the loop future f as the new version according to the
-// access mode.
+// access mode, releasing the chain references of every entry it
+// displaces. Read records compact settled-successful readers in place so
+// the reader list of a dat that is read every issue but never written
+// stays bounded by the in-flight (plus failed) readers.
 func (v *versionState) record(acc Access, f hpx.Waiter) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if acc == Read {
-		v.readers = append(v.readers, f)
+		kept := v.readers[:0]
+		for _, r := range v.readers {
+			if settledOK(r) {
+				releaseWaiter(r)
+				continue
+			}
+			kept = append(kept, r)
+		}
+		for i := len(kept); i < len(v.readers); i++ {
+			v.readers[i] = nil
+		}
+		v.readers = append(kept, f)
 		return
+	}
+	releaseWaiter(v.lastWrite)
+	for i, r := range v.readers {
+		releaseWaiter(r)
+		v.readers[i] = nil
 	}
 	v.lastWrite = f
 	v.readers = v.readers[:0]

@@ -163,33 +163,26 @@ func (ex *Executor) RunCtx(ctx context.Context, l *Loop) error {
 	if ctx.Done() != nil && !(allReady(hard) && allReady(ordering)) {
 		// A cancellable wait on pending dependencies may retain the
 		// slices beyond this call (WaitAllCtx drains stragglers in the
-		// background, failAfterDeps drains before failing); hand those
-		// paths private copies so the reusable buffers stay ours.
+		// background); hand that path private copies so the reusable
+		// buffers stay ours.
 		hard = append([]hpx.Waiter(nil), hard...)
 		ordering = append([]hpx.Waiter(nil), ordering...)
 	}
 	if err := waitDeps(ctx, hard, ordering); err != nil {
-		p, f := hpx.NewPromise[struct{}]()
-		recordResources(cl.res, f)
 		if ctx.Err() != nil {
 			err = fmt.Errorf("op2: loop %q canceled: %w", l.Name, ctx.Err())
-			// The drain goroutine outlives this call; hand it private
-			// copies even when the pre-wait guard didn't copy (all deps
-			// ready), or the next invocation's gatherDepsReuse would
-			// mutate the buffers under it.
-			hard = append([]hpx.Waiter(nil), hard...)
-			ordering = append([]hpx.Waiter(nil), ordering...)
-			failAfterDeps(p, err, hard, ordering)
 		} else {
 			err = fmt.Errorf("op2: loop %q dependency failed: %w", l.Name, err)
-			p.SetErr(err)
 		}
+		// The chain entry this failure records must not resolve before
+		// the dependencies beneath it have drained; issueFailAfterDeps
+		// resolves it through continuations on the stragglers instead of
+		// the drain goroutine failAfterDeps used to park.
+		ex.issueFailAfterDeps(ctx, cl, err, hard, ordering)
 		return err
 	}
 	if err := ex.executeCompiled(ctx, cl); err != nil {
-		p, f := hpx.NewPromise[struct{}]()
-		recordResources(cl.res, f)
-		p.SetErr(err)
+		ex.issueFailAfterDeps(ctx, cl, err, nil, nil)
 		return err
 	}
 	// Everything the loop touched is settled: successors need not wait
@@ -218,7 +211,13 @@ func allReady(ws []hpx.Waiter) bool {
 // must be called from a single issuing goroutine so program order defines
 // the dependency DAG — the same contract the paper's modified Airfoil.cpp
 // relies on.
-func (ex *Executor) RunAsync(l *Loop) *hpx.Future[struct{}] {
+//
+// The returned Future is pooled: its first Wait consumes it, after which
+// the loop's next issue may reuse the underlying state (see core.Future).
+// Steady-state issue of a compiled loop allocates nothing — dependencies
+// are linked as intrusive continuations onto the predecessors' wait-lists
+// instead of being awaited by a per-issue goroutine.
+func (ex *Executor) RunAsync(l *Loop) Future {
 	return ex.RunAsyncCtx(context.Background(), l)
 }
 
@@ -227,7 +226,7 @@ func (ex *Executor) RunAsync(l *Loop) *hpx.Future[struct{}] {
 // between colors/chunks) and its future resolves with an error wrapping
 // ctx.Err(). The single-issuing-goroutine contract of RunAsync applies
 // unchanged.
-func (ex *Executor) RunAsyncCtx(ctx context.Context, l *Loop) *hpx.Future[struct{}] {
+func (ex *Executor) RunAsyncCtx(ctx context.Context, l *Loop) Future {
 	if err := l.Validate(); err != nil {
 		return hpx.MakeErr[struct{}](err)
 	}
@@ -238,7 +237,7 @@ func (ex *Executor) RunAsyncCtx(ctx context.Context, l *Loop) *hpx.Future[struct
 	if err != nil {
 		return hpx.MakeErr[struct{}](err)
 	}
-	return ex.issueStepLoop(ctx, l, cl.res)
+	return &ex.issueLoop(ctx, cl, cl.res).user
 }
 
 // classifyResources folds a loop's arguments into its distinct resource
@@ -348,26 +347,6 @@ func waitDeps(ctx context.Context, hard, ordering []hpx.Waiter) error {
 		// satisfied and the data will be overwritten — don't propagate.
 	}
 	return hpx.WaitAllCtx(ctx, hard...)
-}
-
-// failAfterDeps resolves p with err only once every dependency has
-// resolved. A loop's future is already recorded as its resources' new
-// version, so it must never resolve before its predecessors' futures do:
-// a successor write treating the resolved future as "the data is quiet"
-// would race a predecessor still executing. Cancellation therefore
-// unblocks the *caller* immediately (waitDeps returned), while the
-// *future* fails only after the chain beneath it has drained.
-func failAfterDeps(p *hpx.Promise[struct{}], err error, deps ...[]hpx.Waiter) {
-	go func() {
-		for _, ds := range deps {
-			for _, w := range ds {
-				if w != nil {
-					w.Wait() //nolint:errcheck // predecessors' errors are irrelevant here
-				}
-			}
-		}
-		p.SetErr(err)
-	}()
 }
 
 // executeCtx runs the loop body to completion on the configured pool,

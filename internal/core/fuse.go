@@ -50,7 +50,12 @@ type stepGroup struct {
 	// propagation.
 	hardDeps []uint64
 
-	runs sync.Pool // *fusedRun; multi-loop groups only
+	runs      sync.Pool // *fusedRun; multi-loop groups only
+	runsIssue sync.Pool // *groupIssue; pooled async-issue states
+
+	// Union dependency gather buffers, reused per issue
+	// (issuing-goroutine only, like CompiledLoop's).
+	hardBuf, ordBuf []hpx.Waiter
 }
 
 func (g *stepGroup) fused() bool { return g.hi-g.lo > 1 }
@@ -427,52 +432,4 @@ func (ex *Executor) executeFusedCtx(ctx context.Context, sp *StepPlan, g *stepGr
 		ex.profiler.record(g.name, set.Name(), time.Since(profStart), nil)
 	}
 	return errs
-}
-
-// issueFusedGroup issues a multi-loop group asynchronously: the union
-// dependencies are gathered once, but every member keeps its own pair
-// of futures — its chain future is recorded as its own resources' new
-// version (so a surviving overwrite member still heals a chain) and its
-// user future carries its own verdict, exactly as per-loop issue would.
-func (ex *Executor) issueFusedGroup(ctx context.Context, sp *StepPlan, g *stepGroup) []*hpx.Future[struct{}] {
-	hard, ordering := gatherDeps(g.res)
-	k := g.hi - g.lo
-	chainPs := make([]*hpx.Promise[struct{}], k)
-	userPs := make([]*hpx.Promise[struct{}], k)
-	userFs := make([]*hpx.Future[struct{}], k)
-	for j := 0; j < k; j++ {
-		pC, fC := hpx.NewPromise[struct{}]()
-		chainPs[j] = pC
-		recordResources(sp.res[g.lo+j], fC)
-		userPs[j], userFs[j] = hpx.NewPromise[struct{}]()
-	}
-	go func() {
-		if err := waitDeps(ctx, hard, ordering); err != nil {
-			canceled := ctx.Err() != nil
-			for j := 0; j < k; j++ {
-				name := sp.Loops[g.lo+j].Name
-				var jerr error
-				if canceled {
-					jerr = fmt.Errorf("op2: loop %q canceled: %w", name, ctx.Err())
-					failAfterDeps(chainPs[j], jerr, hard, ordering)
-				} else {
-					jerr = fmt.Errorf("op2: loop %q dependency failed: %w", name, err)
-					chainPs[j].SetErr(jerr)
-				}
-				userPs[j].SetErr(jerr)
-			}
-			return
-		}
-		errs := ex.executeFusedCtx(ctx, sp, g)
-		for j := 0; j < k; j++ {
-			if errs[j] != nil {
-				chainPs[j].SetErr(errs[j])
-				userPs[j].SetErr(errs[j])
-			} else {
-				chainPs[j].Set(struct{}{})
-				userPs[j].Set(struct{}{})
-			}
-		}
-	}()
-	return userFs
 }

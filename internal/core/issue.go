@@ -1,0 +1,720 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"op2hpx/internal/hpx"
+)
+
+// This file is the pooled asynchronous issue path: the counterpart of
+// CompiledLoop for Async. Where the pre-LCO executor allocated two
+// promises and parked a dependency-wait goroutine per issue, an issue now
+// borrows a pooled issueState from its CompiledLoop, links intrusive
+// continuations onto its predecessors' wait-lists, and recycles the whole
+// state once its futures have been consumed and its version-chain entries
+// displaced — steady-state Async issue of a compiled loop allocates
+// nothing (see TestSteadyStateAsyncLoopZeroAlloc).
+//
+// Lifecycle and safety:
+//
+//   - An issueState's chain handle is reference-counted: one reference
+//     per version chain it is recorded in (released when a later record
+//     or a settled-entry compaction displaces it), one for the caller's
+//     future handle (released by the first Wait, or by an owner's sweep
+//     through TryRelease), and one for the in-flight issue itself.
+//     The state recycles only at zero references AND a successfully
+//     resolved cycle — failed cycles are never reused, so a stale
+//     reference (a host fence that copied a version chain) can never
+//     miss an error: it observes either the settled success verdict or
+//     blocks until the state's next cycle resolves (over-waiting is
+//     safe; missing an error would not be).
+//   - All acquisition, recording and subscription happens on the single
+//     issuing goroutine (the same contract that makes program order
+//     define the DAG), so a state can never be displaced-and-recycled
+//     between the gather and the subscription of one issue.
+//   - The chain future resolves strictly after every dependency has
+//     fired — the continuation replacement of the failAfterDeps drain
+//     goroutine. Cancellation fails the *user* future promptly (via the
+//     monitor goroutine below) while the *chain* future keeps draining,
+//     preserving the ordering invariant that a successor write treating
+//     a resolved chain as "quiet" can never race a predecessor still
+//     executing.
+
+// Future is the completion handle of an asynchronously issued loop or
+// step. The first Wait consumes the handle: pooled implementations
+// release their issue state for reuse by the loop's next Async, so a
+// handle is valid until its first Wait returns (and, for handles backed
+// by a pooled state, until the loop's next issue after that). *hpx.Future
+// values satisfy Future too, which is what the validation-error paths
+// return.
+type Future interface {
+	Wait() error
+	Ready() bool
+	Done() <-chan struct{}
+}
+
+// refReleaser is implemented by waiters whose version-chain references
+// are counted; versionState calls ReleaseRef once for every displaced or
+// compacted entry.
+type refReleaser interface{ releaseRef() }
+
+// releaseWaiter drops one chain reference of w, if w counts them.
+func releaseWaiter(w hpx.Waiter) {
+	if w == nil {
+		return
+	}
+	if r, ok := w.(refReleaser); ok {
+		r.releaseRef()
+	}
+}
+
+// settledOK reports whether w resolved successfully — such a dependency
+// imposes no constraint and its chain entry can be dropped for good.
+func settledOK(w hpx.Waiter) bool { return w.Ready() && w.Wait() == nil }
+
+// ---------------------------------------------------------------------------
+// Dependency tracking
+
+// depOwner receives the one callback of a depWaiter: every subscribed
+// dependency has fired (or was already resolved).
+type depOwner interface{ depsReady() }
+
+// depNode is one pooled dependency subscription: an intrusive
+// continuation plus the latched verdict of its dependency. Nodes are
+// created once per slot and reused across cycles; the Fire closure is
+// bound at creation.
+type depNode struct {
+	c   hpx.Continuation
+	dw  *depWaiter
+	err error
+}
+
+// depWaiter tracks the outstanding dependencies of one issue through
+// intrusive continuations. begin/subscribe/finish run on the issuing
+// goroutine; fired callbacks run on resolver goroutines. The guard
+// reference taken by begin guarantees depsReady cannot fire before
+// subscription is complete — finish releases it, after which the owner
+// callback runs on whichever goroutine resolves the last dependency (or
+// inline on the issuing goroutine when everything was already settled).
+type depWaiter struct {
+	remaining atomic.Int32
+	nodes     []*depNode
+	nsub      int
+	nhard     int
+	owner     depOwner
+}
+
+func (dw *depWaiter) begin() {
+	dw.nsub = 0
+	dw.nhard = 0
+	dw.remaining.Store(1) // subscription guard
+}
+
+// node returns the next pooled subscription slot, growing the node pool
+// on first use of a deeper dependency count.
+func (dw *depWaiter) node() *depNode {
+	if dw.nsub == len(dw.nodes) {
+		n := &depNode{dw: dw}
+		n.c.Fire = n.fire
+		dw.nodes = append(dw.nodes, n)
+	}
+	n := dw.nodes[dw.nsub]
+	dw.nsub++
+	n.err = nil
+	return n
+}
+
+func (n *depNode) fire(err error) {
+	n.err = err
+	n.dw.fired()
+}
+
+func (dw *depWaiter) fired() {
+	if dw.remaining.Add(-1) == 0 {
+		dw.owner.depsReady()
+	}
+}
+
+// subscribe links one continuation per pending dependency; verdicts of
+// already-resolved dependencies are latched inline. Waiters that cannot
+// take continuations (none in this module — every future is LCO-backed —
+// but external Waiter implementations could exist) fall back to a parked
+// goroutine.
+func (dw *depWaiter) subscribe(ws []hpx.Waiter) {
+	for _, w := range ws {
+		if w == nil {
+			continue
+		}
+		n := dw.node()
+		if cw, ok := w.(hpx.ContinuationWaiter); ok {
+			dw.remaining.Add(1)
+			if !cw.Subscribe(&n.c) {
+				n.err = w.Wait() // resolved: latch the verdict, no blocking
+				dw.remaining.Add(-1)
+			}
+		} else if w.Ready() {
+			n.err = w.Wait()
+		} else {
+			dw.remaining.Add(1)
+			go func() { n.c.Fire(w.Wait()) }()
+		}
+	}
+}
+
+// markHard records that every node subscribed so far guards a hard
+// dependency; later subscriptions are ordering-only.
+func (dw *depWaiter) markHard() { dw.nhard = dw.nsub }
+
+// finish releases the subscription guard; if every dependency already
+// fired, depsReady runs inline on the issuing goroutine.
+func (dw *depWaiter) finish() { dw.fired() }
+
+// firstHardErr returns the first hard dependency failure in input
+// (program) order — the same verdict waitDeps derived by waiting the
+// ordering list first and the hard list second.
+func (dw *depWaiter) firstHardErr() error {
+	for _, n := range dw.nodes[:dw.nhard] {
+		if n.err != nil {
+			return n.err
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+
+// chainHandle is the waiter recorded as the issue's resources' new
+// version. Its reference count lives on the owning issueState.
+type chainHandle struct {
+	lco hpx.LCO
+	ls  *issueState
+}
+
+func (h *chainHandle) Wait() error                        { return h.lco.Wait() }
+func (h *chainHandle) Ready() bool                        { return h.lco.Ready() }
+func (h *chainHandle) Subscribe(c *hpx.Continuation) bool { return h.lco.Subscribe(c) }
+func (h *chainHandle) releaseRef()                        { h.ls.release() }
+
+// userReleaser is the owner a userHandle releases into.
+type userReleaser interface{ release() }
+
+// userHandle is the caller-facing completion future of a pooled issue.
+// The first Wait (from any goroutine) consumes it, releasing the handle's
+// reference on the pooled state.
+type userHandle struct {
+	lco      hpx.LCO
+	released atomic.Bool
+	owner    userReleaser
+}
+
+func (h *userHandle) Wait() error {
+	err := h.lco.Wait()
+	if h.released.CompareAndSwap(false, true) {
+		h.owner.release()
+	}
+	return err
+}
+
+func (h *userHandle) Ready() bool                        { return h.lco.Ready() }
+func (h *userHandle) Done() <-chan struct{}              { return h.lco.Done() }
+func (h *userHandle) Subscribe(c *hpx.Continuation) bool { return h.lco.Subscribe(c) }
+
+// TryRelease consumes an abandoned handle once its issue has resolved
+// successfully — the sweep hook issuers use to recycle pipelined issues
+// whose futures nobody waited on. It reports whether the handle is
+// consumed (now or previously); a pending issue, or a failed one nobody
+// has waited yet, stays live.
+func (h *userHandle) TryRelease() bool {
+	if h.released.Load() {
+		return true
+	}
+	if !h.lco.Ready() || h.lco.Wait() != nil {
+		return false
+	}
+	if h.released.CompareAndSwap(false, true) {
+		h.owner.release()
+	}
+	return true
+}
+
+// Abandon consumes a RESOLVED handle regardless of its verdict — the
+// sweep's last resort for a failed issue whose future nobody waited on.
+// The error is not lost: a failed issue's chain entries keep propagating
+// it through the version chains (and Sync fences) until a write
+// displaces them, exactly as before the future existed; and a failed
+// state is never pooled, so a late Wait on the abandoned handle still
+// reads the latched verdict. Abandoning a pending handle is a no-op.
+func (h *userHandle) Abandon() bool {
+	if !h.lco.Ready() {
+		return false
+	}
+	if h.released.CompareAndSwap(false, true) {
+		h.owner.release()
+	}
+	return true
+}
+
+func (h *userHandle) reset(owner userReleaser) {
+	h.lco.ResetFresh()
+	h.released.Store(false)
+	h.owner = owner
+}
+
+// ---------------------------------------------------------------------------
+// issueState
+
+// issueState is the pooled per-issue state of one loop: the chain and
+// user futures, the dependency tracker, and the cached goroutine entry
+// points. See the file comment for the lifecycle.
+type issueState struct {
+	cl  *CompiledLoop
+	ctx context.Context
+
+	chain chainHandle
+	user  userHandle
+
+	refs atomic.Int32
+	dw   depWaiter
+
+	// aborted: do not execute; resolve the chain with abortErr once the
+	// dependencies have drained. Set by the cancellation monitor, by a
+	// pre-canceled context at issue time, and by the synchronous Run
+	// failure path (the failAfterDeps replacement). abortErr is written
+	// before the flag (atomic release/acquire via the Bool).
+	aborted  atomic.Bool
+	abortErr error
+
+	wake   chan struct{} // completion signal consumed by the monitor
+	execFn func()        // cached: run the loop body and resolve
+	monFn  func()        // cached: cancellation monitor
+}
+
+func newIssueState(cl *CompiledLoop) *issueState {
+	ls := &issueState{cl: cl, wake: make(chan struct{}, 1)}
+	ls.chain.ls = ls
+	ls.dw.owner = ls
+	ls.execFn = ls.exec
+	ls.monFn = ls.monitor
+	return ls
+}
+
+// acquireIssue borrows a pooled issue state and re-arms it for a new
+// cycle. Issuing-goroutine only.
+func (cl *CompiledLoop) acquireIssue(ctx context.Context) *issueState {
+	ls, _ := cl.issues.Get().(*issueState)
+	if ls == nil {
+		ls = newIssueState(cl)
+	}
+	select { // drain a stale wake from a cycle whose monitor never ran
+	case <-ls.wake:
+	default:
+	}
+	ls.ctx = ctx
+	ls.aborted.Store(false)
+	ls.abortErr = nil
+	ls.chain.lco.ResetFresh()
+	ls.user.reset(ls)
+	ls.refs.Store(1) // the in-flight issue itself
+	return ls
+}
+
+// release drops one reference; at zero — which implies the cycle has
+// resolved, since the issue reference is held until resolution — a
+// successfully resolved state returns to its loop's pool.
+func (ls *issueState) release() {
+	if ls.refs.Add(-1) != 0 {
+		return
+	}
+	if settledOK(&ls.chain.lco) {
+		ls.ctx = nil
+		ls.cl.issues.Put(ls)
+	} else {
+		ls.ctx = nil // failed cycle: dropped, never reused
+	}
+}
+
+func (ls *issueState) signalWake() {
+	select {
+	case ls.wake <- struct{}{}:
+	default:
+	}
+}
+
+// noteAbort latches an abort verdict and fails the user future promptly;
+// the chain future is left to the dependency drain.
+func (ls *issueState) noteAbort(err error) {
+	ls.abortErr = err
+	ls.aborted.Store(true)
+	ls.user.lco.TryResolve(err)
+}
+
+// monitor is the cancellation watcher of one cycle, spawned (via the
+// cached closure, so the steady-state spawn allocates nothing) only for
+// cancellable contexts. It holds a reference so the state cannot recycle
+// under it.
+func (ls *issueState) monitor() {
+	select {
+	case <-ls.ctx.Done():
+		ls.noteAbort(fmt.Errorf("op2: loop %q canceled: %w", ls.cl.l.Name, ls.ctx.Err()))
+	case <-ls.wake:
+	}
+	ls.release()
+}
+
+// depsReady runs once every dependency has fired: on the goroutine that
+// resolved the last one, or inline on the issuing goroutine when all were
+// settled. It is the single resolver of the chain future, which is what
+// guarantees the chain never resolves before the dependencies beneath it
+// have drained.
+func (ls *issueState) depsReady() {
+	if ls.aborted.Load() {
+		ls.finish(ls.abortErr)
+		return
+	}
+	if err := ls.dw.firstHardErr(); err != nil {
+		ls.finish(fmt.Errorf("op2: loop %q dependency failed: %w", ls.cl.l.Name, err))
+		return
+	}
+	go ls.execFn()
+}
+
+// exec runs the loop body and resolves the cycle — the pooled
+// replacement of the per-issue goroutine body.
+func (ls *issueState) exec() {
+	ls.finish(ls.cl.ex.executeCompiled(ls.ctx, ls.cl))
+}
+
+// finish resolves both futures with the verdict and drops the issue
+// reference. The user future may already have been failed promptly by
+// the monitor; the chain future has exactly one resolver.
+func (ls *issueState) finish(err error) {
+	ls.chain.lco.Resolve(err)
+	ls.user.lco.TryResolve(err)
+	ls.signalWake()
+	ls.release()
+}
+
+// issueLoop is the common asynchronous issue: gather dependencies from
+// the version chains, record the chain future as every resource's new
+// version, link the continuations, arm cancellation, and return the
+// issue state (callers vend &ls.user). Zero allocations in steady state.
+func (ex *Executor) issueLoop(ctx context.Context, cl *CompiledLoop, resources []stepRes) *issueState {
+	ls := cl.acquireIssue(ctx)
+	hard, ordering := cl.gatherDepsReuse()
+	ls.refs.Add(1 + int32(len(resources))) // user handle + chain records
+	recordResources(resources, &ls.chain)
+	ls.dw.begin()
+	ls.dw.subscribe(hard)
+	ls.dw.markHard()
+	ls.dw.subscribe(ordering)
+	if ctx.Done() != nil {
+		if ctx.Err() != nil {
+			ls.noteAbort(fmt.Errorf("op2: loop %q canceled: %w", cl.l.Name, ctx.Err()))
+		} else {
+			ls.refs.Add(1)
+			go ls.monFn()
+		}
+	}
+	ls.dw.finish()
+	return ls
+}
+
+// issueFailAfterDeps is the failAfterDeps replacement used by the
+// synchronous Run failure path: the caller has already derived the
+// verdict (cancellation or a hard dependency failure) and returns it
+// directly; this records a chain future that resolves with that verdict
+// only once every gathered dependency has fired — as a continuation, not
+// a drain goroutine — so no successor can observe the resource quiet
+// while a predecessor is still executing.
+func (ex *Executor) issueFailAfterDeps(ctx context.Context, cl *CompiledLoop, err error, hard, ordering []hpx.Waiter) {
+	ls := cl.acquireIssue(ctx)
+	ls.abortErr = err
+	ls.aborted.Store(true)
+	ls.user.lco.Resolve(err)
+	ls.user.released.Store(true) // no handle is vended
+	ls.refs.Add(int32(len(cl.res)))
+	recordResources(cl.res, &ls.chain)
+	ls.dw.begin()
+	ls.dw.subscribe(hard)
+	ls.dw.markHard()
+	ls.dw.subscribe(ordering)
+	ls.dw.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Fused-group issue
+
+// groupIssue drives one fused multi-loop group: union dependencies are
+// tracked once, the fused pass executes once, but every member keeps its
+// own pooled issueState — its chain future is recorded as its own
+// resources' new version and its user future carries its own verdict,
+// exactly as per-loop issue would.
+type groupIssue struct {
+	g   *stepGroup
+	sp  *StepPlan
+	ex  *Executor
+	ctx context.Context
+
+	members []*issueState // acquired from each member's CompiledLoop pool
+	dw      depWaiter
+
+	aborted atomic.Bool
+	refs    atomic.Int32
+	wake    chan struct{}
+	execFn  func()
+	monFn   func()
+}
+
+func newGroupIssue(g *stepGroup) *groupIssue {
+	gi := &groupIssue{g: g, wake: make(chan struct{}, 1)}
+	gi.dw.owner = gi
+	gi.execFn = gi.exec
+	gi.monFn = gi.monitor
+	return gi
+}
+
+func (gi *groupIssue) release() {
+	if gi.refs.Add(-1) == 0 {
+		gi.ctx = nil
+		gi.sp = nil
+		gi.ex = nil
+		gi.members = gi.members[:0]
+		gi.g.runsIssue.Put(gi)
+	}
+}
+
+func (gi *groupIssue) signalWake() {
+	select {
+	case gi.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (gi *groupIssue) monitor() {
+	select {
+	case <-gi.ctx.Done():
+		gi.noteCancel()
+	case <-gi.wake:
+	}
+	gi.release()
+}
+
+// noteCancel fails every member's user future promptly; the chains drain
+// through the group's dependency continuations.
+func (gi *groupIssue) noteCancel() {
+	gi.aborted.Store(true)
+	for _, ls := range gi.members {
+		ls.user.lco.TryResolve(fmt.Errorf("op2: loop %q canceled: %w", ls.cl.l.Name, gi.ctx.Err()))
+	}
+}
+
+func (gi *groupIssue) depsReady() {
+	if gi.aborted.Load() {
+		for _, ls := range gi.members {
+			ls.finish(fmt.Errorf("op2: loop %q canceled: %w", ls.cl.l.Name, gi.ctx.Err()))
+		}
+		gi.signalWake()
+		gi.release()
+		return
+	}
+	if err := gi.dw.firstHardErr(); err != nil {
+		for _, ls := range gi.members {
+			ls.finish(fmt.Errorf("op2: loop %q dependency failed: %w", ls.cl.l.Name, err))
+		}
+		gi.signalWake()
+		gi.release()
+		return
+	}
+	go gi.execFn()
+}
+
+func (gi *groupIssue) exec() {
+	errs := gi.ex.executeFusedCtx(gi.ctx, gi.sp, gi.g)
+	for j, ls := range gi.members {
+		ls.finish(errs[j])
+	}
+	gi.signalWake()
+	gi.release()
+}
+
+// issueFusedGroup issues a multi-loop group asynchronously through the
+// pooled path and returns the members' user futures in sp.futs order.
+func (ex *Executor) issueFusedGroup(ctx context.Context, sp *StepPlan, g *stepGroup, out []*issueState) error {
+	// Compile every member first so acquisition cannot fail halfway.
+	for o := g.lo; o < g.hi; o++ {
+		if _, err := ex.compiled(sp.Loops[o]); err != nil {
+			return err
+		}
+	}
+	gi, _ := g.runsIssue.Get().(*groupIssue)
+	if gi == nil {
+		gi = newGroupIssue(g)
+	}
+	select {
+	case <-gi.wake:
+	default:
+	}
+	gi.sp, gi.ex, gi.ctx = sp, ex, ctx
+	gi.aborted.Store(false)
+	gi.refs.Store(1)
+	// Gather AND subscribe the union dependencies BEFORE acquiring any
+	// member state. The order matters twice over: gathering first keeps
+	// the members' own futures out of the dependency list, and
+	// subscribing before any acquisition closes an ABA hole — recording
+	// an earlier member displaces gathered predecessors' chain entries,
+	// which can release their last references, recycle them, and hand
+	// the SAME pooled state back to a later member of this group; a
+	// subscription taken after that re-arm would make the group wait on
+	// its own member. Subscribing while the gathered handles are still
+	// settled-or-pending is safe: a recycled state's LCO stays resolved
+	// until re-acquired, and the guard taken by begin() defers depsReady
+	// until finish() — after the members are recorded.
+	hard, ordering := gatherDepsGroup(g)
+	gi.dw.begin()
+	gi.dw.subscribe(hard)
+	gi.dw.markHard()
+	gi.dw.subscribe(ordering)
+	for o := g.lo; o < g.hi; o++ {
+		cl, _ := ex.compiled(sp.Loops[o]) // cached above
+		ls := cl.acquireIssue(ctx)
+		// Reference shape of a driven member: the group's execution hold
+		// (released by finish), the chain records, and the user handle
+		// (consumed by the step's completion scan).
+		ls.refs.Add(1 + int32(len(sp.res[o])))
+		recordResources(sp.res[o], &ls.chain)
+		gi.members = append(gi.members, ls)
+		out[o-g.lo] = ls
+	}
+	if ctx.Done() != nil {
+		if ctx.Err() != nil {
+			gi.noteCancel()
+		} else {
+			gi.refs.Add(1)
+			go gi.monFn()
+		}
+	}
+	gi.dw.finish()
+	return nil
+}
+
+// gatherDepsGroup gathers the union dependencies of a fused group into
+// the group's reusable buffers (issuing-goroutine only).
+func gatherDepsGroup(g *stepGroup) (hard, ordering []hpx.Waiter) {
+	g.hardBuf, g.ordBuf = gatherDepsInto(g.res, g.hardBuf[:0], g.ordBuf[:0])
+	return g.hardBuf, g.ordBuf
+}
+
+// ---------------------------------------------------------------------------
+// Step issue
+
+// stepIssue is the pooled completion state of one asynchronously issued
+// step: it subscribes to the sink members' user futures and, once they
+// have all fired, collects the first member error in program order onto
+// the step's own future — the continuation replacement of the per-step
+// completion goroutine.
+type stepIssue struct {
+	sp     *StepPlan
+	states []*issueState // per occurrence
+	dw     depWaiter
+	user   userHandle
+	refs   atomic.Int32
+}
+
+func newStepIssue(sp *StepPlan) *stepIssue {
+	si := &stepIssue{sp: sp}
+	si.dw.owner = si
+	return si
+}
+
+func (si *stepIssue) release() {
+	if si.refs.Add(-1) == 0 {
+		if settledOK(&si.user.lco) {
+			si.sp.issues.Put(si)
+		}
+	}
+}
+
+// depsReady: every sink has resolved. All member chains have therefore
+// resolved (each non-sink member has a successor that waited for it), so
+// the in-order scan below blocks at most on the tiny window between a
+// member's chain and user resolutions.
+func (si *stepIssue) depsReady() {
+	var firstErr error
+	for _, ls := range si.states {
+		// Waiting the user handle also consumes it: the step is the owner
+		// of its members' futures.
+		if err := ls.user.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	si.user.lco.Resolve(firstErr)
+	si.release()
+}
+
+// issueStep issues every group of the step plan through the pooled path
+// and returns the step's user future.
+func (ex *Executor) issueStep(ctx context.Context, sp *StepPlan) Future {
+	si, _ := sp.issues.Get().(*stepIssue)
+	if si == nil {
+		si = newStepIssue(sp)
+	}
+	si.user.reset(si)
+	si.refs.Store(2) // completion scan + user handle
+	if cap(si.states) < len(sp.Loops) {
+		si.states = make([]*issueState, len(sp.Loops))
+	}
+	si.states = si.states[:len(sp.Loops)]
+	for _, g := range sp.groups {
+		if g.fused() {
+			if err := ex.issueFusedGroup(ctx, sp, g, si.states[g.lo:g.hi]); err != nil {
+				// Member loops failed to compile: nothing was issued for
+				// this group or the rest; surface the error on the step.
+				return si.failIssue(ctx, sp, g.lo, err)
+			}
+		} else {
+			cl, err := ex.compiled(sp.Loops[g.lo])
+			if err != nil {
+				return si.failIssue(ctx, sp, g.lo, err)
+			}
+			si.states[g.lo] = ex.issueLoop(ctx, cl, g.res)
+		}
+	}
+	si.dw.begin()
+	for _, s := range sp.sinks {
+		n := si.dw.node()
+		si.dw.remaining.Add(1)
+		if !si.states[s].user.Subscribe(&n.c) {
+			si.dw.remaining.Add(-1)
+		}
+	}
+	si.dw.finish()
+	return &si.user
+}
+
+// failIssue completes a step whose issue aborted at occurrence lo with a
+// compile error: the members already issued stand (their futures resolve
+// through the chains), the step future fails with the compile error. The
+// issued members' user handles are consumed by continuations on their
+// resolution — a one-shot release attempt would leak every still-pending
+// member's pooled state on each retry of a miscompiling step.
+func (si *stepIssue) failIssue(ctx context.Context, sp *StepPlan, lo int, err error) Future {
+	_ = ctx
+	_ = sp
+	for o := 0; o < lo; o++ {
+		ls := si.states[o]
+		if ls == nil {
+			continue
+		}
+		h := &ls.user
+		c := &hpx.Continuation{Fire: func(error) { h.Abandon() }}
+		if !h.lco.Subscribe(c) {
+			h.Abandon() // already resolved: consume inline
+		}
+	}
+	si.user.lco.Resolve(err)
+	si.release() // the completion scan will never run
+	return &si.user
+}

@@ -3,8 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
-
-	"op2hpx/internal/hpx"
+	"sync"
 )
 
 // StepPlan is the dataflow DAG of one timestep declared as a unit: an
@@ -44,6 +43,12 @@ type StepPlan struct {
 	// per group. Serial and ForkJoin ignore the grouping and run the
 	// loops in program order.
 	groups []*stepGroup
+
+	// issues pools the step's asynchronous completion states (see
+	// stepIssue): steady-state step issue reuses them instead of
+	// allocating a futures slice, a promise and a completion goroutine
+	// per submission.
+	issues sync.Pool
 }
 
 // stepRes is one distinct resource a loop touches: its version chain and
@@ -196,75 +201,14 @@ func (ex *Executor) RunStepCtx(ctx context.Context, sp *StepPlan) error {
 // surfaces on the step's own future, not only through the version
 // chains. The single-issuing-goroutine contract of RunAsyncCtx applies:
 // the step (and any surrounding loops) must be issued from one
-// goroutine.
-func (ex *Executor) RunStepAsyncCtx(ctx context.Context, sp *StepPlan) *hpx.Future[struct{}] {
+// goroutine. Like RunAsyncCtx, the returned Future is pooled — its
+// first Wait consumes it — and steady-state issue of a compiled step
+// performs no per-member future, goroutine or slice allocations (see
+// stepIssue in issue.go).
+func (ex *Executor) RunStepAsyncCtx(ctx context.Context, sp *StepPlan) Future {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	ex.stepsRun.Add(1)
-	futs := make([]*hpx.Future[struct{}], len(sp.Loops))
-	for _, g := range sp.groups {
-		if g.fused() {
-			// One issue for the whole group, but per-member futures: each
-			// member's verdict and chain recording stay exactly what
-			// per-loop issue would have produced.
-			copy(futs[g.lo:g.hi], ex.issueFusedGroup(ctx, sp, g))
-		} else {
-			futs[g.lo] = ex.issueStepLoop(ctx, sp.Loops[g.lo], g.res)
-		}
-	}
-	p, f := hpx.NewPromise[struct{}]()
-	go func() {
-		// Sinks complete last; waiting on them first minimizes wakeups,
-		// then every loop is inspected for the first program-order error.
-		for _, s := range sp.sinks {
-			futs[s].Wait() //nolint:errcheck // errors re-collected in order below
-		}
-		for _, lf := range futs {
-			if err := lf.Wait(); err != nil {
-				p.SetErr(err)
-				return
-			}
-		}
-		p.Set(struct{}{})
-	}()
-	return f
-}
-
-// issueStepLoop issues one loop asynchronously from its classified
-// resource list (precomputed by a StepPlan, or derived on the spot by
-// RunAsyncCtx): gather dependencies, record the loop's future as the
-// new version of each resource, and execute once the dependencies
-// resolve.
-//
-// Two futures with one fate: fChain is recorded as the resources' new
-// version and must not resolve before the loop's predecessors have
-// (chain ordering); fUser is the caller's handle and fails promptly on
-// cancellation even while predecessors are still draining.
-func (ex *Executor) issueStepLoop(ctx context.Context, l *Loop, resources []stepRes) *hpx.Future[struct{}] {
-	hard, ordering := gatherDeps(resources)
-	pChain, fChain := hpx.NewPromise[struct{}]()
-	pUser, fUser := hpx.NewPromise[struct{}]()
-	recordResources(resources, fChain)
-	go func() {
-		if err := waitDeps(ctx, hard, ordering); err != nil {
-			if ctx.Err() != nil {
-				err = fmt.Errorf("op2: loop %q canceled: %w", l.Name, ctx.Err())
-				failAfterDeps(pChain, err, hard, ordering)
-			} else {
-				err = fmt.Errorf("op2: loop %q dependency failed: %w", l.Name, err)
-				pChain.SetErr(err)
-			}
-			pUser.SetErr(err)
-			return
-		}
-		if err := ex.executeCtx(ctx, l); err != nil {
-			pChain.SetErr(err)
-			pUser.SetErr(err)
-			return
-		}
-		pChain.Set(struct{}{})
-		pUser.Set(struct{}{})
-	}()
-	return fUser
+	return ex.issueStep(ctx, sp)
 }

@@ -8,6 +8,22 @@ import (
 	"op2hpx/internal/hpx"
 )
 
+// RecvFuture is the receive side of one in-flight halo message: a waiter
+// resolving when the message arrives, with the payload read through Get.
+// Release returns the future's pooled resources to its transport once the
+// consumer is done with the payload; it must only be called after a
+// successful Get, by the single consumer, which must not touch the
+// payload afterwards. Abandoned futures (a canceled wait, a poisoned
+// communicator) are simply dropped — the pool replaces them.
+type RecvFuture interface {
+	hpx.Waiter
+	// Get blocks until the message arrives and returns the payload.
+	Get() ([]float64, error)
+	// Release recycles the future. The payload's buffer is NOT part of
+	// the future — message buffers are pooled by the engine per rank.
+	Release()
+}
+
 // Transport moves halo messages between the ranks of one machine. The
 // contract is per-pair FIFO: messages from src to dst are received in the
 // order they were sent. Recv returns a future so receivers can overlap
@@ -26,7 +42,7 @@ type Transport interface {
 	// Recv returns a future resolving to the next undelivered message
 	// from src to dst. Successive Recv calls for one pair must be issued
 	// in message order by the receiving rank.
-	Recv(dst, src int) *hpx.Future[[]float64]
+	Recv(dst, src int) RecvFuture
 	// Size reports the number of ranks.
 	Size() int
 }
@@ -39,28 +55,89 @@ type Transport interface {
 // anything a pipelined application legitimately reaches.
 const defaultCommDepth = 1 << 20
 
-// pairQueue is one ordered rank pair's in-flight messages: a growable
-// FIFO so senders never block, drained by the chained receive futures.
+// ring is a growable FIFO over a reusable backing array: steady-state
+// push/pop cycles recycle the same slots instead of re-appending into a
+// slid slice (which retains capacity but still re-walks the allocator on
+// every wrap). It is the per-pair queue storage of Comm, reused across
+// timesteps.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func (r *ring[T]) len() int { return r.n }
+
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		grown := make([]T, max(4, 2*len(r.buf)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = grown
+		r.head = 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+func (r *ring[T]) pop() T {
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}
+
+// recvFuture is Comm's pooled RecvFuture: a reusable LCO plus the
+// payload slot. The per-message promise allocation of the pre-pool
+// communicator is gone — steady-state receive traffic recycles a small
+// set of futures per communicator.
+type recvFuture struct {
+	lco hpx.LCO
+	msg []float64
+	c   *Comm
+}
+
+func (f *recvFuture) Wait() error { return f.lco.Wait() }
+func (f *recvFuture) Ready() bool { return f.lco.Ready() }
+
+func (f *recvFuture) Get() ([]float64, error) {
+	err := f.lco.Wait()
+	return f.msg, err
+}
+
+// Done exposes the completion channel for select-based tests.
+func (f *recvFuture) Done() <-chan struct{} { return f.lco.Done() }
+
+func (f *recvFuture) Release() {
+	f.msg = nil
+	f.lco.ResetFresh()
+	f.c.futs.Put(f)
+}
+
+// pairQueue is one ordered rank pair's state: the FIFO of undelivered
+// messages and the FIFO of posted-but-unmatched receives. At most one of
+// the two is non-empty at any time.
 type pairQueue struct {
-	msgs [][]float64
-	// waiting is the promise of the oldest posted-but-unmatched receive;
-	// at most one receive waits at a time because receives for a pair are
-	// chained (see Comm.Recv).
-	waiting *hpx.Promise[[]float64]
+	msgs    ring[[]float64]
+	waiting ring[*recvFuture]
 }
 
 // Comm is the in-process Transport: one growable FIFO per ordered rank
-// pair. A send into a pair that has accumulated depth undelivered
-// messages fails with a descriptive error and poisons the communicator,
-// so every pending and future receive fails too instead of deadlocking
-// the other ranks.
+// pair, with the receive futures pooled and the FIFO backing arrays
+// reused across timesteps. A send into a pair that has accumulated depth
+// undelivered messages fails with a descriptive error and poisons the
+// communicator, so every pending and future receive fails too instead of
+// deadlocking the other ranks.
 type Comm struct {
 	n     int
 	depth int
 
 	mu    sync.Mutex
 	pairs [][]pairQueue // [dst][src]
-	last  [][]*hpx.Future[[]float64]
+	futs  sync.Pool     // *recvFuture
 
 	broken atomic.Bool
 	err    error
@@ -81,10 +158,8 @@ func NewCommDepth(n, depth int) *Comm {
 	}
 	c := &Comm{n: n, depth: depth}
 	c.pairs = make([][]pairQueue, n)
-	c.last = make([][]*hpx.Future[[]float64], n)
 	for dst := range c.pairs {
 		c.pairs[dst] = make([]pairQueue, n)
-		c.last[dst] = make([]*hpx.Future[[]float64], n)
 	}
 	return c
 }
@@ -92,29 +167,46 @@ func NewCommDepth(n, depth int) *Comm {
 // Size reports the number of ranks.
 func (c *Comm) Size() int { return c.n }
 
-// poisonLocked marks the communicator broken and fails the waiting
-// receive of every pair. c.mu must be held.
-func (c *Comm) poisonLocked(err error) {
+func (c *Comm) getFut() *recvFuture {
+	f, _ := c.futs.Get().(*recvFuture)
+	if f == nil {
+		f = &recvFuture{c: c}
+	}
+	return f
+}
+
+// failedRecv pairs a poisoned waiting receive with its pair identity so
+// the abort error can name which receiver died.
+type failedRecv struct {
+	f        *recvFuture
+	dst, src int
+}
+
+// poisonLocked marks the communicator broken and collects every waiting
+// receive of every pair (with its pair identity). c.mu must be held; the
+// caller resolves the collected waiters outside the lock.
+func (c *Comm) poisonLocked(err error) []failedRecv {
 	if c.broken.Load() {
-		return
+		return nil
 	}
 	c.err = err
 	c.broken.Store(true)
+	var failed []failedRecv
 	for dst := range c.pairs {
 		for src := range c.pairs[dst] {
 			q := &c.pairs[dst][src]
-			if q.waiting != nil {
-				q.waiting.SetErr(fmt.Errorf("dist: recv %d←%d aborted: %w", dst, src, err))
-				q.waiting = nil
+			for q.waiting.len() > 0 {
+				failed = append(failed, failedRecv{f: q.waiting.pop(), dst: dst, src: src})
 			}
 		}
 	}
+	return failed
 }
 
-// Send implements Transport: the payload is appended to the pair's FIFO
-// (resolving a waiting receive directly) without ever blocking. A pair
-// that exceeds the communicator's depth returns an error immediately and
-// poisons every receiver instead of deadlocking.
+// Send implements Transport: the payload resolves the pair's oldest
+// waiting receive directly, or joins the FIFO, without ever blocking. A
+// pair that exceeds the communicator's depth returns an error immediately
+// and poisons every receiver instead of deadlocking.
 func (c *Comm) Send(src, dst int, payload []float64) error {
 	c.mu.Lock()
 	if c.broken.Load() {
@@ -123,67 +215,51 @@ func (c *Comm) Send(src, dst int, payload []float64) error {
 		return fmt.Errorf("dist: send %d→%d on poisoned communicator: %w", src, dst, err)
 	}
 	q := &c.pairs[dst][src]
-	if q.waiting != nil {
-		p := q.waiting
-		q.waiting = nil
+	if q.waiting.len() > 0 {
+		f := q.waiting.pop()
 		c.mu.Unlock()
-		p.Set(payload)
+		f.msg = payload
+		f.lco.Resolve(nil)
 		return nil
 	}
-	if len(q.msgs) >= c.depth {
+	if q.msgs.len() >= c.depth {
 		err := fmt.Errorf("dist: comm pair %d→%d exceeded %d in-flight messages: receiver never drains (missing fence?)",
 			src, dst, c.depth)
-		c.poisonLocked(err)
+		failed := c.poisonLocked(err)
 		c.mu.Unlock()
+		for _, fr := range failed {
+			fr.f.lco.Resolve(fmt.Errorf("dist: recv %d←%d aborted: %w", fr.dst, fr.src, err))
+		}
 		return err
 	}
-	q.msgs = append(q.msgs, payload)
+	q.msgs.push(payload)
 	c.mu.Unlock()
 	return nil
 }
 
 // Recv implements Transport: the returned future resolves with the next
 // message from src, or with the communicator's poison error. Receives
-// for one pair are chained — a receive consumes from the queue only
-// after the previous receive for the same pair resolved — so an
-// abandoned wait (a canceled loop) can never race a later loop's receive
-// for the same pair out of order.
-func (c *Comm) Recv(dst, src int) *hpx.Future[[]float64] {
+// for one pair match sends in FIFO order structurally — the pair's
+// waiting queue is ordered — so an abandoned wait (a canceled loop) can
+// never race a later loop's receive for the same pair out of order.
+func (c *Comm) Recv(dst, src int) RecvFuture {
+	f := c.getFut()
 	c.mu.Lock()
-	prev := c.last[dst][src]
-	p, f := hpx.NewPromise[[]float64]()
-	c.last[dst][src] = f
-	c.mu.Unlock()
-	match := func() {
-		c.mu.Lock()
-		if c.broken.Load() {
-			err := c.err
-			c.mu.Unlock()
-			p.SetErr(fmt.Errorf("dist: recv %d←%d aborted: %w", dst, src, err))
-			return
-		}
-		q := &c.pairs[dst][src]
-		if len(q.msgs) > 0 {
-			msg := q.msgs[0]
-			q.msgs = q.msgs[1:]
-			c.mu.Unlock()
-			p.Set(msg)
-			return
-		}
-		q.waiting = p
+	if c.broken.Load() {
+		err := c.err
 		c.mu.Unlock()
-	}
-	if prev == nil {
-		match()
+		f.lco.Resolve(fmt.Errorf("dist: recv %d←%d aborted: %w", dst, src, err))
 		return f
 	}
-	if prev.Ready() {
-		match()
+	q := &c.pairs[dst][src]
+	if q.msgs.len() > 0 && q.waiting.len() == 0 {
+		msg := q.msgs.pop()
+		c.mu.Unlock()
+		f.msg = msg
+		f.lco.Resolve(nil)
 		return f
 	}
-	go func() {
-		prev.Wait() //nolint:errcheck // ordering only; each receive reports its own error
-		match()
-	}()
+	q.waiting.push(f)
+	c.mu.Unlock()
 	return f
 }

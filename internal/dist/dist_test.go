@@ -191,20 +191,38 @@ func (g *gatedTransport) Size() int { return g.inner.Size() }
 func (g *gatedTransport) Send(src, dst int, p []float64) error {
 	return g.inner.Send(src, dst, p)
 }
-func (g *gatedTransport) Recv(dst, src int) *hpx.Future[[]float64] {
-	in := g.inner.Recv(dst, src)
-	p, f := hpx.NewPromise[[]float64]()
-	go func() {
-		<-g.gate
-		v, err := in.Get()
-		if err != nil {
-			p.SetErr(err)
-			return
-		}
-		p.Set(v)
-	}()
-	return f
+func (g *gatedTransport) Recv(dst, src int) dist.RecvFuture {
+	return &gatedFuture{inner: g.inner.Recv(dst, src), gate: g.gate}
 }
+
+// gatedFuture delays the resolution of an inner receive until the gate
+// opens; Release passes through so the inner pooled future still
+// recycles.
+type gatedFuture struct {
+	inner dist.RecvFuture
+	gate  chan struct{}
+}
+
+func (f *gatedFuture) Wait() error {
+	<-f.gate
+	return f.inner.Wait()
+}
+
+func (f *gatedFuture) Ready() bool {
+	select {
+	case <-f.gate:
+		return f.inner.Ready()
+	default:
+		return false
+	}
+}
+
+func (f *gatedFuture) Get() ([]float64, error) {
+	<-f.gate
+	return f.inner.Get()
+}
+
+func (f *gatedFuture) Release() { f.inner.Release() }
 
 // TestOverlapInteriorRunsBeforeHaloResolution is the overlap proof: the
 // transport refuses to deliver any message until every rank has executed
@@ -294,9 +312,11 @@ func TestCommSendFullErrors(t *testing.T) {
 	// The other direction's receiver must not hang either: the
 	// communicator is poisoned.
 	f := c.Recv(0, 1)
+	done := make(chan error, 1)
+	go func() { done <- f.Wait() }()
 	select {
-	case <-f.Done():
-		if f.Wait() == nil {
+	case err := <-done:
+		if err == nil {
 			t.Error("recv on a poisoned communicator succeeded")
 		}
 	case <-time.After(5 * time.Second):

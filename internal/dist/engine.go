@@ -76,6 +76,98 @@ type Engine struct {
 
 	postMu  sync.Mutex // serializes mailbox posting across submitters
 	workers []*worker
+
+	// bufs[r] is rank r's message-buffer free list: every halo message a
+	// rank sends is packed into a buffer drawn from its own pool and
+	// returned there by the receiving rank once the payload has been
+	// scattered or applied — steady-state timesteps allocate no new
+	// message buffers (BufferStats is the observable).
+	bufs []bufPool
+
+	// subs pools step submissions (tasks, per-rank done LCOs, kernel and
+	// fold scratch); a submission recycles itself once its driver — the
+	// last toucher — has resolved the step future.
+	subs sync.Pool
+
+	// foldAcc/foldPartials are the driver-side reduction fold scratch,
+	// reused across steps (folds serialize: each driver waits the
+	// previous step's future before folding).
+	foldAcc      []float64
+	foldPartials [][]float64
+}
+
+// bufPool is one rank's message-buffer free list. Senders draw from
+// their own rank's pool; receivers return a consumed buffer to the
+// SENDER's pool (they know the source rank), so each list converges to
+// the union of the rank's in-flight message shapes after the first
+// timestep.
+type bufPool struct {
+	mu   sync.Mutex
+	free [][]float64
+	news atomic.Int64 // buffers allocated (pool misses)
+	gets atomic.Int64 // buffers handed out
+}
+
+// maxFreeBufs bounds a rank's free list; beyond it returned buffers are
+// dropped to the GC (a backstop against pathological shape churn, far
+// above any steady schedule's needs).
+const maxFreeBufs = 64
+
+// get returns an empty buffer with capacity >= n.
+func (p *bufPool) get(n int) []float64 {
+	p.gets.Add(1)
+	p.mu.Lock()
+	for i := len(p.free) - 1; i >= 0; i-- {
+		if cap(p.free[i]) >= n {
+			b := p.free[i]
+			p.free[i] = p.free[len(p.free)-1]
+			p.free[len(p.free)-1] = nil
+			p.free = p.free[:len(p.free)-1]
+			p.mu.Unlock()
+			return b[:0]
+		}
+	}
+	p.mu.Unlock()
+	p.news.Add(1)
+	return make([]float64, 0, n)
+}
+
+// put returns a consumed buffer to the free list.
+func (p *bufPool) put(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < maxFreeBufs {
+		p.free = append(p.free, b[:0])
+	}
+	p.mu.Unlock()
+}
+
+// getBuf draws a message buffer from rank r's pool.
+func (e *Engine) getBuf(r, n int) []float64 { return e.bufs[r].get(n) }
+
+// putBuf returns a consumed message buffer to rank r's (the sender's)
+// pool.
+func (e *Engine) putBuf(r int, b []float64) { e.bufs[r].put(b) }
+
+// BufferStats reports the engine's message-buffer pooling counters:
+// how many buffers were ever allocated (pool misses) and how many were
+// handed out in total. Steady-state timesteps keep Allocated flat while
+// Requested keeps growing — the observable the buffer-reuse tests pin.
+type BufferStats struct {
+	Allocated int64
+	Requested int64
+}
+
+// BufferStats sums the per-rank pool counters.
+func (e *Engine) BufferStats() BufferStats {
+	var st BufferStats
+	for r := range e.bufs {
+		st.Allocated += e.bufs[r].news.Load()
+		st.Requested += e.bufs[r].gets.Load()
+	}
+	return st
 }
 
 // countingTransport decorates the engine's transport with a message
@@ -95,7 +187,7 @@ func (c *countingTransport) Send(src, dst int, payload []float64) error {
 	return c.inner.Send(src, dst, payload)
 }
 
-func (c *countingTransport) Recv(dst, src int) *hpx.Future[[]float64] {
+func (c *countingTransport) Recv(dst, src int) RecvFuture {
 	return c.inner.Recv(dst, src)
 }
 
@@ -129,6 +221,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		steps:       map[string]*stepPlan{},
 		fenced:      map[*core.Global]bool{},
 	}
+	e.bufs = make([]bufPool, cfg.Ranks)
 	e.workers = make([]*worker, cfg.Ranks)
 	for r := range e.workers {
 		w := &worker{rank: r, eng: e, mail: make(chan *task, mailboxDepth)}
@@ -442,11 +535,7 @@ func (e *Engine) RunStepAsync(ctx context.Context, name string, loops []*core.Lo
 		e.recordError(err) // ditto: an abandoned plan-error future must not vanish
 		return hpx.MakeErr[struct{}](err)
 	}
-	kernels := make([]core.Kernel, len(loops))
-	for i, l := range loops {
-		kernels[i] = l.Kernel
-	}
-	return e.submitLocked(ctx, sp, kernels)
+	return e.submitLocked(ctx, sp, loops)
 }
 
 // RunStepHandle is RunStep over a compiled handle: the step executes
@@ -484,78 +573,133 @@ func (e *Engine) RunStepHandleAsync(ctx context.Context, h *StepHandle) *hpx.Fut
 		}
 		h.sp = sp
 	}
-	// Kernels travel per submission (plans are structural and shared), so
-	// re-attached kernels are observed and pipelined submissions cannot
-	// race each other's slices.
-	kernels := make([]core.Kernel, len(h.loops))
-	for i, l := range h.loops {
-		kernels[i] = l.Kernel
+	return e.submitLocked(ctx, h.sp, h.loops)
+}
+
+// submission is the pooled per-step dispatch state: one task per rank
+// (each a pointer into the embedded slice), the per-rank completion LCOs
+// the driver collects, and the kernel snapshot of the submitted loops.
+// Kernels travel per submission (plans are structural and shared), so
+// re-attached kernels are observed and pipelined submissions cannot race
+// each other's slices. The driver is the last toucher of every pooled
+// field — all rank LCOs resolved means all workers are done with their
+// tasks — so it recycles the submission right after resolving the step
+// future (which is NOT pooled: it outlives the submission as the engine
+// tail, the next step's gate and the caller's handle).
+type submission struct {
+	eng     *Engine
+	ctx     context.Context
+	sp      *stepPlan
+	kernels []core.Kernel
+	gate    hpx.Waiter            // previous step future, when sp.gate
+	prev    *hpx.Future[struct{}] // previous step future (driver ordering)
+	pStep   *hpx.Promise[struct{}]
+	tasks   []task
+	dones   []rankDone
+	driveFn func() // cached driver entry point
+}
+
+// rankDone is one rank's completion slot: the worker stores its
+// per-occurrence reduction buffers and resolves the LCO with its error.
+type rankDone struct {
+	lco  hpx.LCO
+	bufs [][]float64
+}
+
+func (e *Engine) getSubmission() *submission {
+	sub, _ := e.subs.Get().(*submission)
+	if sub == nil {
+		sub = &submission{eng: e, tasks: make([]task, e.ranks), dones: make([]rankDone, e.ranks)}
+		for r := range sub.tasks {
+			sub.tasks[r].sub = sub
+			sub.tasks[r].rank = r
+		}
+		sub.driveFn = sub.drive
 	}
-	return e.submitLocked(ctx, h.sp, kernels)
+	for r := range sub.dones {
+		sub.dones[r].lco.ResetFresh()
+		sub.dones[r].bufs = nil
+	}
+	return sub
 }
 
 // submitLocked finishes a step submission with e.mu held (and releases
 // it): swap the engine tail, post one task per rank in rank order, and
 // spawn the driver that folds reductions and resolves the step future.
-func (e *Engine) submitLocked(ctx context.Context, sp *stepPlan, kernels []core.Kernel) *hpx.Future[struct{}] {
+func (e *Engine) submitLocked(ctx context.Context, sp *stepPlan, loops []*core.Loop) *hpx.Future[struct{}] {
 	prev := e.tail
 	pStep, fStep := hpx.NewPromise[struct{}]()
 	e.tail = fStep
 	e.mu.Unlock()
 
-	var gate hpx.Waiter
-	if sp.gate && prev != nil {
-		gate = prev
+	sub := e.getSubmission()
+	sub.ctx, sub.sp, sub.prev, sub.pStep = ctx, sp, prev, pStep
+	sub.kernels = sub.kernels[:0]
+	for _, l := range loops {
+		sub.kernels = append(sub.kernels, l.Kernel)
 	}
-	dones := make([]*hpx.Future[[][]float64], e.ranks)
-	tasks := make([]*task, e.ranks)
-	for r := 0; r < e.ranks; r++ {
-		p, f := hpx.NewPromise[[][]float64]()
-		dones[r] = f
-		tasks[r] = &task{ctx: ctx, sp: sp, kernels: kernels, gate: gate, done: p}
+	sub.gate = nil
+	if sp.gate && prev != nil {
+		sub.gate = prev
 	}
 	// Post in rank order under postMu so concurrent submitters cannot
 	// interleave two steps' tasks differently on different mailboxes.
 	e.postMu.Lock()
-	for r, t := range tasks {
-		e.workers[r].mail <- t
+	for r := range sub.tasks {
+		e.workers[r].mail <- &sub.tasks[r]
 	}
 	e.postMu.Unlock()
 
-	go func() {
-		if prev != nil {
-			prev.Wait() //nolint:errcheck // ordering only: this step reports its own errors
-		}
-		var firstErr error
-		rankBufs := make([][][]float64, e.ranks)
-		for r, f := range dones {
-			v, err := f.Get()
-			rankBufs[r] = v
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		if firstErr == nil {
-			// Fold each occurrence's reduction buffers in step order.
-			bufs := make([][]float64, e.ranks)
-			for o, lp := range sp.loops {
-				if lp.gbl.size == 0 {
-					continue
-				}
-				for r := range bufs {
-					bufs[r] = rankBufs[r][o]
-				}
-				e.applyReductions(lp, bufs)
-			}
-		}
-		if firstErr != nil {
-			e.recordError(firstErr) // before resolving, so RunStep can ack it
-			pStep.SetErr(firstErr)
-			return
-		}
-		pStep.Set(struct{}{})
-	}()
+	go sub.driveFn()
 	return fStep
+}
+
+// drive collects the per-rank completions in rank order, folds the
+// step's reductions, resolves the step future and recycles the
+// submission.
+func (sub *submission) drive() {
+	e, sp := sub.eng, sub.sp
+	if sub.prev != nil {
+		sub.prev.Wait() //nolint:errcheck // ordering only: this step reports its own errors
+	}
+	var firstErr error
+	for r := range sub.dones {
+		if err := sub.dones[r].lco.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		// Fold each occurrence's reduction buffers in step order. The
+		// fold scratch on the engine is safe to reuse: drivers serialize
+		// on the previous step's future.
+		if cap(e.foldPartials) < e.ranks {
+			e.foldPartials = make([][]float64, e.ranks)
+		}
+		bufs := e.foldPartials[:e.ranks]
+		for o, lp := range sp.loops {
+			if lp.gbl.size == 0 {
+				continue
+			}
+			for r := range bufs {
+				bufs[r] = sub.dones[r].bufs[o]
+			}
+			e.applyReductions(lp, bufs)
+		}
+	}
+	pStep := sub.pStep
+	// Recycle before resolving: all rank LCOs resolved, so every worker
+	// is done with its task; resolving first would let the next
+	// submission's driver race this recycling. (The order is safe either
+	// way — the pool is concurrency-safe — but resetting pooled fields
+	// after handing the object back would not be.)
+	sub.ctx, sub.sp, sub.prev, sub.pStep, sub.gate = nil, nil, nil, nil, nil
+	e.subs.Put(sub)
+	if firstErr != nil {
+		e.recordError(firstErr) // before resolving, so RunStep can ack it
+		pStep.SetErr(firstErr)
+		return
+	}
+	pStep.Set(struct{}{})
 }
 
 // applyReductions folds the per-rank reduction buffers into the global
@@ -566,7 +710,12 @@ func (e *Engine) submitLocked(ctx context.Context, sp *stepPlan, kernels []core.
 // the tree shape cannot change the result).
 func (e *Engine) applyReductions(lp *loopPlan, bufs [][]float64) {
 	size := lp.gbl.size
-	acc := make([]float64, size)
+	// Fold scratch is engine-level and reused: folds serialize on the
+	// previous step's future (see drive).
+	if cap(e.foldAcc) < size {
+		e.foldAcc = make([]float64, size)
+	}
+	acc := e.foldAcc[:size]
 	copy(acc, lp.gbl.init)
 	if lp.needElementwise {
 		for _, el := range lp.foldOrder {

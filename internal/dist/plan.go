@@ -203,6 +203,11 @@ type rankPlan struct {
 
 	incBuf [][]float64 // per dense increment-arg index
 
+	// views is the rank's reusable kernel argument-view slice: only this
+	// rank's worker touches it, and workers process occurrences and
+	// steps strictly in order.
+	views [][]float64
+
 	read *readSchedule // the loop's own read-halo exchange
 
 	incSendTo  [][]incSendPart // per dst rank
@@ -482,6 +487,7 @@ func (e *Engine) buildLocators(lp *loopPlan) {
 		n := len(rp.elems)
 		rp.loc = make([][]int32, len(lp.args))
 		rp.incBuf = make([][]float64, len(lp.incArgs))
+		rp.views = make([][]float64, len(lp.args))
 		for ai := range lp.args {
 			ap := &lp.args[ai]
 			switch ap.kind {

@@ -37,6 +37,20 @@ type stepPlan struct {
 	// in the step does, so the apply drains at step end.
 	incDue []int
 
+	// hoistAt[o] is the occurrence at whose START occurrence o's leader
+	// read-halo exchange posts: o itself when the exchange cannot move
+	// (or o leads nothing), or the earliest occurrence by which every
+	// dat of the union has its final owned values — after the last
+	// direct writer's execution and the last increment writer's deferred
+	// apply (incDue). hoisted[h] lists the leaders L > h whose exchange
+	// posts at the start of occurrence h, in ascending L, so every rank
+	// posts the same per-pair message sequence. Hoisting moves posting
+	// only: the leader still waits (and scatters) at its own occurrence,
+	// and the message count is untouched — a union schedule moves as one
+	// message per pair, pinned at the max readiness of its dats.
+	hoistAt []int
+	hoisted [][]int
+
 	ranks []*stepRank
 }
 
@@ -53,6 +67,11 @@ type stepRank struct {
 	// with global args gates on the previous tail, which resolves only
 	// after the driver folded the previous invocation's buffers.
 	redBuf [][]float64
+	// redOut is the per-occurrence buffer list a worker reports to the
+	// driver, reused across invocations: entries are only read by the
+	// driver for occurrences with globals, whose steps gate on the
+	// previous tail.
+	redOut [][]float64
 }
 
 // stepKey identifies a step plan structurally: the concatenated
@@ -269,6 +288,7 @@ func (e *Engine) buildStepLocked(key, name string, lps []*loopPlan) *stepPlan {
 		sp.ranks[r] = &stepRank{
 			readPost: make([]*readSchedule, n),
 			redBuf:   make([][]float64, n),
+			redOut:   make([][]float64, n),
 		}
 	}
 	for L, dats := range ledDats {
@@ -293,7 +313,57 @@ func (e *Engine) buildStepLocked(key, name string, lps []*loopPlan) *stepPlan {
 			}
 		}
 	}
+	sp.buildHoists(ledDats)
 	return sp
+}
+
+// buildHoists computes each leader's exchange post point: the earliest
+// occurrence by which every dat of its union schedule holds final owned
+// values on every rank. A direct writer's values are final once its
+// occurrence has executed (j+1); an increment writer's once its deferred
+// apply has resolved, which the worker guarantees by the start of
+// occurrence incDue[j]. The post point is the max over the union's dats
+// — the whole coalesced message moves together, so the message count
+// (and the per-pair FIFO order, which every rank derives from this same
+// plan) is unchanged; only the overlap window grows.
+func (sp *stepPlan) buildHoists(ledDats [][]*shardedDat) {
+	n := len(sp.loops)
+	sp.hoistAt = make([]int, n)
+	sp.hoisted = make([][]int, n)
+	for o := range sp.hoistAt {
+		sp.hoistAt[o] = o
+	}
+	for L, dats := range ledDats {
+		if len(dats) == 0 {
+			continue
+		}
+		h := 0
+		for _, sd := range dats {
+			for j := 0; j < L; j++ {
+				lp := sp.loops[j]
+				for i := range lp.args {
+					ap := &lp.args[i]
+					if ap.sd != sd {
+						continue
+					}
+					switch ap.kind {
+					case argInc:
+						if sp.incDue[j] > h {
+							h = sp.incDue[j]
+						}
+					case argDirect:
+						if lp.l.Args[i].Acc() != core.Read && j+1 > h {
+							h = j + 1
+						}
+					}
+				}
+			}
+		}
+		if h < L {
+			sp.hoistAt[L] = h
+			sp.hoisted[h] = append(sp.hoisted[h], L)
+		}
+	}
 }
 
 // unionHaloIDs merges the ascending halo-id needs of the given

@@ -8,18 +8,14 @@ import (
 	"op2hpx/internal/hpx"
 )
 
-// task is one step posted to a rank worker. done resolves with the
-// rank's per-occurrence reduction buffers (nil entries for loops without
-// globals) or the rank's first error. kernels are the submitted loops'
-// kernels — plans are cached structurally and shared between loops with
-// identical argument shapes, so the kernels travel per submission, not
-// with the plan.
+// task is one step posted to a rank worker: a pointer into the owning
+// submission's per-rank task array. The worker reads the step plan,
+// kernel snapshot and gate from the submission and reports completion
+// through its rank's done slot — all pooled, recycled by the
+// submission's driver once every rank has resolved.
 type task struct {
-	ctx     context.Context
-	sp      *stepPlan
-	kernels []core.Kernel // per occurrence
-	gate    hpx.Waiter    // completion of the previous step, when globals are involved
-	done    *hpx.Promise[[][]float64]
+	sub  *submission
+	rank int
 }
 
 // pendingApply is a deferred increment application: occurrence o's
@@ -27,47 +23,78 @@ type task struct {
 // observe the incremented dats execute; the apply resolves at the start
 // of occurrence due (or at step end). Pending applies resolve in
 // submission order, which preserves the serial interleaving of applies
-// to a shared dat.
+// to a shared dat. The futures live in the worker's per-occurrence
+// scratch slots (w.incFuts[o]); only the metadata travels here.
 type pendingApply struct {
-	due  int
-	o    int
-	lp   *loopPlan
-	futs []*hpx.Future[[]float64]
-	srcs []int
-	err  error // the occurrence's error: drain the futures, skip the apply
+	due int
+	o   int
+	lp  *loopPlan
+	err error // the occurrence's error: drain the futures, skip the apply
 }
 
 // worker is one persistent rank: a long-lived goroutine draining a
 // mailbox of step tasks in submission order. There is no fork/join per
-// step — a rank that finished step N moves straight on to step N+1.
+// step — a rank that finished step N moves straight on to step N+1. All
+// per-step execution scratch (argument views live on the rank plans;
+// everything occurrence-indexed lives here) is reused across steps, so
+// steady-state timesteps allocate neither scratch nor message buffers.
 type worker struct {
 	rank int
 	eng  *Engine
 	mail chan *task
+
+	// Per-occurrence scratch, sized to the widest step seen. readFuts[o]
+	// holds the read-halo receive futures the exchange posted at slot o
+	// consumes at occurrence o (for a hoisted exchange the posting
+	// happens earlier than o, which is exactly why the futures are
+	// slot-indexed rather than local to execOcc); incFuts[o] holds
+	// occurrence o's increment receives until its deferred apply.
+	readFuts [][]RecvFuture
+	readSrcs [][]int
+	readErr  []error
+	incFuts  [][]RecvFuture
+	incSrcs  [][]int
+
+	pending []pendingApply
+	ws      []hpx.Waiter
+	incMsgs [][]float64
 }
 
 func (w *worker) run() {
 	for t := range w.mail {
 		bufs, err := w.execStep(t)
-		if err != nil {
-			t.done.SetErr(err)
-		} else {
-			t.done.Set(bufs)
-		}
+		done := &t.sub.dones[w.rank]
+		done.bufs = bufs
+		done.lco.Resolve(err)
+	}
+}
+
+// growOcc sizes the per-occurrence scratch slots for a step of n
+// occurrences.
+func (w *worker) growOcc(n int) {
+	for len(w.readFuts) < n {
+		w.readFuts = append(w.readFuts, nil)
+		w.readSrcs = append(w.readSrcs, nil)
+		w.readErr = append(w.readErr, nil)
+		w.incFuts = append(w.incFuts, nil)
+		w.incSrcs = append(w.incSrcs, nil)
 	}
 }
 
 // execStep runs one step on this rank: its occurrences in order, with
-// pending increment applies resolved at their due points. The message
-// protocol (sends and receives) always runs to completion — even when
-// computation is skipped because of cancellation, a kernel panic or an
-// upstream failure — so every pair's FIFO channel stays aligned for the
-// steps that follow; skipped computation just exports zero
-// contributions.
+// pending increment applies resolved at their due points and hoisted
+// read-halo exchanges posted as soon as their producing occurrences have
+// completed (sp.hoisted). The message protocol (sends and receives)
+// always runs to completion — even when computation is skipped because
+// of cancellation, a kernel panic or an upstream failure — so every
+// pair's FIFO channel stays aligned for the steps that follow; skipped
+// computation just exports zero contributions.
 func (w *worker) execStep(t *task) ([][]float64, error) {
-	sp := t.sp
+	sp := t.sub.sp
+	sr := sp.ranks[w.rank]
 	nOcc := len(sp.loops)
-	redBufs := make([][]float64, nOcc)
+	w.growOcc(nOcc)
+	redBufs := sr.redOut
 	var firstErr error
 	fail := func(e error) {
 		if firstErr == nil && e != nil {
@@ -76,21 +103,21 @@ func (w *worker) execStep(t *task) ([][]float64, error) {
 	}
 
 	var gateErr error
-	if t.gate != nil {
-		if werr := hpx.WaitAllCtx(t.ctx, t.gate); werr != nil && t.ctx.Err() != nil {
-			gateErr = fmt.Errorf("dist: step %q canceled on rank %d: %w", sp.name, w.rank, t.ctx.Err())
+	if t.sub.gate != nil {
+		if werr := hpx.WaitAllCtx(t.sub.ctx, t.sub.gate); werr != nil && t.sub.ctx.Err() != nil {
+			gateErr = fmt.Errorf("dist: step %q canceled on rank %d: %w", sp.name, w.rank, t.sub.ctx.Err())
 			fail(gateErr)
 			// Still drain the gate (the previous step always completes):
 			// the storage below — in particular the reused reduction
 			// buffers — must not be touched while the previous step's
 			// driver-side fold may still be reading them.
-			t.gate.Wait() //nolint:errcheck // ordering only
+			t.sub.gate.Wait() //nolint:errcheck // ordering only
 		}
 		// A failed predecessor is ordering-only here; this step reports
 		// its own errors.
 	}
 
-	var pending []pendingApply
+	pending := w.pending[:0]
 	for o := 0; o < nOcc; o++ {
 		// Resolve every pending apply due at or before this occurrence.
 		// Dues are monotonic only per dat, so a later-queued apply can
@@ -107,19 +134,78 @@ func (w *worker) execStep(t *task) ([][]float64, error) {
 		for i := 0; i < cut; i++ {
 			fail(w.resolveApply(t, &pending[i]))
 		}
-		pending = pending[cut:]
+		pending = pending[:copy(pending, pending[cut:])]
+		// Post the hoisted read-halo exchanges of later leaders whose
+		// producing occurrences (direct writers executed, increment
+		// applies resolved) are now complete: the messages travel while
+		// the occurrences in between compute.
+		for _, L := range sp.hoisted[o] {
+			if sched := sr.readPost[L]; sched != nil {
+				w.postRead(t, sp.loops[L], sched, L, true)
+			}
+		}
 		occErr := w.execOcc(t, o, gateErr, &redBufs[o], &pending)
 		fail(occErr)
 	}
 	for i := range pending {
 		fail(w.resolveApply(t, &pending[i]))
 	}
+	w.pending = pending[:0]
 	return redBufs, firstErr
+}
+
+// postRead posts one read-halo exchange on this rank: grow the halo
+// storage the scatter will need, pack and send the owned values per
+// destination from pooled message buffers, and post the receive futures
+// into the slot's scratch. Errors latch into w.readErr[slot] and surface
+// when the consuming occurrence waits.
+func (w *worker) postRead(t *task, lp *loopPlan, sched *readSchedule, slot int, hoisted bool) {
+	eng, r := w.eng, w.rank
+	w.readErr[slot] = nil
+	for _, hn := range sched.need {
+		dim := hn.sd.d.Dim()
+		if want := hn.slots * dim; len(hn.sd.halo[r]) < want {
+			grown := make([]float64, want)
+			copy(grown, hn.sd.halo[r])
+			hn.sd.halo[r] = grown
+		}
+	}
+	for dst := 0; dst < eng.ranks; dst++ {
+		if sched.sendLen[dst] == 0 {
+			continue
+		}
+		msg := eng.getBuf(r, sched.sendLen[dst])
+		for _, pt := range sched.sendTo[dst] {
+			dim := pt.sd.d.Dim()
+			own := pt.sd.owned[r]
+			for _, l := range pt.locals {
+				msg = append(msg, own[int(l)*dim:(int(l)+1)*dim]...)
+			}
+		}
+		if err := eng.tr.Send(r, dst, msg); err != nil && w.readErr[slot] == nil {
+			w.readErr[slot] = err
+		}
+	}
+	futs, srcs := w.readFuts[slot][:0], w.readSrcs[slot][:0]
+	for src := 0; src < eng.ranks; src++ {
+		if sched.recvLen[src] == 0 {
+			continue
+		}
+		futs = append(futs, eng.tr.Recv(r, src))
+		srcs = append(srcs, src)
+	}
+	w.readFuts[slot], w.readSrcs[slot] = futs, srcs
+	if hoisted {
+		if tr := eng.trace; tr != nil {
+			tr(lp.name, r, "hoist")
+		}
+	}
 }
 
 // execOcc runs one loop occurrence of the step on this rank.
 func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pending *[]pendingApply) (err error) {
-	sp, r, eng := t.sp, w.rank, w.eng
+	sub, r, eng := t.sub, w.rank, w.eng
+	sp := sub.sp
 	lp := sp.loops[o]
 	rp := lp.ranks[r]
 	sr := sp.ranks[r]
@@ -151,7 +237,7 @@ func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pendin
 		}
 	}
 	*redOut = redBuf
-	views := make([][]float64, len(lp.args))
+	views := rp.views
 	for ai := range lp.args {
 		ap := &lp.args[ai]
 		switch ap.kind {
@@ -165,44 +251,13 @@ func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pendin
 	}
 
 	// Phase 1: post this occurrence's read-halo exchange — owned values
-	// out, import futures in. Nothing blocks here. A coalescing leader's
+	// out, import futures in — unless a hoist already posted it at an
+	// earlier occurrence. Nothing blocks here. A coalescing leader's
 	// schedule covers every loop of its group; followers have none (the
 	// halo is already fresh when they run).
-	var readFuts []*hpx.Future[[]float64]
-	var readSrcs []int
 	sched := sr.readPost[o]
-	if sched != nil {
-		// Grow this rank's halos to the schedule's slot counts before
-		// anything can scatter into them.
-		for _, hn := range sched.need {
-			dim := hn.sd.d.Dim()
-			if want := hn.slots * dim; len(hn.sd.halo[r]) < want {
-				grown := make([]float64, want)
-				copy(grown, hn.sd.halo[r])
-				hn.sd.halo[r] = grown
-			}
-		}
-		for dst := 0; dst < eng.ranks; dst++ {
-			if sched.sendLen[dst] == 0 {
-				continue
-			}
-			msg := make([]float64, 0, sched.sendLen[dst])
-			for _, pt := range sched.sendTo[dst] {
-				dim := pt.sd.d.Dim()
-				own := pt.sd.owned[r]
-				for _, l := range pt.locals {
-					msg = append(msg, own[int(l)*dim:(int(l)+1)*dim]...)
-				}
-			}
-			fail(eng.tr.Send(r, dst, msg))
-		}
-		for src := 0; src < eng.ranks; src++ {
-			if sched.recvLen[src] == 0 {
-				continue
-			}
-			readFuts = append(readFuts, eng.tr.Recv(r, src))
-			readSrcs = append(readSrcs, src)
-		}
+	if sched != nil && sp.hoistAt[o] == o {
+		w.postRead(t, lp, sched, o, false)
 	}
 
 	// Phase 2: interior elements execute while halo messages are in
@@ -211,29 +266,34 @@ func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pendin
 		fail(w.runChunks(t, o, redBuf, views, 0, rp.ninterior, "interior"))
 	}
 
-	// Phase 3: gate on halo resolution, scatter imports into halo slots.
-	if len(readFuts) > 0 {
-		if tr := eng.trace; tr != nil {
-			tr(lp.name, r, "halo")
-		}
-		ws := make([]hpx.Waiter, len(readFuts))
-		for i, f := range readFuts {
-			ws[i] = f
-		}
-		werr := hpx.WaitAllCtx(t.ctx, ws...)
-		if werr != nil {
-			fail(fmt.Errorf("dist: loop %q rank %d read-halo exchange: %w", lp.name, r, werr))
-		} else if err == nil {
-			for i, f := range readFuts {
-				msg := f.MustGet()
-				off := 0
-				for _, pt := range sched.recvFrom[readSrcs[i]] {
-					dim := pt.sd.d.Dim()
-					halo := pt.sd.halo[r]
-					for _, s := range pt.slots {
-						copy(halo[int(s)*dim:(int(s)+1)*dim], msg[off:off+dim])
-						off += dim
+	// Phase 3: gate on halo resolution, scatter imports into halo slots,
+	// recycle the consumed message buffers into their senders' pools.
+	if sched != nil {
+		fail(w.readErr[o])
+		readFuts, readSrcs := w.readFuts[o], w.readSrcs[o]
+		if len(readFuts) > 0 {
+			if tr := eng.trace; tr != nil {
+				tr(lp.name, r, "halo")
+			}
+			werr := w.waitFutsCtx(sub.ctx, readFuts)
+			if werr != nil {
+				fail(fmt.Errorf("dist: loop %q rank %d read-halo exchange: %w", lp.name, r, werr))
+			} else {
+				for i, f := range readFuts {
+					msg, _ := f.Get()
+					if err == nil {
+						off := 0
+						for _, pt := range sched.recvFrom[readSrcs[i]] {
+							dim := pt.sd.d.Dim()
+							halo := pt.sd.halo[r]
+							for _, s := range pt.slots {
+								copy(halo[int(s)*dim:(int(s)+1)*dim], msg[off:off+dim])
+								off += dim
+							}
+						}
 					}
+					eng.putBuf(readSrcs[i], msg)
+					f.Release()
 				}
 			}
 		}
@@ -252,7 +312,7 @@ func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pendin
 		if rp.incSendLen[dst] == 0 {
 			continue
 		}
-		msg := make([]float64, 0, rp.incSendLen[dst])
+		msg := eng.getBuf(r, rp.incSendLen[dst])
 		for _, pt := range rp.incSendTo[dst] {
 			dim := lp.args[lp.incArgs[pt.ia]].dim
 			buf := rp.incBuf[pt.ia]
@@ -262,8 +322,7 @@ func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pendin
 		}
 		fail(eng.tr.Send(r, dst, msg))
 	}
-	var incFuts []*hpx.Future[[]float64]
-	var incSrcs []int
+	incFuts, incSrcs := w.incFuts[o][:0], w.incSrcs[o][:0]
 	for src := 0; src < eng.ranks; src++ {
 		if rp.incRecvLen[src] == 0 {
 			continue
@@ -271,9 +330,10 @@ func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pendin
 		incFuts = append(incFuts, eng.tr.Recv(r, src))
 		incSrcs = append(incSrcs, src)
 	}
+	w.incFuts[o], w.incSrcs[o] = incFuts, incSrcs
 	if len(incFuts) > 0 || len(rp.apply.arg) > 0 {
 		*pending = append(*pending, pendingApply{
-			due: sp.incDue[o], o: o, lp: lp, futs: incFuts, srcs: incSrcs, err: err,
+			due: sp.incDue[o], o: o, lp: lp, err: err,
 		})
 	}
 	return err
@@ -283,28 +343,43 @@ func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pendin
 // import futures, then fold every contribution into the owned values in
 // serial plan order — local and imported increments interleave exactly
 // as the serial backend would have applied them, which is what keeps the
-// distributed result bitwise-identical.
+// distributed result bitwise-identical. Consumed message buffers return
+// to their senders' pools, and the receive futures to the transport's.
 func (w *worker) resolveApply(t *task, pa *pendingApply) error {
 	lp, r := pa.lp, w.rank
 	rp := lp.ranks[r]
 	err := pa.err
-	incMsgs := make([][]float64, w.eng.ranks)
-	if len(pa.futs) > 0 {
-		ws := make([]hpx.Waiter, len(pa.futs))
-		for i, f := range pa.futs {
-			ws[i] = f
-		}
-		if werr := hpx.WaitAllCtx(t.ctx, ws...); werr != nil {
+	futs, srcs := w.incFuts[pa.o], w.incSrcs[pa.o]
+	if cap(w.incMsgs) < w.eng.ranks {
+		w.incMsgs = make([][]float64, w.eng.ranks)
+	}
+	incMsgs := w.incMsgs[:w.eng.ranks]
+	clear(incMsgs)
+	received := false
+	if len(futs) > 0 {
+		if werr := w.waitFutsCtx(t.sub.ctx, futs); werr != nil {
 			if err == nil {
 				err = fmt.Errorf("dist: loop %q rank %d increment exchange: %w", lp.name, r, werr)
 			}
-		} else if err == nil {
-			for i, f := range pa.futs {
-				incMsgs[pa.srcs[i]] = f.MustGet()
+		} else {
+			received = true
+			for i, f := range futs {
+				msg, _ := f.Get()
+				incMsgs[srcs[i]] = msg
 			}
 		}
 	}
+	recycle := func() {
+		if !received {
+			return
+		}
+		for i, f := range futs {
+			w.eng.putBuf(srcs[i], incMsgs[srcs[i]])
+			f.Release()
+		}
+	}
 	if err != nil || len(rp.apply.arg) == 0 {
+		recycle()
 		return err
 	}
 	al := &rp.apply
@@ -325,10 +400,40 @@ func (w *worker) resolveApply(t *task, pa *pendingApply) error {
 			dst[k] += c[k]
 		}
 	}
+	recycle()
 	if tr := w.eng.trace; tr != nil {
 		tr(lp.name, r, "apply")
 	}
 	return nil
+}
+
+// waitFutsCtx waits a slot's receive futures under ctx through the
+// worker's reusable waiter buffer. A cancellable wait over pending
+// futures gets a private copy instead: an abandoned WaitAllCtx retains
+// the slice in its drain goroutine, which would race the buffer's next
+// reuse.
+func (w *worker) waitFutsCtx(ctx context.Context, futs []RecvFuture) error {
+	ready := true
+	for _, f := range futs {
+		if !f.Ready() {
+			ready = false
+			break
+		}
+	}
+	var ws []hpx.Waiter
+	reusable := ctx.Done() == nil || ready
+	if reusable {
+		ws = w.ws[:0]
+	} else {
+		ws = make([]hpx.Waiter, 0, len(futs))
+	}
+	for _, f := range futs {
+		ws = append(ws, f)
+	}
+	if reusable {
+		w.ws = ws
+	}
+	return hpx.WaitAllCtx(ctx, ws...)
 }
 
 // runChunks executes occurrence o's exec positions [lo, hi) in blockSize
@@ -336,17 +441,17 @@ func (w *worker) resolveApply(t *task, pa *pendingApply) error {
 // executed chunk to the trace hook.
 func (w *worker) runChunks(t *task, o int, redBuf []float64, views [][]float64, lo, hi int, phase string) error {
 	bs := w.eng.blockSize
-	lp := t.sp.loops[o]
-	kernel := t.kernels[o]
+	lp := t.sub.sp.loops[o]
+	kernel := t.sub.kernels[o]
 	for clo := lo; clo < hi; clo += bs {
-		if cerr := t.ctx.Err(); cerr != nil {
+		if cerr := t.sub.ctx.Err(); cerr != nil {
 			return fmt.Errorf("dist: loop %q canceled on rank %d: %w", lp.name, w.rank, cerr)
 		}
 		chi := clo + bs
 		if chi > hi {
 			chi = hi
 		}
-		if err := w.safeRange(t, lp, kernel, redBuf, views, clo, chi); err != nil {
+		if err := w.safeRange(lp, kernel, redBuf, views, clo, chi); err != nil {
 			return err
 		}
 		if tr := w.eng.trace; tr != nil {
@@ -357,7 +462,7 @@ func (w *worker) runChunks(t *task, o int, redBuf []float64, views [][]float64, 
 }
 
 // safeRange executes one chunk, converting kernel panics into errors.
-func (w *worker) safeRange(t *task, lp *loopPlan, kernel core.Kernel, redBuf []float64, views [][]float64, lo, hi int) (err error) {
+func (w *worker) safeRange(lp *loopPlan, kernel core.Kernel, redBuf []float64, views [][]float64, lo, hi int) (err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = fmt.Errorf("dist: loop %q kernel panicked on rank %d: %v", lp.name, w.rank, rec)

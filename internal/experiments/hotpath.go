@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,7 +19,7 @@ import (
 // count the Dataflow step executor reports.
 type HotPathPoint struct {
 	Backend       string  `json:"backend"`
-	Mode          string  `json:"mode"` // "step" (fused under dataflow) or "loop-at-a-time"
+	Mode          string  `json:"mode"` // "step", "loop-at-a-time" or "step-async" (pipelined)
 	NsPerIter     float64 `json:"ns_per_iteration"`
 	AllocsPerIter float64 `json:"allocs_per_iteration"`
 	FusedPerIter  float64 `json:"fused_groups_per_iteration"`
@@ -64,15 +65,25 @@ func HotPathData(o Options) (*HotPathReport, error) {
 		Threads:    threads,
 		Note: "Steady-state issue cost of the airfoil timestep after the compiled-loop " +
 			"executor (pinned plans, pooled reduction scratch, slot-indexed combine, persistent " +
-			"chunk tasks) and step-level direct-loop fusion (save_soln+adt_calc and " +
-			"update+adt_calc each execute as one pass under Dataflow Steps). " +
+			"chunk tasks), step-level direct-loop fusion (save_soln+adt_calc and " +
+			"update+adt_calc each execute as one pass under Dataflow Steps), and the pooled " +
+			"asynchronous issue path (intrusive wait-list LCOs: no promises, no per-issue " +
+			"dependency-wait goroutine; distributed message buffers pooled per rank). " +
 			"allocs/iteration counts heap allocations of a whole timestep — nine loop issues; " +
-			"the 0-allocs/op guarantee for a single steady-state direct loop is enforced by " +
-			"TestSteadyStateDirectLoopZeroAlloc. Before/after on this machine " +
+			"the 0-allocs/op guarantees are enforced by TestSteadyStateDirectLoopZeroAlloc " +
+			"(synchronous) and TestSteadyStateAsyncLoopZeroAlloc (asynchronous). " +
+			"step-async rows measure pipelined step.Async issue (iters steps in flight, one " +
+			"wait at the end) with pools warmed to the pipeline's depth. " +
+			"Before/after of the async path on this machine: ping-pong loop.Async " +
+			"9 -> 0 allocs/op (serial and dataflow); pipelined airfoil step.Async dataflow " +
+			"~112 -> ~4 allocs/iteration warm (pipeline-fill allocations amortize away; " +
+			"a cold 50-deep pipeline still pays ~145/iter while its pools grow); " +
+			"distributed steady state 92.7 -> ~8 allocs/iteration at 2 ranks and " +
+			"206.2 -> ~10 at 4 ranks, with zero new message buffers per timestep " +
+			"(TestDistSteadyStateMessagesAndBuffers). Earlier compiled-loop before/after " +
 			"(BenchmarkStep/dataflow/batched, 5 timesteps/op, -benchtime=20x): " +
-			"pre-change 5741303 ns/op, 73547 B/op, 1475 allocs/op; " +
-			"post-change 5443867 ns/op, 40299 B/op, 642 allocs/op " +
-			"(-5% ns, -45% bytes, -56% allocs). " +
+			"pre 5741303 ns/op, 73547 B/op, 1475 allocs/op; post 5443867 ns/op, 40299 B/op, " +
+			"642 allocs/op (-5% ns, -45% bytes, -56% allocs). " +
 			"flow_field_bitwise_vs_serial compares q only: the rms reduction's combine grid " +
 			"follows the timing-calibrated auto chunker, so its bitwise identity to serial " +
 			"needs a fixed grid (pinned by the fused-step goldens with a static chunker).",
@@ -134,6 +145,85 @@ func HotPathData(o Options) (*HotPathReport, error) {
 			NsPerIter:     float64(st.Mean.Nanoseconds()) / float64(o.Iters),
 			AllocsPerIter: float64(m1.Mallocs-m0.Mallocs) / iterations,
 			FusedPerIter:  float64(rt.StepStats().FusedGroups-fusedBefore) / iterations,
+			Bitwise:       bitwise,
+		})
+		rt.Close() //nolint:errcheck // measurement done
+	}
+
+	// Asynchronous pipelines: the whole run issues steps with step.Async
+	// and fences once — the pooled-issue-state path. Serial and Dataflow
+	// shared-memory backends, plus the distributed engine at 2 ranks
+	// (the per-rank message-buffer pools in action).
+	for _, cfg := range []struct {
+		backend op2.Backend
+		ranks   int
+		label   string
+	}{
+		{op2.Serial, 0, "serial"},
+		{op2.Dataflow, 0, "dataflow"},
+		{op2.Dataflow, 2, "distributed(2)"},
+	} {
+		var rt *op2.Runtime
+		var app *airfoil.App
+		var err error
+		if cfg.ranks > 0 {
+			var dapp *airfoil.DistApp
+			dapp, err = airfoil.NewDistApp(o.NX, o.NY, cfg.ranks)
+			if err != nil {
+				return nil, err
+			}
+			rt, app = dapp.Rt, dapp.App
+		} else {
+			rt = op2.MustNew(op2.WithBackend(cfg.backend), op2.WithPoolSize(threads))
+			app, err = airfoil.NewApp(o.NX, o.NY, rt)
+			if err != nil {
+				rt.Close() //nolint:errcheck // already failing
+				return nil, err
+			}
+		}
+		// Verification + warm-up to pipeline depth (pools converge to the
+		// pipeline's working set).
+		if _, err := app.Run(o.Iters); err != nil {
+			rt.Close() //nolint:errcheck // already failing
+			return nil, err
+		}
+		bitwise := true
+		for i, v := range app.M.Q.Data() {
+			if math.Float64bits(v) != math.Float64bits(ref.M.Q.Data()[i]) {
+				bitwise = false
+				break
+			}
+		}
+		// Drive the step graph's Async directly — on every backend,
+		// including Serial (App.Step only pipelines under Dataflow) — so
+		// the measured path is exactly the pooled asynchronous issue.
+		step := app.StepGraph()
+		ctx := context.Background()
+		pipeline := func() error {
+			var last *op2.Future
+			for i := 0; i < o.Iters; i++ {
+				last = step.Async(ctx)
+			}
+			return last.Wait()
+		}
+		if err := pipeline(); err != nil { // extra warm-up on the exact path
+			rt.Close() //nolint:errcheck // already failing
+			return nil, err
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		st, err := perf.Measure(0, o.Reps, pipeline)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			rt.Close() //nolint:errcheck // already failing
+			return nil, err
+		}
+		iterations := float64(o.Reps * o.Iters)
+		rep.Points = append(rep.Points, HotPathPoint{
+			Backend:       cfg.label,
+			Mode:          "step-async",
+			NsPerIter:     float64(st.Mean.Nanoseconds()) / float64(o.Iters),
+			AllocsPerIter: float64(m1.Mallocs-m0.Mallocs) / iterations,
 			Bitwise:       bitwise,
 		})
 		rt.Close() //nolint:errcheck // measurement done

@@ -7,14 +7,18 @@
 // A Future[T] is a computational result that is initially unknown but
 // becomes available later; Get suspends only the calling goroutine, never
 // a pool worker, so all other work proceeds — the behaviour of HPX
-// user-level threads in Fig. 5 of the paper.
+// user-level threads in Fig. 5 of the paper. Since the intrusive
+// wait-list redesign a Future is a thin value container over an LCO:
+// creating a promise/future pair is one allocation, waiting parks on a
+// condition variable instead of a channel, and consumers that support it
+// (the OP2 executor's issue path) attach Continuations to a future's
+// wait-list instead of parking a goroutine per dependency.
 package hpx
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"sync/atomic"
 )
 
 // ErrPromiseAbandoned is the error observed by a future whose promise was
@@ -27,32 +31,35 @@ var ErrPromiseAbandoned = errors.New("hpx: promise abandoned")
 // semantics: any number of goroutines may call Get concurrently and every
 // call observes the same value.
 type Future[T any] struct {
-	done  chan struct{}
+	lco   LCO
 	value T
-	err   error
 }
 
 // Promise is the producer side of a Future. Exactly one of Set or SetErr
 // must be called, exactly once.
 type Promise[T any] struct {
-	f   *Future[T]
-	set atomic.Bool
+	f *Future[T]
 }
 
 // NewPromise creates a connected promise/future pair.
 func NewPromise[T any]() (*Promise[T], *Future[T]) {
-	f := &Future[T]{done: make(chan struct{})}
+	f := &Future[T]{}
 	return &Promise[T]{f: f}, f
 }
 
 // Set fulfils the future with v. It panics if the promise was already
-// satisfied, which always indicates a program bug.
+// satisfied, which always indicates a program bug — and it does so
+// BEFORE touching the value, so a racing double-Set can never tear the
+// value already published to readers.
 func (p *Promise[T]) Set(v T) {
-	if !p.set.CompareAndSwap(false, true) {
-		panic("hpx: promise satisfied twice")
+	l := &p.f.lco
+	l.mu.Lock()
+	if l.resolved {
+		l.mu.Unlock()
+		panic("hpx: LCO resolved twice")
 	}
 	p.f.value = v
-	close(p.f.done)
+	l.finishLocked(nil)
 }
 
 // SetErr fulfils the future with an error.
@@ -60,12 +67,12 @@ func (p *Promise[T]) SetErr(err error) {
 	if err == nil {
 		err = ErrPromiseAbandoned
 	}
-	if !p.set.CompareAndSwap(false, true) {
-		panic("hpx: promise satisfied twice")
-	}
-	p.f.err = err
-	close(p.f.done)
+	p.f.lco.Resolve(err)
 }
+
+// Satisfied reports whether the promise was already fulfilled — the
+// guard recover paths use to avoid satisfying a promise twice.
+func (p *Promise[T]) Satisfied() bool { return p.f.lco.Ready() }
 
 // Future returns the future connected to this promise.
 func (p *Promise[T]) Future() *Future[T] { return p.f }
@@ -74,15 +81,18 @@ func (p *Promise[T]) Future() *Future[T] { return p.f }
 // hpx::make_ready_future and is how non-future inputs are passed through a
 // dataflow (Fig. 6: "non-future inputs are passed through").
 func MakeReady[T any](v T) *Future[T] {
-	f := &Future[T]{done: make(chan struct{}), value: v}
-	close(f.done)
+	f := &Future[T]{value: v}
+	f.lco.Resolve(nil)
 	return f
 }
 
 // MakeErr returns a future that is already fulfilled with an error.
 func MakeErr[T any](err error) *Future[T] {
-	f := &Future[T]{done: make(chan struct{}), err: err}
-	close(f.done)
+	if err == nil {
+		err = ErrPromiseAbandoned
+	}
+	f := &Future[T]{}
+	f.lco.Resolve(err)
 	return f
 }
 
@@ -90,8 +100,8 @@ func MakeErr[T any](err error) *Future[T] {
 // future.get() from the paper: the caller is suspended only if the result
 // is not readily available, and resumes as soon as it is.
 func (f *Future[T]) Get() (T, error) {
-	<-f.done
-	return f.value, f.err
+	err := f.lco.Wait()
+	return f.value, err
 }
 
 // MustGet is Get for contexts where an error indicates a program bug.
@@ -104,24 +114,20 @@ func (f *Future[T]) MustGet() T {
 }
 
 // Ready reports whether the value is already available, without blocking.
-func (f *Future[T]) Ready() bool {
-	select {
-	case <-f.done:
-		return true
-	default:
-		return false
-	}
-}
+func (f *Future[T]) Ready() bool { return f.lco.Ready() }
 
 // Wait blocks until the future is fulfilled, discarding the value.
-func (f *Future[T]) Wait() error {
-	<-f.done
-	return f.err
-}
+func (f *Future[T]) Wait() error { return f.lco.Wait() }
 
-// Done exposes the completion channel so futures can take part in select
-// statements alongside other channel-based events.
-func (f *Future[T]) Done() <-chan struct{} { return f.done }
+// Done exposes a completion channel so futures can take part in select
+// statements alongside other channel-based events. The channel is
+// created lazily on the first Done call on a pending future.
+func (f *Future[T]) Done() <-chan struct{} { return f.lco.Done() }
+
+// Subscribe registers an intrusive continuation to fire when the future
+// resolves (see ContinuationWaiter); it reports false when the future
+// has already resolved.
+func (f *Future[T]) Subscribe(c *Continuation) bool { return f.lco.Subscribe(c) }
 
 // Waiter is the type-erased view of a future used by dataflow and WhenAll:
 // anything that can be waited on with an error outcome.
@@ -136,7 +142,7 @@ func Async[T any](fn func() (T, error)) *Future[T] {
 	p, f := NewPromise[T]()
 	go func() {
 		defer func() {
-			if r := recover(); r != nil && !p.set.Load() {
+			if r := recover(); r != nil && !p.Satisfied() {
 				p.SetErr(fmt.Errorf("hpx: async task panicked: %v", r))
 			}
 		}()
@@ -163,7 +169,7 @@ func Then[T, U any](f *Future[T], fn func(T) (U, error)) *Future[U] {
 			return
 		}
 		defer func() {
-			if r := recover(); r != nil && !p.set.Load() {
+			if r := recover(); r != nil && !p.Satisfied() {
 				p.SetErr(fmt.Errorf("hpx: continuation panicked: %v", r))
 			}
 		}()
@@ -265,7 +271,7 @@ func Dataflow[T any](fn func() (T, error), inputs ...Waiter) *Future[T] {
 			}
 		}
 		defer func() {
-			if r := recover(); r != nil && !p.set.Load() {
+			if r := recover(); r != nil && !p.Satisfied() {
 				p.SetErr(fmt.Errorf("hpx: dataflow body panicked: %v", r))
 			}
 		}()

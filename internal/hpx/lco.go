@@ -1,0 +1,207 @@
+package hpx
+
+import "sync"
+
+// Continuation is an intrusive wait-list node: registering one on an LCO
+// (or on a Future, which is built on an LCO) arranges for Fire to be
+// invoked exactly once when the object resolves, with its verdict. The
+// node is owned by the subscriber and embedded in whatever per-issue
+// state it drives, so attaching a dependency costs no allocation — this
+// is the Go rendition of HPX's lightweight LCO continuations (§III),
+// replacing the one-goroutine-per-wait pattern on the hot issue path.
+//
+// Fire runs on the resolver's goroutine (or, when the LCO was already
+// resolved at Subscribe time, never — Subscribe reports that instead).
+// It must be quick and must not block on the resolving LCO.
+type Continuation struct {
+	next *Continuation
+	// Fire receives the LCO's verdict. Set it once, before the first
+	// Subscribe; the node may be re-subscribed (to the same or another
+	// LCO) after each firing.
+	Fire func(err error)
+}
+
+// ContinuationWaiter is a Waiter that supports intrusive continuations:
+// dependencies on such waiters are linked onto their wait-lists instead
+// of being awaited by a parked goroutine.
+type ContinuationWaiter interface {
+	Waiter
+	// Subscribe registers c to fire when the waiter resolves. It reports
+	// false — and does not register — when the waiter has already
+	// resolved; the caller reads the verdict with Wait (non-blocking on
+	// a resolved waiter).
+	Subscribe(c *Continuation) bool
+}
+
+// closedChan is the shared pre-closed channel returned by Done on
+// already-resolved LCOs, so polling a settled object allocates nothing.
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// LCO is a reusable lightweight completion object — the synchronization
+// core of a future, separated from the one-shot value container. It
+// resolves exactly once per cycle with an error verdict (nil = success),
+// wakes blocked waiters through a condition variable (no channel
+// allocation), and fires registered continuations on the resolver's
+// goroutine. Reset re-arms it for the next cycle, which is what lets a
+// pooled issue state reuse one LCO for every steady-state issue.
+//
+// Reuse contract: Reset may only be called by the LCO's owner, at the
+// start of a new cycle, when every continuation of the previous cycle
+// has fired (they all fire during Resolve) and the owner's lifecycle
+// guarantees no new subscriptions are racing the reset. Stale waiters —
+// code that kept a reference across a recycle, such as a host fence that
+// copied a version chain — observe either the previous cycle's settled
+// verdict (before Reset) or block until the next cycle resolves: they
+// may over-wait, never deadlock, and because only successfully resolved
+// LCOs are ever recycled they can never miss an error.
+type LCO struct {
+	mu       sync.Mutex
+	cond     sync.Cond // lazily bound to mu by the first blocking Wait
+	resolved bool
+	err      error
+	head     *Continuation
+	doneCh   chan struct{} // lazily created by Done on a pending LCO
+}
+
+// Ready reports whether the LCO has resolved, without blocking.
+func (l *LCO) Ready() bool {
+	l.mu.Lock()
+	r := l.resolved
+	l.mu.Unlock()
+	return r
+}
+
+// Wait blocks until the LCO resolves and returns its verdict. Any number
+// of goroutines may wait; none allocates.
+func (l *LCO) Wait() error {
+	l.mu.Lock()
+	if l.cond.L == nil {
+		l.cond.L = &l.mu
+	}
+	for !l.resolved {
+		l.cond.Wait()
+	}
+	err := l.err
+	l.mu.Unlock()
+	return err
+}
+
+// Done returns a channel closed when the LCO resolves, for use in select
+// statements. On a resolved LCO it returns a shared closed channel; on a
+// pending one it allocates the channel lazily (the only allocating path
+// of the type, off the hot issue sequence).
+func (l *LCO) Done() <-chan struct{} {
+	l.mu.Lock()
+	if l.resolved {
+		l.mu.Unlock()
+		return closedChan
+	}
+	if l.doneCh == nil {
+		l.doneCh = make(chan struct{})
+	}
+	ch := l.doneCh
+	l.mu.Unlock()
+	return ch
+}
+
+// Subscribe registers c to fire when the LCO resolves (see
+// ContinuationWaiter).
+func (l *LCO) Subscribe(c *Continuation) bool {
+	l.mu.Lock()
+	if l.resolved {
+		l.mu.Unlock()
+		return false
+	}
+	c.next = l.head
+	l.head = c
+	l.mu.Unlock()
+	return true
+}
+
+// Resolve settles the LCO with the verdict, wakes every blocked waiter
+// and fires every registered continuation (outside the lock, on the
+// calling goroutine). Resolving an already-resolved LCO panics — it
+// always indicates a lifecycle bug, like satisfying a promise twice.
+func (l *LCO) Resolve(err error) {
+	if !l.tryResolve(err) {
+		panic("hpx: LCO resolved twice")
+	}
+}
+
+// TryResolve is Resolve for racing resolvers (a cancellation monitor vs.
+// the execution path): the first caller settles the LCO and fires the
+// continuations, later callers are no-ops. It reports whether this call
+// resolved the LCO.
+func (l *LCO) TryResolve(err error) bool { return l.tryResolve(err) }
+
+func (l *LCO) tryResolve(err error) bool {
+	l.mu.Lock()
+	if l.resolved {
+		l.mu.Unlock()
+		return false
+	}
+	l.finishLocked(err)
+	return true
+}
+
+// finishLocked settles an unresolved LCO whose mutex the caller holds:
+// it marks the verdict, wakes waiters, releases the mutex and fires the
+// continuations. Callers that must publish a value with the resolution
+// (Promise.Set) write it under the same lock, before this call — waiters
+// cannot observe the verdict (and therefore the value) earlier.
+func (l *LCO) finishLocked(err error) {
+	l.resolved = true
+	l.err = err
+	head := l.head
+	l.head = nil
+	if l.doneCh != nil {
+		close(l.doneCh)
+		l.doneCh = nil
+	}
+	if l.cond.L != nil {
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
+	for c := head; c != nil; {
+		next := c.next
+		c.next = nil
+		c.Fire(err)
+		c = next
+	}
+}
+
+// Reset re-arms a resolved LCO for a new cycle (see the reuse contract
+// in the type comment). Resetting a pending LCO panics.
+func (l *LCO) Reset() {
+	l.mu.Lock()
+	if !l.resolved {
+		l.mu.Unlock()
+		panic("hpx: Reset of a pending LCO")
+	}
+	if l.head != nil {
+		l.mu.Unlock()
+		panic("hpx: Reset with registered continuations")
+	}
+	l.resolved = false
+	l.err = nil
+	l.doneCh = nil
+	l.mu.Unlock()
+}
+
+// ResetFresh arms a zero-value LCO for its first cycle. The zero value
+// is already armed; ResetFresh exists for symmetry in pooled states that
+// cannot distinguish first use from reuse: it resets when resolved and
+// is a no-op otherwise (a pending LCO with waiters must never be reset).
+func (l *LCO) ResetFresh() {
+	l.mu.Lock()
+	if l.resolved {
+		l.resolved = false
+		l.err = nil
+		l.doneCh = nil
+	}
+	l.mu.Unlock()
+}

@@ -1,0 +1,178 @@
+package hpx
+
+import (
+	"errors"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLCOResolveWakesWaiters: blocked waiters observe the verdict.
+func TestLCOResolveWakesWaiters(t *testing.T) {
+	var l LCO
+	errBoom := errors.New("boom")
+	const waiters = 8
+	var wg sync.WaitGroup
+	wg.Add(waiters)
+	got := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			defer wg.Done()
+			got[i] = l.Wait()
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	if l.Ready() {
+		t.Fatal("pending LCO reports Ready")
+	}
+	l.Resolve(errBoom)
+	wg.Wait()
+	for i, err := range got {
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("waiter %d: err = %v, want boom", i, err)
+		}
+	}
+	if !l.Ready() {
+		t.Fatal("resolved LCO reports pending")
+	}
+}
+
+// TestLCOSubscribeFiresOnResolve: continuations registered before the
+// resolve fire exactly once with the verdict; registration after the
+// resolve is refused so the caller reads the verdict inline.
+func TestLCOSubscribeFiresOnResolve(t *testing.T) {
+	var l LCO
+	var fired atomic.Int32
+	var seen error
+	c := &Continuation{Fire: func(err error) { seen = err; fired.Add(1) }}
+	if !l.Subscribe(c) {
+		t.Fatal("Subscribe on pending LCO refused")
+	}
+	errBoom := errors.New("boom")
+	l.Resolve(errBoom)
+	if fired.Load() != 1 {
+		t.Fatalf("fired %d times, want 1", fired.Load())
+	}
+	if !errors.Is(seen, errBoom) {
+		t.Fatalf("continuation verdict = %v, want boom", seen)
+	}
+	late := &Continuation{Fire: func(error) { t.Error("late continuation fired") }}
+	if l.Subscribe(late) {
+		t.Fatal("Subscribe on resolved LCO accepted")
+	}
+	if err := l.Wait(); !errors.Is(err, errBoom) {
+		t.Fatalf("Wait after refusal = %v, want boom", err)
+	}
+}
+
+// TestLCOReuseCycle: Reset re-arms the LCO; a full
+// resolve→reset→subscribe→resolve cycle allocates nothing.
+func TestLCOReuseCycle(t *testing.T) {
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	var l LCO
+	var fired int
+	c := &Continuation{Fire: func(error) { fired++ }}
+	l.Resolve(nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		l.Reset()
+		if !l.Subscribe(c) {
+			t.Fatal("subscribe refused on re-armed LCO")
+		}
+		l.Resolve(nil)
+		if err := l.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("LCO reuse cycle: %v allocs/op, want 0", allocs)
+	}
+	if fired == 0 {
+		t.Fatal("continuation never fired")
+	}
+}
+
+// TestLCOTryResolveRace: many racing resolvers — exactly one wins, and
+// every continuation fires exactly once. Run with -race.
+func TestLCOTryResolveRace(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		var l LCO
+		var fired atomic.Int32
+		c := &Continuation{Fire: func(error) { fired.Add(1) }}
+		l.Subscribe(c)
+		var won atomic.Int32
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if l.TryResolve(errors.New("x")) {
+					won.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if won.Load() != 1 {
+			t.Fatalf("%d resolvers won, want 1", won.Load())
+		}
+		if fired.Load() != 1 {
+			t.Fatalf("continuation fired %d times, want 1", fired.Load())
+		}
+	}
+}
+
+// TestLCODoneChannel: Done is select-able, shared-closed on resolved
+// LCOs, and lazily allocated on pending ones.
+func TestLCODoneChannel(t *testing.T) {
+	var l LCO
+	ch := l.Done()
+	select {
+	case <-ch:
+		t.Fatal("pending LCO's Done channel is closed")
+	default:
+	}
+	l.Resolve(nil)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("Done channel not closed by Resolve")
+	}
+	if l.Done() != closedChan {
+		t.Fatal("resolved LCO does not return the shared closed channel")
+	}
+}
+
+// TestFutureOnLCO: the redesigned Future/Promise keeps its contract —
+// shared-future Get, Done select, subscribe, single allocation per pair.
+func TestFutureOnLCO(t *testing.T) {
+	p, f := NewPromise[int]()
+	if f.Ready() {
+		t.Fatal("fresh future is ready")
+	}
+	var fired atomic.Bool
+	if !f.Subscribe(&Continuation{Fire: func(err error) {
+		if err != nil {
+			t.Errorf("continuation verdict = %v", err)
+		}
+		fired.Store(true)
+	}}) {
+		t.Fatal("subscribe refused")
+	}
+	p.Set(41)
+	if v := f.MustGet(); v != 41 {
+		t.Fatalf("got %d, want 41", v)
+	}
+	if !fired.Load() {
+		t.Fatal("future continuation did not fire")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(100, func() {
+		p, f := NewPromise[int]()
+		p.Set(1)
+		f.MustGet()
+	})
+	if allocs > 1 {
+		t.Errorf("promise/future pair costs %v allocs, want <= 1", allocs)
+	}
+}

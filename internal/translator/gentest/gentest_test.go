@@ -10,7 +10,6 @@ import (
 
 	"op2hpx/internal/airfoil"
 	"op2hpx/internal/core"
-	"op2hpx/internal/hpx"
 	"op2hpx/internal/hpx/sched"
 	"op2hpx/op2"
 )
@@ -94,7 +93,7 @@ func TestGeneratedProgramMatchesHandWrittenApp(t *testing.T) {
 	// The time-march of airfoil.cpp, written against the generated
 	// asynchronous API: every call returns a future; the dataflow DAG
 	// orders them; the only host sync is at the end.
-	var futs []*hpx.Future[struct{}]
+	var futs []core.Future
 	for i := 0; i < iters; i++ {
 		futs = append(futs, pr.SaveSoln())
 		for k := 0; k < 2; k++ {

@@ -217,10 +217,9 @@ func TestGenerateDataflow(t *testing.T) {
 	}
 	out := string(src)
 	for _, want := range []string{
-		"func (pr *Program) SaveSoln() *hpx.Future[struct{}]",
+		"func (pr *Program) SaveSoln() core.Future",
 		"return pr.Ex.RunAsync(pr.loops.SaveSoln)",
 		"func (pr *Program) Sync() error",
-		`"op2hpx/internal/hpx"`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("dataflow output missing %q\n%s", want, out)

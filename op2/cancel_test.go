@@ -252,6 +252,72 @@ func TestCanceledLoopFutureWaitsForPredecessors(t *testing.T) {
 	}
 }
 
+// TestAsyncCancelMidChainDrainsBeforeResolving pins the ordering
+// invariant of the continuation-based failAfterDeps replacement on the
+// ASYNC path: a loop canceled while waiting on its dependencies fails
+// its caller-facing future promptly, but its chain future — already
+// recorded as its resources' new version — resolves only after the
+// chain beneath it has drained. A successor issued behind the canceled
+// loop must therefore never observe a quiet chain while the producer at
+// the head of the chain is still executing. Runs under -race (no
+// allocation accounting), which is where the pooled issue states'
+// reference counting earns its keep.
+func TestAsyncCancelMidChainDrainsBeforeResolving(t *testing.T) {
+	rt := op2.MustNew(op2.WithBackend(op2.Dataflow), op2.WithPoolSize(2))
+	defer rt.Close()
+	const n = 64
+	cells := op2.MustDeclSet(n, "cells")
+	d := op2.MustDeclDat(cells, 1, nil, "d")
+	bg := context.Background()
+
+	release := make(chan struct{})
+	producer := rt.ParLoop("producer", cells, op2.DirectArg(d, op2.Write)).
+		Body(func(lo, hi int, _ []float64) {
+			<-release
+			for i := lo; i < hi; i++ {
+				d.Data()[i] = 1
+			}
+		})
+	victim := rt.ParLoop("victim", cells, op2.DirectArg(d, op2.Write)).
+		Kernel(func(v [][]float64) { t.Error("victim body ran despite cancellation") })
+	heal := rt.ParLoop("heal", cells, op2.DirectArg(d, op2.Write)).
+		Kernel(func(v [][]float64) { v[0][0] = 7 })
+
+	pf := producer.Async(bg) // blocked mid-body on release
+	ctx, cancel := context.WithCancel(bg)
+	vf := victim.Async(ctx) // chained behind the producer
+	cancel()
+
+	// The user future fails promptly — the producer is still blocked.
+	if err := vf.Wait(); !errors.Is(err, op2.ErrCanceled) {
+		t.Fatalf("victim err = %v, want ErrCanceled", err)
+	}
+
+	// But the successor behind the victim's (recorded) chain future must
+	// not run yet: the chain is still draining through the producer.
+	hf := heal.Async(bg)
+	time.Sleep(50 * time.Millisecond)
+	if hf.Ready() {
+		t.Fatal("successor observed the canceled loop's chain quiet while the producer was still executing")
+	}
+
+	close(release)
+	if err := pf.Wait(); err != nil {
+		t.Fatalf("producer err = %v", err)
+	}
+	if err := hf.Wait(); err != nil {
+		t.Fatalf("heal err = %v", err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	for i, v := range d.Data() {
+		if v != 7 {
+			t.Fatalf("d[%d] = %g, want 7 (heal must land after the drained chain)", i, v)
+		}
+	}
+}
+
 // TestDataflowRunCancellationMidColor: the synchronous Run path under the
 // Dataflow backend aborts an indirect (colored) loop between colors.
 func TestDataflowRunCancellationMidColor(t *testing.T) {

@@ -49,6 +49,7 @@ type Loop struct {
 	once *sync.Once       // guards the lazily cached validation verdict
 	err  error            // validation error, reported at invocation
 	dh   *dist.StepHandle // pinned one-loop step plan (WithRanks runtimes)
+	iss  issuer           // pooled Future wrapper + outstanding sweep
 }
 
 // ParLoop declares a parallel loop over set with the given arguments.
@@ -146,16 +147,23 @@ func (lp *Loop) Async(ctx context.Context) *Future {
 	}
 	if lp.rt.eng != nil {
 		if h := lp.distHandle(); h != nil {
-			return &Future{f: lp.rt.eng.RunStepHandleAsync(ctx, h), ack: lp.rt.eng.AckError}
+			return lp.iss.wrap(lp.rt.eng.RunStepHandleAsync(ctx, h), lp.rt.eng.AckError)
 		}
-		return &Future{f: lp.rt.eng.RunAsync(ctx, &lp.l), ack: lp.rt.eng.AckError}
+		return lp.iss.wrap(lp.rt.eng.RunAsync(ctx, &lp.l), lp.rt.eng.AckError)
 	}
-	return &Future{f: lp.rt.ex.RunAsyncCtx(ctx, &lp.l)}
+	return lp.iss.wrap(lp.rt.ex.RunAsyncCtx(ctx, &lp.l), nil)
 }
 
-// Future is the completion future of an asynchronously issued loop.
+// Future is the completion future of an asynchronously issued loop or
+// step. Futures over pooled issue states are themselves pooled, one
+// wrapper per underlying state: a Future is valid until its first Wait
+// returns — afterwards the runtime may recycle the issue state beneath
+// it for the same loop's or step's next Async, and a later Wait on the
+// same handle observes that newer issue. Waiting a future once, or
+// abandoning it, are both fine; abandoned issues are swept and recycled
+// on the loop's or step's next Async.
 type Future struct {
-	f   *hpx.Future[struct{}]
+	f   core.Future
 	ack func(error) // distributed engine: mark the error as delivered
 }
 
@@ -176,6 +184,66 @@ func (f *Future) Ready() bool { return f.f.Ready() }
 
 // Done exposes the completion channel for use in select statements.
 func (f *Future) Done() <-chan struct{} { return f.f.Done() }
+
+// releasable marks core's pooled issue handles (its methods are the
+// explicit consumption hooks; the sweep below consumes resolved handles
+// through their auto-releasing Wait).
+type releasable interface{ TryRelease() bool }
+
+// issuer vends Future wrappers for one loop or step and sweeps abandoned
+// pooled handles so pipelined issuers that drop intermediate futures
+// (issue every iteration, fence once) still recycle their issue states.
+// Touched only by the issuing goroutine, per the Async contract.
+//
+// Wrappers over pooled handles are cached one-per-handle: a pooled
+// handle always comes back with the same underlying identity, so its
+// wrapper's fields are written exactly once — a stale Wait racing the
+// loop's next Async reads immutable fields and simply observes the
+// newer cycle, with no rewritten state to tear.
+type issuer struct {
+	wrappers    map[core.Future]*Future
+	outstanding []core.Future // pooled handles not yet consumed
+}
+
+// wrap vends the Future for a fresh issue.
+func (is *issuer) wrap(f core.Future, ack func(error)) *Future {
+	// Sweep: consume outstanding handles whose issues have resolved and
+	// were abandoned (a resolved handle's Wait is non-blocking and
+	// releases it). Successful ones recycle their pooled state; failed
+	// ones are dropped along with their wrapper cache entry so they
+	// cannot accumulate — their errors keep propagating through the
+	// version chains, which is where abandoned failures were always
+	// surfaced. Pending issues stay until resolved.
+	kept := is.outstanding[:0]
+	for _, o := range is.outstanding {
+		if !o.Ready() {
+			kept = append(kept, o)
+			continue
+		}
+		if o.Wait() != nil { // non-blocking: consumes and releases
+			delete(is.wrappers, o)
+		}
+	}
+	for i := len(kept); i < len(is.outstanding); i++ {
+		is.outstanding[i] = nil
+	}
+	is.outstanding = kept
+	if _, ok := f.(releasable); !ok {
+		// Unpooled handle (distributed engine futures, error futures):
+		// fresh wrapper, garbage-collected with it.
+		return &Future{f: f, ack: ack}
+	}
+	is.outstanding = append(is.outstanding, f)
+	fut := is.wrappers[f]
+	if fut == nil {
+		if is.wrappers == nil {
+			is.wrappers = make(map[core.Future]*Future)
+		}
+		fut = &Future{f: f, ack: ack}
+		is.wrappers[f] = fut
+	}
+	return fut
+}
 
 // WaitAll waits for every future (nils are skipped) and returns the first
 // error in argument order.

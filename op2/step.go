@@ -53,6 +53,7 @@ type Step struct {
 	dh       *dist.StepHandle // pinned distributed plan (WithRanks runtimes)
 	raw      []*core.Loop
 	err      error
+	iss      issuer // pooled Future wrapper + outstanding sweep
 }
 
 // Step starts a new, empty step. Append loops with Then.
@@ -169,11 +170,11 @@ func (s *Step) Async(ctx context.Context) *Future {
 	}
 	if s.rt.eng != nil {
 		if h := s.distHandle(); h != nil {
-			return &Future{f: s.rt.eng.RunStepHandleAsync(ctx, h), ack: s.rt.eng.AckError}
+			return s.iss.wrap(s.rt.eng.RunStepHandleAsync(ctx, h), s.rt.eng.AckError)
 		}
-		return &Future{f: s.rt.eng.RunStepAsync(ctx, s.name, s.raw), ack: s.rt.eng.AckError}
+		return s.iss.wrap(s.rt.eng.RunStepAsync(ctx, s.name, s.raw), s.rt.eng.AckError)
 	}
-	return &Future{f: s.rt.ex.RunStepAsyncCtx(ctx, s.plan)}
+	return s.iss.wrap(s.rt.ex.RunStepAsyncCtx(ctx, s.plan), nil)
 }
 
 // FusedGroups reports how many multi-loop fused groups the step's
@@ -221,4 +222,17 @@ func (rt *Runtime) HaloMessagesSent() int64 {
 		return 0
 	}
 	return rt.eng.MessagesSent()
+}
+
+// HaloBufferStats reports a distributed runtime's message-buffer pool
+// counters: how many buffers were ever allocated (pool misses) and how
+// many were requested in total. In steady state allocated stays flat
+// while requested grows — every halo message of a settled timestep packs
+// into a recycled buffer. Shared-memory runtimes report zeros.
+func (rt *Runtime) HaloBufferStats() (allocated, requested int64) {
+	if rt.eng == nil {
+		return 0, 0
+	}
+	st := rt.eng.BufferStats()
+	return st.Allocated, st.Requested
 }
