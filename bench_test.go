@@ -519,3 +519,40 @@ func BenchmarkHotPathAsync(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkService measures the simulation service end to end: each op
+// submits N concurrent airfoil jobs (isolated Dataflow runtimes, shared
+// pool, round-robin step issue) and waits for all of them — job setup
+// included, the jobs/sec quantity cmd/experiments -exp service reports.
+// CI runs it with -benchtime=1x as a smoke test of the whole
+// submit→schedule→retire→collect path.
+func BenchmarkService(b *testing.B) {
+	for _, jobs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("jobs-%d", jobs), func(b *testing.B) {
+			sv := op2.NewService(op2.ServiceConfig{MaxResidentJobs: jobs})
+			defer sv.Close()
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				handles := make([]*op2.JobHandle, 0, jobs)
+				for j := 0; j < jobs; j++ {
+					h, err := sv.Submit(ctx, airfoil.Job(fmt.Sprintf("b%d-%d", i, j),
+						benchNX, benchNY, benchIters, op2.WithBackend(op2.Dataflow)))
+					if err != nil {
+						b.Fatal(err)
+					}
+					handles = append(handles, h)
+				}
+				for _, h := range handles {
+					if _, err := h.Result(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			perIter := float64(b.Elapsed().Nanoseconds()) / float64(b.N*jobs*benchIters)
+			b.ReportMetric(perIter, "ns/job-iter")
+		})
+	}
+}

@@ -48,6 +48,18 @@
 // shards with Dat.Rescatter; Runtime.Fence drains every submitted loop
 // and step.
 //
+// op2.Service is the simulation-as-a-service control plane: it admits
+// whole simulation jobs (op2.JobSpec — runtime options, a Setup
+// returning the timestep Step, an iteration count, a Collect) into a
+// bounded queue (typed op2.ErrJobQueueFull past capacity), gives each
+// resident job an isolated Runtime, and interleaves all jobs' step
+// issues round-robin from one scheduler goroutine onto the shared
+// worker pool, with a per-job issue-ahead cap (JobSpec.MaxInFlightSteps;
+// op2.WithMaxInFlightSteps is the single-runtime knob) providing
+// backpressure and fairness. Concurrent jobs on mixed backends and rank
+// counts stay bitwise-identical to serial runs (internal/service,
+// cmd/op2serve, BENCH_service.json).
+//
 // The implementation lives in the internal packages:
 //
 //   - internal/hpx        — futures, dataflow, execution policies (Table I),
@@ -64,6 +76,8 @@
 //     edge-cut and imbalance metrics
 //   - internal/dist       — the owner-compute distributed engine: owned+halo
 //     storage, persistent rank workers, overlapped halo exchange
+//   - internal/service    — the simulation-service control plane: job
+//     queue + admission, round-robin step scheduler, per-job retirers
 //   - internal/translator — the OP2 source-to-source compiler with OpenMP
 //     and HPX code generation modes (§II)
 //   - internal/experiments — regenerates Table I and Figs. 15-20 (§VI)

@@ -1,0 +1,63 @@
+package airfoil
+
+import (
+	"math"
+
+	"op2hpx/op2"
+)
+
+// JobResult is what an airfoil service job collects: the normalized RMS
+// residual App.Run would return and a snapshot of the final flow field,
+// for bitwise comparison against a serial reference.
+type JobResult struct {
+	RMS float64
+	Q   []float64
+}
+
+// Job builds the op2.JobSpec that runs the airfoil application as one
+// simulation-service job: Setup generates the mesh on the job's fresh
+// runtime (partitioning it first on distributed runtimes) and returns
+// the declared one-iteration Step; the service issues it iters times;
+// Collect syncs and returns a JobResult. The numbers are the same as
+// App.Run(iters) on an identical runtime — bitwise, on every backend
+// and rank count.
+//
+// The spec captures per-job state, so build a fresh one for every
+// Submit rather than submitting the same value twice.
+func Job(name string, nx, ny, iters int, rtOpts ...op2.Option) op2.JobSpec {
+	var app *App // written by Setup, read by Collect (never concurrently)
+	return op2.JobSpec{
+		Name:    name,
+		Runtime: rtOpts,
+		Iters:   iters,
+		Setup: func(rt *op2.Runtime) (*op2.Step, error) {
+			consts := DefaultConstants()
+			m, err := NewMesh(nx, ny, consts)
+			if err != nil {
+				return nil, err
+			}
+			if rt.Distributed() {
+				if err := rt.Partition(m.Cells, m.Pecell, m.Pcell, m.X); err != nil {
+					return nil, err
+				}
+			}
+			app, err = NewAppFromMesh(m, consts, rt)
+			if err != nil {
+				return nil, err
+			}
+			return app.StepGraph(), nil
+		},
+		Collect: func(rt *op2.Runtime) (any, error) {
+			if err := app.Sync(); err != nil {
+				return nil, err
+			}
+			rms := app.Rms.Data()[0]
+			q := make([]float64, len(app.M.Q.Data()))
+			copy(q, app.M.Q.Data())
+			return &JobResult{
+				RMS: math.Sqrt(rms / float64(2*app.M.Cells.Size()*iters)),
+				Q:   q,
+			}, nil
+		},
+	}
+}

@@ -74,6 +74,13 @@ type Engine struct {
 	pending []error               // loop errors not yet delivered to any caller
 	closed  bool
 
+	// Per-global gating state: the submission counter and, per global,
+	// the youngest submission whose driver-side fold writes it. A later
+	// step that reads the global gates its workers on that future (see
+	// gateLocked); steps over disjoint globals do not gate on each other.
+	subSeq     uint64
+	lastReduce map[*core.Global]gateRef
+
 	postMu  sync.Mutex // serializes mailbox posting across submitters
 	workers []*worker
 
@@ -220,6 +227,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		plans:       map[string]*loopPlan{},
 		steps:       map[string]*stepPlan{},
 		fenced:      map[*core.Global]bool{},
+		lastReduce:  map[*core.Global]gateRef{},
 	}
 	e.bufs = make([]bufPool, cfg.Ranks)
 	e.workers = make([]*worker, cfg.Ranks)
@@ -591,7 +599,7 @@ type submission struct {
 	ctx     context.Context
 	sp      *stepPlan
 	kernels []core.Kernel
-	gate    hpx.Waiter            // previous step future, when sp.gate
+	gate    hpx.Waiter            // youngest global-hazard future (gateLocked), or nil
 	prev    *hpx.Future[struct{}] // previous step future (driver ordering)
 	pStep   *hpx.Promise[struct{}]
 	tasks   []task
@@ -623,6 +631,57 @@ func (e *Engine) getSubmission() *submission {
 	return sub
 }
 
+// gateRef points at one submission's step future, tagged with its
+// submission sequence number so "youngest hazard" comparisons are O(1).
+type gateRef struct {
+	f   *hpx.Future[struct{}]
+	seq uint64
+}
+
+// gateLocked computes the one future this submission's workers must wait
+// for before touching global state, and records the submission as the new
+// last reducer of every global it reduces. The worker-side hazards a
+// reducing or global-reading step can race are exactly:
+//
+//   - a kernel reading a global (argGblRead) vs. the driver-side fold of
+//     an EARLIER submission that reduces that global — gate on the
+//     global's last reducer;
+//   - the per-rank reduction buffers (stepRank.redBuf/redOut), reused
+//     across invocations of the same plan, vs. that plan's previous
+//     driver fold still reading them — gate on the plan's own previous
+//     submission.
+//
+// Everything else is already ordered: drivers fold serially (each waits
+// the previous step future before folding), so write-after-read and
+// fold-after-fold on a shared global cannot race worker execution. Step
+// futures resolve in submission order, so gating on the youngest
+// candidate subsumes every older one — steps whose members touch
+// disjoint globals therefore no longer gate on the previous tail and
+// reduction-bearing jobs pipeline deeper.
+func (e *Engine) gateLocked(sp *stepPlan, fStep *hpx.Future[struct{}]) hpx.Waiter {
+	e.subSeq++
+	var g gateRef
+	if len(sp.gblReduces) > 0 && sp.lastSub.seq > g.seq {
+		g = sp.lastSub
+	}
+	for _, gl := range sp.gblReads {
+		if r := e.lastReduce[gl]; r.seq > g.seq {
+			g = r
+		}
+	}
+	if len(sp.gblReduces) > 0 {
+		ref := gateRef{f: fStep, seq: e.subSeq}
+		sp.lastSub = ref
+		for _, gl := range sp.gblReduces {
+			e.lastReduce[gl] = ref
+		}
+	}
+	if g.f == nil {
+		return nil
+	}
+	return g.f
+}
+
 // submitLocked finishes a step submission with e.mu held (and releases
 // it): swap the engine tail, post one task per rank in rank order, and
 // spawn the driver that folds reductions and resolves the step future.
@@ -630,6 +689,7 @@ func (e *Engine) submitLocked(ctx context.Context, sp *stepPlan, loops []*core.L
 	prev := e.tail
 	pStep, fStep := hpx.NewPromise[struct{}]()
 	e.tail = fStep
+	gate := e.gateLocked(sp, fStep)
 	e.mu.Unlock()
 
 	sub := e.getSubmission()
@@ -638,10 +698,7 @@ func (e *Engine) submitLocked(ctx context.Context, sp *stepPlan, loops []*core.L
 	for _, l := range loops {
 		sub.kernels = append(sub.kernels, l.Kernel)
 	}
-	sub.gate = nil
-	if sp.gate && prev != nil {
-		sub.gate = prev
-	}
+	sub.gate = gate
 	// Post in rank order under postMu so concurrent submitters cannot
 	// interleave two steps' tasks differently on different mailboxes.
 	e.postMu.Lock()

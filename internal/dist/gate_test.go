@@ -1,0 +1,224 @@
+package dist_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"op2hpx/internal/core"
+	"op2hpx/internal/dist"
+)
+
+// gateMesh is a minimal fixture for the per-global gating proofs: n
+// cells whose dim-1 field holds each element's global index, so a kernel
+// can tell which rank owns the element it is executing (block
+// partitioning owns contiguous index ranges).
+type gateMesh struct {
+	cells *core.Set
+	x     *core.Dat
+	y     *core.Dat
+	ga    *core.Global
+	gb    *core.Global
+}
+
+func newGateMesh(t *testing.T, n int) *gateMesh {
+	t.Helper()
+	m := &gateMesh{}
+	var err error
+	if m.cells, err = core.DeclSet(n, "cells"); err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	if m.x, err = core.DeclDat(m.cells, 1, xs, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if m.y, err = core.DeclDat(m.cells, 1, nil, "y"); err != nil {
+		t.Fatal(err)
+	}
+	if m.ga, err = core.DeclGlobal(1, nil, "ga"); err != nil {
+		t.Fatal(err)
+	}
+	if m.gb, err = core.DeclGlobal(1, nil, "gb"); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestDisjointGlobalStepsPipeline is the depth proof of per-global
+// gating: a step reducing gB starts executing while an earlier step
+// reducing the disjoint global gA is still blocked mid-kernel on another
+// rank. Under the old whole-tail gate, any global-bearing step waited
+// for the previous step future, which cannot resolve while rank 1 is
+// blocked — this test would deadlock at the poll below.
+func TestDisjointGlobalStepsPipeline(t *testing.T) {
+	const n, ranks = 16, 2
+	ctx := context.Background()
+	m := newGateMesh(t, n)
+
+	unblock := make(chan struct{})
+	var bHits atomic.Int64
+
+	reduceA := &core.Loop{
+		Name: "reduceA", Set: m.cells,
+		Args: []core.Arg{
+			core.ArgDat(m.x, core.IDIdx, nil, core.Read),
+			core.ArgGbl(m.ga, core.Inc),
+		},
+		Kernel: func(v [][]float64) {
+			if v[0][0] >= n/2 { // rank 1's block under block partitioning
+				<-unblock
+			}
+			v[1][0] += v[0][0]
+		},
+	}
+	reduceB := &core.Loop{
+		Name: "reduceB", Set: m.cells,
+		Args: []core.Arg{
+			core.ArgDat(m.x, core.IDIdx, nil, core.Read),
+			core.ArgGbl(m.gb, core.Inc),
+		},
+		Kernel: func(v [][]float64) {
+			bHits.Add(1)
+			v[1][0] += v[0][0]
+		},
+	}
+
+	e, err := dist.NewEngine(dist.Config{Ranks: ranks, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	// Compile both plans up front so submission is pure issue.
+	ha, err := e.CompileStep("stepA", []*core.Loop{reduceA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := e.CompileStep("stepB", []*core.Loop{reduceB})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fa := e.RunStepHandleAsync(ctx, ha) // rank 1 blocks inside the kernel
+	fb := e.RunStepHandleAsync(ctx, hb)
+
+	// Rank 0 finishes its share of step A and must move straight on to
+	// step B: the globals are disjoint, so B has no gate. Poll until B's
+	// kernel has demonstrably executed while A is still blocked.
+	deadline := time.Now().Add(10 * time.Second)
+	for bHits.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("step B did not start while step A was blocked: disjoint-global steps still gate on the previous tail")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if fa.Ready() {
+		t.Fatal("step A resolved while its rank-1 kernel should be blocked")
+	}
+
+	close(unblock)
+	if err := fa.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n * (n - 1) / 2)
+	if err := m.ga.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.gb.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ga.Data()[0]; got != want {
+		t.Fatalf("ga = %v, want %v", got, want)
+	}
+	if got := m.gb.Data()[0]; got != want {
+		t.Fatalf("gb = %v, want %v", got, want)
+	}
+}
+
+// TestGlobalReaderStillGatesOnReducer is the control: a step READING a
+// global must keep gating on that global's last reducer, or its kernels
+// would observe the pre-fold value. With step A's rank-1 kernel blocked,
+// the fold of gA cannot have happened yet — an ungated reader on rank 0
+// would deterministically copy the stale zero into y.
+func TestGlobalReaderStillGatesOnReducer(t *testing.T) {
+	const n, ranks = 16, 2
+	ctx := context.Background()
+	m := newGateMesh(t, n)
+
+	unblock := make(chan struct{})
+	var readHits atomic.Int64
+
+	reduceA := &core.Loop{
+		Name: "reduceA", Set: m.cells,
+		Args: []core.Arg{
+			core.ArgDat(m.x, core.IDIdx, nil, core.Read),
+			core.ArgGbl(m.ga, core.Inc),
+		},
+		Kernel: func(v [][]float64) {
+			if v[0][0] >= n/2 {
+				<-unblock
+			}
+			v[1][0] += v[0][0]
+		},
+	}
+	readA := &core.Loop{
+		Name: "readA", Set: m.cells,
+		Args: []core.Arg{
+			core.ArgGbl(m.ga, core.Read),
+			core.ArgDat(m.y, core.IDIdx, nil, core.Write),
+		},
+		Kernel: func(v [][]float64) {
+			readHits.Add(1)
+			v[1][0] = v[0][0]
+		},
+	}
+
+	e, err := dist.NewEngine(dist.Config{Ranks: ranks, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	ha, err := e.CompileStep("stepA", []*core.Loop{reduceA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := e.CompileStep("stepRead", []*core.Loop{readA})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fa := e.RunStepHandleAsync(ctx, ha)
+	fr := e.RunStepHandleAsync(ctx, hr)
+
+	// Give rank 0 ample time to reach the reader: it must be parked on
+	// the gate, not executing with the stale global.
+	time.Sleep(50 * time.Millisecond)
+	if got := readHits.Load(); got != 0 {
+		t.Fatalf("reader executed %d kernels while the reducer's fold was pending", got)
+	}
+
+	close(unblock)
+	if err := fa.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(n * (n - 1) / 2)
+	if err := m.y.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range m.y.Data() {
+		if v != want {
+			t.Fatalf("y[%d] = %v, want %v (reader observed the pre-fold global)", i, v, want)
+		}
+	}
+}

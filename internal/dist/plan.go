@@ -125,7 +125,6 @@ type loopPlan struct {
 
 	gbl             gblLayout
 	needElementwise bool  // any Inc global: reduction folds per element in serial order
-	gate            bool  // loop touches globals: workers wait for the previous loop
 	foldOrder       []int // serial element order (plan colors/blocks/elements)
 	execPos         []int32
 
@@ -377,7 +376,6 @@ func (e *Engine) planLocked(l *core.Loop) (*loopPlan, error) {
 		case a.IsGlobal():
 			g := a.Global()
 			ap.g, ap.dim = g, g.Dim()
-			lp.gate = true
 			e.fenceGlobalLocked(g)
 			if a.Acc() == core.Read {
 				ap.kind = argGblRead

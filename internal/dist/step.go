@@ -27,8 +27,18 @@ type stepPlan struct {
 	key   string
 	name  string
 	loops []*loopPlan // per occurrence; the same plan may repeat
-	gate  bool        // any loop touches globals: gate on the previous tail
 	repl  []*core.Dat // union of replicated-read dats (per-dat invalidation)
+
+	// Per-global gating (see Engine.gateLocked): a submission of this
+	// plan waits only for the submissions whose driver-side folds it can
+	// actually race — the last reducer of each global it reads, and its
+	// own previous submission when it reduces (the per-rank reduction
+	// buffers below are reused across invocations). Steps over disjoint
+	// globals therefore pipeline freely instead of gating on the engine
+	// tail.
+	gblReads   []*core.Global // globals any member reads, deduped
+	gblReduces []*core.Global // globals any member reduces, deduped
+	lastSub    gateRef        // this plan's last reducing submission (engine lock)
 
 	// incDue[o] is the occurrence index before which occurrence o's
 	// pending increment apply must resolve: the first later occurrence
@@ -63,14 +73,14 @@ type stepRank struct {
 	// for occurrences with nothing to import.
 	readPost []*readSchedule
 	// redBuf[o] is occurrence o's reduction scratch, lazily sized and
-	// reused across step invocations. Reuse is race-free because a step
-	// with global args gates on the previous tail, which resolves only
-	// after the driver folded the previous invocation's buffers.
+	// reused across step invocations. Reuse is race-free because a
+	// reducing step gates on its own previous submission's future, which
+	// resolves only after the driver folded that invocation's buffers.
 	redBuf [][]float64
 	// redOut is the per-occurrence buffer list a worker reports to the
 	// driver, reused across invocations: entries are only read by the
-	// driver for occurrences with globals, whose steps gate on the
-	// previous tail.
+	// driver for occurrences with globals, whose steps gate on their
+	// plan's previous submission.
 	redOut [][]float64
 }
 
@@ -225,9 +235,23 @@ func (e *Engine) buildStepLocked(key, name string, lps []*loopPlan) *stepPlan {
 	n := len(lps)
 	sp := &stepPlan{key: key, name: name, loops: lps, incDue: make([]int, n)}
 	seenRepl := map[*core.Dat]bool{}
+	seenRead := map[*core.Global]bool{}
+	seenRed := map[*core.Global]bool{}
 	for _, lp := range lps {
-		if lp.gate {
-			sp.gate = true
+		for i := range lp.args {
+			ap := &lp.args[i]
+			switch ap.kind {
+			case argGblRead:
+				if !seenRead[ap.g] {
+					seenRead[ap.g] = true
+					sp.gblReads = append(sp.gblReads, ap.g)
+				}
+			case argGblReduce:
+				if !seenRed[ap.g] {
+					seenRed[ap.g] = true
+					sp.gblReduces = append(sp.gblReduces, ap.g)
+				}
+			}
 		}
 		for _, d := range lp.repl {
 			if !seenRepl[d] {

@@ -334,6 +334,7 @@ func All(o Options) ([]*perf.Table, error) {
 		{"dist", Dist},
 		{"step", Step},
 		{"hotpath", HotPath},
+		{"service", Service},
 	}
 	var out []*perf.Table
 	for _, f := range fns {
@@ -359,6 +360,7 @@ func ByName(name string) (func(Options) (*perf.Table, error), bool) {
 		"dist":    Dist,
 		"step":    Step,
 		"hotpath": HotPath,
+		"service": Service,
 	}
 	f, ok := m[name]
 	return f, ok

@@ -120,7 +120,7 @@ func TestTableI(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"table1", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "dist", "step", "hotpath"} {
+	for _, name := range []string{"table1", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "dist", "step", "hotpath", "service"} {
 		if _, ok := ByName(name); !ok {
 			t.Fatalf("experiment %q not registered", name)
 		}
@@ -138,7 +138,7 @@ func TestAllRunsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 10 {
-		t.Fatalf("tables = %d, want 10", len(tabs))
+	if len(tabs) != 11 {
+		t.Fatalf("tables = %d, want 11", len(tabs))
 	}
 }

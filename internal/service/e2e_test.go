@@ -1,0 +1,226 @@
+// Job-level end-to-end tests: real airfoil simulations through the
+// public op2.Service facade — N concurrent jobs on mixed backends and
+// rank counts, each bitwise-identical to a serial reference run, plus
+// admission rejection and mid-run cancellation over real runtimes.
+package service_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"op2hpx/internal/airfoil"
+	"op2hpx/op2"
+)
+
+const (
+	e2eNX, e2eNY = 30, 16
+	e2eIters     = 5
+)
+
+// serialGolden runs the airfoil app synchronously on a serial runtime
+// and returns the bit patterns of the RMS residual and flow field.
+func serialGolden(t *testing.T, nx, ny, iters int) (uint64, []uint64) {
+	t.Helper()
+	rt := op2.MustNew()
+	defer rt.Close()
+	app, err := airfoil.NewApp(nx, ny, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms, err := app.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := app.M.Q.Data()
+	qBits := make([]uint64, len(q))
+	for i, v := range q {
+		qBits[i] = math.Float64bits(v)
+	}
+	return math.Float64bits(rms), qBits
+}
+
+// checkJobBitwise compares one job's collected JobResult against the
+// golden bit patterns.
+func checkJobBitwise(t *testing.T, name string, res any, rmsRef uint64, qRef []uint64) {
+	t.Helper()
+	jr, ok := res.(*airfoil.JobResult)
+	if !ok {
+		t.Fatalf("job %s: result %T, want *airfoil.JobResult", name, res)
+	}
+	if got := math.Float64bits(jr.RMS); got != rmsRef {
+		t.Errorf("job %s: rms %v (bits %#x), want bits %#x", name, jr.RMS, got, rmsRef)
+	}
+	if len(jr.Q) != len(qRef) {
+		t.Fatalf("job %s: |Q| = %d, want %d", name, len(jr.Q), len(qRef))
+	}
+	for i, v := range jr.Q {
+		if math.Float64bits(v) != qRef[i] {
+			t.Fatalf("job %s: q[%d] = %v differs from serial reference", name, i, v)
+		}
+	}
+}
+
+// TestConcurrentAirfoilJobsBitwiseGolden is the headline e2e: five
+// concurrent airfoil jobs — serial, two dataflow pool sizes, two
+// distributed rank counts — run through one service and every one of
+// them reproduces the serial reference bit for bit.
+func TestConcurrentAirfoilJobsBitwiseGolden(t *testing.T) {
+	rmsRef, qRef := serialGolden(t, e2eNX, e2eNY, e2eIters)
+
+	// Shared-memory jobs chunk the whole set at once so the rms
+	// reduction folds in serial order (the flow field is bitwise
+	// regardless of chunking; the scalar reduction is order-sensitive).
+	// Distributed runtimes replay folds in serial plan order by design.
+	whole := op2.WithChunker(op2.StaticChunk(1 << 20))
+	cases := []struct {
+		name string
+		opts []op2.Option
+	}{
+		{"serial", []op2.Option{whole}},
+		{"dataflow-p2", []op2.Option{op2.WithBackend(op2.Dataflow), op2.WithPoolSize(2), whole}},
+		{"dataflow-p4", []op2.Option{op2.WithBackend(op2.Dataflow), op2.WithPoolSize(4), whole}},
+		{"dist-r2", []op2.Option{op2.WithRanks(2)}},
+		{"dist-r3", []op2.Option{op2.WithRanks(3)}},
+	}
+	sv := op2.NewService(op2.ServiceConfig{MaxResidentJobs: len(cases)})
+	defer sv.Close()
+	ctx := context.Background()
+
+	handles := make([]*op2.JobHandle, len(cases))
+	for i, c := range cases {
+		h, err := sv.Submit(ctx, airfoil.Job(c.name, e2eNX, e2eNY, e2eIters, c.opts...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		res, err := h.Result(ctx)
+		if err != nil {
+			t.Fatalf("job %s: %v", cases[i].name, err)
+		}
+		checkJobBitwise(t, cases[i].name, res, rmsRef, qRef)
+		if st := h.Status(); st.Retired != e2eIters {
+			t.Errorf("job %s: retired %d steps, want %d", cases[i].name, st.Retired, e2eIters)
+		}
+	}
+	st := sv.Stats()
+	if st.Completed != int64(len(cases)) || st.Failed != 0 || st.Canceled != 0 {
+		t.Fatalf("service stats = %+v, want %d clean completions", st, len(cases))
+	}
+	if want := int64(len(cases) * e2eIters); st.StepsIssued != want || st.StepsRetired != want {
+		t.Fatalf("steps issued/retired = %d/%d, want %d", st.StepsIssued, st.StepsRetired, want)
+	}
+}
+
+// TestServiceAdmissionRejectsAirfoil fills one residency slot and one
+// queue slot with real jobs; the third submit is rejected typed.
+func TestServiceAdmissionRejectsAirfoil(t *testing.T) {
+	sv := op2.NewService(op2.ServiceConfig{MaxResidentJobs: 1, MaxQueuedJobs: 1})
+	defer sv.Close()
+	ctx := context.Background()
+	dataflow := []op2.Option{op2.WithBackend(op2.Dataflow), op2.WithPoolSize(2)}
+
+	ha, err := sv.Submit(ctx, airfoil.Job("resident", e2eNX, e2eNY, 200, dataflow...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := sv.Submit(ctx, airfoil.Job("queued", e2eNX, e2eNY, 2, dataflow...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.Submit(ctx, airfoil.Job("rejected", e2eNX, e2eNY, 2, dataflow...)); !errors.Is(err, op2.ErrJobQueueFull) {
+		t.Fatalf("third submit = %v, want ErrJobQueueFull", err)
+	}
+	ha.Cancel()
+	if _, err := ha.Result(ctx); !errors.Is(err, op2.ErrCanceled) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled job result = %v, want a cancellation error", err)
+	}
+	if _, err := hb.Result(ctx); err != nil { // promoted into the freed slot
+		t.Fatalf("queued job after promotion: %v", err)
+	}
+	st := sv.Stats()
+	if st.Rejected != 1 || st.Canceled != 1 || st.Completed != 1 {
+		t.Fatalf("stats = %+v, want 1 rejected, 1 canceled, 1 completed", st)
+	}
+}
+
+// TestServiceMidRunCancelAirfoil cancels a long airfoil job once it has
+// demonstrably retired steps; the verdict is cancellation and the
+// service stays usable for a subsequent job.
+func TestServiceMidRunCancelAirfoil(t *testing.T) {
+	sv := op2.NewService(op2.ServiceConfig{})
+	defer sv.Close()
+	ctx := context.Background()
+	dataflow := []op2.Option{op2.WithBackend(op2.Dataflow), op2.WithPoolSize(2)}
+
+	h, err := sv.Submit(ctx, airfoil.Job("long", e2eNX, e2eNY, 100000, dataflow...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for h.Status().Retired == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job retired no steps within the deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	h.Cancel()
+	if _, err := h.Result(ctx); err == nil {
+		t.Fatal("canceled mid-run job returned a result")
+	}
+	st := h.Status()
+	if !st.Canceled || st.State != op2.JobDone {
+		t.Fatalf("status = %+v, want canceled Done", st)
+	}
+	if st.Retired >= 100000 {
+		t.Fatalf("retired %d steps, cancel did not cut the run short", st.Retired)
+	}
+
+	// The shared pool and scheduler survive: a fresh job still completes.
+	h2, err := sv.Submit(ctx, airfoil.Job("after", e2eNX, e2eNY, 2, dataflow...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.Result(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceManyJobsFairCompletion floods one small service with more
+// jobs than residency slots — mixed iteration counts so pipelines drain
+// at different rates — and every job completes with its full step count
+// (no starvation, no cross-job interference in the shared scheduler).
+func TestServiceManyJobsFairCompletion(t *testing.T) {
+	sv := op2.NewService(op2.ServiceConfig{MaxResidentJobs: 3, DefaultMaxInFlightSteps: 2})
+	defer sv.Close()
+	ctx := context.Background()
+	dataflow := []op2.Option{op2.WithBackend(op2.Dataflow), op2.WithPoolSize(2)}
+
+	const jobs = 8
+	handles := make([]*op2.JobHandle, jobs)
+	iters := make([]int, jobs)
+	for i := range handles {
+		iters[i] = 2 + 3*(i%3)
+		h, err := sv.Submit(ctx, airfoil.Job(fmt.Sprintf("j%d", i), 24, 12, iters[i], dataflow...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	for i, h := range handles {
+		if _, err := h.Result(ctx); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if st := h.Status(); int(st.Retired) != iters[i] {
+			t.Fatalf("job %d retired %d steps, want %d", i, st.Retired, iters[i])
+		}
+	}
+	if st := sv.Stats(); st.Completed != jobs || st.QueueDepth != 0 || st.Resident != 0 {
+		t.Fatalf("stats = %+v, want %d completions and an empty service", st, jobs)
+	}
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one admitted simulation job. The scheduler owns its issue side
+// (spec.Start, IssueStep, the issued counter); a per-job retirer
+// goroutine owns its completion side (waiting step futures in issue
+// order, Finalize, Close). Callers observe it through Status, Done,
+// Result and Cancel.
+type Job struct {
+	svc         *Service
+	spec        Spec
+	ctx         context.Context
+	cancelCtx   context.CancelFunc
+	maxInFlight int
+
+	// Scheduler-owned (single goroutine, no locks needed).
+	inst        Instance
+	issued      int
+	doneIssuing bool
+
+	// The issue→retire conveyor: futures in issue order, closed by the
+	// scheduler when the job stops issuing (complete, canceled or issue
+	// error). Capacity maxInFlight; the scheduler increments inflight
+	// before each send, so occupancy never exceeds capacity and sends
+	// never block.
+	retireCh chan Future
+	inflight atomic.Int32
+	retired  atomic.Int64
+
+	errMu    sync.Mutex
+	firstErr error
+
+	// Guarded by svc.mu.
+	state    State
+	result   any
+	err      error
+	canceled bool
+
+	done chan struct{}
+}
+
+// Name returns the job's spec name.
+func (j *Job) Name() string { return j.spec.Name }
+
+// Cancel cancels the job: queued jobs finish without ever starting a
+// runtime; running jobs stop issuing, their in-flight steps resolve
+// (with cancellation errors where the runtime aborts them), and the
+// runtime is closed. Wait for the verdict with Done/Result.
+func (j *Job) Cancel() {
+	j.cancelCtx()
+	j.svc.poke()
+}
+
+// Done is closed when the job reaches its terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.svc.mu.Lock()
+	st := Status{
+		Name:     j.spec.Name,
+		State:    j.state,
+		Err:      j.err,
+		Canceled: j.canceled,
+	}
+	j.svc.mu.Unlock()
+	st.Retired = j.retired.Load()
+	// issued is scheduler-owned; expose the conservative retired+inflight
+	// view, which is exact whenever the job is quiescent or done.
+	st.Issued = int(st.Retired) + int(j.inflight.Load())
+	return st
+}
+
+// Result blocks until the job is done and returns what its Finalize
+// collected, or the job's terminal error (which wraps context.Canceled
+// for canceled jobs).
+func (j *Job) Result(ctx context.Context) (any, error) {
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	j.svc.mu.Lock()
+	defer j.svc.mu.Unlock()
+	return j.result, j.err
+}
+
+// StepStats reports the job's runtime step counters when its instance
+// provides them (zero value otherwise, and always before Start).
+func (j *Job) StepStats() StepStats {
+	j.svc.mu.Lock()
+	inst := j.inst
+	j.svc.mu.Unlock()
+	if sp, ok := inst.(StatsProvider); ok {
+		return sp.StepStats()
+	}
+	return StepStats{}
+}
+
+// fail records the job's first error (later ones are dropped — with
+// in-order retirement the first is the root cause).
+func (j *Job) fail(err error) {
+	j.errMu.Lock()
+	if j.firstErr == nil {
+		j.firstErr = err
+	}
+	j.errMu.Unlock()
+}
+
+// loadErr reads the recorded first error.
+func (j *Job) loadErr() error {
+	j.errMu.Lock()
+	defer j.errMu.Unlock()
+	return j.firstErr
+}
+
+// retire is the job's retirer goroutine, spawned once Start succeeds.
+// It waits the job's step futures strictly in issue order, keeping the
+// inflight gauge honest (which is what reopens the job's issue budget),
+// and once the scheduler closes the conveyor it runs the endgame:
+// Finalize on a clean run, Close always, then the terminal verdict.
+func (j *Job) retire() {
+	defer j.svc.wg.Done()
+	for fut := range j.retireCh {
+		if err := fut.Wait(); err != nil {
+			j.fail(fmt.Errorf("service: job %q step failed: %w", j.spec.Name, err))
+		}
+		j.inflight.Add(-1)
+		j.retired.Add(1)
+		j.svc.stepsRetired.Add(1)
+		j.svc.poke()
+	}
+	err := j.loadErr()
+	if err == nil && j.ctx.Err() != nil {
+		err = fmt.Errorf("service: job %q canceled: %w", j.spec.Name, j.ctx.Err())
+	}
+	var result any
+	if err == nil {
+		var ferr error
+		result, ferr = j.inst.Finalize(j.ctx)
+		if ferr != nil {
+			err = fmt.Errorf("service: job %q finalize: %w", j.spec.Name, ferr)
+			result = nil
+		}
+	}
+	if cerr := j.inst.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("service: job %q close: %w", j.spec.Name, cerr)
+	}
+	j.svc.finishJob(j, result, err)
+}

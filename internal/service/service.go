@@ -1,0 +1,454 @@
+// Package service is the simulation-as-a-service control plane: it
+// admits simulation job specs into a bounded queue, gives each admitted
+// job an isolated runtime instance, and fairly interleaves the jobs'
+// step issues onto the shared worker fleet from one scheduler goroutine.
+//
+// The design exploits the runtime property PRs 1-5 established: issuing
+// a step asynchronously is allocation-free and nearly instant, while
+// execution rides on pooled worker threads. One goroutine can therefore
+// issue for MANY jobs — round-robin, one step per job per pass — and
+// every job's runtime still observes the single-issuing-goroutine
+// contract its dependency DAG requires. Per-job backpressure (max
+// in-flight steps) keeps any one job from running arbitrarily far ahead
+// of execution, which both bounds its pool growth (the cold-pipeline
+// fill cost) and is what makes the interleave fair: a job at its cap
+// yields its pass to the others.
+//
+// Lifecycle: Submit → Queued → (residency slot frees) → Starting (the
+// spec's Start builds the isolated runtime) → Running (steps issue and
+// retire) → Done. Cancel at any point via the submitted context or
+// Job.Cancel. Admission is bounded twice: MaxResidentJobs runtimes
+// exist at once, MaxQueuedJobs specs wait behind them, and past that
+// Submit rejects with ErrQueueFull — typed, so callers can shed load.
+//
+// The package deliberately depends on no concrete runtime: jobs are
+// Instances behind a 3-method interface, and the op2 facade adapts its
+// Runtime/Step types (op2.Service, op2.JobSpec, op2.JobHandle).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Future is the completion future of one issued step (a subset of
+// op2.Future's methods).
+type Future interface {
+	Wait() error
+	Ready() bool
+	Done() <-chan struct{}
+}
+
+// Instance is one admitted job's isolated runtime, built by Spec.Start.
+// IssueStep is called only from the service's scheduler goroutine —
+// that is how every instance's single-issuing-goroutine contract holds
+// across concurrent jobs. Finalize and Close run on the job's retirer
+// goroutine after every issued step has resolved, so they may touch the
+// instance's data without racing issue.
+type Instance interface {
+	// IssueStep issues the job's next timestep asynchronously and
+	// returns its completion future. It must not block on execution.
+	IssueStep(ctx context.Context) (Future, error)
+	// Finalize collects the job's result after all steps resolved
+	// (sync data, fold trajectories, read reductions).
+	Finalize(ctx context.Context) (any, error)
+	// Close releases the instance's runtime.
+	Close() error
+}
+
+// StepStats are a job's cumulative step-execution counters; instances
+// report them through the optional StatsProvider interface.
+type StepStats struct {
+	Steps       int64
+	FusedGroups int64
+	FusedLoops  int64
+}
+
+// StatsProvider is implemented by instances that expose step counters.
+type StatsProvider interface {
+	StepStats() StepStats
+}
+
+// Spec describes one simulation job: how to build its isolated runtime
+// and how many timesteps to issue.
+type Spec struct {
+	// Name labels the job in statuses and errors.
+	Name string
+	// Iters is the number of timesteps to issue (>= 1).
+	Iters int
+	// MaxInFlightSteps bounds the job's issue-ahead depth: at most this
+	// many issued-but-unretired steps exist at once. 0 uses the
+	// service's DefaultMaxInFlightSteps.
+	MaxInFlightSteps int
+	// Start builds the job's isolated runtime once a residency slot is
+	// granted (never earlier — queued jobs hold no runtime). It runs on
+	// the scheduler goroutine; ctx is the job's context.
+	Start func(ctx context.Context) (Instance, error)
+}
+
+// Config bounds the service.
+type Config struct {
+	// MaxResidentJobs is how many jobs hold live runtimes and issue
+	// steps concurrently (default 4).
+	MaxResidentJobs int
+	// MaxQueuedJobs is how many admitted specs may wait for a residency
+	// slot (default 64). Beyond it Submit rejects with ErrQueueFull.
+	MaxQueuedJobs int
+	// DefaultMaxInFlightSteps is the per-job issue-ahead cap applied
+	// when a spec does not set its own (default 8).
+	DefaultMaxInFlightSteps int
+}
+
+// Typed admission errors, testable with errors.Is.
+var (
+	// ErrQueueFull rejects a Submit when the job queue is at capacity.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrClosed rejects a Submit after Close.
+	ErrClosed = errors.New("service: closed")
+	// ErrInvalidSpec rejects a malformed job spec.
+	ErrInvalidSpec = errors.New("service: invalid job spec")
+)
+
+// State is a job's lifecycle phase.
+type State int
+
+const (
+	// Queued: admitted, waiting for a residency slot.
+	Queued State = iota
+	// Starting: residency granted, the spec's Start is building the
+	// runtime.
+	Starting
+	// Running: steps are issuing and retiring.
+	Running
+	// Done: terminal. Status.Err distinguishes completed (nil), failed
+	// and canceled (Status.Canceled).
+	Done
+)
+
+func (s State) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Starting:
+		return "starting"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Status is a point-in-time snapshot of one job.
+type Status struct {
+	Name     string
+	State    State
+	Issued   int   // steps issued so far
+	Retired  int64 // steps whose futures have resolved and been waited
+	Err      error // terminal error; nil while live or on success
+	Canceled bool  // terminal verdict was cancellation
+}
+
+// Stats are the service-level observables.
+type Stats struct {
+	QueueDepth int // jobs waiting for a residency slot
+	Resident   int // jobs holding live runtimes
+	Admitted   int64
+	Rejected   int64
+	Completed  int64
+	Failed     int64
+	Canceled   int64
+
+	StepsIssued  int64
+	StepsRetired int64
+}
+
+// Service is the control plane. Build one with New; it owns a scheduler
+// goroutine until Close.
+type Service struct {
+	cfg Config
+
+	mu       sync.Mutex
+	queue    []*Job
+	resident []*Job
+	closed   bool
+
+	admitted  int64
+	rejected  int64
+	completed int64
+	failed    int64
+	canceled  int64
+
+	stepsIssued  atomic.Int64
+	stepsRetired atomic.Int64
+
+	wake chan struct{} // scheduler doorbell, capacity 1
+	wg   sync.WaitGroup
+}
+
+// New builds a service and starts its scheduler. Zero config fields take
+// the documented defaults.
+func New(cfg Config) *Service {
+	if cfg.MaxResidentJobs <= 0 {
+		cfg.MaxResidentJobs = 4
+	}
+	if cfg.MaxQueuedJobs <= 0 {
+		cfg.MaxQueuedJobs = 64
+	}
+	if cfg.DefaultMaxInFlightSteps <= 0 {
+		cfg.DefaultMaxInFlightSteps = 8
+	}
+	s := &Service{cfg: cfg, wake: make(chan struct{}, 1)}
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+// Submit admits a job (or rejects it with ErrQueueFull/ErrClosed/
+// ErrInvalidSpec). The job's lifetime is bound to ctx: canceling it
+// cancels the job wherever it is — queued, starting or mid-run.
+func (s *Service) Submit(ctx context.Context, spec Spec) (*Job, error) {
+	if spec.Start == nil {
+		return nil, fmt.Errorf("%w: %q has no Start", ErrInvalidSpec, spec.Name)
+	}
+	if spec.Iters < 1 {
+		return nil, fmt.Errorf("%w: %q has iters %d < 1", ErrInvalidSpec, spec.Name, spec.Iters)
+	}
+	if spec.MaxInFlightSteps < 0 {
+		return nil, fmt.Errorf("%w: %q has max in-flight steps %d < 0", ErrInvalidSpec, spec.Name, spec.MaxInFlightSteps)
+	}
+	maxIF := spec.MaxInFlightSteps
+	if maxIF == 0 {
+		maxIF = s.cfg.DefaultMaxInFlightSteps
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.rejected++
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: job %q rejected", ErrClosed, spec.Name)
+	}
+	if len(s.queue) >= s.cfg.MaxQueuedJobs {
+		s.rejected++
+		queued, resident := len(s.queue), len(s.resident)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: job %q rejected (%d queued, %d resident)",
+			ErrQueueFull, spec.Name, queued, resident)
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		svc:         s,
+		spec:        spec,
+		ctx:         jctx,
+		cancelCtx:   cancel,
+		maxInFlight: maxIF,
+		retireCh:    make(chan Future, maxIF),
+		done:        make(chan struct{}),
+		state:       Queued,
+	}
+	s.queue = append(s.queue, j)
+	s.admitted++
+	// Promote eagerly so admission accounting is deterministic: a job
+	// submitted while residency has room never occupies a queue slot,
+	// even transiently (Start itself still runs on the scheduler).
+	s.promoteLocked()
+	s.mu.Unlock()
+	s.poke()
+	return j, nil
+}
+
+// Stats snapshots the service-level observables.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		QueueDepth: len(s.queue),
+		Resident:   len(s.resident),
+		Admitted:   s.admitted,
+		Rejected:   s.rejected,
+		Completed:  s.completed,
+		Failed:     s.failed,
+		Canceled:   s.canceled,
+	}
+	s.mu.Unlock()
+	st.StepsIssued = s.stepsIssued.Load()
+	st.StepsRetired = s.stepsRetired.Load()
+	return st
+}
+
+// Close cancels every queued and resident job, waits for them to drain
+// (runtimes closed, results recorded), and stops the scheduler. Jobs
+// already done keep their results. Close is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	jobs := make([]*Job, 0, len(s.queue)+len(s.resident))
+	jobs = append(jobs, s.queue...)
+	jobs = append(jobs, s.resident...)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.cancelCtx()
+	}
+	s.poke()
+	s.wg.Wait()
+	return nil
+}
+
+// poke rings the scheduler doorbell without blocking.
+func (s *Service) poke() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the scheduler goroutine — the ONLY goroutine that calls
+// Spec.Start and Instance.IssueStep, for every job of the service. Each
+// pass promotes queued jobs into free residency slots, then visits the
+// resident jobs round-robin issuing at most one step per job; passes
+// repeat while any job made progress, then the scheduler sleeps on its
+// doorbell (rung by submits, cancels, retired steps and finished jobs).
+func (s *Service) run() {
+	defer s.wg.Done()
+	var pass []*Job
+	for {
+		s.mu.Lock()
+		s.promoteLocked()
+		if s.closed && len(s.resident) == 0 && len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		pass = append(pass[:0], s.resident...)
+		s.mu.Unlock()
+
+		progress := false
+		for _, j := range pass {
+			if s.visit(j) {
+				progress = true
+			}
+		}
+		if !progress {
+			<-s.wake
+		}
+	}
+}
+
+// promoteLocked finishes queue entries canceled while waiting (terminal
+// without ever holding a runtime, regardless of residency pressure),
+// then moves queued jobs into free residency slots in FIFO order.
+func (s *Service) promoteLocked() {
+	kept := s.queue[:0]
+	for _, j := range s.queue {
+		if j.ctx.Err() != nil {
+			s.finishLocked(j, nil, fmt.Errorf("service: job %q canceled while queued: %w", j.spec.Name, j.ctx.Err()))
+			continue
+		}
+		kept = append(kept, j)
+	}
+	for i := len(kept); i < len(s.queue); i++ {
+		s.queue[i] = nil
+	}
+	s.queue = kept
+	for len(s.queue) > 0 && len(s.resident) < s.cfg.MaxResidentJobs {
+		j := s.queue[0]
+		copy(s.queue, s.queue[1:])
+		s.queue[len(s.queue)-1] = nil
+		s.queue = s.queue[:len(s.queue)-1]
+		j.state = Starting
+		s.resident = append(s.resident, j)
+	}
+}
+
+// visit gives one resident job its slice of the pass: build its runtime
+// if it is Starting, else issue at most one step. Reports whether the
+// job made progress (the pass-repeat condition).
+func (s *Service) visit(j *Job) bool {
+	if j.doneIssuing {
+		return false // retirer owns the endgame
+	}
+	if j.inst == nil {
+		inst, err := j.spec.Start(j.ctx)
+		if err != nil {
+			s.mu.Lock()
+			s.removeResidentLocked(j)
+			s.finishLocked(j, nil, fmt.Errorf("service: job %q failed to start: %w", j.spec.Name, err))
+			s.mu.Unlock()
+			return true
+		}
+		s.mu.Lock()
+		j.inst = inst
+		j.state = Running
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go j.retire()
+		return true
+	}
+	if j.ctx.Err() != nil || j.loadErr() != nil {
+		// Canceled mid-run, or the retirer already recorded a step
+		// failure: stop issuing; in-flight steps resolve (canceled ones
+		// with cancellation errors) and the retirer finishes the job.
+		j.doneIssuing = true
+		close(j.retireCh)
+		return true
+	}
+	if j.issued >= j.spec.Iters || int(j.inflight.Load()) >= j.maxInFlight {
+		return false // complete or at its backpressure cap: yield the pass
+	}
+	fut, err := j.inst.IssueStep(j.ctx)
+	j.issued++
+	s.stepsIssued.Add(1)
+	if err != nil {
+		j.fail(fmt.Errorf("service: job %q step %d failed to issue: %w", j.spec.Name, j.issued, err))
+		j.doneIssuing = true
+		close(j.retireCh)
+		return true
+	}
+	// inflight is incremented before the send, so the channel (capacity
+	// maxInFlight) can never fill: occupancy <= issued-retired = inflight.
+	j.inflight.Add(1)
+	j.retireCh <- fut
+	if j.issued == j.spec.Iters {
+		j.doneIssuing = true
+		close(j.retireCh)
+	}
+	return true
+}
+
+// removeResidentLocked drops j from the resident set.
+func (s *Service) removeResidentLocked(j *Job) {
+	for i, r := range s.resident {
+		if r == j {
+			s.resident = append(s.resident[:i], s.resident[i+1:]...)
+			return
+		}
+	}
+}
+
+// finishLocked records a job's terminal verdict and releases its waiters.
+func (s *Service) finishLocked(j *Job, result any, err error) {
+	j.result = result
+	j.err = err
+	j.state = Done
+	switch {
+	case err == nil:
+		s.completed++
+	case j.ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.canceled = true
+		s.canceled++
+	default:
+		s.failed++
+	}
+	j.cancelCtx() // release the context's resources
+	close(j.done)
+}
+
+// finishJob is finishLocked plus residency release and a scheduler poke
+// (a slot freed means a queued job can promote).
+func (s *Service) finishJob(j *Job, result any, err error) {
+	s.mu.Lock()
+	s.removeResidentLocked(j)
+	s.finishLocked(j, result, err)
+	s.mu.Unlock()
+	s.poke()
+}

@@ -1,0 +1,505 @@
+// Black-box unit tests of the control plane over scripted fake
+// instances: admission bounds, lifecycle verdicts, per-job
+// backpressure, independent progress and drain-on-close — all without a
+// real runtime (the job-level end-to-end tests over real airfoil
+// runtimes live in e2e_test.go).
+package service_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"op2hpx/internal/service"
+)
+
+// fakeFuture is a manually resolvable step future.
+type fakeFuture struct {
+	once sync.Once
+	ch   chan struct{}
+	err  error
+}
+
+func newFakeFuture() *fakeFuture { return &fakeFuture{ch: make(chan struct{})} }
+
+func (f *fakeFuture) resolve(err error) {
+	f.once.Do(func() {
+		f.err = err
+		close(f.ch)
+	})
+}
+func (f *fakeFuture) Wait() error { <-f.ch; return f.err }
+func (f *fakeFuture) Ready() bool {
+	select {
+	case <-f.ch:
+		return true
+	default:
+		return false
+	}
+}
+func (f *fakeFuture) Done() <-chan struct{} { return f.ch }
+
+// fakeInst is a scripted Instance: auto-resolving or manually driven
+// through issueCh, with optional per-issue step/issue errors.
+type fakeInst struct {
+	auto      bool             // resolve each future at issue time
+	stepErrs  map[int]error    // resolve the n-th issued future (1-based) with this error
+	issueErrs map[int]error    // fail the n-th IssueStep call itself
+	issueCh   chan *fakeFuture // when non-nil, receives every issued future
+	result    any
+
+	n         int // issue counter (scheduler goroutine only)
+	mu        sync.Mutex
+	closed    bool
+	finalized bool
+}
+
+func (fi *fakeInst) IssueStep(ctx context.Context) (service.Future, error) {
+	fi.n++
+	if err := fi.issueErrs[fi.n]; err != nil {
+		return nil, err
+	}
+	f := newFakeFuture()
+	if fi.auto {
+		f.resolve(fi.stepErrs[fi.n])
+	} else {
+		// A real runtime resolves in-flight steps when the job context is
+		// canceled; emulate that so canceled jobs can drain.
+		go func() {
+			select {
+			case <-ctx.Done():
+				f.resolve(ctx.Err())
+			case <-f.ch:
+			}
+		}()
+	}
+	if fi.issueCh != nil {
+		fi.issueCh <- f
+	}
+	return f, nil
+}
+
+func (fi *fakeInst) Finalize(context.Context) (any, error) {
+	fi.mu.Lock()
+	fi.finalized = true
+	fi.mu.Unlock()
+	return fi.result, nil
+}
+
+func (fi *fakeInst) Close() error {
+	fi.mu.Lock()
+	fi.closed = true
+	fi.mu.Unlock()
+	return nil
+}
+
+func (fi *fakeInst) state() (closed, finalized bool) {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.closed, fi.finalized
+}
+
+// startOf wraps an instance in a Spec.Start.
+func startOf(fi *fakeInst) func(context.Context) (service.Instance, error) {
+	return func(context.Context) (service.Instance, error) { return fi, nil }
+}
+
+func waitDone(t *testing.T, j *service.Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %q did not finish", j.Name())
+	}
+}
+
+func TestJobRunsToCompletion(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	fi := &fakeInst{auto: true, result: "payload"}
+	j, err := svc.Submit(context.Background(), service.Spec{Name: "ok", Iters: 20, Start: startOf(fi)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Result(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != "payload" {
+		t.Fatalf("result = %v, want payload", res)
+	}
+	st := j.Status()
+	if st.State != service.Done || st.Err != nil || st.Canceled {
+		t.Fatalf("status = %+v, want clean Done", st)
+	}
+	if st.Issued != 20 || st.Retired != 20 {
+		t.Fatalf("issued/retired = %d/%d, want 20/20", st.Issued, st.Retired)
+	}
+	if closed, finalized := fi.state(); !closed || !finalized {
+		t.Fatalf("instance closed=%v finalized=%v, want both", closed, finalized)
+	}
+	ss := svc.Stats()
+	if ss.Admitted != 1 || ss.Completed != 1 || ss.StepsIssued != 20 || ss.StepsRetired != 20 {
+		t.Fatalf("stats = %+v", ss)
+	}
+	if got := j.StepStats(); got != (service.StepStats{}) {
+		t.Fatalf("StepStats without a provider = %+v, want zero", got)
+	}
+}
+
+func TestSubmitRejectsInvalidSpecs(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	cases := []service.Spec{
+		{Name: "no-start", Iters: 1},
+		{Name: "no-iters", Start: startOf(&fakeInst{auto: true})},
+		{Name: "neg-inflight", Iters: 1, MaxInFlightSteps: -1, Start: startOf(&fakeInst{auto: true})},
+	}
+	for _, spec := range cases {
+		if _, err := svc.Submit(context.Background(), spec); !errors.Is(err, service.ErrInvalidSpec) {
+			t.Errorf("Submit(%q) = %v, want ErrInvalidSpec", spec.Name, err)
+		}
+	}
+}
+
+// TestAdmissionBounds pins the two admission limits: MaxResidentJobs
+// runtimes at once, MaxQueuedJobs specs behind them, typed rejection
+// past that — and a freed slot promoting the queue head.
+func TestAdmissionBounds(t *testing.T) {
+	svc := service.New(service.Config{MaxResidentJobs: 1, MaxQueuedJobs: 1})
+	defer svc.Close()
+	ctx := context.Background()
+
+	blocker := &fakeInst{issueCh: make(chan *fakeFuture, 64)}
+	ja, err := svc.Submit(ctx, service.Spec{Name: "a", Iters: 100, Start: startOf(blocker)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocker.issueCh // a is resident and issuing
+
+	runner := &fakeInst{auto: true}
+	jb, err := svc.Submit(ctx, service.Spec{Name: "b", Iters: 5, Start: startOf(runner)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Submit(ctx, service.Spec{Name: "c", Iters: 1, Start: startOf(&fakeInst{auto: true})}); !errors.Is(err, service.ErrQueueFull) {
+		t.Fatalf("third submit = %v, want ErrQueueFull", err)
+	}
+	if ss := svc.Stats(); ss.QueueDepth != 1 || ss.Resident != 1 || ss.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 1 queued, 1 resident, 1 rejected", ss)
+	}
+
+	// Freeing the slot promotes b, which runs to completion.
+	ja.Cancel()
+	waitDone(t, ja)
+	if st := ja.Status(); !st.Canceled {
+		t.Fatalf("a status = %+v, want canceled", st)
+	}
+	waitDone(t, jb)
+	if st := jb.Status(); st.Err != nil || st.Retired != 5 {
+		t.Fatalf("b status = %+v, want 5 clean steps", st)
+	}
+	ss := svc.Stats()
+	if ss.Admitted != 2 || ss.Completed != 1 || ss.Canceled != 1 || ss.Rejected != 1 {
+		t.Fatalf("stats = %+v", ss)
+	}
+}
+
+// TestCancelMidRun cancels a job with unresolved in-flight steps: the
+// verdict is canceled, Finalize never runs, the instance is closed.
+func TestCancelMidRun(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	fi := &fakeInst{issueCh: make(chan *fakeFuture, 64)}
+	j, err := svc.Submit(context.Background(), service.Spec{Name: "c", Iters: 100, Start: startOf(fi)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fi.issueCh // at least one step in flight
+	j.Cancel()
+	waitDone(t, j)
+	st := j.Status()
+	if !st.Canceled || !errors.Is(st.Err, context.Canceled) {
+		t.Fatalf("status = %+v, want canceled wrapping context.Canceled", st)
+	}
+	closed, finalized := fi.state()
+	if !closed {
+		t.Fatal("instance not closed after cancel")
+	}
+	if finalized {
+		t.Fatal("Finalize ran on a canceled job")
+	}
+	if _, err := j.Result(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Result = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancelWhileQueued proves a queued job finishes terminally on
+// cancel even while residency stays full — without ever starting.
+func TestCancelWhileQueued(t *testing.T) {
+	svc := service.New(service.Config{MaxResidentJobs: 1})
+	defer svc.Close()
+	ctx := context.Background()
+	blocker := &fakeInst{issueCh: make(chan *fakeFuture, 64)}
+	ja, err := svc.Submit(ctx, service.Spec{Name: "a", Iters: 100, Start: startOf(blocker)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocker.issueCh
+
+	started := false
+	jb, err := svc.Submit(ctx, service.Spec{Name: "b", Iters: 1, Start: func(context.Context) (service.Instance, error) {
+		started = true
+		return &fakeInst{auto: true}, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb.Cancel()
+	waitDone(t, jb) // must not need a's slot
+	if st := jb.Status(); !st.Canceled {
+		t.Fatalf("b status = %+v, want canceled", st)
+	}
+	if started {
+		t.Fatal("canceled queued job still started a runtime")
+	}
+	ja.Cancel()
+	waitDone(t, ja)
+}
+
+// TestBackpressureCapsIssueDepth pins the per-job knob: with a cap of 3
+// and no step resolving, exactly 3 steps issue; each retirement opens
+// exactly one more issue.
+func TestBackpressureCapsIssueDepth(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	fi := &fakeInst{issueCh: make(chan *fakeFuture, 64)}
+	j, err := svc.Submit(context.Background(), service.Spec{Name: "bp", Iters: 100, MaxInFlightSteps: 3, Start: startOf(fi)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inflight []*fakeFuture
+	for i := 0; i < 3; i++ {
+		inflight = append(inflight, <-fi.issueCh)
+	}
+	select {
+	case <-fi.issueCh:
+		t.Fatal("4th step issued with 3 unresolved under a cap of 3")
+	case <-time.After(50 * time.Millisecond):
+	}
+	inflight[0].resolve(nil)
+	inflight = append(inflight, <-fi.issueCh) // exactly one more
+	select {
+	case <-fi.issueCh:
+		t.Fatal("5th step issued after a single retirement")
+	case <-time.After(50 * time.Millisecond):
+	}
+	j.Cancel()
+	waitDone(t, j)
+}
+
+// TestIndependentProgress proves one job's stalled pipeline cannot
+// starve another: job a never resolves a step, job b completes anyway.
+func TestIndependentProgress(t *testing.T) {
+	svc := service.New(service.Config{MaxResidentJobs: 2})
+	defer svc.Close()
+	ctx := context.Background()
+	stuck := &fakeInst{issueCh: make(chan *fakeFuture, 64)}
+	ja, err := svc.Submit(ctx, service.Spec{Name: "stuck", Iters: 100, Start: startOf(stuck)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-stuck.issueCh
+	jb, err := svc.Submit(ctx, service.Spec{Name: "runner", Iters: 50, Start: startOf(&fakeInst{auto: true})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, jb)
+	if st := jb.Status(); st.Err != nil || st.Retired != 50 {
+		t.Fatalf("runner status = %+v, want 50 clean steps", st)
+	}
+	if st := ja.Status(); st.State != service.Running {
+		t.Fatalf("stuck job state = %v, want still running", st.State)
+	}
+	ja.Cancel()
+	waitDone(t, ja)
+}
+
+// TestRoundRobinIssueInterleave drives two manually resolved jobs with
+// issue-ahead 1 and proves each job's next step issues as soon as its
+// own previous step retires, independent of the other job's progress —
+// the per-pass round-robin never couples the two pipelines.
+func TestRoundRobinIssueInterleave(t *testing.T) {
+	svc := service.New(service.Config{MaxResidentJobs: 2, DefaultMaxInFlightSteps: 1})
+	defer svc.Close()
+	ctx := context.Background()
+	fa := &fakeInst{issueCh: make(chan *fakeFuture, 16)}
+	fb := &fakeInst{issueCh: make(chan *fakeFuture, 16)}
+	ja, err := svc.Submit(ctx, service.Spec{Name: "a", Iters: 3, Start: startOf(fa)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := svc.Submit(ctx, service.Spec{Name: "b", Iters: 3, Start: startOf(fb)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, b1 := <-fa.issueCh, <-fb.issueCh
+	a1.resolve(nil)
+	a2 := <-fa.issueCh // a progresses while b1 is still unresolved
+	b1.resolve(nil)
+	b2 := <-fb.issueCh
+	b2.resolve(nil)
+	b3 := <-fb.issueCh // b progresses past a
+	a2.resolve(nil)
+	a3 := <-fa.issueCh
+	a3.resolve(nil)
+	b3.resolve(nil)
+	waitDone(t, ja)
+	waitDone(t, jb)
+	if st := ja.Status(); st.Err != nil || st.Retired != 3 {
+		t.Fatalf("a status = %+v", st)
+	}
+	if st := jb.Status(); st.Err != nil || st.Retired != 3 {
+		t.Fatalf("b status = %+v", st)
+	}
+}
+
+// TestStepFailureStopsIssuing: a step resolving with an error fails the
+// job and halts its issue stream well short of Iters.
+func TestStepFailureStopsIssuing(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	boom := errors.New("kernel exploded")
+	fi := &fakeInst{auto: true, stepErrs: map[int]error{3: boom}}
+	j, err := svc.Submit(context.Background(), service.Spec{Name: "f", Iters: 1000, Start: startOf(fi)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	st := j.Status()
+	if !errors.Is(st.Err, boom) || st.Canceled {
+		t.Fatalf("status = %+v, want failure wrapping the step error", st)
+	}
+	if st.Issued >= 1000 {
+		t.Fatalf("issued %d steps after a step-3 failure, want an early stop", st.Issued)
+	}
+	if ss := svc.Stats(); ss.Failed != 1 {
+		t.Fatalf("stats = %+v, want 1 failed", ss)
+	}
+}
+
+func TestIssueErrorFailsJob(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	boom := errors.New("issue rejected")
+	fi := &fakeInst{auto: true, issueErrs: map[int]error{5: boom}}
+	j, err := svc.Submit(context.Background(), service.Spec{Name: "ie", Iters: 1000, Start: startOf(fi)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if st := j.Status(); !errors.Is(st.Err, boom) {
+		t.Fatalf("status = %+v, want failure wrapping the issue error", st)
+	}
+	if closed, _ := fi.state(); !closed {
+		t.Fatal("instance not closed after issue failure")
+	}
+}
+
+func TestStartFailureFailsJob(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	boom := errors.New("no mesh")
+	j, err := svc.Submit(context.Background(), service.Spec{Name: "sf", Iters: 10, Start: func(context.Context) (service.Instance, error) {
+		return nil, boom
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	if st := j.Status(); !errors.Is(st.Err, boom) {
+		t.Fatalf("status = %+v, want failure wrapping the start error", st)
+	}
+	if ss := svc.Stats(); ss.Failed != 1 || ss.Resident != 0 {
+		t.Fatalf("stats = %+v", ss)
+	}
+}
+
+// TestCloseCancelsAndDrains: Close cancels live jobs, waits for their
+// instances to close, and rejects later submits with ErrClosed.
+func TestCloseCancelsAndDrains(t *testing.T) {
+	svc := service.New(service.Config{MaxResidentJobs: 2})
+	ctx := context.Background()
+	fa := &fakeInst{issueCh: make(chan *fakeFuture, 64)}
+	ja, err := svc.Submit(ctx, service.Spec{Name: "a", Iters: 100, Start: startOf(fa)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fa.issueCh
+	jb, err := svc.Submit(ctx, service.Spec{Name: "b", Iters: 100, Start: startOf(&fakeInst{issueCh: make(chan *fakeFuture, 64)})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []*service.Job{ja, jb} {
+		select {
+		case <-j.Done():
+		default:
+			t.Fatalf("job %q not terminal after Close", j.Name())
+		}
+		if st := j.Status(); !st.Canceled {
+			t.Fatalf("job %q status = %+v, want canceled", j.Name(), st)
+		}
+	}
+	if closed, _ := fa.state(); !closed {
+		t.Fatal("instance a not closed after Close")
+	}
+	if _, err := svc.Submit(ctx, service.Spec{Name: "late", Iters: 1, Start: startOf(&fakeInst{auto: true})}); !errors.Is(err, service.ErrClosed) {
+		t.Fatalf("post-Close submit = %v, want ErrClosed", err)
+	}
+	if err := svc.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+// TestFIFOPromotion: with one residency slot, queued jobs start in
+// submission order.
+func TestFIFOPromotion(t *testing.T) {
+	svc := service.New(service.Config{MaxResidentJobs: 1})
+	defer svc.Close()
+	ctx := context.Background()
+	var mu sync.Mutex
+	var order []string
+	mkSpec := func(name string) service.Spec {
+		return service.Spec{Name: name, Iters: 3, Start: func(context.Context) (service.Instance, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return &fakeInst{auto: true}, nil
+		}}
+	}
+	var jobs []*service.Job
+	for i := 0; i < 4; i++ {
+		j, err := svc.Submit(ctx, mkSpec(fmt.Sprintf("j%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		waitDone(t, j)
+	}
+	want := []string{"j0", "j1", "j2", "j3"}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, name := range want {
+		if order[i] != name {
+			t.Fatalf("start order = %v, want %v", order, want)
+		}
+	}
+}

@@ -145,13 +145,22 @@ func (lp *Loop) Async(ctx context.Context) *Future {
 	if err := lp.validate(); err != nil {
 		return &Future{f: hpx.MakeErr[struct{}](err)}
 	}
+	lim := lp.rt.maxInFlight
+	lp.iss.reserve(lim)
+	var f core.Future
+	var ack func(error)
 	if lp.rt.eng != nil {
+		ack = lp.rt.eng.AckError
 		if h := lp.distHandle(); h != nil {
-			return lp.iss.wrap(lp.rt.eng.RunStepHandleAsync(ctx, h), lp.rt.eng.AckError)
+			f = lp.rt.eng.RunStepHandleAsync(ctx, h)
+		} else {
+			f = lp.rt.eng.RunAsync(ctx, &lp.l)
 		}
-		return lp.iss.wrap(lp.rt.eng.RunAsync(ctx, &lp.l), lp.rt.eng.AckError)
+	} else {
+		f = lp.rt.ex.RunAsyncCtx(ctx, &lp.l)
 	}
-	return lp.iss.wrap(lp.rt.ex.RunAsyncCtx(ctx, &lp.l), nil)
+	lp.iss.record(f, lim)
+	return lp.iss.wrap(f, ack)
 }
 
 // Future is the completion future of an asynchronously issued loop or
@@ -203,6 +212,43 @@ type releasable interface{ TryRelease() bool }
 type issuer struct {
 	wrappers    map[core.Future]*Future
 	outstanding []core.Future // pooled handles not yet consumed
+
+	// ring holds the raw futures of the last k Async issues in issue
+	// order when the runtime caps issue-ahead (WithMaxInFlightSteps):
+	// reserve blocks on the oldest slot before the next issue, record
+	// overwrites it afterwards. Touched only by the issuing goroutine.
+	ring []core.Future
+	head int
+}
+
+// reserve blocks until this issuer's pipeline is below the in-flight cap:
+// with cap limit, the limit-th-previous Async issue must have resolved
+// before the next one is issued. The oldest future is waited raw, without
+// delivering its error — a failed issue keeps surfacing exactly like an
+// abandoned future, at the next Wait, Sync or Fence.
+func (is *issuer) reserve(limit int) {
+	if limit <= 0 || len(is.ring) < limit {
+		return
+	}
+	if o := is.ring[is.head]; o != nil {
+		o.Wait() //nolint:errcheck // backpressure only: the error still surfaces at the next fence
+	}
+}
+
+// record notes a fresh issue in the in-flight ring (see reserve).
+func (is *issuer) record(f core.Future, limit int) {
+	if limit <= 0 {
+		return
+	}
+	if len(is.ring) < limit {
+		is.ring = append(is.ring, f)
+		return
+	}
+	is.ring[is.head] = f
+	is.head++
+	if is.head == limit {
+		is.head = 0
+	}
 }
 
 // wrap vends the Future for a fresh issue.

@@ -1,0 +1,170 @@
+package op2
+
+import (
+	"context"
+	"fmt"
+
+	"op2hpx/internal/service"
+)
+
+// Service is the simulation-as-a-service control plane specialized to
+// op2 runtimes: submit JobSpecs describing whole simulations (runtime
+// options, a Setup that declares mesh/dats/loops and returns the
+// timestep Step, an iteration count, a Collect for the results), and
+// the service runs them concurrently — each job on its own isolated
+// Runtime, all jobs' step issues interleaved round-robin from one
+// scheduler goroutine onto the shared worker fleet.
+//
+// Admission is bounded (resident runtimes, then a wait queue, then
+// typed ErrJobQueueFull rejections) and every job's issue-ahead depth
+// is capped (MaxInFlightSteps), which bounds its memory pools and
+// makes the interleave fair. See internal/service for the control
+// plane itself and cmd/op2serve for a CLI driving it.
+type Service struct {
+	s *service.Service
+}
+
+// ServiceConfig bounds a Service; see the field docs on the underlying
+// type (zero fields take defaults: 4 resident, 64 queued, issue-ahead 8).
+type ServiceConfig = service.Config
+
+// ServiceStats are the service-level observables (queue depth, resident
+// jobs, admission and completion counters, steps issued/retired).
+type ServiceStats = service.Stats
+
+// JobHandle is the caller's view of one admitted job: Status, Done,
+// Result, Cancel, StepStats.
+type JobHandle = service.Job
+
+// JobStatus is a point-in-time job snapshot.
+type JobStatus = service.Status
+
+// JobState is a job's lifecycle phase (JobQueued → JobStarting →
+// JobRunning → JobDone).
+type JobState = service.State
+
+// Job lifecycle phases.
+const (
+	JobQueued   = service.Queued
+	JobStarting = service.Starting
+	JobRunning  = service.Running
+	JobDone     = service.Done
+)
+
+// Typed admission errors, testable with errors.Is.
+var (
+	// ErrJobQueueFull rejects a Submit when the service's job queue is
+	// at capacity — the caller's signal to shed or retry later.
+	ErrJobQueueFull = service.ErrQueueFull
+	// ErrServiceClosed rejects a Submit after Service.Close.
+	ErrServiceClosed = service.ErrClosed
+)
+
+// JobSpec describes one simulation job for Service.Submit.
+type JobSpec struct {
+	// Name labels the job in statuses and errors.
+	Name string
+	// Runtime are the options for the job's isolated Runtime (backend,
+	// pool size, ranks, ...). Leave WithMaxInFlightSteps out: the
+	// service enforces the job's issue-ahead cap itself, without ever
+	// blocking the shared scheduler goroutine, and a runtime-level cap
+	// below the service's would stall every other job's issues too.
+	Runtime []Option
+	// Iters is how many times the job's Step is issued (>= 1).
+	Iters int
+	// MaxInFlightSteps bounds the job's issued-but-unretired steps
+	// (0 = the service default). Small values keep a job's pools small
+	// and its scheduling fair; larger values deepen its pipeline.
+	MaxInFlightSteps int
+	// Setup declares the job's data and loops on its fresh Runtime and
+	// returns the timestep Step the service will issue Iters times. It
+	// runs on the scheduler goroutine once the job is granted residency
+	// (for distributed runtimes, call Partition here).
+	Setup func(rt *Runtime) (*Step, error)
+	// Collect gathers the job's result after the last step resolved
+	// (Sync dats, read reductions); it may be nil. The value it returns
+	// is what JobHandle.Result yields.
+	Collect func(rt *Runtime) (any, error)
+}
+
+// NewService builds a service and starts its scheduler; Close it when
+// done.
+func NewService(cfg ServiceConfig) *Service {
+	return &Service{s: service.New(cfg)}
+}
+
+// Submit admits a job or rejects it (ErrJobQueueFull, ErrServiceClosed,
+// ErrValidation for malformed specs). The job's lifetime is bound to
+// ctx; its runtime is built only when a residency slot is granted.
+func (sv *Service) Submit(ctx context.Context, spec JobSpec) (*JobHandle, error) {
+	if spec.Setup == nil {
+		return nil, wrapValidation(fmt.Errorf("job %q has no Setup", spec.Name))
+	}
+	opts := spec.Runtime
+	collect := spec.Collect
+	start := func(jctx context.Context) (service.Instance, error) {
+		rt, err := New(opts...)
+		if err != nil {
+			return nil, err
+		}
+		step, err := spec.Setup(rt)
+		if err != nil {
+			rt.Close() //nolint:errcheck // the setup error is the root cause
+			return nil, err
+		}
+		if step == nil {
+			rt.Close() //nolint:errcheck
+			return nil, wrapValidation(fmt.Errorf("job %q: Setup returned no step", spec.Name))
+		}
+		return &jobInstance{rt: rt, step: step, collect: collect}, nil
+	}
+	return sv.s.Submit(ctx, service.Spec{
+		Name:             spec.Name,
+		Iters:            spec.Iters,
+		MaxInFlightSteps: spec.MaxInFlightSteps,
+		Start:            start,
+	})
+}
+
+// Stats snapshots the service-level observables.
+func (sv *Service) Stats() ServiceStats { return sv.s.Stats() }
+
+// Close cancels every queued and resident job, waits for their runtimes
+// to close, and stops the scheduler. Idempotent.
+func (sv *Service) Close() error { return sv.s.Close() }
+
+// jobInstance adapts a (Runtime, Step, Collect) triple to the control
+// plane's Instance interface.
+type jobInstance struct {
+	rt      *Runtime
+	step    *Step
+	collect func(*Runtime) (any, error)
+}
+
+// IssueStep issues the job's next timestep. op2 futures satisfy
+// service.Future directly; errors — validation ones included — surface
+// when the future is retired, which also stops further issuing.
+func (ji *jobInstance) IssueStep(ctx context.Context) (service.Future, error) {
+	return ji.step.Async(ctx), nil
+}
+
+// Finalize runs the job's Collect after every step future resolved.
+func (ji *jobInstance) Finalize(ctx context.Context) (any, error) {
+	if ji.collect == nil {
+		return nil, nil
+	}
+	return ji.collect(ji.rt)
+}
+
+// Close releases the job's runtime.
+func (ji *jobInstance) Close() error { return ji.rt.Close() }
+
+// StepStats reports the job runtime's step counters.
+func (ji *jobInstance) StepStats() service.StepStats {
+	st := ji.rt.StepStats()
+	return service.StepStats{
+		Steps:       st.Steps,
+		FusedGroups: st.FusedGroups,
+		FusedLoops:  st.FusedLoops,
+	}
+}

@@ -168,13 +168,22 @@ func (s *Step) Async(ctx context.Context) *Future {
 	if err := s.compile(); err != nil {
 		return &Future{f: hpx.MakeErr[struct{}](err)}
 	}
+	lim := s.rt.maxInFlight
+	s.iss.reserve(lim)
+	var f core.Future
+	var ack func(error)
 	if s.rt.eng != nil {
+		ack = s.rt.eng.AckError
 		if h := s.distHandle(); h != nil {
-			return s.iss.wrap(s.rt.eng.RunStepHandleAsync(ctx, h), s.rt.eng.AckError)
+			f = s.rt.eng.RunStepHandleAsync(ctx, h)
+		} else {
+			f = s.rt.eng.RunStepAsync(ctx, s.name, s.raw)
 		}
-		return s.iss.wrap(s.rt.eng.RunStepAsync(ctx, s.name, s.raw), s.rt.eng.AckError)
+	} else {
+		f = s.rt.ex.RunStepAsyncCtx(ctx, s.plan)
 	}
-	return s.iss.wrap(s.rt.ex.RunStepAsyncCtx(ctx, s.plan), nil)
+	s.iss.record(f, lim)
+	return s.iss.wrap(f, ack)
 }
 
 // FusedGroups reports how many multi-loop fused groups the step's
