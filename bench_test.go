@@ -556,3 +556,45 @@ func BenchmarkService(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkObs measures the observability layer's cost on the airfoil
+// step hot path: the same pipelined Dataflow timestep with the layer
+// off (one nil check per loop), with a metrics registry attached
+// (latency histograms + step counters, zero allocations per observe)
+// and with metrics plus span tracing. The acceptance bar is
+// single-digit percent overhead for the metrics mode — recorded as
+// BENCH_obs.json by `cmd/experiments -exp obs -json`.
+func BenchmarkObs(b *testing.B) {
+	modes := []struct {
+		name string
+		opts []op2.Option
+	}{
+		{"off", nil},
+		{"metrics", []op2.Option{op2.WithMetrics()}},
+		{"metrics+trace", []op2.Option{op2.WithMetrics(), op2.WithTracing(1 << 16)}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := append([]op2.Option{
+				op2.WithBackend(op2.Dataflow),
+				op2.WithPoolSize(runtime.NumCPU()),
+			}, mode.opts...)
+			rt := op2.MustNew(opts...)
+			defer rt.Close()
+			app, err := airfoil.NewApp(benchNX, benchNY, rt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := app.Run(1); err != nil { // warm plans, pools, metric handles
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := app.Run(benchIters); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -31,8 +31,8 @@ func main() {
 
 func run() error {
 	var (
-		exp        = flag.String("exp", "all", "experiment: all, table1, fig15, fig16, fig17, fig18, fig19, fig20, dist, step, hotpath, service")
-		jsonOut    = flag.String("json", "", "also write machine-readable results to this file (dist, step, hotpath and service experiments only)")
+		exp        = flag.String("exp", "all", "experiment: all, table1, fig15, fig16, fig17, fig18, fig19, fig20, dist, step, hotpath, service, obs")
+		jsonOut    = flag.String("json", "", "also write machine-readable results to this file (dist, step, hotpath, service and obs experiments only)")
 		paper      = flag.Bool("paper", false, "paper-scale workload (~720K mesh nodes; minutes per figure)")
 		nx         = flag.Int("nx", 0, "override mesh cells in x")
 		ny         = flag.Int("ny", 0, "override mesh cells in y")
@@ -113,6 +113,17 @@ func run() error {
 			return err
 		}
 		experiments.ServiceTable(rep).Render(os.Stdout)
+		return nil
+	}
+	if *exp == "obs" && *jsonOut != "" {
+		rep, err := experiments.ObsData(o)
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(*jsonOut, rep.WriteJSON); err != nil {
+			return err
+		}
+		experiments.ObsTable(rep).Render(os.Stdout)
 		return nil
 	}
 	fn, ok := experiments.ByName(*exp)

@@ -12,6 +12,9 @@
 //	op2serve -backend serial
 //	op2serve -backend dist -ranks 2   # distributed jobs
 //	op2serve -inflight 2              # tighter per-job issue-ahead
+//	op2serve -telemetry :9090         # serve /metrics, /healthz, /readyz,
+//	                                  # /trace and /debug/pprof while running
+//	op2serve -telemetry :9090 -hold 30s  # keep serving after the jobs finish
 package main
 
 import (
@@ -19,10 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"op2hpx/internal/airfoil"
+	"op2hpx/internal/obs"
 	"op2hpx/op2"
 )
 
@@ -46,6 +52,9 @@ func run() error {
 		inflight    = flag.Int("inflight", 0, "per-job max in-flight steps (0 = service default)")
 		maxResident = flag.Int("max-resident", 4, "jobs holding live runtimes at once")
 		maxQueued   = flag.Int("max-queued", 64, "admitted jobs waiting behind them")
+		telemetry   = flag.String("telemetry", "", "address to serve /metrics, /healthz, /readyz, /trace and /debug/pprof on (empty = telemetry off)")
+		traceSpans  = flag.Int("trace-spans", 16384, "span ring capacity for /trace (with -telemetry)")
+		hold        = flag.Duration("hold", 0, "keep the telemetry endpoint up this long after the jobs finish")
 	)
 	flag.Parse()
 
@@ -68,9 +77,36 @@ func run() error {
 		opts = append(opts, op2.WithChunker(op2.StaticChunk(*chunk)))
 	}
 
+	// The telemetry edge: one registry and span ring shared by the
+	// service (queue depth, lifecycle counters, start latency) and every
+	// job runtime (loop/phase histograms, halo counters — same-named
+	// func-backed series sum across runtimes), served over HTTP next to
+	// health probes and pprof.
+	var (
+		reg    *op2.Metrics
+		ring   *op2.TraceRing
+		health *obs.Health
+	)
+	if *telemetry != "" {
+		reg = op2.NewMetrics()
+		ring = op2.NewTraceRing(*traceSpans)
+		health = obs.NewHealth()
+		ln, err := net.Listen("tcp", *telemetry)
+		if err != nil {
+			return fmt.Errorf("telemetry listener: %w", err)
+		}
+		defer ln.Close() //nolint:errcheck // process exit tears it down
+		srv := &http.Server{Handler: obs.TelemetryMux(reg, ring, health)}
+		go srv.Serve(ln) //nolint:errcheck // exits with the listener
+		fmt.Printf("telemetry: http://%s/metrics\n", ln.Addr())
+		opts = append(opts, op2.WithMetricsRegistry(reg), op2.WithTraceRing(ring))
+	}
+
 	sv := op2.NewService(op2.ServiceConfig{
 		MaxResidentJobs: *maxResident,
 		MaxQueuedJobs:   *maxQueued,
+		Metrics:         reg,
+		Trace:           ring,
 	})
 	defer sv.Close() //nolint:errcheck // drained explicitly below
 
@@ -88,6 +124,20 @@ func run() error {
 			return err
 		}
 		handles = append(handles, h)
+		if reg != nil {
+			// Per-job step counters, readable while the job runs.
+			reg.CounterFunc("op2_job_steps_total",
+				"Timesteps executed by this job's runtime.",
+				func() float64 { return float64(h.StepStats().Steps) },
+				"job", h.Name())
+			reg.CounterFunc("op2_job_fused_groups_total",
+				"Fused loop groups executed by this job's runtime.",
+				func() float64 { return float64(h.StepStats().FusedGroups) },
+				"job", h.Name())
+		}
+	}
+	if health != nil {
+		health.SetReady(true) // all jobs admitted; scrapes are meaningful now
 	}
 
 	var refRMS float64
@@ -122,5 +172,12 @@ func run() error {
 	fmt.Printf("service: admitted %d  completed %d  failed %d  canceled %d  rejected %d\n",
 		st.Admitted, st.Completed, st.Failed, st.Canceled, st.Rejected)
 	fmt.Printf("steps issued %d  retired %d\n", st.StepsIssued, st.StepsRetired)
+	if *hold > 0 && *telemetry != "" {
+		fmt.Printf("holding telemetry endpoint for %v\n", *hold)
+		time.Sleep(*hold)
+	}
+	if health != nil {
+		health.SetReady(false) // draining: fail /readyz before teardown
+	}
 	return sv.Close()
 }

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"op2hpx/internal/hpx"
 	"op2hpx/internal/hpx/sched"
+	"op2hpx/internal/obs"
 )
 
 // CompiledLoop is the steady-state execution artifact of one loop under
@@ -43,6 +45,10 @@ type CompiledLoop struct {
 
 	runs   sync.Pool // *loopRun
 	issues sync.Pool // *issueState: pooled async-issue states (see issue.go)
+
+	// hist caches the loop's op2_loop_seconds handle — one atomic load
+	// per execution once registered (see CompiledLoop.histFor).
+	hist atomic.Pointer[obs.Histogram]
 
 	// Dependency gather buffers, reused across synchronous dataflow
 	// invocations. Only the issuing goroutine touches them — the same

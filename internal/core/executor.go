@@ -9,6 +9,7 @@ import (
 
 	"op2hpx/internal/hpx"
 	"op2hpx/internal/hpx/sched"
+	"op2hpx/internal/obs"
 )
 
 // Backend selects how parallel loops execute — the axis the paper's
@@ -72,6 +73,8 @@ type Executor struct {
 	cfg      Config
 	plans    planCache
 	profiler *Profiler
+	metrics  *obs.Registry
+	tracer   *obs.TraceRing
 
 	// Step-execution counters behind StepStats: steps issued, fused
 	// groups executed, and loop occurrences those groups absorbed.
@@ -377,13 +380,23 @@ func (ex *Executor) executeCompiled(ctx context.Context, cl *CompiledLoop) (err 
 		return fmt.Errorf("op2: loop %q canceled: %w", l.Name, cerr)
 	}
 	var profStart time.Time
-	if ex.profiler != nil {
+	if ex.profiler != nil || ex.metrics != nil || ex.tracer != nil {
 		profStart = time.Now()
 		defer func() {
-			if err == nil {
+			if err != nil {
+				return
+			}
+			d := time.Since(profStart)
+			if ex.profiler != nil {
 				// The plan is pinned on the compiled loop — no planCache
 				// lock and lookup per profiled invocation.
-				ex.profiler.record(l.Name, l.Set.Name(), time.Since(profStart), cl.plan)
+				ex.profiler.record(l.Name, l.Set.Name(), d, cl.plan)
+			}
+			if ex.metrics != nil {
+				cl.histFor(ex.metrics).ObserveDuration(d)
+			}
+			if ex.tracer != nil {
+				ex.tracer.Record(l.Name, "exec", 0, profStart, d)
 			}
 		}()
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"op2hpx/internal/hpx"
+	"op2hpx/internal/obs"
 )
 
 // maxFuse caps a fused group's member count so per-member failure state
@@ -52,6 +53,10 @@ type stepGroup struct {
 
 	runs      sync.Pool // *fusedRun; multi-loop groups only
 	runsIssue sync.Pool // *groupIssue; pooled async-issue states
+
+	// hist caches the group's op2_fused_group_seconds handle — one
+	// atomic load per pass once registered (see stepGroup.histFor).
+	hist atomic.Pointer[obs.Histogram]
 
 	// Union dependency gather buffers, reused per issue
 	// (issuing-goroutine only, like CompiledLoop's).
@@ -373,7 +378,8 @@ func (ex *Executor) executeFusedCtx(ctx context.Context, sp *StepPlan, g *stepGr
 	}
 	set := sp.Loops[g.lo].Set
 	var profStart time.Time
-	if ex.profiler != nil {
+	obsOn := ex.profiler != nil || ex.metrics != nil || ex.tracer != nil
+	if obsOn {
 		profStart = time.Now()
 	}
 	fr, err := g.getRun(ex, sp, ctx)
@@ -428,8 +434,17 @@ func (ex *Executor) executeFusedCtx(ctx context.Context, sp *StepPlan, g *stepGr
 	}
 	fr.finish()
 	copy(errs, fr.errs)
-	if ex.profiler != nil && fr.failed.Load() == 0 {
-		ex.profiler.record(g.name, set.Name(), time.Since(profStart), nil)
+	if obsOn && fr.failed.Load() == 0 {
+		d := time.Since(profStart)
+		if ex.profiler != nil {
+			ex.profiler.record(g.name, set.Name(), d, nil)
+		}
+		if ex.metrics != nil {
+			g.histFor(ex.metrics).ObserveDuration(d)
+		}
+		if ex.tracer != nil {
+			ex.tracer.Record(g.name, "fused", 0, profStart, d)
+		}
 	}
 	return errs
 }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"op2hpx/internal/obs"
+)
+
+// SetMetrics attaches a metrics registry to the executor; pass nil to
+// disable. With a registry attached every loop execution feeds a
+// per-loop latency histogram (op2_loop_seconds{loop=...}), fused passes
+// feed op2_fused_group_seconds{group=...}, and the executor's cumulative
+// step counters are exported as op2_steps_total /
+// op2_fused_groups_total / op2_fused_loops_total. Counter exports are
+// func-backed and sampled at scrape time, so several executors sharing
+// one registry sum into the same series. Attach the registry before the
+// executor starts running loops: per-loop histogram handles are cached
+// on the compiled loops against the first registry they observe.
+func (ex *Executor) SetMetrics(r *obs.Registry) {
+	ex.metrics = r
+	if r == nil {
+		return
+	}
+	r.CounterFunc("op2_steps_total",
+		"Step-graph executions issued by the executor.",
+		func() float64 { return float64(ex.stepsRun.Load()) })
+	r.CounterFunc("op2_fused_groups_total",
+		"Multi-loop fused passes executed.",
+		func() float64 { return float64(ex.fusedGroupsRun.Load()) })
+	r.CounterFunc("op2_fused_loops_total",
+		"Loop occurrences absorbed into fused passes.",
+		func() float64 { return float64(ex.fusedLoopsRun.Load()) })
+}
+
+// Metrics returns the attached metrics registry, if any.
+func (ex *Executor) Metrics() *obs.Registry { return ex.metrics }
+
+// SetTraceRing attaches a span ring to the executor; pass nil to
+// disable. With a ring attached every loop execution records an "exec"
+// span and every fused pass a "fused" span (rank 0 — per-rank phase
+// spans come from the distributed engine).
+func (ex *Executor) SetTraceRing(t *obs.TraceRing) { ex.tracer = t }
+
+// TraceRing returns the attached span ring, if any.
+func (ex *Executor) TraceRing() *obs.TraceRing { return ex.tracer }
+
+// histFor returns the loop's latency histogram in r, registering it on
+// first use. The handle is cached on the compiled loop — one atomic
+// load per execution, no registry lock on the hot path.
+func (cl *CompiledLoop) histFor(r *obs.Registry) *obs.Histogram {
+	if h := cl.hist.Load(); h != nil {
+		return h
+	}
+	h := r.Histogram("op2_loop_seconds",
+		"Wall time of parallel-loop executions.",
+		obs.DurationBuckets, "loop", cl.l.Name)
+	cl.hist.Store(h)
+	return h
+}
+
+// histFor is the fused-group analogue of CompiledLoop.histFor.
+func (g *stepGroup) histFor(r *obs.Registry) *obs.Histogram {
+	if h := g.hist.Load(); h != nil {
+		return h
+	}
+	h := r.Histogram("op2_fused_group_seconds",
+		"Wall time of multi-loop fused passes.",
+		obs.DurationBuckets, "group", g.name)
+	g.hist.Store(h)
+	return h
+}

@@ -112,3 +112,50 @@ func TestProfilerDataflowConcurrentRecording(t *testing.T) {
 		t.Fatalf("recorded %d executions, want %d", got, iters)
 	}
 }
+
+func TestProfilerStatsDeterministicTieBreak(t *testing.T) {
+	// Equal totals must order by name, every time.
+	for trial := 0; trial < 5; trial++ {
+		p := NewProfiler()
+		p.record("zeta", "cells", time.Millisecond, nil)
+		p.record("alpha", "cells", time.Millisecond, nil)
+		p.record("mid", "cells", time.Millisecond, nil)
+		stats := p.Stats()
+		if stats[0].Name != "alpha" || stats[1].Name != "mid" || stats[2].Name != "zeta" {
+			t.Fatalf("tie-break order = %v %v %v, want alpha mid zeta",
+				stats[0].Name, stats[1].Name, stats[2].Name)
+		}
+	}
+}
+
+func TestProfilerPercentiles(t *testing.T) {
+	p := NewProfiler()
+	for i := 0; i < 100; i++ {
+		p.record("res_calc", "cells", 15*time.Microsecond, nil)
+	}
+	s := p.Stats()[0]
+	// All samples fall in the (10µs, 25µs] bucket of DurationBuckets;
+	// every percentile must interpolate inside it.
+	for _, q := range []time.Duration{s.P50, s.P95, s.P99} {
+		if q <= 10*time.Microsecond || q > 25*time.Microsecond {
+			t.Fatalf("percentile %v outside sample bucket (p50=%v p95=%v p99=%v)", q, s.P50, s.P95, s.P99)
+		}
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("percentiles not monotone: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+}
+
+func TestProfilerStringHasPercentileColumns(t *testing.T) {
+	p := NewProfiler()
+	p.record("adt_calc", "cells", time.Millisecond, nil)
+	out := p.String()
+	for _, want := range []string{"p50", "p95", "p99", "adt_calc"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+	if out != p.String() {
+		t.Fatal("String() not deterministic across calls")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"op2hpx/internal/core"
 	"op2hpx/internal/hpx"
+	"op2hpx/internal/obs"
 	"op2hpx/internal/part"
 )
 
@@ -61,6 +62,14 @@ type Engine struct {
 	blockSize   int
 	tr          *countingTransport
 	trace       TraceFunc
+
+	// Observability hooks (see obs.go). obsOn folds "any hook attached"
+	// into one branch so the disabled hot path pays a single bool load.
+	metrics    *obs.Registry
+	tracer     *obs.TraceRing
+	phaseHists [nPhases]*obs.Histogram
+	obsOn      bool
+	stepsRun   atomic.Int64 // step submissions (single-loop runs included)
 
 	mu      sync.Mutex
 	sets    map[*core.Set]*setPart
@@ -250,6 +259,10 @@ func (e *Engine) PlanCount() int {
 	defer e.mu.Unlock()
 	return len(e.plans)
 }
+
+// StepsRun reports how many step submissions the engine has executed —
+// single-loop Run/RunAsync calls submit one-loop steps and count too.
+func (e *Engine) StepsRun() int64 { return e.stepsRun.Load() }
 
 // PlanBuilds reports how many loop plans were actually built (cache
 // misses) over the engine's lifetime — the observable behind the
@@ -686,6 +699,7 @@ func (e *Engine) gateLocked(sp *stepPlan, fStep *hpx.Future[struct{}]) hpx.Waite
 // it): swap the engine tail, post one task per rank in rank order, and
 // spawn the driver that folds reductions and resolves the step future.
 func (e *Engine) submitLocked(ctx context.Context, sp *stepPlan, loops []*core.Loop) *hpx.Future[struct{}] {
+	e.stepsRun.Add(1)
 	prev := e.tail
 	pStep, fStep := hpx.NewPromise[struct{}]()
 	e.tail = fStep

@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"op2hpx/internal/core"
 	"op2hpx/internal/hpx"
@@ -141,7 +142,14 @@ func (w *worker) execStep(t *task) ([][]float64, error) {
 		// the occurrences in between compute.
 		for _, L := range sp.hoisted[o] {
 			if sched := sr.readPost[L]; sched != nil {
+				var phStart time.Time
+				if w.eng.obsOn {
+					phStart = time.Now()
+				}
 				w.postRead(t, sp.loops[L], sched, L, true)
+				if w.eng.obsOn {
+					w.eng.observePhase(sp.loops[L].name, w.rank, phHoist, phStart)
+				}
 			}
 		}
 		occErr := w.execOcc(t, o, gateErr, &redBufs[o], &pending)
@@ -255,15 +263,29 @@ func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pendin
 	// earlier occurrence. Nothing blocks here. A coalescing leader's
 	// schedule covers every loop of its group; followers have none (the
 	// halo is already fresh when they run).
+	obsOn := eng.obsOn
+	var phStart time.Time
 	sched := sr.readPost[o]
 	if sched != nil && sp.hoistAt[o] == o {
+		if obsOn {
+			phStart = time.Now()
+		}
 		w.postRead(t, lp, sched, o, false)
+		if obsOn {
+			eng.observePhase(lp.name, r, phIssue, phStart)
+		}
 	}
 
 	// Phase 2: interior elements execute while halo messages are in
 	// flight — the paper's overlap, applied to communication latency.
 	if err == nil {
+		if obsOn {
+			phStart = time.Now()
+		}
 		fail(w.runChunks(t, o, redBuf, views, 0, rp.ninterior, "interior"))
+		if obsOn {
+			eng.observePhase(lp.name, r, phInterior, phStart)
+		}
 	}
 
 	// Phase 3: gate on halo resolution, scatter imports into halo slots,
@@ -272,6 +294,9 @@ func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pendin
 		fail(w.readErr[o])
 		readFuts, readSrcs := w.readFuts[o], w.readSrcs[o]
 		if len(readFuts) > 0 {
+			if obsOn {
+				phStart = time.Now()
+			}
 			if tr := eng.trace; tr != nil {
 				tr(lp.name, r, "halo")
 			}
@@ -296,12 +321,21 @@ func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pendin
 					f.Release()
 				}
 			}
+			if obsOn {
+				eng.observePhase(lp.name, r, phHalo, phStart)
+			}
 		}
 	}
 
 	// Phase 4: boundary elements, now that their halo reads are fresh.
 	if err == nil {
+		if obsOn {
+			phStart = time.Now()
+		}
 		fail(w.runChunks(t, o, redBuf, views, rp.ninterior, len(rp.elems), "boundary"))
+		if obsOn {
+			eng.observePhase(lp.name, r, phBoundary, phStart)
+		}
 	}
 
 	// Phase 5: export buffered increments to their owners and post the
@@ -348,6 +382,13 @@ func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pendin
 func (w *worker) resolveApply(t *task, pa *pendingApply) error {
 	lp, r := pa.lp, w.rank
 	rp := lp.ranks[r]
+	var phStart time.Time
+	if w.eng.obsOn {
+		phStart = time.Now()
+		defer func() {
+			w.eng.observePhase(lp.name, r, phIncApply, phStart)
+		}()
+	}
 	err := pa.err
 	futs, srcs := w.incFuts[pa.o], w.incSrcs[pa.o]
 	if cap(w.incMsgs) < w.eng.ranks {

@@ -335,6 +335,7 @@ func All(o Options) ([]*perf.Table, error) {
 		{"step", Step},
 		{"hotpath", HotPath},
 		{"service", Service},
+		{"obs", Obs},
 	}
 	var out []*perf.Table
 	for _, f := range fns {
@@ -361,6 +362,7 @@ func ByName(name string) (func(Options) (*perf.Table, error), bool) {
 		"step":    Step,
 		"hotpath": HotPath,
 		"service": Service,
+		"obs":     Obs,
 	}
 	f, ok := m[name]
 	return f, ok

@@ -138,7 +138,7 @@ func TestAllRunsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 11 {
-		t.Fatalf("tables = %d, want 11", len(tabs))
+	if len(tabs) != 12 {
+		t.Fatalf("tables = %d, want 12", len(tabs))
 	}
 }

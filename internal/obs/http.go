@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// Health carries the process's liveness and readiness verdicts, the
+// spiderpool-agent-style runtime health the telemetry endpoints expose:
+// /healthz answers liveness (the process is up and its control loops
+// run — true from construction until SetLive(false)), /readyz answers
+// readiness (the service accepts work — false until SetReady(true),
+// flipped back to false when shutdown drain begins, so load balancers
+// stop routing before jobs stop completing).
+type Health struct {
+	live  atomic.Bool
+	ready atomic.Bool
+}
+
+// NewHealth returns a Health that is live and not yet ready.
+func NewHealth() *Health {
+	h := &Health{}
+	h.live.Store(true)
+	return h
+}
+
+// SetLive sets the liveness verdict.
+func (h *Health) SetLive(v bool) { h.live.Store(v) }
+
+// Live reports the liveness verdict.
+func (h *Health) Live() bool { return h.live.Load() }
+
+// SetReady sets the readiness verdict.
+func (h *Health) SetReady(v bool) { h.ready.Store(v) }
+
+// Ready reports the readiness verdict.
+func (h *Health) Ready() bool { return h.ready.Load() }
+
+// TelemetryMux builds the HTTP telemetry edge:
+//
+//	/metrics      Prometheus text exposition of reg (0.0.4)
+//	/healthz      200 "ok" while health is live, 503 otherwise
+//	/readyz       200 "ok" while health is ready, 503 "draining"
+//	/trace        Chrome trace_event JSON dump of the span ring
+//	/debug/pprof  the standard Go profiling endpoints
+//
+// Any of reg, ring and health may be nil: the corresponding endpoint
+// then reports 404 (metrics, trace) or always-200 (health endpoints —
+// a process serving the mux is trivially live).
+func TelemetryMux(reg *Registry, ring *TraceRing, health *Health) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if health != nil && !health.Live() {
+			http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if health != nil && !health.Ready() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if ring == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		ring.WriteChromeTrace(w) //nolint:errcheck // client went away
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

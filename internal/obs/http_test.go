@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestTelemetryMuxMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("op2_things_total", "Things.").Add(9)
+	srv := httptest.NewServer(TelemetryMux(reg, nil, nil))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	if !strings.Contains(body, "op2_things_total 9") {
+		t.Errorf("metrics body missing counter:\n%s", body)
+	}
+	validatePrometheusText(t, body)
+}
+
+func TestTelemetryMuxHealthFlips(t *testing.T) {
+	h := NewHealth()
+	srv := httptest.NewServer(TelemetryMux(nil, nil, h))
+	defer srv.Close()
+
+	if code, _, _ := get(t, srv, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz while live = %d, want 200", code)
+	}
+	if code, body, _ := get(t, srv, "/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("/readyz before ready = %d %q, want 503 draining", code, body)
+	}
+
+	h.SetReady(true)
+	if code, _, _ := get(t, srv, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after SetReady = %d, want 200", code)
+	}
+
+	// Shutdown drain: readiness drops first, liveness can follow.
+	h.SetReady(false)
+	if code, _, _ := get(t, srv, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d, want 503", code)
+	}
+	h.SetLive(false)
+	if code, body, _ := get(t, srv, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "unhealthy") {
+		t.Fatalf("/healthz after SetLive(false) = %d %q, want 503 unhealthy", code, body)
+	}
+}
+
+func TestTelemetryMuxTrace(t *testing.T) {
+	ring := NewTraceRing(8)
+	ring.Record("res_calc", "interior", 0, time.Unix(1, 0), time.Millisecond)
+	srv := httptest.NewServer(TelemetryMux(nil, ring, nil))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("Content-Type = %q, want JSON", ct)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("/trace is not valid JSON: %v", err)
+	}
+	if _, ok := out["traceEvents"]; !ok {
+		t.Errorf("/trace missing traceEvents key: %v", out)
+	}
+}
+
+func TestTelemetryMuxNilComponents(t *testing.T) {
+	srv := httptest.NewServer(TelemetryMux(nil, nil, nil))
+	defer srv.Close()
+	if code, _, _ := get(t, srv, "/metrics"); code != http.StatusNotFound {
+		t.Errorf("/metrics with nil registry = %d, want 404", code)
+	}
+	if code, _, _ := get(t, srv, "/trace"); code != http.StatusNotFound {
+		t.Errorf("/trace with nil ring = %d, want 404", code)
+	}
+	if code, _, _ := get(t, srv, "/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz with nil health = %d, want 200", code)
+	}
+}
+
+func TestTelemetryMuxPprof(t *testing.T) {
+	srv := httptest.NewServer(TelemetryMux(nil, nil, nil))
+	defer srv.Close()
+	code, body, _ := get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+	if !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index missing profiles list")
+	}
+}

@@ -1,0 +1,452 @@
+// Package obs is the low-overhead instrumentation layer of the runtime:
+// a metrics registry of atomic counters, gauges and fixed-bucket
+// histograms with Prometheus text exposition, a fixed-capacity span ring
+// recording execution phases exportable as Chrome trace_event JSON, and
+// the HTTP telemetry edge (/metrics, /healthz, /readyz, /debug/pprof,
+// /trace) that cmd/op2serve mounts.
+//
+// The design constraint is that observability must be provably free when
+// off and nearly free when on: every update path — Counter.Add,
+// Gauge.Set, Histogram.Observe, TraceRing.Record — performs zero heap
+// allocations, so the steady-state zero-alloc guarantees of the
+// executor survive with the layer compiled in and enabled. Registration
+// (which allocates) happens once per metric; hot paths cache the
+// returned handles. Pull-style observables (queue depths, pool
+// counters) register as CounterFunc/GaugeFunc callbacks sampled only at
+// scrape time, costing nothing between scrapes. Multiple callbacks
+// registered under one name sum at scrape, so per-runtime sources (each
+// job's halo-buffer pools, say) aggregate naturally in a shared
+// registry.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use; updates are lock-free and allocation-free.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the exposition to stay monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. The zero value is ready to
+// use; updates are lock-free and allocation-free.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DurationBuckets are the default latency histogram bounds, in seconds:
+// 1µs to 2.5s in a 1-2.5-5 ladder — wide enough for a kernel chunk and a
+// whole mesh-generation Start alike.
+var DurationBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5,
+}
+
+// Histogram is a fixed-bucket histogram: cumulative-at-exposition bucket
+// counters plus a running sum, all updated with atomics. Observe is
+// lock-free and allocation-free; the bucket bounds are immutable after
+// construction. Build one standalone with NewHistogram (the profiler's
+// per-loop histograms) or registered through Registry.Histogram.
+type Histogram struct {
+	bounds []float64       // upper bounds, ascending; implicit +Inf last
+	counts []atomic.Uint64 // len(bounds)+1, per-bucket (not cumulative)
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (an implicit +Inf bucket is appended). Nil or empty bounds use
+// DurationBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		s := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) the way Prometheus'
+// histogram_quantile does: find the bucket holding the target rank and
+// interpolate linearly within it. Observations beyond the last finite
+// bound clamp to that bound. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / c
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metricKind discriminates a family's exposition type.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one (name, labels) time series of a family.
+type series struct {
+	labels string // rendered {k="v",...} or ""
+	ctr    *Counter
+	gauge  *Gauge
+	fns    []func() float64 // func-backed: summed at scrape
+	hist   *Histogram
+}
+
+// family groups every series of one metric name under one HELP/TYPE.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	byKey  map[string]*series
+	series []*series
+}
+
+// Registry is a set of named metrics with Prometheus text exposition.
+// Registration takes a lock and may allocate; updates through the
+// returned handles are lock-free. Registering an existing (name, labels)
+// pair returns the existing handle — counters and histograms merge
+// naturally across sources — except func-backed metrics, which append:
+// their callbacks are summed at scrape time.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// renderLabels renders pairs ("k1", "v1", "k2", "v2", ...) as
+// {k1="v1",k2="v2"}. Panics on an odd count — label sets are static call
+// sites, not data.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label pairs %v", pairs))
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(pairs[i+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup returns the family (created if new) and the series under key,
+// or nil if the series does not exist yet. Caller holds r.mu.
+func (r *Registry) lookup(name, help string, kind metricKind, labelKey string) (*family, *series) {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, byKey: map[string]*series{}}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %v and %v", name, f.kind, kind))
+	}
+	return f, f.byKey[labelKey]
+}
+
+// add installs a new series under the family. Caller holds r.mu.
+func (f *family) add(s *series) {
+	f.byKey[s.labels] = s
+	f.series = append(f.series, s)
+}
+
+// Counter registers (or returns the existing) counter under name and
+// optional label pairs ("k", "v", ...).
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	lk := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, kindCounter, lk)
+	if s == nil {
+		s = &series{labels: lk, ctr: &Counter{}}
+		f.add(s)
+	}
+	if s.ctr == nil {
+		panic(fmt.Sprintf("obs: metric %q%s registered as func-backed and direct", name, lk))
+	}
+	return s.ctr
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	lk := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, kindGauge, lk)
+	if s == nil {
+		s = &series{labels: lk, gauge: &Gauge{}}
+		f.add(s)
+	}
+	if s.gauge == nil {
+		panic(fmt.Sprintf("obs: metric %q%s registered as func-backed and direct", name, lk))
+	}
+	return s.gauge
+}
+
+// CounterFunc registers a pull-style counter: fn is sampled at scrape
+// time. Registering the same (name, labels) again appends another
+// callback; the exposed value is the sum — per-source observables
+// (each runtime's pool counters, say) aggregate in a shared registry.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.addFunc(name, help, kindCounter, fn, labels)
+}
+
+// GaugeFunc is CounterFunc with gauge semantics.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.addFunc(name, help, kindGauge, fn, labels)
+}
+
+func (r *Registry) addFunc(name, help string, kind metricKind, fn func() float64, labels []string) {
+	lk := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, kind, lk)
+	if s == nil {
+		s = &series{labels: lk}
+		f.add(s)
+	}
+	if s.ctr != nil || s.gauge != nil || s.hist != nil {
+		panic(fmt.Sprintf("obs: metric %q%s registered as direct and func-backed", name, lk))
+	}
+	s.fns = append(s.fns, fn)
+}
+
+// Histogram registers (or returns the existing) histogram over the given
+// bucket upper bounds (nil = DurationBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	lk := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, s := r.lookup(name, help, kindHistogram, lk)
+	if s == nil {
+		s = &series{labels: lk, hist: NewHistogram(bounds)}
+		f.add(s)
+	}
+	return s.hist
+}
+
+// formatFloat renders a float the way Prometheus clients do.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every metric in the text exposition format
+// (version 0.0.4), families sorted by name and series by label set, so
+// the output is deterministic for a given registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	// Snapshot the series lists so sampling runs without the lock: func
+	// metrics may re-enter (a GaugeFunc calling Service.Stats which takes
+	// its own mutex) and scrapes must not block registration. The fns
+	// headers are copied under the lock too — a concurrent registration
+	// appends (possibly reallocating the backing array), and only the
+	// elements within the snapshot's length are read here.
+	type seriesSnap struct {
+		s   *series
+		fns []func() float64
+	}
+	type snap struct {
+		f  *family
+		ss []seriesSnap
+	}
+	snaps := make([]snap, len(fams))
+	for i, f := range fams {
+		ss := make([]seriesSnap, len(f.series))
+		for k, s := range f.series {
+			ss[k] = seriesSnap{s: s, fns: s.fns}
+		}
+		sort.Slice(ss, func(a, b int) bool { return ss[a].s.labels < ss[b].s.labels })
+		snaps[i] = snap{f: f, ss: ss}
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, sn := range snaps {
+		f := sn.f
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, e := range sn.ss {
+			s := e.s
+			switch {
+			case s.hist != nil:
+				writeHistogram(&b, f.name, s)
+			case s.ctr != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.ctr.Value())
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.gauge.Value())
+			default:
+				var v float64
+				for _, fn := range e.fns {
+					v += fn()
+				}
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatFloat(v))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket lines
+// with le labels, then _sum and _count.
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.hist
+	inner := strings.TrimSuffix(strings.TrimPrefix(s.labels, "{"), "}")
+	leLabel := func(le string) string {
+		if inner == "" {
+			return `{le="` + le + `"}`
+		}
+		return "{" + inner + `,le="` + le + `"}`
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, leLabel(formatFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, leLabel("+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labels, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, cum)
+}

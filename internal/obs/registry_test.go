@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("op2_widgets_total", "Widgets.")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("op2_widgets_total", "Widgets."); again != c {
+		t.Fatal("re-registering a counter did not return the existing handle")
+	}
+	g := r.Gauge("op2_depth", "Depth.")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("op2_loops_total", "Loops.", "loop", "a")
+	b := r.Counter("op2_loops_total", "Loops.", "loop", "b")
+	if a == b {
+		t.Fatal("different label sets share one counter")
+	}
+	a.Add(2)
+	b.Add(3)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`op2_loops_total{loop="a"} 2`,
+		`op2_loops_total{loop="b"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE op2_loops_total counter") != 1 {
+		t.Errorf("want exactly one TYPE line per family:\n%s", out)
+	}
+}
+
+func TestFuncMetricsSumAcrossRegistrations(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("op2_pool_free", "Free buffers.", func() float64 { return 3 })
+	r.GaugeFunc("op2_pool_free", "Free buffers.", func() float64 { return 4 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "op2_pool_free 7") {
+		t.Errorf("func metrics did not sum:\n%s", sb.String())
+	}
+}
+
+func TestHistogramObserveAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("op2_lat_seconds", "Latency.", []float64{0.1, 1, 10}, "loop", "x")
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE op2_lat_seconds histogram",
+		`op2_lat_seconds_bucket{loop="x",le="0.1"} 1`,
+		`op2_lat_seconds_bucket{loop="x",le="1"} 3`,
+		`op2_lat_seconds_bucket{loop="x",le="10"} 4`,
+		`op2_lat_seconds_bucket{loop="x",le="+Inf"} 5`,
+		`op2_lat_seconds_count{loop="x"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	q := h.Quantile(0.5)
+	if q < 1 || q > 2 {
+		t.Fatalf("p50 = %v, want within (1,2]", q)
+	}
+	if got := h.Quantile(0); got < 0 || got > 2 {
+		t.Fatalf("p0 = %v out of range", got)
+	}
+	empty := NewHistogram(nil)
+	if got := empty.Quantile(0.9); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// Observations beyond the last bound clamp to it.
+	over := NewHistogram([]float64{1, 2})
+	over.Observe(100)
+	if got := over.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow quantile = %v, want 2 (last finite bound)", got)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram(DurationBuckets)
+	h.ObserveDuration(3 * time.Millisecond)
+	if got := h.Count(); got != 1 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := h.Sum(); math.Abs(got-0.003) > 1e-9 {
+		t.Fatalf("sum = %v, want 0.003", got)
+	}
+}
+
+// TestRegistryConcurrent hammers registration and updates from many
+// goroutines — the -race guard for the scrape-while-update paths.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			c := r.Counter("op2_conc_total", "Concurrent.")
+			h := r.Histogram("op2_conc_seconds", "Concurrent.", nil)
+			g := r.Gauge("op2_conc_depth", "Concurrent.")
+			r.GaugeFunc("op2_conc_fn", "Concurrent.", func() float64 { return 1 })
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-6)
+				g.Set(int64(i))
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("op2_conc_total", "Concurrent.").Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("op2_conc_seconds", "Concurrent.", nil).Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+// TestUpdatePathsDoNotAllocate pins the hot-path invariant: metric
+// updates perform zero heap allocations.
+func TestUpdatePathsDoNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("op2_a_total", "A.")
+	g := r.Gauge("op2_b", "B.")
+	h := r.Histogram("op2_c_seconds", "C.", nil)
+	if allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(1.5e-4)
+	}); allocs != 0 {
+		t.Fatalf("metric updates allocate %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestPrometheusTextIsWellFormed runs a minimal line validator over a
+// populated registry's exposition: every non-comment line must be
+// `name{labels} value` with a parseable value.
+func TestPrometheusTextIsWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("op2_x_total", "X.", "job", `we"ird\`).Add(1)
+	r.Gauge("op2_y", "Y.").Set(-2)
+	r.Histogram("op2_z_seconds", "Z.", nil, "loop", "res").Observe(0.2)
+	r.GaugeFunc("op2_w", "W.", func() float64 { return 2.5 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	validatePrometheusText(t, sb.String())
+}
+
+// validatePrometheusText is the shared structural check: HELP/TYPE
+// comments and `name[{labels}] value` sample lines only.
+func validatePrometheusText(t *testing.T, text string) {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty exposition")
+	}
+	for _, line := range lines {
+		if line == "" {
+			t.Errorf("blank line in exposition")
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Errorf("unexpected comment %q", line)
+			continue
+		}
+		// Split metric id from value at the last space outside braces —
+		// label values may contain spaces.
+		idx := strings.LastIndex(line, " ")
+		if idx <= 0 {
+			t.Errorf("malformed sample line %q", line)
+			continue
+		}
+		id, val := line[:idx], line[idx+1:]
+		if val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := parseFloat(val); err != nil {
+				t.Errorf("line %q: bad value %q: %v", line, val, err)
+			}
+		}
+		name := id
+		if b := strings.IndexByte(id, '{'); b >= 0 {
+			if !strings.HasSuffix(id, "}") {
+				t.Errorf("line %q: unbalanced braces", line)
+			}
+			name = id[:b]
+		}
+		if name == "" || strings.ContainsAny(name, " \t") {
+			t.Errorf("line %q: bad metric name %q", line, name)
+		}
+	}
+}
+
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}

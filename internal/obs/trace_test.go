@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRingOverflowWraparound(t *testing.T) {
+	r := NewTraceRing(4)
+	base := time.Unix(0, 1_000_000)
+	for i := 0; i < 10; i++ {
+		r.Record("loop", "interior", i, base.Add(time.Duration(i)*time.Millisecond), time.Millisecond)
+	}
+	if got := r.Cap(); got != 4 {
+		t.Fatalf("cap = %d, want 4", got)
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("len = %d, want 4", got)
+	}
+	if got := r.Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+	if got := r.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	spans := r.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(spans))
+	}
+	// Oldest surviving span was recorded with rank 6; order is 6,7,8,9.
+	for i, s := range spans {
+		if want := int32(6 + i); s.Rank != want {
+			t.Errorf("spans[%d].Rank = %d, want %d (oldest-first order)", i, s.Rank, want)
+		}
+	}
+}
+
+func TestTraceRingPartialFill(t *testing.T) {
+	r := NewTraceRing(8)
+	base := time.Unix(10, 0)
+	r.Record("a", "exec", 0, base, time.Microsecond)
+	r.Record("b", "exec", 1, base.Add(time.Second), 2*time.Microsecond)
+	if got := r.Len(); got != 2 {
+		t.Fatalf("len = %d, want 2", got)
+	}
+	if got := r.Dropped(); got != 0 {
+		t.Fatalf("dropped = %d, want 0", got)
+	}
+	spans := r.Snapshot()
+	if len(spans) != 2 || spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Fatalf("snapshot = %+v, want [a b]", spans)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("after Reset: len=%d total=%d, want 0/0", r.Len(), r.Total())
+	}
+}
+
+func TestTraceRingRecordDoesNotAllocate(t *testing.T) {
+	r := NewTraceRing(64)
+	base := time.Unix(20, 0)
+	if allocs := testing.AllocsPerRun(200, func() {
+		r.Record("loop", "halo", 3, base, 5*time.Microsecond)
+	}); allocs != 0 {
+		t.Fatalf("Record allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestTraceRingConcurrentRecord(t *testing.T) {
+	r := NewTraceRing(128)
+	base := time.Unix(30, 0)
+	var wg sync.WaitGroup
+	const workers = 8
+	const per = 200
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record("loop", "interior", rank, base, time.Microsecond)
+				if i%50 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Total(); got != workers*per {
+		t.Fatalf("total = %d, want %d", got, workers*per)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewTraceRing(16)
+	base := time.Unix(100, 0)
+	r.Record("res_calc", "interior", 0, base, 40*time.Microsecond)
+	r.Record("res_calc", "halo", 1, base.Add(10*time.Microsecond), 5*time.Microsecond)
+	var sb strings.Builder
+	if err := r.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		Meta struct {
+			Spans   int    `json:"spans"`
+			Dropped uint64 `json:"dropped"`
+		} `json:"op2"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(out.TraceEvents) != 2 || out.Meta.Spans != 2 || out.Meta.Dropped != 0 {
+		t.Fatalf("unexpected trace: %+v", out)
+	}
+	ev := out.TraceEvents[1]
+	if ev.Ph != "X" || ev.Cat != "halo" || ev.Tid != 1 {
+		t.Errorf("event = %+v, want complete event in halo category on tid 1", ev)
+	}
+	if ev.Ts != 10 || ev.Dur != 5 {
+		t.Errorf("ts/dur = %v/%v µs, want 10/5 (relative to oldest span)", ev.Ts, ev.Dur)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	r := NewTraceRing(4)
+	var sb strings.Builder
+	if err := r.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"traceEvents":[]`) {
+		t.Fatalf("empty ring should emit an empty traceEvents array:\n%s", sb.String())
+	}
+}

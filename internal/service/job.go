@@ -5,13 +5,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// Job is one admitted simulation job. The scheduler owns its issue side
-// (spec.Start, IssueStep, the issued counter); a per-job retirer
-// goroutine owns its completion side (waiting step futures in issue
-// order, Finalize, Close). Callers observe it through Status, Done,
-// Result and Cancel.
+// Job is one admitted simulation job. A start worker builds its runtime
+// (spec.Start); the scheduler owns its issue side (IssueStep, the
+// issued counter); a per-job retirer goroutine owns its completion side
+// (waiting step futures in issue order, Finalize, Close). Callers
+// observe it through Status, Done, Result and Cancel.
 type Job struct {
 	svc         *Service
 	spec        Spec
@@ -19,10 +20,13 @@ type Job struct {
 	cancelCtx   context.CancelFunc
 	maxInFlight int
 
-	// Scheduler-owned (single goroutine, no locks needed).
+	// Scheduler-owned (single goroutine, no locks needed). inst is the
+	// exception: a start worker writes it and the scheduler reads it, so
+	// both sides go through svc.mu.
 	inst        Instance
 	issued      int
 	doneIssuing bool
+	startSent   bool // handed to the start-worker pool (scheduler-owned)
 
 	// The issue→retire conveyor: futures in issue order, closed by the
 	// scheduler when the job stops issuing (complete, canceled or issue
@@ -127,9 +131,17 @@ func (j *Job) loadErr() error {
 // Finalize on a clean run, Close always, then the terminal verdict.
 func (j *Job) retire() {
 	defer j.svc.wg.Done()
+	trace := j.svc.cfg.Trace
 	for fut := range j.retireCh {
+		var t0 time.Time
+		if trace != nil {
+			t0 = time.Now()
+		}
 		if err := fut.Wait(); err != nil {
 			j.fail(fmt.Errorf("service: job %q step failed: %w", j.spec.Name, err))
+		}
+		if trace != nil {
+			trace.Record(j.spec.Name, "retire", 0, t0, time.Since(t0))
 		}
 		j.inflight.Add(-1)
 		j.retired.Add(1)

@@ -32,6 +32,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"op2hpx/internal/obs"
 )
 
 // Future is the completion future of one issued step (a subset of
@@ -85,7 +88,9 @@ type Spec struct {
 	MaxInFlightSteps int
 	// Start builds the job's isolated runtime once a residency slot is
 	// granted (never earlier — queued jobs hold no runtime). It runs on
-	// the scheduler goroutine; ctx is the job's context.
+	// one of the service's start workers — never the scheduler goroutine —
+	// so a slow start (mesh generation, partitioning) does not stall the
+	// other resident jobs' step issuing; ctx is the job's context.
 	Start func(ctx context.Context) (Instance, error)
 }
 
@@ -100,6 +105,17 @@ type Config struct {
 	// DefaultMaxInFlightSteps is the per-job issue-ahead cap applied
 	// when a spec does not set its own (default 8).
 	DefaultMaxInFlightSteps int
+	// StartWorkers is how many goroutines build job runtimes (Spec.Start)
+	// concurrently (default 2). Starts never run on the scheduler
+	// goroutine, so a slow start cannot stall other jobs' issuing.
+	StartWorkers int
+	// Metrics optionally exports the service's observables — queue depth,
+	// residency, job lifecycle counters, steps issued/retired and the
+	// job-start latency histogram — into a registry (sampled at scrape).
+	Metrics *obs.Registry
+	// Trace optionally records per-step retirement waits and job-start
+	// spans into a span ring.
+	Trace *obs.TraceRing
 }
 
 // Typed admission errors, testable with errors.Is.
@@ -187,6 +203,16 @@ type Service struct {
 
 	wake chan struct{} // scheduler doorbell, capacity 1
 	wg   sync.WaitGroup
+
+	// The start-worker pool: the scheduler enqueues jobs whose runtimes
+	// must be built, StartWorkers goroutines drain them. Capacity
+	// MaxResidentJobs and at most one send per resident job (Job.
+	// startSent), so the scheduler's send never blocks.
+	startCh   chan *Job
+	startWg   sync.WaitGroup
+	closeOnce sync.Once
+
+	startHist *obs.Histogram // op2_service_job_start_seconds, nil when metrics off
 }
 
 // New builds a service and starts its scheduler. Zero config fields take
@@ -201,10 +227,62 @@ func New(cfg Config) *Service {
 	if cfg.DefaultMaxInFlightSteps <= 0 {
 		cfg.DefaultMaxInFlightSteps = 8
 	}
-	s := &Service{cfg: cfg, wake: make(chan struct{}, 1)}
+	if cfg.StartWorkers <= 0 {
+		cfg.StartWorkers = 2
+	}
+	s := &Service{
+		cfg:     cfg,
+		wake:    make(chan struct{}, 1),
+		startCh: make(chan *Job, cfg.MaxResidentJobs),
+	}
+	s.registerMetrics()
+	s.startWg.Add(cfg.StartWorkers)
+	for i := 0; i < cfg.StartWorkers; i++ {
+		go s.startWorker()
+	}
 	s.wg.Add(1)
 	go s.run()
 	return s
+}
+
+// registerMetrics exports the service observables into cfg.Metrics as
+// func-backed series sampled at scrape time (no-op when metrics are
+// off). One callback per series; each snapshots Stats independently.
+func (s *Service) registerMetrics() {
+	r := s.cfg.Metrics
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("op2_service_queue_depth",
+		"Jobs waiting for a residency slot.",
+		func() float64 { return float64(s.Stats().QueueDepth) })
+	r.GaugeFunc("op2_service_resident_jobs",
+		"Jobs holding live runtimes.",
+		func() float64 { return float64(s.Stats().Resident) })
+	r.CounterFunc("op2_service_jobs_admitted_total",
+		"Jobs admitted into the queue.",
+		func() float64 { return float64(s.Stats().Admitted) })
+	r.CounterFunc("op2_service_jobs_rejected_total",
+		"Jobs rejected at admission (queue full or service closed).",
+		func() float64 { return float64(s.Stats().Rejected) })
+	r.CounterFunc("op2_service_jobs_completed_total",
+		"Jobs finished successfully.",
+		func() float64 { return float64(s.Stats().Completed) })
+	r.CounterFunc("op2_service_jobs_failed_total",
+		"Jobs finished with an error.",
+		func() float64 { return float64(s.Stats().Failed) })
+	r.CounterFunc("op2_service_jobs_canceled_total",
+		"Jobs finished by cancellation.",
+		func() float64 { return float64(s.Stats().Canceled) })
+	r.CounterFunc("op2_service_steps_issued_total",
+		"Timesteps issued across all jobs.",
+		func() float64 { return float64(s.stepsIssued.Load()) })
+	r.CounterFunc("op2_service_steps_retired_total",
+		"Timesteps whose futures resolved and were waited.",
+		func() float64 { return float64(s.stepsRetired.Load()) })
+	s.startHist = r.Histogram("op2_service_job_start_seconds",
+		"Latency of Spec.Start (runtime construction) on the start workers.",
+		obs.DurationBuckets)
 }
 
 // Submit admits a job (or rejects it with ErrQueueFull/ErrClosed/
@@ -292,6 +370,10 @@ func (s *Service) Close() error {
 	}
 	s.poke()
 	s.wg.Wait()
+	// The scheduler (the only sender) has exited and every resident job
+	// is finished, so the start queue is empty and safe to close.
+	s.closeOnce.Do(func() { close(s.startCh) })
+	s.startWg.Wait()
 	return nil
 }
 
@@ -304,11 +386,12 @@ func (s *Service) poke() {
 }
 
 // run is the scheduler goroutine — the ONLY goroutine that calls
-// Spec.Start and Instance.IssueStep, for every job of the service. Each
-// pass promotes queued jobs into free residency slots, then visits the
-// resident jobs round-robin issuing at most one step per job; passes
-// repeat while any job made progress, then the scheduler sleeps on its
-// doorbell (rung by submits, cancels, retired steps and finished jobs).
+// Instance.IssueStep, for every job of the service (runtime builds are
+// delegated to the start workers). Each pass promotes queued jobs into
+// free residency slots, then visits the resident jobs round-robin
+// issuing at most one step per job; passes repeat while any job made
+// progress, then the scheduler sleeps on its doorbell (rung by submits,
+// cancels, completed starts, retired steps and finished jobs).
 func (s *Service) run() {
 	defer s.wg.Done()
 	var pass []*Job
@@ -360,29 +443,25 @@ func (s *Service) promoteLocked() {
 	}
 }
 
-// visit gives one resident job its slice of the pass: build its runtime
-// if it is Starting, else issue at most one step. Reports whether the
-// job made progress (the pass-repeat condition).
+// visit gives one resident job its slice of the pass: hand it to the
+// start-worker pool if its runtime is not built yet, else issue at most
+// one step. Reports whether the job made progress (the pass-repeat
+// condition).
 func (s *Service) visit(j *Job) bool {
 	if j.doneIssuing {
 		return false // retirer owns the endgame
 	}
-	if j.inst == nil {
-		inst, err := j.spec.Start(j.ctx)
-		if err != nil {
-			s.mu.Lock()
-			s.removeResidentLocked(j)
-			s.finishLocked(j, nil, fmt.Errorf("service: job %q failed to start: %w", j.spec.Name, err))
-			s.mu.Unlock()
-			return true
+	s.mu.Lock()
+	inst := j.inst
+	s.mu.Unlock()
+	if inst == nil {
+		if !j.startSent {
+			// Hand the runtime build to the pool. The send cannot block:
+			// capacity MaxResidentJobs, at most one send per resident job.
+			j.startSent = true
+			s.startCh <- j
 		}
-		s.mu.Lock()
-		j.inst = inst
-		j.state = Running
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go j.retire()
-		return true
+		return false // the start worker pokes the scheduler when done
 	}
 	if j.ctx.Err() != nil || j.loadErr() != nil {
 		// Canceled mid-run, or the retirer already recorded a step
@@ -395,7 +474,7 @@ func (s *Service) visit(j *Job) bool {
 	if j.issued >= j.spec.Iters || int(j.inflight.Load()) >= j.maxInFlight {
 		return false // complete or at its backpressure cap: yield the pass
 	}
-	fut, err := j.inst.IssueStep(j.ctx)
+	fut, err := inst.IssueStep(j.ctx)
 	j.issued++
 	s.stepsIssued.Add(1)
 	if err != nil {
@@ -413,6 +492,55 @@ func (s *Service) visit(j *Job) bool {
 		close(j.retireCh)
 	}
 	return true
+}
+
+// startWorker drains the start queue: each job's Spec.Start runs here,
+// off the scheduler goroutine, so one slow runtime build never blocks
+// the other resident jobs' issuing.
+func (s *Service) startWorker() {
+	defer s.startWg.Done()
+	for j := range s.startCh {
+		s.startJob(j)
+	}
+}
+
+// startJob builds one job's runtime, records the start latency, and
+// either spawns the job's retirer (success) or finishes the job
+// (failure). Always pokes the scheduler: a new Running job wants its
+// first step issued, a failed start freed a residency slot.
+func (s *Service) startJob(j *Job) {
+	obsOn := s.startHist != nil || s.cfg.Trace != nil
+	var t0 time.Time
+	if obsOn {
+		t0 = time.Now()
+	}
+	inst, err := j.spec.Start(j.ctx)
+	if obsOn {
+		d := time.Since(t0)
+		if s.startHist != nil {
+			s.startHist.ObserveDuration(d)
+		}
+		if s.cfg.Trace != nil {
+			s.cfg.Trace.Record(j.spec.Name, "start", 0, t0, d)
+		}
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.removeResidentLocked(j)
+		s.finishLocked(j, nil, fmt.Errorf("service: job %q failed to start: %w", j.spec.Name, err))
+		s.mu.Unlock()
+		s.poke()
+		return
+	}
+	s.mu.Lock()
+	j.inst = inst
+	j.state = Running
+	s.mu.Unlock()
+	// The job is still resident here, so the scheduler cannot have
+	// exited: this Add is ordered before the service's wg drains.
+	s.wg.Add(1)
+	go j.retire()
+	s.poke()
 }
 
 // removeResidentLocked drops j from the resident set.

@@ -1,0 +1,174 @@
+// Tests of the start-worker pool: Spec.Start runs off the scheduler
+// goroutine, so one slow runtime build cannot stall other resident
+// jobs, and start latency lands in the metrics registry.
+package service_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"op2hpx/internal/obs"
+	"op2hpx/internal/service"
+)
+
+var errMeshExploded = errors.New("mesh generation exploded")
+
+// TestSlowStartDoesNotBlockOtherJobs is the offload proof: job A's
+// Start blocks until released; job B — submitted after A — must run to
+// completion while A is still starting. With Start inline on the
+// scheduler goroutine this deadlocks (B's steps can never issue), so
+// the test doubles as a regression guard.
+func TestSlowStartDoesNotBlockOtherJobs(t *testing.T) {
+	svc := service.New(service.Config{MaxResidentJobs: 2, StartWorkers: 2})
+	defer svc.Close()
+
+	release := make(chan struct{})
+	slow := &fakeInst{auto: true}
+	jA, err := svc.Submit(context.Background(), service.Spec{
+		Name: "slow-start", Iters: 2,
+		Start: func(context.Context) (service.Instance, error) {
+			<-release
+			return slow, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := &fakeInst{auto: true, result: "fast-done"}
+	jB, err := svc.Submit(context.Background(), service.Spec{
+		Name: "fast", Iters: 3, Start: startOf(fast),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// B completes while A is still inside Start.
+	select {
+	case <-jB.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("fast job did not finish while slow start was pending")
+	}
+	if res, err := jB.Result(context.Background()); err != nil || res != "fast-done" {
+		t.Fatalf("fast job result = %v, %v", res, err)
+	}
+	if st := jA.Status(); st.State != service.Starting {
+		t.Fatalf("slow job state = %v while Start blocked, want starting", st.State)
+	}
+
+	close(release)
+	waitDone(t, jA)
+	if _, err := jA.Result(context.Background()); err != nil {
+		t.Fatalf("slow job failed: %v", err)
+	}
+}
+
+// TestStartWorkerPoolBounded submits more blocked-start jobs than
+// workers: only StartWorkers Starts may run concurrently.
+func TestStartWorkerPoolBounded(t *testing.T) {
+	const workers = 2
+	svc := service.New(service.Config{MaxResidentJobs: 4, StartWorkers: workers})
+	defer svc.Close()
+
+	entered := make(chan string, 4)
+	release := make(chan struct{})
+	jobs := make([]*service.Job, 4)
+	for i := range jobs {
+		name := string(rune('a' + i))
+		fi := &fakeInst{auto: true}
+		j, err := svc.Submit(context.Background(), service.Spec{
+			Name: name, Iters: 1,
+			Start: func(context.Context) (service.Instance, error) {
+				entered <- name
+				<-release
+				return fi, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+
+	for i := 0; i < workers; i++ {
+		select {
+		case <-entered:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d starts entered, want %d workers busy", i, workers)
+		}
+	}
+	select {
+	case name := <-entered:
+		t.Fatalf("start %q entered beyond the %d-worker pool", name, workers)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	for _, j := range jobs {
+		waitDone(t, j)
+	}
+}
+
+// TestStartLatencyRecorded pins the satellite observable: every start
+// lands one sample in op2_service_job_start_seconds.
+func TestStartLatencyRecorded(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc := service.New(service.Config{Metrics: reg})
+	defer svc.Close()
+
+	const jobs = 3
+	for i := 0; i < jobs; i++ {
+		fi := &fakeInst{auto: true}
+		j, err := svc.Submit(context.Background(), service.Spec{
+			Name: "job", Iters: 1, Start: startOf(fi),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := "op2_service_job_start_seconds_count " + "3"
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, out)
+	}
+}
+
+// TestFailedStartOnWorkerFinishesJob keeps the start-failure semantics
+// across the offload: the verdict is failed, the slot frees, and a
+// queued job promotes into it.
+func TestFailedStartOnWorkerFinishesJob(t *testing.T) {
+	svc := service.New(service.Config{MaxResidentJobs: 1})
+	defer svc.Close()
+
+	bad, err := svc.Submit(context.Background(), service.Spec{
+		Name: "bad", Iters: 1,
+		Start: func(context.Context) (service.Instance, error) {
+			return nil, errMeshExploded
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := &fakeInst{auto: true, result: 42}
+	j2, err := svc.Submit(context.Background(), service.Spec{
+		Name: "good", Iters: 1, Start: startOf(good),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, bad)
+	if _, err := bad.Result(context.Background()); err == nil {
+		t.Fatal("failed start reported no error")
+	}
+	waitDone(t, j2)
+	if res, err := j2.Result(context.Background()); err != nil || res != 42 {
+		t.Fatalf("promoted job result = %v, %v", res, err)
+	}
+}

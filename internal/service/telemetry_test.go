@@ -1,0 +1,137 @@
+// End-to-end telemetry test: a live service scraped over HTTP — the
+// shape cmd/op2serve assembles — must expose well-formed Prometheus
+// text carrying the service observables, and the readiness probe must
+// flip when the operator starts draining.
+package service_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"op2hpx/internal/obs"
+	"op2hpx/internal/service"
+)
+
+func scrape(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// checkPrometheusText is a light exposition-format validator: every
+// non-comment line must be `name{labels} value` with a parseable value,
+// and every series must be preceded by HELP and TYPE comments.
+func checkPrometheusText(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			f := strings.Fields(line)
+			if len(f) >= 3 && f[1] == "TYPE" {
+				typed[f[2]] = true
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			t.Fatalf("unparseable sample value in %q: %v", line, err)
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if s, ok := strings.CutSuffix(name, suf); ok {
+				base = s
+				break
+			}
+		}
+		if !typed[name] && !typed[base] {
+			t.Fatalf("series %q has no preceding # TYPE", name)
+		}
+	}
+}
+
+// TestTelemetryScrapeEndToEnd drives jobs through a service wired to a
+// registry and trace ring, scrapes the telemetry mux over a real HTTP
+// round-trip, and checks the exposition is valid and carries the
+// service counters, queue gauges and start-latency histogram.
+func TestTelemetryScrapeEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+	ring := obs.NewTraceRing(1024)
+	health := obs.NewHealth()
+	svc := service.New(service.Config{MaxResidentJobs: 2, Metrics: reg, Trace: ring})
+	defer svc.Close()
+
+	ts := httptest.NewServer(obs.TelemetryMux(reg, ring, health))
+	defer ts.Close()
+
+	if code, _ := scrape(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before ready = %d, want 503", code)
+	}
+	health.SetReady(true)
+
+	for i := 0; i < 3; i++ {
+		fi := &fakeInst{auto: true, result: i}
+		j, err := svc.Submit(context.Background(), service.Spec{
+			Name: "scraped", Iters: 4, Start: startOf(fi),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, j)
+	}
+
+	code, body := scrape(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d, want 200", code)
+	}
+	checkPrometheusText(t, body)
+	for _, want := range []string{
+		"op2_service_jobs_admitted_total 3",
+		"op2_service_jobs_completed_total 3",
+		"op2_service_steps_issued_total 12",
+		"op2_service_steps_retired_total 12",
+		"op2_service_queue_depth 0",
+		"op2_service_resident_jobs 0",
+		"op2_service_job_start_seconds_count 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if ring.Total() == 0 {
+		t.Error("trace ring recorded no start/retire spans")
+	}
+
+	// Drain: readiness flips to 503 while liveness stays 200, so a load
+	// balancer stops routing before the service tears down.
+	health.SetReady(false)
+	if code, body := scrape(t, ts.URL+"/readyz"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "draining") {
+		t.Fatalf("/readyz during drain = %d %q, want 503 draining", code, body)
+	}
+	if code, _ := scrape(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200 (still live)", code)
+	}
+}

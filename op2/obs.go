@@ -1,0 +1,81 @@
+package op2
+
+import (
+	"fmt"
+	"io"
+
+	"op2hpx/internal/obs"
+)
+
+// Metrics is a low-overhead metrics registry: atomic counters and
+// gauges, fixed-bucket histograms (zero allocations on the update
+// path), and func-backed series sampled at scrape time. Export it in
+// Prometheus text format with WriteMetrics, or serve it over HTTP (see
+// cmd/op2serve's /metrics endpoint).
+type Metrics = obs.Registry
+
+// NewMetrics builds an empty metrics registry, shareable across
+// runtimes with WithMetricsRegistry: same-named func-backed series from
+// several runtimes sum into one exported value.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// TraceRing records execution-phase spans into a fixed-capacity ring
+// (oldest spans overwritten once full). Export the held spans as Chrome
+// trace_event JSON with Runtime.WriteTrace and load the result at
+// chrome://tracing or https://ui.perfetto.dev.
+type TraceRing = obs.TraceRing
+
+// TraceSpan is one recorded phase: a named loop or step in a pipeline
+// phase on a rank, with wall-clock start and duration.
+type TraceSpan = obs.Span
+
+// NewTraceRing builds a span ring holding up to n spans, shareable
+// across runtimes with WithTraceRing.
+func NewTraceRing(n int) *TraceRing { return obs.NewTraceRing(n) }
+
+// WithMetrics attaches a runtime-owned metrics registry: loop latency
+// histograms (op2_loop_seconds), fused-pass histograms, step counters
+// and — for distributed runtimes — halo message/buffer counters and
+// per-rank phase histograms (op2_dist_phase_seconds). Retrieve it with
+// Runtime.Metrics. Observability is off by default and the enabled
+// update path performs no allocations.
+func WithMetrics() Option { return func(c *config) { c.metrics = obs.NewRegistry() } }
+
+// WithMetricsRegistry is WithMetrics with a caller-provided (possibly
+// shared) registry; nil is a no-op, leaving metrics off.
+func WithMetricsRegistry(r *Metrics) Option { return func(c *config) { c.metrics = r } }
+
+// WithTracing attaches a runtime-owned span ring of capacity n (>= 1):
+// every loop execution, fused pass and — for distributed runtimes —
+// per-rank pipeline phase records a span. Retrieve the ring with
+// Runtime.TraceRing, dump it with Runtime.WriteTrace.
+func WithTracing(n int) Option { return func(c *config) { c.traceN = n } }
+
+// WithTraceRing is WithTracing with a caller-provided (possibly shared)
+// ring; nil is a no-op, leaving tracing off.
+func WithTraceRing(t *TraceRing) Option { return func(c *config) { c.trace = t } }
+
+// Metrics returns the runtime's metrics registry, or nil when the
+// runtime was built without WithMetrics/WithMetricsRegistry.
+func (rt *Runtime) Metrics() *Metrics { return rt.metrics }
+
+// TraceRing returns the runtime's span ring, or nil when the runtime
+// was built without WithTracing/WithTraceRing.
+func (rt *Runtime) TraceRing() *TraceRing { return rt.trace }
+
+// WriteMetrics writes the registry in Prometheus text exposition format
+// (version 0.0.4).
+func (rt *Runtime) WriteMetrics(w io.Writer) error {
+	if rt.metrics == nil {
+		return fmt.Errorf("%w: runtime built without WithMetrics", ErrValidation)
+	}
+	return rt.metrics.WritePrometheus(w)
+}
+
+// WriteTrace dumps the span ring as Chrome trace_event JSON.
+func (rt *Runtime) WriteTrace(w io.Writer) error {
+	if rt.trace == nil {
+		return fmt.Errorf("%w: runtime built without WithTracing", ErrValidation)
+	}
+	return rt.trace.WriteChromeTrace(w)
+}

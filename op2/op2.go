@@ -31,7 +31,17 @@
 // The three backends of the paper's evaluation — Serial, ForkJoin (the
 // "#pragma omp parallel for" baseline) and Dataflow (the paper's
 // contribution) — produce identical results; only their scheduling
-// differs. Errors are classified by the sentinel values ErrValidation
+// differs.
+//
+// Observability is opt-in and free when off: WithMetrics attaches a
+// zero-allocation metrics registry (per-loop and per-fused-group
+// latency histograms, step counters, distributed phase/halo series —
+// export with Runtime.WriteMetrics in Prometheus text format), and
+// WithTracing attaches a fixed-capacity span ring (export with
+// Runtime.WriteTrace as Chrome trace_event JSON). Registries and rings
+// are shareable across runtimes; cmd/op2serve serves them over HTTP.
+//
+// Errors are classified by the sentinel values ErrValidation
 // (malformed declarations or loop arguments) and ErrCanceled (a context
 // canceled a running or pending loop), both testable with errors.Is.
 package op2
@@ -44,6 +54,7 @@ import (
 	"op2hpx/internal/dist"
 	"op2hpx/internal/hpx"
 	"op2hpx/internal/hpx/sched"
+	"op2hpx/internal/obs"
 )
 
 // Backend selects how parallel loops execute — the axis the paper's
@@ -101,6 +112,9 @@ type config struct {
 	ranks       int
 	partitioner Partitioner
 	maxInFlight int
+	metrics     *Metrics
+	trace       *TraceRing
+	traceN      int
 }
 
 // Option configures a Runtime.
@@ -193,6 +207,8 @@ type Runtime struct {
 	prof        *core.Profiler
 	eng         *dist.Engine // non-nil for distributed runtimes (WithRanks)
 	maxInFlight int          // Async issue-ahead cap (WithMaxInFlightSteps)
+	metrics     *Metrics     // nil when metrics are off
+	trace       *TraceRing   // nil when tracing is off
 }
 
 // New builds a runtime from functional options.
@@ -221,7 +237,13 @@ func New(opts ...Option) (*Runtime, error) {
 	if c.maxInFlight < 0 {
 		return nil, fmt.Errorf("%w: max in-flight steps %d < 0", ErrValidation, c.maxInFlight)
 	}
-	rt := &Runtime{maxInFlight: c.maxInFlight}
+	if c.traceN < 0 {
+		return nil, fmt.Errorf("%w: trace ring capacity %d < 0", ErrValidation, c.traceN)
+	}
+	if c.traceN > 0 && c.trace == nil {
+		c.trace = obs.NewTraceRing(c.traceN)
+	}
+	rt := &Runtime{maxInFlight: c.maxInFlight, metrics: c.metrics, trace: c.trace}
 	if c.ranks > 0 {
 		eng, err := dist.NewEngine(dist.Config{
 			Ranks:       c.ranks,
@@ -248,6 +270,18 @@ func New(opts ...Option) (*Runtime, error) {
 	if c.profiling {
 		rt.prof = core.NewProfiler()
 		rt.ex.SetProfiler(rt.prof)
+	}
+	if rt.metrics != nil {
+		rt.ex.SetMetrics(rt.metrics)
+		if rt.eng != nil {
+			rt.eng.SetMetrics(rt.metrics)
+		}
+	}
+	if rt.trace != nil {
+		rt.ex.SetTraceRing(rt.trace)
+		if rt.eng != nil {
+			rt.eng.SetTraceRing(rt.trace)
+		}
 	}
 	return rt, nil
 }
@@ -291,14 +325,21 @@ func (rt *Runtime) PoolSize() int {
 // the Dataflow backend ran, and how many loop occurrences those passes
 // absorbed — each absorbed occurrence is one loop issue and one full
 // memory sweep over the iteration set that did not happen separately.
-// Distributed runtimes report zeros (rank workers execute whole steps;
-// see Runtime.HaloMessagesSent for their per-step observable).
+// Distributed runtimes count step submissions but report zero fusion
+// (rank workers execute whole steps; see Runtime.HaloMessagesSent for
+// their per-step observable).
 type StepStats = core.StepExecStats
 
 // StepStats reports the runtime's cumulative step-execution counters,
 // including how many loops the Dataflow backend's direct-loop fusion
 // absorbed (see Step.FusedGroups for a plan's static shape).
-func (rt *Runtime) StepStats() StepStats { return rt.ex.StepStats() }
+func (rt *Runtime) StepStats() StepStats {
+	st := rt.ex.StepStats()
+	if rt.eng != nil {
+		st.Steps += rt.eng.StepsRun()
+	}
+	return st
+}
 
 // LoopProfile aggregates the executions of one named loop: invocation
 // count, total/mean/min/max wall time, and plan shape for indirect loops.
