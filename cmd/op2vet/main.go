@@ -1,0 +1,121 @@
+// Command op2vet is the repo's domain-aware static-analysis driver: it
+// runs the internal/analysis suite — accesscheck, noalloc,
+// futurecontract, lockorder — over the packages matching its arguments
+// and exits non-zero on any finding.
+//
+// Usage:
+//
+//	go run ./cmd/op2vet ./...
+//	go run ./cmd/op2vet -run accesscheck,noalloc ./internal/airfoil
+//
+// Only shipped (non-test) files are analyzed: tests deliberately poke
+// the invariants the suite proves (double-waiting futures to pin the
+// recycling semantics, for example).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"op2hpx/internal/analysis"
+	"op2hpx/internal/analysis/accesscheck"
+	"op2hpx/internal/analysis/futurecontract"
+	"op2hpx/internal/analysis/load"
+	"op2hpx/internal/analysis/lockorder"
+	"op2hpx/internal/analysis/noalloc"
+)
+
+var suite = []*analysis.Analyzer{
+	accesscheck.Analyzer,
+	noalloc.Analyzer,
+	futurecontract.Analyzer,
+	lockorder.Analyzer,
+}
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: op2vet [-run names] [packages]\n\nAnalyzers:\n")
+		for _, a := range suite {
+			fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	active := suite
+	if *runFlag != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		active = nil
+		for _, name := range strings.Split(*runFlag, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "op2vet: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			active = append(active, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "op2vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	n, err := vet(cwd, patterns, active)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "op2vet: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		os.Exit(1)
+	}
+}
+
+// vet loads the packages and applies the analyzers, printing findings in
+// file:line:col style. Returns the finding count.
+func vet(dir string, patterns []string, active []*analysis.Analyzer) (int, error) {
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	var findings []string
+	count := 0
+	for _, pkg := range pkgs {
+		for _, a := range active {
+			diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+			if err != nil {
+				return count, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				findings = append(findings, fmt.Sprintf("%s: [%s] %s", pos, d.Analyzer, d.Message))
+				count++
+			}
+		}
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	return count, nil
+}

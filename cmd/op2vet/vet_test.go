@@ -1,0 +1,32 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoVetsClean runs the full suite over the whole module in
+// process — the same invocation CI performs with `go run ./cmd/op2vet
+// ./...` — and fails on any finding, so an analyzer regression or a new
+// invariant violation fails `go test` too.
+func TestRepoVetsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := filepath.Dir(filepath.Dir(dir)) // cmd/op2vet -> module root
+	if _, err := os.Stat(filepath.Join(mod, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", mod, err)
+	}
+	n, err := vet(mod, []string{"./..."}, suite)
+	if err != nil {
+		t.Fatalf("vet: %v", err)
+	}
+	if n > 0 {
+		t.Fatalf("op2vet reported %d finding(s) on the repo; run `go run ./cmd/op2vet ./...` for positions", n)
+	}
+}

@@ -81,6 +81,10 @@
 //   - internal/translator — the OP2 source-to-source compiler with OpenMP
 //     and HPX code generation modes (§II)
 //   - internal/experiments — regenerates Table I and Figs. 15-20 (§VI)
+//   - internal/analysis   — domain-aware static analyzers (accesscheck,
+//     noalloc, futurecontract, lockorder) proving the declared-access,
+//     zero-allocation and future-recycling invariants at build time;
+//     cmd/op2vet is the driver (`go run ./cmd/op2vet ./...`, wired into CI)
 //
 // The benchmarks in this package (bench_test.go) provide one testing.B
 // entry per application-level table and figure of the paper's evaluation,

@@ -1,0 +1,819 @@
+// Package accesscheck verifies that every generic kernel attached with
+// rt.ParLoop(...).Kernel(func(v [][]float64) {...}) honors the
+// op2.Access descriptors its loop declares. The declaration is the
+// single source of truth the whole runtime derives from — coloring,
+// fusion legality, dataflow chaining, owner-compute halo exchange — so
+// a kernel that writes through a Read-declared view silently skips halo
+// exchange and races colored execution, the classic OP2 mis-declaration
+// trap. The analyzer follows each view v[k] through the closure —
+// including into named kernel functions, methods and local function
+// values called with views as arguments — and reports, at the offending
+// expression:
+//
+//   - a store to a view declared op2.Read;
+//   - a read of a view declared op2.Write before its first write;
+//   - a view declared op2.Inc used non-accumulatively (anything but
+//     += / -= element updates);
+//   - v[k] indexes outside the declared argument list, and declared
+//     arguments a fully-analyzable kernel never touches.
+//
+// Views that escape into unresolvable calls or aliases make the kernel
+// "incomplete": definite findings are still reported, silence is not
+// treated as proof (the unused-argument check is skipped).
+package accesscheck
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"op2hpx/internal/analysis"
+)
+
+// Analyzer is the access-descriptor checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "accesscheck",
+	Doc:  "check kernel bodies against their declared op2.Access descriptors",
+	Run:  run,
+}
+
+const op2Path = "op2hpx/op2"
+const corePath = "op2hpx/internal/core"
+
+// access mirrors core.Access; the analyzer works from the constant
+// values so it needs no import of the runtime.
+type access int64
+
+const (
+	accRead access = iota
+	accWrite
+	accRW
+	accInc
+	accMin
+	accMax
+)
+
+func (a access) String() string {
+	switch a {
+	case accRead:
+		return "op2.Read"
+	case accWrite:
+		return "op2.Write"
+	case accRW:
+		return "op2.RW"
+	case accInc:
+		return "op2.Inc"
+	case accMin:
+		return "op2.Min"
+	case accMax:
+		return "op2.Max"
+	}
+	return "op2.Access(?)"
+}
+
+// loopArg is one declared argument of a par-loop.
+type loopArg struct {
+	acc    access
+	known  bool // access resolved to a constant
+	global bool
+}
+
+// loopDecl is a resolved ParLoop declaration site.
+type loopDecl struct {
+	name string // loop name when constant, else ""
+	args []loopArg
+}
+
+func run(pass *analysis.Pass) error {
+	declsByFunc := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					declsByFunc[obj] = fd
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		// Local loop variables: lp := rt.ParLoop(...)... so that a later
+		// lp.Kernel(...) in the same file still resolves its declaration.
+		loopVars := map[types.Object]*loopDecl{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if decl := resolveLoopChain(pass, as.Rhs[0], loopVars); decl != nil {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					loopVars[obj] = decl
+				} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					loopVars[obj] = decl
+				}
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Name() != "Kernel" || !analysis.IsPkgPath(fn, op2Path) {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			decl := resolveLoopChain(pass, sel.X, loopVars)
+			if decl == nil {
+				return true
+			}
+			checkKernel(pass, declsByFunc, decl, call.Args[0])
+			return true
+		})
+	}
+	return nil
+}
+
+// resolveLoopChain peels builder-method calls (.Kernel, .Body) off expr
+// until it reaches the rt.ParLoop(...) call or a loop variable with a
+// recorded declaration, and returns the parsed declaration (nil when the
+// chain cannot be resolved).
+func resolveLoopChain(pass *analysis.Pass, expr ast.Expr, loopVars map[types.Object]*loopDecl) *loopDecl {
+	expr = ast.Unparen(expr)
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[e]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[e]
+			}
+			return loopVars[obj]
+		case *ast.CallExpr:
+			fn := analysis.CalleeFunc(pass.TypesInfo, e)
+			if fn == nil || !analysis.IsPkgPath(fn, op2Path) {
+				return nil
+			}
+			if fn.Name() == "ParLoop" {
+				return parseParLoop(pass, e)
+			}
+			sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return nil
+			}
+			expr = ast.Unparen(sel.X)
+		default:
+			return nil
+		}
+	}
+}
+
+// parseParLoop extracts the declared argument list of a ParLoop call.
+// A declaration the analyzer cannot fully parse (spread args, argument
+// constructors it does not know) yields nil: no checks, no false
+// positives.
+func parseParLoop(pass *analysis.Pass, call *ast.CallExpr) *loopDecl {
+	if len(call.Args) < 2 || call.Ellipsis != token.NoPos {
+		return nil
+	}
+	decl := &loopDecl{}
+	if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		decl.name = constant.StringVal(tv.Value)
+	}
+	for _, a := range call.Args[2:] {
+		argCall, ok := ast.Unparen(a).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		fn := analysis.CalleeFunc(pass.TypesInfo, argCall)
+		if fn == nil {
+			return nil
+		}
+		var la loopArg
+		switch {
+		case (fn.Name() == "DatArg" || fn.Name() == "DirectArg") && analysis.IsPkgPath(fn, op2Path),
+			fn.Name() == "ArgDat" && analysis.IsPkgPath(fn, corePath):
+		case fn.Name() == "GblArg" && analysis.IsPkgPath(fn, op2Path),
+			fn.Name() == "ArgGbl" && analysis.IsPkgPath(fn, corePath):
+			la.global = true
+		default:
+			return nil
+		}
+		if n := len(argCall.Args); n > 0 {
+			if tv, ok := pass.TypesInfo.Types[argCall.Args[n-1]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				if v, ok := constant.Int64Val(tv.Value); ok {
+					la.acc = access(v)
+					la.known = true
+				}
+			}
+		}
+		decl.args = append(decl.args, la)
+	}
+	return decl
+}
+
+// ---------------------------------------------------------------------------
+// Kernel body analysis
+
+// eventKind classifies one touch of a view.
+type eventKind int
+
+const (
+	evRead eventKind = iota
+	evWrite
+	evAcc // += / -= accumulation (reads and writes, commutatively)
+)
+
+type event struct {
+	idx  int
+	kind eventKind
+	pos  token.Pos
+}
+
+// checker walks one kernel (and the functions views flow into),
+// collecting ordered view-touch events.
+type checker struct {
+	pass        *analysis.Pass
+	declsByFunc map[*types.Func]*ast.FuncDecl
+	decl        *loopDecl
+	kernelPos   token.Pos
+
+	events     []event
+	incomplete bool // a view escaped analysis; silence proves nothing
+	depth      int
+	active     map[ast.Node]bool // recursion guard over callee bodies
+	funcLits   map[types.Object]*ast.FuncLit
+}
+
+// binding maps a view expression environment: objects (params, local
+// aliases) known to denote view k.
+type binding map[types.Object]int
+
+func checkKernel(pass *analysis.Pass, declsByFunc map[*types.Func]*ast.FuncDecl, decl *loopDecl, kernelExpr ast.Expr) {
+	body, params := resolveKernelFunc(pass, declsByFunc, kernelExpr)
+	if body == nil || len(params) != 1 {
+		return
+	}
+	c := &checker{
+		pass:        pass,
+		declsByFunc: declsByFunc,
+		decl:        decl,
+		kernelPos:   kernelExpr.Pos(),
+		active:      map[ast.Node]bool{},
+	}
+	viewsObj := params[0]
+	env := binding{}
+	c.walkBody(body, env, viewsObj)
+	c.report()
+}
+
+// resolveKernelFunc returns the body and parameter objects of the kernel
+// expression: a func literal, a package function, or a method value.
+func resolveKernelFunc(pass *analysis.Pass, declsByFunc map[*types.Func]*ast.FuncDecl, e ast.Expr) (*ast.BlockStmt, []types.Object) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return e.Body, paramObjs(pass, e.Type)
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[e].(*types.Func); ok {
+			if fd := declsByFunc[fn]; fd != nil {
+				return fd.Body, paramObjs(pass, fd.Type)
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[e.Sel].(*types.Func); ok {
+			if fd := declsByFunc[fn]; fd != nil {
+				return fd.Body, paramObjs(pass, fd.Type)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func paramObjs(pass *analysis.Pass, ft *ast.FuncType) []types.Object {
+	var objs []types.Object
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			objs = append(objs, pass.TypesInfo.Defs[name])
+		}
+	}
+	return objs
+}
+
+// record appends one event.
+func (c *checker) record(idx int, kind eventKind, pos token.Pos) {
+	c.events = append(c.events, event{idx: idx, kind: kind, pos: pos})
+}
+
+// bail marks the kernel incomplete: a view flowed somewhere the analyzer
+// cannot follow.
+func (c *checker) bail() { c.incomplete = true }
+
+// viewIdx resolves an expression that denotes a WHOLE view (not an
+// element): v[k] with constant k, an alias bound to a view, or a
+// reslice of either. ok is false for everything else.
+func (c *checker) viewIdx(e ast.Expr, env binding, views types.Object) (int, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return 0, false
+		}
+		if idx, ok := env[obj]; ok {
+			return idx, true
+		}
+	case *ast.IndexExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == views && views != nil {
+			if tv, ok := c.pass.TypesInfo.Types[e.Index]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				if k, ok := constant.Int64Val(tv.Value); ok {
+					return int(k), true
+				}
+			}
+			// v[expr] with a non-constant index: give up on the kernel.
+			c.bail()
+		}
+	case *ast.SliceExpr:
+		return c.viewIdx(e.X, env, views)
+	}
+	return 0, false
+}
+
+// isViews reports whether e is the whole views parameter.
+func (c *checker) isViews(e ast.Expr, views types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && views != nil && c.pass.TypesInfo.Uses[id] == views
+}
+
+// walkBody traverses statements in source order.
+func (c *checker) walkBody(body *ast.BlockStmt, env binding, views types.Object) {
+	for _, st := range body.List {
+		c.walkStmt(st, env, views)
+	}
+}
+
+func (c *checker) walkStmt(s ast.Stmt, env binding, views types.Object) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.walkExpr(r, env, views)
+		}
+		for i, l := range s.Lhs {
+			c.walkLHS(s, i, l, env, views)
+		}
+	case *ast.IncDecStmt:
+		if base, ok := c.elementOf(s.X, env, views); ok {
+			c.record(base, evAcc, s.X.Pos())
+			return
+		}
+		c.walkExpr(s.X, env, views)
+	case *ast.ExprStmt:
+		c.walkExpr(s.X, env, views)
+	case *ast.BlockStmt:
+		c.walkBody(s, env, views)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, env, views)
+		}
+		c.walkExpr(s.Cond, env, views)
+		c.walkBody(s.Body, env, views)
+		if s.Else != nil {
+			c.walkStmt(s.Else, env, views)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, env, views)
+		}
+		if s.Cond != nil {
+			c.walkExpr(s.Cond, env, views)
+		}
+		if s.Post != nil {
+			c.walkStmt(s.Post, env, views)
+		}
+		c.walkBody(s.Body, env, views)
+	case *ast.RangeStmt:
+		if c.isViews(s.X, views) {
+			c.bail() // ranging over the views loses the indices
+			return
+		}
+		if idx, ok := c.viewIdx(s.X, env, views); ok {
+			c.record(idx, evRead, s.X.Pos())
+		} else {
+			c.walkExpr(s.X, env, views)
+		}
+		c.walkBody(s.Body, env, views)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if _, ok := c.viewIdx(r, env, views); ok || c.isViews(r, views) {
+				c.bail() // a view escapes through the return value
+			}
+			c.walkExpr(r, env, views)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						c.walkExpr(val, env, views)
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							if idx, ok := c.viewIdx(vs.Values[i], env, views); ok {
+								if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+									env[obj] = idx
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, env, views)
+		}
+		if s.Tag != nil {
+			c.walkExpr(s.Tag, env, views)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cl.List {
+					c.walkExpr(e, env, views)
+				}
+				for _, st := range cl.Body {
+					c.walkStmt(st, env, views)
+				}
+			}
+		}
+	case *ast.GoStmt:
+		c.walkExpr(s.Call, env, views)
+	case *ast.DeferStmt:
+		c.walkExpr(s.Call, env, views)
+	case nil:
+	default:
+		// Unmodeled statements (labels, selects...) never appear in
+		// kernels; walk conservatively for reads and bail on any view
+		// use we cannot classify.
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				if _, isView := c.viewIdx(e, env, views); isView || c.isViews(e, views) {
+					c.bail()
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// walkLHS classifies one assignment target.
+func (c *checker) walkLHS(s *ast.AssignStmt, i int, l ast.Expr, env binding, views types.Object) {
+	// Element store: v[k][i] = / += / -= ...
+	if base, ok := c.elementOf(l, env, views); ok {
+		switch s.Tok {
+		case token.ASSIGN:
+			c.record(base, evWrite, l.Pos())
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			c.record(base, evAcc, l.Pos())
+		default:
+			// *=, /=, &=...: reads and rewrites — not an accumulation.
+			c.record(base, evRead, l.Pos())
+			c.record(base, evWrite, l.Pos())
+		}
+		return
+	}
+	// Rebinding a view slot (v[k] = ...) or storing a view into a
+	// structure the analyzer cannot track.
+	if _, ok := c.viewIdx(l, env, views); ok || c.isViews(l, views) {
+		c.bail()
+		return
+	}
+	// Alias definition: a := v[k] (or a reslice of one).
+	if id, ok := ast.Unparen(l).(*ast.Ident); ok && i < len(s.Rhs) {
+		if idx, ok := c.viewIdx(s.Rhs[i], env, views); ok {
+			if s.Tok == token.DEFINE {
+				if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+					env[obj] = idx
+				}
+			} else if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+				env[obj] = idx
+			}
+			return
+		}
+	}
+	// Any other LHS containing a view use escapes the analysis.
+	found := false
+	ast.Inspect(l, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok {
+			if _, isView := c.viewIdx(e, env, views); isView || c.isViews(e, views) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	if found {
+		c.bail()
+	}
+}
+
+// elementOf reports the view index when e is an ELEMENT of a view:
+// v[k][i], alias[i], or a reslice-element.
+func (c *checker) elementOf(e ast.Expr, env binding, views types.Object) (int, bool) {
+	ie, ok := ast.Unparen(e).(*ast.IndexExpr)
+	if !ok {
+		return 0, false
+	}
+	return c.viewIdx(ie.X, env, views)
+}
+
+// walkExpr records reads and follows calls.
+func (c *checker) walkExpr(e ast.Expr, env binding, views types.Object) {
+	switch e := ast.Unparen(e).(type) {
+	case nil:
+	case *ast.IndexExpr:
+		if base, ok := c.elementOf(e, env, views); ok {
+			c.record(base, evRead, e.Pos())
+			c.walkExpr(e.Index, env, views)
+			return
+		}
+		if _, ok := c.viewIdx(e, env, views); ok {
+			// A bare view value in expression position (not an element):
+			// handled by the contexts that produce it; reaching it here
+			// means an untracked use.
+			c.bail()
+			return
+		}
+		c.walkExpr(e.X, env, views)
+		c.walkExpr(e.Index, env, views)
+	case *ast.CallExpr:
+		c.walkCall(e, env, views)
+	case *ast.BinaryExpr:
+		c.walkExpr(e.X, env, views)
+		c.walkExpr(e.Y, env, views)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// &v[k][i]: an element pointer escapes the analysis.
+			if _, ok := c.elementOf(e.X, env, views); ok {
+				c.bail()
+				return
+			}
+		}
+		c.walkExpr(e.X, env, views)
+	case *ast.StarExpr:
+		c.walkExpr(e.X, env, views)
+	case *ast.SelectorExpr:
+		c.walkExpr(e.X, env, views)
+	case *ast.SliceExpr:
+		if _, ok := c.viewIdx(e, env, views); ok {
+			c.bail() // a reslice used outside a tracked binding/call
+			return
+		}
+		c.walkExpr(e.X, env, views)
+		c.walkExpr(e.Low, env, views)
+		c.walkExpr(e.High, env, views)
+		c.walkExpr(e.Max, env, views)
+	case *ast.FuncLit:
+		// The closure body is analyzed when it is CALLED with views (see
+		// walkCall); a closure that merely captures view aliases is
+		// walked in place so captured-element reads are still seen.
+		c.walkBody(e.Body, env, views)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if _, ok := c.viewIdx(el, env, views); ok || c.isViews(el, views) {
+				c.bail()
+				return
+			}
+			c.walkExpr(el, env, views)
+		}
+	case *ast.Ident:
+		if _, ok := c.viewIdx(e, env, views); ok || c.isViews(e, views) {
+			// A bare view/views ident in a context no rule consumed.
+			c.bail()
+		}
+	case *ast.TypeAssertExpr:
+		c.walkExpr(e.X, env, views)
+	case *ast.KeyValueExpr:
+		c.walkExpr(e.Key, env, views)
+		c.walkExpr(e.Value, env, views)
+	case *ast.BasicLit, *ast.ArrayType, *ast.MapType, *ast.StructType, *ast.FuncType, *ast.ChanType, *ast.InterfaceType:
+	}
+}
+
+// walkCall handles calls: builtins with known semantics, interprocedural
+// descent when views flow into a resolvable callee, bailout otherwise.
+func (c *checker) walkCall(call *ast.CallExpr, env binding, views types.Object) {
+	// len/cap of a view touch no data.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch c.pass.TypesInfo.Uses[id] {
+		case types.Universe.Lookup("len"), types.Universe.Lookup("cap"):
+			for _, a := range call.Args {
+				if _, ok := c.viewIdx(a, env, views); ok || c.isViews(a, views) {
+					continue
+				}
+				c.walkExpr(a, env, views)
+			}
+			return
+		case types.Universe.Lookup("copy"):
+			if len(call.Args) == 2 {
+				if idx, ok := c.viewIdx(call.Args[0], env, views); ok {
+					c.record(idx, evWrite, call.Args[0].Pos())
+				} else {
+					c.walkExpr(call.Args[0], env, views)
+				}
+				if idx, ok := c.viewIdx(call.Args[1], env, views); ok {
+					c.record(idx, evRead, call.Args[1].Pos())
+				} else {
+					c.walkExpr(call.Args[1], env, views)
+				}
+				return
+			}
+		}
+	}
+
+	// Which arguments carry views?
+	type viewArg struct {
+		argPos int
+		idx    int
+	}
+	var viewArgs []viewArg
+	for i, a := range call.Args {
+		if idx, ok := c.viewIdx(a, env, views); ok {
+			viewArgs = append(viewArgs, viewArg{i, idx})
+		} else if c.isViews(a, views) {
+			c.bail() // the whole views slice escapes
+			return
+		} else {
+			c.walkExpr(a, env, views)
+		}
+	}
+	if len(viewArgs) == 0 {
+		// Still walk a possible func-literal callee and method receiver.
+		c.walkExpr(call.Fun, env, views)
+		return
+	}
+
+	body, params := c.resolveCallee(call, env)
+	if body == nil || c.depth >= 8 || c.active[body] {
+		c.bail() // views flow into a function we cannot analyze
+		return
+	}
+	calleeEnv := binding{}
+	for _, va := range viewArgs {
+		if va.argPos < len(params) && params[va.argPos] != nil {
+			calleeEnv[params[va.argPos]] = va.idx
+		} else {
+			c.bail() // variadic or unnamed parameter: cannot bind
+			return
+		}
+	}
+	c.depth++
+	c.active[body] = true
+	c.walkBody(body, calleeEnv, nil)
+	delete(c.active, body)
+	c.depth--
+}
+
+// resolveCallee finds the body and parameters of a statically known
+// callee: a package function, a method, or a local function value bound
+// to a func literal in the enclosing kernel.
+func (c *checker) resolveCallee(call *ast.CallExpr, env binding) (*ast.BlockStmt, []types.Object) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, paramObjs(c.pass, fun.Type)
+	case *ast.Ident:
+		if fn, ok := c.pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			if fd := c.declsByFunc[fn]; fd != nil {
+				return fd.Body, paramObjs(c.pass, fd.Type)
+			}
+			return nil, nil
+		}
+		// A local function value: resolve the literal it was bound to.
+		if obj := c.pass.TypesInfo.Uses[fun]; obj != nil {
+			if lit := c.funcLitFor(obj); lit != nil {
+				return lit.Body, paramObjs(c.pass, lit.Type)
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if fd := c.declsByFunc[fn]; fd != nil {
+				return fd.Body, paramObjs(c.pass, fd.Type)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// funcLitCache maps local func-valued objects to their defining literal.
+// Built lazily per checker by scanning the enclosing file once.
+func (c *checker) funcLitFor(obj types.Object) *ast.FuncLit {
+	if c.funcLits == nil {
+		c.funcLits = map[types.Object]*ast.FuncLit{}
+		for _, f := range c.pass.Files {
+			if c.pass.Fset.File(f.Pos()) != c.pass.Fset.File(obj.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok {
+					return true
+				}
+				for i, l := range as.Lhs {
+					if i >= len(as.Rhs) {
+						break
+					}
+					id, ok := l.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					lit, ok := as.Rhs[i].(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					if o := c.pass.TypesInfo.Defs[id]; o != nil {
+						c.funcLits[o] = lit
+					} else if o := c.pass.TypesInfo.Uses[id]; o != nil {
+						c.funcLits[o] = lit
+					}
+				}
+				return true
+			})
+		}
+	}
+	return c.funcLits[obj]
+}
+
+// report evaluates the event stream against the declaration.
+func (c *checker) report() {
+	nargs := len(c.decl.args)
+	loop := c.decl.name
+	if loop == "" {
+		loop = "(loop)"
+	}
+
+	written := make([]bool, nargs)
+	var reportedRead, reportedWriteOrder, reportedIncWrite, reportedIncRead []bool
+	reportedRead = make([]bool, nargs)
+	reportedWriteOrder = make([]bool, nargs)
+	reportedIncWrite = make([]bool, nargs)
+	reportedIncRead = make([]bool, nargs)
+	touched := make([]bool, nargs)
+	outOfRange := map[int]bool{}
+
+	for _, ev := range c.events {
+		if ev.idx < 0 || ev.idx >= nargs {
+			if !outOfRange[ev.idx] {
+				outOfRange[ev.idx] = true
+				c.pass.Reportf(ev.pos, "kernel indexes v[%d] but loop %q declares only %d args", ev.idx, loop, nargs)
+			}
+			continue
+		}
+		touched[ev.idx] = true
+		arg := c.decl.args[ev.idx]
+		if !arg.known {
+			continue
+		}
+		switch arg.acc {
+		case accRead:
+			if (ev.kind == evWrite || ev.kind == evAcc) && !reportedRead[ev.idx] {
+				reportedRead[ev.idx] = true
+				c.pass.Reportf(ev.pos, "kernel writes v[%d] of loop %q, declared %s", ev.idx, loop, arg.acc)
+			}
+		case accWrite:
+			if ev.kind == evWrite {
+				written[ev.idx] = true
+			} else if !written[ev.idx] && !reportedWriteOrder[ev.idx] {
+				reportedWriteOrder[ev.idx] = true
+				c.pass.Reportf(ev.pos, "kernel reads v[%d] of loop %q before writing it, declared %s (use op2.RW if the old value is needed)", ev.idx, loop, arg.acc)
+			}
+		case accInc:
+			switch ev.kind {
+			case evWrite:
+				if !reportedIncWrite[ev.idx] {
+					reportedIncWrite[ev.idx] = true
+					c.pass.Reportf(ev.pos, "kernel overwrites v[%d] of loop %q, declared %s (increments must accumulate with += or -=)", ev.idx, loop, arg.acc)
+				}
+			case evRead:
+				if !reportedIncRead[ev.idx] {
+					reportedIncRead[ev.idx] = true
+					c.pass.Reportf(ev.pos, "kernel reads v[%d] of loop %q, declared %s (colored execution makes partial sums visible)", ev.idx, loop, arg.acc)
+				}
+			}
+		}
+	}
+
+	if !c.incomplete {
+		for k := range touched {
+			if !touched[k] {
+				c.pass.Reportf(c.kernelPos, "kernel never references v[%d] of loop %q (%d args declared)", k, loop, nargs)
+			}
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package accesscheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"op2hpx/internal/analysis/accesscheck"
+	"op2hpx/internal/analysis/analysistest"
+)
+
+func TestKernelFixtures(t *testing.T) {
+	mod := analysistest.ModuleDir(t)
+	analysistest.Run(t, mod, filepath.Join(mod, "internal/analysis/accesscheck/testdata/kernels"), accesscheck.Analyzer)
+}

@@ -1,0 +1,190 @@
+// Fixture for the accesscheck analyzer: par-loops whose kernels violate
+// (or honor) their declared op2.Access modes. Lines carrying `// want`
+// must be diagnosed; everything else must stay silent.
+package fixture
+
+import (
+	"op2hpx/op2"
+)
+
+func mesh() (*op2.Set, *op2.Set, *op2.Map, *op2.Dat, *op2.Dat, *op2.Dat) {
+	nodes := op2.MustDeclSet(9, "nodes")
+	edges := op2.MustDeclSet(12, "edges")
+	conn := make([]int32, 24)
+	pedge := op2.MustDeclMap(edges, nodes, 2, conn, "pedge")
+	x := op2.MustDeclDat(nodes, 1, nil, "x")
+	y := op2.MustDeclDat(nodes, 1, nil, "y")
+	e := op2.MustDeclDat(edges, 1, nil, "e")
+	return nodes, edges, pedge, x, y, e
+}
+
+// Clean: reads the Read views, writes the Write view. No diagnostics.
+func cleanLoop(rt *op2.Runtime) *op2.Loop {
+	_, edges, pedge, x, _, e := mesh()
+	return rt.ParLoop("edge_diff", edges,
+		op2.DatArg(x, 0, pedge, op2.Read),
+		op2.DatArg(x, 1, pedge, op2.Read),
+		op2.DirectArg(e, op2.Write),
+	).Kernel(func(v [][]float64) {
+		v[2][0] = v[1][0] - v[0][0]
+	})
+}
+
+// Store through a Read-declared view.
+func writeThroughRead(rt *op2.Runtime) *op2.Loop {
+	_, edges, pedge, x, _, e := mesh()
+	return rt.ParLoop("bad_store", edges,
+		op2.DatArg(x, 0, pedge, op2.Read),
+		op2.DirectArg(e, op2.Write),
+	).Kernel(func(v [][]float64) {
+		v[1][0] = v[0][0]
+		v[0][0] = 0 // want `kernel writes v\[0\] of loop "bad_store", declared op2.Read`
+	})
+}
+
+// Read of a Write-declared view before its first write.
+func readBeforeWrite(rt *op2.Runtime) *op2.Loop {
+	nodes, _, _, x, y, _ := mesh()
+	return rt.ParLoop("bad_order", nodes,
+		op2.DirectArg(x, op2.Read),
+		op2.DirectArg(y, op2.Write),
+	).Kernel(func(v [][]float64) {
+		v[1][0] = v[1][0] * v[0][0] // want `kernel reads v\[1\] of loop "bad_order" before writing it, declared op2.Write`
+	})
+}
+
+// Write-declared view written first, then read back: legal.
+func writeThenRead(rt *op2.Runtime) *op2.Loop {
+	nodes, _, _, x, y, _ := mesh()
+	return rt.ParLoop("ok_order", nodes,
+		op2.DirectArg(x, op2.Read),
+		op2.DirectArg(y, op2.Write),
+	).Kernel(func(v [][]float64) {
+		v[1][0] = 2 * v[0][0]
+		v[1][0] = v[1][0] * v[1][0]
+	})
+}
+
+// Inc views must accumulate: plain stores and reads are both wrong.
+func incMisuse(rt *op2.Runtime) *op2.Loop {
+	_, edges, pedge, _, y, e := mesh()
+	return rt.ParLoop("bad_inc", edges,
+		op2.DirectArg(e, op2.Read),
+		op2.DatArg(y, 0, pedge, op2.Inc),
+		op2.DatArg(y, 1, pedge, op2.Inc),
+	).Kernel(func(v [][]float64) {
+		v[1][0] = v[0][0] // want `kernel overwrites v\[1\] of loop "bad_inc", declared op2.Inc`
+		s := v[2][0]      // want `kernel reads v\[2\] of loop "bad_inc", declared op2.Inc`
+		_ = s
+	})
+}
+
+// Accumulating into Inc views with += and -= is the contract.
+func incClean(rt *op2.Runtime) *op2.Loop {
+	_, edges, pedge, _, y, e := mesh()
+	return rt.ParLoop("ok_inc", edges,
+		op2.DirectArg(e, op2.Read),
+		op2.DatArg(y, 0, pedge, op2.Inc),
+		op2.DatArg(y, 1, pedge, op2.Inc),
+	).Kernel(func(v [][]float64) {
+		v[1][0] += v[0][0]
+		v[2][0] -= v[0][0]
+	})
+}
+
+// v[k] beyond the declared argument list, and a declared arg the kernel
+// never touches.
+func arityMismatch(rt *op2.Runtime) *op2.Loop {
+	nodes, _, _, x, y, _ := mesh()
+	return rt.ParLoop("bad_arity", nodes,
+		op2.DirectArg(x, op2.Read),
+		op2.DirectArg(y, op2.Write),
+	).Kernel(func(v [][]float64) { // want `kernel never references v\[1\] of loop "bad_arity" \(2 args declared\)`
+		v[2][0] = v[0][0] // want `kernel indexes v\[2\] but loop "bad_arity" declares only 2 args`
+	})
+}
+
+// scatterKernel is a named kernel: the closure forwards views into it,
+// and the violation sits in its body.
+func scatterKernel(val, out []float64) {
+	out[0] = val[0] // want `kernel writes v\[1\] of loop "bad_named", declared op2.Read`
+}
+
+func namedKernelViolation(rt *op2.Runtime) *op2.Loop {
+	_, edges, pedge, x, _, e := mesh()
+	return rt.ParLoop("bad_named", edges,
+		op2.DirectArg(e, op2.Write),
+		op2.DatArg(x, 0, pedge, op2.Read),
+	).Kernel(func(v [][]float64) {
+		v[0][0] = 1
+		scatterKernel(v[0], v[1])
+	})
+}
+
+// saxpyKernel is clean: reads a and x, accumulates into acc.
+func saxpyKernel(a, x, acc []float64) {
+	acc[0] += a[0] * x[0]
+}
+
+func namedKernelClean(rt *op2.Runtime) *op2.Loop {
+	_, edges, pedge, x, y, e := mesh()
+	return rt.ParLoop("ok_named", edges,
+		op2.DirectArg(e, op2.Read),
+		op2.DatArg(x, 0, pedge, op2.Read),
+		op2.DatArg(y, 0, pedge, op2.Inc),
+	).Kernel(func(v [][]float64) {
+		saxpyKernel(v[0], v[1], v[2])
+	})
+}
+
+// An alias of a Read view is still a Read view.
+func aliasedWrite(rt *op2.Runtime) *op2.Loop {
+	nodes, _, _, x, y, _ := mesh()
+	return rt.ParLoop("bad_alias", nodes,
+		op2.DirectArg(x, op2.Read),
+		op2.DirectArg(y, op2.Write),
+	).Kernel(func(v [][]float64) {
+		in := v[0]
+		v[1][0] = in[0]
+		in[0] = 3 // want `kernel writes v\[0\] of loop "bad_alias", declared op2.Read`
+	})
+}
+
+// The loop value may travel through a variable before Kernel is attached.
+func deferredAttach(rt *op2.Runtime) *op2.Loop {
+	nodes, _, _, x, y, _ := mesh()
+	lp := rt.ParLoop("bad_deferred", nodes,
+		op2.DirectArg(x, op2.Read),
+		op2.DirectArg(y, op2.Write),
+	)
+	return lp.Kernel(func(v [][]float64) {
+		v[0][0] = v[1][0] // want `kernel writes v\[0\] of loop "bad_deferred", declared op2.Read` `kernel reads v\[1\] of loop "bad_deferred" before writing it, declared op2.Write`
+	})
+}
+
+// opaque receives a view the analyzer cannot follow; the kernel becomes
+// "incomplete" — no unused-arg diagnostics, and no false positives.
+var opaque func([]float64)
+
+func incompleteFlow(rt *op2.Runtime) *op2.Loop {
+	nodes, _, _, x, y, _ := mesh()
+	return rt.ParLoop("ok_opaque", nodes,
+		op2.DirectArg(x, op2.Read),
+		op2.DirectArg(y, op2.Write),
+	).Kernel(func(v [][]float64) {
+		opaque(v[0])
+		v[1][0] = 0
+	})
+}
+
+// Global reductions accumulate too.
+func globalReduction(rt *op2.Runtime) *op2.Loop {
+	nodes, _, _, x, _, _ := mesh()
+	rms := op2.MustDeclGlobal(1, nil, "rms")
+	return rt.ParLoop("bad_gbl", nodes,
+		op2.DirectArg(x, op2.Read),
+		op2.GblArg(rms, op2.Inc),
+	).Kernel(func(v [][]float64) {
+		v[1][0] = v[0][0] * v[0][0] // want `kernel overwrites v\[1\] of loop "bad_gbl", declared op2.Inc`
+	})
+}

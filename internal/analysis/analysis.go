@@ -1,0 +1,167 @@
+// Package analysis is the repo's domain-aware static-analysis framework:
+// a deliberately small, dependency-free replacement for the parts of
+// golang.org/x/tools/go/analysis that cmd/op2vet needs (the container
+// this repo builds in has no module proxy access, so the suite is built
+// on go/ast + go/types alone).
+//
+// The shape mirrors the x/tools framework on purpose — an Analyzer owns
+// a Run function over a Pass, a Pass reports Diagnostics — so the suite
+// can migrate to the real framework mechanically if the dependency ever
+// becomes available. What the analyzers PROVE is specific to this
+// runtime:
+//
+//   - accesscheck: a kernel body honors the op2.Access descriptors its
+//     loop declares (the invariant every derived artifact — colored
+//     plans, fusion legality, owner-compute halo exchanges — silently
+//     assumes).
+//   - noalloc: functions annotated //op2:noalloc contain no allocating
+//     constructs, turning the runtime TestSteadyState*ZeroAlloc guards
+//     into compile-time diagnostics with positions.
+//   - futurecontract: pooled futures are consumed at most once ("valid
+//     until the first Wait returns").
+//   - lockorder: the documented service orderings — no obs registry
+//     calls under a held mutex, and the //op2:scheduler goroutine never
+//     blocks on a job's retire conveyor.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is the one-paragraph description the driver's -help prints.
+	Doc string
+	// Run analyzes one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+	name  string
+}
+
+// Diagnostic is one finding, anchored to a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Analyzer: p.name, Message: sprintf(format, args...)})
+}
+
+// Run applies one analyzer to a loaded package and returns its findings.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, name: a.Name}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return pass.diags, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers used by more than one analyzer.
+
+// FuncHasMarker reports whether the function's doc comment carries the
+// given //op2:<marker> annotation on a line of its own.
+func FuncHasMarker(fn *ast.FuncDecl, marker string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if CommentIsMarker(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// CommentIsMarker reports whether a raw comment is exactly the marker
+// directive, e.g. "//op2:noalloc" (directives take no leading space, the
+// gofmt convention for tool comments; trailing text is a free-form
+// justification).
+func CommentIsMarker(text, marker string) bool {
+	return text == "//op2:"+marker || strings.HasPrefix(text, "//op2:"+marker+" ")
+}
+
+// LineMarkers collects, per line, the //op2: markers of a file's comments
+// — the mechanism behind statement-level escapes like //op2:coldpath and
+// //op2:allow. A marker on a line annotates that line and, for line
+// comments standing alone, the statement starting on the following line.
+func LineMarkers(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !CommentIsMarker(c.Text, marker) {
+				continue
+			}
+			ln := fset.Position(c.Pos()).Line
+			lines[ln] = true
+			lines[ln+1] = true
+		}
+	}
+	return lines
+}
+
+// MethodRecvNamed returns the defined type T when fn is a method with
+// receiver T or *T, and nil otherwise.
+func MethodRecvNamed(info *types.Info, fn *ast.FuncDecl) *types.Named {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	t := info.TypeOf(fn.Recv.List[0].Type)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// CalleeFunc resolves the static callee of a call to its types.Func, or
+// nil when the callee is dynamic (func value, interface method, builtin).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// IsPkgPath reports whether obj belongs to the package with the given
+// import path ("" matches universe/builtin objects and always fails).
+func IsPkgPath(obj types.Object, path string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+func sprintf(format string, args ...any) string {
+	if len(args) == 0 {
+		return format
+	}
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,110 @@
+// Package analysistest runs an analyzer over a testdata fixture package
+// and checks its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	v[2][0] = 1 // want `declared Read`
+//
+// Every line carrying a `// want` comment must receive a diagnostic
+// whose message matches the backquoted regular expression, and every
+// diagnostic must be expected — so each fixture proves both that the
+// analyzer fires on violations and that it stays silent on clean code.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"testing"
+
+	"op2hpx/internal/analysis"
+	"op2hpx/internal/analysis/load"
+)
+
+var (
+	wantRe    = regexp.MustCompile("// want ((?:`[^`]*`\\s*)+)")
+	patternRe = regexp.MustCompile("`([^`]*)`")
+)
+
+// ModuleDir locates the repo root (the directory holding go.mod) from
+// the calling test's source position.
+func ModuleDir(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		t.Fatal("analysistest: cannot locate caller")
+	}
+	dir := filepath.Dir(file)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("analysistest: no go.mod above testdata")
+		}
+		dir = parent
+	}
+}
+
+// Run loads testdata/<fixture> as one package, applies the analyzer and
+// diffs the findings against the `// want` comments.
+func Run(t *testing.T, moduleDir, fixtureDir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := load.Fixture(fixtureDir, moduleDir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	diags, err := analysis.Run(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		tf := pkg.Fset.File(f.Pos())
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					for _, pm := range patternRe.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(pm[1])
+						if err != nil {
+							t.Fatalf("bad want regexp %q: %v", pm[1], err)
+						}
+						pos := pkg.Fset.Position(c.Pos())
+						wants[key{tf.Name(), pos.Line}] = append(wants[key{tf.Name(), pos.Line}], re)
+					}
+				}
+			}
+		}
+	}
+
+	matched := map[key]int{}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		res := wants[k]
+		found := false
+		for _, re := range res {
+			if re.MatchString(d.Message) {
+				found = true
+				matched[k]++
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, pos.Column, d.Message)
+		}
+	}
+	for k, res := range wants {
+		if matched[k] < len(res) {
+			t.Errorf("%s: expected %d diagnostic(s), analyzer reported %d",
+				fmt.Sprintf("%s:%d", k.file, k.line), len(res), matched[k])
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package futurecontract_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"op2hpx/internal/analysis/analysistest"
+	"op2hpx/internal/analysis/futurecontract"
+)
+
+func TestFutureFixtures(t *testing.T) {
+	mod := analysistest.ModuleDir(t)
+	analysistest.Run(t, mod, filepath.Join(mod, "internal/analysis/futurecontract/testdata/futures"), futurecontract.Analyzer)
+}

@@ -1,0 +1,83 @@
+// Fixture for the futurecontract analyzer: consumption patterns of
+// pooled op2.Future handles, legal and not.
+package fixture
+
+import (
+	"context"
+
+	"op2hpx/op2"
+)
+
+// waitOnce is the contract followed: one Async, one Wait.
+func waitOnce(ctx context.Context, lp *op2.Loop) error {
+	fut := lp.Async(ctx)
+	return fut.Wait()
+}
+
+// doubleWait consumes the handle twice.
+func doubleWait(ctx context.Context, lp *op2.Loop) error {
+	fut := lp.Async(ctx)
+	if err := fut.Wait(); err != nil {
+		return err
+	}
+	return fut.Wait() // want `second Wait on future "fut"`
+}
+
+// readyThenWait is the idiomatic early-error probe: Wait happens on one
+// path only, so a later Wait is a maybe, not a proven double. Clean.
+func readyThenWait(ctx context.Context, lp *op2.Loop) error {
+	fut := lp.Async(ctx)
+	if fut.Ready() {
+		if err := fut.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// waitInLoop re-waits a handle issued outside the loop.
+func waitInLoop(ctx context.Context, lp *op2.Loop) {
+	fut := lp.Async(ctx)
+	for i := 0; i < 3; i++ {
+		_ = fut.Wait() // want `second Wait on future "fut"`
+	}
+}
+
+// reissueInLoop rebinds the handle each iteration: the contract allows
+// it. Clean.
+func reissueInLoop(ctx context.Context, lp *op2.Loop) {
+	for i := 0; i < 3; i++ {
+		fut := lp.Async(ctx)
+		_ = fut.Wait()
+	}
+}
+
+// bothBranchesWait waits on every path, then again: proven double.
+func bothBranchesWait(ctx context.Context, lp *op2.Loop, fast bool) {
+	fut := lp.Async(ctx)
+	if fast {
+		_ = fut.Wait()
+	} else {
+		_ = fut.Wait()
+	}
+	_ = fut.Ready() // want `Ready on future "fut" after its Wait returned`
+}
+
+func keep(f *op2.Future) {}
+
+// storedAfterWait hands a consumed handle to someone else.
+func storedAfterWait(ctx context.Context, lp *op2.Loop) {
+	fut := lp.Async(ctx)
+	_ = fut.Wait()
+	keep(fut) // want `future "fut" passed along after its Wait returned`
+}
+
+// rebindAfterWait is fine: the variable gets a fresh handle.
+func rebindAfterWait(ctx context.Context, lp *op2.Loop) error {
+	fut := lp.Async(ctx)
+	if err := fut.Wait(); err != nil {
+		return err
+	}
+	fut = lp.Async(ctx)
+	return fut.Wait()
+}

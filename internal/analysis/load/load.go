@@ -1,0 +1,215 @@
+// Package load type-checks this module's packages from source without
+// golang.org/x/tools: `go list -deps -export -json` supplies the file
+// lists and the compiler's export data for every dependency (stdlib and
+// module packages alike), and go/importer's gc importer consumes that
+// export data through a lookup function. The result is the same
+// (Fset, Files, Pkg, TypesInfo) quadruple go/packages.LoadSyntax would
+// produce for the matched packages.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` in dir and decodes the
+// package stream.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("go list: decoding: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts the export-file map go list produced into the
+// lookup function go/importer's gc importer consumes.
+func exportLookup(exports map[string]string) func(path string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// Packages loads and type-checks the packages matching patterns (run
+// from dir, which must be inside the module). Dependencies are imported
+// from compiler export data; only the matched packages are parsed.
+// Test files are not included — the suite analyzes shipped code.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var roots []*listedPkg
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			roots = append(roots, p)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	var out []*Package
+	for _, p := range roots {
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := Check(fset, p.ImportPath, p.Dir, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Fixture type-checks a directory of Go files as one synthetic package —
+// the analysistest harness's entry point. moduleDir anchors the `go list`
+// runs that resolve the fixture's imports (the module's own packages and
+// the stdlib); the fixture itself need not be part of any build.
+func Fixture(fixtureDir, moduleDir string) (*Package, error) {
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(fixtureDir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", fixtureDir)
+	}
+	sort.Strings(files)
+
+	// Parse first to discover the imports, then resolve exactly those
+	// through the build cache.
+	fset := token.NewFileSet()
+	var astFiles []*ast.File
+	imports := map[string]bool{}
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		astFiles = append(astFiles, af)
+		for _, im := range af.Imports {
+			imports[strings.Trim(im.Path.Value, `"`)] = true
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		patterns := make([]string, 0, len(imports))
+		for p := range imports {
+			patterns = append(patterns, p)
+		}
+		sort.Strings(patterns)
+		listed, err := goList(moduleDir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Error != nil {
+				return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	return check(fset, "fixture", fixtureDir, astFiles, imp)
+}
+
+// Check parses and type-checks one package from explicit file paths.
+func Check(fset *token.FileSet, pkgPath, dir string, files []string, imp types.Importer) (*Package, error) {
+	var astFiles []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		astFiles = append(astFiles, af)
+	}
+	return check(fset, pkgPath, dir, astFiles, imp)
+}
+
+func check(fset *token.FileSet, pkgPath, dir string, astFiles []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, astFiles, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Dir: dir, Fset: fset, Files: astFiles, Types: pkg, TypesInfo: info}, nil
+}

@@ -1,0 +1,376 @@
+// Package lockorder proves the two documented ordering invariants of the
+// service control plane:
+//
+//  1. No mutex is held across a call into the obs registry. Registry
+//     methods take the registry's own lock, and registered GaugeFunc /
+//     CounterFunc callbacks call back into their owners — holding a
+//     service lock across that re-entry is the textbook lock-order
+//     inversion. The check is transitive within a package: calling a
+//     helper that (eventually) calls the registry counts. Atomic
+//     instrument updates (Counter.Add, Gauge.Set, Histogram.Observe)
+//     take no lock and are allowed.
+//
+//  2. The scheduler goroutine never blocks on a job's retire conveyor.
+//     Functions annotated //op2:scheduler — and everything they reach by
+//     ordinary (non-go) calls in the same package — must not receive
+//     from retireCh, and every send on retireCh must be immediately
+//     preceded by the inflight.Add(1) reservation on the same receiver,
+//     the arithmetic that proves the buffered channel has a free slot
+//     (occupancy <= issued-retired = inflight <= capacity).
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"op2hpx/internal/analysis"
+)
+
+// Analyzer is the lock-ordering checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "check mutex-vs-registry ordering and the scheduler retireCh protocol",
+	Run:  run,
+}
+
+const obsPath = "op2hpx/internal/obs"
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Path() == obsPath {
+		return nil // the registry may of course call itself under its lock
+	}
+
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var allDecls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				allDecls = append(allDecls, fd)
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	touchesRegistry := registryClosure(pass, decls, allDecls)
+	for _, fd := range allDecls {
+		checkMutexRegions(pass, fd, touchesRegistry)
+	}
+	checkScheduler(pass, decls, allDecls)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 1: no lock held across registry calls.
+
+// callsRegistryDirect reports whether the call enters the obs Registry —
+// a *obs.Registry method. Those take the registry lock and may invoke
+// registered callbacks; obs package-level constructors and the lock-free
+// instrument methods (Counter.Add, Histogram.Observe) are safe anywhere.
+func callsRegistryDirect(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || !analysis.IsPkgPath(fn, obsPath) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name() == "Registry"
+	}
+	return false
+}
+
+// registryClosure computes, transitively over same-package static calls
+// (go statements excluded: a spawned goroutine runs without the caller's
+// locks), the set of functions that reach the registry.
+func registryClosure(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, all []*ast.FuncDecl) map[*types.Func]bool {
+	direct := map[*types.Func]bool{}
+	edges := map[*types.Func][]*types.Func{}
+	for _, fd := range all {
+		obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		walkSkippingGo(fd.Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if callsRegistryDirect(pass, call) {
+				direct[obj] = true
+			}
+			if callee := analysis.CalleeFunc(pass.TypesInfo, call); callee != nil {
+				if _, samePkg := decls[callee]; samePkg {
+					edges[obj] = append(edges[obj], callee)
+				}
+			}
+		})
+	}
+	// Propagate to a fixpoint.
+	closure := map[*types.Func]bool{}
+	for fn := range direct {
+		closure[fn] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range edges {
+			if closure[fn] {
+				continue
+			}
+			for _, callee := range callees {
+				if closure[callee] {
+					closure[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// walkSkippingGo traverses a body but not into go statements.
+func walkSkippingGo(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// mutexMethod classifies calls on sync.Mutex / sync.RWMutex receivers and
+// returns the held-set key (the rendered receiver expression).
+func mutexMethod(pass *analysis.Pass, call *ast.CallExpr) (key, method string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || !analysis.IsPkgPath(fn, "sync") {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return exprString(sel.X), fn.Name()
+	}
+	return "", ""
+}
+
+// exprString renders selector chains (j.svc.mu) for held-set keys.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.UnaryExpr:
+		return exprString(e.X)
+	}
+	return "?"
+}
+
+// checkMutexRegions walks one function linearly, tracking which mutexes
+// are held, and reports registry entry while any is held.
+func checkMutexRegions(pass *analysis.Pass, fd *ast.FuncDecl, touchesRegistry map[*types.Func]bool) {
+	held := map[string]bool{}
+	var heldName string // last-acquired, for the message
+	walkSkippingGo(fd.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the region open to function end;
+			// nothing to update.
+		case *ast.CallExpr:
+			if key, m := mutexMethod(pass, n); key != "" {
+				switch m {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					held[key] = true
+					heldName = key
+				case "Unlock", "RUnlock":
+					if !isDeferred(fd, n) {
+						delete(held, key)
+					}
+				}
+				return
+			}
+			if len(held) == 0 {
+				return
+			}
+			if callsRegistryDirect(pass, n) {
+				pass.Reportf(n.Pos(), "call into the obs registry while %s is held: registry callbacks re-enter their owners (lock-order inversion)", heldFmt(held, heldName))
+				return
+			}
+			if callee := analysis.CalleeFunc(pass.TypesInfo, n); callee != nil && touchesRegistry[callee] {
+				pass.Reportf(n.Pos(), "%s reaches the obs registry and is called while %s is held: registry callbacks re-enter their owners (lock-order inversion)", callee.Name(), heldFmt(held, heldName))
+			}
+		}
+	})
+}
+
+func heldFmt(held map[string]bool, last string) string {
+	if held[last] {
+		return last
+	}
+	for k := range held {
+		return k
+	}
+	return last
+}
+
+// isDeferred reports whether the call expression is the call of a defer
+// statement (its unlock must not close the region early).
+func isDeferred(fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	deferred := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok && ds.Call == call {
+			deferred = true
+			return false
+		}
+		return true
+	})
+	return deferred
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 2: the scheduler never blocks on retireCh.
+
+// isRetireCh matches the conveyor field/variable by name: x.retireCh or
+// a local named retireCh.
+func isRetireCh(e ast.Expr) (base string, ok bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if e.Sel.Name == "retireCh" {
+			return exprString(e.X), true
+		}
+	case *ast.Ident:
+		if e.Name == "retireCh" {
+			return "", true
+		}
+	}
+	return "", false
+}
+
+func checkScheduler(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, all []*ast.FuncDecl) {
+	// Roots: //op2:scheduler functions. Reachability over non-go calls.
+	reach := map[*ast.FuncDecl]bool{}
+	var queue []*ast.FuncDecl
+	for _, fd := range all {
+		if analysis.FuncHasMarker(fd, "scheduler") {
+			reach[fd] = true
+			queue = append(queue, fd)
+		}
+	}
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		walkSkippingGo(fd.Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if callee := analysis.CalleeFunc(pass.TypesInfo, call); callee != nil {
+				if cd, samePkg := decls[callee]; samePkg && !reach[cd] {
+					reach[cd] = true
+					queue = append(queue, cd)
+				}
+			}
+		})
+	}
+
+	for fd := range reach {
+		checkSchedulerBody(pass, fd)
+	}
+}
+
+func checkSchedulerBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Receives and ranges block until the RETIRER makes progress — the
+	// inversion the conveyor design forbids.
+	walkSkippingGo(fd.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				if _, ok := isRetireCh(n.X); ok {
+					pass.Reportf(n.Pos(), "scheduler receives from retireCh: retiring is the retirer goroutine's job, the scheduler must never block on it")
+				}
+			}
+		case *ast.RangeStmt:
+			if _, ok := isRetireCh(n.X); ok {
+				pass.Reportf(n.X.Pos(), "scheduler ranges over retireCh: retiring is the retirer goroutine's job, the scheduler must never block on it")
+			}
+		case *ast.BlockStmt:
+			checkSendProtocol(pass, n.List)
+		case *ast.CaseClause:
+			checkSendProtocol(pass, n.Body)
+		case *ast.CommClause:
+			checkSendProtocol(pass, n.Body)
+		}
+	})
+}
+
+// checkSendProtocol enforces: a send on retireCh must directly follow
+// the inflight.Add(1) reservation on the same receiver — the statement
+// pair that proves the buffered send cannot block.
+func checkSendProtocol(pass *analysis.Pass, list []ast.Stmt) {
+	for i, s := range list {
+		send, ok := s.(*ast.SendStmt)
+		if !ok {
+			continue
+		}
+		base, ok := isRetireCh(send.Chan)
+		if !ok {
+			continue
+		}
+		if i > 0 && isInflightAdd(list[i-1], base) {
+			continue
+		}
+		pass.Reportf(send.Pos(), "send on retireCh without an immediately preceding %s.inflight.Add(1): the capacity proof (occupancy <= inflight) needs the reservation first", baseOr(base))
+	}
+}
+
+func baseOr(base string) string {
+	if base == "" {
+		return "j"
+	}
+	return base
+}
+
+// isInflightAdd matches `<base>.inflight.Add(1)` as a statement.
+func isInflightAdd(s ast.Stmt, base string) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "inflight" {
+		return false
+	}
+	if base != "" && exprString(inner.X) != base {
+		return false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	return ok && lit.Value == "1"
+}

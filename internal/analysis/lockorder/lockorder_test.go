@@ -1,0 +1,14 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"op2hpx/internal/analysis/analysistest"
+	"op2hpx/internal/analysis/lockorder"
+)
+
+func TestOrderingFixtures(t *testing.T) {
+	mod := analysistest.ModuleDir(t)
+	analysistest.Run(t, mod, filepath.Join(mod, "internal/analysis/lockorder/testdata/ordering"), lockorder.Analyzer)
+}

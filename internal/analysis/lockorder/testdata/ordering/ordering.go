@@ -1,0 +1,95 @@
+// Fixture for the lockorder analyzer: mutex-vs-registry ordering and the
+// scheduler retireCh protocol.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"op2hpx/internal/obs"
+)
+
+type job struct {
+	retireCh chan error
+	inflight atomic.Int32
+}
+
+type svc struct {
+	mu      sync.Mutex
+	reg     *obs.Registry
+	counter *obs.Counter
+	queue   []*job
+}
+
+// registryUnderLock calls the registry with mu held.
+func (s *svc) registryUnderLock() {
+	s.mu.Lock()
+	s.reg.Counter("op2_bad_total", "held-lock registration") // want `call into the obs registry while s.mu is held`
+	s.mu.Unlock()
+}
+
+// registryUnderDeferredLock: defer keeps the region open to the end.
+func (s *svc) registryUnderDeferredLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Gauge("op2_bad_gauge", "held-lock registration") // want `call into the obs registry while s.mu is held`
+}
+
+// registryViaHelper reaches the registry transitively.
+func (s *svc) registryViaHelper() {
+	s.mu.Lock()
+	s.register() // want `register reaches the obs registry and is called while s.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *svc) register() {
+	s.reg.Counter("op2_total", "registration")
+}
+
+// registryAfterUnlock is the documented ordering: drop the lock first.
+func (s *svc) registryAfterUnlock() {
+	s.mu.Lock()
+	n := len(s.queue)
+	s.mu.Unlock()
+	_ = n
+	s.register()
+}
+
+// atomicUnderLock is fine: Counter.Add is lock-free, only Registry
+// methods take the registry lock.
+func (s *svc) atomicUnderLock() {
+	s.mu.Lock()
+	s.counter.Add(1)
+	s.mu.Unlock()
+}
+
+// run is the scheduler: the conveyor protocol applies to it and to
+// everything it calls.
+//
+//op2:scheduler
+func (s *svc) run(j *job) {
+	s.visit(j)
+	_ = <-j.retireCh // want `scheduler receives from retireCh`
+}
+
+func (s *svc) visit(j *job) {
+	// The legal send: reservation immediately before.
+	j.inflight.Add(1)
+	j.retireCh <- nil
+
+	// Missing reservation.
+	j.retireCh <- nil // want `send on retireCh without an immediately preceding j.inflight.Add\(1\)`
+}
+
+// retire is NOT reachable from the scheduler (spawned with go): it may
+// range over the conveyor freely.
+func (s *svc) spawn(j *job) {
+	go s.retire(j)
+}
+
+func (s *svc) retire(j *job) {
+	for err := range j.retireCh {
+		_ = err
+		j.inflight.Add(-1)
+	}
+}

@@ -1,0 +1,250 @@
+// Package noalloc turns the runtime's sampling-based zero-allocation
+// guards (TestSteadyStateDirectLoopZeroAlloc and friends) into
+// compile-time diagnostics with positions. A function annotated
+//
+//	//op2:noalloc
+//
+// in its doc comment must contain no allocating construct:
+//
+//   - func literals (closure allocation) and go statements;
+//   - append, make, new, map writes and deletes;
+//   - map/slice composite literals and &T{...} heap escapes;
+//   - calls into fmt/errors/strconv, time.Now, and variadic
+//     ...interface{} calls (argument-slice allocation);
+//   - string concatenation and string<->[]byte conversions;
+//   - arguments boxed into interface parameters.
+//
+// Two statement-level escapes keep cold branches honest instead of
+// un-annotated:
+//
+//	//op2:coldpath <why>  — the next statement (and its subtree) is a
+//	                        pool-miss/error branch off the steady state
+//	//op2:allow <why>     — suppress one diagnostic on the next line
+//
+// Both demand the justification inline, so every allocation on an
+// annotated path is either absent or explained at the site.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"op2hpx/internal/analysis"
+)
+
+// Analyzer is the zero-allocation checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "check //op2:noalloc functions for allocating constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		cold := analysis.LineMarkers(pass.Fset, f, "coldpath")
+		allow := analysis.LineMarkers(pass.Fset, f, "allow")
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.FuncHasMarker(fn, "noalloc") {
+				continue
+			}
+			c := &checker{pass: pass, cold: cold, allow: allow}
+			c.walk(fn.Body)
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	cold  map[int]bool
+	allow map[int]bool
+}
+
+func (c *checker) line(pos token.Pos) int { return c.pass.Fset.Position(pos).Line }
+
+// exempt reports whether a node sits on (or right under) a //op2:coldpath
+// or //op2:allow line.
+func (c *checker) exempt(pos token.Pos) bool {
+	ln := c.line(pos)
+	return c.cold[ln] || c.allow[ln]
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	if !c.exempt(pos) {
+		c.pass.Reportf(pos, format, args...)
+	}
+}
+
+func (c *checker) walk(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		// A //op2:coldpath above a statement exempts the whole subtree —
+		// pool misses, error branches and shutdown paths are off the
+		// steady state by definition.
+		if _, isStmt := n.(ast.Stmt); isStmt && c.cold[c.line(n.Pos())] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.reportf(n.Pos(), "func literal allocates a closure on a //op2:noalloc path")
+			return false
+		case *ast.GoStmt:
+			// The steady-state spawn idiom is `go ls.execFn()` with a
+			// closure cached at pool-insertion time: the goroutine stack
+			// is runtime-recycled, only a literal closure allocates.
+			if _, lit := ast.Unparen(n.Call.Fun).(*ast.FuncLit); lit {
+				c.reportf(n.Pos(), "go with a func literal allocates a closure on a //op2:noalloc path (cache the closure at pool-insertion time)")
+				return false
+			}
+			return true // the call's arguments are still evaluated here
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					c.reportf(n.Pos(), "&T{...} escapes to the heap on a //op2:noalloc path")
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(c.pass.TypesInfo.TypeOf(n.X)) {
+				c.reportf(n.Pos(), "string concatenation allocates on a //op2:noalloc path")
+			}
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				if ie, ok := ast.Unparen(l).(*ast.IndexExpr); ok {
+					if _, isMap := typeUnder(c.pass.TypesInfo.TypeOf(ie.X)).(*types.Map); isMap {
+						c.reportf(l.Pos(), "map write may allocate on a //op2:noalloc path")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	// Builtins and conversions.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch c.pass.TypesInfo.Uses[id] {
+		case types.Universe.Lookup("append"):
+			c.reportf(call.Pos(), "append may grow its backing array on a //op2:noalloc path")
+			return
+		case types.Universe.Lookup("make"):
+			c.reportf(call.Pos(), "make allocates on a //op2:noalloc path")
+			return
+		case types.Universe.Lookup("new"):
+			c.reportf(call.Pos(), "new allocates on a //op2:noalloc path")
+			return
+		case types.Universe.Lookup("delete"):
+			// delete does not allocate, but hot paths touching maps at
+			// all defeats the pooling design; keep it visible.
+			c.reportf(call.Pos(), "map delete on a //op2:noalloc path")
+			return
+		}
+	}
+	// string([]byte) / []byte(string) conversions.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := tv.Type, c.pass.TypesInfo.TypeOf(call.Args[0])
+		if (isString(to) && !isString(from)) || (!isString(to) && isString(from)) {
+			c.reportf(call.Pos(), "string conversion allocates on a //op2:noalloc path")
+		}
+		return
+	}
+
+	if fn := analysis.CalleeFunc(c.pass.TypesInfo, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt", "errors", "strconv":
+			c.reportf(call.Pos(), "%s.%s allocates on a //op2:noalloc path", fn.Pkg().Name(), fn.Name())
+			return
+		case "time":
+			if fn.Name() == "Now" || fn.Name() == "Since" {
+				c.reportf(call.Pos(), "time.%s on a //op2:noalloc path (steady-state code samples clocks upstream)", fn.Name())
+				return
+			}
+		}
+	}
+
+	// Interface boxing: a concrete-typed argument passed where the callee
+	// takes an interface is a heap allocation for non-pointer values, and
+	// a variadic ...interface{} call allocates the argument slice.
+	sig, _ := typeUnder(c.pass.TypesInfo.TypeOf(call.Fun)).(*types.Signature)
+	if sig == nil || call.Ellipsis != token.NoPos {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if params.Len() == 0 {
+				break
+			}
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				break
+			}
+			pt = slice.Elem()
+			if types.IsInterface(pt) {
+				c.reportf(arg.Pos(), "variadic interface argument allocates on a //op2:noalloc path")
+				continue
+			}
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := c.pass.TypesInfo.Types[arg]
+		if !ok || tv.Value != nil { // constants box into static data
+			continue
+		}
+		at := tv.Type
+		if at == nil || types.IsInterface(at) || isUntypedNil(at) || pointerShaped(at) {
+			continue
+		}
+		c.reportf(arg.Pos(), "argument boxes into an interface on a //op2:noalloc path")
+	}
+}
+
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit) {
+	switch typeUnder(c.pass.TypesInfo.TypeOf(lit)).(type) {
+	case *types.Map:
+		c.reportf(lit.Pos(), "map literal allocates on a //op2:noalloc path")
+	case *types.Slice:
+		c.reportf(lit.Pos(), "slice literal allocates on a //op2:noalloc path")
+	}
+	// Value struct/array literals stay on the stack and are fine.
+}
+
+func typeUnder(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func isString(t types.Type) bool {
+	b, ok := typeUnder(t).(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// pointerShaped reports types whose values fit the interface data word
+// directly — converting them to an interface does not allocate.
+func pointerShaped(t types.Type) bool {
+	switch typeUnder(t).(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package noalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"op2hpx/internal/analysis/analysistest"
+	"op2hpx/internal/analysis/noalloc"
+)
+
+func TestHotpathFixtures(t *testing.T) {
+	mod := analysistest.ModuleDir(t)
+	analysistest.Run(t, mod, filepath.Join(mod, "internal/analysis/noalloc/testdata/hotpath"), noalloc.Analyzer)
+}

@@ -1,0 +1,89 @@
+// Fixture for the noalloc analyzer: annotated functions containing
+// allocating constructs, the statement-level escapes, and clean code.
+package fixture
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+type ring struct {
+	buf  []int64
+	head int
+	n    atomic.Int64
+}
+
+// step is the steady-state pattern the annotation protects: index
+// arithmetic, atomics, slice stores. No diagnostics.
+//
+//op2:noalloc
+func (r *ring) step(v int64) {
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+	r.n.Add(1)
+}
+
+// closures allocates a closure and a goroutine.
+//
+//op2:noalloc
+func (r *ring) closures() {
+	f := func() {} // want `func literal allocates a closure`
+	_ = f
+	go func() { r.step(1) }() // want `go with a func literal allocates a closure`
+	go r.step(1)              // cached-target spawn: the steady-state idiom, clean
+}
+
+// builtins exercises append/make/new/map writes.
+//
+//op2:noalloc
+func (r *ring) builtins(m map[string]int) {
+	r.buf = append(r.buf, 1) // want `append may grow its backing array`
+	s := make([]int, 4)      // want `make allocates`
+	_ = s
+	p := new(int) // want `new allocates`
+	_ = p
+	m["k"] = 1        // want `map write may allocate`
+	delete(m, "k")    // want `map delete`
+	_ = map[int]int{} // want `map literal allocates`
+}
+
+// slowCalls exercises fmt/time and string building.
+//
+//op2:noalloc
+func (r *ring) slowCalls(name string) string {
+	fmt.Println(name) // want `fmt.Println allocates`
+	t := time.Now()   // want `time.Now on a`
+	_ = t
+	logv(name)            // want `variadic interface argument allocates`
+	return "ring:" + name // want `string concatenation allocates`
+}
+
+func logv(args ...any) { _ = args }
+
+type sink interface{ accept(any) }
+
+// boxing passes a concrete value where an interface is expected.
+//
+//op2:noalloc
+func box(s sink, v int64) {
+	s.accept(v) // want `argument boxes into an interface`
+}
+
+// escapes shows both annotations: a cold branch may allocate freely, a
+// single justified line may too. No diagnostics.
+//
+//op2:noalloc
+func (r *ring) escapes(miss bool) {
+	//op2:coldpath pool miss refills the ring off the steady state
+	if miss {
+		r.buf = append(r.buf, make([]int64, 16)...)
+	}
+	//op2:allow one-time label interning, measured free of steady-state allocs
+	_ = fmt.Sprint("x")
+}
+
+// unannotated is ignored entirely: annotations are opt-in.
+func unannotated() []int {
+	return append([]int{}, 1, 2, 3)
+}

@@ -106,6 +106,7 @@ type depWaiter struct {
 	owner     depOwner
 }
 
+//op2:noalloc
 func (dw *depWaiter) begin() {
 	dw.nsub = 0
 	dw.nhard = 0
@@ -114,7 +115,10 @@ func (dw *depWaiter) begin() {
 
 // node returns the next pooled subscription slot, growing the node pool
 // on first use of a deeper dependency count.
+//
+//op2:noalloc
 func (dw *depWaiter) node() *depNode {
+	//op2:coldpath first use of a deeper dependency count grows the node pool; steady state reuses it
 	if dw.nsub == len(dw.nodes) {
 		n := &depNode{dw: dw}
 		n.c.Fire = n.fire
@@ -126,11 +130,13 @@ func (dw *depWaiter) node() *depNode {
 	return n
 }
 
+//op2:noalloc
 func (n *depNode) fire(err error) {
 	n.err = err
 	n.dw.fired()
 }
 
+//op2:noalloc
 func (dw *depWaiter) fired() {
 	if dw.remaining.Add(-1) == 0 {
 		dw.owner.depsReady()
@@ -142,6 +148,8 @@ func (dw *depWaiter) fired() {
 // take continuations (none in this module — every future is LCO-backed —
 // but external Waiter implementations could exist) fall back to a parked
 // goroutine.
+//
+//op2:noalloc
 func (dw *depWaiter) subscribe(ws []hpx.Waiter) {
 	for _, w := range ws {
 		if w == nil {
@@ -158,6 +166,7 @@ func (dw *depWaiter) subscribe(ws []hpx.Waiter) {
 			n.err = w.Wait()
 		} else {
 			dw.remaining.Add(1)
+			//op2:coldpath fallback for external non-LCO Waiters; every future in this module is LCO-backed
 			go func() { n.c.Fire(w.Wait()) }()
 		}
 	}
@@ -165,15 +174,21 @@ func (dw *depWaiter) subscribe(ws []hpx.Waiter) {
 
 // markHard records that every node subscribed so far guards a hard
 // dependency; later subscriptions are ordering-only.
+//
+//op2:noalloc
 func (dw *depWaiter) markHard() { dw.nhard = dw.nsub }
 
 // finish releases the subscription guard; if every dependency already
 // fired, depsReady runs inline on the issuing goroutine.
+//
+//op2:noalloc
 func (dw *depWaiter) finish() { dw.fired() }
 
 // firstHardErr returns the first hard dependency failure in input
 // (program) order — the same verdict waitDeps derived by waiting the
 // ordering list first and the hard list second.
+//
+//op2:noalloc
 func (dw *depWaiter) firstHardErr() error {
 	for _, n := range dw.nodes[:dw.nhard] {
 		if n.err != nil {
@@ -193,6 +208,7 @@ type chainHandle struct {
 	ls  *issueState
 }
 
+//op2:noalloc
 func (h *chainHandle) Wait() error                        { return h.lco.Wait() }
 func (h *chainHandle) Ready() bool                        { return h.lco.Ready() }
 func (h *chainHandle) Subscribe(c *hpx.Continuation) bool { return h.lco.Subscribe(c) }
@@ -210,6 +226,7 @@ type userHandle struct {
 	owner    userReleaser
 }
 
+//op2:noalloc
 func (h *userHandle) Wait() error {
 	err := h.lco.Wait()
 	if h.released.CompareAndSwap(false, true) {
@@ -227,6 +244,8 @@ func (h *userHandle) Subscribe(c *hpx.Continuation) bool { return h.lco.Subscrib
 // whose futures nobody waited on. It reports whether the handle is
 // consumed (now or previously); a pending issue, or a failed one nobody
 // has waited yet, stays live.
+//
+//op2:noalloc
 func (h *userHandle) TryRelease() bool {
 	if h.released.Load() {
 		return true
@@ -257,6 +276,7 @@ func (h *userHandle) Abandon() bool {
 	return true
 }
 
+//op2:noalloc
 func (h *userHandle) reset(owner userReleaser) {
 	h.lco.ResetFresh()
 	h.released.Store(false)
@@ -303,6 +323,8 @@ func newIssueState(cl *CompiledLoop) *issueState {
 
 // acquireIssue borrows a pooled issue state and re-arms it for a new
 // cycle. Issuing-goroutine only.
+//
+//op2:noalloc
 func (cl *CompiledLoop) acquireIssue(ctx context.Context) *issueState {
 	ls, _ := cl.issues.Get().(*issueState)
 	if ls == nil {
@@ -324,6 +346,8 @@ func (cl *CompiledLoop) acquireIssue(ctx context.Context) *issueState {
 // release drops one reference; at zero — which implies the cycle has
 // resolved, since the issue reference is held until resolution — a
 // successfully resolved state returns to its loop's pool.
+//
+//op2:noalloc
 func (ls *issueState) release() {
 	if ls.refs.Add(-1) != 0 {
 		return
@@ -336,6 +360,7 @@ func (ls *issueState) release() {
 	}
 }
 
+//op2:noalloc
 func (ls *issueState) signalWake() {
 	select {
 	case ls.wake <- struct{}{}:
@@ -345,6 +370,8 @@ func (ls *issueState) signalWake() {
 
 // noteAbort latches an abort verdict and fails the user future promptly;
 // the chain future is left to the dependency drain.
+//
+//op2:noalloc
 func (ls *issueState) noteAbort(err error) {
 	ls.abortErr = err
 	ls.aborted.Store(true)
@@ -369,11 +396,14 @@ func (ls *issueState) monitor() {
 // settled. It is the single resolver of the chain future, which is what
 // guarantees the chain never resolves before the dependencies beneath it
 // have drained.
+//
+//op2:noalloc
 func (ls *issueState) depsReady() {
 	if ls.aborted.Load() {
 		ls.finish(ls.abortErr)
 		return
 	}
+	//op2:coldpath a failed hard dependency aborts the cycle; the error leaves the steady state anyway
 	if err := ls.dw.firstHardErr(); err != nil {
 		ls.finish(fmt.Errorf("op2: loop %q dependency failed: %w", ls.cl.l.Name, err))
 		return
@@ -383,6 +413,8 @@ func (ls *issueState) depsReady() {
 
 // exec runs the loop body and resolves the cycle — the pooled
 // replacement of the per-issue goroutine body.
+//
+//op2:noalloc
 func (ls *issueState) exec() {
 	ls.finish(ls.cl.ex.executeCompiled(ls.ctx, ls.cl))
 }
@@ -390,6 +422,8 @@ func (ls *issueState) exec() {
 // finish resolves both futures with the verdict and drops the issue
 // reference. The user future may already have been failed promptly by
 // the monitor; the chain future has exactly one resolver.
+//
+//op2:noalloc
 func (ls *issueState) finish(err error) {
 	ls.chain.lco.Resolve(err)
 	ls.user.lco.TryResolve(err)
@@ -401,6 +435,8 @@ func (ls *issueState) finish(err error) {
 // the version chains, record the chain future as every resource's new
 // version, link the continuations, arm cancellation, and return the
 // issue state (callers vend &ls.user). Zero allocations in steady state.
+//
+//op2:noalloc
 func (ex *Executor) issueLoop(ctx context.Context, cl *CompiledLoop, resources []stepRes) *issueState {
 	ls := cl.acquireIssue(ctx)
 	hard, ordering := cl.gatherDepsReuse()
@@ -412,6 +448,7 @@ func (ex *Executor) issueLoop(ctx context.Context, cl *CompiledLoop, resources [
 	ls.dw.subscribe(ordering)
 	if ctx.Done() != nil {
 		if ctx.Err() != nil {
+			//op2:coldpath issuing on an already-canceled context aborts the cycle
 			ls.noteAbort(fmt.Errorf("op2: loop %q canceled: %w", cl.l.Name, ctx.Err()))
 		} else {
 			ls.refs.Add(1)

@@ -480,12 +480,15 @@ func (w *worker) waitFutsCtx(ctx context.Context, futs []RecvFuture) error {
 // runChunks executes occurrence o's exec positions [lo, hi) in blockSize
 // chunks, checking for cancellation between chunks and reporting each
 // executed chunk to the trace hook.
+//
+//op2:noalloc
 func (w *worker) runChunks(t *task, o int, redBuf []float64, views [][]float64, lo, hi int, phase string) error {
 	bs := w.eng.blockSize
 	lp := t.sub.sp.loops[o]
 	kernel := t.sub.kernels[o]
 	for clo := lo; clo < hi; clo += bs {
 		if cerr := t.sub.ctx.Err(); cerr != nil {
+			//op2:coldpath cancellation aborts the chunk walk
 			return fmt.Errorf("dist: loop %q canceled on rank %d: %w", lp.name, w.rank, cerr)
 		}
 		chi := clo + bs
@@ -503,7 +506,10 @@ func (w *worker) runChunks(t *task, o int, redBuf []float64, views [][]float64, 
 }
 
 // safeRange executes one chunk, converting kernel panics into errors.
+//
+//op2:noalloc
 func (w *worker) safeRange(lp *loopPlan, kernel core.Kernel, redBuf []float64, views [][]float64, lo, hi int) (err error) {
+	//op2:allow open-coded defer: the recovery closure is stack-allocated and fires only on a kernel panic
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = fmt.Errorf("dist: loop %q kernel panicked on rank %d: %v", lp.name, w.rank, rec)
@@ -517,6 +523,8 @@ func (w *worker) safeRange(lp *loopPlan, kernel core.Kernel, redBuf []float64, v
 // the kernel — the distributed counterpart of core's view builder, with
 // indices resolved against owned blocks, halo slots, replicated storage,
 // increment buffers and the reduction scratch.
+//
+//op2:noalloc
 func (w *worker) execRange(lp *loopPlan, kernel core.Kernel, redBuf []float64, views [][]float64, lo, hi int) {
 	r := w.rank
 	rp := lp.ranks[r]

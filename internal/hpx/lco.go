@@ -68,6 +68,8 @@ type LCO struct {
 }
 
 // Ready reports whether the LCO has resolved, without blocking.
+//
+//op2:noalloc
 func (l *LCO) Ready() bool {
 	l.mu.Lock()
 	r := l.resolved
@@ -77,6 +79,8 @@ func (l *LCO) Ready() bool {
 
 // Wait blocks until the LCO resolves and returns its verdict. Any number
 // of goroutines may wait; none allocates.
+//
+//op2:noalloc
 func (l *LCO) Wait() error {
 	l.mu.Lock()
 	if l.cond.L == nil {
@@ -110,6 +114,8 @@ func (l *LCO) Done() <-chan struct{} {
 
 // Subscribe registers c to fire when the LCO resolves (see
 // ContinuationWaiter).
+//
+//op2:noalloc
 func (l *LCO) Subscribe(c *Continuation) bool {
 	l.mu.Lock()
 	if l.resolved {
@@ -126,6 +132,8 @@ func (l *LCO) Subscribe(c *Continuation) bool {
 // and fires every registered continuation (outside the lock, on the
 // calling goroutine). Resolving an already-resolved LCO panics — it
 // always indicates a lifecycle bug, like satisfying a promise twice.
+//
+//op2:noalloc
 func (l *LCO) Resolve(err error) {
 	if !l.tryResolve(err) {
 		panic("hpx: LCO resolved twice")
@@ -136,8 +144,11 @@ func (l *LCO) Resolve(err error) {
 // the execution path): the first caller settles the LCO and fires the
 // continuations, later callers are no-ops. It reports whether this call
 // resolved the LCO.
+//
+//op2:noalloc
 func (l *LCO) TryResolve(err error) bool { return l.tryResolve(err) }
 
+//op2:noalloc
 func (l *LCO) tryResolve(err error) bool {
 	l.mu.Lock()
 	if l.resolved {
@@ -153,6 +164,8 @@ func (l *LCO) tryResolve(err error) bool {
 // continuations. Callers that must publish a value with the resolution
 // (Promise.Set) write it under the same lock, before this call — waiters
 // cannot observe the verdict (and therefore the value) earlier.
+//
+//op2:noalloc
 func (l *LCO) finishLocked(err error) {
 	l.resolved = true
 	l.err = err
@@ -196,6 +209,8 @@ func (l *LCO) Reset() {
 // is already armed; ResetFresh exists for symmetry in pooled states that
 // cannot distinguish first use from reuse: it resets when resolved and
 // is a no-op otherwise (a pending LCO with waiters must never be reset).
+//
+//op2:noalloc
 func (l *LCO) ResetFresh() {
 	l.mu.Lock()
 	if l.resolved {

@@ -38,9 +38,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//op2:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be >= 0 for the exposition to stay monotonic).
+//
+//op2:noalloc
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -53,9 +57,13 @@ type Gauge struct {
 }
 
 // Set replaces the gauge's value.
+//
+//op2:noalloc
 func (g *Gauge) Set(n int64) { g.v.Store(n) }
 
 // Add adjusts the gauge by n (negative to decrease).
+//
+//op2:noalloc
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Value returns the current value.
@@ -103,6 +111,8 @@ func NewHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//op2:noalloc
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
@@ -119,6 +129,8 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // ObserveDuration records a duration in seconds.
+//
+//op2:noalloc
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
 // Count returns the total number of observations.

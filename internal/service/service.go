@@ -392,6 +392,8 @@ func (s *Service) poke() {
 // issuing at most one step per job; passes repeat while any job made
 // progress, then the scheduler sleeps on its doorbell (rung by submits,
 // cancels, completed starts, retired steps and finished jobs).
+//
+//op2:scheduler
 func (s *Service) run() {
 	defer s.wg.Done()
 	var pass []*Job

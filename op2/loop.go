@@ -111,6 +111,8 @@ func (lp *Loop) validate() error {
 // resolve. A canceled ctx aborts the loop nest between colors and chunks
 // and returns an error wrapping ErrCanceled; chunks already executing
 // finish, so data may be partially updated.
+//
+//op2:noalloc
 func (lp *Loop) Run(ctx context.Context) error {
 	if err := lp.validate(); err != nil {
 		return err
@@ -141,8 +143,11 @@ func (lp *Loop) Run(ctx context.Context) error {
 // A canceled ctx stops the loop from waiting on its dependencies (or
 // aborts it mid-execution between colors) and resolves the future with an
 // error wrapping ErrCanceled.
+//
+//op2:noalloc
 func (lp *Loop) Async(ctx context.Context) *Future {
 	if err := lp.validate(); err != nil {
+		//op2:coldpath a validation failure vends a one-off error future
 		return &Future{f: hpx.MakeErr[struct{}](err)}
 	}
 	lim := lp.rt.maxInFlight
@@ -180,6 +185,8 @@ type Future struct {
 // against the package sentinels (ErrCanceled, ErrValidation). On a
 // distributed runtime, waiting also marks the error as delivered so a
 // later Dat/Global Sync does not report it a second time.
+//
+//op2:noalloc
 func (f *Future) Wait() error {
 	err := f.f.Wait()
 	if err != nil && f.ack != nil {
@@ -226,6 +233,8 @@ type issuer struct {
 // before the next one is issued. The oldest future is waited raw, without
 // delivering its error — a failed issue keeps surfacing exactly like an
 // abandoned future, at the next Wait, Sync or Fence.
+//
+//op2:noalloc
 func (is *issuer) reserve(limit int) {
 	if limit <= 0 || len(is.ring) < limit {
 		return
@@ -236,10 +245,13 @@ func (is *issuer) reserve(limit int) {
 }
 
 // record notes a fresh issue in the in-flight ring (see reserve).
+//
+//op2:noalloc
 func (is *issuer) record(f core.Future, limit int) {
 	if limit <= 0 {
 		return
 	}
+	//op2:coldpath warmup: the ring grows once up to the in-flight cap, then recycles slots
 	if len(is.ring) < limit {
 		is.ring = append(is.ring, f)
 		return
@@ -252,6 +264,8 @@ func (is *issuer) record(f core.Future, limit int) {
 }
 
 // wrap vends the Future for a fresh issue.
+//
+//op2:noalloc
 func (is *issuer) wrap(f core.Future, ack func(error)) *Future {
 	// Sweep: consume outstanding handles whose issues have resolved and
 	// were abandoned (a resolved handle's Wait is non-blocking and
@@ -263,10 +277,12 @@ func (is *issuer) wrap(f core.Future, ack func(error)) *Future {
 	kept := is.outstanding[:0]
 	for _, o := range is.outstanding {
 		if !o.Ready() {
+			//op2:allow kept reuses outstanding's backing array (kept is a strict subset)
 			kept = append(kept, o)
 			continue
 		}
 		if o.Wait() != nil { // non-blocking: consumes and releases
+			//op2:coldpath failed abandoned issue: drop its wrapper so it cannot accumulate
 			delete(is.wrappers, o)
 		}
 	}
@@ -274,13 +290,16 @@ func (is *issuer) wrap(f core.Future, ack func(error)) *Future {
 		is.outstanding[i] = nil
 	}
 	is.outstanding = kept
+	//op2:coldpath unpooled handles (distributed engine futures, error futures) get a fresh garbage-collected wrapper
 	if _, ok := f.(releasable); !ok {
 		// Unpooled handle (distributed engine futures, error futures):
 		// fresh wrapper, garbage-collected with it.
 		return &Future{f: f, ack: ack}
 	}
+	//op2:allow outstanding reuses its backing array; it grows only to the in-flight cap
 	is.outstanding = append(is.outstanding, f)
 	fut := is.wrappers[f]
+	//op2:coldpath first issue of a pooled state builds its cached wrapper; steady state hits the cache
 	if fut == nil {
 		if is.wrappers == nil {
 			is.wrappers = make(map[core.Future]*Future)
