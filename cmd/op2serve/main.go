@@ -52,6 +52,10 @@ func run() error {
 		inflight    = flag.Int("inflight", 0, "per-job max in-flight steps (0 = service default)")
 		maxResident = flag.Int("max-resident", 4, "jobs holding live runtimes at once")
 		maxQueued   = flag.Int("max-queued", 64, "admitted jobs waiting behind them")
+		retries     = flag.Int("retries", 0, "total attempts per job (0 or 1 = no retry): failed jobs are torn down and re-run from their last checkpoint")
+		backoff     = flag.Duration("retry-backoff", 100*time.Millisecond, "pause between a failed attempt's teardown and the next attempt")
+		deadline    = flag.Duration("job-deadline", 0, "per-job wall-clock bound across all attempts (0 = none); expiry cancels the job")
+		cpEvery     = flag.Int("checkpoint-every", 0, "take a fenced bitwise checkpoint every N steps (0 = off); retried attempts resume from it")
 		telemetry   = flag.String("telemetry", "", "address to serve /metrics, /healthz, /readyz, /trace and /debug/pprof on (empty = telemetry off)")
 		traceSpans  = flag.Int("trace-spans", 16384, "span ring capacity for /trace (with -telemetry)")
 		hold        = flag.Duration("hold", 0, "keep the telemetry endpoint up this long after the jobs finish")
@@ -119,6 +123,9 @@ func run() error {
 	for i := 0; i < *jobs; i++ {
 		spec := airfoil.Job(fmt.Sprintf("airfoil-%d", i), *nx, *ny, *iters, opts...)
 		spec.MaxInFlightSteps = *inflight
+		spec.Retry = op2.RetryPolicy{MaxAttempts: *retries, Backoff: *backoff}
+		spec.Deadline = *deadline
+		spec.CheckpointEvery = *cpEvery
 		h, err := sv.Submit(ctx, spec)
 		if err != nil {
 			return err
@@ -171,7 +178,8 @@ func run() error {
 		float64(*jobs)*float64(*iters)/elapsed.Seconds())
 	fmt.Printf("service: admitted %d  completed %d  failed %d  canceled %d  rejected %d\n",
 		st.Admitted, st.Completed, st.Failed, st.Canceled, st.Rejected)
-	fmt.Printf("steps issued %d  retired %d\n", st.StepsIssued, st.StepsRetired)
+	fmt.Printf("steps issued %d  retired %d  retries %d  recoveries %d\n",
+		st.StepsIssued, st.StepsRetired, st.Retries, st.Recoveries)
 	if *hold > 0 && *telemetry != "" {
 		fmt.Printf("holding telemetry endpoint for %v\n", *hold)
 		time.Sleep(*hold)

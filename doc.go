@@ -60,6 +60,24 @@
 // counts stay bitwise-identical to serial runs (internal/service,
 // cmd/op2serve, BENCH_service.json).
 //
+// The runtime is fault-tolerant end to end. internal/fault injects
+// deterministic, scriptable transport faults (drop / delay / duplicate
+// / truncate / fail-send / stalled rank, via op2.WithTransport) and
+// kernel panics; the distributed engine detects them through per-frame
+// sequence tags and the op2.WithHaloTimeout exchange deadline, and every
+// fault converges in bounded time to one of the typed sentinels
+// op2.ErrHaloTimeout, op2.ErrHaloCorrupt, op2.ErrCommOverflow or
+// op2.ErrRankFailed — the first failure poisons the transport, fails
+// the engine permanently, and later submissions and fences reject fast
+// instead of touching torn state. Recovery is Runtime.Checkpoint /
+// Restore (fenced bitwise snapshots that restore onto fresh runtimes of
+// any backend or rank count) automated by the service layer:
+// JobSpec.Retry, JobSpec.Deadline and JobSpec.CheckpointEvery tear a
+// failed attempt down and resume it from the last checkpoint while
+// other jobs keep stepping, with recovered results bitwise-identical
+// to uninterrupted runs (internal/fault/chaos_test.go is the
+// randomized, seed-replayable proof).
+//
 // The implementation lives in the internal packages:
 //
 //   - internal/hpx        — futures, dataflow, execution policies (Table I),
@@ -75,7 +93,11 @@
 //   - internal/part       — mesh partitioners (block, RCB, greedy) with
 //     edge-cut and imbalance metrics
 //   - internal/dist       — the owner-compute distributed engine: owned+halo
-//     storage, persistent rank workers, overlapped halo exchange
+//     storage, persistent rank workers, overlapped halo exchange,
+//     typed fault detection (halo timeouts, frame checks, permanent
+//     engine failure)
+//   - internal/fault      — deterministic fault injection: the scriptable
+//     Transport decorator, rank stalls, kernel Panicker
 //   - internal/service    — the simulation-service control plane: job
 //     queue + admission, round-robin step scheduler, per-job retirers
 //   - internal/translator — the OP2 source-to-source compiler with OpenMP

@@ -252,6 +252,29 @@ func (d *Dat) Future() *hpx.Future[*Dat] {
 	}, deps...)
 }
 
+// Snapshot returns a fenced copy of the dat's authoritative values: it
+// Syncs (waits every outstanding loop, flushes resident shards into
+// Data) and copies — the checkpoint-side fence hook of the
+// fault-tolerant runtime. The copy is bitwise: a run restored from it
+// continues exactly as the uninterrupted run would have.
+func (d *Dat) Snapshot() ([]float64, error) {
+	if err := d.Sync(); err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), d.data...), nil
+}
+
+// RestoreData overwrites the dat from a snapshot and pushes the values
+// into resident storage (Rescatter) — the restore-side mirror of
+// Snapshot, valid on fresh and resident-engine runtimes alike.
+func (d *Dat) RestoreData(values []float64) error {
+	if len(values) != len(d.data) {
+		return fmt.Errorf("op2: dat %q restore expects %d values, got %d", d.name, len(d.data), len(values))
+	}
+	copy(d.data, values)
+	return d.Rescatter()
+}
+
 func (d *Dat) String() string {
 	return fmt.Sprintf("dat(%s on %s, dim %d)", d.name, d.set.name, d.dim)
 }
@@ -326,6 +349,16 @@ func (g *Global) Sync() error {
 // runtime), Sync and Future wait on fn so the host never reads a
 // reduction mid-apply. Pass nil to clear.
 func (g *Global) SetFlush(fn func() error) { g.flush = fn }
+
+// Snapshot returns a fenced copy of the global's values: Sync (which
+// waits for engine-applied reductions) then copy — the checkpoint-side
+// fence hook, mirroring Dat.Snapshot. Restore with Set.
+func (g *Global) Snapshot() ([]float64, error) {
+	if err := g.Sync(); err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), g.data...), nil
+}
 
 // Future returns a future resolving to the global's values after all
 // outstanding loops complete — how a reduction result flows to dependent

@@ -223,8 +223,8 @@ func (c *Comm) Send(src, dst int, payload []float64) error {
 		return nil
 	}
 	if q.msgs.len() >= c.depth {
-		err := fmt.Errorf("dist: comm pair %d→%d exceeded %d in-flight messages: receiver never drains (missing fence?)",
-			src, dst, c.depth)
+		err := fmt.Errorf("%w: pair %d→%d exceeded %d in-flight messages: receiver never drains (missing fence?)",
+			ErrCommOverflow, src, dst, c.depth)
 		failed := c.poisonLocked(err)
 		c.mu.Unlock()
 		for _, fr := range failed {
@@ -235,6 +235,23 @@ func (c *Comm) Send(src, dst int, payload []float64) error {
 	q.msgs.push(payload)
 	c.mu.Unlock()
 	return nil
+}
+
+// Poison implements Poisoner: it marks the communicator permanently
+// broken with the given cause and resolves every pending receive (and
+// every future send or receive) with an error wrapping it. Idempotent —
+// the first poison wins. The engine calls it on permanent failure so no
+// rank blocks on a message that will never arrive.
+func (c *Comm) Poison(err error) {
+	if err == nil {
+		err = fmt.Errorf("communicator poisoned")
+	}
+	c.mu.Lock()
+	failed := c.poisonLocked(err)
+	c.mu.Unlock()
+	for _, fr := range failed {
+		fr.f.lco.Resolve(fmt.Errorf("dist: recv %d←%d aborted: %w", fr.dst, fr.src, err))
+	}
 }
 
 // Recv implements Transport: the returned future resolves with the next

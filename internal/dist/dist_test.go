@@ -309,6 +309,9 @@ func TestCommSendFullErrors(t *testing.T) {
 	if !strings.Contains(err.Error(), "in-flight") || !strings.Contains(err.Error(), "drains") {
 		t.Errorf("unhelpful full-channel error: %v", err)
 	}
+	if !errors.Is(err, dist.ErrCommOverflow) {
+		t.Errorf("overflow error is not typed ErrCommOverflow: %v", err)
+	}
 	// The other direction's receiver must not hang either: the
 	// communicator is poisoned.
 	f := c.Recv(0, 1)
@@ -405,47 +408,101 @@ func TestAsyncPipelines(t *testing.T) {
 // whose future was never waited on still reports its error at the next
 // host fence (Dat.Sync) — matching the shared-memory dataflow backend,
 // where failures propagate through the version chain — while errors
-// already delivered by a synchronous Run are not reported twice.
+// already delivered by a synchronous Run are not reported twice. A
+// kernel panic additionally fails the engine permanently, so the
+// sub-cases each use a fresh engine and assert the fail-fast reject.
 func TestAbandonedAsyncErrorSurfacesAtSync(t *testing.T) {
-	r := newRing(t, 20)
-	boom := &core.Loop{
-		Name: "boom", Set: r.cells,
-		Args:   []core.Arg{core.ArgDat(r.x, core.IDIdx, nil, core.RW)},
-		Kernel: func(v [][]float64) { panic("kaboom") },
-	}
-	e, err := dist.NewEngine(dist.Config{Ranks: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer e.Close()
 	ctx := context.Background()
-	e.RunAsync(ctx, boom)    // abandoned failure
-	e.RunAsync(ctx, r.scale) // later loop succeeds
-	if err := r.x.Sync(); err == nil || !strings.Contains(err.Error(), "kaboom") {
-		t.Fatalf("Sync after abandoned failed Async = %v, want the kernel panic", err)
+	boomLoop := func(r *ring) *core.Loop {
+		return &core.Loop{
+			Name: "boom", Set: r.cells,
+			Args:   []core.Arg{core.ArgDat(r.x, core.IDIdx, nil, core.RW)},
+			Kernel: func(v [][]float64) { panic("kaboom") },
+		}
 	}
-	if err := r.x.Sync(); err != nil {
-		t.Fatalf("second Sync re-reported a delivered error: %v", err)
+
+	// An abandoned Async panic surfaces at the next Sync, exactly once,
+	// and permanently fails the engine: later submissions reject fast
+	// with ErrRankFailed instead of running against torn state.
+	{
+		r := newRing(t, 20)
+		e, err := dist.NewEngine(dist.Config{Ranks: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		e.RunAsync(ctx, boomLoop(r)) // abandoned failure
+		deadline := time.Now().Add(10 * time.Second)
+		for e.Failed() == nil {
+			if time.Now().After(deadline) {
+				t.Fatal("kernel panic never failed the engine")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if err := e.Run(ctx, r.scale); !errors.Is(err, dist.ErrRankFailed) {
+			t.Fatalf("submission on failed engine = %v, want ErrRankFailed", err)
+		}
+		if err := r.x.Sync(); err == nil || !strings.Contains(err.Error(), "kaboom") {
+			t.Fatalf("Sync after abandoned failed Async = %v, want the kernel panic", err)
+		}
+		// Permanent failures keep failing every later fence, typed: the
+		// state behind the fence is torn, so a clean Sync would invite
+		// reading (or checkpointing) garbage.
+		if err := r.x.Sync(); !errors.Is(err, dist.ErrRankFailed) {
+			t.Fatalf("second Sync on failed engine = %v, want ErrRankFailed", err)
+		}
 	}
-	// A synchronous Run delivers its own error and must not re-report.
-	if err := e.Run(ctx, boom); err == nil {
-		t.Fatal("Run of panicking loop succeeded")
+
+	// A synchronous Run delivers its own error; the next fence does not
+	// replay it from the pending queue but still reports the standing
+	// permanent failure, typed.
+	{
+		r := newRing(t, 20)
+		e, err := dist.NewEngine(dist.Config{Ranks: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		if err := e.Run(ctx, boomLoop(r)); err == nil {
+			t.Fatal("Run of panicking loop succeeded")
+		}
+		if err := r.x.Sync(); !errors.Is(err, dist.ErrRankFailed) {
+			t.Fatalf("Sync on failed engine = %v, want ErrRankFailed", err)
+		}
 	}
-	if err := r.x.Sync(); err != nil {
-		t.Fatalf("Sync re-reported a Run-delivered error: %v", err)
-	}
-	// Plan-time failures of abandoned Async futures must surface too.
-	badPlan := &core.Loop{
-		Name: "badplan", Set: r.edges,
-		Args:   []core.Arg{core.ArgDat(r.x, 0, r.pecell, core.RW)},
-		Kernel: func(v [][]float64) {},
-	}
-	e.RunAsync(ctx, badPlan) // future abandoned
-	if err := r.x.Sync(); !errors.Is(err, dist.ErrInvalid) {
-		t.Fatalf("Sync after abandoned plan-error Async = %v, want ErrInvalid", err)
-	}
-	if err := r.x.Sync(); err != nil {
-		t.Fatalf("plan error re-reported: %v", err)
+
+	// Plan-time failures of abandoned Async futures must surface too —
+	// and, being validation errors, they do NOT fail the engine.
+	{
+		r := newRing(t, 20)
+		e, err := dist.NewEngine(dist.Config{Ranks: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		// Shard x through a successful loop first so its Sync fences
+		// through this engine.
+		if err := e.Run(ctx, r.scale); err != nil {
+			t.Fatal(err)
+		}
+		badPlan := &core.Loop{
+			Name: "badplan", Set: r.edges,
+			Args:   []core.Arg{core.ArgDat(r.x, 0, r.pecell, core.RW)},
+			Kernel: func(v [][]float64) {},
+		}
+		e.RunAsync(ctx, badPlan) // future abandoned
+		if err := r.x.Sync(); !errors.Is(err, dist.ErrInvalid) {
+			t.Fatalf("Sync after abandoned plan-error Async = %v, want ErrInvalid", err)
+		}
+		if err := r.x.Sync(); err != nil {
+			t.Fatalf("plan error re-reported: %v", err)
+		}
+		if e.Failed() != nil {
+			t.Fatalf("plan-time error failed the engine: %v", e.Failed())
+		}
+		if err := e.Run(ctx, r.scale); err != nil {
+			t.Fatalf("engine unusable after plan-time error: %v", err)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"op2hpx/internal/core"
 	"op2hpx/internal/hpx"
@@ -39,6 +40,11 @@ type Config struct {
 	// Transport carries halo messages; nil defaults to an in-process
 	// Comm. Tests substitute delaying transports to prove overlap.
 	Transport Transport
+	// HaloTimeout bounds how long a rank waits for one halo exchange to
+	// resolve; 0 (the default) waits forever. A timed-out exchange fails
+	// its step with ErrHaloTimeout and permanently fails the engine —
+	// the detector behind dropped messages and stalled peers.
+	HaloTimeout time.Duration
 	// Trace optionally observes execution phases.
 	Trace TraceFunc
 }
@@ -62,6 +68,11 @@ type Engine struct {
 	blockSize   int
 	tr          *countingTransport
 	trace       TraceFunc
+	haloTimeout time.Duration
+
+	// haloTimeouts counts halo exchanges that hit the configured
+	// timeout (the op2_dist_halo_timeouts_total observable).
+	haloTimeouts atomic.Int64
 
 	// Observability hooks (see obs.go). obsOn folds "any hook attached"
 	// into one branch so the disabled hot path pays a single bool load.
@@ -82,6 +93,7 @@ type Engine struct {
 	tail    *hpx.Future[struct{}] // completion of the last submitted step
 	pending []error               // loop errors not yet delivered to any caller
 	closed  bool
+	failErr error // first permanent failure; non-nil rejects new submissions
 
 	// Per-global gating state: the submission counter and, per global,
 	// the youngest submission whose driver-side fold writes it. A later
@@ -230,6 +242,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		blockSize:   cfg.BlockSize,
 		tr:          &countingTransport{inner: cfg.Transport},
 		trace:       cfg.Trace,
+		haloTimeout: cfg.HaloTimeout,
 		sets:        map[*core.Set]*setPart{},
 		topos:       map[*core.Set]*part.Topology{},
 		dats:        map[*core.Dat]*shardedDat{},
@@ -241,7 +254,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.bufs = make([]bufPool, cfg.Ranks)
 	e.workers = make([]*worker, cfg.Ranks)
 	for r := range e.workers {
-		w := &worker{rank: r, eng: e, mail: make(chan *task, mailboxDepth)}
+		w := &worker{
+			rank: r, eng: e, mail: make(chan *task, mailboxDepth),
+			sendSeq: make([]uint64, cfg.Ranks),
+			recvSeq: make([]uint64, cfg.Ranks),
+		}
 		e.workers[r] = w
 		go w.run()
 	}
@@ -277,6 +294,46 @@ func (e *Engine) PlanBuilds() int {
 // MessagesSent reports the total halo messages (read-halo and increment)
 // posted to the transport since the engine was created.
 func (e *Engine) MessagesSent() int64 { return e.tr.sent.Load() }
+
+// HaloTimeouts reports how many halo exchanges hit the engine's
+// configured HaloTimeout.
+func (e *Engine) HaloTimeouts() int64 { return e.haloTimeouts.Load() }
+
+// Failed reports the engine's first permanent failure, or nil while it
+// is healthy. A failed engine rejects every new submission fast with
+// ErrRankFailed; data already flushed to host storage stays readable.
+func (e *Engine) Failed() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.failErr
+}
+
+// failPermanent marks the engine permanently failed (first cause wins)
+// and poisons the transport, resolving every pending receive on every
+// rank: a rank blocked on a message from a crashed peer unblocks with a
+// typed error instead of deadlocking, and every later submission rejects
+// fast with ErrRankFailed. Called by a rank worker when a step fails for
+// any reason other than cancellation — a kernel panic, a send failure,
+// a halo timeout, a corrupt frame — all of which leave sharded state
+// (and the per-pair message FIFOs) torn beyond repair.
+func (e *Engine) failPermanent(cause error) {
+	e.mu.Lock()
+	if e.failErr != nil {
+		e.mu.Unlock()
+		return
+	}
+	e.failErr = cause
+	e.mu.Unlock()
+	if p, ok := e.tr.inner.(Poisoner); ok {
+		p.Poison(cause)
+	}
+}
+
+// rejectFailedLocked builds the fast-reject error for a submission on a
+// failed engine. e.mu must be held; the caller unlocks and records it.
+func (e *Engine) rejectFailedLocked() error {
+	return fmt.Errorf("%w: engine disabled after permanent failure: %v", ErrRankFailed, e.failErr)
+}
 
 // Fence blocks until every submitted loop and step has completed —
 // including deferred increment applies and reduction folds — and
@@ -413,6 +470,15 @@ func (e *Engine) waitTail() error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.failErr != nil {
+		// A permanently failed engine must fail its fence: anything
+		// gated on the fence (checkpoints above all) would otherwise
+		// capture the half-stepped state of a failed run as if it were
+		// consistent. The cause stays in the chain so errors.Is keeps
+		// seeing the original typed fault.
+		e.pending = nil
+		return fmt.Errorf("%w: fence on permanently failed engine: %w", ErrRankFailed, e.failErr)
+	}
 	if len(e.pending) > 0 {
 		err := e.pending[0]
 		e.pending = nil
@@ -550,6 +616,12 @@ func (e *Engine) RunStepAsync(ctx context.Context, name string, loops []*core.Lo
 		e.recordError(err) // surfaces at the next fence even if the future is abandoned
 		return hpx.MakeErr[struct{}](err)
 	}
+	if e.failErr != nil {
+		err := e.rejectFailedLocked()
+		e.mu.Unlock()
+		e.recordError(err)
+		return hpx.MakeErr[struct{}](err)
+	}
 	sp, err := e.stepPlanLocked(name, loops)
 	if err != nil {
 		e.mu.Unlock()
@@ -581,6 +653,12 @@ func (e *Engine) RunStepHandleAsync(ctx context.Context, h *StepHandle) *hpx.Fut
 	if e.closed {
 		e.mu.Unlock()
 		err := invalidf("engine is closed")
+		e.recordError(err)
+		return hpx.MakeErr[struct{}](err)
+	}
+	if e.failErr != nil {
+		err := e.rejectFailedLocked()
+		e.mu.Unlock()
 		e.recordError(err)
 		return hpx.MakeErr[struct{}](err)
 	}

@@ -1,0 +1,38 @@
+package dist
+
+import "errors"
+
+// Typed failure taxonomy of the distributed engine. Every fault the
+// engine can detect converges to one of these sentinels (wrapped with
+// rank/pair/loop context), so callers classify with errors.Is instead of
+// string matching:
+//
+//   - ErrCommOverflow — a rank pair exceeded the transport's in-flight
+//     message bound (a submitter that never fences); the communicator is
+//     poisoned so every receiver fails instead of deadlocking.
+//   - ErrHaloTimeout — a halo exchange did not resolve within the
+//     engine's configured HaloTimeout (a dropped message, a stalled
+//     peer). Never wraps context.DeadlineExceeded: a job-level deadline
+//     expiring is classified as cancellation, a missing message is not.
+//   - ErrRankFailed — the engine was permanently failed by an earlier
+//     fault (kernel panic, send failure, timeout, corrupt frame) and
+//     rejects new submissions fast instead of running against torn
+//     state.
+//   - ErrHaloCorrupt — a halo message arrived with the wrong length or
+//     an out-of-sequence frame tag (a duplicated or truncated message).
+var (
+	ErrCommOverflow = errors.New("dist: comm overflow")
+	ErrHaloTimeout  = errors.New("dist: halo timeout")
+	ErrRankFailed   = errors.New("dist: rank failed")
+	ErrHaloCorrupt  = errors.New("dist: halo corrupt")
+)
+
+// Poisoner is implemented by transports that can be permanently broken
+// from outside the send/recv paths: poisoning resolves every pending and
+// future receive with an error wrapping the cause, so no rank ever
+// blocks on a message that will not arrive. The engine poisons its
+// transport on permanent failure (see Engine teardown); decorating
+// transports forward the poison to their inner transport.
+type Poisoner interface {
+	Poison(err error)
+}

@@ -54,6 +54,9 @@ func (e *Engine) SetMetrics(r *obs.Registry) {
 	r.CounterFunc("op2_dist_steps_total",
 		"Step submissions executed by the engine (single-loop runs included).",
 		func() float64 { return float64(e.StepsRun()) })
+	r.CounterFunc("op2_dist_halo_timeouts_total",
+		"Halo exchanges that hit the engine's configured timeout.",
+		func() float64 { return float64(e.HaloTimeouts()) })
 	for p := 0; p < nPhases; p++ {
 		e.phaseHists[p] = r.Histogram("op2_dist_phase_seconds",
 			"Wall time of step-pipeline phases across ranks.",

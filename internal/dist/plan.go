@@ -558,7 +558,8 @@ func loopHaloIDs(lp *loopPlan, r int, sd *shardedDat) []int32 {
 // the given halo ids of the given dats: which owned values each rank
 // packs per destination and which messages it expects per source, both
 // sides grouped by owning rank in ascending global id — the same
-// canonical order everywhere, so messages carry raw values with no
+// canonical order everywhere, so a message is one frame-sequence tag
+// (see worker.checkFrame) followed by raw values with no per-value
 // headers. needIDs(r, sd) returns the ascending halo ids rank r must
 // import for sd; dats are visited in list order, which fixes the layout
 // of multi-dat messages.

@@ -647,7 +647,9 @@ func TestPerDatPlanInvalidation(t *testing.T) {
 // TestStepErrorSurfacesOnStepFuture is the Future-ack regression: an
 // error from any loop inside a step resolves the step's own future, and
 // waiting that future (or the synchronous RunStep) marks it delivered so
-// the next fence stays clean.
+// the next fence does not replay it from the pending queue. A kernel
+// panic is a permanent failure, though, so the fence still reports the
+// standing ErrRankFailed rejection instead of going clean.
 func TestStepErrorSurfacesOnStepFuture(t *testing.T) {
 	r := newRing(t, 20)
 	boom := &core.Loop{
@@ -667,7 +669,7 @@ func TestStepErrorSurfacesOnStepFuture(t *testing.T) {
 		t.Fatalf("step future resolved with %v, want the mid-step kernel panic", werr)
 	}
 	e.AckError(werr) // what the op2 facade's Future.Wait does
-	if err := r.x.Sync(); err != nil {
-		t.Fatalf("Sync re-reported a future-delivered step error: %v", err)
+	if err := r.x.Sync(); !errors.Is(err, dist.ErrRankFailed) {
+		t.Fatalf("Sync on failed engine = %v, want ErrRankFailed", err)
 	}
 }

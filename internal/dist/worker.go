@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -52,9 +53,23 @@ type worker struct {
 	// occurrence o's increment receives until its deferred apply.
 	readFuts [][]RecvFuture
 	readSrcs [][]int
+	readSeqs [][]uint64
 	readErr  []error
 	incFuts  [][]RecvFuture
 	incSrcs  [][]int
+	incSeqs  [][]uint64
+
+	// Frame-sequence counters, one per peer rank. Every message this
+	// rank sends to dst carries tag ++sendSeq[dst] as its first float;
+	// every receive this rank posts from src expects ++recvSeq[src].
+	// Per-pair FIFO delivery makes the tags line up, so a duplicated,
+	// truncated or reordered message is detected as ErrHaloCorrupt at
+	// consume time instead of silently corrupting halo slots. The
+	// expected tag is recorded at Recv-post time (readSeqs/incSeqs):
+	// consume order differs from post order when increment applies are
+	// deferred past later loops' read exchanges.
+	sendSeq []uint64
+	recvSeq []uint64
 
 	pending []pendingApply
 	ws      []hpx.Waiter
@@ -64,6 +79,16 @@ type worker struct {
 func (w *worker) run() {
 	for t := range w.mail {
 		bufs, err := w.execStep(t)
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			// A non-cancellation step failure (kernel panic, send
+			// failure, halo timeout, corrupt frame) leaves sharded state
+			// and the per-pair message FIFOs torn: fail the engine
+			// BEFORE resolving this rank's done LCO, so poisoning the
+			// transport unblocks peers still waiting on messages this
+			// rank will never send — the driver collects ALL rank LCOs,
+			// so escalating later could deadlock the step.
+			w.eng.failPermanent(err)
+		}
 		done := &t.sub.dones[w.rank]
 		done.bufs = bufs
 		done.lco.Resolve(err)
@@ -76,9 +101,11 @@ func (w *worker) growOcc(n int) {
 	for len(w.readFuts) < n {
 		w.readFuts = append(w.readFuts, nil)
 		w.readSrcs = append(w.readSrcs, nil)
+		w.readSeqs = append(w.readSeqs, nil)
 		w.readErr = append(w.readErr, nil)
 		w.incFuts = append(w.incFuts, nil)
 		w.incSrcs = append(w.incSrcs, nil)
+		w.incSeqs = append(w.incSeqs, nil)
 	}
 }
 
@@ -182,7 +209,9 @@ func (w *worker) postRead(t *task, lp *loopPlan, sched *readSchedule, slot int, 
 		if sched.sendLen[dst] == 0 {
 			continue
 		}
-		msg := eng.getBuf(r, sched.sendLen[dst])
+		msg := eng.getBuf(r, sched.sendLen[dst]+1)
+		w.sendSeq[dst]++
+		msg = append(msg, float64(w.sendSeq[dst]))
 		for _, pt := range sched.sendTo[dst] {
 			dim := pt.sd.d.Dim()
 			own := pt.sd.owned[r]
@@ -194,15 +223,17 @@ func (w *worker) postRead(t *task, lp *loopPlan, sched *readSchedule, slot int, 
 			w.readErr[slot] = err
 		}
 	}
-	futs, srcs := w.readFuts[slot][:0], w.readSrcs[slot][:0]
+	futs, srcs, seqs := w.readFuts[slot][:0], w.readSrcs[slot][:0], w.readSeqs[slot][:0]
 	for src := 0; src < eng.ranks; src++ {
 		if sched.recvLen[src] == 0 {
 			continue
 		}
 		futs = append(futs, eng.tr.Recv(r, src))
 		srcs = append(srcs, src)
+		w.recvSeq[src]++
+		seqs = append(seqs, w.recvSeq[src])
 	}
-	w.readFuts[slot], w.readSrcs[slot] = futs, srcs
+	w.readFuts[slot], w.readSrcs[slot], w.readSeqs[slot] = futs, srcs, seqs
 	if hoisted {
 		if tr := eng.trace; tr != nil {
 			tr(lp.name, r, "hoist")
@@ -306,8 +337,10 @@ func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pendin
 			} else {
 				for i, f := range readFuts {
 					msg, _ := f.Get()
-					if err == nil {
-						off := 0
+					ferr := w.checkFrame(lp.name, msg, sched.recvLen[readSrcs[i]], readSrcs[i], w.readSeqs[o][i])
+					fail(ferr)
+					if err == nil && ferr == nil {
+						off := 1 // skip the frame tag
 						for _, pt := range sched.recvFrom[readSrcs[i]] {
 							dim := pt.sd.d.Dim()
 							halo := pt.sd.halo[r]
@@ -346,7 +379,9 @@ func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pendin
 		if rp.incSendLen[dst] == 0 {
 			continue
 		}
-		msg := eng.getBuf(r, rp.incSendLen[dst])
+		msg := eng.getBuf(r, rp.incSendLen[dst]+1)
+		w.sendSeq[dst]++
+		msg = append(msg, float64(w.sendSeq[dst]))
 		for _, pt := range rp.incSendTo[dst] {
 			dim := lp.args[lp.incArgs[pt.ia]].dim
 			buf := rp.incBuf[pt.ia]
@@ -356,15 +391,17 @@ func (w *worker) execOcc(t *task, o int, occErr error, redOut *[]float64, pendin
 		}
 		fail(eng.tr.Send(r, dst, msg))
 	}
-	incFuts, incSrcs := w.incFuts[o][:0], w.incSrcs[o][:0]
+	incFuts, incSrcs, incSeqs := w.incFuts[o][:0], w.incSrcs[o][:0], w.incSeqs[o][:0]
 	for src := 0; src < eng.ranks; src++ {
 		if rp.incRecvLen[src] == 0 {
 			continue
 		}
 		incFuts = append(incFuts, eng.tr.Recv(r, src))
 		incSrcs = append(incSrcs, src)
+		w.recvSeq[src]++
+		incSeqs = append(incSeqs, w.recvSeq[src])
 	}
-	w.incFuts[o], w.incSrcs[o] = incFuts, incSrcs
+	w.incFuts[o], w.incSrcs[o], w.incSeqs[o] = incFuts, incSrcs, incSeqs
 	if len(incFuts) > 0 || len(rp.apply.arg) > 0 {
 		*pending = append(*pending, pendingApply{
 			due: sp.incDue[o], o: o, lp: lp, err: err,
@@ -390,7 +427,7 @@ func (w *worker) resolveApply(t *task, pa *pendingApply) error {
 		}()
 	}
 	err := pa.err
-	futs, srcs := w.incFuts[pa.o], w.incSrcs[pa.o]
+	futs, srcs, seqs := w.incFuts[pa.o], w.incSrcs[pa.o], w.incSeqs[pa.o]
 	if cap(w.incMsgs) < w.eng.ranks {
 		w.incMsgs = make([][]float64, w.eng.ranks)
 	}
@@ -406,6 +443,9 @@ func (w *worker) resolveApply(t *task, pa *pendingApply) error {
 			received = true
 			for i, f := range futs {
 				msg, _ := f.Get()
+				if ferr := w.checkFrame(lp.name, msg, rp.incRecvLen[srcs[i]], srcs[i], seqs[i]); ferr != nil && err == nil {
+					err = ferr
+				}
 				incMsgs[srcs[i]] = msg
 			}
 		}
@@ -433,7 +473,7 @@ func (w *worker) resolveApply(t *task, pa *pendingApply) error {
 			p := int(al.pos[i])
 			c = rp.incBuf[ia][p*dim : (p+1)*dim]
 		} else {
-			off := int(rp.incRecvOff[al.src[i]][ia]) + int(al.pos[i])*dim
+			off := 1 + int(rp.incRecvOff[al.src[i]][ia]) + int(al.pos[i])*dim // +1 skips the frame tag
 			c = incMsgs[al.src[i]][off : off+dim]
 		}
 		dst := arg.sd.owned[r][int(al.target[i])*dim : (int(al.target[i])+1)*dim]
@@ -448,11 +488,42 @@ func (w *worker) resolveApply(t *task, pa *pendingApply) error {
 	return nil
 }
 
+// checkFrame validates one received message's frame: the payload length
+// the schedule promised plus the tag recorded when the receive was
+// posted. A mismatch — a duplicated, truncated or reordered message —
+// is ErrHaloCorrupt; detecting it here turns transport-level corruption
+// into a typed step error instead of a scatter index panic or a silent
+// wrong answer.
+//
+//op2:noalloc
+func (w *worker) checkFrame(loop string, msg []float64, payload, src int, want uint64) error {
+	if len(msg) == payload+1 && msg[0] == float64(want) {
+		return nil
+	}
+	//op2:coldpath a corrupt frame aborts the step
+	return fmt.Errorf("dist: loop %q rank %d message from %d: got %d floats tag %v, want %d floats tag %d: %w",
+		loop, w.rank, src, len(msg), first(msg), payload+1, want, ErrHaloCorrupt)
+}
+
+// first returns the frame tag slot of a message, or NaN-free -1 for an
+// empty one (diagnostics only).
+func first(msg []float64) float64 {
+	if len(msg) == 0 {
+		return -1
+	}
+	return msg[0]
+}
+
 // waitFutsCtx waits a slot's receive futures under ctx through the
 // worker's reusable waiter buffer. A cancellable wait over pending
 // futures gets a private copy instead: an abandoned WaitAllCtx retains
 // the slice in its drain goroutine, which would race the buffer's next
-// reuse.
+// reuse. With a halo timeout configured, a wait over pending futures is
+// additionally bounded: expiry fails the exchange with ErrHaloTimeout
+// (never context.DeadlineExceeded — a missing message is a fault, not a
+// cancellation), and the engine-level teardown that follows poisons the
+// transport, resolving the abandoned futures so the drain goroutine
+// exits.
 func (w *worker) waitFutsCtx(ctx context.Context, futs []RecvFuture) error {
 	ready := true
 	for _, f := range futs {
@@ -460,6 +531,20 @@ func (w *worker) waitFutsCtx(ctx context.Context, futs []RecvFuture) error {
 			ready = false
 			break
 		}
+	}
+	if ht := w.eng.haloTimeout; ht > 0 && !ready {
+		tctx, cancel := context.WithTimeout(ctx, ht)
+		defer cancel()
+		ws := make([]hpx.Waiter, 0, len(futs))
+		for _, f := range futs {
+			ws = append(ws, f)
+		}
+		err := hpx.WaitAllCtx(tctx, ws...)
+		if err != nil && ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+			w.eng.haloTimeouts.Add(1)
+			return fmt.Errorf("dist: no halo message within %v on rank %d: %w", ht, w.rank, ErrHaloTimeout)
+		}
+		return err
 	}
 	var ws []hpx.Waiter
 	reusable := ctx.Done() == nil || ready

@@ -1,0 +1,181 @@
+// Chaos soak: randomized, seed-logged fault schedules over real airfoil
+// jobs at ranks 2 and 4. Every run must reach one of exactly two
+// verdicts inside a hard wall-clock bound: recover and produce a flow
+// field bitwise-identical to the serial reference, or fail with a typed
+// fault-taxonomy error. Anything else — an untyped error, a hang — is a
+// bug in the detection/recovery machinery. Reproduce a failure with
+// OP2_CHAOS_SEED=<seed from the log>.
+package fault_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"op2hpx/internal/airfoil"
+	"op2hpx/internal/fault"
+	"op2hpx/op2"
+)
+
+const (
+	chaosBound       = 10 * time.Second
+	chaosHaloTimeout = 500 * time.Millisecond
+	chaosNX, chaosNY = 24, 12
+	chaosIters       = 5
+)
+
+// chaosSeed returns the run seed: OP2_CHAOS_SEED if set, else the clock.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	if s := os.Getenv("OP2_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("OP2_CHAOS_SEED=%q: %v", s, err)
+		}
+		return v
+	}
+	return time.Now().UnixNano()
+}
+
+// randomRules draws a small Count-bounded fault schedule. Every rule is
+// bounded so the Script's shared exhaustion can eventually hand a retry
+// a clean transport; delays stay well below the halo timeout so a
+// delayed message is late, never presumed lost.
+func randomRules(rng *rand.Rand, ranks int) []fault.Rule {
+	n := 1 + rng.Intn(3)
+	rules := make([]fault.Rule, 0, n)
+	for i := 0; i < n; i++ {
+		r := fault.Rule{
+			Src:     rng.Intn(ranks+1) - 1, // -1 wildcard .. ranks-1
+			Dst:     rng.Intn(ranks+1) - 1,
+			Ordinal: rng.Intn(6) - 1, // -1 any, else a specific ordinal
+			Count:   1 + rng.Intn(2),
+		}
+		switch rng.Intn(5) {
+		case 0:
+			r.Action = fault.Drop
+		case 1:
+			r.Action = fault.Delay
+			r.Delay = time.Duration(1+rng.Intn(50)) * time.Millisecond
+		case 2:
+			r.Action = fault.Duplicate
+		case 3:
+			r.Action = fault.Truncate
+			r.Keep = rng.Intn(4)
+		case 4:
+			r.Action = fault.FailSend
+		}
+		rules = append(rules, r)
+	}
+	return rules
+}
+
+// chaosGolden runs the airfoil reference serially and returns the bit
+// patterns a recovered chaos job must reproduce exactly.
+func chaosGolden(t *testing.T) (uint64, []uint64) {
+	t.Helper()
+	rt := op2.MustNew()
+	defer rt.Close()
+	app, err := airfoil.NewApp(chaosNX, chaosNY, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms, err := app.Run(chaosIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := app.M.Q.Data()
+	qBits := make([]uint64, len(q))
+	for i, v := range q {
+		qBits[i] = math.Float64bits(v)
+	}
+	return math.Float64bits(rms), qBits
+}
+
+// typedFault reports whether err belongs to the fault taxonomy a chaos
+// run is allowed to die with.
+func typedFault(err error) bool {
+	for _, want := range []error{
+		op2.ErrHaloTimeout, op2.ErrHaloCorrupt, op2.ErrRankFailed,
+		op2.ErrCommOverflow, fault.ErrInjected,
+	} {
+		if errors.Is(err, want) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestChaosAirfoilSoak(t *testing.T) {
+	runs := 6
+	if testing.Short() {
+		runs = 2
+	}
+	seed := chaosSeed(t)
+	t.Logf("chaos seed %d (rerun with OP2_CHAOS_SEED=%d)", seed, seed)
+	rng := rand.New(rand.NewSource(seed))
+	rmsRef, qRef := chaosGolden(t)
+
+	recovered, died := 0, 0
+	for run := 0; run < runs; run++ {
+		ranks := []int{2, 4}[rng.Intn(2)]
+		rules := randomRules(rng, ranks)
+		t.Logf("run %d: ranks=%d rules=%+v", run, ranks, rules)
+
+		sv := op2.NewService(op2.ServiceConfig{})
+		spec := airfoil.Job(fmt.Sprintf("chaos-%d", run), chaosNX, chaosNY, chaosIters,
+			op2.WithRanks(ranks),
+			op2.WithTransport(fault.Script(rules...)),
+			op2.WithHaloTimeout(chaosHaloTimeout))
+		spec.CheckpointEvery = 2
+		spec.Retry = op2.RetryPolicy{MaxAttempts: 4, Backoff: 10 * time.Millisecond}
+
+		h, err := sv.Submit(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("run %d: submit: %v", run, err)
+		}
+		type out struct {
+			res any
+			err error
+		}
+		ch := make(chan out, 1)
+		go func() {
+			res, rerr := h.Result(context.Background())
+			ch <- out{res, rerr}
+		}()
+		var o out
+		select {
+		case o = <-ch:
+		case <-time.After(chaosBound):
+			t.Fatalf("run %d (seed %d): still pending after %v — fault never converged", run, seed, chaosBound)
+		}
+
+		if o.err != nil {
+			if !typedFault(o.err) {
+				t.Fatalf("run %d (seed %d): untyped failure: %v", run, seed, o.err)
+			}
+			died++
+		} else {
+			jr := o.res.(*airfoil.JobResult)
+			if math.Float64bits(jr.RMS) != rmsRef {
+				t.Fatalf("run %d (seed %d): recovered RMS differs bitwise from serial", run, seed)
+			}
+			for i := range jr.Q {
+				if math.Float64bits(jr.Q[i]) != qRef[i] {
+					t.Fatalf("run %d (seed %d): recovered q[%d] differs bitwise from serial", run, seed, i)
+				}
+			}
+			recovered++
+		}
+		if err := sv.Close(); err != nil {
+			t.Fatalf("run %d: close: %v", run, err)
+		}
+	}
+	t.Logf("chaos: %d recovered bitwise, %d failed typed", recovered, died)
+}

@@ -1,0 +1,329 @@
+// Package fault is the deterministic fault-injection layer of the
+// distributed runtime: a dist.Transport decorator that drops, delays,
+// duplicates, truncates or fails halo messages according to a scriptable
+// schedule keyed on message ordinal and rank pair, plus an attempt-aware
+// kernel-panic injector. Every failure mode the engine's detection
+// machinery (halo timeouts, frame checks, engine teardown — see
+// internal/dist/errors.go) must handle is reproducible in a unit test,
+// which is the prerequisite for putting the transport onto real sockets
+// (ROADMAP item 1).
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"op2hpx/internal/core"
+	"op2hpx/internal/dist"
+)
+
+// ErrInjected marks failures produced by this package: a FailSend rule
+// returns it from Transport.Send, and Panicker panics with a message
+// containing it. Tests classify injected faults with errors.Is.
+var ErrInjected = errors.New("fault: injected failure")
+
+// Action is one fault kind a Rule applies to a matched message.
+type Action int
+
+const (
+	// Drop swallows the message: it is never delivered, so the receiver
+	// either times out (ErrHaloTimeout) or observes a later message with
+	// the wrong frame tag (ErrHaloCorrupt).
+	Drop Action = iota
+	// Delay holds the message for Rule.Delay before delivering it —
+	// later messages of the same pair queue behind it, preserving the
+	// transport's per-pair FIFO contract.
+	Delay
+	// Duplicate delivers the message twice (the second delivery is a
+	// copy, so buffer recycling on the real delivery stays sound).
+	Duplicate
+	// Truncate delivers only the first Rule.Keep floats.
+	Truncate
+	// FailSend makes Send return ErrInjected synchronously, as a real
+	// transport would surface a broken connection to the sender.
+	FailSend
+)
+
+// String names the action for logs and test failure messages.
+func (a Action) String() string {
+	switch a {
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Duplicate:
+		return "duplicate"
+	case Truncate:
+		return "truncate"
+	case FailSend:
+		return "fail-send"
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Rule matches messages and applies one fault. Matching is exact on the
+// pair and the pair's send ordinal (how many messages the pair has
+// carried before this one, starting at 0), with -1 as a wildcard; the
+// first matching rule wins. Count bounds how many times the rule fires
+// (0 = unlimited), so "drop the third message from 1 to 0, once" is
+// expressible — the deterministic, seed-free core of the fault model.
+type Rule struct {
+	Src, Dst int           // rank pair; -1 matches any
+	Ordinal  int           // per-pair send ordinal; -1 matches any
+	Action   Action        // what to do with the matched message
+	Delay    time.Duration // Delay only
+	Keep     int           // Truncate only: floats kept
+	Count    int           // max firings; 0 = unlimited
+}
+
+func (r *Rule) matches(src, dst, ord int) bool {
+	if r.Count < 0 { // exhausted
+		return false
+	}
+	return (r.Src == -1 || r.Src == src) &&
+		(r.Dst == -1 || r.Dst == dst) &&
+		(r.Ordinal == -1 || r.Ordinal == ord)
+}
+
+// delivery is one queued message of a pair: payload plus the remaining
+// hold time (applied when the drainer reaches it, which keeps FIFO order
+// even when a delayed message is followed by undelayed ones).
+type delivery struct {
+	payload []float64
+	hold    time.Duration
+}
+
+// pairState is the FIFO-preserving queue of one ordered rank pair. Once
+// anything is queued (a delay in flight), every later message of the
+// pair must queue behind it; the drain goroutine delivers in order and
+// retires itself when the queue empties.
+type pairState struct {
+	mu       sync.Mutex
+	q        []delivery
+	draining bool
+}
+
+// Transport decorates a dist.Transport with scripted faults. Send
+// consults the rule schedule under one mutex (fault runs are tests, not
+// hot paths); unmatched messages on pairs with an empty queue pass
+// straight through, so a transport with no active rules behaves exactly
+// like its inner transport. It forwards Poison to the inner transport,
+// keeping the engine's teardown path working through the decorator.
+type Transport struct {
+	inner dist.Transport
+
+	mu      sync.Mutex
+	rules   []Rule
+	ord     [][]int // [src][dst] send ordinal
+	stalled []bool  // per-rank: sends from a stalled rank vanish
+
+	pairs    [][]pairState // [src][dst]
+	injected atomic.Int64
+}
+
+// New wraps inner with a fault schedule. Rules fire in schedule order
+// (first match wins); an empty schedule is a transparent pass-through.
+func New(inner dist.Transport, rules ...Rule) *Transport {
+	n := inner.Size()
+	t := &Transport{inner: inner, rules: append([]Rule(nil), rules...), stalled: make([]bool, n)}
+	t.ord = make([][]int, n)
+	t.pairs = make([][]pairState, n)
+	for i := range t.ord {
+		t.ord[i] = make([]int, n)
+		t.pairs[i] = make([]pairState, n)
+	}
+	return t
+}
+
+// Script returns a transport factory for op2.WithTransport: each runtime
+// build (each recovery attempt) gets a fresh in-process communicator
+// wrapped with the given schedule, so a retry never inherits a poisoned
+// transport — but note the RULES are shared state: a Count-bounded rule
+// that fired during attempt 1 stays exhausted for attempt 2, which is
+// exactly the "transient fault" model recovery tests need.
+func Script(rules ...Rule) func(ranks int) dist.Transport {
+	shared := append([]Rule(nil), rules...)
+	var mu sync.Mutex
+	var last *Transport
+	return func(ranks int) dist.Transport {
+		mu.Lock()
+		defer mu.Unlock()
+		if last != nil {
+			// Carry exhausted counts across attempts.
+			shared = last.Rules()
+		}
+		last = New(dist.NewComm(ranks), shared...)
+		return last
+	}
+}
+
+// Size implements dist.Transport.
+func (t *Transport) Size() int { return t.inner.Size() }
+
+// Recv implements dist.Transport by forwarding.
+func (t *Transport) Recv(dst, src int) dist.RecvFuture { return t.inner.Recv(dst, src) }
+
+// Poison implements dist.Poisoner by forwarding, so engine teardown
+// reaches the real communicator through the fault layer.
+func (t *Transport) Poison(err error) {
+	if p, ok := t.inner.(dist.Poisoner); ok {
+		p.Poison(err)
+	}
+}
+
+// Injected reports how many faults the transport has applied.
+func (t *Transport) Injected() int64 { return t.injected.Load() }
+
+// Rules snapshots the schedule's current state (Count fields reflect
+// remaining firings; exhausted rules have Count < 0).
+func (t *Transport) Rules() []Rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Rule(nil), t.rules...)
+}
+
+// StallRank simulates a hung rank: every subsequent send FROM r is
+// silently swallowed, so its peers block until the engine's halo
+// timeout detects the stall.
+func (t *Transport) StallRank(r int) {
+	t.mu.Lock()
+	t.stalled[r] = true
+	t.mu.Unlock()
+}
+
+// Send implements dist.Transport: match the schedule, apply at most one
+// fault, and deliver through the pair's FIFO-preserving queue.
+func (t *Transport) Send(src, dst int, payload []float64) error {
+	t.mu.Lock()
+	if t.stalled[src] {
+		t.mu.Unlock()
+		t.injected.Add(1)
+		return nil // swallowed: the rank looks hung to its peers
+	}
+	ord := t.ord[src][dst]
+	t.ord[src][dst]++
+	var rule *Rule
+	for i := range t.rules {
+		if t.rules[i].matches(src, dst, ord) {
+			rule = &t.rules[i]
+			if rule.Count > 0 {
+				rule.Count--
+				if rule.Count == 0 {
+					rule.Count = -1 // exhausted
+				}
+			}
+			break
+		}
+	}
+	var act Action = -1
+	var hold time.Duration
+	var keep int
+	if rule != nil {
+		act = rule.Action
+		hold = rule.Delay
+		keep = rule.Keep
+	}
+	t.mu.Unlock()
+
+	switch act {
+	case Drop:
+		t.injected.Add(1)
+		return nil
+	case FailSend:
+		t.injected.Add(1)
+		return fmt.Errorf("%w: send %d→%d ordinal %d failed", ErrInjected, src, dst, ord)
+	case Truncate:
+		t.injected.Add(1)
+		if keep > len(payload) {
+			keep = len(payload)
+		}
+		payload = payload[:keep]
+	case Duplicate:
+		t.injected.Add(1)
+		dup := append([]float64(nil), payload...)
+		if err := t.deliver(src, dst, payload, 0); err != nil {
+			return err
+		}
+		return t.deliver(src, dst, dup, 0)
+	case Delay:
+		t.injected.Add(1)
+		return t.deliver(src, dst, payload, hold)
+	}
+	return t.deliver(src, dst, payload, 0)
+}
+
+// deliver sends through the pair's queue: the fast path (nothing queued)
+// goes straight to the inner transport; anything else queues behind the
+// in-flight deliveries so per-pair FIFO order survives delays.
+func (t *Transport) deliver(src, dst int, payload []float64, hold time.Duration) error {
+	ps := &t.pairs[src][dst]
+	ps.mu.Lock()
+	if !ps.draining && hold == 0 {
+		ps.mu.Unlock()
+		return t.inner.Send(src, dst, payload)
+	}
+	ps.q = append(ps.q, delivery{payload: payload, hold: hold})
+	if !ps.draining {
+		ps.draining = true
+		go t.drain(ps, src, dst)
+	}
+	ps.mu.Unlock()
+	return nil
+}
+
+// drain delivers one pair's queued messages in order. Errors from the
+// inner transport are swallowed here — an async overflow poisons the
+// communicator, which every receiver observes — matching how a real
+// backgrounded sender would surface failures.
+func (t *Transport) drain(ps *pairState, src, dst int) {
+	for {
+		ps.mu.Lock()
+		if len(ps.q) == 0 {
+			ps.draining = false
+			ps.mu.Unlock()
+			return
+		}
+		d := ps.q[0]
+		ps.q = ps.q[1:]
+		ps.mu.Unlock()
+		if d.hold > 0 {
+			time.Sleep(d.hold)
+		}
+		t.inner.Send(src, dst, d.payload) //nolint:errcheck // async: poison surfaces at receivers
+	}
+}
+
+// Panicker injects deterministic kernel panics: the wrapped kernel
+// panics on its Nth invocation (1-based, counted per attempt) for the
+// first FailAttempts attempts, then runs clean — the transient-crash
+// model recovery tests replay. BeginAttempt resets the call counter; a
+// job's Setup calls it once per (re)start.
+type Panicker struct {
+	At           int64 // panic on this call of the attempt (1-based)
+	FailAttempts int32 // attempts that panic; later attempts run clean
+
+	calls   atomic.Int64
+	attempt atomic.Int32
+}
+
+// BeginAttempt starts a new attempt: resets the per-attempt call count.
+func (p *Panicker) BeginAttempt() {
+	p.attempt.Add(1)
+	p.calls.Store(0)
+}
+
+// Attempts reports how many attempts have begun.
+func (p *Panicker) Attempts() int32 { return p.attempt.Load() }
+
+// Wrap decorates a kernel with the panic schedule.
+func (p *Panicker) Wrap(k core.Kernel) core.Kernel {
+	return func(views [][]float64) {
+		if p.attempt.Load() <= p.FailAttempts && p.calls.Add(1) == p.At {
+			panic(fmt.Sprintf("%v: kernel panic at call %d of attempt %d", ErrInjected, p.At, p.attempt.Load()))
+		}
+		k(views)
+	}
+}

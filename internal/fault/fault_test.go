@@ -1,0 +1,227 @@
+// Unit tests of the fault-injecting transport decorator against the
+// real in-process communicator: every action, ordinal and count
+// matching, per-pair FIFO preservation under delays, rank stalls, the
+// Script factory's cross-attempt exhaustion, and the kernel Panicker.
+package fault_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"op2hpx/internal/dist"
+	"op2hpx/internal/fault"
+)
+
+func recvPayload(t *testing.T, tr dist.Transport, dst, src int) []float64 {
+	t.Helper()
+	f := tr.Recv(dst, src)
+	done := make(chan struct{})
+	var p []float64
+	var err error
+	go func() { p, err = f.Get(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("recv %d←%d never resolved", dst, src)
+	}
+	if err != nil {
+		t.Fatalf("recv %d←%d: %v", dst, src, err)
+	}
+	return append([]float64(nil), p...)
+}
+
+func equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPassThroughWithoutRules(t *testing.T) {
+	tr := fault.New(dist.NewComm(2))
+	want := []float64{1, 2, 3}
+	if err := tr.Send(0, 1, want); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvPayload(t, tr, 1, 0); !equal(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	if n := tr.Injected(); n != 0 {
+		t.Fatalf("injected = %d, want 0", n)
+	}
+}
+
+// TestDropByOrdinal drops exactly the second message of the 0→1 pair:
+// the receiver sees messages 1 and 3, and the pair's FIFO order holds.
+func TestDropByOrdinal(t *testing.T) {
+	tr := fault.New(dist.NewComm(2), fault.Rule{Src: 0, Dst: 1, Ordinal: 1, Action: fault.Drop})
+	for i := 0; i < 3; i++ {
+		if err := tr.Send(0, 1, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := recvPayload(t, tr, 1, 0); got[0] != 0 {
+		t.Fatalf("first delivery = %v, want message 0", got)
+	}
+	if got := recvPayload(t, tr, 1, 0); got[0] != 2 {
+		t.Fatalf("second delivery = %v, want message 2 (1 dropped)", got)
+	}
+	if n := tr.Injected(); n != 1 {
+		t.Fatalf("injected = %d, want 1", n)
+	}
+}
+
+func TestFailSendReturnsTyped(t *testing.T) {
+	tr := fault.New(dist.NewComm(2), fault.Rule{Src: -1, Dst: -1, Ordinal: -1, Action: fault.FailSend})
+	err := tr.Send(0, 1, []float64{1})
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Send = %v, want ErrInjected", err)
+	}
+}
+
+func TestTruncateKeepsPrefix(t *testing.T) {
+	tr := fault.New(dist.NewComm(2), fault.Rule{Src: -1, Dst: -1, Ordinal: -1, Action: fault.Truncate, Keep: 2, Count: 1})
+	if err := tr.Send(0, 1, []float64{9, 8, 7, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvPayload(t, tr, 1, 0); !equal(got, []float64{9, 8}) {
+		t.Fatalf("got %v, want the first 2 floats", got)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	tr := fault.New(dist.NewComm(2), fault.Rule{Src: -1, Dst: -1, Ordinal: 0, Action: fault.Duplicate})
+	want := []float64{4, 5}
+	if err := tr.Send(0, 1, want); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvPayload(t, tr, 1, 0); !equal(got, want) {
+		t.Fatalf("first copy = %v, want %v", got, want)
+	}
+	if got := recvPayload(t, tr, 1, 0); !equal(got, want) {
+		t.Fatalf("second copy = %v, want %v", got, want)
+	}
+}
+
+// TestDelayPreservesPairFIFO delays only the first message; the second,
+// sent immediately after, must still arrive second — later messages of
+// a pair queue behind a delayed one.
+func TestDelayPreservesPairFIFO(t *testing.T) {
+	tr := fault.New(dist.NewComm(2), fault.Rule{Src: 0, Dst: 1, Ordinal: 0, Action: fault.Delay, Delay: 50 * time.Millisecond})
+	if err := tr.Send(0, 1, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(0, 1, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvPayload(t, tr, 1, 0); got[0] != 1 {
+		t.Fatalf("first delivery = %v, want the delayed message 1", got)
+	}
+	if got := recvPayload(t, tr, 1, 0); got[0] != 2 {
+		t.Fatalf("second delivery = %v, want message 2", got)
+	}
+}
+
+// TestCountBoundsFirings: a Count-2 wildcard drop swallows exactly the
+// first two sends, then the rule is exhausted (Count < 0 in Rules()).
+func TestCountBoundsFirings(t *testing.T) {
+	tr := fault.New(dist.NewComm(2), fault.Rule{Src: -1, Dst: -1, Ordinal: -1, Action: fault.Drop, Count: 2})
+	for i := 0; i < 3; i++ {
+		if err := tr.Send(0, 1, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := recvPayload(t, tr, 1, 0); got[0] != 2 {
+		t.Fatalf("delivery = %v, want message 2 (0 and 1 dropped)", got)
+	}
+	rules := tr.Rules()
+	if len(rules) != 1 || rules[0].Count >= 0 {
+		t.Fatalf("rules = %+v, want the drop rule exhausted", rules)
+	}
+	if n := tr.Injected(); n != 2 {
+		t.Fatalf("injected = %d, want 2", n)
+	}
+}
+
+// TestStallRankSwallowsItsSends: after StallRank(0) every send FROM 0
+// vanishes while other ranks' traffic flows — the hung-rank model the
+// halo timeout exists to detect.
+func TestStallRankSwallowsItsSends(t *testing.T) {
+	tr := fault.New(dist.NewComm(3))
+	tr.StallRank(0)
+	if err := tr.Send(0, 1, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(2, 1, []float64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvPayload(t, tr, 1, 2); got[0] != 2 {
+		t.Fatalf("delivery from live rank = %v", got)
+	}
+	f := tr.Recv(1, 0)
+	time.Sleep(50 * time.Millisecond)
+	if f.Ready() {
+		t.Fatal("receive from the stalled rank resolved")
+	}
+	if n := tr.Injected(); n != 1 {
+		t.Fatalf("injected = %d, want 1 swallowed send", n)
+	}
+}
+
+// TestScriptCarriesExhaustionAcrossAttempts: the factory's shared
+// schedule keeps a Count-bounded rule exhausted in the next attempt's
+// transport — the transient-fault model job recovery relies on.
+func TestScriptCarriesExhaustionAcrossAttempts(t *testing.T) {
+	factory := fault.Script(fault.Rule{Src: -1, Dst: -1, Ordinal: -1, Action: fault.FailSend, Count: 1})
+	tr1 := factory(2)
+	if err := tr1.Send(0, 1, []float64{1}); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("attempt 1 first send = %v, want ErrInjected", err)
+	}
+	if err := tr1.Send(0, 1, []float64{2}); err != nil {
+		t.Fatalf("attempt 1 second send = %v, want the rule exhausted", err)
+	}
+	tr2 := factory(2)
+	if err := tr2.Send(0, 1, []float64{3}); err != nil {
+		t.Fatalf("attempt 2 send = %v, want the exhaustion carried over", err)
+	}
+	if got := recvPayload(t, tr2, 1, 0); got[0] != 3 {
+		t.Fatalf("attempt 2 delivery = %v", got)
+	}
+}
+
+// TestPanickerFailsThenRecovers: the wrapped kernel panics on its 2nd
+// call during attempt 1 and runs clean in attempt 2.
+func TestPanickerFailsThenRecovers(t *testing.T) {
+	p := &fault.Panicker{At: 2, FailAttempts: 1}
+	ran := 0
+	k := p.Wrap(func([][]float64) { ran++ })
+
+	p.BeginAttempt()
+	k(nil)
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("call 2 of attempt 1 did not panic")
+			}
+		}()
+		k(nil)
+	}()
+
+	p.BeginAttempt()
+	for i := 0; i < 5; i++ {
+		k(nil)
+	}
+	if ran != 6 {
+		t.Fatalf("kernel ran %d times, want 6 (1 before the panic, 5 clean)", ran)
+	}
+	if p.Attempts() != 2 {
+		t.Fatalf("attempts = %d, want 2", p.Attempts())
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -23,28 +24,40 @@ type Job struct {
 	// Scheduler-owned (single goroutine, no locks needed). inst is the
 	// exception: a start worker writes it and the scheduler reads it, so
 	// both sides go through svc.mu.
-	inst        Instance
-	issued      int
-	doneIssuing bool
-	startSent   bool // handed to the start-worker pool (scheduler-owned)
+	inst          Instance
+	issued        int
+	doneIssuing   bool
+	startSent     bool // handed to the start-worker pool (scheduler-owned)
+	resumeApplied bool // issued was aligned to the attempt's resume step
 
 	// The issue→retire conveyor: futures in issue order, closed by the
 	// scheduler when the job stops issuing (complete, canceled or issue
 	// error). Capacity maxInFlight; the scheduler increments inflight
 	// before each send, so occupancy never exceeds capacity and sends
-	// never block.
+	// never block. The retirer replaces the channel when it rearms a
+	// failed attempt — always after the scheduler closed the old one,
+	// published to the scheduler through the resetPending handshake.
 	retireCh chan Future
 	inflight atomic.Int32
 	retired  atomic.Int64
+
+	// resetPending is the rearm handshake: the retirer tears an attempt
+	// down, resets the shared state, stores true and exits; the scheduler
+	// swaps it false and resets its own issue-side state before rebuilding
+	// the runtime. The store-release/swap-acquire pair is what orders the
+	// retirer's retireCh replacement before the scheduler's next use.
+	resetPending atomic.Bool
 
 	errMu    sync.Mutex
 	firstErr error
 
 	// Guarded by svc.mu.
-	state    State
-	result   any
-	err      error
-	canceled bool
+	state       State
+	result      any
+	err         error
+	canceled    bool
+	retriesUsed int // attempts consumed beyond the first
+	resume      int // steps already applied in the current attempt's initial state
 
 	done chan struct{}
 }
@@ -72,6 +85,7 @@ func (j *Job) Status() Status {
 		State:    j.state,
 		Err:      j.err,
 		Canceled: j.canceled,
+		Retries:  j.retriesUsed,
 	}
 	j.svc.mu.Unlock()
 	st.Retired = j.retired.Load()
@@ -152,6 +166,10 @@ func (j *Job) retire() {
 	if err == nil && j.ctx.Err() != nil {
 		err = fmt.Errorf("service: job %q canceled: %w", j.spec.Name, j.ctx.Err())
 	}
+	if err != nil && j.consumeRetry(err) {
+		j.rearm(err)
+		return
+	}
 	var result any
 	if err == nil {
 		var ferr error
@@ -165,4 +183,76 @@ func (j *Job) retire() {
 		err = fmt.Errorf("service: job %q close: %w", j.spec.Name, cerr)
 	}
 	j.svc.finishJob(j, result, err)
+}
+
+// consumeRetry decides whether a failed attempt rearms instead of
+// finishing the job: the cause must not be a cancellation (the user
+// asked the job to stop — retrying would countermand them, and a
+// deadline expiry retried forever would never end) and the attempt
+// budget must have room. A granted retry is consumed immediately:
+// the job's attempt counter, the service counter and the trace span
+// are all recorded here, so callers just branch on the verdict.
+func (j *Job) consumeRetry(cause error) bool {
+	if j.ctx.Err() != nil || errors.Is(cause, context.Canceled) || errors.Is(cause, context.DeadlineExceeded) {
+		return false
+	}
+	s := j.svc
+	s.mu.Lock()
+	if j.retriesUsed+1 >= j.spec.Retry.MaxAttempts {
+		s.mu.Unlock()
+		return false
+	}
+	j.retriesUsed++
+	s.mu.Unlock()
+	s.retries.Add(1)
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Record(j.spec.Name, "retry", 0, time.Now(), 0)
+	}
+	return true
+}
+
+// backoffWait sleeps the retry backoff, aborting early if the job is
+// canceled; reports whether the next attempt should proceed.
+func (j *Job) backoffWait() bool {
+	b := j.spec.Retry.Backoff
+	if b <= 0 {
+		return j.ctx.Err() == nil
+	}
+	t := time.NewTimer(b)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-j.ctx.Done():
+		return false
+	}
+}
+
+// rearm tears down a failed attempt and resets the job for the next
+// one: close the instance (its error is secondary to the fault that
+// killed the attempt), wait out the backoff, reset the shared state,
+// and hand the scheduler the resetPending flag so it resets its own
+// issue-side state and rebuilds the runtime through Start. Runs on the
+// retirer goroutine, which exits afterwards — the next attempt gets a
+// fresh retirer once its start succeeds.
+func (j *Job) rearm(cause error) {
+	s := j.svc
+	_ = j.inst.Close()
+	if !j.backoffWait() {
+		s.finishJob(j, nil, fmt.Errorf("service: job %q canceled during retry backoff (after: %v): %w",
+			j.spec.Name, cause, j.ctx.Err()))
+		return
+	}
+	j.errMu.Lock()
+	j.firstErr = nil
+	j.errMu.Unlock()
+	s.mu.Lock()
+	j.inst = nil
+	j.state = Starting
+	j.resume = 0
+	j.retireCh = make(chan Future, j.maxInFlight)
+	s.mu.Unlock()
+	j.retired.Store(0)
+	j.resetPending.Store(true)
+	s.poke()
 }

@@ -1,0 +1,160 @@
+// Recovery end-to-end tests: real airfoil jobs through the public
+// op2.Service facade with injected failures — a step-boundary crash and
+// a scripted transport fault — must recover via retry + checkpoint and
+// still produce results bitwise-identical to the serial reference, and
+// a persistent fault must fail typed within a bound.
+package service_test
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"op2hpx/internal/airfoil"
+	"op2hpx/internal/fault"
+	"op2hpx/op2"
+)
+
+// recoveryBound is the wall-clock budget for any recovery-path job:
+// still pending after it means the fault machinery deadlocked.
+const recoveryBound = 10 * time.Second
+
+// boundedResult waits for the job's result under recoveryBound.
+func boundedResult(t *testing.T, h *op2.JobHandle) (any, error) {
+	t.Helper()
+	type out struct {
+		res any
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		res, err := h.Result(context.Background())
+		ch <- out{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-time.After(recoveryBound):
+		t.Fatalf("job %s still pending after %v", h.Name(), recoveryBound)
+		return nil, nil
+	}
+}
+
+// TestJobRecoversFromStepCrashBitwise crashes an airfoil job at a step
+// boundary past its last checkpoint; the retry restores the checkpoint,
+// replays only the remaining steps, and the flow field still matches
+// the serial reference bit for bit.
+func TestJobRecoversFromStepCrashBitwise(t *testing.T) {
+	rmsRef, qRef := serialGolden(t, e2eNX, e2eNY, e2eIters)
+	sv := op2.NewService(op2.ServiceConfig{})
+	defer sv.Close() //nolint:errcheck
+
+	spec := airfoil.Job("crashy", e2eNX, e2eNY, e2eIters,
+		op2.WithBackend(op2.Dataflow), op2.WithChunker(op2.StaticChunk(1<<20)))
+	spec.CheckpointEvery = 2
+	spec.Retry = op2.RetryPolicy{MaxAttempts: 2, Backoff: 5 * time.Millisecond}
+	var crashed atomic.Bool
+	spec.BeforeStep = func(step int) error {
+		// One crash ever, at step 3 — after the checkpoint at step 2, so
+		// the retry must resume mid-run, not rerun from scratch.
+		if step == 3 && crashed.CompareAndSwap(false, true) {
+			return errors.New("injected step-boundary crash")
+		}
+		return nil
+	}
+
+	h, err := sv.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := boundedResult(t, h)
+	if err != nil {
+		t.Fatalf("job did not recover: %v", err)
+	}
+	checkJobBitwise(t, "crashy", res, rmsRef, qRef)
+	if !crashed.Load() {
+		t.Fatal("the crash point never fired")
+	}
+	if st := h.Status(); st.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", st.Retries)
+	}
+	stats := sv.Stats()
+	if stats.Retries != 1 || stats.Recoveries != 1 || stats.Completed != 1 || stats.Failed != 0 {
+		t.Fatalf("stats = %+v, want 1 retry, 1 recovery, 1 completed", stats)
+	}
+}
+
+// TestJobRecoversFromTransportFaultBitwise scripts a one-shot send
+// failure into a distributed job's transport. The first attempt fails
+// typed, the script's exhaustion carries into the retry's fresh
+// transport (transient-fault model), and the recovered job is bitwise
+// identical to the serial reference.
+func TestJobRecoversFromTransportFaultBitwise(t *testing.T) {
+	rmsRef, qRef := serialGolden(t, e2eNX, e2eNY, e2eIters)
+	sv := op2.NewService(op2.ServiceConfig{})
+	defer sv.Close() //nolint:errcheck
+
+	script := fault.Script(fault.Rule{Src: -1, Dst: -1, Ordinal: -1, Action: fault.FailSend, Count: 1})
+	spec := airfoil.Job("flaky-net", e2eNX, e2eNY, e2eIters,
+		op2.WithRanks(2),
+		op2.WithTransport(script),
+		// Generous enough that a healthy exchange never trips it even
+		// under the race detector, small enough that the failed attempt
+		// converges well inside recoveryBound (the lost message is only
+		// discovered when the peer's halo deadline expires).
+		op2.WithHaloTimeout(time.Second))
+	spec.CheckpointEvery = 2
+	spec.Retry = op2.RetryPolicy{MaxAttempts: 3, Backoff: 5 * time.Millisecond}
+
+	h, err := sv.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := boundedResult(t, h)
+	if err != nil {
+		t.Fatalf("job did not recover from the transport fault: %v", err)
+	}
+	checkJobBitwise(t, "flaky-net", res, rmsRef, qRef)
+	if st := h.Status(); st.Retries < 1 {
+		t.Fatal("the scripted fault never fired: job completed without a retry")
+	}
+	if stats := sv.Stats(); stats.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", stats.Recoveries)
+	}
+}
+
+// TestJobPersistentFaultFailsTyped drops every message out of rank 0
+// with no firing bound: no retry can help, every attempt must fail on
+// its halo deadline, and the job's final error is typed — all within
+// the 10s bound, with no deadlock.
+func TestJobPersistentFaultFailsTyped(t *testing.T) {
+	sv := op2.NewService(op2.ServiceConfig{})
+	defer sv.Close() //nolint:errcheck
+
+	script := fault.Script(fault.Rule{Src: 0, Dst: -1, Ordinal: -1, Action: fault.Drop})
+	spec := airfoil.Job("doomed", e2eNX, e2eNY, e2eIters,
+		op2.WithRanks(2),
+		op2.WithTransport(script),
+		op2.WithHaloTimeout(250*time.Millisecond))
+	spec.Retry = op2.RetryPolicy{MaxAttempts: 2, Backoff: 5 * time.Millisecond}
+
+	h, err := sv.Submit(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = boundedResult(t, h)
+	if err == nil {
+		t.Fatal("job with a persistent fault completed")
+	}
+	if !errors.Is(err, op2.ErrHaloTimeout) && !errors.Is(err, op2.ErrRankFailed) {
+		t.Fatalf("err = %v, want ErrHaloTimeout or ErrRankFailed", err)
+	}
+	if st := h.Status(); st.Retries != 1 {
+		t.Fatalf("retries = %d, want the full budget of 1 consumed", st.Retries)
+	}
+	if stats := sv.Stats(); stats.Failed != 1 || stats.Recoveries != 0 {
+		t.Fatalf("stats = %+v, want 1 failed, 0 recoveries", stats)
+	}
+}

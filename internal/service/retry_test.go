@@ -1,0 +1,306 @@
+// Unit tests of job-level recovery over scripted fakes: retry budgets,
+// resume offsets, deadline expiry classifying as cancellation, and
+// isolation (a retrying job never stalls its neighbors).
+package service_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"op2hpx/internal/service"
+)
+
+// startSeq scripts one instance per attempt; an attempt past the script
+// fails its start.
+func startSeq(insts ...service.Instance) func(context.Context) (service.Instance, error) {
+	var mu sync.Mutex
+	i := 0
+	return func(context.Context) (service.Instance, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if i >= len(insts) {
+			return nil, fmt.Errorf("start called %d times, only %d attempts scripted", i+1, len(insts))
+		}
+		inst := insts[i]
+		i++
+		return inst, nil
+	}
+}
+
+// resumeInst is a fakeInst that reports a checkpoint resume offset.
+type resumeInst struct {
+	*fakeInst
+	resume int
+}
+
+func (ri *resumeInst) ResumeStep() int { return ri.resume }
+
+// TestRetryRecoversStepFailure: attempt 1 dies on step 3, attempt 2
+// runs clean on a fresh instance — the job completes, the failed
+// attempt's instance is closed without Finalize, and the retry and
+// recovery are counted.
+func TestRetryRecoversStepFailure(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	boom := errors.New("kernel exploded")
+	bad := &fakeInst{auto: true, stepErrs: map[int]error{3: boom}}
+	good := &fakeInst{auto: true, result: "recovered"}
+	j, err := svc.Submit(context.Background(), service.Spec{
+		Name: "r", Iters: 10, Start: startSeq(bad, good),
+		Retry: service.RetryPolicy{MaxAttempts: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Result(context.Background())
+	if err != nil {
+		t.Fatalf("Result = %v, want recovery", err)
+	}
+	if res != "recovered" {
+		t.Fatalf("result = %v, want the second attempt's", res)
+	}
+	st := j.Status()
+	if st.Retries != 1 || st.Retired != 10 {
+		t.Fatalf("status = %+v, want 1 retry, 10 retired", st)
+	}
+	if closed, finalized := bad.state(); !closed || finalized {
+		t.Fatalf("failed attempt closed=%v finalized=%v, want closed without Finalize", closed, finalized)
+	}
+	if closed, finalized := good.state(); !closed || !finalized {
+		t.Fatalf("recovered attempt closed=%v finalized=%v, want both", closed, finalized)
+	}
+	ss := svc.Stats()
+	if ss.Retries != 1 || ss.Recoveries != 1 || ss.Completed != 1 || ss.Failed != 0 {
+		t.Fatalf("stats = %+v, want 1 retry, 1 recovery, 1 completed", ss)
+	}
+}
+
+// TestRetryExhaustsBudget: with MaxAttempts 3 every attempt fails, so
+// exactly 3 instances are built, 2 retries are counted, and the job's
+// terminal verdict wraps the last step error.
+func TestRetryExhaustsBudget(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	boom := errors.New("still broken")
+	insts := []service.Instance{
+		&fakeInst{auto: true, stepErrs: map[int]error{1: boom}},
+		&fakeInst{auto: true, stepErrs: map[int]error{1: boom}},
+		&fakeInst{auto: true, stepErrs: map[int]error{1: boom}},
+	}
+	j, err := svc.Submit(context.Background(), service.Spec{
+		Name: "x", Iters: 5, Start: startSeq(insts...),
+		Retry: service.RetryPolicy{MaxAttempts: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	st := j.Status()
+	if !errors.Is(st.Err, boom) || st.Canceled {
+		t.Fatalf("status = %+v, want failure wrapping the step error", st)
+	}
+	if st.Retries != 2 {
+		t.Fatalf("retries = %d, want 2 (3 attempts)", st.Retries)
+	}
+	for i, inst := range insts {
+		if closed, _ := inst.(*fakeInst).state(); !closed {
+			t.Fatalf("attempt %d instance not closed", i+1)
+		}
+	}
+	ss := svc.Stats()
+	if ss.Retries != 2 || ss.Recoveries != 0 || ss.Failed != 1 {
+		t.Fatalf("stats = %+v, want 2 retries, 0 recoveries, 1 failed", ss)
+	}
+}
+
+// TestRetryResumesFromCheckpoint: the second attempt's instance reports
+// 6 of 10 steps already applied (service.Resumer), so the scheduler
+// issues only the remaining 4 and Retired lands on 10.
+func TestRetryResumesFromCheckpoint(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	boom := errors.New("crash at step 7")
+	bad := &fakeInst{auto: true, stepErrs: map[int]error{7: boom}}
+	good := &resumeInst{fakeInst: &fakeInst{auto: true}, resume: 6}
+	j, err := svc.Submit(context.Background(), service.Spec{
+		Name: "cp", Iters: 10, Start: startSeq(bad, good),
+		Retry: service.RetryPolicy{MaxAttempts: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Result(context.Background()); err != nil {
+		t.Fatalf("Result = %v, want recovery", err)
+	}
+	if got := good.fakeInst.n; got != 4 {
+		t.Fatalf("resumed attempt issued %d steps, want 4 (10 - resume 6)", got)
+	}
+	if st := j.Status(); st.Retired != 10 || st.Retries != 1 {
+		t.Fatalf("status = %+v, want 10 retired after 1 retry", st)
+	}
+}
+
+// TestResumeCoveringAllSteps: a resume offset at (or clamped to) Iters
+// leaves nothing to issue; the job must still finish cleanly instead of
+// idling forever.
+func TestResumeCoveringAllSteps(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	full := &resumeInst{fakeInst: &fakeInst{auto: true, result: "done"}, resume: 99}
+	j, err := svc.Submit(context.Background(), service.Spec{Name: "full", Iters: 5, Start: startSeq(full)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Result(context.Background())
+	if err != nil || res != "done" {
+		t.Fatalf("Result = %v, %v; want done", res, err)
+	}
+	if full.fakeInst.n != 0 {
+		t.Fatalf("issued %d steps, want 0 (checkpoint covers the run)", full.fakeInst.n)
+	}
+	if st := j.Status(); st.Retired != 5 {
+		t.Fatalf("retired = %d, want the clamped resume 5", st.Retired)
+	}
+}
+
+// TestStartFailureRetries: a failed Start draws on the same budget as a
+// failed step and the next attempt runs on the start worker.
+func TestStartFailureRetries(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	calls := 0
+	var mu sync.Mutex
+	good := &fakeInst{auto: true}
+	start := func(context.Context) (service.Instance, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		if calls == 1 {
+			return nil, errors.New("no mesh yet")
+		}
+		return good, nil
+	}
+	j, err := svc.Submit(context.Background(), service.Spec{
+		Name: "sr", Iters: 3, Start: start,
+		Retry: service.RetryPolicy{MaxAttempts: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Result(context.Background()); err != nil {
+		t.Fatalf("Result = %v, want recovery from the start failure", err)
+	}
+	if st := j.Status(); st.Retries != 1 || st.Retired != 3 {
+		t.Fatalf("status = %+v, want 1 retry, 3 retired", st)
+	}
+	if ss := svc.Stats(); ss.Retries != 1 || ss.Recoveries != 1 {
+		t.Fatalf("stats = %+v", ss)
+	}
+}
+
+// TestCancellationIsNeverRetried: a canceled job finishes canceled on
+// its first attempt no matter how much retry budget remains.
+func TestCancellationIsNeverRetried(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	fi := &fakeInst{issueCh: make(chan *fakeFuture, 64)}
+	j, err := svc.Submit(context.Background(), service.Spec{
+		Name: "cx", Iters: 100, Start: startOf(fi),
+		Retry: service.RetryPolicy{MaxAttempts: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-fi.issueCh
+	j.Cancel()
+	waitDone(t, j)
+	st := j.Status()
+	if !st.Canceled || st.Retries != 0 {
+		t.Fatalf("status = %+v, want canceled with 0 retries", st)
+	}
+	if ss := svc.Stats(); ss.Retries != 0 || ss.Canceled != 1 {
+		t.Fatalf("stats = %+v", ss)
+	}
+}
+
+// TestDeadlineExpiryCancels: Spec.Deadline bounds the job's total wall
+// clock; expiry reads as cancellation — terminal, never retried — while
+// the retry budget sits unused.
+func TestDeadlineExpiryCancels(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	fi := &fakeInst{issueCh: make(chan *fakeFuture, 64)} // steps never resolve
+	j, err := svc.Submit(context.Background(), service.Spec{
+		Name: "dl", Iters: 100, Start: startOf(fi),
+		Deadline: 50 * time.Millisecond,
+		Retry:    service.RetryPolicy{MaxAttempts: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
+	st := j.Status()
+	if !st.Canceled || !errors.Is(st.Err, context.DeadlineExceeded) {
+		t.Fatalf("status = %+v, want canceled wrapping DeadlineExceeded", st)
+	}
+	if st.Retries != 0 {
+		t.Fatalf("retries = %d, want 0 — a deadline must not burn attempts", st.Retries)
+	}
+	if ss := svc.Stats(); ss.Canceled != 1 || ss.Failed != 0 {
+		t.Fatalf("stats = %+v, want the verdict counted as canceled", ss)
+	}
+}
+
+// TestNeighborsProgressDuringBackoff: while one job sits in its retry
+// backoff, another resident job runs to completion — recovery never
+// blocks the scheduler. Canceling the backing-off job ends it promptly.
+func TestNeighborsProgressDuringBackoff(t *testing.T) {
+	svc := service.New(service.Config{MaxResidentJobs: 2})
+	defer svc.Close()
+	ctx := context.Background()
+	bad := &fakeInst{auto: true, stepErrs: map[int]error{1: errors.New("boom")}}
+	ja, err := svc.Submit(ctx, service.Spec{
+		Name: "slow-retry", Iters: 5, Start: startSeq(bad, &fakeInst{auto: true}),
+		Retry: service.RetryPolicy{MaxAttempts: 2, Backoff: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := svc.Submit(ctx, service.Spec{Name: "runner", Iters: 50, Start: startOf(&fakeInst{auto: true})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, jb)
+	if st := jb.Status(); st.Err != nil || st.Retired != 50 {
+		t.Fatalf("runner status = %+v, want 50 clean steps", st)
+	}
+	if st := ja.Status(); st.State == service.Done {
+		t.Fatalf("backing-off job already done: %+v", st)
+	}
+	ja.Cancel()
+	waitDone(t, ja)
+	if st := ja.Status(); !st.Canceled {
+		t.Fatalf("status = %+v, want canceled out of the backoff", st)
+	}
+}
+
+// TestInvalidRetrySpecs: negative retry, backoff and deadline fields
+// are rejected at Submit.
+func TestInvalidRetrySpecs(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	cases := []service.Spec{
+		{Name: "neg-attempts", Iters: 1, Start: startOf(&fakeInst{auto: true}), Retry: service.RetryPolicy{MaxAttempts: -1}},
+		{Name: "neg-backoff", Iters: 1, Start: startOf(&fakeInst{auto: true}), Retry: service.RetryPolicy{Backoff: -time.Second}},
+		{Name: "neg-deadline", Iters: 1, Start: startOf(&fakeInst{auto: true}), Deadline: -time.Second},
+	}
+	for _, spec := range cases {
+		if _, err := svc.Submit(context.Background(), spec); !errors.Is(err, service.ErrInvalidSpec) {
+			t.Errorf("Submit(%q) = %v, want ErrInvalidSpec", spec.Name, err)
+		}
+	}
+}

@@ -90,8 +90,39 @@ type Spec struct {
 	// granted (never earlier — queued jobs hold no runtime). It runs on
 	// one of the service's start workers — never the scheduler goroutine —
 	// so a slow start (mesh generation, partitioning) does not stall the
-	// other resident jobs' step issuing; ctx is the job's context.
+	// other resident jobs' step issuing; ctx is the job's context. Under
+	// a retry policy Start runs once per attempt, so it must build a
+	// complete fresh instance every call.
 	Start func(ctx context.Context) (Instance, error)
+	// Retry bounds job-level recovery. On a retryable failure — any
+	// start or step error that is not a cancellation — the attempt's
+	// instance is closed and discarded, and after Retry.Backoff the job
+	// is restarted through Start while the other resident jobs keep
+	// stepping. The zero value disables retries.
+	Retry RetryPolicy
+	// Deadline bounds the job's total wall clock across all attempts,
+	// backoffs included. Expiry cancels the job (its terminal verdict is
+	// canceled, never retried). 0 means no deadline.
+	Deadline time.Duration
+}
+
+// RetryPolicy bounds a job's recovery attempts.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts a job may consume,
+	// the first included. 0 and 1 both mean a single attempt (no retry).
+	MaxAttempts int
+	// Backoff is the pause between a failed attempt's teardown and the
+	// next attempt's start.
+	Backoff time.Duration
+}
+
+// Resumer is implemented by instances that resume from a durable
+// checkpoint: ResumeStep reports how many of the job's steps are
+// already applied in the instance's initial state, and the scheduler
+// issues only the remaining Iters-ResumeStep steps. The op2 facade
+// implements it for jobs with JobSpec.CheckpointEvery set.
+type Resumer interface {
+	ResumeStep() int
 }
 
 // Config bounds the service.
@@ -163,7 +194,8 @@ type Status struct {
 	Name     string
 	State    State
 	Issued   int   // steps issued so far
-	Retired  int64 // steps whose futures have resolved and been waited
+	Retired  int64 // steps applied: retired futures plus the attempt's resume offset
+	Retries  int   // attempts consumed beyond the first (RetryPolicy)
 	Err      error // terminal error; nil while live or on success
 	Canceled bool  // terminal verdict was cancellation
 }
@@ -180,6 +212,8 @@ type Stats struct {
 
 	StepsIssued  int64
 	StepsRetired int64
+	Retries      int64
+	Recoveries   int64
 }
 
 // Service is the control plane. Build one with New; it owns a scheduler
@@ -200,6 +234,8 @@ type Service struct {
 
 	stepsIssued  atomic.Int64
 	stepsRetired atomic.Int64
+	retries      atomic.Int64
+	recoveries   atomic.Int64
 
 	wake chan struct{} // scheduler doorbell, capacity 1
 	wg   sync.WaitGroup
@@ -280,6 +316,12 @@ func (s *Service) registerMetrics() {
 	r.CounterFunc("op2_service_steps_retired_total",
 		"Timesteps whose futures resolved and were waited.",
 		func() float64 { return float64(s.stepsRetired.Load()) })
+	r.CounterFunc("op2_service_job_retries_total",
+		"Job attempts restarted after a retryable failure.",
+		func() float64 { return float64(s.retries.Load()) })
+	r.CounterFunc("op2_service_job_recoveries_total",
+		"Jobs that completed successfully after at least one retry.",
+		func() float64 { return float64(s.recoveries.Load()) })
 	s.startHist = r.Histogram("op2_service_job_start_seconds",
 		"Latency of Spec.Start (runtime construction) on the start workers.",
 		obs.DurationBuckets)
@@ -297,6 +339,15 @@ func (s *Service) Submit(ctx context.Context, spec Spec) (*Job, error) {
 	}
 	if spec.MaxInFlightSteps < 0 {
 		return nil, fmt.Errorf("%w: %q has max in-flight steps %d < 0", ErrInvalidSpec, spec.Name, spec.MaxInFlightSteps)
+	}
+	if spec.Retry.MaxAttempts < 0 {
+		return nil, fmt.Errorf("%w: %q has max attempts %d < 0", ErrInvalidSpec, spec.Name, spec.Retry.MaxAttempts)
+	}
+	if spec.Retry.Backoff < 0 {
+		return nil, fmt.Errorf("%w: %q has retry backoff %v < 0", ErrInvalidSpec, spec.Name, spec.Retry.Backoff)
+	}
+	if spec.Deadline < 0 {
+		return nil, fmt.Errorf("%w: %q has deadline %v < 0", ErrInvalidSpec, spec.Name, spec.Deadline)
 	}
 	maxIF := spec.MaxInFlightSteps
 	if maxIF == 0 {
@@ -316,6 +367,16 @@ func (s *Service) Submit(ctx context.Context, spec Spec) (*Job, error) {
 			ErrQueueFull, spec.Name, queued, resident)
 	}
 	jctx, cancel := context.WithCancel(ctx)
+	if spec.Deadline > 0 {
+		// The deadline spans the whole job — queueing, every attempt and
+		// the backoffs between them. Its expiry reads as cancellation
+		// (never a retryable fault), so an expired job tears down
+		// immediately instead of burning its remaining attempts.
+		var tcancel context.CancelFunc
+		jctx, tcancel = context.WithTimeout(jctx, spec.Deadline)
+		base := cancel
+		cancel = func() { tcancel(); base() }
+	}
 	j := &Job{
 		svc:         s,
 		spec:        spec,
@@ -352,6 +413,8 @@ func (s *Service) Stats() Stats {
 	s.mu.Unlock()
 	st.StepsIssued = s.stepsIssued.Load()
 	st.StepsRetired = s.stepsRetired.Load()
+	st.Retries = s.retries.Load()
+	st.Recoveries = s.recoveries.Load()
 	return st
 }
 
@@ -450,20 +513,39 @@ func (s *Service) promoteLocked() {
 // one step. Reports whether the job made progress (the pass-repeat
 // condition).
 func (s *Service) visit(j *Job) bool {
+	if j.resetPending.CompareAndSwap(true, false) {
+		// The retirer tore down a failed attempt and rearmed the job:
+		// reset the issue-side state so this pass rebuilds the runtime
+		// and the next one reissues from the attempt's resume step. The
+		// acquire on the swap orders the retirer's retireCh replacement
+		// before any use below.
+		j.doneIssuing = false
+		j.startSent = false
+		j.issued = 0
+		j.resumeApplied = false
+	}
 	if j.doneIssuing {
 		return false // retirer owns the endgame
 	}
 	s.mu.Lock()
 	inst := j.inst
+	resume := j.resume
 	s.mu.Unlock()
 	if inst == nil {
 		if !j.startSent {
 			// Hand the runtime build to the pool. The send cannot block:
-			// capacity MaxResidentJobs, at most one send per resident job.
+			// capacity MaxResidentJobs, at most one outstanding send per
+			// resident job (startSent, reset only after a start landed).
 			j.startSent = true
 			s.startCh <- j
 		}
 		return false // the start worker pokes the scheduler when done
+	}
+	if !j.resumeApplied {
+		// First visit of a started attempt: steps the instance restored
+		// from a checkpoint are already applied, so issue only the rest.
+		j.resumeApplied = true
+		j.issued = resume
 	}
 	if j.ctx.Err() != nil || j.loadErr() != nil {
 		// Canceled mid-run, or the retirer already recorded a step
@@ -473,8 +555,15 @@ func (s *Service) visit(j *Job) bool {
 		close(j.retireCh)
 		return true
 	}
-	if j.issued >= j.spec.Iters || int(j.inflight.Load()) >= j.maxInFlight {
-		return false // complete or at its backpressure cap: yield the pass
+	if j.issued >= j.spec.Iters {
+		// Nothing left to issue — possible on arrival when a restored
+		// checkpoint already covers every step.
+		j.doneIssuing = true
+		close(j.retireCh)
+		return true
+	}
+	if int(j.inflight.Load()) >= j.maxInFlight {
+		return false // at its backpressure cap: yield the pass
 	}
 	fut, err := inst.IssueStep(j.ctx)
 	j.issued++
@@ -508,9 +597,53 @@ func (s *Service) startWorker() {
 
 // startJob builds one job's runtime, records the start latency, and
 // either spawns the job's retirer (success) or finishes the job
-// (failure). Always pokes the scheduler: a new Running job wants its
-// first step issued, a failed start freed a residency slot.
+// (failure). Start failures draw on the job's retry budget like step
+// failures do — the next attempt runs right here after the backoff,
+// occupying this start worker, so a crash-looping spec cannot flood
+// the scheduler. Always pokes the scheduler: a new Running job wants
+// its first step issued, a failed start freed a residency slot.
 func (s *Service) startJob(j *Job) {
+	inst, err := s.runStart(j)
+	for err != nil && j.consumeRetry(err) && j.backoffWait() {
+		inst, err = s.runStart(j)
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.removeResidentLocked(j)
+		s.finishLocked(j, nil, fmt.Errorf("service: job %q failed to start: %w", j.spec.Name, err))
+		s.mu.Unlock()
+		s.poke()
+		return
+	}
+	resume := 0
+	if rp, ok := inst.(Resumer); ok {
+		resume = rp.ResumeStep()
+		if resume < 0 {
+			resume = 0
+		}
+		if resume > j.spec.Iters {
+			resume = j.spec.Iters
+		}
+	}
+	s.mu.Lock()
+	j.inst = inst
+	j.state = Running
+	j.resume = resume
+	s.mu.Unlock()
+	if resume > 0 {
+		// The restored steps count as applied progress: Status.Retired
+		// resumes from the checkpoint instead of rewinding to zero.
+		j.retired.Store(int64(resume))
+	}
+	// The job is still resident here, so the scheduler cannot have
+	// exited: this Add is ordered before the service's wg drains.
+	s.wg.Add(1)
+	go j.retire()
+	s.poke()
+}
+
+// runStart is one timed invocation of the spec's Start.
+func (s *Service) runStart(j *Job) (Instance, error) {
 	obsOn := s.startHist != nil || s.cfg.Trace != nil
 	var t0 time.Time
 	if obsOn {
@@ -526,23 +659,7 @@ func (s *Service) startJob(j *Job) {
 			s.cfg.Trace.Record(j.spec.Name, "start", 0, t0, d)
 		}
 	}
-	if err != nil {
-		s.mu.Lock()
-		s.removeResidentLocked(j)
-		s.finishLocked(j, nil, fmt.Errorf("service: job %q failed to start: %w", j.spec.Name, err))
-		s.mu.Unlock()
-		s.poke()
-		return
-	}
-	s.mu.Lock()
-	j.inst = inst
-	j.state = Running
-	s.mu.Unlock()
-	// The job is still resident here, so the scheduler cannot have
-	// exited: this Add is ordered before the service's wg drains.
-	s.wg.Add(1)
-	go j.retire()
-	s.poke()
+	return inst, err
 }
 
 // removeResidentLocked drops j from the resident set.
@@ -563,6 +680,12 @@ func (s *Service) finishLocked(j *Job, result any, err error) {
 	switch {
 	case err == nil:
 		s.completed++
+		if j.retriesUsed > 0 {
+			s.recoveries.Add(1)
+			if s.cfg.Trace != nil {
+				s.cfg.Trace.Record(j.spec.Name, "recover", 0, time.Now(), 0)
+			}
+		}
 	case j.ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.canceled = true
 		s.canceled++

@@ -6,6 +6,7 @@ package service_test
 
 import (
 	"context"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -101,6 +102,18 @@ func TestTelemetryScrapeEndToEnd(t *testing.T) {
 		}
 		waitDone(t, j)
 	}
+	// One job that dies once and recovers, so the fault-tolerance
+	// counters carry non-zero samples into the scrape.
+	bad := &fakeInst{auto: true, stepErrs: map[int]error{2: errors.New("transient")}}
+	good := &fakeInst{auto: true, result: "recovered"}
+	j, err := svc.Submit(context.Background(), service.Spec{
+		Name: "flaky", Iters: 4, Start: startSeq(bad, good),
+		Retry: service.RetryPolicy{MaxAttempts: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j)
 
 	code, body := scrape(t, ts.URL+"/metrics")
 	if code != http.StatusOK {
@@ -108,13 +121,15 @@ func TestTelemetryScrapeEndToEnd(t *testing.T) {
 	}
 	checkPrometheusText(t, body)
 	for _, want := range []string{
-		"op2_service_jobs_admitted_total 3",
-		"op2_service_jobs_completed_total 3",
-		"op2_service_steps_issued_total 12",
-		"op2_service_steps_retired_total 12",
+		"op2_service_jobs_admitted_total 4",
+		"op2_service_jobs_completed_total 4",
 		"op2_service_queue_depth 0",
 		"op2_service_resident_jobs 0",
-		"op2_service_job_start_seconds_count 3",
+		"op2_service_job_start_seconds_count 5",
+		"op2_service_job_retries_total 1",
+		"op2_service_job_recoveries_total 1",
+		"op2_service_steps_issued_total",
+		"op2_service_steps_retired_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("scrape missing %q", want)

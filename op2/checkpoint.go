@@ -1,0 +1,144 @@
+package op2
+
+// Checkpoint/Restore: the recovery half of the fault-tolerant runtime.
+// A checkpoint is a fenced, bitwise snapshot of every dat and global the
+// runtime's loops have declared, plus the step counter it was taken at;
+// restoring it onto a FRESH runtime (same declarations, any rank count)
+// reproduces the uninterrupted run bit for bit — reductions fold in
+// serial plan order, so continuation from a snapshot is deterministic.
+// The service layer uses this for job-level recovery (JobSpec.Retry +
+// JobSpec.CheckpointEvery): a failed job's runtime is discarded and a
+// new attempt resumes from the job's last checkpoint.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Checkpoint is one fenced snapshot of a runtime's declared data. It is
+// self-contained host memory — it stays valid after the runtime that
+// produced it is closed or discarded, which is exactly the recovery
+// scenario it exists for.
+type Checkpoint struct {
+	// Step is the caller-provided step counter the snapshot was taken
+	// at: a resumed run continues with step Step (0-based issue index).
+	Step int
+
+	dats map[string][]float64
+	gbls map[string][]float64
+}
+
+// trackArgs registers the dats and globals of a loop declaration for
+// checkpointing, once per pointer. Declaration-time only — never on the
+// issue path.
+func (rt *Runtime) trackArgs(args []Arg) {
+	rt.cpMu.Lock()
+	defer rt.cpMu.Unlock()
+	if rt.cpSeen == nil {
+		rt.cpSeen = make(map[any]bool)
+	}
+	for i := range args {
+		if d := args[i].Dat(); d != nil && !rt.cpSeen[d] {
+			rt.cpSeen[d] = true
+			rt.cpDats = append(rt.cpDats, d)
+		}
+		if g := args[i].Global(); g != nil && !rt.cpSeen[g] {
+			rt.cpSeen[g] = true
+			rt.cpGbls = append(rt.cpGbls, g)
+		}
+	}
+}
+
+// tracked snapshots the registration lists (the lock is not held during
+// the fence: Snapshot blocks on outstanding loops).
+func (rt *Runtime) tracked() ([]*Dat, []*Global) {
+	rt.cpMu.Lock()
+	defer rt.cpMu.Unlock()
+	return append([]*Dat(nil), rt.cpDats...), append([]*Global(nil), rt.cpGbls...)
+}
+
+// Checkpoint takes a fenced snapshot of every dat and global that has
+// appeared in one of the runtime's ParLoop declarations, tagged with the
+// given step counter. It fences first (every submitted loop and step
+// completes, resident shards flush), so call it only at a step boundary
+// the issuing goroutine controls — inside a running pipeline it is a
+// barrier costing at most the in-flight depth. Dats sharing a name
+// cannot be told apart at Restore time and are rejected.
+func (rt *Runtime) Checkpoint(step int) (*Checkpoint, error) {
+	if err := rt.Fence(); err != nil {
+		return nil, fmt.Errorf("op2: checkpoint fence: %w", err)
+	}
+	dats, gbls := rt.tracked()
+	cp := &Checkpoint{
+		Step: step,
+		dats: make(map[string][]float64, len(dats)),
+		gbls: make(map[string][]float64, len(gbls)),
+	}
+	for _, d := range dats {
+		if _, dup := cp.dats[d.Name()]; dup {
+			return nil, wrapValidation(fmt.Errorf("checkpoint: two dats named %q", d.Name()))
+		}
+		snap, err := d.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("op2: checkpoint dat %q: %w", d.Name(), err)
+		}
+		cp.dats[d.Name()] = snap
+	}
+	for _, g := range gbls {
+		if _, dup := cp.gbls[g.Name()]; dup {
+			return nil, wrapValidation(fmt.Errorf("checkpoint: two globals named %q", g.Name()))
+		}
+		snap, err := g.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("op2: checkpoint global %q: %w", g.Name(), err)
+		}
+		cp.gbls[g.Name()] = snap
+	}
+	return cp, nil
+}
+
+// Restore loads a checkpoint into this runtime: every tracked dat and
+// global whose name appears in the snapshot is overwritten (and pushed
+// into resident shards). Restore onto a fresh runtime after declaring
+// the same loops — typically in a JobSpec.Setup — then continue issuing
+// from cp.Step. Snapshot entries naming resources this runtime has not
+// declared are an error (the declarations diverged); tracked resources
+// missing from the snapshot keep their declared values.
+func (rt *Runtime) Restore(cp *Checkpoint) error {
+	if cp == nil {
+		return wrapValidation(errors.New("Restore needs a checkpoint"))
+	}
+	dats, gbls := rt.tracked()
+	byName := make(map[string]bool, len(dats)+len(gbls))
+	for _, d := range dats {
+		byName[d.Name()] = true
+		vals, ok := cp.dats[d.Name()]
+		if !ok {
+			continue
+		}
+		if err := d.RestoreData(vals); err != nil {
+			return fmt.Errorf("op2: restore dat %q: %w", d.Name(), err)
+		}
+	}
+	for _, g := range gbls {
+		byName[g.Name()] = true
+		vals, ok := cp.gbls[g.Name()]
+		if !ok {
+			continue
+		}
+		if err := g.Set(vals); err != nil {
+			return fmt.Errorf("op2: restore global %q: %w", g.Name(), err)
+		}
+	}
+	for name := range cp.dats {
+		if !byName[name] {
+			return wrapValidation(fmt.Errorf("restore: checkpoint has dat %q this runtime never declared a loop over", name))
+		}
+	}
+	for name := range cp.gbls {
+		if !byName[name] {
+			return wrapValidation(fmt.Errorf("restore: checkpoint has global %q this runtime never declared a loop over", name))
+		}
+	}
+	return nil
+}

@@ -42,6 +42,14 @@ func PartitionerByName(name string) (Partitioner, error) {
 	}
 }
 
+// Transport moves halo messages between the ranks of a distributed
+// runtime (per-pair FIFO, non-blocking sends — see the interface's
+// contract). Substitute one with WithTransport; the default is the
+// in-process communicator. Transports implementing a Poison(error)
+// method participate in engine teardown: poisoning resolves every
+// pending receive so no rank deadlocks on a permanent failure.
+type Transport = dist.Transport
+
 // PartitionStats describes one partitioned set of a distributed runtime:
 // the partitioning method, per-rank owned block and import-halo sizes,
 // and — for sets partitioned over registered topology — the edge-cut and

@@ -20,6 +20,26 @@ var ErrValidation = errors.New("op2: validation failed")
 // context.Canceled or context.DeadlineExceeded).
 var ErrCanceled = errors.New("op2: canceled")
 
+// The distributed engine's typed failure taxonomy, re-exported so
+// callers classify faults without importing internal packages. All are
+// the same sentinel values the engine wraps, so errors.Is works on any
+// error a loop, step, job or service call returns:
+//
+//   - ErrCommOverflow — a rank pair exceeded the transport's in-flight
+//     message bound (a submitter that never fences).
+//   - ErrHaloTimeout — a halo exchange missed the runtime's
+//     WithHaloTimeout deadline (a dropped message or stalled rank).
+//   - ErrRankFailed — the engine failed permanently (kernel panic, send
+//     failure, timeout, corrupt message) and rejects new submissions.
+//   - ErrHaloCorrupt — a halo message arrived duplicated, truncated or
+//     reordered (detected by the per-pair frame-sequence check).
+var (
+	ErrCommOverflow = dist.ErrCommOverflow
+	ErrHaloTimeout  = dist.ErrHaloTimeout
+	ErrRankFailed   = dist.ErrRankFailed
+	ErrHaloCorrupt  = dist.ErrHaloCorrupt
+)
+
 // wrapValidation tags err as a validation failure.
 func wrapValidation(err error) error {
 	if err == nil {

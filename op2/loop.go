@@ -57,6 +57,7 @@ type Loop struct {
 // validation is deferred to the first invocation so declaration sites
 // stay chainable.
 func (rt *Runtime) ParLoop(name string, set *Set, args ...Arg) *Loop {
+	rt.trackArgs(args)
 	return &Loop{rt: rt, l: core.Loop{Name: name, Set: set, Args: args}, once: new(sync.Once)}
 }
 

@@ -49,6 +49,8 @@ package op2
 import (
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"op2hpx/internal/core"
 	"op2hpx/internal/dist"
@@ -112,6 +114,8 @@ type config struct {
 	ranks       int
 	partitioner Partitioner
 	maxInFlight int
+	haloTimeout time.Duration
+	transport   func(ranks int) Transport
 	metrics     *Metrics
 	trace       *TraceRing
 	traceN      int
@@ -192,6 +196,24 @@ func WithMaxInFlightSteps(k int) Option { return func(c *config) { c.maxInFlight
 // topology: register it per set with Runtime.Partition.
 func WithPartitioner(p Partitioner) Option { return func(c *config) { c.partitioner = p } }
 
+// WithHaloTimeout bounds how long a distributed rank waits for any one
+// halo exchange (default: forever). A timed-out exchange fails its step
+// with ErrHaloTimeout and permanently fails the runtime's engine
+// (ErrRankFailed for later submissions) — the failure detector behind
+// dropped messages and stalled ranks. Requires WithRanks. Pair it with
+// JobSpec.Retry so the service re-runs the job on a fresh runtime.
+func WithHaloTimeout(d time.Duration) Option { return func(c *config) { c.haloTimeout = d } }
+
+// WithTransport substitutes the distributed engine's message transport.
+// make is a factory, not an instance, because transports are stateful
+// and poisoned on permanent failure: every runtime build — in
+// particular every recovery attempt of a retried job — must get a fresh
+// transport. Requires WithRanks; the internal fault-injection layer is
+// the main client.
+func WithTransport(make func(ranks int) Transport) Option {
+	return func(c *config) { c.transport = make }
+}
+
 // Runtime executes OP2 parallel loops under a fixed configuration,
 // caching execution plans across invocations of the same loop shape.
 //
@@ -209,6 +231,14 @@ type Runtime struct {
 	maxInFlight int          // Async issue-ahead cap (WithMaxInFlightSteps)
 	metrics     *Metrics     // nil when metrics are off
 	trace       *TraceRing   // nil when tracing is off
+
+	// Checkpoint tracking: every dat and global that has appeared in a
+	// ParLoop declaration, registered once by pointer (see trackArgs).
+	// Runtime.Checkpoint snapshots them; Restore matches by name.
+	cpMu   sync.Mutex
+	cpSeen map[any]bool
+	cpDats []*Dat
+	cpGbls []*Global
 }
 
 // New builds a runtime from functional options.
@@ -237,6 +267,15 @@ func New(opts ...Option) (*Runtime, error) {
 	if c.maxInFlight < 0 {
 		return nil, fmt.Errorf("%w: max in-flight steps %d < 0", ErrValidation, c.maxInFlight)
 	}
+	if c.haloTimeout < 0 {
+		return nil, fmt.Errorf("%w: halo timeout %v < 0", ErrValidation, c.haloTimeout)
+	}
+	if c.haloTimeout > 0 && c.ranks == 0 {
+		return nil, fmt.Errorf("%w: WithHaloTimeout requires WithRanks", ErrValidation)
+	}
+	if c.transport != nil && c.ranks == 0 {
+		return nil, fmt.Errorf("%w: WithTransport requires WithRanks", ErrValidation)
+	}
 	if c.traceN < 0 {
 		return nil, fmt.Errorf("%w: trace ring capacity %d < 0", ErrValidation, c.traceN)
 	}
@@ -245,10 +284,16 @@ func New(opts ...Option) (*Runtime, error) {
 	}
 	rt := &Runtime{maxInFlight: c.maxInFlight, metrics: c.metrics, trace: c.trace}
 	if c.ranks > 0 {
+		var tr dist.Transport
+		if c.transport != nil {
+			tr = c.transport(c.ranks)
+		}
 		eng, err := dist.NewEngine(dist.Config{
 			Ranks:       c.ranks,
 			Partitioner: c.partitioner,
 			BlockSize:   c.blockSize,
+			Transport:   tr,
+			HaloTimeout: c.haloTimeout,
 		})
 		if err != nil {
 			return nil, classify(err)

@@ -3,6 +3,8 @@ package op2
 import (
 	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"op2hpx/internal/service"
 )
@@ -85,7 +87,33 @@ type JobSpec struct {
 	// (Sync dats, read reductions); it may be nil. The value it returns
 	// is what JobHandle.Result yields.
 	Collect func(rt *Runtime) (any, error)
+	// Retry bounds job-level recovery: on a retryable failure (any step
+	// or start error that is not a cancellation) the attempt's runtime
+	// is discarded and the job restarts — Setup runs again on a fresh
+	// Runtime, the last checkpoint (if CheckpointEvery is set) is
+	// restored, and issuing resumes from it — while the service's other
+	// jobs keep stepping. Zero value: a single attempt, no retry.
+	Retry RetryPolicy
+	// Deadline bounds the job's total wall clock across all attempts,
+	// backoffs included; expiry cancels the job. 0 means no deadline.
+	Deadline time.Duration
+	// CheckpointEvery takes a fenced bitwise checkpoint after every
+	// multiple-of-N steps (at the next IssueStep, so the fence costs at
+	// most the in-flight depth). A retried attempt restores the latest
+	// checkpoint and reissues only the remaining steps; continuation is
+	// bitwise-identical to the uninterrupted run. 0 disables
+	// checkpointing: retries rerun the job from step 0.
+	CheckpointEvery int
+	// BeforeStep, when set, runs on the scheduler goroutine just before
+	// step (0-based) is issued; returning an error fails the job's
+	// current attempt exactly as a failed step does. It is the injection
+	// point for step-boundary crash testing.
+	BeforeStep func(step int) error
 }
+
+// RetryPolicy bounds a job's recovery attempts: MaxAttempts total
+// attempts (0 and 1 both mean no retry) separated by Backoff pauses.
+type RetryPolicy = service.RetryPolicy
 
 // NewService builds a service and starts its scheduler; Close it when
 // done.
@@ -100,8 +128,15 @@ func (sv *Service) Submit(ctx context.Context, spec JobSpec) (*JobHandle, error)
 	if spec.Setup == nil {
 		return nil, wrapValidation(fmt.Errorf("job %q has no Setup", spec.Name))
 	}
+	if spec.CheckpointEvery < 0 {
+		return nil, wrapValidation(fmt.Errorf("job %q has checkpoint interval %d < 0", spec.Name, spec.CheckpointEvery))
+	}
 	opts := spec.Runtime
 	collect := spec.Collect
+	// The checkpoint slot outlives any single attempt: attempt N+1's
+	// start closure restores what attempt N saved. Plain host memory, so
+	// it survives the failed attempt's runtime being closed.
+	slot := &checkpointSlot{}
 	start := func(jctx context.Context) (service.Instance, error) {
 		rt, err := New(opts...)
 		if err != nil {
@@ -116,13 +151,27 @@ func (sv *Service) Submit(ctx context.Context, spec JobSpec) (*JobHandle, error)
 			rt.Close() //nolint:errcheck
 			return nil, wrapValidation(fmt.Errorf("job %q: Setup returned no step", spec.Name))
 		}
-		return &jobInstance{rt: rt, step: step, collect: collect}, nil
+		ji := &jobInstance{
+			rt: rt, step: step, collect: collect,
+			every: spec.CheckpointEvery, before: spec.BeforeStep, slot: slot,
+		}
+		if cp := slot.load(); cp != nil {
+			if err := rt.Restore(cp); err != nil {
+				rt.Close() //nolint:errcheck
+				return nil, fmt.Errorf("job %q: restore checkpoint at step %d: %w", spec.Name, cp.Step, err)
+			}
+			ji.stepN = cp.Step
+			ji.resume = cp.Step
+		}
+		return ji, nil
 	}
 	return sv.s.Submit(ctx, service.Spec{
 		Name:             spec.Name,
 		Iters:            spec.Iters,
 		MaxInFlightSteps: spec.MaxInFlightSteps,
 		Start:            start,
+		Retry:            spec.Retry,
+		Deadline:         spec.Deadline,
 	})
 }
 
@@ -133,20 +182,69 @@ func (sv *Service) Stats() ServiceStats { return sv.s.Stats() }
 // to close, and stops the scheduler. Idempotent.
 func (sv *Service) Close() error { return sv.s.Close() }
 
+// checkpointSlot is the job-scoped latest-checkpoint cell shared by all
+// of a job's attempts (written by the attempt's IssueStep on the
+// scheduler goroutine, read by the next attempt's start closure on a
+// start worker).
+type checkpointSlot struct {
+	mu sync.Mutex
+	cp *Checkpoint
+}
+
+func (s *checkpointSlot) load() *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cp
+}
+
+func (s *checkpointSlot) store(cp *Checkpoint) {
+	s.mu.Lock()
+	s.cp = cp
+	s.mu.Unlock()
+}
+
 // jobInstance adapts a (Runtime, Step, Collect) triple to the control
-// plane's Instance interface.
+// plane's Instance interface, layering on the recovery hooks: periodic
+// checkpoints into the job's shared slot, the BeforeStep crash point,
+// and the resume offset the control plane reads through Resumer.
 type jobInstance struct {
 	rt      *Runtime
 	step    *Step
 	collect func(*Runtime) (any, error)
+
+	every  int             // checkpoint interval (steps), 0 = off
+	before func(int) error // JobSpec.BeforeStep, may be nil
+	slot   *checkpointSlot // shared across the job's attempts
+	stepN  int             // steps issued by this attempt, resume included
+	resume int             // steps already applied when this attempt started
 }
 
 // IssueStep issues the job's next timestep. op2 futures satisfy
 // service.Future directly; errors — validation ones included — surface
-// when the future is retired, which also stops further issuing.
+// when the future is retired, which also stops further issuing. When
+// the instance crosses a checkpoint boundary it snapshots first: the
+// checkpoint fences (all in-flight steps complete), so the state it
+// captures is exactly "stepN steps applied".
 func (ji *jobInstance) IssueStep(ctx context.Context) (service.Future, error) {
+	if ji.every > 0 && ji.stepN > ji.resume && ji.stepN%ji.every == 0 {
+		cp, err := ji.rt.Checkpoint(ji.stepN)
+		if err != nil {
+			return nil, err
+		}
+		ji.slot.store(cp)
+	}
+	if ji.before != nil {
+		if err := ji.before(ji.stepN); err != nil {
+			return nil, err
+		}
+	}
+	ji.stepN++
 	return ji.step.Async(ctx), nil
 }
+
+// ResumeStep reports how many steps the attempt's initial state already
+// covers (service.Resumer).
+func (ji *jobInstance) ResumeStep() int { return ji.resume }
 
 // Finalize runs the job's Collect after every step future resolved.
 func (ji *jobInstance) Finalize(ctx context.Context) (any, error) {
