@@ -1,0 +1,214 @@
+// Command op2rank hosts ONE rank of a distributed airfoil run: the
+// per-rank daemon of the real TCP transport. Launch one process per
+// address in -peers — each runs the identical SPMD program — and they
+// rendezvous, exchange HELLOs, barrier, and step together:
+//
+//	op2rank -rank 0 -peers 127.0.0.1:7070,127.0.0.1:7071 -health :8080 &
+//	op2rank -rank 1 -peers 127.0.0.1:7070,127.0.0.1:7071 -health :8081 &
+//
+// Each daemon serves its health and runtime statistics over HTTP (the
+// spiderpool-agent shape: a per-node daemon answering liveness probes
+// and exposing its runtime internals):
+//
+//	/healthz   200 while the process's control loops run
+//	/livez     200 while the rank's transport is unpoisoned — a typed
+//	           transport failure flips it to 503 before the process exits
+//	/readyz    200 once bootstrapped, 503 while connecting or draining
+//	/stats     JSON: rank identity, step counters, halo buffer pool and
+//	           wire statistics (HaloBufferStats, HaloMessagesSent,
+//	           StepStats, NetStats)
+//	/metrics   Prometheus text (op2_net_*, op2_dist_*, op2_loop_*, ...)
+//
+// The run self-verifies: every rank recomputes the serial golden
+// in-process and compares its distributed result bitwise (-verify=false
+// to skip). A clean, bitwise-identical run exits 0. A transport or
+// engine failure prints the typed error chain — ErrRankFailed for a
+// dead peer, ErrHaloTimeout for a silent one, ErrHaloCorrupt for a
+// damaged stream — and exits 1; the driver scripts grep for exactly
+// those sentinels.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"op2hpx/internal/airfoil"
+	"op2hpx/internal/obs"
+	"op2hpx/op2"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "op2rank:", err)
+		os.Exit(1)
+	}
+}
+
+// statsPayload is the /stats JSON document.
+type statsPayload struct {
+	Rank               int          `json:"rank"`
+	Ranks              int          `json:"ranks"`
+	Steps              int64        `json:"steps"`
+	HaloMessagesSent   int64        `json:"haloMessagesSent"`
+	HaloBufferAllocs   int64        `json:"haloBufferAllocs"`
+	HaloBufferRequests int64        `json:"haloBufferRequests"`
+	Net                op2.NetStats `json:"net"`
+}
+
+func run() error {
+	var (
+		rank      = flag.Int("rank", -1, "rank this process hosts (index into -peers)")
+		peers     = flag.String("peers", "", "comma-separated rank listen addresses, in rank order")
+		health    = flag.String("health", "", "address for /healthz /livez /readyz /stats /metrics (empty = no HTTP)")
+		nx        = flag.Int("nx", 120, "mesh cells in x")
+		ny        = flag.Int("ny", 60, "mesh cells in y")
+		iters     = flag.Int("iters", 100, "time iterations")
+		heartbeat = flag.Duration("heartbeat", 250*time.Millisecond, "per-connection heartbeat interval")
+		miss      = flag.Int("miss", 8, "silent heartbeat intervals before a peer is declared dead")
+		haloTO    = flag.Duration("halo-timeout", 10*time.Second, "engine-level bound on any one halo exchange")
+		verify    = flag.Bool("verify", true, "recompute the serial golden and compare bitwise")
+		hold      = flag.Duration("hold", 0, "keep the health endpoint up this long after the run")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*peers, ",")
+	if *peers == "" || len(addrs) < 2 {
+		return fmt.Errorf("need -peers with at least 2 comma-separated addresses")
+	}
+	if *rank < 0 || *rank >= len(addrs) {
+		return fmt.Errorf("-rank %d outside the %d-address peer list", *rank, len(addrs))
+	}
+
+	reg := op2.NewMetrics()
+	hl := obs.NewHealth()
+	var rtRef atomic.Pointer[op2.Runtime] // set once the runtime exists; /stats and /livez read it
+
+	if *health != "" {
+		mux := obs.TelemetryMux(reg, nil, hl)
+		mux.HandleFunc("/livez", func(w http.ResponseWriter, r *http.Request) {
+			if rt := rtRef.Load(); rt != nil {
+				if err := rt.Failed(); err != nil {
+					w.WriteHeader(http.StatusServiceUnavailable)
+					fmt.Fprintf(w, "rank failed: %v\n", err)
+					return
+				}
+			}
+			if !hl.Live() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(w, "not live")
+				return
+			}
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+			p := statsPayload{Rank: *rank, Ranks: len(addrs)}
+			if rt := rtRef.Load(); rt != nil {
+				p.Steps = rt.StepStats().Steps
+				p.HaloMessagesSent = rt.HaloMessagesSent()
+				p.HaloBufferAllocs, p.HaloBufferRequests = rt.HaloBufferStats()
+				p.Net, _ = rt.NetStats()
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(p) //nolint:errcheck // client hangup only
+		})
+		ln, err := net.Listen("tcp", *health)
+		if err != nil {
+			return fmt.Errorf("health listener: %w", err)
+		}
+		defer ln.Close() //nolint:errcheck // process exit tears it down
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln) //nolint:errcheck // exits with the listener
+		fmt.Printf("op2rank %d: health on http://%s/healthz\n", *rank, ln.Addr())
+	}
+
+	meta := fmt.Sprintf("airfoil nx=%d ny=%d iters=%d ranks=%d", *nx, *ny, *iters, len(addrs))
+	fmt.Printf("op2rank %d/%d: bootstrapping on %s (%s)\n", *rank, len(addrs), addrs[*rank], meta)
+
+	rt, err := op2.New(
+		op2.WithTCPTransport(op2.TCPConfig{
+			Rank:           *rank,
+			Peers:          addrs,
+			Meta:           meta,
+			HeartbeatEvery: *heartbeat,
+			HeartbeatMiss:  *miss,
+			Metrics:        reg,
+		}),
+		op2.WithHaloTimeout(*haloTO),
+	)
+	if err != nil {
+		hl.SetLive(false)
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+	defer rt.Close()
+	rtRef.Store(rt)
+	hl.SetReady(true)
+	fmt.Printf("op2rank %d: world of %d connected\n", *rank, len(addrs))
+
+	app, err := airfoil.NewApp(*nx, *ny, rt)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rms, err := app.Run(*iters)
+	if err != nil {
+		hl.SetLive(false)
+		hl.SetReady(false)
+		return fmt.Errorf("rank %d: %w", *rank, err)
+	}
+	if err := app.Sync(); err != nil {
+		hl.SetLive(false)
+		hl.SetReady(false)
+		return fmt.Errorf("rank %d: sync: %w", *rank, err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("op2rank %d: %d iters in %v, rms %.10e\n", *rank, *iters, elapsed.Round(time.Millisecond), rms)
+
+	if s, ok := rt.NetStats(); ok {
+		fmt.Printf("op2rank %d: wire: %d B sent / %d B recv, %d frames out, %d dial retries, %d hb misses\n",
+			*rank, s.BytesSent, s.BytesRecv, s.FramesSent, s.Reconnects, s.HeartbeatMisses)
+	}
+
+	if *verify {
+		srt := op2.MustNew()
+		sapp, err := airfoil.NewApp(*nx, *ny, srt)
+		if err != nil {
+			srt.Close()
+			return err
+		}
+		srms, err := sapp.Run(*iters)
+		if err != nil {
+			srt.Close()
+			return fmt.Errorf("serial reference: %w", err)
+		}
+		if math.Float64bits(srms) != math.Float64bits(rms) {
+			srt.Close()
+			return fmt.Errorf("rank %d: distributed rms %x differs BITWISE from serial %x",
+				*rank, math.Float64bits(rms), math.Float64bits(srms))
+		}
+		q, sq := app.M.Q.Data(), sapp.M.Q.Data()
+		for i := range q {
+			if math.Float64bits(q[i]) != math.Float64bits(sq[i]) {
+				srt.Close()
+				return fmt.Errorf("rank %d: q[%d] differs bitwise from serial", *rank, i)
+			}
+		}
+		srt.Close()
+		fmt.Printf("op2rank %d: bitwise-identical to serial golden\n", *rank)
+	}
+
+	if *hold > 0 {
+		fmt.Printf("op2rank %d: holding health endpoint for %v\n", *rank, *hold)
+		time.Sleep(*hold)
+	}
+	hl.SetReady(false)
+	return nil
+}

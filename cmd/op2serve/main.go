@@ -15,16 +15,27 @@
 //	op2serve -telemetry :9090         # serve /metrics, /healthz, /readyz,
 //	                                  # /trace and /debug/pprof while running
 //	op2serve -telemetry :9090 -hold 30s  # keep serving after the jobs finish
+//	op2serve -checkpoint-dir /var/lib/op2  # persist checkpoints; a restarted
+//	                                       # server resumes jobs from them
+//
+// SIGINT/SIGTERM triggers a graceful drain: /readyz flips to 503,
+// admission stops, every resident job's in-flight steps retire and its
+// state is checkpointed (durably, with -checkpoint-dir), then the
+// process exits cleanly. Re-running with the same -checkpoint-dir
+// resumes each job bitwise from its drain point.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"op2hpx/internal/airfoil"
@@ -56,6 +67,8 @@ func run() error {
 		backoff     = flag.Duration("retry-backoff", 100*time.Millisecond, "pause between a failed attempt's teardown and the next attempt")
 		deadline    = flag.Duration("job-deadline", 0, "per-job wall-clock bound across all attempts (0 = none); expiry cancels the job")
 		cpEvery     = flag.Int("checkpoint-every", 0, "take a fenced bitwise checkpoint every N steps (0 = off); retried attempts resume from it")
+		cpDir       = flag.String("checkpoint-dir", "", "directory for durable checkpoints: periodic and drain checkpoints persist there, and a restarted server resumes each job from its file")
+		drainTO     = flag.Duration("drain-timeout", 30*time.Second, "bound on the SIGINT/SIGTERM graceful drain before the process gives up")
 		telemetry   = flag.String("telemetry", "", "address to serve /metrics, /healthz, /readyz, /trace and /debug/pprof on (empty = telemetry off)")
 		traceSpans  = flag.Int("trace-spans", 16384, "span ring capacity for /trace (with -telemetry)")
 		hold        = flag.Duration("hold", 0, "keep the telemetry endpoint up this long after the jobs finish")
@@ -106,6 +119,15 @@ func run() error {
 		opts = append(opts, op2.WithMetricsRegistry(reg), op2.WithTraceRing(ring))
 	}
 
+	var store op2.CheckpointStore
+	if *cpDir != "" {
+		ds, err := op2.NewDirCheckpoints(*cpDir)
+		if err != nil {
+			return err
+		}
+		store = ds
+	}
+
 	sv := op2.NewService(op2.ServiceConfig{
 		MaxResidentJobs: *maxResident,
 		MaxQueuedJobs:   *maxQueued,
@@ -113,6 +135,27 @@ func run() error {
 		Trace:           ring,
 	})
 	defer sv.Close() //nolint:errcheck // drained explicitly below
+
+	// Graceful shutdown: the first SIGINT/SIGTERM drains (readiness
+	// flips, jobs checkpoint and finish ErrJobDrained, the result loop
+	// below unblocks); a second signal aborts hard.
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		fmt.Printf("\nop2serve: %v: draining (checkpointing resident jobs, up to %v)\n", sig, *drainTO)
+		if health != nil {
+			health.SetReady(false)
+		}
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := sv.Drain(dctx); err != nil {
+			fmt.Fprintln(os.Stderr, "op2serve:", err)
+		}
+		sig = <-sigCh
+		fmt.Fprintf(os.Stderr, "op2serve: %v again: aborting\n", sig)
+		os.Exit(130)
+	}()
 
 	fmt.Printf("op2serve: %d airfoil jobs (%dx%d cells, %d iters, %s) through %d residency slots\n",
 		*jobs, *nx, *ny, *iters, *backend, *maxResident)
@@ -126,6 +169,7 @@ func run() error {
 		spec.Retry = op2.RetryPolicy{MaxAttempts: *retries, Backoff: *backoff}
 		spec.Deadline = *deadline
 		spec.CheckpointEvery = *cpEvery
+		spec.CheckpointStore = store
 		h, err := sv.Submit(ctx, spec)
 		if err != nil {
 			return err
@@ -149,29 +193,44 @@ func run() error {
 
 	var refRMS float64
 	var refQ []float64
-	for i, h := range handles {
+	drained := 0
+	for _, h := range handles {
 		res, err := h.Result(ctx)
 		if err != nil {
+			if errors.Is(err, op2.ErrJobDrained) {
+				drained++
+				fmt.Printf("job %s: drained at step %d\n", h.Name(), h.Status().Retired)
+				continue
+			}
 			return fmt.Errorf("job %s: %w", h.Name(), err)
 		}
 		jr := res.(*airfoil.JobResult)
-		if i == 0 {
+		if refQ == nil {
 			refRMS, refQ = jr.RMS, jr.Q
 			continue
 		}
 		if math.Float64bits(jr.RMS) != math.Float64bits(refRMS) {
-			return fmt.Errorf("job %s: rms %v differs from job 0's %v", h.Name(), jr.RMS, refRMS)
+			return fmt.Errorf("job %s: rms %v differs from first completed job's %v", h.Name(), jr.RMS, refRMS)
 		}
 		for k := range jr.Q {
 			if math.Float64bits(jr.Q[k]) != math.Float64bits(refQ[k]) {
-				return fmt.Errorf("job %s: q[%d] differs from job 0", h.Name(), k)
+				return fmt.Errorf("job %s: q[%d] differs from first completed job", h.Name(), k)
 			}
 		}
 	}
 	elapsed := time.Since(start)
 
 	st := sv.Stats()
-	fmt.Printf("\nall %d jobs agree bitwise: rms %.5e\n", *jobs, refRMS)
+	if drained > 0 {
+		where := "in memory only"
+		if store != nil {
+			where = fmt.Sprintf("persisted under %s", *cpDir)
+		}
+		fmt.Printf("\ndrained %d of %d jobs for shutdown (checkpoints %s); the %d completed agree bitwise\n",
+			drained, *jobs, where, *jobs-drained)
+	} else {
+		fmt.Printf("\nall %d jobs agree bitwise: rms %.5e\n", *jobs, refRMS)
+	}
 	fmt.Printf("wall time %v  (%.2f jobs/s, %.0f job-iters/s)\n",
 		elapsed.Round(time.Millisecond),
 		float64(*jobs)/elapsed.Seconds(),

@@ -48,6 +48,21 @@
 // shards with Dat.Rescatter; Runtime.Fence drains every submitted loop
 // and step.
 //
+// op2.WithTCPTransport(op2.TCPConfig{...}) replaces the in-process
+// loopback with a real TCP transport (internal/net): each rank is a
+// separate OS process running the same program SPMD-style
+// (Runtime.LocalRank names its partition), connected by a framed wire
+// protocol that serializes the pooled halo buffers with zero
+// steady-state allocations. Ranks bootstrap in any order (bounded dial
+// retry, HELLO identity + job-signature exchange, world barrier), every
+// connection carries heartbeats feeding a liveness prober, and a
+// connection lost after bootstrap is never retried — it converges to
+// the same typed taxonomy as the in-process fault suite, with ABORT
+// propagation so survivors fail fast on the root cause and GOODBYE
+// distinguishing teardown from a crash. cmd/op2rank is the per-rank
+// daemon (health endpoints /healthz /livez /readyz /stats /metrics);
+// TCP worlds at any rank count stay bitwise-identical to serial.
+//
 // op2.Service is the simulation-as-a-service control plane: it admits
 // whole simulation jobs (op2.JobSpec — runtime options, a Setup
 // returning the timestep Step, an iteration count, a Collect) into a
@@ -75,8 +90,18 @@
 // JobSpec.Retry, JobSpec.Deadline and JobSpec.CheckpointEvery tear a
 // failed attempt down and resume it from the last checkpoint while
 // other jobs keep stepping, with recovered results bitwise-identical
-// to uninterrupted runs (internal/fault/chaos_test.go is the
-// randomized, seed-replayable proof).
+// to uninterrupted runs (internal/fault/chaos_test.go and the
+// socket-level chaos_tcp_test.go are the randomized, seed-replayable
+// proofs). Checkpoints are durable: Checkpoint.WriteTo and
+// op2.ReadCheckpoint define a canonical versioned, checksummed file
+// format whose every damage mode loads as the typed
+// op2.ErrCheckpointCorrupt, and op2.NewDirCheckpoints is the
+// file-per-job CheckpointStore the service persists into and resumes
+// from across process restarts. Service.Drain is graceful shutdown:
+// admission stops, resident jobs cut at a step boundary with the typed
+// op2.ErrJobDrained after persisting a drain checkpoint, and a
+// restarted service resumes them bitwise (cmd/op2serve wires
+// SIGINT/SIGTERM to it).
 //
 // The implementation lives in the internal packages:
 //
@@ -96,8 +121,11 @@
 //     storage, persistent rank workers, overlapped halo exchange,
 //     typed fault detection (halo timeouts, frame checks, permanent
 //     engine failure)
+//   - internal/net        — the TCP rank transport: framed wire protocol
+//     over pooled halo buffers, rank bootstrap, heartbeats + liveness,
+//     typed failure convergence (cmd/op2rank is the per-rank daemon)
 //   - internal/fault      — deterministic fault injection: the scriptable
-//     Transport decorator, rank stalls, kernel Panicker
+//     Transport decorator, socket-level faults, rank stalls, kernel Panicker
 //   - internal/service    — the simulation-service control plane: job
 //     queue + admission, round-robin step scheduler, per-job retirers
 //   - internal/translator — the OP2 source-to-source compiler with OpenMP

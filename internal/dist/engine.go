@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -69,6 +70,12 @@ type Engine struct {
 	tr          *countingTransport
 	trace       TraceFunc
 	haloTimeout time.Duration
+
+	// SPMD mode (see spmd.go): local is the one rank this process hosts
+	// (-1 when every rank is an in-process goroutine) and ctl is the
+	// transport's control channel for driver-side collectives.
+	local int
+	ctl   Collective
 
 	// haloTimeouts counts halo exchanges that hit the configured
 	// timeout (the op2_dist_halo_timeouts_total observable).
@@ -243,6 +250,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		tr:          &countingTransport{inner: cfg.Transport},
 		trace:       cfg.Trace,
 		haloTimeout: cfg.HaloTimeout,
+		local:       -1,
 		sets:        map[*core.Set]*setPart{},
 		topos:       map[*core.Set]*part.Topology{},
 		dats:        map[*core.Dat]*shardedDat{},
@@ -251,9 +259,24 @@ func NewEngine(cfg Config) (*Engine, error) {
 		fenced:      map[*core.Global]bool{},
 		lastReduce:  map[*core.Global]gateRef{},
 	}
+	if rt, ok := cfg.Transport.(RankedTransport); ok {
+		// SPMD mode: this process hosts exactly one rank; the others run
+		// in peer processes behind the transport (see spmd.go).
+		e.local = rt.LocalRank()
+		e.ctl = rt
+		if e.local < 0 || e.local >= cfg.Ranks {
+			return nil, invalidf("transport hosts rank %d, engine has ranks [0,%d)", e.local, cfg.Ranks)
+		}
+	}
 	e.bufs = make([]bufPool, cfg.Ranks)
+	if pb, ok := cfg.Transport.(PoolBinder); ok {
+		pb.BindBufferPool(e.getBuf, e.putBuf)
+	}
 	e.workers = make([]*worker, cfg.Ranks)
 	for r := range e.workers {
+		if e.local >= 0 && r != e.local {
+			continue // hosted by a peer process
+		}
 		w := &worker{
 			rank: r, eng: e, mail: make(chan *task, mailboxDepth),
 			sendSeq: make([]uint64, cfg.Ranks),
@@ -330,9 +353,14 @@ func (e *Engine) failPermanent(cause error) {
 }
 
 // rejectFailedLocked builds the fast-reject error for a submission on a
-// failed engine. e.mu must be held; the caller unlocks and records it.
+// failed engine. Both the rejection class (ErrRankFailed) and the
+// original failure's class stay testable with errors.Is: a caller that
+// only ever sees the fast-reject — common when the typed verdict was
+// delivered to an abandoned pipeline future — can still tell a timeout
+// from a corrupt frame. e.mu must be held; the caller unlocks and
+// records it.
 func (e *Engine) rejectFailedLocked() error {
-	return fmt.Errorf("%w: engine disabled after permanent failure: %v", ErrRankFailed, e.failErr)
+	return fmt.Errorf("%w: engine disabled after permanent failure: %w", ErrRankFailed, e.failErr)
 }
 
 // Fence blocks until every submitted loop and step has completed —
@@ -532,9 +560,18 @@ func (e *Engine) fenceReplicatedLocked(d *core.Dat) {
 
 // flushDat waits for every submitted loop and writes the owned shards
 // back into the dat's global storage, making Data() authoritative again.
+// In SPMD mode the remote shards are allgathered first (a collective —
+// every process flushes the same dats in the same program order), so
+// Data() is globally authoritative on every process.
 func (e *Engine) flushDat(sd *shardedDat) error {
 	if err := e.waitTail(); err != nil {
 		return err
+	}
+	if e.local >= 0 {
+		if err := e.gatherFlush(sd); err != nil {
+			e.failPermanent(err)
+			return err
+		}
 	}
 	dim := sd.d.Dim()
 	global := sd.d.Data()
@@ -552,7 +589,9 @@ func (e *Engine) flushDat(sd *shardedDat) error {
 // observed by later loops. Halo copies on other ranks refresh with the
 // next read exchange, which every importing loop or step posts anyway.
 // Locator tables stay valid — ownership did not change — so no plan is
-// invalidated.
+// invalidated. In SPMD mode no traffic is needed: the host-side global
+// storage is replicated identically on every process (flushes gather,
+// folds gather), so each process refreshes its shards from its own copy.
 func (e *Engine) scatterDat(sd *shardedDat) error {
 	if err := e.waitTail(); err != nil {
 		return err
@@ -793,8 +832,13 @@ func (e *Engine) submitLocked(ctx context.Context, sp *stepPlan, loops []*core.L
 	sub.gate = gate
 	// Post in rank order under postMu so concurrent submitters cannot
 	// interleave two steps' tasks differently on different mailboxes.
+	// In SPMD mode only the local rank has a worker; the peers' workers
+	// receive the same task from their own processes' submissions.
 	e.postMu.Lock()
 	for r := range sub.tasks {
+		if e.workers[r] == nil {
+			continue
+		}
 		e.workers[r].mail <- &sub.tasks[r]
 	}
 	e.postMu.Unlock()
@@ -813,6 +857,9 @@ func (sub *submission) drive() {
 	}
 	var firstErr error
 	for r := range sub.dones {
+		if e.local >= 0 && r != e.local {
+			continue // peer-process ranks report through their own engines
+		}
 		if err := sub.dones[r].lco.Wait(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -820,13 +867,30 @@ func (sub *submission) drive() {
 	if firstErr == nil {
 		// Fold each occurrence's reduction buffers in step order. The
 		// fold scratch on the engine is safe to reuse: drivers serialize
-		// on the previous step's future.
+		// on the previous step's future. In SPMD mode the remote
+		// partials are allgathered over the control channel first, so
+		// every process folds the identical sequence and the globals
+		// stay bitwise-identical everywhere.
 		if cap(e.foldPartials) < e.ranks {
 			e.foldPartials = make([][]float64, e.ranks)
 		}
 		bufs := e.foldPartials[:e.ranks]
 		for o, lp := range sp.loops {
 			if lp.gbl.size == 0 {
+				continue
+			}
+			if e.local >= 0 {
+				if err := e.gatherPartials(sub, o, lp, bufs); err != nil {
+					// A torn collective leaves the control FIFO (and the
+					// peers' fold state) unrecoverable — same class as a
+					// torn halo exchange.
+					e.failPermanent(err)
+					firstErr = err
+					e.releasePartials(bufs)
+					break
+				}
+				e.applyReductions(lp, bufs)
+				e.releasePartials(bufs)
 				continue
 			}
 			for r := range bufs {
@@ -927,7 +991,17 @@ func (e *Engine) Close() error {
 		tail.Wait() //nolint:errcheck // draining; loop errors were reported to their callers
 	}
 	for _, w := range e.workers {
+		if w == nil {
+			continue
+		}
 		close(w.mail)
+	}
+	if e.local >= 0 {
+		// The engine owns a ranked (process-spanning) transport: tear it
+		// down so peers see a clean GOODBYE instead of a vanished conn.
+		if c, ok := e.tr.inner.(io.Closer); ok {
+			_ = c.Close()
+		}
 	}
 	return nil
 }

@@ -1,0 +1,205 @@
+package fault
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Socket-level fault actions for the TCP rank transport: where the
+// message-level Script speaks the transport's Send/Recv vocabulary,
+// these speak the wire's — a connection hard-reset mid-run, a frame cut
+// short at the byte level, a writer that stalls without closing. They
+// plug into the transport's post-handshake connection hook
+// (net.Config.WrapConn in internal/net), so bootstrap always completes
+// and the fault lands on live halo traffic, which is exactly the case
+// the typed failure taxonomy must catch:
+//
+//   - SockReset  → the peer sees an abrupt read error → ErrRankFailed
+//   - SockTruncate → the peer sees a frame end mid-payload → ErrHaloCorrupt
+//   - SockStall  → our writer times out (ErrHaloTimeout) and the peer's
+//     liveness prober starves (ErrHaloTimeout) — whoever fires first,
+//     the verdict is the same class
+type SocketAction int
+
+const (
+	// SockReset closes the connection out from under both sides after
+	// AfterWrites healthy writes.
+	SockReset SocketAction = iota
+	// SockTruncate writes roughly half of the next data frame (one
+	// larger than a bare header) after AfterWrites healthy writes, then
+	// half-closes the write side and silently swallows every later
+	// write — byte-level truncation inside a frame payload. The
+	// half-close makes the verdict deterministic: the peer's READER
+	// sees the stream end mid-frame (the corruption class) while the
+	// peer's writes to us keep succeeding; a full close would race the
+	// peer's writer into a broken-pipe ErrRankFailed first.
+	SockTruncate
+	// SockStall makes every write after AfterWrites block until its
+	// deadline expires — a peer that stopped draining without dying.
+	SockStall
+)
+
+func (a SocketAction) String() string {
+	switch a {
+	case SockReset:
+		return "reset"
+	case SockTruncate:
+		return "truncate"
+	case SockStall:
+		return "stall"
+	}
+	return fmt.Sprintf("SocketAction(%d)", int(a))
+}
+
+// SocketRule is one scheduled socket fault: on the connection from
+// Local to Peer (-1 wildcards either side), fire Action after
+// AfterWrites successful writes. Heartbeats and the bootstrap barrier
+// frame count as writes, so small values fire almost immediately after
+// the step loop starts.
+type SocketRule struct {
+	Local, Peer int
+	Action      SocketAction
+	AfterWrites int
+}
+
+func (r SocketRule) matches(local, peer int) bool {
+	return (r.Local < 0 || r.Local == local) && (r.Peer < 0 || r.Peer == peer)
+}
+
+// WrapSocket builds the connection hook applying the first matching
+// rule per connection. Connections no rule matches pass through
+// untouched.
+func WrapSocket(rules ...SocketRule) func(local, peer int, c net.Conn) net.Conn {
+	return func(local, peer int, c net.Conn) net.Conn {
+		for _, r := range rules {
+			if r.matches(local, peer) {
+				return &faultConn{Conn: c, rule: r}
+			}
+		}
+		return c
+	}
+}
+
+// sockTimeoutErr satisfies net.Error with Timeout() true, so the
+// transport's write-failure classifier takes the stalled-peer branch.
+type sockTimeoutErr struct{}
+
+func (sockTimeoutErr) Error() string   { return "fault: injected write stall (deadline exceeded)" }
+func (sockTimeoutErr) Timeout() bool   { return true }
+func (sockTimeoutErr) Temporary() bool { return true }
+
+// faultConn decorates one connection with a scheduled fault. Write is
+// only ever called by the transport's single writer goroutine; the
+// deadline is tracked because an injected stall must honor it (that is
+// the behavior being injected).
+type faultConn struct {
+	net.Conn
+	rule SocketRule
+
+	mu       sync.Mutex
+	writes   int
+	fired    bool
+	deadline time.Time
+	closed   chan struct{}
+	once     sync.Once
+}
+
+func (f *faultConn) SetWriteDeadline(t time.Time) error {
+	f.mu.Lock()
+	f.deadline = t
+	f.mu.Unlock()
+	return f.Conn.SetWriteDeadline(t)
+}
+
+func (f *faultConn) Close() error {
+	f.once.Do(func() {
+		f.mu.Lock()
+		if f.closed == nil {
+			f.closed = make(chan struct{})
+		}
+		close(f.closed)
+		f.mu.Unlock()
+	})
+	return f.Conn.Close()
+}
+
+func (f *faultConn) closedCh() chan struct{} {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed == nil {
+		f.closed = make(chan struct{})
+	}
+	return f.closed
+}
+
+func (f *faultConn) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	// Reset and truncate fire once; a stall is permanent by nature.
+	armed := f.writes >= f.rule.AfterWrites && (!f.fired || f.rule.Action == SockStall)
+	// After a truncate fired the write side is FIN'd: swallow every
+	// later write so the fault stays one-directional (our transport
+	// keeps running until the peer's ABORT reaches our reader).
+	swallow := f.fired && f.rule.Action == SockTruncate
+	deadline := f.deadline
+	f.mu.Unlock()
+	if swallow {
+		return len(b), nil
+	}
+
+	if armed {
+		switch f.rule.Action {
+		case SockReset:
+			f.mu.Lock()
+			f.fired = true
+			f.mu.Unlock()
+			f.Close() //nolint:errcheck // the reset IS the fault
+			return 0, fmt.Errorf("%w: connection reset %d→%d after %d writes",
+				ErrInjected, f.rule.Local, f.rule.Peer, f.rule.AfterWrites)
+		case SockTruncate:
+			// Cut a data frame, not a bare header: truncation inside a
+			// payload is the corruption class under test.
+			if len(b) > 16 {
+				f.mu.Lock()
+				f.fired = true
+				f.mu.Unlock()
+				f.Conn.Write(b[:len(b)/2]) //nolint:errcheck // the cut stream IS the fault
+				// FIN only the write side; a full close would RST the
+				// peer and race its writer past the mid-frame EOF.
+				if cw, ok := f.Conn.(interface{ CloseWrite() error }); ok {
+					cw.CloseWrite() //nolint:errcheck
+				} else {
+					f.Close() //nolint:errcheck
+				}
+				// Claim success: our own transport must not notice (the
+				// verdict has to come from the peer's corrupt classify,
+				// propagated back as an ABORT).
+				return len(b), nil
+			}
+		case SockStall:
+			f.mu.Lock()
+			f.fired = true // stall every write from now on
+			f.mu.Unlock()
+			var expire <-chan time.Time
+			if !deadline.IsZero() {
+				tm := time.NewTimer(time.Until(deadline))
+				defer tm.Stop()
+				expire = tm.C
+			}
+			select {
+			case <-expire:
+				return 0, sockTimeoutErr{}
+			case <-f.closedCh():
+				return 0, fmt.Errorf("%w: stalled connection closed", ErrInjected)
+			}
+		}
+	}
+	n, err := f.Conn.Write(b)
+	if err == nil {
+		f.mu.Lock()
+		f.writes++
+		f.mu.Unlock()
+	}
+	return n, err
+}

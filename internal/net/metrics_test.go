@@ -1,0 +1,100 @@
+package net_test
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+
+	"op2hpx/internal/obs"
+	"op2hpx/op2"
+)
+
+// scrape renders the registry and returns every sample line (name →
+// rendered line), so assertions can check both presence and value.
+func scrape(t *testing.T, reg *obs.Registry) map[string]string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	samples := make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		samples[name] = line
+	}
+	return samples
+}
+
+// sampleValue parses the float at the end of a sample line.
+func sampleValue(t *testing.T, line string) float64 {
+	t.Helper()
+	fields := strings.Fields(line)
+	v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", line, err)
+	}
+	return v
+}
+
+// TestNetMetricsScrape: a 2-rank TCP world exporting into one shared
+// registry must surface the wire observability series — byte counters
+// summed across both ranks' transports, the reconnect and heartbeat-miss
+// counters, and the connect-latency histogram with one observation per
+// dialed connection.
+func TestNetMetricsScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	outs := runWorld(t, 2, tIters, func(r int, cfg *op2.TCPConfig) { cfg.Metrics = reg })
+	var wireSent int64
+	for r, o := range outs {
+		if o.err != nil {
+			t.Fatalf("rank %d: %v", r, o.err)
+		}
+		wireSent += int64(o.net.BytesSent)
+	}
+
+	samples := scrape(t, reg)
+	for _, name := range []string{
+		"op2_net_bytes_sent_total",
+		"op2_net_bytes_recv_total",
+		"op2_net_reconnects_total",
+		"op2_net_heartbeat_misses_total",
+		"op2_net_connect_seconds_bucket",
+		"op2_net_connect_seconds_sum",
+		"op2_net_connect_seconds_count",
+	} {
+		if _, ok := samples[name]; !ok {
+			t.Fatalf("scrape is missing %s; got series %v", name, keys(samples))
+		}
+	}
+
+	// Sampled at scrape time, after teardown: at least what the ranks
+	// reported mid-run (GOODBYE frames land on top of that snapshot).
+	if got := sampleValue(t, samples["op2_net_bytes_sent_total"]); got < float64(wireSent) || wireSent == 0 {
+		t.Fatalf("op2_net_bytes_sent_total = %v, transports reported %d mid-run", got, wireSent)
+	}
+	if got := sampleValue(t, samples["op2_net_bytes_recv_total"]); got <= 0 {
+		t.Fatalf("op2_net_bytes_recv_total = %v, want > 0", got)
+	}
+	// A 2-rank world has one connection, observed at both endpoints
+	// (rank 1 times its dial, rank 0 times its accept).
+	if got := sampleValue(t, samples["op2_net_connect_seconds_count"]); got != 2 {
+		t.Fatalf("op2_net_connect_seconds_count = %v, want 2 (dial + accept)", got)
+	}
+}
+
+func keys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

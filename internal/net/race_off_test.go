@@ -1,0 +1,6 @@
+//go:build !race
+
+package net_test
+
+// raceEnabled reports whether the race detector instruments this build.
+const raceEnabled = false

@@ -170,6 +170,17 @@ func (j *Job) retire() {
 		j.rearm(err)
 		return
 	}
+	if errors.Is(err, ErrDrained) {
+		// Graceful shutdown: every in-flight step retired above, so the
+		// instance sits on a clean step boundary — persist it before the
+		// Close below discards the runtime. A checkpoint failure joins
+		// the verdict (still ErrDrained-typed) instead of hiding.
+		if d, ok := j.inst.(Drainer); ok {
+			if derr := d.DrainCheckpoint(); derr != nil {
+				err = errors.Join(err, fmt.Errorf("service: job %q drain checkpoint: %w", j.spec.Name, derr))
+			}
+		}
+	}
 	var result any
 	if err == nil {
 		var ferr error
@@ -188,12 +199,14 @@ func (j *Job) retire() {
 // consumeRetry decides whether a failed attempt rearms instead of
 // finishing the job: the cause must not be a cancellation (the user
 // asked the job to stop — retrying would countermand them, and a
-// deadline expiry retried forever would never end) and the attempt
-// budget must have room. A granted retry is consumed immediately:
+// deadline expiry retried forever would never end) nor a drain (the
+// service is shutting down; the restart happens in the NEXT process,
+// from the drain checkpoint), and the attempt budget must have room. A granted retry is consumed immediately:
 // the job's attempt counter, the service counter and the trace span
 // are all recorded here, so callers just branch on the verdict.
 func (j *Job) consumeRetry(cause error) bool {
-	if j.ctx.Err() != nil || errors.Is(cause, context.Canceled) || errors.Is(cause, context.DeadlineExceeded) {
+	if j.ctx.Err() != nil || errors.Is(cause, context.Canceled) ||
+		errors.Is(cause, context.DeadlineExceeded) || errors.Is(cause, ErrDrained) {
 		return false
 	}
 	s := j.svc

@@ -125,6 +125,17 @@ type Resumer interface {
 	ResumeStep() int
 }
 
+// Drainer is implemented by instances that can persist their state for
+// a graceful shutdown. When a Drain stops a running job, the retirer
+// waits out the job's in-flight steps and then — before closing the
+// instance — calls DrainCheckpoint, so the snapshot lands on a clean
+// step boundary. The op2 facade implements it by checkpointing into
+// the job's durable store, which is what lets a restarted server
+// resume the job bitwise from the drain point.
+type Drainer interface {
+	DrainCheckpoint() error
+}
+
 // Config bounds the service.
 type Config struct {
 	// MaxResidentJobs is how many jobs hold live runtimes and issue
@@ -157,6 +168,13 @@ var (
 	ErrClosed = errors.New("service: closed")
 	// ErrInvalidSpec rejects a malformed job spec.
 	ErrInvalidSpec = errors.New("service: invalid job spec")
+	// ErrDrained is the terminal verdict of jobs interrupted by a
+	// graceful Drain: the service stopped issuing their steps so the
+	// process could shut down, not because anything about them failed.
+	// It is never retried (the whole point of draining is to stop), and
+	// a job whose instance implements Drainer persisted a checkpoint
+	// first, so resubmitting after a restart resumes where the drain cut.
+	ErrDrained = errors.New("service: job drained for shutdown")
 )
 
 // State is a job's lifecycle phase.
@@ -225,6 +243,13 @@ type Service struct {
 	queue    []*Job
 	resident []*Job
 	closed   bool
+
+	// draining flips once, on Drain: admission starts rejecting, queued
+	// jobs finish with ErrDrained instead of promoting, and the
+	// scheduler stops issuing resident jobs' steps (their in-flight
+	// steps retire, Drainer instances checkpoint, then they finish with
+	// ErrDrained too). Atomic because the scheduler reads it outside mu.
+	draining atomic.Bool
 
 	admitted  int64
 	rejected  int64
@@ -354,7 +379,7 @@ func (s *Service) Submit(ctx context.Context, spec Spec) (*Job, error) {
 		maxIF = s.cfg.DefaultMaxInFlightSteps
 	}
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.draining.Load() {
 		s.rejected++
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: job %q rejected", ErrClosed, spec.Name)
@@ -440,6 +465,33 @@ func (s *Service) Close() error {
 	return nil
 }
 
+// Drain gracefully quiesces the service for shutdown: admission closes
+// (Submit rejects with ErrClosed), queued jobs finish with ErrDrained
+// without ever starting a runtime, and every resident job stops issuing
+// — its in-flight steps retire, its instance checkpoints if it
+// implements Drainer, and it finishes with ErrDrained (a job that had
+// already issued its last step completes normally instead). Drain
+// returns once every job reached its terminal state, or with ctx's
+// error if the caller's patience runs out first. It does not stop the
+// scheduler; follow with Close.
+func (s *Service) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.queue)+len(s.resident))
+	jobs = append(jobs, s.queue...)
+	jobs = append(jobs, s.resident...)
+	s.mu.Unlock()
+	s.poke()
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+		}
+	}
+	return nil
+}
+
 // poke rings the scheduler doorbell without blocking.
 func (s *Service) poke() {
 	select {
@@ -485,14 +537,21 @@ func (s *Service) run() {
 // promoteLocked finishes queue entries canceled while waiting (terminal
 // without ever holding a runtime, regardless of residency pressure),
 // then moves queued jobs into free residency slots in FIFO order.
+// While draining it instead finishes every queued job with ErrDrained
+// and promotes nothing — freed residency slots stay empty so the
+// service winds down.
 func (s *Service) promoteLocked() {
+	draining := s.draining.Load()
 	kept := s.queue[:0]
 	for _, j := range s.queue {
-		if j.ctx.Err() != nil {
+		switch {
+		case j.ctx.Err() != nil:
 			s.finishLocked(j, nil, fmt.Errorf("service: job %q canceled while queued: %w", j.spec.Name, j.ctx.Err()))
-			continue
+		case draining:
+			s.finishLocked(j, nil, fmt.Errorf("service: job %q: %w", j.spec.Name, ErrDrained))
+		default:
+			kept = append(kept, j)
 		}
-		kept = append(kept, j)
 	}
 	for i := len(kept); i < len(s.queue); i++ {
 		s.queue[i] = nil
@@ -558,6 +617,16 @@ func (s *Service) visit(j *Job) bool {
 	if j.issued >= j.spec.Iters {
 		// Nothing left to issue — possible on arrival when a restored
 		// checkpoint already covers every step.
+		j.doneIssuing = true
+		close(j.retireCh)
+		return true
+	}
+	if s.draining.Load() {
+		// Graceful shutdown: stop mid-run. The retirer waits out the
+		// in-flight steps, checkpoints through Drainer, and finishes the
+		// job with this verdict. (A job whose last step already issued
+		// took the Iters branch above and completes normally.)
+		j.fail(fmt.Errorf("service: job %q: %w", j.spec.Name, ErrDrained))
 		j.doneIssuing = true
 		close(j.retireCh)
 		return true
@@ -686,7 +755,10 @@ func (s *Service) finishLocked(j *Job, result any, err error) {
 				s.cfg.Trace.Record(j.spec.Name, "recover", 0, time.Now(), 0)
 			}
 		}
-	case j.ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case j.ctx.Err() != nil || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrDrained):
+		// Drains classify with cancellations: the operator stopped the
+		// job; nothing about the job itself failed.
 		j.canceled = true
 		s.canceled++
 	default:

@@ -68,6 +68,18 @@ func (rt *Runtime) Ranks() int {
 // Distributed reports whether loops execute on the distributed engine.
 func (rt *Runtime) Distributed() bool { return rt.eng != nil }
 
+// Failed reports a distributed runtime's first permanent failure (halo
+// timeout, corrupt frame, dead peer, comm overflow — testable with
+// errors.Is against the typed sentinels), or nil while it is healthy or
+// shared-memory. It is the liveness observable behind cmd/op2rank's
+// /livez probe.
+func (rt *Runtime) Failed() error {
+	if rt.eng == nil {
+		return nil
+	}
+	return rt.eng.Failed()
+}
+
 // Partition registers mesh topology for set and partitions it with the
 // runtime's configured partitioner — the op_partition call of OP2's MPI
 // backend. adj is a map into set whose co-targets become graph edges

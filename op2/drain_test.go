@@ -1,0 +1,118 @@
+package op2_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"op2hpx/internal/airfoil"
+	"op2hpx/op2"
+)
+
+// TestServiceDrainResumeBitwise is the graceful-shutdown end-to-end:
+// drain a service mid-airfoil (the job finishes typed ErrJobDrained,
+// persisting a drain checkpoint into a durable store), then simulate a
+// process restart by submitting the same job to a FRESH service over
+// the same store. The resumed run must complete and match the
+// uninterrupted serial reference bit for bit — drain plus restart is
+// invisible in the numbers.
+func TestServiceDrainResumeBitwise(t *testing.T) {
+	const nx, ny, iters = 24, 12, 2000
+	ctx := context.Background()
+
+	// The uninterrupted reference.
+	refRT := op2.MustNew()
+	refApp, err := airfoil.NewApp(nx, ny, refRT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRMS, err := refApp.Run(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refApp.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	refQ := append([]float64(nil), refApp.M.Q.Data()...)
+	refRT.Close() //nolint:errcheck
+
+	store, err := op2.NewDirCheckpoints(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First "process": run the job and drain it mid-flight.
+	sv1 := op2.NewService(op2.ServiceConfig{})
+	spec := airfoil.Job("wing", nx, ny, iters)
+	spec.CheckpointStore = store
+	h1, err := sv1.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for h1.Status().Retired < 20 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started stepping")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	dctx, cancel := context.WithTimeout(ctx, 20*time.Second)
+	if err := sv1.Drain(dctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	cancel()
+	if _, err := h1.Result(ctx); !errors.Is(err, op2.ErrJobDrained) {
+		t.Fatalf("drained job's verdict = %v, want ErrJobDrained", err)
+	}
+	cutStatus := h1.Status()
+	if cutStatus.Retired <= 0 || cutStatus.Retired >= iters {
+		t.Fatalf("drain cut at step %d of %d — not mid-run", cutStatus.Retired, iters)
+	}
+	if err := sv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The drain checkpoint must be on disk at the cut step.
+	cp, err := store.Load("wing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("drain left no durable checkpoint")
+	}
+	if int64(cp.Step) != cutStatus.Retired {
+		t.Fatalf("checkpoint at step %d, drain cut at %d", cp.Step, cutStatus.Retired)
+	}
+
+	// Second "process": same spec, same store, fresh service. The job
+	// resumes from the drain checkpoint and runs to completion.
+	sv2 := op2.NewService(op2.ServiceConfig{})
+	defer sv2.Close() //nolint:errcheck
+	spec2 := airfoil.Job("wing", nx, ny, iters)
+	spec2.CheckpointStore = store
+	h2, err := sv2.Submit(ctx, spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h2.Result(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr := res.(*airfoil.JobResult)
+
+	if math.Float64bits(jr.RMS) != math.Float64bits(refRMS) {
+		t.Fatalf("resumed rms %x differs BITWISE from the uninterrupted run %x",
+			math.Float64bits(jr.RMS), math.Float64bits(refRMS))
+	}
+	for i := range jr.Q {
+		if math.Float64bits(jr.Q[i]) != math.Float64bits(refQ[i]) {
+			t.Fatalf("q[%d] differs bitwise from the uninterrupted run", i)
+		}
+	}
+	// The restart did real resumption, not a silent rerun from step 0.
+	if got := h2.Status().Retired; got != iters {
+		t.Fatalf("resumed job retired %d, want %d (resume offset included)", got, iters)
+	}
+}

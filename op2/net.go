@@ -1,0 +1,107 @@
+package op2
+
+import (
+	"context"
+	"fmt"
+
+	"op2hpx/internal/dist"
+	rnet "op2hpx/internal/net"
+)
+
+// TCPConfig configures the real TCP rank transport: the listen-address
+// list (one per rank, defining the world), this process's rank, the
+// partition metadata exchanged and verified at bootstrap, and the
+// liveness knobs (heartbeat interval, miss budget, dial retry bounds).
+// See the field documentation on the internal type.
+type TCPConfig = rnet.Config
+
+// NetStats are the TCP transport's wire counters: bytes and frames each
+// way, bootstrap dial retries, heartbeat misses, and the wire-frame
+// pool's allocation counters (flat in steady state — the zero-alloc
+// guard's observable for the wire path).
+type NetStats = rnet.Stats
+
+// WithTCPTransport runs the distributed runtime over real TCP sockets:
+// this process hosts exactly cfg.Rank, the other ranks live in other
+// processes (cmd/op2rank is the canonical daemon), and New blocks until
+// the whole world has bootstrapped — rendezvous on cfg.Peers, HELLO
+// validation of protocol version, world size and cfg.Meta, then a full
+// barrier. The program must be SPMD: every process issues the identical
+// declaration and loop sequence (see internal/dist's SPMD mode).
+//
+// WithRanks is implied (len(cfg.Peers)); setting it to a different
+// count is a validation error, as is combining with WithTransport. The
+// in-process loopback transport remains the default — existing
+// single-process programs and their bitwise goldens are untouched.
+func WithTCPTransport(cfg TCPConfig) Option {
+	return func(c *config) { c.tcp = &cfg }
+}
+
+// applyTCPConfig folds WithTCPTransport into the generic options during
+// New's validation pass.
+func applyTCPConfig(c *config) error {
+	if c.tcp == nil {
+		return nil
+	}
+	if c.transport != nil {
+		return fmt.Errorf("%w: WithTCPTransport and WithTransport are mutually exclusive", ErrValidation)
+	}
+	if len(c.tcp.Peers) == 0 {
+		return fmt.Errorf("%w: WithTCPTransport needs a peer address list", ErrValidation)
+	}
+	if c.ranks == 0 {
+		c.ranks = len(c.tcp.Peers)
+	}
+	if c.ranks != len(c.tcp.Peers) {
+		return fmt.Errorf("%w: WithRanks(%d) does not match the %d peer addresses of WithTCPTransport",
+			ErrValidation, c.ranks, len(c.tcp.Peers))
+	}
+	if c.metrics != nil && c.tcp.Metrics == nil {
+		c.tcp.Metrics = c.metrics
+	}
+	return nil
+}
+
+// buildTCPTransport constructs the configured TCP transport (listener
+// bound, not yet connected — New bootstraps it after the engine has
+// bound its buffer pools, so no inbound frame can race the binding).
+func (c *config) buildTCPTransport() (dist.Transport, error) {
+	t, err := rnet.New(*c.tcp)
+	if err != nil {
+		return nil, fmt.Errorf("op2: tcp transport: %w", err)
+	}
+	return t, nil
+}
+
+// startTransport bootstraps transports that need a connection phase
+// (the TCP rendezvous). It must run after dist.NewEngine so the
+// engine's pool hooks are bound before any peer traffic arrives.
+func startTransport(tr dist.Transport) error {
+	if s, ok := tr.(interface{ Start(context.Context) error }); ok {
+		return s.Start(context.Background())
+	}
+	return nil
+}
+
+// LocalRank reports which rank this process hosts under a TCP (or any
+// ranked) transport, or -1 when ranks are in-process goroutines or the
+// runtime is shared-memory.
+func (rt *Runtime) LocalRank() int {
+	if rt.eng == nil {
+		return -1
+	}
+	return rt.eng.LocalRank()
+}
+
+// NetStats snapshots the TCP transport's wire counters. ok is false for
+// shared-memory runtimes and for distributed runtimes on an in-process
+// transport.
+func (rt *Runtime) NetStats() (s NetStats, ok bool) {
+	if rt.eng == nil {
+		return NetStats{}, false
+	}
+	if t, is := rt.eng.TransportImpl().(*rnet.Transport); is {
+		return t.Stats(), true
+	}
+	return NetStats{}, false
+}

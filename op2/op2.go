@@ -116,6 +116,7 @@ type config struct {
 	maxInFlight int
 	haloTimeout time.Duration
 	transport   func(ranks int) Transport
+	tcp         *TCPConfig
 	metrics     *Metrics
 	trace       *TraceRing
 	traceN      int
@@ -247,6 +248,9 @@ func New(opts ...Option) (*Runtime, error) {
 	for _, o := range opts {
 		o(&c)
 	}
+	if err := applyTCPConfig(&c); err != nil {
+		return nil, err
+	}
 	switch c.backend {
 	case Serial, ForkJoin, Dataflow:
 	default:
@@ -288,6 +292,13 @@ func New(opts ...Option) (*Runtime, error) {
 		if c.transport != nil {
 			tr = c.transport(c.ranks)
 		}
+		if c.tcp != nil {
+			t, err := c.buildTCPTransport()
+			if err != nil {
+				return nil, err
+			}
+			tr = t
+		}
 		eng, err := dist.NewEngine(dist.Config{
 			Ranks:       c.ranks,
 			Partitioner: c.partitioner,
@@ -296,9 +307,19 @@ func New(opts ...Option) (*Runtime, error) {
 			HaloTimeout: c.haloTimeout,
 		})
 		if err != nil {
+			if cl, ok := tr.(io.Closer); ok {
+				cl.Close() //nolint:errcheck // construction failed; best-effort cleanup
+			}
 			return nil, classify(err)
 		}
 		rt.eng = eng
+		// Bootstrap (TCP rendezvous, HELLO, barrier) happens only now,
+		// with the engine's buffer pools already bound: an inbound halo
+		// frame can never race the pool binding.
+		if err := startTransport(tr); err != nil {
+			eng.Close() //nolint:errcheck // bootstrap failed; best-effort teardown
+			return nil, fmt.Errorf("op2: transport bootstrap: %w", err)
+		}
 	}
 	if c.poolSize > 0 && rt.eng == nil {
 		// Distributed runtimes never execute loops on the shared-memory

@@ -60,6 +60,11 @@ var (
 	ErrJobQueueFull = service.ErrQueueFull
 	// ErrServiceClosed rejects a Submit after Service.Close.
 	ErrServiceClosed = service.ErrClosed
+	// ErrJobDrained is the terminal verdict of jobs interrupted by a
+	// graceful Service.Drain. A job with a CheckpointStore persisted a
+	// drain checkpoint first, so resubmitting it after a restart resumes
+	// bitwise from where the drain cut.
+	ErrJobDrained = service.ErrDrained
 )
 
 // JobSpec describes one simulation job for Service.Submit.
@@ -109,6 +114,14 @@ type JobSpec struct {
 	// current attempt exactly as a failed step does. It is the injection
 	// point for step-boundary crash testing.
 	BeforeStep func(step int) error
+	// CheckpointStore, when set, persists every checkpoint durably under
+	// the job's name (periodic ones from CheckpointEvery and the drain
+	// checkpoint a Service.Drain takes) and preloads the newest at
+	// Submit: recovery that survives an operator-visible process
+	// restart, not just a failed attempt. A Submit finding a corrupt or
+	// truncated file fails typed (ErrCheckpointCorrupt) — never a
+	// silent restore of untrusted state.
+	CheckpointStore CheckpointStore
 }
 
 // RetryPolicy bounds a job's recovery attempts: MaxAttempts total
@@ -135,8 +148,20 @@ func (sv *Service) Submit(ctx context.Context, spec JobSpec) (*JobHandle, error)
 	collect := spec.Collect
 	// The checkpoint slot outlives any single attempt: attempt N+1's
 	// start closure restores what attempt N saved. Plain host memory, so
-	// it survives the failed attempt's runtime being closed.
+	// it survives the failed attempt's runtime being closed. With a
+	// durable store the slot is additionally seeded from disk, so it
+	// also survives the previous PROCESS: a restarted server resumes the
+	// job from its last persisted checkpoint.
 	slot := &checkpointSlot{}
+	if spec.CheckpointStore != nil {
+		cp, err := spec.CheckpointStore.Load(spec.Name)
+		if err != nil {
+			return nil, fmt.Errorf("job %q: %w", spec.Name, err)
+		}
+		if cp != nil {
+			slot.store(cp)
+		}
+	}
 	start := func(jctx context.Context) (service.Instance, error) {
 		rt, err := New(opts...)
 		if err != nil {
@@ -152,8 +177,9 @@ func (sv *Service) Submit(ctx context.Context, spec JobSpec) (*JobHandle, error)
 			return nil, wrapValidation(fmt.Errorf("job %q: Setup returned no step", spec.Name))
 		}
 		ji := &jobInstance{
-			rt: rt, step: step, collect: collect,
-			every: spec.CheckpointEvery, before: spec.BeforeStep, slot: slot,
+			rt: rt, step: step, collect: collect, name: spec.Name,
+			every: spec.CheckpointEvery, before: spec.BeforeStep,
+			slot: slot, store: spec.CheckpointStore,
 		}
 		if cp := slot.load(); cp != nil {
 			if err := rt.Restore(cp); err != nil {
@@ -181,6 +207,15 @@ func (sv *Service) Stats() ServiceStats { return sv.s.Stats() }
 // Close cancels every queued and resident job, waits for their runtimes
 // to close, and stops the scheduler. Idempotent.
 func (sv *Service) Close() error { return sv.s.Close() }
+
+// Drain gracefully quiesces the service for shutdown: admission closes,
+// queued jobs finish with ErrJobDrained without starting, and running
+// jobs stop issuing — their in-flight steps retire, jobs with a
+// CheckpointStore persist a drain checkpoint at the resulting clean step
+// boundary, and they finish with ErrJobDrained (jobs whose last step
+// already issued complete normally). Returns when every job is terminal
+// or ctx expires; follow with Close.
+func (sv *Service) Drain(ctx context.Context) error { return sv.s.Drain(ctx) }
 
 // checkpointSlot is the job-scoped latest-checkpoint cell shared by all
 // of a job's attempts (written by the attempt's IssueStep on the
@@ -211,13 +246,38 @@ type jobInstance struct {
 	rt      *Runtime
 	step    *Step
 	collect func(*Runtime) (any, error)
+	name    string
 
 	every  int             // checkpoint interval (steps), 0 = off
 	before func(int) error // JobSpec.BeforeStep, may be nil
 	slot   *checkpointSlot // shared across the job's attempts
+	store  CheckpointStore // durable persistence, may be nil
 	stepN  int             // steps issued by this attempt, resume included
 	resume int             // steps already applied when this attempt started
 }
+
+// saveCheckpoint snapshots the runtime at stepN and records it in the
+// attempt-spanning slot and, when configured, the durable store.
+func (ji *jobInstance) saveCheckpoint() error {
+	cp, err := ji.rt.Checkpoint(ji.stepN)
+	if err != nil {
+		return err
+	}
+	ji.slot.store(cp)
+	if ji.store != nil {
+		if err := ji.store.Save(ji.name, cp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DrainCheckpoint (service.Drainer) persists the job's exact current
+// state during a graceful shutdown: the fence inside Checkpoint waits
+// out the in-flight steps the drain already stopped issuing behind, so
+// the snapshot is a clean step boundary a restarted server resumes
+// from bitwise.
+func (ji *jobInstance) DrainCheckpoint() error { return ji.saveCheckpoint() }
 
 // IssueStep issues the job's next timestep. op2 futures satisfy
 // service.Future directly; errors — validation ones included — surface
@@ -227,11 +287,9 @@ type jobInstance struct {
 // captures is exactly "stepN steps applied".
 func (ji *jobInstance) IssueStep(ctx context.Context) (service.Future, error) {
 	if ji.every > 0 && ji.stepN > ji.resume && ji.stepN%ji.every == 0 {
-		cp, err := ji.rt.Checkpoint(ji.stepN)
-		if err != nil {
+		if err := ji.saveCheckpoint(); err != nil {
 			return nil, err
 		}
-		ji.slot.store(cp)
 	}
 	if ji.before != nil {
 		if err := ji.before(ji.stepN); err != nil {
